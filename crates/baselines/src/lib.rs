@@ -1,0 +1,22 @@
+//! # xclean-baselines
+//!
+//! Comparison systems used in the paper's evaluation (§VII-B):
+//!
+//! * [`Py08`] — the relational keyword-query cleaner of Pu & Yu adapted to
+//!   XML by treating each element as a document, with the rare-token and
+//!   connectivity biases the paper analyses in §II;
+//! * [`run_naive`] — the naïve candidate-by-candidate evaluator, the
+//!   correctness oracle and efficiency baseline for Algorithm 1;
+//! * [`SearchEngineCorrector`] — a query-log-driven "did you mean"
+//!   corrector standing in for the two commercial search engines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod naive;
+pub mod py08;
+pub mod selog;
+
+pub use naive::run_naive;
+pub use py08::{Py08, Py08Candidate};
+pub use selog::{SeConfig, SearchEngineCorrector};

@@ -1,0 +1,52 @@
+//! Benchmark: offline costs — XML parsing, corpus index construction,
+//! and the posting-list codec (encode/decode throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xclean_datagen::{generate_dblp, DblpConfig};
+use xclean_index::{codec, CorpusIndex, TokenId};
+use xclean_xmltree::{parse_document, to_xml};
+
+fn bench_parse_and_build(c: &mut Criterion) {
+    let tree = generate_dblp(&DblpConfig {
+        publications: 2_000,
+        ..Default::default()
+    });
+    let xml = to_xml(&tree);
+    let mut group = c.benchmark_group("offline");
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    group.bench_with_input(BenchmarkId::new("parse_xml", xml.len()), &xml, |b, xml| {
+        b.iter(|| black_box(parse_document(xml).unwrap()))
+    });
+    group.bench_function("build_corpus_index", |b| {
+        b.iter_with_setup(
+            || parse_document(&xml).unwrap(),
+            |tree| black_box(CorpusIndex::build(tree)),
+        )
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let corpus = CorpusIndex::build(generate_dblp(&DblpConfig {
+        publications: 2_000,
+        ..Default::default()
+    }));
+    // The longest posting list exercises the codec best.
+    let longest = (0..corpus.vocab().len() as u32)
+        .map(TokenId)
+        .max_by_key(|&t| corpus.postings(t).len())
+        .unwrap();
+    let list = corpus.postings(longest);
+    let encoded = codec::encode(list);
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Elements(list.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| black_box(codec::encode(list))));
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(codec::decode(encoded.clone()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse_and_build, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Benchmark: suggestion latency across the three entity semantics
+//! (node-type vs SLCA vs ELCA) on the same corpus and workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xclean::{Semantics, XCleanConfig, XCleanEngine};
+use xclean_datagen::{
+    generate_dblp, make_workload, DblpConfig, Perturbation, WorkloadSpec,
+};
+
+fn bench_semantics(c: &mut Criterion) {
+    let mk_engine = || {
+        XCleanEngine::new(
+            generate_dblp(&DblpConfig {
+                publications: 3_000,
+                ..Default::default()
+            }),
+            XCleanConfig::default(),
+        )
+    };
+    let probe = mk_engine();
+    let set = make_workload(
+        probe.corpus(),
+        &WorkloadSpec {
+            n_queries: 15,
+            ..WorkloadSpec::dblp(Perturbation::Rand)
+        },
+    );
+    let mut group = c.benchmark_group("semantics");
+    group.sample_size(10);
+    for semantics in [Semantics::NodeType, Semantics::Slca, Semantics::Elca] {
+        let engine = mk_engine().with_semantics(semantics);
+        group.bench_with_input(
+            BenchmarkId::new(format!("{semantics:?}"), set.cases.len()),
+            &set,
+            |b, set| {
+                b.iter(|| {
+                    for case in &set.cases {
+                        black_box(engine.suggest_keywords(&case.dirty));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_semantics);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Benchmark: end-to-end suggestion latency — XClean vs PY08 vs the naïve
+//! evaluator, per query set (the paper's Table VI / experiment E8), plus
+//! the skipping and pruning ablations (E11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xclean::{XCleanConfig, XCleanEngine};
+use xclean_baselines::{run_naive, Py08};
+use xclean_datagen::{
+    generate_dblp, make_workload, DblpConfig, Perturbation, QuerySet, WorkloadSpec,
+};
+
+struct Setup {
+    engine: XCleanEngine,
+    py08: Py08,
+    sets: Vec<QuerySet>,
+}
+
+fn setup() -> Setup {
+    let tree = generate_dblp(&DblpConfig {
+        publications: 5_000,
+        ..Default::default()
+    });
+    let engine = XCleanEngine::new(tree, XCleanConfig::default());
+    let py08 = Py08::build(engine.corpus(), 5.0, 1000);
+    let sets = [Perturbation::Clean, Perturbation::Rand, Perturbation::Rule]
+        .into_iter()
+        .map(|p| {
+            make_workload(
+                engine.corpus(),
+                &WorkloadSpec {
+                    n_queries: 20,
+                    ..WorkloadSpec::dblp(p)
+                },
+            )
+        })
+        .collect();
+    Setup { engine, py08, sets }
+}
+
+fn bench_suggest(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("suggest_table6");
+    group.sample_size(10);
+    for set in &s.sets {
+        group.bench_with_input(
+            BenchmarkId::new("xclean", &set.name),
+            set,
+            |b, set| {
+                b.iter(|| {
+                    for case in &set.cases {
+                        black_box(s.engine.suggest_keywords(&case.dirty));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("py08", &set.name), set, |b, set| {
+            b.iter(|| {
+                for case in &set.cases {
+                    let slots = s.engine.make_slots(&case.dirty);
+                    black_box(s.py08.suggest(s.engine.corpus(), &slots, 10));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", &set.name), set, |b, set| {
+            let cfg = XCleanConfig {
+                gamma: None,
+                ..Default::default()
+            };
+            b.iter(|| {
+                for case in &set.cases {
+                    let slots = s.engine.make_slots(&case.dirty);
+                    black_box(run_naive(s.engine.corpus(), &slots, &cfg));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let s = setup();
+    let set = &s.sets[1]; // RAND
+    let mut group = c.benchmark_group("suggest_ablation");
+    group.sample_size(10);
+    for (label, cfg) in [
+        ("skipping_on", XCleanConfig::default()),
+        (
+            "skipping_off",
+            XCleanConfig {
+                enable_skipping: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "pruning_off",
+            XCleanConfig {
+                gamma: None,
+                ..Default::default()
+            },
+        ),
+        (
+            "min_depth_1",
+            XCleanConfig {
+                min_depth: 1,
+                ..Default::default()
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, &set.name), set, |b, set| {
+            b.iter(|| {
+                for case in &set.cases {
+                    black_box(s.engine.suggest_keywords_with(&case.dirty, &cfg));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suggest, bench_ablations);
+criterion_main!(benches);

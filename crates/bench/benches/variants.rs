@@ -1,0 +1,74 @@
+//! Benchmark: FastSS variant generation vs a naïve vocabulary scan
+//! (§V-A — the offline deletion-neighbourhood index is what makes
+//! `var_ε(q)` cheap at query time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xclean_datagen::{generate_dblp, generate_inex, DblpConfig, InexConfig};
+use xclean_fastss::{NaiveVariantFinder, VariantIndex, VariantIndexConfig};
+use xclean_index::CorpusIndex;
+
+fn vocabularies() -> Vec<(&'static str, Vec<String>)> {
+    let dblp = CorpusIndex::build(generate_dblp(&DblpConfig {
+        publications: 5_000,
+        ..Default::default()
+    }));
+    let inex = CorpusIndex::build(generate_inex(&InexConfig {
+        articles: 500,
+        ..Default::default()
+    }));
+    vec![
+        ("dblp", dblp.vocab().terms().to_vec()),
+        ("inex", inex.vocab().terms().to_vec()),
+    ]
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let queries = [
+        "databse", "kyword", "optimizaton", "helth", "anciet", "mountin",
+        "religous", "architcture",
+    ];
+    let mut group = c.benchmark_group("variant_generation");
+    for (name, vocab) in vocabularies() {
+        let idx = VariantIndex::build(&vocab, VariantIndexConfig::default());
+        let naive = NaiveVariantFinder::new(&vocab);
+        group.bench_with_input(
+            BenchmarkId::new("fastss", format!("{name}_{}", vocab.len())),
+            &idx,
+            |b, idx| {
+                b.iter(|| {
+                    for q in queries {
+                        black_box(idx.query(q));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_scan", format!("{name}_{}", vocab.len())),
+            &naive,
+            |b, naive| {
+                b.iter(|| {
+                    for q in queries {
+                        black_box(naive.query(q, 2));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_index_construction(c: &mut Criterion) {
+    let (_, vocab) = vocabularies().swap_remove(0);
+    c.bench_function("fastss_build_dblp_vocab", |b| {
+        b.iter(|| {
+            black_box(VariantIndex::build(
+                &vocab,
+                VariantIndexConfig::default(),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_variants, bench_index_construction);
+criterion_main!(benches);

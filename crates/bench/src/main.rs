@@ -1,0 +1,8 @@
+//! Placeholder binary for the benchmark crate. The real entry points are
+//! the Criterion benches: run `cargo bench -p xclean-bench` (optionally
+//! `-- <filter>`); each bench file maps to one performance table/figure
+//! of the paper (see DESIGN.md §4).
+
+fn main() {
+    eprintln!("run `cargo bench -p xclean-bench` to execute the Criterion benches");
+}

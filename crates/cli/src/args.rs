@@ -1,0 +1,140 @@
+//! Minimal dependency-free argument parsing for the `xclean` binary.
+//!
+//! Supports `--flag value`, `--flag=value`, boolean `--flag`, and
+//! positional arguments, with typed accessors and unknown-flag detection.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: positionals plus `--key value` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Parsing/validation failure with a user-facing message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments. `bool_flags` lists flags that take no value;
+    /// every other `--flag` consumes the next token (or its `=` suffix).
+    pub fn parse<I: IntoIterator<Item = String>>(
+        raw: I,
+        bool_flags: &[&str],
+    ) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut it = raw.into_iter();
+        while let Some(tok) = it.next() {
+            if let Some(flag) = tok.strip_prefix("--") {
+                if let Some((k, v)) = flag.split_once('=') {
+                    out.options.insert(k.to_string(), v.to_string());
+                } else if bool_flags.contains(&flag) {
+                    out.flags.push(flag.to_string());
+                } else {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{flag} expects a value")))?;
+                    out.options.insert(flag.to_string(), v);
+                }
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Whether a boolean flag was passed.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// A typed option with a default.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// Rejects any option/flag not in `known` (catches typos in flags —
+    /// fitting, for a spelling suggester).
+    pub fn reject_unknown(&self, known: &[&str]) -> Result<(), ArgError> {
+        for k in self.options.keys().chain(self.flags.iter()) {
+            if !known.contains(&k.as_str()) {
+                return Err(ArgError(format!("unknown option --{k}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::parse(v.iter().map(|s| s.to_string()), &["verbose"]).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = parse(&["suggest", "data.xml", "--k", "5", "--beta=2.5"]);
+        assert_eq!(a.positional(), ["suggest", "data.xml"]);
+        assert_eq!(a.get("k"), Some("5"));
+        assert_eq!(a.get("beta"), Some("2.5"));
+        assert_eq!(a.get_parsed("k", 10usize).unwrap(), 5);
+        assert_eq!(a.get_parsed("missing", 10usize).unwrap(), 10);
+    }
+
+    #[test]
+    fn bool_flags() {
+        let a = parse(&["--verbose", "cmd"]);
+        assert!(a.has_flag("verbose"));
+        assert_eq!(a.positional(), ["cmd"]);
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        let e = Args::parse(["--k".to_string()], &[]).unwrap_err();
+        assert!(e.0.contains("expects a value"));
+    }
+
+    #[test]
+    fn bad_parse_errors() {
+        let a = parse(&["--k", "abc"]);
+        assert!(a.get_parsed("k", 1usize).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let a = parse(&["--k", "3"]);
+        assert!(a.reject_unknown(&["k"]).is_ok());
+        assert!(a.reject_unknown(&["beta"]).is_err());
+    }
+}

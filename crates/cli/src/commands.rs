@@ -1,0 +1,392 @@
+//! The `xclean` subcommands.
+//!
+//! ```text
+//! xclean index <data.xml> --out index.xci          build & persist an index
+//! xclean suggest <data.xml|index.xci> <query…>     clean a keyword query
+//! xclean stats <data.xml|index.xci>                corpus statistics
+//! xclean generate <dblp|inex> --out corpus.xml     synthetic corpus
+//! ```
+
+use std::io::Write;
+
+use xclean::{Semantics, XCleanConfig, XCleanEngine};
+use xclean_datagen::{generate_dblp, generate_inex, DblpConfig, InexConfig};
+use xclean_index::{storage, CorpusIndex};
+use xclean_xmltree::{parse_document, to_xml, TreeStats};
+
+use crate::args::{ArgError, Args};
+
+/// Outcome of a command: output lines plus an exit code.
+pub struct CmdOutput {
+    /// Lines to print to stdout.
+    pub lines: Vec<String>,
+    /// Process exit code (0 = success).
+    pub code: i32,
+}
+
+impl CmdOutput {
+    fn ok(lines: Vec<String>) -> Self {
+        CmdOutput { lines, code: 0 }
+    }
+
+    fn fail(msg: String) -> Self {
+        CmdOutput {
+            lines: vec![format!("error: {msg}")],
+            code: 2,
+        }
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+xclean — valid spelling suggestions for XML keyword queries (ICDE 2011)
+
+USAGE:
+    xclean index <data.xml> --out <index.xci>
+    xclean suggest <data.xml | index.xci> <query keywords…>
+            [--k N] [--beta B] [--gamma G] [--epsilon E] [--min-depth D]
+            [--semantics node-type|slca|elca] [--phonetic DIST]
+            [--space-edits TAU] [--preview N] [--json]
+    xclean stats <data.xml | index.xci>
+    xclean generate <dblp | inex> --out <corpus.xml> [--size N] [--seed S]
+";
+
+/// Dispatches a full argument vector (without the program name).
+pub fn run(raw: Vec<String>) -> CmdOutput {
+    let Some(cmd) = raw.first().cloned() else {
+        return CmdOutput {
+            lines: vec![USAGE.to_string()],
+            code: 1,
+        };
+    };
+    let rest: Vec<String> = raw[1..].to_vec();
+    let result = match cmd.as_str() {
+        "index" => cmd_index(rest),
+        "suggest" => cmd_suggest(rest),
+        "stats" => cmd_stats(rest),
+        "generate" => cmd_generate(rest),
+        "help" | "--help" | "-h" => {
+            return CmdOutput::ok(vec![USAGE.to_string()]);
+        }
+        other => Err(ArgError(format!("unknown command {other:?}\n{USAGE}"))),
+    };
+    match result {
+        Ok(out) => out,
+        Err(e) => CmdOutput::fail(e.to_string()),
+    }
+}
+
+/// Loads a corpus from either an XML document or a persisted `.xci` index.
+fn load_corpus(path: &str) -> Result<CorpusIndex, ArgError> {
+    if path.ends_with(".xci") {
+        storage::load_from_file(path).map_err(|e| ArgError(format!("{path}: {e}")))
+    } else {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| ArgError(format!("{path}: {e}")))?;
+        let tree = parse_document(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
+        Ok(CorpusIndex::build(tree))
+    }
+}
+
+fn cmd_index(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
+    let args = Args::parse(raw, &[])?;
+    args.reject_unknown(&["out"])?;
+    let [input] = args.positional() else {
+        return Err(ArgError("usage: xclean index <data.xml> --out <index.xci>".into()));
+    };
+    let out = args
+        .get("out")
+        .ok_or_else(|| ArgError("--out <index.xci> is required".into()))?;
+    let corpus = load_corpus(input)?;
+    storage::save_to_file(&corpus, out).map_err(|e| ArgError(e.to_string()))?;
+    let size = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    Ok(CmdOutput::ok(vec![format!(
+        "indexed {} nodes, {} terms → {out} ({:.1} MB)",
+        corpus.tree().len(),
+        corpus.vocab().len(),
+        size as f64 / 1e6
+    )]))
+}
+
+fn cmd_suggest(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
+    let args = Args::parse(raw, &["json"])?;
+    args.reject_unknown(&[
+        "k", "beta", "gamma", "epsilon", "min-depth", "semantics", "phonetic",
+        "space-edits", "json", "preview",
+    ])?;
+    let [input, query @ ..] = args.positional() else {
+        return Err(ArgError("usage: xclean suggest <data> <query…>".into()));
+    };
+    if query.is_empty() {
+        return Err(ArgError("no query keywords given".into()));
+    }
+    let mut config = XCleanConfig {
+        k: args.get_parsed("k", 10usize)?,
+        beta: args.get_parsed("beta", 5.0f64)?,
+        epsilon: args.get_parsed("epsilon", 2usize)?,
+        min_depth: args.get_parsed("min-depth", 2u32)?,
+        ..Default::default()
+    };
+    if let Some(g) = args.get("gamma") {
+        config.gamma = if g == "none" {
+            None
+        } else {
+            Some(
+                g.parse()
+                    .map_err(|_| ArgError(format!("--gamma: cannot parse {g:?}")))?,
+            )
+        };
+    }
+    if let Some(p) = args.get("phonetic") {
+        config.phonetic_distance = Some(
+            p.parse()
+                .map_err(|_| ArgError(format!("--phonetic: cannot parse {p:?}")))?,
+        );
+    }
+    let semantics = match args.get("semantics").unwrap_or("node-type") {
+        "node-type" => Semantics::NodeType,
+        "slca" => Semantics::Slca,
+        "elca" => Semantics::Elca,
+        other => return Err(ArgError(format!("unknown semantics {other:?}"))),
+    };
+    let tau: u32 = args.get_parsed("space-edits", 0u32)?;
+
+    let corpus = load_corpus(input)?;
+    let engine = XCleanEngine::from_corpus(corpus, config).with_semantics(semantics);
+    let query_str = query.join(" ");
+    let response = if tau > 0 {
+        engine.suggest_with_space_edits(&query_str, tau)
+    } else {
+        engine.suggest(&query_str)
+    };
+
+    let mut lines = Vec::new();
+    if args.has_flag("json") {
+        let items: Vec<serde_json::Value> = response
+            .suggestions
+            .iter()
+            .map(|s| {
+                serde_json::json!({
+                    "query": s.query_string(),
+                    "terms": s.terms,
+                    "log_score": s.log_score,
+                    "distances": s.distances,
+                    "entities": s.entity_count,
+                })
+            })
+            .collect();
+        lines.push(serde_json::to_string_pretty(&items).expect("serialisable"));
+    } else if response.suggestions.is_empty() {
+        lines.push("no valid suggestion (no candidate query has results)".to_string());
+    } else {
+        let previews: usize = args.get_parsed("preview", 0usize)?;
+        for (i, s) in response.suggestions.iter().enumerate() {
+            lines.push(format!(
+                "{:>2}. {:<45} score {:>9.3}  entities {:>5}  edits {:?}",
+                i + 1,
+                s.query_string(),
+                s.log_score,
+                s.entity_count,
+                s.distances
+            ));
+            if previews > 0 && i == 0 {
+                for frag in engine.preview(s, previews) {
+                    let short: String = frag.chars().take(160).collect();
+                    lines.push(format!("      ↳ {short}"));
+                }
+            }
+        }
+        lines.push(format!(
+            "[{:?}; {} subtrees, {} postings read / {} skipped]",
+            response.elapsed,
+            response.stats.subtrees,
+            response.stats.postings_read,
+            response.stats.postings_skipped
+        ));
+    }
+    Ok(CmdOutput::ok(lines))
+}
+
+fn cmd_stats(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
+    let args = Args::parse(raw, &[])?;
+    args.reject_unknown(&[])?;
+    let [input] = args.positional() else {
+        return Err(ArgError("usage: xclean stats <data.xml|index.xci>".into()));
+    };
+    let corpus = load_corpus(input)?;
+    let s = TreeStats::compute(corpus.tree());
+    Ok(CmdOutput::ok(vec![
+        format!("size        {:.2} MB", s.size_bytes as f64 / 1e6),
+        format!("nodes       {}", s.node_count),
+        format!("max depth   {}", s.max_depth),
+        format!("avg depth   {:.2}", s.avg_depth),
+        format!("node types  {}", s.distinct_paths),
+        format!("vocabulary  {}", corpus.vocab().len()),
+        format!("tokens      {}", corpus.vocab().total_tokens()),
+        format!("elements    {}", corpus.element_count()),
+    ]))
+}
+
+fn cmd_generate(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
+    let args = Args::parse(raw, &[])?;
+    args.reject_unknown(&["out", "size", "seed"])?;
+    let [kind] = args.positional() else {
+        return Err(ArgError(
+            "usage: xclean generate <dblp|inex> --out <corpus.xml>".into(),
+        ));
+    };
+    let out = args
+        .get("out")
+        .ok_or_else(|| ArgError("--out <corpus.xml> is required".into()))?;
+    let tree = match kind.as_str() {
+        "dblp" => generate_dblp(&DblpConfig {
+            publications: args.get_parsed("size", 20_000usize)?,
+            seed: args.get_parsed("seed", DblpConfig::default().seed)?,
+            ..Default::default()
+        }),
+        "inex" => generate_inex(&InexConfig {
+            articles: args.get_parsed("size", 3_000usize)?,
+            seed: args.get_parsed("seed", InexConfig::default().seed)?,
+            ..Default::default()
+        }),
+        other => return Err(ArgError(format!("unknown dataset {other:?}"))),
+    };
+    let xml = to_xml(&tree);
+    let mut f =
+        std::fs::File::create(out).map_err(|e| ArgError(format!("{out}: {e}")))?;
+    f.write_all(xml.as_bytes())
+        .map_err(|e| ArgError(format!("{out}: {e}")))?;
+    Ok(CmdOutput::ok(vec![format!(
+        "wrote {} ({} nodes, {:.1} MB)",
+        out,
+        tree.len(),
+        xml.len() as f64 / 1e6
+    )]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("xclean_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn argv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn write_sample_xml(name: &str) -> String {
+        let path = tmp(name);
+        std::fs::write(
+            &path,
+            "<db><rec><t>health insurance</t></rec><rec><t>program instance</t></rec></db>",
+        )
+        .unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = run(vec![]);
+        assert_eq!(out.code, 1);
+        assert!(out.lines[0].contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        let out = run(argv(&["frobnicate"]));
+        assert_eq!(out.code, 2);
+    }
+
+    #[test]
+    fn suggest_from_xml() {
+        let xml = write_sample_xml("suggest.xml");
+        let out = run(argv(&["suggest", &xml, "helth", "insurance"]));
+        assert_eq!(out.code, 0, "{:?}", out.lines);
+        assert!(out.lines[0].contains("health insurance"), "{:?}", out.lines);
+    }
+
+    #[test]
+    fn suggest_json_output() {
+        let xml = write_sample_xml("suggest_json.xml");
+        let out = run(argv(&["suggest", &xml, "helth", "insurance", "--json"]));
+        assert_eq!(out.code, 0);
+        let v: serde_json::Value = serde_json::from_str(&out.lines[0]).unwrap();
+        assert_eq!(v[0]["query"], "health insurance");
+        assert!(v[0]["entities"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn index_then_suggest_from_index() {
+        let xml = write_sample_xml("roundtrip.xml");
+        let idx = tmp("roundtrip.xci").to_string_lossy().into_owned();
+        let out = run(argv(&["index", &xml, "--out", &idx]));
+        assert_eq!(out.code, 0, "{:?}", out.lines);
+        let out = run(argv(&["suggest", &idx, "helth", "insurance"]));
+        assert_eq!(out.code, 0);
+        assert!(out.lines[0].contains("health insurance"));
+    }
+
+    #[test]
+    fn stats_command() {
+        let xml = write_sample_xml("stats.xml");
+        let out = run(argv(&["stats", &xml]));
+        assert_eq!(out.code, 0);
+        assert!(out.lines.iter().any(|l| l.starts_with("nodes")));
+        assert!(out.lines.iter().any(|l| l.contains("vocabulary")));
+    }
+
+    #[test]
+    fn generate_and_stat() {
+        let path = tmp("gen.xml").to_string_lossy().into_owned();
+        let out = run(argv(&["generate", "dblp", "--out", &path, "--size", "50"]));
+        assert_eq!(out.code, 0, "{:?}", out.lines);
+        let out = run(argv(&["stats", &path]));
+        assert_eq!(out.code, 0);
+    }
+
+    #[test]
+    fn semantics_and_config_flags() {
+        let xml = write_sample_xml("flags.xml");
+        for sem in ["node-type", "slca", "elca"] {
+            let out = run(argv(&[
+                "suggest", &xml, "helth", "insurance", "--semantics", sem, "--k", "3",
+                "--gamma", "none", "--beta", "4",
+            ]));
+            assert_eq!(out.code, 0, "{sem}: {:?}", out.lines);
+            assert!(out.lines[0].contains("health insurance"), "{sem}");
+        }
+    }
+
+    #[test]
+    fn preview_flag_prints_fragments() {
+        let xml = write_sample_xml("preview.xml");
+        let out = run(argv(&["suggest", &xml, "helth", "insurance", "--preview", "2"]));
+        assert_eq!(out.code, 0, "{:?}", out.lines);
+        assert!(
+            out.lines.iter().any(|l| l.contains("↳") && l.contains("health insurance")),
+            "{:?}",
+            out.lines
+        );
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        let xml = write_sample_xml("bad.xml");
+        let out = run(argv(&["suggest", &xml, "x", "--nonsense", "1"]));
+        assert_eq!(out.code, 2);
+        assert!(out.lines[0].contains("unknown option"));
+        let out = run(argv(&["suggest", &xml, "x", "--semantics", "weird"]));
+        assert_eq!(out.code, 2);
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let out = run(argv(&["stats", "/nonexistent/file.xml"]));
+        assert_eq!(out.code, 2);
+        assert!(out.lines[0].contains("error"));
+    }
+}

@@ -1,0 +1,15 @@
+//! `xclean` — command-line interface to the XClean suggestion engine.
+//!
+//! Run `xclean help` for usage.
+
+mod args;
+mod commands;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let out = commands::run(raw);
+    for line in &out.lines {
+        println!("{line}");
+    }
+    std::process::exit(out.code);
+}

@@ -1,0 +1,34 @@
+//! # xclean-datagen
+//!
+//! Synthetic substitutes for the paper's evaluation resources (§VII-A),
+//! since the DBLP May-2009 snapshot, the INEX 2008 Wikipedia collection,
+//! and its official topics are not redistributable here. See DESIGN.md §3
+//! for the substitution rationale.
+//!
+//! * [`generate_dblp`] — shallow, data-centric bibliography records with
+//!   Zipfian CS vocabulary;
+//! * [`generate_inex`] — deep, document-centric encyclopedia articles
+//!   with a several-times-larger vocabulary;
+//! * [`make_workload`] — entity-coherent CLEAN query sets and their RAND
+//!   (random edit) and RULE (common-misspelling) dirty derivatives;
+//! * [`misspellings::COMMON_MISSPELLINGS`] — the embedded Wikipedia/Aspell
+//!   misspelling table used by RULE and by the search-engine baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dblp;
+pub mod inex;
+pub mod misspellings;
+pub mod noise;
+pub mod words;
+pub mod workload;
+pub mod zipf;
+
+pub use dblp::{generate_dblp, DblpConfig};
+pub use inex::{generate_inex, InexConfig};
+pub use misspellings::{misspellings_of, rule_misspell, COMMON_MISSPELLINGS};
+pub use workload::{
+    make_workload, Perturbation, QueryCase, QuerySet, WorkloadSpec,
+};
+pub use zipf::Zipf;

@@ -1,0 +1,394 @@
+//! Common human misspellings (the RULE error source, §VII-A).
+//!
+//! The paper perturbs queries with Wikipedia's editor-maintained "list of
+//! common misspellings" (also used by Aspell). We embed a table of real
+//! pairs from that public-domain list, and complement it with *cognitive
+//! misspelling rules* (vowel confusion, consonant doubling, suffix
+//! confusion, transposition) so that any vocabulary word can receive a
+//! human-like misspelling. Rule-generated errors have larger average edit
+//! distance than single random edits — the property §VII-D credits for
+//! RULE queries being slower to clean.
+
+use rand::Rng;
+
+/// `(misspelling, correction)` pairs from the Wikipedia/Aspell common
+/// misspellings list (a representative public-domain subset).
+pub const COMMON_MISSPELLINGS: &[(&str, &str)] = &[
+    ("abandonned", "abandoned"),
+    ("aberation", "aberration"),
+    ("abilityes", "abilities"),
+    ("abreviation", "abbreviation"),
+    ("acadamy", "academy"),
+    ("accademic", "academic"),
+    ("accesible", "accessible"),
+    ("accomodate", "accommodate"),
+    ("acheive", "achieve"),
+    ("acheivement", "achievement"),
+    ("acknowlege", "acknowledge"),
+    ("acording", "according"),
+    ("acquaintence", "acquaintance"),
+    ("adress", "address"),
+    ("agression", "aggression"),
+    ("agressive", "aggressive"),
+    ("alchohol", "alcohol"),
+    ("algoritm", "algorithm"),
+    ("algorithem", "algorithm"),
+    ("alot", "allot"),
+    ("ammount", "amount"),
+    ("anual", "annual"),
+    ("apparant", "apparent"),
+    ("appearence", "appearance"),
+    ("arbitary", "arbitrary"),
+    ("archetecture", "architecture"),
+    ("archaelogy", "archaeology"),
+    ("assasination", "assassination"),
+    ("athiest", "atheist"),
+    ("availble", "available"),
+    ("avalable", "available"),
+    ("basicly", "basically"),
+    ("begining", "beginning"),
+    ("beleive", "believe"),
+    ("belive", "believe"),
+    ("benifit", "benefit"),
+    ("bouddhist", "buddhist"),
+    ("brillant", "brilliant"),
+    ("buisness", "business"),
+    ("calender", "calendar"),
+    ("catagory", "category"),
+    ("cemetary", "cemetery"),
+    ("changable", "changeable"),
+    ("charactor", "character"),
+    ("cheif", "chief"),
+    ("collegue", "colleague"),
+    ("comming", "coming"),
+    ("commitee", "committee"),
+    ("comparision", "comparison"),
+    ("compatability", "compatibility"),
+    ("completly", "completely"),
+    ("concious", "conscious"),
+    ("condidtion", "condition"),
+    ("consciencious", "conscientious"),
+    ("concensus", "consensus"),
+    ("contructed", "constructed"),
+    ("continous", "continuous"),
+    ("controll", "control"),
+    ("comittee", "committee"),
+    ("critisism", "criticism"),
+    ("definately", "definitely"),
+    ("definiton", "definition"),
+    ("delimeter", "delimiter"),
+    ("dependancy", "dependency"),
+    ("desgin", "design"),
+    ("determin", "determine"),
+    ("developement", "development"),
+    ("diffrent", "different"),
+    ("dictionnary", "dictionary"),
+    ("dissapear", "disappear"),
+    ("docuemnt", "document"),
+    ("documnet", "document"),
+    ("ecomonic", "economic"),
+    ("efficency", "efficiency"),
+    ("eligable", "eligible"),
+    ("embarass", "embarrass"),
+    ("enviroment", "environment"),
+    ("equiped", "equipped"),
+    ("exagerate", "exaggerate"),
+    ("exellent", "excellent"),
+    ("existance", "existence"),
+    ("experiance", "experience"),
+    ("explaination", "explanation"),
+    ("familar", "familiar"),
+    ("feild", "field"),
+    ("finaly", "finally"),
+    ("foriegn", "foreign"),
+    ("fourty", "forty"),
+    ("foward", "forward"),
+    ("freind", "friend"),
+    ("futher", "further"),
+    ("gerat", "great"),
+    ("goverment", "government"),
+    ("gaurd", "guard"),
+    ("garantee", "guarantee"),
+    ("guidence", "guidance"),
+    ("harrass", "harass"),
+    ("heigth", "height"),
+    ("heirarchy", "hierarchy"),
+    ("hieght", "height"),
+    ("historicians", "historians"),
+    ("humerous", "humorous"),
+    ("hygeine", "hygiene"),
+    ("identicle", "identical"),
+    ("immediatly", "immediately"),
+    ("independant", "independent"),
+    ("indispensible", "indispensable"),
+    ("infomation", "information"),
+    ("inteligence", "intelligence"),
+    ("intresting", "interesting"),
+    ("irrelevent", "irrelevant"),
+    ("knowlege", "knowledge"),
+    ("labratory", "laboratory"),
+    ("lenght", "length"),
+    ("liason", "liaison"),
+    ("libary", "library"),
+    ("lisence", "license"),
+    ("maintainance", "maintenance"),
+    ("maintenence", "maintenance"),
+    ("managment", "management"),
+    ("manuever", "maneuver"),
+    ("medcine", "medicine"),
+    ("milennium", "millennium"),
+    ("miniture", "miniature"),
+    ("miscelaneous", "miscellaneous"),
+    ("mispell", "misspell"),
+    ("neccessary", "necessary"),
+    ("necesary", "necessary"),
+    ("negotation", "negotiation"),
+    ("nieghbor", "neighbor"),
+    ("noticable", "noticeable"),
+    ("occured", "occurred"),
+    ("occurence", "occurrence"),
+    ("offical", "official"),
+    ("oppurtunity", "opportunity"),
+    ("orginal", "original"),
+    ("paralel", "parallel"),
+    ("parliment", "parliament"),
+    ("performence", "performance"),
+    ("perseverence", "perseverance"),
+    ("persistant", "persistent"),
+    ("personel", "personnel"),
+    ("posession", "possession"),
+    ("potatos", "potatoes"),
+    ("prefered", "preferred"),
+    ("presense", "presence"),
+    ("privelege", "privilege"),
+    ("probablity", "probability"),
+    ("proccess", "process"),
+    ("proffesional", "professional"),
+    ("promiss", "promise"),
+    ("pronounciation", "pronunciation"),
+    ("publically", "publicly"),
+    ("quantaty", "quantity"),
+    ("recieve", "receive"),
+    ("recomend", "recommend"),
+    ("refered", "referred"),
+    ("relevent", "relevant"),
+    ("religous", "religious"),
+    ("repitition", "repetition"),
+    ("resistence", "resistance"),
+    ("responce", "response"),
+    ("restaraunt", "restaurant"),
+    ("rythm", "rhythm"),
+    ("scedule", "schedule"),
+    ("seige", "siege"),
+    ("seperate", "separate"),
+    ("sieze", "seize"),
+    ("similiar", "similar"),
+    ("simpley", "simply"),
+    ("sincerly", "sincerely"),
+    ("speach", "speech"),
+    ("stategy", "strategy"),
+    ("succesful", "successful"),
+    ("successfull", "successful"),
+    ("sucess", "success"),
+    ("supercede", "supersede"),
+    ("suprise", "surprise"),
+    ("temperture", "temperature"),
+    ("tommorow", "tomorrow"),
+    ("tounge", "tongue"),
+    ("transfered", "transferred"),
+    ("truely", "truly"),
+    ("unforseen", "unforeseen"),
+    ("unfortunatly", "unfortunately"),
+    ("untill", "until"),
+    ("usualy", "usually"),
+    ("vaccum", "vacuum"),
+    ("vegatarian", "vegetarian"),
+    ("vehical", "vehicle"),
+    ("verfication", "verification"),
+    ("visable", "visible"),
+    ("volontary", "voluntary"),
+    ("wierd", "weird"),
+    ("wich", "which"),
+    ("writting", "writing"),
+];
+
+/// Looks up known misspelt forms of a (correct) word.
+pub fn misspellings_of(word: &str) -> Vec<&'static str> {
+    COMMON_MISSPELLINGS
+        .iter()
+        .filter(|&&(_, c)| c == word)
+        .map(|&(m, _)| m)
+        .collect()
+}
+
+/// Applies one random *cognitive* misspelling rule to `word`, producing a
+/// human-like error. Returns `None` when no rule applies (very short or
+/// rule-resistant words).
+pub fn rule_misspell<R: Rng + ?Sized>(word: &str, rng: &mut R) -> Option<String> {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() < 4 {
+        return None;
+    }
+    // Collect all applicable rewrites, then pick one at random; this keeps
+    // the error distribution diverse instead of biased to the first rule.
+    let mut options: Vec<String> = Vec::new();
+
+    // Suffix confusions (often edit distance ≥ 2 from the original).
+    const SUFFIX_SWAPS: &[(&str, &str)] = &[
+        ("tion", "sion"),
+        ("ance", "ence"),
+        ("ence", "ance"),
+        ("able", "ible"),
+        ("ible", "able"),
+        ("ally", "aly"),
+        ("iously", "ously"),
+        ("ieve", "eive"),
+    ];
+    for &(from, to) in SUFFIX_SWAPS {
+        if let Some(stem) = word.strip_suffix(from) {
+            options.push(format!("{stem}{to}"));
+        }
+    }
+    // ie ↔ ei confusion anywhere.
+    if let Some(i) = word.find("ie") {
+        options.push(format!("{}ei{}", &word[..i], &word[i + 2..]));
+    }
+    if let Some(i) = word.find("ei") {
+        options.push(format!("{}ie{}", &word[..i], &word[i + 2..]));
+    }
+    // Doubled consonant reduced, or single consonant doubled.
+    for i in 0..chars.len() - 1 {
+        if chars[i] == chars[i + 1] && !is_vowel(chars[i]) {
+            let mut c = chars.clone();
+            c.remove(i);
+            options.push(c.into_iter().collect());
+            break;
+        }
+    }
+    for (i, &ch) in chars.iter().enumerate().skip(1) {
+        if !is_vowel(ch)
+            && i + 1 < chars.len()
+            && chars[i - 1] != ch
+            && chars[i + 1] != ch
+            && is_vowel(chars[i - 1])
+        {
+            let mut c = chars.clone();
+            c.insert(i, ch);
+            options.push(c.into_iter().collect());
+            break;
+        }
+    }
+    // Unstressed vowel confusion (a/e/i swaps mid-word).
+    for (i, &ch) in chars.iter().enumerate().skip(1) {
+        if i + 1 < chars.len() && is_vowel(ch) {
+            let repl = match ch {
+                'a' => 'e',
+                'e' => 'a',
+                'i' => 'e',
+                'o' => 'u',
+                'u' => 'o',
+                _ => continue,
+            };
+            let mut c = chars.clone();
+            c[i] = repl;
+            options.push(c.into_iter().collect());
+            break;
+        }
+    }
+    // Adjacent transposition (typing-order error).
+    if chars.len() >= 5 {
+        let i = 1 + (rng.gen_range(0..chars.len() - 2));
+        if chars[i] != chars[i + 1] {
+            let mut c = chars.clone();
+            c.swap(i, i + 1);
+            options.push(c.into_iter().collect());
+        }
+    }
+
+    options.retain(|o| o != word);
+    if options.is_empty() {
+        None
+    } else {
+        let i = rng.gen_range(0..options.len());
+        Some(options.swap_remove(i))
+    }
+}
+
+fn is_vowel(c: char) -> bool {
+    matches!(c, 'a' | 'e' | 'i' | 'o' | 'u')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xclean_fastss::edit_distance;
+
+    #[test]
+    fn table_is_well_formed() {
+        assert!(COMMON_MISSPELLINGS.len() >= 150);
+        for &(m, c) in COMMON_MISSPELLINGS {
+            assert_ne!(m, c);
+            assert!(m.chars().all(|ch| ch.is_ascii_lowercase()));
+            assert!(c.chars().all(|ch| ch.is_ascii_lowercase()));
+            // Human misspellings are close but not necessarily 1 edit.
+            let d = edit_distance(m, c);
+            assert!((1..=4).contains(&d), "{m} vs {c}: distance {d}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_correction() {
+        let ms = misspellings_of("committee");
+        assert!(ms.contains(&"commitee"));
+        assert!(ms.contains(&"comittee"));
+        assert!(misspellings_of("nonexistentword").is_empty());
+    }
+
+    #[test]
+    fn rule_misspell_produces_close_nonidentical_words() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for w in [
+            "architecture", "information", "performance", "believe",
+            "parallel", "separate", "history", "probability",
+        ] {
+            for _ in 0..20 {
+                if let Some(m) = rule_misspell(w, &mut rng) {
+                    assert_ne!(m, w);
+                    let d = edit_distance(&m, w);
+                    assert!((1..=3).contains(&d), "{w} → {m}: distance {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rule_misspell_short_words_are_skipped() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(rule_misspell("abc", &mut rng), None);
+    }
+
+    #[test]
+    fn rule_distances_exceed_rand_on_average() {
+        // RULE errors should average a larger edit distance than 1 (the
+        // RAND default), since suffix confusions cost ≥ 2.
+        let mut rng = StdRng::seed_from_u64(5);
+        let words = [
+            "optimization", "classification", "appearance", "existence",
+            "available", "noticeable", "achievement", "information",
+        ];
+        let mut total = 0usize;
+        let mut n = 0usize;
+        for w in words {
+            for _ in 0..50 {
+                if let Some(m) = rule_misspell(w, &mut rng) {
+                    total += edit_distance(&m, w);
+                    n += 1;
+                }
+            }
+        }
+        let avg = total as f64 / n as f64;
+        assert!(avg > 1.0, "average distance {avg}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Rare-token noise for the synthetic corpora.
+//!
+//! Real DBLP/Wikipedia vocabularies carry a long tail of rare tokens that
+//! sit edit-close to common words: residual typos (the paper's
+//! `verfication` footnote), rare surnames, transliterations, identifiers.
+//! This tail is what makes query cleaning *hard* — a dirty keyword has
+//! several plausible variants, and a scorer biased toward rare tokens
+//! (PY08, §II) gets pulled away from the intended word. The generators
+//! inject that tail by occasionally emitting a randomly mutated form of
+//! the sampled word.
+
+use rand::Rng;
+
+/// Produces a mutated form of `word`: 1–2 random character edits
+/// (insert/delete/substitute of ASCII lowercase letters). The result can
+/// coincide with another vocabulary word — exactly as real junk sometimes
+/// does.
+pub fn mutate_token<R: Rng + ?Sized>(word: &str, rng: &mut R) -> String {
+    loop {
+        let m = mutate_once(word, rng);
+        if m != word {
+            return m;
+        }
+    }
+}
+
+fn mutate_once<R: Rng + ?Sized>(word: &str, rng: &mut R) -> String {
+    let mut chars: Vec<char> = word.chars().collect();
+    let edits = 1 + usize::from(rng.gen_bool(0.3));
+    for _ in 0..edits {
+        if chars.is_empty() {
+            chars.push(random_letter(rng));
+            continue;
+        }
+        match rng.gen_range(0..3u8) {
+            0 => {
+                let pos = rng.gen_range(0..=chars.len());
+                chars.insert(pos, random_letter(rng));
+            }
+            1 if chars.len() > 3 => {
+                let pos = rng.gen_range(0..chars.len());
+                chars.remove(pos);
+            }
+            _ => {
+                let pos = rng.gen_range(0..chars.len());
+                chars[pos] = random_letter(rng);
+            }
+        }
+    }
+    chars.into_iter().collect()
+}
+
+fn random_letter<R: Rng + ?Sized>(rng: &mut R) -> char {
+    (b'a' + rng.gen_range(0..26)) as char
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xclean_fastss::edit_distance;
+
+    #[test]
+    fn mutations_stay_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let m = mutate_token("database", &mut rng);
+            let d = edit_distance(&m, "database");
+            assert!((1..=2).contains(&d), "database → {m} (d={d})");
+        }
+    }
+
+    #[test]
+    fn short_words_never_shrink_below_three() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let m = mutate_token("icde", &mut rng);
+            assert!(m.chars().count() >= 3, "{m}");
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Query workload construction (§VII-A).
+//!
+//! Mirrors the paper's three-step procedure: (1) build *clean* initial
+//! queries whose keywords co-occur inside one entity (so the ground truth
+//! provably has results); (2) derive *dirty* queries via RAND (random edit
+//! operations, guaranteed out-of-vocabulary, short tokens spared) or RULE
+//! (common human misspellings, larger average distance); (3) keep the
+//! clean query as ground truth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xclean_index::CorpusIndex;
+
+use crate::misspellings::{misspellings_of, rule_misspell};
+
+/// How dirty queries are derived from clean ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perturbation {
+    /// No perturbation — the positive control set.
+    Clean,
+    /// Random edit operations per keyword (the paper's RAND): results are
+    /// forced out of the vocabulary and tokens of length ≤ 4 are spared.
+    Rand,
+    /// Common human misspellings (the paper's RULE): table lookups first,
+    /// cognitive rules otherwise; average edit distance exceeds RAND's.
+    Rule,
+}
+
+impl Perturbation {
+    /// Display name matching the paper's query-set naming.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Perturbation::Clean => "CLEAN",
+            Perturbation::Rand => "RAND",
+            Perturbation::Rule => "RULE",
+        }
+    }
+}
+
+/// One evaluation query.
+#[derive(Debug, Clone)]
+pub struct QueryCase {
+    /// The (possibly dirty) query presented to the system.
+    pub dirty: Vec<String>,
+    /// The clean query the user intended (the ground truth).
+    pub clean: Vec<String>,
+}
+
+impl QueryCase {
+    /// The dirty query as a string.
+    pub fn dirty_string(&self) -> String {
+        self.dirty.join(" ")
+    }
+
+    /// The ground-truth query as a string.
+    pub fn clean_string(&self) -> String {
+        self.clean.join(" ")
+    }
+}
+
+/// A named set of evaluation queries (e.g. `DBLP-RAND`).
+#[derive(Debug, Clone)]
+pub struct QuerySet {
+    /// Set name, e.g. `INEX-RULE`.
+    pub name: String,
+    /// Which perturbation produced it.
+    pub perturbation: Perturbation,
+    /// The queries.
+    pub cases: Vec<QueryCase>,
+}
+
+/// Parameters of workload generation.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of queries to produce.
+    pub n_queries: usize,
+    /// Minimum keywords per query.
+    pub min_len: usize,
+    /// Maximum keywords per query.
+    pub max_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Perturbation applied to the clean queries.
+    pub perturbation: Perturbation,
+    /// Dataset tag used in the set name (e.g. `DBLP`).
+    pub dataset: String,
+}
+
+impl WorkloadSpec {
+    /// The paper's DBLP workload: 49 hand-picked 2–3 keyword queries.
+    pub fn dblp(perturbation: Perturbation) -> Self {
+        WorkloadSpec {
+            n_queries: 49,
+            min_len: 2,
+            max_len: 3,
+            seed: 0xACD_FE11,
+            perturbation,
+            dataset: "DBLP".to_string(),
+        }
+    }
+
+    /// The paper's INEX workload: 285 topics with average length 2.5
+    /// (1–7 keywords).
+    pub fn inex(perturbation: Perturbation) -> Self {
+        WorkloadSpec {
+            n_queries: 285,
+            min_len: 1,
+            max_len: 5,
+            seed: 0x1e8_2008,
+            perturbation,
+            dataset: "INEX".to_string(),
+        }
+    }
+}
+
+/// Builds a query set over `corpus` according to `spec`.
+///
+/// Clean queries are sampled entity-coherently: each query's keywords are
+/// distinct tokens from the subtree of one child of the root (a
+/// publication record / article), with at least one keyword of length ≥ 5
+/// so RAND has something to perturb.
+pub fn make_workload(corpus: &CorpusIndex, spec: &WorkloadSpec) -> QuerySet {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let tree = corpus.tree();
+    let entities: Vec<_> = tree.children(tree.root()).collect();
+    assert!(!entities.is_empty(), "corpus has no entities under the root");
+    let tokenizer = corpus.tokenizer().clone();
+
+    let mut cases = Vec::with_capacity(spec.n_queries);
+    let mut attempts = 0usize;
+    while cases.len() < spec.n_queries && attempts < spec.n_queries * 200 {
+        attempts += 1;
+        let entity = entities[rng.gen_range(0..entities.len())];
+        // Collect distinct tokens of this entity.
+        let mut tokens: Vec<String> = Vec::new();
+        for n in tree.subtree(entity) {
+            if let Some(t) = tree.text(n) {
+                tokenizer.for_each_token(t, |tok| tokens.push(tok.to_string()));
+            }
+        }
+        tokens.sort_unstable();
+        tokens.dedup();
+        if tokens.is_empty() {
+            continue;
+        }
+        let len = rng
+            .gen_range(spec.min_len..=spec.max_len)
+            .min(tokens.len());
+        // Sample `len` distinct tokens.
+        let mut clean: Vec<String> = Vec::with_capacity(len);
+        let mut pool = tokens;
+        for _ in 0..len {
+            let i = rng.gen_range(0..pool.len());
+            clean.push(pool.swap_remove(i));
+        }
+        if !clean.iter().any(|t| t.chars().count() >= 5) {
+            continue; // need at least one perturbable keyword
+        }
+        let dirty = match spec.perturbation {
+            Perturbation::Clean => clean.clone(),
+            Perturbation::Rand => clean
+                .iter()
+                .map(|k| rand_perturb(k, corpus, &mut rng).unwrap_or_else(|| k.clone()))
+                .collect(),
+            Perturbation::Rule => clean
+                .iter()
+                .map(|k| rule_perturb(k, corpus, &mut rng).unwrap_or_else(|| k.clone()))
+                .collect(),
+        };
+        // For dirty sets, require that at least one keyword changed.
+        if spec.perturbation != Perturbation::Clean && dirty == clean {
+            continue;
+        }
+        cases.push(QueryCase { dirty, clean });
+    }
+    QuerySet {
+        name: format!("{}-{}", spec.dataset, spec.perturbation.label()),
+        perturbation: spec.perturbation,
+        cases,
+    }
+}
+
+/// RAND perturbation of one keyword: a single random edit, retried until
+/// the result is out of the vocabulary (the paper's rule 1), skipping
+/// tokens of length ≤ 4 (rule 2).
+pub fn rand_perturb(keyword: &str, corpus: &CorpusIndex, rng: &mut StdRng) -> Option<String> {
+    if keyword.chars().count() <= 4 {
+        return None;
+    }
+    for _ in 0..30 {
+        let cand = random_edit(keyword, rng);
+        if corpus.vocab().get(&cand).is_none() && cand != keyword {
+            return Some(cand);
+        }
+    }
+    None
+}
+
+/// RULE perturbation: misspelling-table lookup first, cognitive rules
+/// otherwise; the result must be out of the vocabulary.
+pub fn rule_perturb(keyword: &str, corpus: &CorpusIndex, rng: &mut StdRng) -> Option<String> {
+    let known = misspellings_of(keyword);
+    if !known.is_empty() {
+        let pick = known[rng.gen_range(0..known.len())].to_string();
+        if corpus.vocab().get(&pick).is_none() {
+            return Some(pick);
+        }
+    }
+    for _ in 0..30 {
+        let cand = rule_misspell(keyword, rng)?;
+        if corpus.vocab().get(&cand).is_none() && cand != keyword {
+            return Some(cand);
+        }
+    }
+    None
+}
+
+/// Applies one random insertion, deletion, or substitution of an ASCII
+/// letter.
+fn random_edit(word: &str, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = word.chars().collect();
+    let letter = || (b'a' + rand::random::<u8>() % 26) as char;
+    match rng.gen_range(0..3) {
+        0 => {
+            // insertion
+            let pos = rng.gen_range(0..=chars.len());
+            let c = (b'a' + rng.gen_range(0..26)) as char;
+            chars.insert(pos, c);
+        }
+        1 => {
+            // deletion
+            let pos = rng.gen_range(0..chars.len());
+            chars.remove(pos);
+        }
+        _ => {
+            // substitution
+            let pos = rng.gen_range(0..chars.len());
+            let mut c = (b'a' + rng.gen_range(0..26)) as char;
+            while c == chars[pos] {
+                c = (b'a' + rng.gen_range(0..26)) as char;
+            }
+            chars[pos] = c;
+        }
+    }
+    let _ = letter;
+    chars.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dblp::{generate_dblp, DblpConfig};
+    use xclean_fastss::edit_distance;
+
+    fn corpus() -> CorpusIndex {
+        CorpusIndex::build(generate_dblp(&DblpConfig {
+            publications: 500,
+            seed: 3,
+            ..Default::default()
+        }))
+    }
+
+    #[test]
+    fn clean_workload_has_requested_size_and_coherence() {
+        let c = corpus();
+        let ws = make_workload(
+            &c,
+            &WorkloadSpec {
+                n_queries: 30,
+                min_len: 2,
+                max_len: 3,
+                seed: 5,
+                perturbation: Perturbation::Clean,
+                dataset: "DBLP".into(),
+            },
+        );
+        assert_eq!(ws.name, "DBLP-CLEAN");
+        assert_eq!(ws.cases.len(), 30);
+        for case in &ws.cases {
+            assert_eq!(case.dirty, case.clean);
+            // All keywords are in the vocabulary (they came from it).
+            for k in &case.clean {
+                assert!(c.vocab().get(k).is_some(), "{k} not in vocab");
+            }
+        }
+    }
+
+    #[test]
+    fn rand_workload_produces_oov_dirty_tokens() {
+        let c = corpus();
+        let ws = make_workload(&c, &WorkloadSpec {
+            n_queries: 25,
+            min_len: 2,
+            max_len: 3,
+            seed: 11,
+            perturbation: Perturbation::Rand,
+            dataset: "DBLP".into(),
+        });
+        assert_eq!(ws.cases.len(), 25);
+        for case in &ws.cases {
+            assert_ne!(case.dirty, case.clean);
+            for (d, cl) in case.dirty.iter().zip(case.clean.iter()) {
+                if d != cl {
+                    assert!(c.vocab().get(d).is_none(), "dirty token {d} in vocab");
+                    assert_eq!(edit_distance(d, cl), 1, "{cl} → {d}");
+                    assert!(cl.chars().count() >= 5, "short token {cl} perturbed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rule_workload_has_larger_distances_on_average() {
+        let c = corpus();
+        let mk = |p| {
+            make_workload(&c, &WorkloadSpec {
+                n_queries: 40,
+                min_len: 2,
+                max_len: 3,
+                seed: 13,
+                perturbation: p,
+                dataset: "DBLP".into(),
+            })
+        };
+        let rand = mk(Perturbation::Rand);
+        let rule = mk(Perturbation::Rule);
+        let avg = |ws: &QuerySet| {
+            let (mut total, mut n) = (0usize, 0usize);
+            for case in &ws.cases {
+                for (d, cl) in case.dirty.iter().zip(case.clean.iter()) {
+                    if d != cl {
+                        total += edit_distance(d, cl);
+                        n += 1;
+                    }
+                }
+            }
+            total as f64 / n as f64
+        };
+        assert!(!rule.cases.is_empty());
+        assert!(avg(&rule) >= avg(&rand), "{} vs {}", avg(&rule), avg(&rand));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = corpus();
+        let spec = WorkloadSpec {
+            n_queries: 10,
+            min_len: 2,
+            max_len: 3,
+            seed: 21,
+            perturbation: Perturbation::Rand,
+            dataset: "DBLP".into(),
+        };
+        let a = make_workload(&c, &spec);
+        let b = make_workload(&c, &spec);
+        for (x, y) in a.cases.iter().zip(b.cases.iter()) {
+            assert_eq!(x.dirty, y.dirty);
+            assert_eq!(x.clean, y.clean);
+        }
+    }
+
+    #[test]
+    fn keywords_come_from_one_entity() {
+        // Coherence: every clean query's keywords co-occur in at least one
+        // child-of-root subtree.
+        let c = corpus();
+        let ws = make_workload(&c, &WorkloadSpec {
+            n_queries: 15,
+            min_len: 2,
+            max_len: 3,
+            seed: 2,
+            perturbation: Perturbation::Clean,
+            dataset: "DBLP".into(),
+        });
+        let tree = c.tree();
+        for case in &ws.cases {
+            let found = tree.children(tree.root()).any(|e| {
+                case.clean.iter().all(|k| {
+                    tree.subtree(e).any(|n| {
+                        tree.text(n)
+                            .map(|t| c.tokenizer().tokenize(t).iter().any(|x| x == k))
+                            .unwrap_or(false)
+                    })
+                })
+            });
+            assert!(found, "query {:?} not entity-coherent", case.clean);
+        }
+    }
+}

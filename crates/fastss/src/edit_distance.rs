@@ -1,0 +1,196 @@
+//! Levenshtein edit distance with threshold-aware (banded) computation.
+//!
+//! The paper's error model (§IV-B1) and variant generation (§V-A) are both
+//! defined over the standard edit distance with unit-cost insertions,
+//! deletions, and substitutions.
+
+/// Computes the full Levenshtein distance between `a` and `b`.
+///
+/// Runs in `O(|a|·|b|)` time and `O(min(|a|,|b|))` space. Operates on
+/// Unicode scalar values, so `ed("schütze", "schutze") == 1`.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    edit_distance_chars(&a, &b)
+}
+
+fn edit_distance_chars(a: &[char], b: &[char]) -> usize {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Tests whether `ed(a, b) <= max`, using a banded dynamic program that
+/// runs in `O(max · min(|a|,|b|))` time. Returns the exact distance when it
+/// is within the bound, `None` otherwise.
+pub fn edit_distance_within(a: &str, b: &str, max: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    edit_distance_within_chars(&a, &b, max)
+}
+
+fn edit_distance_within_chars(a: &[char], b: &[char], max: usize) -> Option<usize> {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if long.len() - short.len() > max {
+        return None;
+    }
+    if short.is_empty() {
+        return Some(long.len());
+    }
+    const BIG: usize = usize::MAX / 2;
+    // Band of width 2*max+1 around the diagonal.
+    let n = short.len();
+    let mut prev = vec![BIG; n + 1];
+    let mut cur = vec![BIG; n + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(max.min(n) + 1) {
+        *p = j;
+    }
+    for (i, &lc) in long.iter().enumerate() {
+        let row = i + 1;
+        let lo = row.saturating_sub(max);
+        let hi = (row + max).min(n);
+        if lo > hi {
+            return None;
+        }
+        cur[lo.saturating_sub(1)] = BIG;
+        if lo == 0 {
+            cur[0] = row;
+        } else {
+            cur[lo - 1] = BIG;
+        }
+        let mut best = BIG;
+        let start = lo.max(1);
+        for j in start..=hi {
+            let cost = usize::from(lc != short[j - 1]);
+            let diag = prev[j - 1].saturating_add(cost);
+            let up = prev[j].saturating_add(1);
+            let left = cur[j - 1].saturating_add(1);
+            let v = diag.min(up).min(left);
+            cur[j] = v;
+            best = best.min(v);
+        }
+        if lo == 0 {
+            best = best.min(cur[0]);
+        }
+        if best > max {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[n];
+    (d <= max).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("insurance", "instance"), 2);
+        assert_eq!(edit_distance("icdt", "icde"), 1);
+        assert_eq!(edit_distance("tree", "trie"), 1);
+        assert_eq!(edit_distance("tree", "trees"), 1);
+        assert_eq!(edit_distance("hinirch", "hinrich"), 2);
+    }
+
+    #[test]
+    fn unicode_counts_scalars() {
+        assert_eq!(edit_distance("schütze", "schutze"), 1);
+        assert_eq!(edit_distance("schütze", "schuetze"), 2);
+    }
+
+    #[test]
+    fn within_agrees_with_full() {
+        let words = [
+            "", "a", "ab", "tree", "trie", "trees", "icde", "icdt", "health",
+            "instance", "insurance", "architecture", "archetecture",
+        ];
+        for x in words {
+            for y in words {
+                let full = edit_distance(x, y);
+                for max in 0..5 {
+                    let w = edit_distance_within(x, y, max);
+                    if full <= max {
+                        assert_eq!(w, Some(full), "{x} vs {y} max {max}");
+                    } else {
+                        assert_eq!(w, None, "{x} vs {y} max {max}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn length_filter_short_circuits() {
+        assert_eq!(edit_distance_within("ab", "abcdefgh", 2), None);
+    }
+}
+
+#[cfg(test)]
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn symmetric(a in "[a-c]{0,8}", b in "[a-c]{0,8}") {
+            prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        }
+
+        #[test]
+        fn identity(a in "[a-z]{0,10}") {
+            prop_assert_eq!(edit_distance(&a, &a), 0);
+        }
+
+        #[test]
+        fn triangle_inequality(a in "[a-c]{0,6}", b in "[a-c]{0,6}", c in "[a-c]{0,6}") {
+            let ab = edit_distance(&a, &b);
+            let bc = edit_distance(&b, &c);
+            let ac = edit_distance(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn banded_matches_full(a in "[a-d]{0,10}", b in "[a-d]{0,10}", max in 0usize..4) {
+            let full = edit_distance(&a, &b);
+            let banded = edit_distance_within(&a, &b, max);
+            if full <= max {
+                prop_assert_eq!(banded, Some(full));
+            } else {
+                prop_assert_eq!(banded, None);
+            }
+        }
+
+        #[test]
+        fn single_edit_is_distance_one(a in "[a-z]{1,10}", pos in 0usize..10, ch in proptest::char::range('a', 'z')) {
+            let chars: Vec<char> = a.chars().collect();
+            let pos = pos % chars.len();
+            // substitution
+            let mut sub = chars.clone();
+            sub[pos] = ch;
+            let sub: String = sub.into_iter().collect();
+            prop_assert!(edit_distance(&a, &sub) <= 1);
+            // deletion
+            let mut del = chars.clone();
+            del.remove(pos);
+            let del: String = del.into_iter().collect();
+            prop_assert_eq!(edit_distance(&a, &del), 1);
+        }
+    }
+}

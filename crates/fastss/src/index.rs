@@ -1,0 +1,395 @@
+//! The FastSS variant index (§V-A).
+//!
+//! Builds, offline, an index over the vocabulary's ε-deletion
+//! neighbourhoods; at query time the ε-deletion neighbourhood of the query
+//! keyword is probed to obtain candidate words, which are verified with a
+//! banded edit-distance computation.
+//!
+//! Long tokens are handled by a *partitioned* scheme: instead of the
+//! exponential deletion neighbourhood, a long word is split into ε+1
+//! contiguous segments; if `ed(q, w) ≤ ε` then at least one segment of `w`
+//! occurs verbatim in `q`, shifted by at most ε (the pigeonhole principle).
+//! Segments are indexed exactly, keeping space linear in word length.
+
+use std::collections::HashMap;
+
+use crate::edit_distance::edit_distance_within;
+use crate::neighborhood::deletion_neighborhood;
+
+/// A vocabulary word matching a query keyword within the edit threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VariantMatch {
+    /// Index of the word in the vocabulary the index was built from.
+    pub word: u32,
+    /// Exact edit distance to the query keyword.
+    pub distance: u32,
+}
+
+/// Configuration for [`VariantIndex`].
+#[derive(Debug, Clone)]
+pub struct VariantIndexConfig {
+    /// Maximum number of edit errors ε.
+    pub epsilon: usize,
+    /// Words longer than this many characters use the partitioned scheme
+    /// (the paper's `l_p` space/time tuning knob).
+    pub partition_threshold: usize,
+}
+
+impl Default for VariantIndexConfig {
+    fn default() -> Self {
+        VariantIndexConfig {
+            epsilon: 2,
+            partition_threshold: 14,
+        }
+    }
+}
+
+/// FastSS index over a fixed vocabulary.
+#[derive(Debug)]
+pub struct VariantIndex {
+    config: VariantIndexConfig,
+    words: Vec<String>,
+    /// Deletion signature → ids of short words having that signature.
+    short_map: HashMap<String, Vec<u32>>,
+    /// (segment text, segment ordinal, word char-length) → ids of long
+    /// words with that exact segment.
+    long_map: HashMap<(String, u8, u16), Vec<u32>>,
+    /// Char lengths present among long words (drives query-side probing).
+    long_lengths: Vec<u16>,
+}
+
+impl VariantIndex {
+    /// Builds the index over `words`. Word ids are their positions in the
+    /// input order.
+    pub fn build<S: AsRef<str>>(words: &[S], config: VariantIndexConfig) -> Self {
+        let eps = config.epsilon;
+        let mut short_map: HashMap<String, Vec<u32>> = HashMap::new();
+        let mut long_map: HashMap<(String, u8, u16), Vec<u32>> = HashMap::new();
+        let mut long_lengths = Vec::new();
+        let owned: Vec<String> = words.iter().map(|w| w.as_ref().to_string()).collect();
+        for (id, w) in owned.iter().enumerate() {
+            let id = id as u32;
+            let len = w.chars().count();
+            if len <= config.partition_threshold {
+                for sig in deletion_neighborhood(w, eps) {
+                    short_map.entry(sig).or_default().push(id);
+                }
+            } else {
+                let len16 = len.min(u16::MAX as usize) as u16;
+                if !long_lengths.contains(&len16) {
+                    long_lengths.push(len16);
+                }
+                for (ord, seg) in segments(w, eps + 1).into_iter().enumerate() {
+                    long_map
+                        .entry((seg, ord as u8, len16))
+                        .or_default()
+                        .push(id);
+                }
+            }
+        }
+        long_lengths.sort_unstable();
+        VariantIndex {
+            config,
+            words: owned,
+            short_map,
+            long_map,
+            long_lengths,
+        }
+    }
+
+    /// The edit threshold the index was built for.
+    pub fn epsilon(&self) -> usize {
+        self.config.epsilon
+    }
+
+    /// The indexed vocabulary.
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+
+    /// Number of signature entries (diagnostic; the paper's space cost).
+    pub fn signature_count(&self) -> usize {
+        self.short_map.len() + self.long_map.len()
+    }
+
+    /// Finds all vocabulary words within edit distance ε of `query`
+    /// (`var_ε(q)` in the paper), verified and with exact distances.
+    /// Results are sorted by (distance, word id).
+    pub fn query(&self, query: &str) -> Vec<VariantMatch> {
+        self.query_within(query, self.config.epsilon)
+    }
+
+    /// Like [`Self::query`] but with a per-call threshold
+    /// `max_ed ≤ ε` (useful for CLEAN query handling and ablations).
+    pub fn query_within(&self, query: &str, max_ed: usize) -> Vec<VariantMatch> {
+        let max_ed = max_ed.min(self.config.epsilon);
+        let mut candidates: Vec<u32> = Vec::new();
+
+        // Short-word path: probe the query's own deletion neighbourhood.
+        for sig in deletion_neighborhood(query, self.config.epsilon) {
+            if let Some(ids) = self.short_map.get(&sig) {
+                candidates.extend_from_slice(ids);
+            }
+        }
+
+        // Long-word path: for each plausible long-word length, compute the
+        // deterministic segmentation and probe shifted query substrings.
+        let qchars: Vec<char> = query.chars().collect();
+        let qlen = qchars.len();
+        for &wlen in &self.long_lengths {
+            let wlen_usize = wlen as usize;
+            if wlen_usize.abs_diff(qlen) > max_ed {
+                continue;
+            }
+            for (ord, (start, seg_len)) in
+                segment_spans(wlen_usize, self.config.epsilon + 1).into_iter().enumerate()
+            {
+                let lo = start.saturating_sub(max_ed);
+                let hi = (start + max_ed).min(qlen.saturating_sub(seg_len));
+                let mut probe = String::new();
+                for qstart in lo..=hi {
+                    if qstart + seg_len > qlen {
+                        break;
+                    }
+                    probe.clear();
+                    probe.extend(&qchars[qstart..qstart + seg_len]);
+                    if let Some(ids) = self.long_map.get(&(probe.clone(), ord as u8, wlen)) {
+                        candidates.extend_from_slice(ids);
+                    }
+                }
+            }
+        }
+
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let mut out: Vec<VariantMatch> = candidates
+            .into_iter()
+            .filter_map(|id| {
+                edit_distance_within(query, &self.words[id as usize], max_ed)
+                    .map(|d| VariantMatch {
+                        word: id,
+                        distance: d as u32,
+                    })
+            })
+            .collect();
+        out.sort_unstable_by_key(|m| (m.distance, m.word));
+        out
+    }
+}
+
+/// Splits `word` into `parts` contiguous segments of near-equal character
+/// length (longer segments first). Returns the segment strings.
+fn segments(word: &str, parts: usize) -> Vec<String> {
+    let chars: Vec<char> = word.chars().collect();
+    segment_spans(chars.len(), parts)
+        .into_iter()
+        .map(|(s, l)| chars[s..s + l].iter().collect())
+        .collect()
+}
+
+/// Returns `(start, len)` spans of the deterministic segmentation of a
+/// word of `len` characters into `parts` segments. Must agree between index
+/// and query sides.
+fn segment_spans(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.max(1).min(len.max(1));
+    let base = len / parts;
+    let rem = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let l = base + usize::from(i < rem);
+        out.push((start, l));
+        start += l;
+    }
+    out
+}
+
+/// A brute-force variant finder: scans the whole vocabulary with the banded
+/// edit-distance test. Serves as the correctness oracle for property tests
+/// and as the baseline in the FastSS benchmark.
+#[derive(Debug)]
+pub struct NaiveVariantFinder {
+    words: Vec<String>,
+}
+
+impl NaiveVariantFinder {
+    /// Wraps a vocabulary for brute-force scanning.
+    pub fn new<S: AsRef<str>>(words: &[S]) -> Self {
+        NaiveVariantFinder {
+            words: words.iter().map(|w| w.as_ref().to_string()).collect(),
+        }
+    }
+
+    /// Scans every word, returning verified matches within `max_ed`.
+    pub fn query(&self, query: &str, max_ed: usize) -> Vec<VariantMatch> {
+        let mut out: Vec<VariantMatch> = self
+            .words
+            .iter()
+            .enumerate()
+            .filter_map(|(id, w)| {
+                edit_distance_within(query, w, max_ed).map(|d| VariantMatch {
+                    word: id as u32,
+                    distance: d as u32,
+                })
+            })
+            .collect();
+        out.sort_unstable_by_key(|m| (m.distance, m.word));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_vocab() -> Vec<&'static str> {
+        vec![
+            "tree", "trees", "trie", "icde", "icdt", "health", "insurance",
+            "instance", "architecture", "keyword", "search", "database",
+            "reconfigurable", // long: partitioned at default threshold 14? len 14 -> short
+            "internationalization", // definitely long
+            "misunderstanding",
+        ]
+    }
+
+    #[test]
+    fn finds_paper_example_variants() {
+        let vocab = sample_vocab();
+        let idx = VariantIndex::build(&vocab, VariantIndexConfig {
+            epsilon: 1,
+            partition_threshold: 14,
+        });
+        let hits: Vec<&str> = idx
+            .query("tree")
+            .iter()
+            .map(|m| vocab[m.word as usize])
+            .collect();
+        assert_eq!(hits, vec!["tree", "trees", "trie"]);
+        let hits: Vec<&str> = idx
+            .query("icdt")
+            .iter()
+            .map(|m| vocab[m.word as usize])
+            .collect();
+        assert_eq!(hits, vec!["icdt", "icde"]);
+    }
+
+    #[test]
+    fn distances_are_exact() {
+        let vocab = sample_vocab();
+        let idx = VariantIndex::build(&vocab, VariantIndexConfig::default());
+        for m in idx.query("helth") {
+            assert_eq!(
+                m.distance as usize,
+                crate::edit_distance::edit_distance("helth", vocab[m.word as usize])
+            );
+        }
+    }
+
+    #[test]
+    fn long_words_found_via_partitioning() {
+        let vocab = sample_vocab();
+        let idx = VariantIndex::build(&vocab, VariantIndexConfig {
+            epsilon: 2,
+            partition_threshold: 10,
+        });
+        // One substitution inside a long word.
+        let hits: Vec<&str> = idx
+            .query("internationalizatiom")
+            .iter()
+            .map(|m| vocab[m.word as usize])
+            .collect();
+        assert!(hits.contains(&"internationalization"));
+        // Deletion in a long word.
+        let hits: Vec<&str> = idx
+            .query("misunderstanding")
+            .iter()
+            .map(|m| vocab[m.word as usize])
+            .collect();
+        assert!(hits.contains(&"misunderstanding"));
+    }
+
+    #[test]
+    fn agrees_with_naive_oracle() {
+        let vocab = sample_vocab();
+        let idx = VariantIndex::build(&vocab, VariantIndexConfig {
+            epsilon: 2,
+            partition_threshold: 8,
+        });
+        let naive = NaiveVariantFinder::new(&vocab);
+        for q in [
+            "tree", "tre", "treeees", "icd", "helth", "architecture",
+            "architectur", "misunderstandin", "internationalisation",
+            "xyzzy", "searhc",
+        ] {
+            assert_eq!(idx.query(q), naive.query(q, 2), "query {q}");
+        }
+    }
+
+    #[test]
+    fn query_within_tightens_threshold() {
+        let vocab = sample_vocab();
+        let idx = VariantIndex::build(&vocab, VariantIndexConfig::default());
+        let strict = idx.query_within("tre", 0);
+        assert!(strict.is_empty());
+        let loose = idx.query_within("tre", 1);
+        assert!(!loose.is_empty());
+        assert!(loose.iter().all(|m| m.distance <= 1));
+    }
+
+    #[test]
+    fn empty_vocab_and_empty_query() {
+        let idx = VariantIndex::build::<&str>(&[], VariantIndexConfig::default());
+        assert!(idx.query("anything").is_empty());
+        let vocab = ["ab"];
+        let idx = VariantIndex::build(&vocab, VariantIndexConfig {
+            epsilon: 2,
+            partition_threshold: 14,
+        });
+        let hits = idx.query("");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].distance, 2);
+    }
+
+    #[test]
+    fn segment_spans_cover_word_exactly() {
+        for len in 1..40 {
+            for parts in 1..5 {
+                let spans = segment_spans(len, parts);
+                let mut pos = 0;
+                for (s, l) in &spans {
+                    assert_eq!(*s, pos);
+                    assert!(*l >= 1, "len={len} parts={parts}");
+                    pos += l;
+                }
+                assert_eq!(pos, len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The index must return exactly what the naive scan returns, for
+        /// any vocabulary and query, across partition thresholds.
+        #[test]
+        fn index_equals_oracle(
+            vocab in proptest::collection::vec("[a-c]{1,18}", 1..30),
+            query in "[a-c]{0,18}",
+            threshold in 4usize..16,
+        ) {
+            let idx = VariantIndex::build(&vocab, VariantIndexConfig {
+                epsilon: 2,
+                partition_threshold: threshold,
+            });
+            let naive = NaiveVariantFinder::new(&vocab);
+            prop_assert_eq!(idx.query(&query), naive.query(&query, 2));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! ε-deletion neighbourhoods (the FastSS signature scheme).
+//!
+//! The deletion neighbourhood of a word is the set of strings obtained by
+//! deleting up to ε characters (§V-A). Two words are within edit distance ε
+//! *only if* their ε-deletion neighbourhoods intersect, which turns
+//! approximate matching into exact hash probes followed by edit-distance
+//! verification.
+
+use std::collections::HashSet;
+
+/// Generates the ε-deletion neighbourhood of `word`, including `word`
+/// itself (the 0-deletion member). Duplicates are removed.
+///
+/// The neighbourhood size is `O(|word|^ε)`; callers should partition long
+/// words (see [`crate::index`]) rather than raise ε.
+pub fn deletion_neighborhood(word: &str, epsilon: usize) -> Vec<String> {
+    let chars: Vec<char> = word.chars().collect();
+    let mut out = HashSet::new();
+    out.insert(word.to_string());
+    let mut frontier: Vec<Vec<char>> = vec![chars];
+    for _ in 0..epsilon {
+        let mut next = Vec::new();
+        for s in &frontier {
+            if s.is_empty() {
+                continue;
+            }
+            for i in 0..s.len() {
+                let mut t = s.clone();
+                t.remove(i);
+                let st: String = t.iter().collect();
+                if out.insert(st) {
+                    next.push(t);
+                }
+            }
+        }
+        frontier = next;
+    }
+    let mut v: Vec<String> = out.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Invokes `f` for every member of the ε-deletion neighbourhood without
+/// materialising the full vector (used during index construction).
+pub fn for_each_deletion(word: &str, epsilon: usize, mut f: impl FnMut(&str)) {
+    for s in deletion_neighborhood(word, epsilon) {
+        f(&s);
+    }
+}
+
+/// Upper bound on the neighbourhood size for a word of `len` characters:
+/// `Σ_{i=0..=ε} C(len, i)`.
+pub fn neighborhood_bound(len: usize, epsilon: usize) -> usize {
+    let mut total = 0usize;
+    for i in 0..=epsilon.min(len) {
+        total = total.saturating_add(binomial(len, i));
+    }
+    total
+}
+
+fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: usize = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul(n - i) / (i + 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit_distance::edit_distance;
+
+    #[test]
+    fn epsilon_zero_is_identity() {
+        assert_eq!(deletion_neighborhood("abc", 0), vec!["abc"]);
+    }
+
+    #[test]
+    fn epsilon_one_of_cat() {
+        let n = deletion_neighborhood("cat", 1);
+        assert_eq!(n, vec!["at", "ca", "cat", "ct"]);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        // "aaa" with one deletion always yields "aa".
+        let n = deletion_neighborhood("aaa", 1);
+        assert_eq!(n, vec!["aa", "aaa"]);
+    }
+
+    #[test]
+    fn epsilon_two_includes_deeper_deletions() {
+        let n = deletion_neighborhood("abcd", 2);
+        assert!(n.contains(&"ab".to_string()));
+        assert!(n.contains(&"cd".to_string()));
+        assert!(n.contains(&"abcd".to_string()));
+        assert!(!n.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn bound_holds() {
+        for word in ["a", "cat", "abcdef", "aaaa"] {
+            for eps in 0..3 {
+                let n = deletion_neighborhood(word, eps);
+                assert!(n.len() <= neighborhood_bound(word.chars().count(), eps));
+            }
+        }
+    }
+
+    /// The FastSS soundness property: if ed(a, b) ≤ ε then the ε-deletion
+    /// neighbourhoods of a and b intersect.
+    #[test]
+    fn neighborhoods_intersect_for_close_words() {
+        let pairs = [
+            ("tree", "trie"),
+            ("tree", "trees"),
+            ("icde", "icdt"),
+            ("health", "helth"),
+        ];
+        for (a, b) in pairs {
+            let eps = edit_distance(a, b);
+            let na = deletion_neighborhood(a, eps);
+            let nb = deletion_neighborhood(b, eps);
+            assert!(
+                na.iter().any(|x| nb.binary_search(x).is_ok()),
+                "{a} / {b} neighbourhoods must intersect at ε={eps}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop {
+    use super::*;
+    use crate::edit_distance::edit_distance;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Soundness: words within ed ≤ ε share a deletion neighbour.
+        #[test]
+        fn intersection_property(a in "[a-c]{1,7}", b in "[a-c]{1,7}") {
+            let d = edit_distance(&a, &b);
+            if d <= 2 {
+                let na = deletion_neighborhood(&a, 2);
+                let nb = deletion_neighborhood(&b, 2);
+                prop_assert!(na.iter().any(|x| nb.binary_search(x).is_ok()));
+            }
+        }
+
+        /// Every neighbour is within deletion distance ε of the word.
+        #[test]
+        fn members_are_subsequences(a in "[a-e]{1,8}") {
+            for m in deletion_neighborhood(&a, 2) {
+                let la = a.chars().count();
+                let lm = m.chars().count();
+                prop_assert!(la - lm <= 2);
+                // m must be a subsequence of a
+                let mut it = a.chars();
+                let is_subseq = m.chars().all(|c| it.any(|x| x == c));
+                prop_assert!(is_subseq, "{} not a subsequence of {}", m, a);
+            }
+        }
+    }
+}

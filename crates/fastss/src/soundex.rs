@@ -1,0 +1,153 @@
+//! American Soundex phonetic encoding.
+//!
+//! §VI-A of the paper lists Soundex as the canonical way to extend the
+//! variant set `var(q)` with *cognitive* (sound-alike) errors. This module
+//! implements the standard (NARA) algorithm: the first letter, followed by
+//! three digits coding the consonant classes, with the
+//! adjacent-same-code, vowel-separator, and `h`/`w` rules.
+
+/// A four-character Soundex code such as `R163`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SoundexCode(pub [u8; 4]);
+
+impl std::fmt::Display for SoundexCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for &b in &self.0 {
+            write!(f, "{}", b as char)?;
+        }
+        Ok(())
+    }
+}
+
+fn digit(c: u8) -> Option<u8> {
+    match c {
+        b'b' | b'f' | b'p' | b'v' => Some(b'1'),
+        b'c' | b'g' | b'j' | b'k' | b'q' | b's' | b'x' | b'z' => Some(b'2'),
+        b'd' | b't' => Some(b'3'),
+        b'l' => Some(b'4'),
+        b'm' | b'n' => Some(b'5'),
+        b'r' => Some(b'6'),
+        _ => None,
+    }
+}
+
+/// Encodes a word. Non-ASCII-alphabetic characters are skipped; returns
+/// `None` for words without any ASCII letter.
+pub fn soundex(word: &str) -> Option<SoundexCode> {
+    let letters: Vec<u8> = word
+        .bytes()
+        .filter(|b| b.is_ascii_alphabetic())
+        .map(|b| b.to_ascii_lowercase())
+        .collect();
+    let &first = letters.first()?;
+    let mut code = [b'0'; 4];
+    code[0] = first.to_ascii_uppercase();
+    let mut out = 1;
+    // The code of the first letter matters for the adjacency rule.
+    let mut prev = digit(first);
+    for &c in &letters[1..] {
+        if out == 4 {
+            break;
+        }
+        match c {
+            b'h' | b'w' => {
+                // h and w are transparent: they do NOT reset `prev`.
+                continue;
+            }
+            b'a' | b'e' | b'i' | b'o' | b'u' | b'y' => {
+                // Vowels separate: identical codes across a vowel repeat.
+                prev = None;
+            }
+            _ => {
+                let d = digit(c);
+                if let Some(d) = d {
+                    if Some(d) != prev {
+                        code[out] = d;
+                        out += 1;
+                    }
+                }
+                prev = d;
+            }
+        }
+    }
+    Some(SoundexCode(code))
+}
+
+/// `true` iff the two words share a Soundex code.
+pub fn sounds_like(a: &str, b: &str) -> bool {
+    match (soundex(a), soundex(b)) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(w: &str) -> String {
+        soundex(w).unwrap().to_string()
+    }
+
+    /// The five canonical NARA examples.
+    #[test]
+    fn nara_reference_codes() {
+        assert_eq!(code("Robert"), "R163");
+        assert_eq!(code("Rupert"), "R163");
+        assert_eq!(code("Ashcraft"), "A261"); // h/w transparency
+        assert_eq!(code("Ashcroft"), "A261");
+        assert_eq!(code("Tymczak"), "T522"); // vowel separation
+        assert_eq!(code("Pfister"), "P236"); // adjacent same-code collapse
+        assert_eq!(code("Honeyman"), "H555");
+    }
+
+    #[test]
+    fn padding_and_truncation() {
+        assert_eq!(code("Lee"), "L000");
+        assert_eq!(code("Washington"), "W252");
+        assert_eq!(code("a"), "A000");
+    }
+
+    #[test]
+    fn sounds_like_pairs() {
+        assert!(sounds_like("smith", "smyth"));
+        assert!(sounds_like("robert", "rupert"));
+        assert!(!sounds_like("robert", "smith"));
+        assert!(!sounds_like("", "smith"));
+    }
+
+    #[test]
+    fn case_and_punctuation_insensitive() {
+        assert_eq!(code("O'Brien"), code("obrien"));
+        assert_eq!(code("SMITH"), code("smith"));
+    }
+
+    #[test]
+    fn non_ascii_words() {
+        // Pure non-ASCII yields None; mixed uses the ASCII letters.
+        assert!(soundex("日本語").is_none());
+        assert!(soundex("schütze").is_some());
+    }
+}
+
+#[cfg(test)]
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn codes_are_well_formed(w in "[a-zA-Z]{1,20}") {
+            let c = soundex(&w).unwrap();
+            prop_assert!(c.0[0].is_ascii_uppercase());
+            for &d in &c.0[1..] {
+                prop_assert!(d.is_ascii_digit());
+            }
+        }
+
+        #[test]
+        fn encoding_is_deterministic_and_case_insensitive(w in "[a-zA-Z]{1,15}") {
+            prop_assert_eq!(soundex(&w), soundex(&w.to_uppercase()));
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! The corpus index: everything XClean needs at query time, built in one
+//! pass over an [`XmlTree`].
+//!
+//! Bundles the vocabulary, one document-order posting list per token
+//! (§V-C), the per-token path statistics (§V-B), and per-node virtual
+//! document lengths (|D(r)|, §IV-B2, stored as a prefix-sum array so any
+//! subtree length is O(1)).
+
+use std::collections::HashMap;
+
+use xclean_xmltree::{NodeId, PathId, Tokenizer, XmlTree};
+
+use crate::path_stats::PathStatsIndex;
+use crate::posting::PostingList;
+use crate::vocab::{TokenId, Vocabulary};
+
+/// Index over one XML corpus.
+#[derive(Debug)]
+pub struct CorpusIndex {
+    tree: XmlTree,
+    vocab: Vocabulary,
+    lists: Vec<PostingList>,
+    path_stats: PathStatsIndex,
+    /// `token_prefix[i]` = total indexed tokens in nodes `0..i`; subtree
+    /// token length of node `n` is `token_prefix[subtree_end] - token_prefix[n.0]`.
+    token_prefix: Vec<u64>,
+    /// Number of nodes per label path (dense, indexed by `PathId`); the
+    /// `N` of the uniform entity prior (Eq. 8).
+    path_node_counts: Vec<u32>,
+    /// Total virtual-document length per label path: `Σ_{n: path(n)=p}
+    /// doc_len(n)` — the normaliser of the document-length entity prior.
+    path_doc_len_totals: Vec<u64>,
+    tokenizer: Tokenizer,
+}
+
+impl CorpusIndex {
+    /// Builds the index, consuming the tree.
+    pub fn build(tree: XmlTree) -> Self {
+        Self::build_with(tree, Tokenizer::default())
+    }
+
+    /// Builds the index with a custom tokenizer.
+    pub fn build_with(tree: XmlTree, tokenizer: Tokenizer) -> Self {
+        let mut vocab = Vocabulary::new();
+        let mut lists: Vec<PostingList> = Vec::new();
+        let mut token_prefix = vec![0u64; tree.len() + 1];
+        let mut counts: HashMap<TokenId, u32> = HashMap::new();
+        let mut direct: Vec<u64> = vec![0; tree.len()];
+        for n in tree.iter() {
+            let Some(text) = tree.text(n) else { continue };
+            counts.clear();
+            let mut node_tokens = 0u64;
+            tokenizer.for_each_token(text, |t| {
+                let id = vocab.intern(t);
+                *counts.entry(id).or_insert(0) += 1;
+                node_tokens += 1;
+            });
+            direct[n.index()] = node_tokens;
+            if counts.is_empty() {
+                continue;
+            }
+            let mut items: Vec<(TokenId, u32)> = counts.iter().map(|(&k, &v)| (k, v)).collect();
+            items.sort_unstable();
+            let dewey = tree.dewey(n);
+            let path = tree.path(n);
+            for (id, tf) in items {
+                vocab.observe_id(id, u64::from(tf));
+                if lists.len() <= id.index() {
+                    lists.resize_with(id.index() + 1, PostingList::new);
+                }
+                lists[id.index()].push(n, path, tf, dewey.components());
+            }
+        }
+        lists.resize_with(vocab.len(), PostingList::new);
+        for i in 0..tree.len() {
+            token_prefix[i + 1] = token_prefix[i] + direct[i];
+        }
+        let path_stats = PathStatsIndex::build(&tree, &lists);
+        let mut path_node_counts = vec![0u32; tree.paths().len()];
+        let mut path_doc_len_totals = vec![0u64; tree.paths().len()];
+        for n in tree.iter() {
+            let p = tree.path(n).0 as usize;
+            path_node_counts[p] += 1;
+            let end = tree.subtree_end(n) as usize;
+            path_doc_len_totals[p] += token_prefix[end] - token_prefix[n.index()];
+        }
+        CorpusIndex {
+            tree,
+            vocab,
+            lists,
+            path_stats,
+            token_prefix,
+            path_node_counts,
+            path_doc_len_totals,
+            tokenizer,
+        }
+    }
+
+    /// Reassembles an index from stored parts: the tree, the vocabulary,
+    /// and one posting list per token (document-order sorted). All derived
+    /// structures (subtree token lengths, path statistics, per-path
+    /// counts) are recomputed — they are cheap relative to tokenisation.
+    pub fn from_parts(
+        tree: XmlTree,
+        vocab: Vocabulary,
+        lists: Vec<PostingList>,
+        tokenizer: Tokenizer,
+    ) -> Self {
+        assert_eq!(
+            lists.len(),
+            vocab.len(),
+            "one posting list per vocabulary token"
+        );
+        let mut direct: Vec<u64> = vec![0; tree.len()];
+        for list in &lists {
+            for p in list.iter() {
+                direct[p.node.index()] += u64::from(p.tf);
+            }
+        }
+        let mut token_prefix = vec![0u64; tree.len() + 1];
+        for i in 0..tree.len() {
+            token_prefix[i + 1] = token_prefix[i] + direct[i];
+        }
+        let path_stats = PathStatsIndex::build(&tree, &lists);
+        let mut path_node_counts = vec![0u32; tree.paths().len()];
+        let mut path_doc_len_totals = vec![0u64; tree.paths().len()];
+        for n in tree.iter() {
+            let p = tree.path(n).0 as usize;
+            path_node_counts[p] += 1;
+            let end = tree.subtree_end(n) as usize;
+            path_doc_len_totals[p] += token_prefix[end] - token_prefix[n.index()];
+        }
+        CorpusIndex {
+            tree,
+            vocab,
+            lists,
+            path_stats,
+            token_prefix,
+            path_node_counts,
+            path_doc_len_totals,
+            tokenizer,
+        }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &XmlTree {
+        &self.tree
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The tokenizer the index was built with.
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// The posting list of a token.
+    pub fn postings(&self, token: TokenId) -> &PostingList {
+        &self.lists[token.index()]
+    }
+
+    /// All posting lists, indexed by token id.
+    pub fn posting_lists(&self) -> &[PostingList] {
+        &self.lists
+    }
+
+    /// Path statistics (`f_w^p`).
+    pub fn path_stats(&self) -> &PathStatsIndex {
+        &self.path_stats
+    }
+
+    /// Length (in indexed tokens) of the virtual document `D(r)`: the total
+    /// token count of the subtree rooted at `r`. O(1).
+    pub fn doc_len(&self, r: NodeId) -> u64 {
+        let end = self.tree.subtree_end(r) as usize;
+        self.token_prefix[end] - self.token_prefix[r.index()]
+    }
+
+    /// Length (in indexed tokens) of the node's *direct* text only (`|t|`
+    /// when each element is treated as its own document, as the PY08
+    /// baseline does). O(1).
+    pub fn direct_len(&self, n: NodeId) -> u64 {
+        self.token_prefix[n.index() + 1] - self.token_prefix[n.index()]
+    }
+
+    /// Number of nodes with at least one indexed token in their direct
+    /// text — the "document" count of the element-as-document view.
+    pub fn element_count(&self) -> usize {
+        self.token_prefix
+            .windows(2)
+            .filter(|w| w[1] > w[0])
+            .count()
+    }
+
+    /// Number of nodes of a given label path in the whole tree: the `N` of
+    /// the uniform entity prior (Eq. 8). O(1).
+    pub fn count_nodes_of_path(&self, path: PathId) -> usize {
+        self.path_node_counts
+            .get(path.0 as usize)
+            .copied()
+            .unwrap_or(0) as usize
+    }
+
+    /// Total virtual-document length over all nodes of a label path
+    /// (normaliser of the document-length entity prior). O(1).
+    pub fn path_doc_len_total(&self, path: PathId) -> u64 {
+        self.path_doc_len_totals
+            .get(path.0 as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Background probability `P(w|B)`.
+    pub fn background_prob(&self, token: TokenId) -> f64 {
+        self.vocab.background_prob(token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xclean_xmltree::parse_document;
+
+    fn corpus() -> CorpusIndex {
+        let xml = "<dblp>\
+            <article><title>keyword search systems</title><author>smith</author></article>\
+            <article><title>keyword cleaning</title><author>jones</author></article>\
+        </dblp>";
+        CorpusIndex::build(parse_document(xml).unwrap())
+    }
+
+    #[test]
+    fn vocabulary_and_postings() {
+        let c = corpus();
+        let kw = c.vocab().get("keyword").unwrap();
+        assert_eq!(c.vocab().cf(kw), 2);
+        assert_eq!(c.vocab().df(kw), 2);
+        assert_eq!(c.postings(kw).len(), 2);
+        let smith = c.vocab().get("smith").unwrap();
+        assert_eq!(c.postings(smith).len(), 1);
+        // postings in document order
+        let nodes = c.postings(kw).nodes();
+        assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn node_id_order_equals_dewey_order() {
+        let c = corpus();
+        let tree = c.tree();
+        let mut prev: Option<xclean_xmltree::Dewey> = None;
+        for n in tree.iter() {
+            let d = tree.dewey(n);
+            if let Some(p) = &prev {
+                assert!(p < &d, "preorder arena must match Dewey order");
+            }
+            prev = Some(d);
+        }
+    }
+
+    #[test]
+    fn doc_len_is_subtree_token_count() {
+        let c = corpus();
+        let tree = c.tree();
+        // Root subtree holds all 7 indexed tokens
+        // (keyword search systems smith keyword cleaning jones).
+        assert_eq!(c.doc_len(tree.root()), 7);
+        let first_article = tree.children(tree.root()).next().unwrap();
+        assert_eq!(c.doc_len(first_article), 4);
+        // A leaf's doc_len is its own token count.
+        let title = tree.children(first_article).next().unwrap();
+        assert_eq!(c.doc_len(title), 3);
+    }
+
+    #[test]
+    fn total_tokens_matches_prefix_sum() {
+        let c = corpus();
+        assert_eq!(c.vocab().total_tokens(), c.doc_len(c.tree().root()));
+    }
+
+    #[test]
+    fn path_stats_available_for_every_token() {
+        let c = corpus();
+        for t in 0..c.vocab().len() as u32 {
+            assert!(!c.path_stats().paths_of(TokenId(t)).is_empty());
+        }
+    }
+
+    #[test]
+    fn postings_dewey_matches_tree() {
+        let c = corpus();
+        for t in 0..c.vocab().len() as u32 {
+            for p in c.postings(TokenId(t)).iter() {
+                let d = c.tree().dewey(p.node);
+                assert_eq!(p.dewey, d.components());
+                assert_eq!(p.path, c.tree().path(p.node));
+            }
+        }
+    }
+
+    #[test]
+    fn direct_len_and_element_count() {
+        let c = corpus();
+        let tree = c.tree();
+        assert_eq!(c.direct_len(tree.root()), 0);
+        let first_article = tree.children(tree.root()).next().unwrap();
+        assert_eq!(c.direct_len(first_article), 0);
+        let title = tree.children(first_article).next().unwrap();
+        assert_eq!(c.direct_len(title), 3);
+        // Four text-bearing leaves: 2 titles + 2 authors.
+        assert_eq!(c.element_count(), 4);
+    }
+
+    #[test]
+    fn path_doc_len_totals() {
+        let c = corpus();
+        let tree = c.tree();
+        let article_path = tree.path(tree.children(tree.root()).next().unwrap());
+        // Two articles with 4 and 3 indexed tokens respectively.
+        assert_eq!(c.path_doc_len_total(article_path), 7);
+        let root_path = tree.path(tree.root());
+        assert_eq!(c.path_doc_len_total(root_path), 7);
+    }
+
+    #[test]
+    fn path_node_counts() {
+        let c = corpus();
+        let tree = c.tree();
+        let article_path = tree.path(tree.children(tree.root()).next().unwrap());
+        assert_eq!(c.count_nodes_of_path(article_path), 2);
+        let root_path = tree.path(tree.root());
+        assert_eq!(c.count_nodes_of_path(root_path), 1);
+        assert_eq!(c.count_nodes_of_path(xclean_xmltree::PathId(999)), 0);
+    }
+
+    #[test]
+    fn empty_document() {
+        let c = CorpusIndex::build(parse_document("<a/>").unwrap());
+        assert_eq!(c.vocab().len(), 0);
+        assert_eq!(c.doc_len(c.tree().root()), 0);
+    }
+
+    #[test]
+    fn stop_words_and_short_tokens_not_indexed() {
+        let xml = "<a><t>the db of trees</t></a>";
+        let c = CorpusIndex::build(parse_document(xml).unwrap());
+        assert!(c.vocab().get("the").is_none());
+        assert!(c.vocab().get("db").is_none());
+        assert!(c.vocab().get("of").is_none());
+        assert!(c.vocab().get("trees").is_some());
+    }
+}

@@ -1,0 +1,29 @@
+//! # xclean-index
+//!
+//! Inverted-index substrate for the XClean reproduction: the vocabulary,
+//! document-order posting lists of `(dewey, label-path, tf)` entries, the
+//! heap-merged [`MergedList`] view with exponential-search `skip_to`
+//! (§V-C of the paper), per-token path statistics `f_w^p` (§V-B), and a
+//! compact varint wire format for posting lists.
+//!
+//! [`CorpusIndex::build`] constructs all of it in one pass over a parsed
+//! [`xclean_xmltree::XmlTree`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocked;
+pub mod codec;
+pub mod corpus;
+pub mod merged;
+pub mod path_stats;
+pub mod posting;
+pub mod storage;
+pub mod vocab;
+
+pub use corpus::CorpusIndex;
+pub use merged::{AccessStats, MergedEntry, MergedList};
+pub use path_stats::PathStatsIndex;
+pub use blocked::{BlockedCursor, BlockedPostingList, OwnedPosting, BLOCK_SIZE};
+pub use posting::{Posting, PostingList};
+pub use vocab::{TokenId, Vocabulary};

@@ -1,0 +1,293 @@
+//! The `MergedList` abstraction (§V-C).
+//!
+//! Organises the inverted lists of all variants of one query keyword as if
+//! they had been physically merged into a single document-order list. A min
+//! heap over the member cursors provides `cur_pos`/`next`; `skip_to`
+//! gallops every member list past the target and rebuilds the heap.
+//!
+//! Access counters record how many postings were read vs. skipped, feeding
+//! the skipping ablation (DESIGN.md §7, experiment E11).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use xclean_xmltree::NodeId;
+
+use crate::posting::{Posting, PostingList};
+use crate::vocab::TokenId;
+
+/// A posting together with the variant token it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergedEntry<'a> {
+    /// The variant whose inverted list produced this posting.
+    pub token: TokenId,
+    /// The posting itself.
+    pub posting: Posting<'a>,
+}
+
+/// Counters of posting-list I/O performed by a [`MergedList`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Postings returned by `next()` (actually consumed).
+    pub read: u64,
+    /// Postings jumped over by `skip_to()` without being consumed.
+    pub skipped: u64,
+    /// Number of `skip_to` calls.
+    pub skip_calls: u64,
+}
+
+struct Cursor<'a> {
+    token: TokenId,
+    list: &'a PostingList,
+    pos: usize,
+}
+
+/// Merged view over the inverted lists of a keyword's variants.
+pub struct MergedList<'a> {
+    members: Vec<Cursor<'a>>,
+    /// Min-heap of (current node, member index) for members not exhausted.
+    heap: BinaryHeap<Reverse<(NodeId, usize)>>,
+    stats: AccessStats,
+}
+
+impl<'a> MergedList<'a> {
+    /// Builds a merged list over `(token, list)` member pairs.
+    pub fn new(members: impl IntoIterator<Item = (TokenId, &'a PostingList)>) -> Self {
+        let members: Vec<Cursor<'a>> = members
+            .into_iter()
+            .map(|(token, list)| Cursor {
+                token,
+                list,
+                pos: 0,
+            })
+            .collect();
+        let mut heap = BinaryHeap::with_capacity(members.len());
+        for (i, c) in members.iter().enumerate() {
+            if !c.list.is_empty() {
+                heap.push(Reverse((c.list.get(0).node, i)));
+            }
+        }
+        MergedList {
+            members,
+            heap,
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// The head of the merged list without consuming it
+    /// (the paper's `cur_pos()`).
+    pub fn cur_pos(&self) -> Option<MergedEntry<'a>> {
+        let &Reverse((_, i)) = self.heap.peek()?;
+        let c = &self.members[i];
+        Some(MergedEntry {
+            token: c.token,
+            posting: c.list.get(c.pos),
+        })
+    }
+
+    /// Returns the head and removes it from the list. Named after the
+    /// paper's `next()` operation; `MergedList` is deliberately not an
+    /// `Iterator` because `skip_to` interleaves with consumption.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<MergedEntry<'a>> {
+        let Reverse((_, i)) = self.heap.pop()?;
+        let c = &mut self.members[i];
+        let entry = MergedEntry {
+            token: c.token,
+            posting: c.list.get(c.pos),
+        };
+        c.pos += 1;
+        self.stats.read += 1;
+        if c.pos < c.list.len() {
+            self.heap.push(Reverse((c.list.get(c.pos).node, i)));
+        }
+        Some(entry)
+    }
+
+    /// Discards all postings with node `<` `target` and returns the first
+    /// posting `>= target`, if any (the paper's `skip_to(dewey)`; node ids
+    /// are document-order ranks, so the comparison is equivalent).
+    pub fn skip_to(&mut self, target: NodeId) -> Option<MergedEntry<'a>> {
+        self.stats.skip_calls += 1;
+        // Fast path: already at or past the target.
+        if let Some(&Reverse((head, _))) = self.heap.peek() {
+            if head >= target {
+                return self.cur_pos();
+            }
+        }
+        self.heap.clear();
+        for (i, c) in self.members.iter_mut().enumerate() {
+            if c.pos < c.list.len() && c.list.get(c.pos).node < target {
+                let new_pos = c.list.skip_from(c.pos, target);
+                self.stats.skipped += (new_pos - c.pos) as u64;
+                c.pos = new_pos;
+            }
+            if c.pos < c.list.len() {
+                self.heap.push(Reverse((c.list.get(c.pos).node, i)));
+            }
+        }
+        self.cur_pos()
+    }
+
+    /// `true` once every member list is exhausted.
+    pub fn is_exhausted(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// I/O counters accumulated so far.
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Total length of all member lists (`|vl_i|` in the complexity
+    /// analysis of §V-C).
+    pub fn total_len(&self) -> usize {
+        self.members.iter().map(|c| c.list.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xclean_xmltree::PathId;
+
+    fn pl(nodes: &[u32]) -> PostingList {
+        let mut l = PostingList::new();
+        for &n in nodes {
+            l.push(NodeId(n), PathId(0), 1, &[n]);
+        }
+        l
+    }
+
+    #[test]
+    fn merges_in_document_order() {
+        let a = pl(&[1, 5, 9]);
+        let b = pl(&[2, 5, 7]);
+        let mut m = MergedList::new([(TokenId(0), &a), (TokenId(1), &b)]);
+        let mut seen = Vec::new();
+        while let Some(e) = m.next() {
+            seen.push((e.posting.node.0, e.token.0));
+        }
+        assert_eq!(
+            seen,
+            vec![(1, 0), (2, 1), (5, 0), (5, 1), (7, 1), (9, 0)]
+        );
+        assert!(m.is_exhausted());
+        assert_eq!(m.stats().read, 6);
+    }
+
+    #[test]
+    fn cur_pos_does_not_consume() {
+        let a = pl(&[3]);
+        let mut m = MergedList::new([(TokenId(0), &a)]);
+        assert_eq!(m.cur_pos().unwrap().posting.node, NodeId(3));
+        assert_eq!(m.cur_pos().unwrap().posting.node, NodeId(3));
+        assert_eq!(m.next().unwrap().posting.node, NodeId(3));
+        assert!(m.cur_pos().is_none());
+    }
+
+    #[test]
+    fn skip_to_discards_smaller_nodes() {
+        let a = pl(&[1, 4, 8, 12]);
+        let b = pl(&[2, 6, 10]);
+        let mut m = MergedList::new([(TokenId(0), &a), (TokenId(1), &b)]);
+        let e = m.skip_to(NodeId(5)).unwrap();
+        assert_eq!(e.posting.node, NodeId(6));
+        assert_eq!(m.stats().skipped, 3); // 1, 4 from a; 2 from b
+        let e = m.skip_to(NodeId(11)).unwrap();
+        assert_eq!(e.posting.node, NodeId(12));
+        assert!(m.skip_to(NodeId(13)).is_none());
+        assert!(m.is_exhausted());
+    }
+
+    #[test]
+    fn skip_to_is_noop_when_already_past() {
+        let a = pl(&[10, 20]);
+        let mut m = MergedList::new([(TokenId(0), &a)]);
+        let e = m.skip_to(NodeId(5)).unwrap();
+        assert_eq!(e.posting.node, NodeId(10));
+        assert_eq!(m.stats().skipped, 0);
+    }
+
+    #[test]
+    fn empty_members() {
+        let a = pl(&[]);
+        let mut m = MergedList::new([(TokenId(0), &a)]);
+        assert!(m.cur_pos().is_none());
+        assert!(m.next().is_none());
+        assert!(m.skip_to(NodeId(0)).is_none());
+        assert!(m.is_exhausted());
+        assert_eq!(m.total_len(), 0);
+    }
+
+    #[test]
+    fn interleaving_next_and_skip() {
+        let a = pl(&[1, 3, 5, 7, 9, 11]);
+        let b = pl(&[2, 4, 6, 8, 10, 12]);
+        let mut m = MergedList::new([(TokenId(0), &a), (TokenId(1), &b)]);
+        assert_eq!(m.next().unwrap().posting.node, NodeId(1));
+        assert_eq!(m.skip_to(NodeId(6)).unwrap().posting.node, NodeId(6));
+        assert_eq!(m.next().unwrap().posting.node, NodeId(6));
+        assert_eq!(m.next().unwrap().posting.node, NodeId(7));
+        assert_eq!(m.skip_to(NodeId(12)).unwrap().posting.node, NodeId(12));
+        assert_eq!(m.next().unwrap().posting.node, NodeId(12));
+        assert!(m.next().is_none());
+    }
+}
+
+#[cfg(test)]
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+    use xclean_xmltree::PathId;
+
+    proptest! {
+        /// Draining via arbitrary interleavings of next/skip_to yields a
+        /// subsequence of the fully merged order with nothing < the last
+        /// skip target surviving.
+        #[test]
+        fn skip_preserves_merge_semantics(
+            lists in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..200, 0..30), 1..4),
+            ops in proptest::collection::vec((0u32..2, 0u32..220), 0..40),
+        ) {
+            let pls: Vec<PostingList> = lists
+                .iter()
+                .map(|s| {
+                    let mut l = PostingList::new();
+                    for &n in s {
+                        l.push(NodeId(n), PathId(0), 1, &[n]);
+                    }
+                    l
+                })
+                .collect();
+            let mut m = MergedList::new(
+                pls.iter().enumerate().map(|(i, l)| (TokenId(i as u32), l)),
+            );
+            // Reference: fully merged sorted multiset.
+            let mut all: Vec<u32> = lists.iter().flatten().copied().collect();
+            all.sort_unstable();
+            let mut ref_pos = 0usize;
+            let mut last = None;
+            for (op, arg) in ops {
+                if op == 0 {
+                    let got = m.next().map(|e| e.posting.node.0);
+                    let expect = all.get(ref_pos).copied();
+                    prop_assert_eq!(got, expect);
+                    if got.is_some() { ref_pos += 1; }
+                } else {
+                    let got = m.skip_to(NodeId(arg)).map(|e| e.posting.node.0);
+                    ref_pos += all[ref_pos..].partition_point(|&x| x < arg);
+                    let expect = all.get(ref_pos).copied();
+                    prop_assert_eq!(got, expect);
+                }
+                if let Some(e) = m.cur_pos() {
+                    if let Some(l) = last {
+                        prop_assert!(e.posting.node.0 >= l);
+                    }
+                    last = Some(e.posting.node.0);
+                }
+            }
+        }
+    }
+}

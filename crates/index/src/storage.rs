@@ -1,0 +1,332 @@
+//! Persistent index format.
+//!
+//! The paper builds its indexes offline (§VII-A reports 1.8 GB / 400 MB
+//! index sizes); this module is the corresponding persistence layer: a
+//! versioned binary snapshot of a [`CorpusIndex`] that loads without
+//! re-parsing or re-tokenising the XML.
+//!
+//! Layout (all integers LEB128 varints):
+//!
+//! ```text
+//! magic "XCLIDX1\0"
+//! TREE    : label table (count, strings); node records in preorder
+//!           (depth, label id, optional text)
+//! VOCAB   : count; per token: term, cf, df
+//! POSTINGS: per token: length-prefixed posting-list codec blob
+//! TOKENIZER: min_token_len, drop_numbers, drop_stop_words
+//! ```
+//!
+//! The tree is stored as a builder *replay* (depth deltas drive
+//! `open`/`close`), so loading reuses the ordinary construction path and
+//! every structural invariant is re-established rather than trusted.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use xclean_xmltree::{Tokenizer, TokenizerConfig, TreeBuilder, XmlTree};
+
+use crate::codec::{self, get_varint, put_varint, CodecError};
+use crate::corpus::CorpusIndex;
+use crate::posting::PostingList;
+use crate::vocab::Vocabulary;
+
+const MAGIC: &[u8; 8] = b"XCLIDX1\0";
+
+/// Errors raised while loading a stored index.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The input does not start with the format magic.
+    BadMagic,
+    /// A low-level decoding failure.
+    Codec(CodecError),
+    /// Structural inconsistency in the stored data.
+    Corrupt(&'static str),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::BadMagic => write!(f, "not an xclean index file"),
+            StorageError::Codec(e) => write!(f, "decode error: {e}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt index: {m}"),
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<CodecError> for StorageError {
+    fn from(e: CodecError) -> Self {
+        StorageError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, StorageError> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(StorageError::Codec(CodecError::UnexpectedEof));
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| StorageError::Corrupt("non-utf8 string"))
+}
+
+/// Serialises a corpus index to bytes.
+pub fn to_bytes(corpus: &CorpusIndex) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    let tree = corpus.tree();
+
+    // TREE: label table, then preorder node records.
+    let labels = tree.labels();
+    put_varint(&mut buf, labels.len() as u64);
+    for i in 0..labels.len() as u32 {
+        put_str(&mut buf, labels.name(xclean_xmltree::LabelId(i)));
+    }
+    put_varint(&mut buf, tree.len() as u64);
+    for n in tree.iter() {
+        put_varint(&mut buf, u64::from(tree.depth(n)));
+        put_varint(&mut buf, u64::from(tree.label(n).0));
+        match tree.text(n) {
+            Some(t) => {
+                buf.put_u8(1);
+                put_str(&mut buf, t);
+            }
+            None => buf.put_u8(0),
+        }
+    }
+
+    // VOCAB.
+    let vocab = corpus.vocab();
+    put_varint(&mut buf, vocab.len() as u64);
+    for i in 0..vocab.len() as u32 {
+        let t = crate::vocab::TokenId(i);
+        put_str(&mut buf, vocab.term(t));
+        put_varint(&mut buf, vocab.cf(t));
+        put_varint(&mut buf, vocab.df(t));
+    }
+
+    // POSTINGS.
+    for i in 0..vocab.len() as u32 {
+        let blob = codec::encode(corpus.postings(crate::vocab::TokenId(i)));
+        put_varint(&mut buf, blob.len() as u64);
+        buf.put_slice(&blob);
+    }
+
+    // TOKENIZER.
+    let tc = corpus.tokenizer().config();
+    put_varint(&mut buf, tc.min_token_len as u64);
+    buf.put_u8(u8::from(tc.drop_numbers));
+    buf.put_u8(u8::from(tc.drop_stop_words));
+
+    buf.freeze()
+}
+
+/// Reads a count that prefixes a sequence of records, each of which
+/// occupies at least `min_record_bytes` in the remaining buffer — so a
+/// hostile count can never trigger an oversized allocation.
+fn get_count(buf: &mut Bytes, min_record_bytes: usize) -> Result<usize, StorageError> {
+    let count = get_varint(buf)? as usize;
+    if count.saturating_mul(min_record_bytes.max(1)) > buf.remaining() {
+        return Err(StorageError::Corrupt("count exceeds remaining input"));
+    }
+    Ok(count)
+}
+
+/// Restores a corpus index from bytes produced by [`to_bytes`].
+pub fn from_bytes(mut buf: Bytes) -> Result<CorpusIndex, StorageError> {
+    if buf.remaining() < MAGIC.len() || &buf.copy_to_bytes(MAGIC.len())[..] != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+
+    // TREE.
+    let label_count = get_count(&mut buf, 1)?;
+    let mut label_names = Vec::with_capacity(label_count);
+    for _ in 0..label_count {
+        label_names.push(get_str(&mut buf)?);
+    }
+    let node_count = get_count(&mut buf, 3)?;
+    if node_count == 0 {
+        return Err(StorageError::Corrupt("empty tree"));
+    }
+    let mut builder: Option<TreeBuilder> = None;
+    let mut prev_depth = 0u64;
+    for i in 0..node_count {
+        let depth = get_varint(&mut buf)?;
+        let label = get_varint(&mut buf)? as usize;
+        let name = label_names
+            .get(label)
+            .ok_or(StorageError::Corrupt("label id out of range"))?;
+        let has_text = buf.has_remaining() && buf.get_u8() == 1;
+        let text = if has_text { Some(get_str(&mut buf)?) } else { None };
+        if i == 0 {
+            if depth != 1 {
+                return Err(StorageError::Corrupt("root must have depth 1"));
+            }
+            let mut b = TreeBuilder::new(name);
+            if let Some(t) = &text {
+                b.text(t);
+            }
+            builder = Some(b);
+        } else {
+            let b = builder.as_mut().expect("builder initialised");
+            if depth < 2 || depth > prev_depth + 1 {
+                return Err(StorageError::Corrupt("invalid depth sequence"));
+            }
+            // Close back up to the parent depth, then open.
+            for _ in 0..(prev_depth + 1 - depth) {
+                b.close();
+            }
+            b.open(name);
+            if let Some(t) = &text {
+                b.text(t);
+            }
+        }
+        prev_depth = depth;
+    }
+    let tree: XmlTree = builder.expect("at least the root").finish();
+
+    // VOCAB.
+    let vocab_count = get_count(&mut buf, 3)?;
+    let mut terms = Vec::with_capacity(vocab_count);
+    let mut cf = Vec::with_capacity(vocab_count);
+    let mut df = Vec::with_capacity(vocab_count);
+    for _ in 0..vocab_count {
+        terms.push(get_str(&mut buf)?);
+        cf.push(get_varint(&mut buf)?);
+        df.push(get_varint(&mut buf)?);
+    }
+    let vocab = Vocabulary::from_parts(terms, cf, df);
+
+    // POSTINGS.
+    let mut lists: Vec<PostingList> = Vec::with_capacity(vocab_count);
+    for _ in 0..vocab_count {
+        let len = get_varint(&mut buf)? as usize;
+        if buf.remaining() < len {
+            return Err(StorageError::Codec(CodecError::UnexpectedEof));
+        }
+        let blob = buf.copy_to_bytes(len);
+        lists.push(codec::decode(blob)?);
+    }
+
+    // TOKENIZER.
+    let min_token_len = get_varint(&mut buf)? as usize;
+    if buf.remaining() < 2 {
+        return Err(StorageError::Codec(CodecError::UnexpectedEof));
+    }
+    let drop_numbers = buf.get_u8() == 1;
+    let drop_stop_words = buf.get_u8() == 1;
+    let tokenizer = Tokenizer::new(TokenizerConfig {
+        min_token_len,
+        drop_numbers,
+        drop_stop_words,
+    });
+
+    Ok(CorpusIndex::from_parts(tree, vocab, lists, tokenizer))
+}
+
+/// Writes the index to a file.
+pub fn save_to_file(
+    corpus: &CorpusIndex,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), StorageError> {
+    std::fs::write(path, to_bytes(corpus))?;
+    Ok(())
+}
+
+/// Loads an index from a file.
+pub fn load_from_file(path: impl AsRef<std::path::Path>) -> Result<CorpusIndex, StorageError> {
+    let data = std::fs::read(path)?;
+    from_bytes(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::TokenId;
+    use xclean_xmltree::parse_document;
+
+    fn corpus() -> CorpusIndex {
+        let xml = "<dblp>\
+            <article><title>keyword search systems</title><author>smith</author></article>\
+            <article year=\"2009\"><title>keyword cleaning</title><author>jones</author></article>\
+        </dblp>";
+        CorpusIndex::build(parse_document(xml).unwrap())
+    }
+
+    fn assert_equivalent(a: &CorpusIndex, b: &CorpusIndex) {
+        assert_eq!(a.tree().len(), b.tree().len());
+        for n in a.tree().iter() {
+            assert_eq!(a.tree().depth(n), b.tree().depth(n));
+            assert_eq!(a.tree().label_name(n), b.tree().label_name(n));
+            assert_eq!(a.tree().text(n), b.tree().text(n));
+            assert_eq!(a.tree().subtree_end(n), b.tree().subtree_end(n));
+            assert_eq!(a.tree().path_string(n), b.tree().path_string(n));
+            assert_eq!(a.doc_len(n), b.doc_len(n));
+        }
+        assert_eq!(a.vocab().len(), b.vocab().len());
+        for i in 0..a.vocab().len() as u32 {
+            let t = TokenId(i);
+            assert_eq!(a.vocab().term(t), b.vocab().term(t));
+            assert_eq!(a.vocab().cf(t), b.vocab().cf(t));
+            assert_eq!(a.vocab().df(t), b.vocab().df(t));
+            assert_eq!(a.postings(t), b.postings(t));
+            assert_eq!(
+                a.path_stats().paths_of(t),
+                b.path_stats().paths_of(t)
+            );
+        }
+        assert_eq!(a.vocab().total_tokens(), b.vocab().total_tokens());
+        assert_eq!(a.element_count(), b.element_count());
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let a = corpus();
+        let bytes = to_bytes(&a);
+        let b = from_bytes(bytes).unwrap();
+        assert_equivalent(&a, &b);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            from_bytes(Bytes::from_static(b"NOTANIDX")),
+            Err(StorageError::BadMagic)
+        ));
+        assert!(from_bytes(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = to_bytes(&corpus());
+        // Any truncation must error, never panic.
+        for cut in (8..bytes.len()).step_by(7) {
+            assert!(from_bytes(bytes.slice(0..cut)).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let a = corpus();
+        let dir = std::env::temp_dir().join("xclean_storage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.xci");
+        save_to_file(&a, &path).unwrap();
+        let b = load_from_file(&path).unwrap();
+        assert_equivalent(&a, &b);
+        std::fs::remove_file(&path).ok();
+    }
+}

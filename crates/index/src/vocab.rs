@@ -1,0 +1,178 @@
+//! The vocabulary: interned tokens with collection statistics.
+
+use std::collections::HashMap;
+
+/// Interned token id. Ids are dense and start at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TokenId(pub u32);
+
+impl TokenId {
+    /// The token id as a `usize` table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// All distinct tokens of the corpus (§III: "these tokens collectively form
+/// the vocabulary V"), with per-token collection statistics.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    by_term: HashMap<String, TokenId>,
+    /// Collection frequency: total occurrences of the token.
+    cf: Vec<u64>,
+    /// Element-document frequency: number of nodes whose *direct* text
+    /// contains the token (PY08's `df`).
+    df: Vec<u64>,
+    total_tokens: u64,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `term`, recording `count` additional occurrences within one
+    /// element (increments `df` once and `cf` by `count`).
+    pub fn observe(&mut self, term: &str, count: u64) -> TokenId {
+        let id = self.intern(term);
+        self.cf[id.index()] += count;
+        self.df[id.index()] += 1;
+        self.total_tokens += count;
+        id
+    }
+
+    /// Records `count` occurrences of an already-interned token within one
+    /// element (increments `df` once and `cf` by `count`).
+    pub fn observe_id(&mut self, id: TokenId, count: u64) {
+        self.cf[id.index()] += count;
+        self.df[id.index()] += 1;
+        self.total_tokens += count;
+    }
+
+    /// Interns `term` without recording occurrences.
+    pub fn intern(&mut self, term: &str) -> TokenId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = TokenId(self.terms.len() as u32);
+        self.terms.push(term.to_string());
+        self.by_term.insert(term.to_string(), id);
+        self.cf.push(0);
+        self.df.push(0);
+        id
+    }
+
+    /// Looks up an existing token.
+    pub fn get(&self, term: &str) -> Option<TokenId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The token's surface form.
+    pub fn term(&self, id: TokenId) -> &str {
+        &self.terms[id.index()]
+    }
+
+    /// Collection frequency (total occurrences).
+    pub fn cf(&self, id: TokenId) -> u64 {
+        self.cf[id.index()]
+    }
+
+    /// Element-document frequency (distinct nodes containing the token
+    /// directly).
+    pub fn df(&self, id: TokenId) -> u64 {
+        self.df[id.index()]
+    }
+
+    /// Total token occurrences in the collection (`Σ cf`).
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Number of distinct tokens `|V|`.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` when no tokens are interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// All terms in id order.
+    pub fn terms(&self) -> &[String] {
+        &self.terms
+    }
+
+    /// Reconstructs a vocabulary from stored parts (used by the index
+    /// storage format). `terms`, `cf` and `df` must be parallel arrays.
+    pub fn from_parts(terms: Vec<String>, cf: Vec<u64>, df: Vec<u64>) -> Self {
+        assert_eq!(terms.len(), cf.len());
+        assert_eq!(terms.len(), df.len());
+        let by_term = terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), TokenId(i as u32)))
+            .collect();
+        let total_tokens = cf.iter().sum();
+        Vocabulary {
+            terms,
+            by_term,
+            cf,
+            df,
+            total_tokens,
+        }
+    }
+
+    /// Background-model probability `P(w|B) = cf(w) / total` (§IV-B2).
+    pub fn background_prob(&self, id: TokenId) -> f64 {
+        if self.total_tokens == 0 {
+            0.0
+        } else {
+            self.cf(id) as f64 / self.total_tokens as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_accumulates() {
+        let mut v = Vocabulary::new();
+        let a = v.observe("tree", 2);
+        let b = v.observe("icde", 1);
+        let a2 = v.observe("tree", 3);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.cf(a), 5);
+        assert_eq!(v.df(a), 2);
+        assert_eq!(v.cf(b), 1);
+        assert_eq!(v.total_tokens(), 6);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.term(a), "tree");
+        assert_eq!(v.get("tree"), Some(a));
+        assert_eq!(v.get("nope"), None);
+    }
+
+    #[test]
+    fn background_probabilities_sum_to_one() {
+        let mut v = Vocabulary::new();
+        v.observe("a", 1);
+        v.observe("b", 3);
+        v.observe("c", 6);
+        let sum: f64 = (0..v.len() as u32)
+            .map(|i| v.background_prob(TokenId(i)))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_vocab_background_is_zero() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("x");
+        assert_eq!(v.background_prob(id), 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! The typographical error model (§IV-B1).
+//!
+//! Following Mays et al.'s confusion-set model generalised to thresholds
+//! ε > 1, the probability of observing keyword `q` when `w` was intended
+//! decays exponentially with their edit distance:
+//!
+//! ```text
+//! P(q|w) = (1/z') · exp(−β · ed(q, w))
+//! ```
+//!
+//! `β` is the error penalty (the paper finds β = 5 best, Table IV). All
+//! computation is done in log space; per-keyword normalisation over the
+//! variant set keeps candidate scores comparable.
+
+/// Error model parameterised by the penalty β.
+#[derive(Debug, Clone, Copy)]
+pub struct ErrorModel {
+    beta: f64,
+}
+
+impl ErrorModel {
+    /// Creates the model. The paper's default (and reported best) β is 5.
+    pub fn new(beta: f64) -> Self {
+        assert!(beta >= 0.0, "β must be non-negative");
+        ErrorModel { beta }
+    }
+
+    /// The penalty parameter β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Unnormalised log-probability `−β · ed` of one keyword.
+    pub fn log_weight(&self, edit_distance: u32) -> f64 {
+        -self.beta * f64::from(edit_distance)
+    }
+
+    /// Normalised log `P(w|q)` for a variant at `edit_distance`, where
+    /// `all_distances` are the edit distances of the full variant set
+    /// `var_ε(q)` (Eq. 4: the probability mass is distributed over the
+    /// variants inverse-exponentially in distance).
+    pub fn log_prob_normalized(&self, edit_distance: u32, all_distances: &[u32]) -> f64 {
+        let log_z = self.log_partition(all_distances);
+        self.log_weight(edit_distance) - log_z
+    }
+
+    /// Log of the normalisation factor `z = Σ exp(−β·ed_i)` computed with
+    /// the log-sum-exp trick for stability at large β.
+    pub fn log_partition(&self, all_distances: &[u32]) -> f64 {
+        assert!(
+            !all_distances.is_empty(),
+            "variant set must contain at least the keyword's own match set"
+        );
+        let max = all_distances
+            .iter()
+            .map(|&d| self.log_weight(d))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let sum: f64 = all_distances
+            .iter()
+            .map(|&d| (self.log_weight(d) - max).exp())
+            .sum();
+        max + sum.ln()
+    }
+
+    /// Joint log error probability of a multi-keyword candidate under the
+    /// independence assumption (Eq. 6): `Σ_j −β · ed(q_j, C[j])`.
+    pub fn log_query_weight(&self, edit_distances: &[u32]) -> f64 {
+        edit_distances.iter().map(|&d| self.log_weight(d)).sum()
+    }
+}
+
+impl Default for ErrorModel {
+    /// β = 5, the paper's reported best setting.
+    fn default() -> Self {
+        ErrorModel::new(5.0)
+    }
+}
+
+/// The single-edit-error confusion-set model of Mays, Damerau & Mercer
+/// (Eq. 3 of the paper), which the exponential model generalises:
+///
+/// ```text
+/// P(q|w) = α                      if q = w
+///        = (1−α) / |var₁(q)\{q}|  otherwise
+/// ```
+///
+/// Only defined for ε = 1. Kept as the reference model; the engine uses
+/// [`ErrorModel`], which coincides with this one in ranking terms when all
+/// misspelt variants are at distance 1.
+#[derive(Debug, Clone, Copy)]
+pub struct MaysErrorModel {
+    alpha: f64,
+}
+
+impl MaysErrorModel {
+    /// Creates the model; Mays et al. suggest α ≈ 0.99.
+    pub fn new(alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "α must be a probability");
+        MaysErrorModel { alpha }
+    }
+
+    /// The keep probability α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// `log P(q|w)` for a variant at `edit_distance` ∈ {0, 1}, given the
+    /// number of *other* distance-1 variants in the confusion set.
+    ///
+    /// Panics if `edit_distance > 1` (the model is single-error only).
+    pub fn log_prob(&self, edit_distance: u32, confusion_set_size: usize) -> f64 {
+        match edit_distance {
+            0 => self.alpha.ln(),
+            1 => {
+                if confusion_set_size == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    ((1.0 - self.alpha) / confusion_set_size as f64).ln()
+                }
+            }
+            _ => panic!("the Mays model is defined for single errors only"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_outweighs_any_error() {
+        let m = ErrorModel::default();
+        assert!(m.log_weight(0) > m.log_weight(1));
+        assert!(m.log_weight(1) > m.log_weight(2));
+        assert_eq!(m.log_weight(0), 0.0);
+    }
+
+    #[test]
+    fn beta_zero_is_indifferent() {
+        let m = ErrorModel::new(0.0);
+        assert_eq!(m.log_weight(0), m.log_weight(3));
+    }
+
+    #[test]
+    fn normalized_probabilities_sum_to_one() {
+        let m = ErrorModel::new(5.0);
+        let dists = [0u32, 1, 1, 2];
+        let total: f64 = dists
+            .iter()
+            .map(|&d| m.log_prob_normalized(d, &dists).exp())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum was {total}");
+    }
+
+    #[test]
+    fn large_beta_is_stable() {
+        let m = ErrorModel::new(50.0);
+        let dists = [0u32, 1, 2];
+        let p0 = m.log_prob_normalized(0, &dists).exp();
+        assert!(p0 > 0.999);
+        assert!(p0.is_finite());
+    }
+
+    #[test]
+    fn joint_weight_is_additive() {
+        let m = ErrorModel::new(5.0);
+        assert_eq!(
+            m.log_query_weight(&[1, 2]),
+            m.log_weight(1) + m.log_weight(2)
+        );
+        assert_eq!(m.log_query_weight(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_beta_rejected() {
+        let _ = ErrorModel::new(-1.0);
+    }
+
+    #[test]
+    fn mays_model_matches_eq3() {
+        let m = MaysErrorModel::new(0.9);
+        assert!((m.log_prob(0, 5).exp() - 0.9).abs() < 1e-12);
+        // Remaining 0.1 split over 4 variants.
+        assert!((m.log_prob(1, 4).exp() - 0.025).abs() < 1e-12);
+        assert_eq!(m.log_prob(1, 0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn mays_mass_is_conserved() {
+        let m = MaysErrorModel::new(0.75);
+        let others = 6usize;
+        let total = m.log_prob(0, others).exp()
+            + (0..others).map(|_| m.log_prob(1, others).exp()).sum::<f64>();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "single errors")]
+    fn mays_rejects_distance_two() {
+        MaysErrorModel::new(0.9).log_prob(2, 3);
+    }
+
+    #[test]
+    fn mays_and_exponential_agree_on_ranking_for_single_errors() {
+        // When every misspelt variant is at distance 1, both models rank
+        // (exact match) above (any misspelling) and tie all misspellings.
+        let mays = MaysErrorModel::new(0.99);
+        let expo = ErrorModel::new(5.0);
+        assert!(mays.log_prob(0, 3) > mays.log_prob(1, 3));
+        assert!(expo.log_weight(0) > expo.log_weight(1));
+        assert_eq!(mays.log_prob(1, 3), mays.log_prob(1, 3));
+    }
+}

@@ -1,0 +1,415 @@
+//! The XClean top-k algorithm (Algorithm 1 of the paper, §V-C).
+//!
+//! One pass over the merged variant inverted lists:
+//!
+//! 1. pick the **anchor** — the largest head among the keywords'
+//!    [`xclean_index::MergedList`]s;
+//! 2. truncate its Dewey code to the minimal depth `d`, obtaining the
+//!    gating subtree `g`;
+//! 3. `skip_to(g)` every merged list (discarding everything before `g`),
+//!    then collect all variant occurrences inside `g`'s subtree;
+//! 4. enumerate the candidate queries formed by the variants observed in
+//!    the subtree, infer each one's best result type (cached), identify
+//!    the entity nodes of that type, and accumulate
+//!    `Π_{w∈C} P(w|D(r))` per entity into the candidate's accumulator;
+//! 5. repeat until any merged list is exhausted.
+//!
+//! Node-id comparisons stand in for Dewey comparisons throughout (the
+//! tree arena is in preorder, so the orders coincide).
+
+use std::collections::HashMap;
+
+use xclean_index::{CorpusIndex, TokenId};
+use xclean_lm::{ErrorModel, LanguageModel};
+use xclean_xmltree::{NodeId, PathId};
+
+use crate::config::{EntityPrior, XCleanConfig};
+use crate::pruning::{AccumulatorTable, CandidateKey, PruningStats};
+use crate::result_type::{find_result_type, ResultType};
+use crate::variants::Variant;
+
+/// A query keyword with its generated variant set.
+#[derive(Debug, Clone)]
+pub struct KeywordSlot {
+    /// The observed (possibly misspelt) keyword.
+    pub keyword: String,
+    /// `var_ε(keyword)`.
+    pub variants: Vec<Variant>,
+}
+
+/// One scored suggestion.
+#[derive(Debug, Clone)]
+pub struct ScoredCandidate {
+    /// One variant token per query keyword.
+    pub tokens: CandidateKey,
+    /// Final log score: `log P(Q|C) + log(Σ_r P(C|r) / N)` (Eq. 10 up to
+    /// the query-constant κ and per-keyword normalisation).
+    pub log_score: f64,
+    /// Edit distance of each keyword.
+    pub distances: Vec<u32>,
+    /// The inferred result type `p_C`.
+    pub result_path: PathId,
+    /// Number of entities that matched all keywords.
+    pub entity_count: u64,
+}
+
+/// Counters describing one run (feeds the efficiency experiments).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunStats {
+    /// Depth-`d` subtrees processed.
+    pub subtrees: u64,
+    /// Candidate queries enumerated (with multiplicity across subtrees).
+    pub candidates_enumerated: u64,
+    /// Distinct candidates for which a result type was computed.
+    pub result_type_computations: u64,
+    /// Entity score contributions accumulated.
+    pub entities_scored: u64,
+    /// Postings consumed via `next()` across all merged lists.
+    pub postings_read: u64,
+    /// Postings jumped by `skip_to` across all merged lists.
+    pub postings_skipped: u64,
+    /// Accumulator-table pruning outcome.
+    pub pruning: PruningStats,
+}
+
+/// Output of [`run_xclean`]: candidates sorted by descending score, plus
+/// run statistics.
+#[derive(Debug, Default)]
+pub struct RunOutput {
+    /// All surviving candidates, best first (callers take the top k).
+    pub candidates: Vec<ScoredCandidate>,
+    /// Run counters.
+    pub stats: RunStats,
+}
+
+/// Executes Algorithm 1 and final scoring.
+pub fn run_xclean(
+    corpus: &CorpusIndex,
+    slots: &[KeywordSlot],
+    config: &XCleanConfig,
+) -> RunOutput {
+    let mut out = RunOutput::default();
+    if slots.is_empty() || slots.iter().any(|s| s.variants.is_empty()) {
+        // Some keyword has no variant at all: the candidate space is empty.
+        return out;
+    }
+    let error_model = ErrorModel::new(config.beta);
+    let lm = LanguageModel::new(corpus, config.effective_smoothing());
+
+    // Per-slot edit distances for error weights.
+    let distance_of: Vec<HashMap<TokenId, u32>> = slots
+        .iter()
+        .map(|s| s.variants.iter().map(|v| (v.token, v.distance)).collect())
+        .collect();
+
+    // Result-type cache (the hash table `P` of Algorithm 1).
+    let mut type_cache: HashMap<CandidateKey, Option<ResultType>> = HashMap::new();
+    let mut table = AccumulatorTable::new(config.gamma);
+    let mut candidates_enumerated = 0u64;
+    let mut result_type_computations = 0u64;
+    let mut entities_scored = 0u64;
+
+    crate::walk::walk_gated_subtrees(
+        corpus,
+        slots,
+        config,
+        &mut out.stats,
+        |_g, occurrences, slot_tokens| {
+            // Lines 12–15: enumerate candidates and accumulate entity
+            // scores. Entity-count maps are built lazily per result type.
+            let mut entity_maps: HashMap<PathId, HashMap<NodeId, HashMap<TokenId, u64>>> =
+                HashMap::new();
+            let mut budget = config.max_candidates_per_subtree;
+            crate::walk::enumerate_candidates(slot_tokens, &mut budget, &mut |cand| {
+                candidates_enumerated += 1;
+                let rt = type_cache.entry(cand.to_vec()).or_insert_with(|| {
+                    result_type_computations += 1;
+                    find_result_type(corpus, cand, config.min_depth, config.depth_decay)
+                });
+                let Some(rt) = *rt else { return };
+                let entities = entity_maps
+                    .entry(rt.path)
+                    .or_insert_with(|| build_entity_map(corpus, occurrences, rt.path));
+                let distances: Vec<u32> = cand
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| distance_of[i][t])
+                    .collect();
+                let log_w = error_model.log_query_weight(&distances);
+                for (&r, counts) in entities.iter() {
+                    // The entity must contain every keyword of the candidate.
+                    let mut score = 0.0f64;
+                    let mut ok = true;
+                    let dlen = corpus.doc_len(r);
+                    for &t in cand.iter() {
+                        match counts.get(&t) {
+                            Some(&c) if c > 0 => {
+                                score += lm.log_prob(t, c, dlen);
+                            }
+                            _ => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        entities_scored += 1;
+                        let weight = match config.prior {
+                            EntityPrior::Uniform => 1.0,
+                            EntityPrior::DocLength => dlen.max(1) as f64,
+                        };
+                        table.add_weighted(
+                            cand,
+                            score.exp() * weight,
+                            weight,
+                            log_w,
+                            &distances,
+                            rt.path,
+                        );
+                    }
+                }
+            });
+        },
+    );
+    out.stats.candidates_enumerated = candidates_enumerated;
+    out.stats.result_type_computations = result_type_computations;
+    out.stats.entities_scored = entities_scored;
+    out.stats.pruning = table.stats();
+
+    // Final scoring: log P(Q|C) + log( Σ_r P(C|r)·P(r|T) ) (Eq. 10).
+    let mut scored: Vec<ScoredCandidate> = table
+        .into_entries()
+        .into_iter()
+        .filter(|(_, acc)| acc.score_sum > 0.0)
+        .map(|(tokens, acc)| {
+            // Prior normaliser: the total prior mass over *all* entities
+            // of the result type (Eq. 8 sums over every r_j; non-matching
+            // entities contribute zero).
+            let normalizer = match config.prior {
+                EntityPrior::Uniform => {
+                    corpus.count_nodes_of_path(acc.result_path).max(1) as f64
+                }
+                EntityPrior::DocLength => {
+                    corpus.path_doc_len_total(acc.result_path).max(1) as f64
+                }
+            };
+            ScoredCandidate {
+                log_score: acc.log_error_weight + (acc.score_sum / normalizer).ln(),
+                tokens,
+                distances: acc.distances,
+                result_path: acc.result_path,
+                entity_count: acc.entity_count,
+            }
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.log_score
+            .partial_cmp(&a.log_score)
+            .expect("scores are never NaN")
+            .then_with(|| a.tokens.cmp(&b.tokens))
+    });
+    out.candidates = scored;
+    out
+}
+
+/// Builds, for one result type `path`, the map
+/// `entity node → (token → occurrence count in entity subtree)` from the
+/// occurrences collected in the current gating subtree. Occurrences are
+/// deduplicated across slots (the same posting can surface in several
+/// keywords' merged lists).
+fn build_entity_map(
+    corpus: &CorpusIndex,
+    occurrences: &[Vec<(TokenId, NodeId, u32)>],
+    path: PathId,
+) -> HashMap<NodeId, HashMap<TokenId, u64>> {
+    let tree = corpus.tree();
+    let depth = tree.paths().depth(path);
+    let mut seen: HashMap<(TokenId, NodeId), ()> = HashMap::new();
+    let mut map: HashMap<NodeId, HashMap<TokenId, u64>> = HashMap::new();
+    for occ in occurrences {
+        for &(token, node, tf) in occ {
+            if seen.insert((token, node), ()).is_some() {
+                continue;
+            }
+            let Some(r) = tree.ancestor_at_depth(node, depth) else {
+                continue;
+            };
+            if tree.path(r) != path {
+                continue;
+            }
+            *map.entry(r).or_default().entry(token).or_insert(0) += u64::from(tf);
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variants::VariantGenerator;
+    use xclean_xmltree::parse_document;
+
+    /// Corpus mirroring the paper's running example (Figure 2/Example 5):
+    /// `tree`/`trie`/`trees` and `icde`/`icdt` spread over `/a/c` and
+    /// `/a/d` record subtrees.
+    fn corpus() -> CorpusIndex {
+        let xml = "<a>\
+            <c><x>tree</x></c>\
+            <c><x>trie</x><x>tree</x><y>icde</y></c>\
+            <d><x>trie</x><y>icdt icde</y></d>\
+            <d><x>trie</x><y>icde</y></d>\
+        </a>";
+        CorpusIndex::build(parse_document(xml).unwrap())
+    }
+
+    fn slots_for(corpus: &CorpusIndex, query: &[&str], eps: usize) -> Vec<KeywordSlot> {
+        let gen = VariantGenerator::build(corpus, eps, 14);
+        query
+            .iter()
+            .map(|q| KeywordSlot {
+                keyword: q.to_string(),
+                variants: gen.variants(q),
+            })
+            .collect()
+    }
+
+    fn term_strings(c: &CorpusIndex, cand: &ScoredCandidate) -> Vec<String> {
+        cand.tokens
+            .iter()
+            .map(|&t| c.vocab().term(t).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn example5_finds_valid_suggestions() {
+        let c = corpus();
+        let slots = slots_for(&c, &["tree", "icdt"], 1);
+        let out = run_xclean(&c, &slots, &XCleanConfig::default());
+        assert!(!out.candidates.is_empty());
+        let suggestions: Vec<Vec<String>> = out
+            .candidates
+            .iter()
+            .map(|cand| term_strings(&c, cand))
+            .collect();
+        // "trie icde" and "trie icdt" connect within /a/d records;
+        // "tree icde" connects within the second /a/c record.
+        assert!(suggestions.contains(&vec!["trie".into(), "icde".into()]));
+        assert!(suggestions.contains(&vec!["trie".into(), "icdt".into()]));
+        assert!(suggestions.contains(&vec!["tree".into(), "icde".into()]));
+        // Every suggested candidate must have at least one entity.
+        for cand in &out.candidates {
+            assert!(cand.entity_count > 0, "suggestions must have results");
+        }
+    }
+
+    #[test]
+    fn disconnected_candidates_are_not_suggested() {
+        // "tree icdt": tree appears only under /a/c subtrees, icdt only
+        // under /a/d — they never co-occur below depth 2, so the literal
+        // query must not be suggested even though both tokens exist.
+        let c = corpus();
+        let slots = slots_for(&c, &["tree", "icdt"], 1);
+        let out = run_xclean(&c, &slots, &XCleanConfig::default());
+        let suggestions: Vec<Vec<String>> = out
+            .candidates
+            .iter()
+            .map(|cand| term_strings(&c, cand))
+            .collect();
+        assert!(!suggestions.contains(&vec!["tree".into(), "icdt".into()]));
+    }
+
+    #[test]
+    fn empty_variant_slot_yields_no_candidates() {
+        let c = corpus();
+        let mut slots = slots_for(&c, &["tree", "icdt"], 1);
+        slots[1].variants.clear();
+        let out = run_xclean(&c, &slots, &XCleanConfig::default());
+        assert!(out.candidates.is_empty());
+    }
+
+    #[test]
+    fn single_keyword_query_works() {
+        let c = corpus();
+        let slots = slots_for(&c, &["icde"], 1);
+        let out = run_xclean(&c, &slots, &XCleanConfig::default());
+        assert!(!out.candidates.is_empty());
+        let top = term_strings(&c, &out.candidates[0]);
+        assert_eq!(top, vec!["icde".to_string()]);
+    }
+
+    #[test]
+    fn clean_query_ranks_itself_first() {
+        let c = corpus();
+        let slots = slots_for(&c, &["trie", "icde"], 1);
+        let out = run_xclean(&c, &slots, &XCleanConfig::default());
+        let top = term_strings(&c, &out.candidates[0]);
+        assert_eq!(top, vec!["trie".to_string(), "icde".to_string()]);
+        assert_eq!(out.candidates[0].distances, vec![0, 0]);
+    }
+
+    #[test]
+    fn skipping_does_not_change_results() {
+        let c = corpus();
+        let slots = slots_for(&c, &["tree", "icdt"], 1);
+        let with = run_xclean(&c, &slots, &XCleanConfig::default());
+        let without = run_xclean(
+            &c,
+            &slots,
+            &XCleanConfig {
+                enable_skipping: false,
+                ..Default::default()
+            },
+        );
+        let a: Vec<_> = with.candidates.iter().map(|x| (&x.tokens, x.log_score)).collect();
+        let b: Vec<_> = without.candidates.iter().map(|x| (&x.tokens, x.log_score)).collect();
+        assert_eq!(a.len(), b.len());
+        for ((ta, sa), (tb, sb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ta, tb);
+            assert!((sa - sb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let c = corpus();
+        let slots = slots_for(&c, &["tree", "icdt"], 1);
+        let out = run_xclean(&c, &slots, &XCleanConfig::default());
+        assert!(out.stats.subtrees > 0);
+        assert!(out.stats.candidates_enumerated > 0);
+        assert!(out.stats.postings_read > 0);
+        assert!(out.stats.entities_scored > 0);
+    }
+
+    #[test]
+    fn tight_gamma_still_returns_top_candidate() {
+        let c = corpus();
+        let slots = slots_for(&c, &["tree", "icdt"], 1);
+        let full = run_xclean(&c, &slots, &XCleanConfig::default());
+        let tight = run_xclean(
+            &c,
+            &slots,
+            &XCleanConfig {
+                gamma: Some(1),
+                ..Default::default()
+            },
+        );
+        assert!(!tight.candidates.is_empty());
+        // γ=1 keeps a single accumulator; it should be a real candidate
+        // that also appears in the unpruned run.
+        let kept = &tight.candidates[0].tokens;
+        assert!(full.candidates.iter().any(|c| &c.tokens == kept));
+    }
+
+    #[test]
+    fn scores_decrease_with_edit_distance_ceteris_paribus() {
+        let c = corpus();
+        // Query exactly "icde": variants icde (d=0) and icdt (d=1) have
+        // similar distributions; icde must rank first.
+        let slots = slots_for(&c, &["icde"], 1);
+        let out = run_xclean(&c, &slots, &XCleanConfig::default());
+        assert_eq!(term_strings(&c, &out.candidates[0]), vec!["icde".to_string()]);
+        if out.candidates.len() > 1 {
+            assert!(out.candidates[0].log_score > out.candidates[1].log_score);
+        }
+    }
+}

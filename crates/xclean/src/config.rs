@@ -1,0 +1,145 @@
+//! Tunable parameters of the XClean engine.
+
+/// The entity prior `P(r_j|T)` of Eq. 8.
+///
+/// The paper evaluates the uniform prior and notes the framework "can be
+/// easily generalized to non-uniform priors if additional data or domain
+/// knowledge is available". [`EntityPrior::DocLength`] implements the
+/// natural data-driven choice: an entity's prior mass is proportional to
+/// its virtual-document length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EntityPrior {
+    /// `P(r_j|T) = 1/N` over the N nodes of the result type (the paper's
+    /// setting).
+    #[default]
+    Uniform,
+    /// `P(r_j|T) ∝ |D(r_j)|` — longer entities are a priori likelier
+    /// targets.
+    DocLength,
+}
+
+/// Configuration of the XClean suggestion engine. Field defaults follow
+/// the settings the paper reports as best (§VII): β = 5, ε = 2, d = 2,
+/// r = 0.8, γ = 1000, k = 10.
+#[derive(Debug, Clone)]
+pub struct XCleanConfig {
+    /// Maximum edit errors per keyword (ε of `var_ε(q)`).
+    pub epsilon: usize,
+    /// Error-model penalty β (Eq. 5). The paper's sweep (Table IV) finds
+    /// β = 5 best.
+    pub beta: f64,
+    /// Dirichlet smoothing mass μ (§IV-B2).
+    pub mu: f64,
+    /// Depth-reduction factor `r` of the result-type utility (Eq. 7).
+    pub depth_decay: f64,
+    /// Minimal depth threshold `d`: result types shallower than this are
+    /// not considered and subtrees are gated at this depth (§V-B). The
+    /// paper finds d = 2 sufficient.
+    pub min_depth: u32,
+    /// Maximum number of in-memory score accumulators γ (§V-D). `None`
+    /// disables pruning (keep every candidate).
+    pub gamma: Option<usize>,
+    /// Number of suggestions to return.
+    pub k: usize,
+    /// Safety valve on candidate queries enumerated within one subtree
+    /// (the paper's observation that `|C_eff|` can be bounded by a
+    /// constant without quality loss).
+    pub max_candidates_per_subtree: usize,
+    /// Words longer than this use the partitioned FastSS scheme (`l_p`).
+    pub partition_threshold: usize,
+    /// When `true` (default), `skip_to` alignment is used; `false` falls
+    /// back to plain heap merging (ablation E11).
+    pub enable_skipping: bool,
+    /// The entity prior `P(r_j|T)` (Eq. 8).
+    pub prior: EntityPrior,
+    /// When set, Soundex-equal vocabulary words join each keyword's
+    /// variant set with this pseudo edit distance (the §VI-A
+    /// cognitive-error extension). `None` disables phonetic matching.
+    pub phonetic_distance: Option<u32>,
+    /// Language-model smoothing override. `None` (default) means
+    /// Dirichlet with the [`XCleanConfig::mu`] mass — the paper's
+    /// setting; `Some` selects an explicit scheme (e.g. Jelinek–Mercer)
+    /// for the smoothing ablation.
+    pub smoothing: Option<xclean_lm::Smoothing>,
+}
+
+impl Default for XCleanConfig {
+    fn default() -> Self {
+        XCleanConfig {
+            epsilon: 2,
+            beta: 5.0,
+            mu: 2000.0,
+            depth_decay: 0.8,
+            min_depth: 2,
+            gamma: Some(1000),
+            k: 10,
+            max_candidates_per_subtree: 4096,
+            partition_threshold: 14,
+            enable_skipping: true,
+            prior: EntityPrior::Uniform,
+            phonetic_distance: None,
+            smoothing: None,
+        }
+    }
+}
+
+impl XCleanConfig {
+    /// The effective smoothing scheme: the explicit override, or
+    /// Dirichlet with `mu`.
+    pub fn effective_smoothing(&self) -> xclean_lm::Smoothing {
+        self.smoothing
+            .unwrap_or(xclean_lm::Smoothing::Dirichlet { mu: self.mu })
+    }
+
+    /// Validates parameter ranges, panicking on nonsense values. Called by
+    /// the engine constructor.
+    pub fn validate(&self) {
+        assert!(self.beta >= 0.0, "β must be non-negative");
+        assert!(self.mu > 0.0, "μ must be positive");
+        self.effective_smoothing().validate();
+        assert!(
+            self.depth_decay > 0.0 && self.depth_decay <= 1.0,
+            "depth decay r must be in (0, 1]"
+        );
+        assert!(self.min_depth >= 1, "min depth must be at least 1");
+        assert!(self.k >= 1, "k must be at least 1");
+        if let Some(g) = self.gamma {
+            assert!(g >= 1, "γ must be at least 1 when set");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = XCleanConfig::default();
+        assert_eq!(c.beta, 5.0);
+        assert_eq!(c.min_depth, 2);
+        assert_eq!(c.gamma, Some(1000));
+        assert_eq!(c.depth_decay, 0.8);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn invalid_mu_rejected() {
+        XCleanConfig {
+            mu: 0.0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_gamma_rejected() {
+        XCleanConfig {
+            gamma: Some(0),
+            ..Default::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,449 @@
+//! The user-facing suggestion engine.
+//!
+//! [`XCleanEngine`] owns the corpus index and the FastSS variant index
+//! (both built offline) and answers [`XCleanEngine::suggest`] queries with
+//! ranked, *valid* alternative queries — every suggestion is guaranteed to
+//! have at least one entity in the data containing all of its keywords.
+
+use std::time::{Duration, Instant};
+
+use xclean_index::{CorpusIndex, TokenId};
+use xclean_xmltree::{PathId, Tokenizer, XmlTree};
+
+use crate::algorithm::{run_xclean, KeywordSlot, RunStats};
+use crate::config::XCleanConfig;
+use crate::elca::run_elca;
+use crate::slca::run_slca;
+use crate::variants::VariantGenerator;
+
+/// Which XML keyword-query semantics defines the entities (§IV-B2, §VI-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Semantics {
+    /// Result-node-type semantics (XReal-style; the paper's main setting).
+    #[default]
+    NodeType,
+    /// Smallest lowest common ancestor semantics.
+    Slca,
+    /// Exclusive lowest common ancestor (XRank) semantics.
+    Elca,
+}
+
+/// One ranked suggestion.
+#[derive(Debug, Clone)]
+pub struct Suggestion {
+    /// The suggested query terms, one per original keyword.
+    pub terms: Vec<String>,
+    /// Token ids of the terms.
+    pub tokens: Vec<TokenId>,
+    /// Final log score (comparable only within one query).
+    pub log_score: f64,
+    /// Per-keyword edit distances from the observed query.
+    pub distances: Vec<u32>,
+    /// The inferred result type (node-type semantics) if any.
+    pub result_path: Option<PathId>,
+    /// Number of entities supporting the suggestion (> 0 by construction).
+    pub entity_count: u64,
+}
+
+impl Suggestion {
+    /// The suggestion as a single query string.
+    pub fn query_string(&self) -> String {
+        self.terms.join(" ")
+    }
+
+    /// Total edit distance across keywords.
+    pub fn total_distance(&self) -> u32 {
+        self.distances.iter().sum()
+    }
+}
+
+/// Result of a `suggest` call.
+#[derive(Debug, Clone, Default)]
+pub struct SuggestResponse {
+    /// Top-k suggestions, best first.
+    pub suggestions: Vec<Suggestion>,
+    /// Wall-clock time of the call.
+    pub elapsed: Duration,
+    /// Algorithm counters.
+    pub stats: RunStats,
+}
+
+impl SuggestResponse {
+    /// Rank (1-based) of the given query terms in the suggestion list.
+    pub fn rank_of(&self, terms: &[&str]) -> Option<usize> {
+        self.suggestions
+            .iter()
+            .position(|s| s.terms.iter().map(String::as_str).eq(terms.iter().copied()))
+            .map(|i| i + 1)
+    }
+}
+
+/// The XClean suggestion engine.
+#[derive(Debug)]
+pub struct XCleanEngine {
+    corpus: CorpusIndex,
+    variants: VariantGenerator,
+    config: XCleanConfig,
+    semantics: Semantics,
+}
+
+impl XCleanEngine {
+    /// Builds the engine over a parsed XML tree (indexes the corpus and
+    /// the vocabulary's deletion neighbourhoods).
+    pub fn new(tree: XmlTree, config: XCleanConfig) -> Self {
+        config.validate();
+        let corpus = CorpusIndex::build(tree);
+        Self::from_corpus(corpus, config)
+    }
+
+    /// Builds the engine from an already-built corpus index.
+    pub fn from_corpus(corpus: CorpusIndex, config: XCleanConfig) -> Self {
+        config.validate();
+        let mut variants =
+            VariantGenerator::build(&corpus, config.epsilon, config.partition_threshold);
+        if config.phonetic_distance.is_some() {
+            variants = variants.with_phonetic_index(&corpus);
+        }
+        XCleanEngine {
+            corpus,
+            variants,
+            config,
+            semantics: Semantics::NodeType,
+        }
+    }
+
+    /// Switches entity semantics (default: node-type).
+    pub fn with_semantics(mut self, semantics: Semantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// The corpus index.
+    pub fn corpus(&self) -> &CorpusIndex {
+        &self.corpus
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &XCleanConfig {
+        &self.config
+    }
+
+    /// Current entity semantics.
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    /// The variant generator (exposed for baselines and diagnostics).
+    pub fn variant_generator(&self) -> &VariantGenerator {
+        &self.variants
+    }
+
+    /// Splits a raw query string into keywords (permissive: the user's
+    /// tokens are preserved even when short or numeric).
+    pub fn parse_query(&self, query: &str) -> Vec<String> {
+        Tokenizer::permissive().tokenize(query)
+    }
+
+    /// Builds the per-keyword variant slots for a parsed query (including
+    /// phonetic variants when configured).
+    pub fn make_slots(&self, keywords: &[String]) -> Vec<KeywordSlot> {
+        keywords
+            .iter()
+            .map(|k| KeywordSlot {
+                keyword: k.clone(),
+                variants: match self.config.phonetic_distance {
+                    Some(d) => self.variants.variants_with_phonetic(k, d),
+                    None => self.variants.variants(k),
+                },
+            })
+            .collect()
+    }
+
+    /// Suggests up to `k` alternative queries for `query` (§IV Def. 1).
+    pub fn suggest(&self, query: &str) -> SuggestResponse {
+        let keywords = self.parse_query(query);
+        self.suggest_keywords(&keywords)
+    }
+
+    /// Suggests with the space-edit extension of §VI-A: up to `tau` space
+    /// insertions/deletions are applied to the query (validated against
+    /// the vocabulary), each rewriting is cleaned as usual, and the pooled
+    /// suggestions are ranked together with an extra β-penalty per space
+    /// edit. Suggestions from different rewritings may have different
+    /// keyword counts.
+    pub fn suggest_with_space_edits(&self, query: &str, tau: u32) -> SuggestResponse {
+        let start = Instant::now();
+        let keywords = self.parse_query(query);
+        let rewritings = crate::space_edits::expand_space_edits(&self.corpus, &keywords, tau);
+        let mut pooled: Vec<Suggestion> = Vec::new();
+        let mut stats = RunStats::default();
+        for rw in &rewritings {
+            let r = self.suggest_keywords(&rw.keywords);
+            stats.subtrees += r.stats.subtrees;
+            stats.candidates_enumerated += r.stats.candidates_enumerated;
+            stats.entities_scored += r.stats.entities_scored;
+            stats.postings_read += r.stats.postings_read;
+            stats.postings_skipped += r.stats.postings_skipped;
+            for mut s in r.suggestions {
+                s.log_score -= self.config.beta * f64::from(rw.edits);
+                pooled.push(s);
+            }
+        }
+        pooled.sort_by(|a, b| {
+            b.log_score
+                .partial_cmp(&a.log_score)
+                .expect("scores are never NaN")
+                .then_with(|| a.terms.cmp(&b.terms))
+        });
+        pooled.dedup_by(|a, b| a.terms == b.terms);
+        pooled.truncate(self.config.k);
+        SuggestResponse {
+            suggestions: pooled,
+            elapsed: start.elapsed(),
+            stats,
+        }
+    }
+
+    /// Returns up to `limit` entity previews for a suggestion: the XML
+    /// fragments of entities containing all of the suggestion's keywords,
+    /// largest virtual document first. Node-type suggestions use their
+    /// inferred `result_path`; SLCA/ELCA suggestions locate the smallest
+    /// containing subtrees via a fresh SLCA computation.
+    pub fn preview(&self, suggestion: &Suggestion, limit: usize) -> Vec<String> {
+        let tree = self.corpus.tree();
+        let mut entities: Vec<xclean_xmltree::NodeId> = match suggestion.result_path {
+            Some(path) => {
+                let depth = tree.paths().depth(path);
+                // Entities = ancestors (of the right type) of the rarest
+                // keyword's postings that contain all other keywords.
+                let rarest = suggestion
+                    .tokens
+                    .iter()
+                    .copied()
+                    .min_by_key(|&t| self.corpus.postings(t).len())
+                    .expect("non-empty suggestion");
+                let mut out = Vec::new();
+                for p in self.corpus.postings(rarest).iter() {
+                    let Some(r) = tree.ancestor_at_depth(p.node, depth) else {
+                        continue;
+                    };
+                    if tree.path(r) != path || out.last() == Some(&r) {
+                        continue;
+                    }
+                    let has_all = suggestion.tokens.iter().all(|&t| {
+                        self.corpus
+                            .postings(t)
+                            .nodes()
+                            .iter()
+                            .any(|&n| tree.is_ancestor_or_self(r, n))
+                    });
+                    if has_all {
+                        out.push(r);
+                    }
+                }
+                out
+            }
+            None => {
+                let lists: Vec<Vec<xclean_xmltree::NodeId>> = suggestion
+                    .tokens
+                    .iter()
+                    .map(|&t| self.corpus.postings(t).nodes().to_vec())
+                    .collect();
+                crate::slca::slca_of_lists(tree, &lists)
+            }
+        };
+        entities.sort_by_key(|&r| std::cmp::Reverse(self.corpus.doc_len(r)));
+        entities.dedup();
+        entities
+            .into_iter()
+            .take(limit)
+            .map(|r| xclean_xmltree::writer::subtree_to_xml(tree, r))
+            .collect()
+    }
+
+    /// Suggests for an already-tokenised query.
+    pub fn suggest_keywords(&self, keywords: &[String]) -> SuggestResponse {
+        self.suggest_keywords_with(keywords, &self.config)
+    }
+
+    /// Suggests with a per-call configuration override. Scoring parameters
+    /// (β, μ, γ, d, r, k, skipping) take effect immediately; `epsilon` and
+    /// `partition_threshold` are capped by the offline variant index the
+    /// engine was built with.
+    pub fn suggest_keywords_with(
+        &self,
+        keywords: &[String],
+        config: &XCleanConfig,
+    ) -> SuggestResponse {
+        config.validate();
+        let start = Instant::now();
+        let slots: Vec<KeywordSlot> = keywords
+            .iter()
+            .map(|k| KeywordSlot {
+                keyword: k.clone(),
+                variants: match config.phonetic_distance {
+                    Some(d) => self.variants.variants_with_phonetic(k, d),
+                    None => self.variants.variants_within(k, config.epsilon),
+                },
+            })
+            .collect();
+        let out = match self.semantics {
+            Semantics::NodeType => run_xclean(&self.corpus, &slots, config),
+            Semantics::Slca => run_slca(&self.corpus, &slots, config),
+            Semantics::Elca => run_elca(&self.corpus, &slots, config),
+        };
+        let suggestions = out
+            .candidates
+            .into_iter()
+            .take(config.k)
+            .map(|c| Suggestion {
+                terms: c
+                    .tokens
+                    .iter()
+                    .map(|&t| self.corpus.vocab().term(t).to_string())
+                    .collect(),
+                tokens: c.tokens,
+                log_score: c.log_score,
+                distances: c.distances,
+                result_path: (c.result_path != PathId::INVALID).then_some(c.result_path),
+                entity_count: c.entity_count,
+            })
+            .collect();
+        SuggestResponse {
+            suggestions,
+            elapsed: start.elapsed(),
+            stats: out.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xclean_xmltree::parse_document;
+
+    fn engine() -> XCleanEngine {
+        let xml = "<dblp>\
+            <article><author>hinrich schutze</author><title>geo tagging entities</title></article>\
+            <article><author>jones</author><title>health insurance markets</title></article>\
+            <article><author>smith</author><title>program instance analysis</title></article>\
+            <article><author>smith</author><title>health policy</title></article>\
+        </dblp>";
+        XCleanEngine::new(
+            parse_document(xml).unwrap(),
+            XCleanConfig {
+                epsilon: 2,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn corrects_single_typo() {
+        let e = engine();
+        let r = e.suggest("helth insurance");
+        assert!(!r.suggestions.is_empty());
+        assert_eq!(r.suggestions[0].terms, vec!["health", "insurance"]);
+        assert_eq!(r.suggestions[0].distances, vec![1, 0]);
+        assert!(r.suggestions[0].entity_count > 0);
+    }
+
+    #[test]
+    fn figure1_bias_case_prefers_connected_correction() {
+        // "health insurance" with a typo'd second keyword close to both
+        // "insurance" and "instance": instance never co-occurs with
+        // health, so XClean must pick insurance (PY08 picks instance).
+        let e = engine();
+        let r = e.suggest("health insurrance");
+        assert_eq!(r.suggestions[0].terms, vec!["health", "insurance"]);
+        assert!(r
+            .rank_of(&["health", "instance"])
+            .is_none(), "health instance has no connected entity");
+    }
+
+    #[test]
+    fn clean_query_is_top_suggestion() {
+        let e = engine();
+        let r = e.suggest("health insurance");
+        assert_eq!(r.suggestions[0].terms, vec!["health", "insurance"]);
+        assert_eq!(r.suggestions[0].total_distance(), 0);
+    }
+
+    #[test]
+    fn hopeless_query_returns_empty() {
+        let e = engine();
+        let r = e.suggest("qqqqqqq zzzzzzz");
+        assert!(r.suggestions.is_empty());
+    }
+
+    #[test]
+    fn rank_of_helper() {
+        let e = engine();
+        let r = e.suggest("helth insurance");
+        assert_eq!(r.rank_of(&["health", "insurance"]), Some(1));
+        assert_eq!(r.rank_of(&["no", "such"]), None);
+    }
+
+    #[test]
+    fn k_limits_suggestions() {
+        let xml = "<r><a><w>cat car can cap</w></a></r>";
+        let eng = XCleanEngine::new(
+            parse_document(xml).unwrap(),
+            XCleanConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        let r = eng.suggest("caz");
+        assert!(r.suggestions.len() <= 2);
+    }
+
+    #[test]
+    fn space_edit_suggestion() {
+        let xml = "<kb>\
+            <doc><t>powerpoint slides</t></doc>\
+            <doc><t>power point talks</t></doc>\
+        </kb>";
+        let e = XCleanEngine::new(parse_document(xml).unwrap(), XCleanConfig::default());
+        // Merged form with a typo: plain suggest finds nothing useful for
+        // the two-keyword reading, the space-edit variant finds the merge.
+        let r = e.suggest_with_space_edits("power point slides", 1);
+        assert!(!r.suggestions.is_empty());
+        assert_eq!(r.suggestions[0].terms, vec!["powerpoint", "slides"]);
+        // τ = 0 degenerates to plain suggestion.
+        let r0 = e.suggest_with_space_edits("powerpoint slides", 0);
+        assert_eq!(r0.suggestions[0].terms, vec!["powerpoint", "slides"]);
+    }
+
+    #[test]
+    fn preview_returns_matching_entities() {
+        let e = engine();
+        let r = e.suggest("helth insurance");
+        let previews = e.preview(&r.suggestions[0], 3);
+        assert!(!previews.is_empty());
+        for p in &previews {
+            assert!(p.contains("health"), "{p}");
+            assert!(p.contains("insurance"), "{p}");
+            assert!(p.starts_with("<article>"), "{p}");
+        }
+    }
+
+    #[test]
+    fn preview_works_for_slca_semantics() {
+        let xml = "<db><rec><t>alpha beta</t></rec><rec><t>alpha</t></rec></db>";
+        let e = XCleanEngine::new(parse_document(xml).unwrap(), XCleanConfig::default())
+            .with_semantics(Semantics::Slca);
+        let r = e.suggest("alpha beta");
+        assert!(!r.suggestions.is_empty());
+        let previews = e.preview(&r.suggestions[0], 2);
+        assert!(!previews.is_empty());
+        assert!(previews[0].contains("alpha beta"));
+    }
+
+    #[test]
+    fn query_string_joins_terms() {
+        let e = engine();
+        let r = e.suggest("helth insurance");
+        assert_eq!(r.suggestions[0].query_string(), "health insurance");
+    }
+}

@@ -1,0 +1,52 @@
+//! # xclean
+//!
+//! Core of the XClean reproduction: valid spelling suggestions for XML
+//! keyword queries (Lu, Wang, Li, Liu — ICDE 2011).
+//!
+//! The engine scores candidate alternative queries by the quality of their
+//! query results in the data (Eq. 10 of the paper):
+//!
+//! ```text
+//! P(C|Q,T) ∝ P(Q|C) · (1/N) Σ_r Π_{w∈C} P(w|D(r))
+//! ```
+//!
+//! and computes the top-k candidates in a single pass over the variants'
+//! inverted lists (Algorithm 1), with result-type inference (Eq. 7),
+//! minimal-depth gating, skip-based list alignment, and probabilistic
+//! accumulator pruning (§V-D).
+//!
+//! ```
+//! use xclean::{XCleanConfig, XCleanEngine};
+//! use xclean_xmltree::parse_document;
+//!
+//! let tree = parse_document(
+//!     "<dblp><article><author>smith</author><title>health insurance</title></article></dblp>",
+//! ).unwrap();
+//! let engine = XCleanEngine::new(tree, XCleanConfig::default());
+//! let response = engine.suggest("helth insurance");
+//! assert_eq!(response.suggestions[0].terms, vec!["health", "insurance"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod config;
+pub mod elca;
+pub mod engine;
+pub mod pruning;
+pub mod result_type;
+pub mod slca;
+pub mod space_edits;
+pub mod variants;
+pub mod walk;
+
+pub use algorithm::{run_xclean, KeywordSlot, RunOutput, RunStats, ScoredCandidate};
+pub use config::{EntityPrior, XCleanConfig};
+pub use engine::{Semantics, SuggestResponse, Suggestion, XCleanEngine};
+pub use pruning::{Accumulator, AccumulatorTable, CandidateKey, PruningStats};
+pub use result_type::{find_result_type, ResultType};
+pub use elca::{elca_of_lists, run_elca};
+pub use slca::{run_slca, slca_of_lists};
+pub use space_edits::{expand_space_edits, SpaceVariant};
+pub use variants::{Variant, VariantGenerator};

@@ -1,0 +1,162 @@
+//! Space-edit query expansion (§VI-A).
+//!
+//! Handles the class of errors that changes the *number* of keywords —
+//! missing or spurious spaces/hyphens (e.g. `power point` vs `powerpoint`).
+//! Up to τ space changes are enumerated: adjacent keywords may be merged
+//! (space deletion) and single keywords split in two (space insertion).
+//! Variants are validated against the vocabulary so the expansion stays
+//! small; each surviving keyword sequence can then be run through the main
+//! algorithm, with one extra β-penalty per space edit.
+
+use xclean_index::{CorpusIndex, Vocabulary};
+
+/// A query rewriting produced by space edits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceVariant {
+    /// The rewritten keyword sequence.
+    pub keywords: Vec<String>,
+    /// How many space edits produced it (≤ τ).
+    pub edits: u32,
+}
+
+/// Enumerates all keyword sequences reachable from `keywords` with at most
+/// `tau` space insertions/deletions. The unchanged query is always first
+/// (0 edits). Merges/splits are only kept when every new token exists in
+/// the vocabulary, matching the validation rule of §VI-A.
+pub fn expand_space_edits(
+    corpus: &CorpusIndex,
+    keywords: &[String],
+    tau: u32,
+) -> Vec<SpaceVariant> {
+    let mut out: Vec<SpaceVariant> = Vec::new();
+    let mut frontier = vec![SpaceVariant {
+        keywords: keywords.to_vec(),
+        edits: 0,
+    }];
+    out.push(frontier[0].clone());
+    let vocab = corpus.vocab();
+    for edit in 1..=tau {
+        let mut next: Vec<SpaceVariant> = Vec::new();
+        for v in &frontier {
+            for n in neighbors(vocab, &v.keywords) {
+                let sv = SpaceVariant {
+                    keywords: n,
+                    edits: edit,
+                };
+                if !out.iter().any(|o| o.keywords == sv.keywords) {
+                    out.push(sv.clone());
+                    next.push(sv);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    out
+}
+
+/// One-edit neighbours: all single merges of adjacent keywords and all
+/// single splits of one keyword into two vocabulary words.
+fn neighbors(vocab: &Vocabulary, keywords: &[String]) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    // Merges (space deletion).
+    for i in 0..keywords.len().saturating_sub(1) {
+        let merged = format!("{}{}", keywords[i], keywords[i + 1]);
+        if vocab.get(&merged).is_some() {
+            let mut ks = Vec::with_capacity(keywords.len() - 1);
+            ks.extend_from_slice(&keywords[..i]);
+            ks.push(merged);
+            ks.extend_from_slice(&keywords[i + 2..]);
+            out.push(ks);
+        }
+    }
+    // Splits (space insertion).
+    for (i, k) in keywords.iter().enumerate() {
+        let chars: Vec<char> = k.chars().collect();
+        for cut in 1..chars.len() {
+            let left: String = chars[..cut].iter().collect();
+            let right: String = chars[cut..].iter().collect();
+            if vocab.get(&left).is_some() && vocab.get(&right).is_some() {
+                let mut ks = Vec::with_capacity(keywords.len() + 1);
+                ks.extend_from_slice(&keywords[..i]);
+                ks.push(left);
+                ks.push(right);
+                ks.extend_from_slice(&keywords[i + 1..]);
+                out.push(ks);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xclean_xmltree::parse_document;
+
+    fn corpus() -> CorpusIndex {
+        let xml = "<r><p>powerpoint power point slides database systems</p></r>";
+        CorpusIndex::build(parse_document(xml).unwrap())
+    }
+
+    fn kws(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn merge_found_when_in_vocabulary() {
+        let c = corpus();
+        let vs = expand_space_edits(&c, &kws(&["power", "point"]), 1);
+        assert!(vs.iter().any(|v| v.keywords == kws(&["powerpoint"]) && v.edits == 1));
+        // Unchanged query is first.
+        assert_eq!(vs[0].keywords, kws(&["power", "point"]));
+        assert_eq!(vs[0].edits, 0);
+    }
+
+    #[test]
+    fn split_found_when_parts_in_vocabulary() {
+        let c = corpus();
+        let vs = expand_space_edits(&c, &kws(&["powerpoint", "slides"]), 1);
+        assert!(vs
+            .iter()
+            .any(|v| v.keywords == kws(&["power", "point", "slides"]) && v.edits == 1));
+    }
+
+    #[test]
+    fn invalid_merges_are_dropped() {
+        let c = corpus();
+        let vs = expand_space_edits(&c, &kws(&["database", "systems"]), 1);
+        // "databasesystems" is not in the vocabulary.
+        assert_eq!(vs.len(), 1);
+    }
+
+    #[test]
+    fn tau_zero_returns_only_original() {
+        let c = corpus();
+        let vs = expand_space_edits(&c, &kws(&["power", "point"]), 0);
+        assert_eq!(vs.len(), 1);
+    }
+
+    #[test]
+    fn tau_two_chains_edits() {
+        let c = corpus();
+        // split then merge back is suppressed by the dedup, but
+        // "powerpoint powerpoint" → two merges requires τ=2.
+        let vs = expand_space_edits(&c, &kws(&["power", "point", "power", "point"]), 2);
+        assert!(vs
+            .iter()
+            .any(|v| v.keywords == kws(&["powerpoint", "powerpoint"]) && v.edits == 2));
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let c = corpus();
+        let vs = expand_space_edits(&c, &kws(&["power", "point"]), 3);
+        let mut seen = std::collections::HashSet::new();
+        for v in &vs {
+            assert!(seen.insert(v.keywords.clone()), "duplicate {:?}", v.keywords);
+        }
+    }
+}

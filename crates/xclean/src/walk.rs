@@ -1,0 +1,219 @@
+//! The shared gated anchor walk of Algorithm 1 (lines 1–11).
+//!
+//! All three semantics (node-type, SLCA, ELCA) consume variant inverted
+//! lists the same way: pick the largest merged-list head as the anchor,
+//! gate at the minimal depth `d`, `skip_to`-align every list, and collect
+//! the variant occurrences of the gating subtree. This module factors that
+//! walk out; each semantics plugs in its per-subtree candidate scoring.
+
+use xclean_index::{CorpusIndex, MergedList, TokenId};
+use xclean_xmltree::NodeId;
+
+use crate::algorithm::{KeywordSlot, RunStats};
+use crate::config::XCleanConfig;
+use crate::pruning::CandidateKey;
+
+/// Occurrences collected for one gating subtree: per keyword slot, the
+/// `(token, node, tf)` triples in document order.
+pub type SlotOccurrences = Vec<Vec<(TokenId, NodeId, u32)>>;
+
+/// Runs the anchor walk, invoking `on_subtree(g, occurrences, slot_tokens)`
+/// for every gating subtree in which **all** slots have at least one
+/// variant occurrence. Updates posting I/O counters in `stats`.
+pub fn walk_gated_subtrees(
+    corpus: &CorpusIndex,
+    slots: &[KeywordSlot],
+    config: &XCleanConfig,
+    stats: &mut RunStats,
+    mut on_subtree: impl FnMut(NodeId, &SlotOccurrences, &[Vec<TokenId>]),
+) {
+    if slots.is_empty() || slots.iter().any(|s| s.variants.is_empty()) {
+        return;
+    }
+    let tree = corpus.tree();
+    let mut vls: Vec<MergedList<'_>> = slots
+        .iter()
+        .map(|s| {
+            MergedList::new(
+                s.variants
+                    .iter()
+                    .map(|v| (v.token, corpus.postings(v.token))),
+            )
+        })
+        .collect();
+
+    let mut occurrences: SlotOccurrences = vec![Vec::new(); slots.len()];
+    let mut slot_tokens: Vec<Vec<TokenId>> = vec![Vec::new(); slots.len()];
+
+    loop {
+        // The anchor is the *largest* head; nil once any list is exhausted
+        // (no further subtree can contain all keywords).
+        let anchor = {
+            let mut max: Option<NodeId> = None;
+            let mut dead = false;
+            for vl in &vls {
+                match vl.cur_pos() {
+                    Some(e) => {
+                        max = Some(max.map_or(e.posting.node, |m| m.max(e.posting.node)))
+                    }
+                    None => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if dead {
+                None
+            } else {
+                max
+            }
+        };
+        let Some(anchor) = anchor else { break };
+
+        // g ← truncate(anchor, d); postings shallower than d belong to no
+        // gating subtree — consume and continue.
+        let Some(g) = tree.ancestor_at_depth(anchor, config.min_depth) else {
+            for vl in &mut vls {
+                if let Some(e) = vl.cur_pos() {
+                    if e.posting.node == anchor {
+                        vl.next();
+                    }
+                }
+            }
+            continue;
+        };
+        let g_end = tree.subtree_end(g);
+        stats.subtrees += 1;
+
+        let mut all_present = true;
+        for (i, vl) in vls.iter_mut().enumerate() {
+            occurrences[i].clear();
+            if config.enable_skipping {
+                vl.skip_to(g);
+            }
+            while let Some(e) = vl.cur_pos() {
+                if e.posting.node < g {
+                    // Reachable only with skipping disabled.
+                    vl.next();
+                    continue;
+                }
+                if e.posting.node.0 >= g_end {
+                    break;
+                }
+                occurrences[i].push((e.token, e.posting.node, e.posting.tf));
+                vl.next();
+            }
+            if occurrences[i].is_empty() {
+                all_present = false;
+            }
+        }
+        if !all_present {
+            continue;
+        }
+
+        for (i, occ) in occurrences.iter().enumerate() {
+            slot_tokens[i].clear();
+            slot_tokens[i].extend(occ.iter().map(|&(t, _, _)| t));
+            slot_tokens[i].sort_unstable();
+            slot_tokens[i].dedup();
+        }
+
+        on_subtree(g, &occurrences, &slot_tokens);
+    }
+
+    for vl in &vls {
+        stats.postings_read += vl.stats().read;
+        stats.postings_skipped += vl.stats().skipped;
+    }
+}
+
+/// Depth-first Cartesian enumeration of one token per slot, bounded by
+/// `budget` total candidates.
+pub fn enumerate_candidates(
+    slot_tokens: &[Vec<TokenId>],
+    budget: &mut usize,
+    f: &mut impl FnMut(&CandidateKey),
+) {
+    let mut candidate = vec![TokenId(0); slot_tokens.len()];
+    rec(slot_tokens, &mut candidate, 0, budget, f);
+}
+
+fn rec(
+    slot_tokens: &[Vec<TokenId>],
+    candidate: &mut Vec<TokenId>,
+    slot: usize,
+    budget: &mut usize,
+    f: &mut impl FnMut(&CandidateKey),
+) {
+    if *budget == 0 {
+        return;
+    }
+    if slot == slot_tokens.len() {
+        *budget -= 1;
+        f(candidate);
+        return;
+    }
+    for &t in &slot_tokens[slot] {
+        candidate[slot] = t;
+        rec(slot_tokens, candidate, slot + 1, budget, f);
+        if *budget == 0 {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variants::VariantGenerator;
+    use xclean_xmltree::parse_document;
+
+    #[test]
+    fn walk_visits_only_subtrees_with_all_slots() {
+        let xml = "<a>\
+            <c><x>alpha</x></c>\
+            <c><x>alpha</x><y>beta</y></c>\
+            <c><y>beta</y></c>\
+        </a>";
+        let corpus = CorpusIndex::build(parse_document(xml).unwrap());
+        let gen = VariantGenerator::build(&corpus, 0, 14);
+        let slots: Vec<KeywordSlot> = ["alpha", "beta"]
+            .iter()
+            .map(|k| KeywordSlot {
+                keyword: k.to_string(),
+                variants: gen.variants(k),
+            })
+            .collect();
+        let mut stats = RunStats::default();
+        let mut visited = Vec::new();
+        walk_gated_subtrees(
+            &corpus,
+            &slots,
+            &XCleanConfig::default(),
+            &mut stats,
+            |g, occ, toks| {
+                visited.push(corpus.tree().dewey(g).to_string());
+                assert!(occ.iter().all(|o| !o.is_empty()));
+                assert_eq!(toks.len(), 2);
+            },
+        );
+        assert_eq!(visited, vec!["1.2"]);
+        assert!(stats.postings_read > 0);
+    }
+
+    #[test]
+    fn enumeration_respects_budget() {
+        let toks = vec![
+            vec![TokenId(0), TokenId(1), TokenId(2)],
+            vec![TokenId(3), TokenId(4)],
+        ];
+        let mut seen = 0;
+        let mut budget = 4;
+        enumerate_candidates(&toks, &mut budget, &mut |_| seen += 1);
+        assert_eq!(seen, 4);
+        let mut all = 0;
+        let mut budget = usize::MAX;
+        enumerate_candidates(&toks, &mut budget, &mut |_| all += 1);
+        assert_eq!(all, 6);
+    }
+}

@@ -1,0 +1,250 @@
+//! Dewey encoding of XML tree nodes.
+//!
+//! Each node receives a unique code: the concatenation of its ordinal
+//! position among its siblings along the path from the root (§III of the
+//! paper). Two partial orders are defined on codes:
+//!
+//! * **document order** (`<`): lexicographic comparison of the component
+//!   sequences, and
+//! * **ancestor–descendant** (`<_AD`): prefix containment.
+//!
+//! Both tests run in `O(d)` where `d` is the tree depth.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A Dewey code: the sibling-ordinal path from the root to a node.
+///
+/// The root of a (virtual) document forest has the code `[1]`; its `i`-th
+/// child has `[1, i]`, and so on. Codes are 1-based to match the paper's
+/// examples (e.g. `1.2.3.1` in Figure 2).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Dewey(Vec<u32>);
+
+impl Dewey {
+    /// Creates the root code `[1]`.
+    pub fn root() -> Self {
+        Dewey(vec![1])
+    }
+
+    /// Creates a code from raw components. Empty codes are permitted and
+    /// compare before every non-empty code; they act as the "virtual
+    /// super-root" used when merging a document collection.
+    pub fn from_components(components: Vec<u32>) -> Self {
+        Dewey(components)
+    }
+
+    /// The raw components.
+    pub fn components(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// The depth of the node this code addresses (root has depth 1).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Extends this code with one more sibling ordinal, producing the code
+    /// of a child node.
+    pub fn child(&self, ordinal: u32) -> Self {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(ordinal);
+        Dewey(v)
+    }
+
+    /// The code of the parent node, or `None` for the root / empty code.
+    pub fn parent(&self) -> Option<Self> {
+        if self.0.len() <= 1 {
+            None
+        } else {
+            Some(Dewey(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// Truncates the code to at most `depth` components (the paper's
+    /// `truncate t_z.dewey by depth d`, Algorithm 1 line 7). Truncating to
+    /// a depth not smaller than the current one returns the code unchanged.
+    pub fn truncate(&self, depth: usize) -> Self {
+        if depth >= self.0.len() {
+            self.clone()
+        } else {
+            Dewey(self.0[..depth].to_vec())
+        }
+    }
+
+    /// `true` iff `self` is an ancestor of `other` (strict: a node is not
+    /// its own ancestor). This is the `<_AD` order.
+    pub fn is_ancestor_of(&self, other: &Dewey) -> bool {
+        self.0.len() < other.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// `true` iff `self` is an ancestor of `other` or equal to it
+    /// (`≤_AD`, i.e. prefix containment).
+    pub fn is_ancestor_or_self_of(&self, other: &Dewey) -> bool {
+        self.0.len() <= other.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// The longest common prefix of two codes: the Dewey code of the lowest
+    /// common ancestor of the two addressed nodes.
+    pub fn lca(&self, other: &Dewey) -> Dewey {
+        let n = self
+            .0
+            .iter()
+            .zip(other.0.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        Dewey(self.0[..n].to_vec())
+    }
+
+    /// Document-order comparison. Equivalent to `Ord::cmp` but named for
+    /// clarity at call sites that care specifically about document order.
+    pub fn doc_cmp(&self, other: &Dewey) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+
+    /// Parses a dotted string such as `"1.2.3"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.is_empty() {
+            return Some(Dewey(Vec::new()));
+        }
+        let mut v = Vec::new();
+        for part in s.split('.') {
+            v.push(part.parse().ok()?);
+        }
+        Some(Dewey(v))
+    }
+}
+
+impl Ord for Dewey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.doc_cmp(other)
+    }
+}
+
+impl PartialOrd for Dewey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Dewey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in &self.0 {
+            if !first {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Dewey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dewey({self})")
+    }
+}
+
+impl From<Vec<u32>> for Dewey {
+    fn from(v: Vec<u32>) -> Self {
+        Dewey(v)
+    }
+}
+
+impl From<&[u32]> for Dewey {
+    fn from(v: &[u32]) -> Self {
+        Dewey(v.to_vec())
+    }
+}
+
+/// Compares two Dewey codes stored as flat component slices. Used by the
+/// index crate, which keeps codes in a shared arena rather than as `Dewey`
+/// values.
+pub fn cmp_components(a: &[u32], b: &[u32]) -> Ordering {
+    a.cmp(b)
+}
+
+/// Prefix-containment test on flat component slices (`≤_AD`).
+pub fn is_prefix(prefix: &[u32], code: &[u32]) -> bool {
+    prefix.len() <= code.len() && &code[..prefix.len()] == prefix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_and_children() {
+        let root = Dewey::root();
+        assert_eq!(root.to_string(), "1");
+        assert_eq!(root.depth(), 1);
+        let c = root.child(2).child(3);
+        assert_eq!(c.to_string(), "1.2.3");
+        assert_eq!(c.depth(), 3);
+        assert_eq!(c.parent().unwrap().to_string(), "1.2");
+    }
+
+    #[test]
+    fn document_order_is_lexicographic() {
+        let a = Dewey::parse("1.2").unwrap();
+        let b = Dewey::parse("1.2.1").unwrap();
+        let c = Dewey::parse("1.3").unwrap();
+        assert!(a < b); // ancestor precedes descendant in document order
+        assert!(b < c);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn ancestor_descendant() {
+        let a = Dewey::parse("1.2").unwrap();
+        let b = Dewey::parse("1.2.3.1").unwrap();
+        let c = Dewey::parse("1.20").unwrap();
+        assert!(a.is_ancestor_of(&b));
+        assert!(!b.is_ancestor_of(&a));
+        assert!(!a.is_ancestor_of(&a));
+        assert!(a.is_ancestor_or_self_of(&a));
+        // 1.2 must not be treated as a prefix of 1.20
+        assert!(!a.is_ancestor_of(&c));
+    }
+
+    #[test]
+    fn truncate_matches_paper_example() {
+        // Algorithm 1 / Example 5: anchor 1.2.3.1 truncated to depth 2 is 1.2
+        let t = Dewey::parse("1.2.3.1").unwrap();
+        assert_eq!(t.truncate(2).to_string(), "1.2");
+        assert_eq!(t.truncate(10), t);
+        assert_eq!(t.truncate(0).to_string(), "");
+    }
+
+    #[test]
+    fn lca() {
+        let a = Dewey::parse("1.2.3").unwrap();
+        let b = Dewey::parse("1.2.5.1").unwrap();
+        assert_eq!(a.lca(&b).to_string(), "1.2");
+        let c = Dewey::parse("2.1").unwrap();
+        assert_eq!(a.lca(&c).to_string(), "");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ["1", "1.2.3", "10.20.30", ""] {
+            assert_eq!(Dewey::parse(s).unwrap().to_string(), s);
+        }
+        assert!(Dewey::parse("1.x").is_none());
+    }
+
+    #[test]
+    fn flat_helpers_agree_with_methods() {
+        let a = Dewey::parse("1.2").unwrap();
+        let b = Dewey::parse("1.2.3").unwrap();
+        assert_eq!(
+            cmp_components(a.components(), b.components()),
+            a.doc_cmp(&b)
+        );
+        assert!(is_prefix(a.components(), b.components()));
+        assert!(!is_prefix(b.components(), a.components()));
+    }
+}

@@ -1,0 +1,50 @@
+//! Error types for the XML substrate.
+
+use std::fmt;
+
+/// Errors raised while parsing or manipulating XML trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// A syntax error at the given (1-based) line.
+    Parse {
+        /// Human-readable description of the syntax error.
+        message: String,
+        /// 1-based line number where the error was detected.
+        line: u32,
+    },
+}
+
+impl XmlError {
+    pub(crate) fn parse(message: &str, line: u32) -> Self {
+        XmlError::Parse {
+            message: message.to_string(),
+            line,
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Parse { message, line } => {
+                write!(f, "XML parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Result alias for XML operations.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line() {
+        let e = XmlError::parse("boom", 7);
+        assert_eq!(e.to_string(), "XML parse error at line 7: boom");
+    }
+}

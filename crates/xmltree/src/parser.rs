@@ -1,0 +1,492 @@
+//! A small, dependency-free XML parser.
+//!
+//! Supports the subset of XML needed for data-centric and document-centric
+//! corpora: elements, attributes (modelled as child element nodes, per
+//! §III), character data, CDATA sections, comments, processing
+//! instructions, the XML declaration, and the five predefined entities plus
+//! numeric character references.
+//!
+//! The parser is non-validating and operates on a single pass over the
+//! input string.
+
+use crate::error::{XmlError, XmlResult};
+use crate::tree::{TreeBuilder, XmlTree};
+
+/// Parses a complete XML document into a tree.
+///
+/// Attributes become child nodes: `<e a="v"/>` parses the same as
+/// `<e><a>v</a></e>` would, matching the paper's model where attribute
+/// nodes are treated as element nodes.
+pub fn parse_document(input: &str) -> XmlResult<XmlTree> {
+    Parser::new(input).parse()
+}
+
+/// Parses a collection of XML documents, grafting each document's root
+/// under a fresh virtual root labelled `virtual_root_label` (§III: "we add
+/// a virtual root node that connects to the roots of all the individual XML
+/// documents").
+pub fn parse_collection<'a>(
+    documents: impl IntoIterator<Item = &'a str>,
+    virtual_root_label: &str,
+) -> XmlResult<XmlTree> {
+    let mut builder = TreeBuilder::new(virtual_root_label);
+    for doc in documents {
+        let mut p = Parser::new(doc);
+        p.skip_prolog()?;
+        p.parse_element(&mut builder)?;
+        p.skip_misc();
+        if !p.at_end() {
+            return Err(p.err("trailing content after document element"));
+        }
+    }
+    Ok(builder.finish())
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn parse(mut self) -> XmlResult<XmlTree> {
+        self.skip_prolog()?;
+        // The document element starts the builder directly.
+        if !self.eat(b'<') {
+            return Err(self.err("expected document element"));
+        }
+        let name = self.read_name()?;
+        let mut builder = TreeBuilder::new(&name);
+        self.parse_attributes_and_content(&mut builder, &name, true)?;
+        self.skip_misc();
+        if !self.at_end() {
+            return Err(self.err("trailing content after document element"));
+        }
+        Ok(builder.finish())
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn starts_with(&self, s: &[u8]) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn advance(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn err(&self, msg: &str) -> XmlError {
+        XmlError::parse(msg, self.line)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    /// Skips the XML declaration, doctype, comments and PIs before the
+    /// document element.
+    fn skip_prolog(&mut self) -> XmlResult<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with(b"<?") {
+                self.skip_until(b"?>")?;
+            } else if self.starts_with(b"<!--") {
+                self.skip_until(b"-->")?;
+            } else if self.starts_with(b"<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skips comments/PIs/whitespace after the document element.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with(b"<?") {
+                if self.skip_until(b"?>").is_err() {
+                    return;
+                }
+            } else if self.starts_with(b"<!--") {
+                if self.skip_until(b"-->").is_err() {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn skip_until(&mut self, end: &[u8]) -> XmlResult<()> {
+        while !self.at_end() {
+            if self.starts_with(end) {
+                self.advance(end.len());
+                return Ok(());
+            }
+            self.bump();
+        }
+        Err(self.err("unterminated construct"))
+    }
+
+    fn skip_doctype(&mut self) -> XmlResult<()> {
+        // Balance '<' and '>' to tolerate internal subsets.
+        let mut depth = 0usize;
+        while let Some(b) = self.bump() {
+            match b {
+                b'<' => depth += 1,
+                b'>' => {
+                    if depth == 1 {
+                        return Ok(());
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        Err(self.err("unterminated DOCTYPE"))
+    }
+
+    fn read_name(&mut self) -> XmlResult<String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || b == b'-'
+                || b == b'.'
+                || b == b':'
+                || b >= 0x80;
+            if ok {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    /// Parses one element, assuming the builder is positioned at its
+    /// parent. Opens + closes the element on the builder.
+    fn parse_element(&mut self, builder: &mut TreeBuilder) -> XmlResult<()> {
+        if !self.eat(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        let name = self.read_name()?;
+        builder.open(&name);
+        self.parse_attributes_and_content(builder, &name, false)?;
+        builder.close();
+        Ok(())
+    }
+
+    /// Parses attributes and, unless self-closing, content + end tag.
+    /// `is_root` controls whether the element was already opened on the
+    /// builder (the document element is the builder's root).
+    fn parse_attributes_and_content(
+        &mut self,
+        builder: &mut TreeBuilder,
+        name: &str,
+        is_root: bool,
+    ) -> XmlResult<()> {
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.bump();
+                    if !self.eat(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    return Ok(()); // self-closing
+                }
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    let attr = self.read_name()?;
+                    self.skip_ws();
+                    if !self.eat(b'=') {
+                        return Err(self.err("expected '=' in attribute"));
+                    }
+                    self.skip_ws();
+                    let quote = self
+                        .bump()
+                        .filter(|&q| q == b'"' || q == b'\'')
+                        .ok_or_else(|| self.err("expected quoted attribute value"))?;
+                    let value = self.read_text_until(quote)?;
+                    if !self.eat(quote) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    builder.open(&attr);
+                    if !value.is_empty() {
+                        builder.text(&value);
+                    }
+                    builder.close();
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+
+        // Content.
+        loop {
+            if self.starts_with(b"</") {
+                self.advance(2);
+                let end = self.read_name()?;
+                if end != name {
+                    return Err(self.err(&format!(
+                        "mismatched end tag: expected </{name}>, found </{end}>"
+                    )));
+                }
+                self.skip_ws();
+                if !self.eat(b'>') {
+                    return Err(self.err("expected '>' in end tag"));
+                }
+                let _ = is_root;
+                return Ok(());
+            } else if self.starts_with(b"<!--") {
+                self.skip_until(b"-->")?;
+            } else if self.starts_with(b"<![CDATA[") {
+                self.advance(9);
+                let start = self.pos;
+                loop {
+                    if self.at_end() {
+                        return Err(self.err("unterminated CDATA"));
+                    }
+                    if self.starts_with(b"]]>") {
+                        break;
+                    }
+                    self.bump();
+                }
+                let text =
+                    String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                if !text.trim().is_empty() {
+                    builder.text(text.trim());
+                }
+                self.advance(3);
+            } else if self.starts_with(b"<?") {
+                self.skip_until(b"?>")?;
+            } else if self.peek() == Some(b'<') {
+                self.parse_element(builder)?;
+            } else if self.at_end() {
+                return Err(self.err(&format!("unexpected end of input inside <{name}>")));
+            } else {
+                let text = self.read_text_until(b'<')?;
+                let trimmed = text.trim();
+                if !trimmed.is_empty() {
+                    builder.text(trimmed);
+                }
+            }
+        }
+    }
+
+    /// Reads character data until (not including) `stop`, expanding entity
+    /// and character references.
+    fn read_text_until(&mut self, stop: u8) -> XmlResult<String> {
+        let mut out = String::new();
+        while let Some(b) = self.peek() {
+            if b == stop {
+                break;
+            }
+            if b == b'&' {
+                self.bump();
+                let start = self.pos;
+                while self.peek().is_some_and(|c| c != b';') {
+                    self.bump();
+                    if self.pos - start > 12 {
+                        return Err(self.err("unterminated entity reference"));
+                    }
+                }
+                if !self.eat(b';') {
+                    return Err(self.err("unterminated entity reference"));
+                }
+                let ent = &self.input[start..self.pos - 1];
+                match ent {
+                    b"amp" => out.push('&'),
+                    b"lt" => out.push('<'),
+                    b"gt" => out.push('>'),
+                    b"quot" => out.push('"'),
+                    b"apos" => out.push('\''),
+                    _ if ent.first() == Some(&b'#') => {
+                        let s = std::str::from_utf8(&ent[1..]).unwrap_or("");
+                        let cp = if let Some(hex) = s.strip_prefix('x').or_else(|| s.strip_prefix('X')) {
+                            u32::from_str_radix(hex, 16).ok()
+                        } else {
+                            s.parse().ok()
+                        };
+                        match cp.and_then(char::from_u32) {
+                            Some(c) => out.push(c),
+                            None => return Err(self.err("invalid character reference")),
+                        }
+                    }
+                    _ => {
+                        // Unknown entity (e.g. &uuml; without a DTD): keep a
+                        // placeholder of its name so text is not lost.
+                        out.push_str(&String::from_utf8_lossy(ent));
+                    }
+                }
+            } else {
+                // Copy a full UTF-8 sequence.
+                let len = utf8_len(b);
+                let end = (self.pos + len).min(self.input.len());
+                out.push_str(&String::from_utf8_lossy(&self.input[self.pos..end]));
+                self.advance(end - self.pos);
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dewey::Dewey;
+
+    #[test]
+    fn minimal_document() {
+        let t = parse_document("<a><b>hello</b></a>").unwrap();
+        assert_eq!(t.len(), 2);
+        let b = t.children(t.root()).next().unwrap();
+        assert_eq!(t.label_name(b), "b");
+        assert_eq!(t.text(b), Some("hello"));
+    }
+
+    #[test]
+    fn declaration_comments_and_pis() {
+        let t = parse_document(
+            "<?xml version=\"1.0\"?><!-- c --><a><?pi data?><b>x</b><!-- c2 --></a>\n<!-- after -->",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn attributes_become_child_nodes() {
+        let t = parse_document(r#"<paper year="2011" venue="icde"><title>XClean</title></paper>"#)
+            .unwrap();
+        let kids: Vec<_> = t
+            .children(t.root())
+            .map(|n| (t.label_name(n).to_string(), t.text(n).map(str::to_string)))
+            .collect();
+        assert_eq!(
+            kids,
+            vec![
+                ("year".into(), Some("2011".into())),
+                ("venue".into(), Some("icde".into())),
+                ("title".into(), Some("XClean".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_and_nested() {
+        let t = parse_document("<a><b/><c><d/></c></a>").unwrap();
+        assert_eq!(t.len(), 4);
+        let c = t.node_at(&Dewey::parse("1.2").unwrap()).unwrap();
+        assert_eq!(t.label_name(c), "c");
+        assert_eq!(t.children(c).count(), 1);
+    }
+
+    #[test]
+    fn entities_and_char_refs() {
+        let t = parse_document("<a>x &amp; y &lt;z&gt; &#65;&#x42; Sch&uuml;tze</a>").unwrap();
+        assert_eq!(t.text(t.root()), Some("x & y <z> AB Schuumltze"));
+    }
+
+    #[test]
+    fn cdata() {
+        let t = parse_document("<a><![CDATA[raw <stuff> & more]]></a>").unwrap();
+        assert_eq!(t.text(t.root()), Some("raw <stuff> & more"));
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(parse_document("<a><b></a></b>").is_err());
+        assert!(parse_document("<a>").is_err());
+        assert!(parse_document("<a></a><b></b>").is_err());
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let t = parse_document(
+            "<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>ok</a>",
+        )
+        .unwrap();
+        assert_eq!(t.text(t.root()), Some("ok"));
+    }
+
+    #[test]
+    fn collection_gets_virtual_root() {
+        let t = parse_collection(
+            ["<doc><t>one</t></doc>", "<doc><t>two</t></doc>"],
+            "collection",
+        )
+        .unwrap();
+        assert_eq!(t.label_name(t.root()), "collection");
+        assert_eq!(t.children(t.root()).count(), 2);
+        let second = t.node_at(&Dewey::parse("1.2.1").unwrap()).unwrap();
+        assert_eq!(t.text(second), Some("two"));
+        assert_eq!(t.path_string(second), "/collection/doc/t");
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let t = parse_document("<a>\n  <b>x</b>\n</a>").unwrap();
+        assert_eq!(t.text(t.root()), None);
+    }
+
+    #[test]
+    fn mixed_content() {
+        let t = parse_document("<p>alpha <em>beta</em> gamma</p>").unwrap();
+        assert_eq!(t.text(t.root()), Some("alpha gamma"));
+        let em = t.children(t.root()).next().unwrap();
+        assert_eq!(t.text(em), Some("beta"));
+    }
+}

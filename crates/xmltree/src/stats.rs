@@ -1,0 +1,66 @@
+//! Dataset statistics (the paper's Table I).
+
+use crate::tree::XmlTree;
+use crate::writer::serialized_size;
+
+/// Summary statistics of an XML tree, matching the columns of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Serialised size in bytes.
+    pub size_bytes: usize,
+    /// Total number of element nodes.
+    pub node_count: usize,
+    /// Maximum node depth (root = 1).
+    pub max_depth: u32,
+    /// Mean node depth.
+    pub avg_depth: f64,
+    /// Number of distinct label paths (node types).
+    pub distinct_paths: usize,
+    /// Number of distinct labels.
+    pub distinct_labels: usize,
+}
+
+impl TreeStats {
+    /// Computes statistics for `tree`. The serialised size requires one
+    /// full serialisation pass.
+    pub fn compute(tree: &XmlTree) -> Self {
+        let mut max_depth = 0;
+        let mut depth_sum = 0u64;
+        for n in tree.iter() {
+            let d = tree.depth(n);
+            max_depth = max_depth.max(d);
+            depth_sum += d as u64;
+        }
+        TreeStats {
+            size_bytes: serialized_size(tree),
+            node_count: tree.len(),
+            max_depth,
+            avg_depth: if tree.is_empty() {
+                0.0
+            } else {
+                depth_sum as f64 / tree.len() as f64
+            },
+            distinct_paths: tree.paths().len(),
+            distinct_labels: tree.labels().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn stats_of_small_tree() {
+        let t = parse_document("<a><b><c>x</c></b><b>y</b></a>").unwrap();
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.node_count, 4);
+        assert_eq!(s.max_depth, 3);
+        // depths: 1 + 2 + 3 + 2 = 8; 8/4 = 2.0
+        assert!((s.avg_depth - 2.0).abs() < 1e-12);
+        assert_eq!(s.distinct_labels, 3);
+        assert_eq!(s.distinct_paths, 3); // /a, /a/b, /a/b/c
+        assert!(s.size_bytes > 0);
+    }
+}

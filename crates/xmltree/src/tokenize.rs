@@ -1,0 +1,167 @@
+//! Text tokenisation and vocabulary rules.
+//!
+//! The paper tokenises element contents "by white spaces and punctuations"
+//! (§III) and, when building the index, skips stop words, numbers, and
+//! tokens shorter than three characters (§VII-A).
+
+/// English stop words excluded from the index. The list follows the short
+/// classic IR stop list; the experiments are insensitive to its exact
+/// membership because queries are built from content terms.
+pub const STOP_WORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from",
+    "had", "has", "have", "he", "her", "his", "if", "in", "into", "is", "it",
+    "its", "no", "not", "of", "on", "or", "she", "such", "that", "the",
+    "their", "then", "there", "these", "they", "this", "to", "was", "were",
+    "will", "with",
+];
+
+/// Tokenisation policy: which tokens enter the vocabulary.
+#[derive(Debug, Clone)]
+pub struct TokenizerConfig {
+    /// Tokens shorter than this many characters are dropped (paper: 3).
+    pub min_token_len: usize,
+    /// Drop tokens that consist solely of digits (paper: yes).
+    pub drop_numbers: bool,
+    /// Drop stop words (paper: yes).
+    pub drop_stop_words: bool,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        TokenizerConfig {
+            min_token_len: 3,
+            drop_numbers: true,
+            drop_stop_words: true,
+        }
+    }
+}
+
+/// Splits text into lowercase tokens according to the config.
+///
+/// Tokens are maximal runs of alphanumeric characters; everything else
+/// (whitespace and punctuation) separates tokens. ASCII letters are
+/// lowercased; non-ASCII alphabetic characters are kept as-is (folded via
+/// `char::to_lowercase`), so `Schütze` tokenises to `schütze`.
+#[derive(Debug, Clone, Default)]
+pub struct Tokenizer {
+    config: TokenizerConfig,
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer with the given policy.
+    pub fn new(config: TokenizerConfig) -> Self {
+        Tokenizer { config }
+    }
+
+    /// A tokenizer that keeps everything (used for query parsing, where the
+    /// user's raw tokens must be preserved even if short).
+    pub fn permissive() -> Self {
+        Tokenizer {
+            config: TokenizerConfig {
+                min_token_len: 1,
+                drop_numbers: false,
+                drop_stop_words: false,
+            },
+        }
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> &TokenizerConfig {
+        &self.config
+    }
+
+    /// Tokenises `text`, invoking `f` for each accepted token.
+    pub fn for_each_token(&self, text: &str, mut f: impl FnMut(&str)) {
+        let mut buf = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                for lc in ch.to_lowercase() {
+                    buf.push(lc);
+                }
+            } else if !buf.is_empty() {
+                if self.accept(&buf) {
+                    f(&buf);
+                }
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() && self.accept(&buf) {
+            f(&buf);
+        }
+    }
+
+    /// Tokenises `text` into an owned vector.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        self.for_each_token(text, |t| out.push(t.to_string()));
+        out
+    }
+
+    /// Whether a (already lowercased) token passes the policy filters.
+    pub fn accept(&self, token: &str) -> bool {
+        if token.chars().count() < self.config.min_token_len {
+            return false;
+        }
+        if self.config.drop_numbers && token.chars().all(|c| c.is_ascii_digit()) {
+            return false;
+        }
+        if self.config.drop_stop_words && STOP_WORDS.binary_search(&token).is_ok() {
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_word_list_is_sorted_for_binary_search() {
+        let mut sorted = STOP_WORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOP_WORDS);
+    }
+
+    #[test]
+    fn basic_splitting_and_lowercasing() {
+        let t = Tokenizer::default();
+        assert_eq!(
+            t.tokenize("Keyword Search, on XML-data!"),
+            vec!["keyword", "search", "xml", "data"]
+        );
+    }
+
+    #[test]
+    fn filters_follow_paper_rules() {
+        let t = Tokenizer::default();
+        // stop word, number, short token all dropped
+        assert_eq!(t.tokenize("the 2009 db survey"), vec!["survey"]);
+        // "db" is short (<3), "2009" numeric, "the" stop word
+    }
+
+    #[test]
+    fn unicode_is_preserved() {
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("Hinrich Schütze"), vec!["hinrich", "schütze"]);
+    }
+
+    #[test]
+    fn permissive_keeps_everything() {
+        let t = Tokenizer::permissive();
+        assert_eq!(t.tokenize("a 42 db"), vec!["a", "42", "db"]);
+    }
+
+    #[test]
+    fn hyphenated_terms_split() {
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("geo-tagging"), vec!["geo", "tagging"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        let t = Tokenizer::default();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("—!,.;:").is_empty());
+    }
+}

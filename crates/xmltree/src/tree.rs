@@ -1,0 +1,501 @@
+//! The in-memory XML tree model.
+//!
+//! An XML document is a rooted, node-labelled, ordered tree (§III).
+//! Attribute nodes and PCDATA are treated as element nodes; only leaf nodes
+//! carry text. A collection of documents is merged under a virtual root.
+//!
+//! Nodes live in a preorder (document-order) arena, so a `NodeId` is both a
+//! stable handle and a document-order rank, and parent ids are always
+//! smaller than child ids.
+
+use crate::dewey::Dewey;
+use crate::label::{LabelId, LabelTable, PathId, PathTable};
+
+/// Index of a node in the tree arena. Doubles as the node's preorder rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a `usize` arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    label: LabelId,
+    path: PathId,
+    parent: Option<NodeId>,
+    /// Ordinal among siblings, 1-based (Dewey component).
+    ordinal: u32,
+    depth: u32,
+    /// Directly attached text (leaf content), if any.
+    text: Option<String>,
+    first_child: Option<NodeId>,
+    next_sibling: Option<NodeId>,
+    /// Exclusive end of this node's subtree in preorder: all ids in
+    /// `self.0 .. subtree_end` are descendants-or-self.
+    subtree_end: u32,
+}
+
+/// A rooted, labelled, ordered XML tree with interned labels and paths.
+#[derive(Debug, Clone)]
+pub struct XmlTree {
+    nodes: Vec<Node>,
+    labels: LabelTable,
+    paths: PathTable,
+}
+
+/// Builder used by parsers and generators to construct trees in document
+/// order.
+#[derive(Debug)]
+pub struct TreeBuilder {
+    tree: XmlTree,
+    /// Stack of (node, next child ordinal, last child pushed).
+    stack: Vec<(NodeId, u32, Option<NodeId>)>,
+}
+
+impl TreeBuilder {
+    /// Starts a tree whose root element has the given label.
+    pub fn new(root_label: &str) -> Self {
+        let mut tree = XmlTree {
+            nodes: Vec::new(),
+            labels: LabelTable::new(),
+            paths: PathTable::new(),
+        };
+        let label = tree.labels.intern(root_label);
+        let path = tree.paths.intern_root(label);
+        tree.nodes.push(Node {
+            label,
+            path,
+            parent: None,
+            ordinal: 1,
+            depth: 1,
+            text: None,
+            first_child: None,
+            next_sibling: None,
+            subtree_end: 0,
+        });
+        TreeBuilder {
+            tree,
+            stack: vec![(NodeId(0), 1, None)],
+        }
+    }
+
+    /// Opens a child element of the current node and makes it current.
+    pub fn open(&mut self, label: &str) -> NodeId {
+        let (parent, ordinal, prev) = {
+            let top = self.stack.last_mut().expect("builder stack underflow");
+            let ord = top.1;
+            top.1 += 1;
+            let prev = top.2;
+            (top.0, ord, prev)
+        };
+        let label = self.tree.labels.intern(label);
+        let parent_node = &self.tree.nodes[parent.index()];
+        let path = self.tree.paths.intern_child(parent_node.path, label);
+        let depth = parent_node.depth + 1;
+        let id = NodeId(self.tree.nodes.len() as u32);
+        self.tree.nodes.push(Node {
+            label,
+            path,
+            parent: Some(parent),
+            ordinal,
+            depth,
+            text: None,
+            first_child: None,
+            next_sibling: None,
+            subtree_end: 0,
+        });
+        match prev {
+            Some(p) => self.tree.nodes[p.index()].next_sibling = Some(id),
+            None => self.tree.nodes[parent.index()].first_child = Some(id),
+        }
+        self.stack.last_mut().unwrap().2 = Some(id);
+        self.stack.push((id, 1, None));
+        id
+    }
+
+    /// Appends text to the current node's content.
+    pub fn text(&mut self, text: &str) {
+        let (id, _, _) = *self.stack.last().expect("builder stack underflow");
+        let node = &mut self.tree.nodes[id.index()];
+        match &mut node.text {
+            Some(t) => {
+                if !t.is_empty() && !t.ends_with(char::is_whitespace) {
+                    t.push(' ');
+                }
+                t.push_str(text);
+            }
+            None => node.text = Some(text.to_string()),
+        }
+    }
+
+    /// Convenience: `open`, `text`, `close`.
+    pub fn leaf(&mut self, label: &str, text: &str) -> NodeId {
+        let id = self.open(label);
+        self.text(text);
+        self.close();
+        id
+    }
+
+    /// Closes the current element.
+    pub fn close(&mut self) {
+        assert!(self.stack.len() > 1, "cannot close the root element");
+        self.stack.pop();
+    }
+
+    /// Finishes the tree. Any still-open elements are closed implicitly.
+    pub fn finish(mut self) -> XmlTree {
+        self.stack.clear();
+        // Compute subtree extents in one reverse pass: children have larger
+        // preorder ids than their parents, so accumulating subtree sizes
+        // bottom-up is a single backwards sweep.
+        let n = self.tree.nodes.len();
+        let mut size = vec![1u32; n];
+        for i in (1..n).rev() {
+            let p = self.tree.nodes[i].parent.expect("non-root has parent");
+            size[p.index()] += size[i];
+        }
+        for (i, sz) in size.iter().enumerate() {
+            self.tree.nodes[i].subtree_end = i as u32 + sz;
+        }
+        self.tree
+    }
+}
+
+impl XmlTree {
+    /// The root node (always id 0).
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` for a tree with no nodes (never constructible via the
+    /// builder, which always creates a root).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The label interner.
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// The label-path interner.
+    pub fn paths(&self) -> &PathTable {
+        &self.paths
+    }
+
+    /// The node's element label.
+    pub fn label(&self, id: NodeId) -> LabelId {
+        self.nodes[id.index()].label
+    }
+
+    /// The node's label as a string.
+    pub fn label_name(&self, id: NodeId) -> &str {
+        self.labels.name(self.nodes[id.index()].label)
+    }
+
+    /// The node's label path (node type).
+    pub fn path(&self, id: NodeId) -> PathId {
+        self.nodes[id.index()].path
+    }
+
+    /// The node's label path rendered as `/a/b/c`.
+    pub fn path_string(&self, id: NodeId) -> String {
+        self.paths.display(self.nodes[id.index()].path, &self.labels)
+    }
+
+    /// The node's parent, or `None` for the root.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Depth of the node; the root has depth 1 (§III).
+    pub fn depth(&self, id: NodeId) -> u32 {
+        self.nodes[id.index()].depth
+    }
+
+    /// Directly attached text, if any.
+    pub fn text(&self, id: NodeId) -> Option<&str> {
+        self.nodes[id.index()].text.as_deref()
+    }
+
+    /// Children of `id` in document order.
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children {
+            tree: self,
+            next: self.nodes[id.index()].first_child,
+        }
+    }
+
+    /// All node ids in document (preorder) order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The exclusive preorder end of `id`'s subtree; ids in
+    /// `id.0..subtree_end(id)` are exactly the descendants-or-self of `id`.
+    pub fn subtree_end(&self, id: NodeId) -> u32 {
+        self.nodes[id.index()].subtree_end
+    }
+
+    /// Descendants-or-self of `id`, in document order.
+    pub fn subtree(&self, id: NodeId) -> impl Iterator<Item = NodeId> {
+        (id.0..self.subtree_end(id)).map(NodeId)
+    }
+
+    /// `true` iff `a` is an ancestor-or-self of `b`.
+    pub fn is_ancestor_or_self(&self, a: NodeId, b: NodeId) -> bool {
+        a.0 <= b.0 && b.0 < self.subtree_end(a)
+    }
+
+    /// Computes the Dewey code of a node by walking parent pointers
+    /// (`O(depth)`).
+    pub fn dewey(&self, id: NodeId) -> Dewey {
+        let mut comps = Vec::with_capacity(self.depth(id) as usize);
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            comps.push(self.nodes[c.index()].ordinal);
+            cur = self.nodes[c.index()].parent;
+        }
+        comps.reverse();
+        Dewey::from_components(comps)
+    }
+
+    /// Resolves a Dewey code back to a node id, if it addresses a node.
+    pub fn node_at(&self, dewey: &Dewey) -> Option<NodeId> {
+        let comps = dewey.components();
+        if comps.is_empty() || comps[0] != 1 {
+            return None;
+        }
+        let mut cur = self.root();
+        for &ord in &comps[1..] {
+            cur = self.children(cur).nth((ord as usize).checked_sub(1)?)?;
+        }
+        Some(cur)
+    }
+
+    /// The lowest common ancestor of two nodes.
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let (mut a, mut b) = (a, b);
+        while self.depth(a) > self.depth(b) {
+            a = self.parent(a).unwrap();
+        }
+        while self.depth(b) > self.depth(a) {
+            b = self.parent(b).unwrap();
+        }
+        while a != b {
+            a = self.parent(a).unwrap();
+            b = self.parent(b).unwrap();
+        }
+        a
+    }
+
+    /// The ancestor of `id` at the given depth (1 = root). Returns `id`
+    /// itself if its depth equals `depth`; `None` if `id` is shallower.
+    pub fn ancestor_at_depth(&self, id: NodeId, depth: u32) -> Option<NodeId> {
+        let mut cur = id;
+        let d = self.depth(id);
+        if d < depth {
+            return None;
+        }
+        for _ in depth..d {
+            cur = self.parent(cur)?;
+        }
+        Some(cur)
+    }
+
+    /// Concatenated text of the whole subtree (the paper's *virtual
+    /// document* `D(r)`, §IV-B2), in document order.
+    pub fn virtual_document(&self, id: NodeId) -> String {
+        let mut s = String::new();
+        for n in self.subtree(id) {
+            if let Some(t) = self.text(n) {
+                if !s.is_empty() {
+                    s.push(' ');
+                }
+                s.push_str(t);
+            }
+        }
+        s
+    }
+}
+
+/// Iterator over a node's children.
+pub struct Children<'a> {
+    tree: &'a XmlTree,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.tree.nodes[cur.index()].next_sibling;
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the sample tree of the paper's Figure 2 (simplified):
+    /// ```text
+    /// a(1)
+    /// ├── c(1.1) ── x(1.1.1,"tree")
+    /// ├── c(1.2) ── x(1.2.1,"trie"), x(1.2.2,"tree"), y(1.2.3,"icde")
+    /// ├── d(1.3) ── x(1.3.1,"trie"), y(1.3.2,"icdt icde")
+    /// └── d(1.4) ── x(1.4.1,"trie"), y(1.4.2,"icde")
+    /// ```
+    pub(crate) fn sample_tree() -> XmlTree {
+        let mut b = TreeBuilder::new("a");
+        b.open("c");
+        b.leaf("x", "tree");
+        b.close();
+        b.open("c");
+        b.leaf("x", "trie");
+        b.leaf("x", "tree");
+        b.leaf("y", "icde");
+        b.close();
+        b.open("d");
+        b.leaf("x", "trie");
+        b.leaf("y", "icdt icde");
+        b.close();
+        b.open("d");
+        b.leaf("x", "trie");
+        b.leaf("y", "icde");
+        b.close();
+        b.finish()
+    }
+
+    #[test]
+    fn builder_produces_document_order() {
+        let t = sample_tree();
+        assert_eq!(t.len(), 13);
+        let root = t.root();
+        assert_eq!(t.label_name(root), "a");
+        let kids: Vec<_> = t.children(root).collect();
+        assert_eq!(kids.len(), 4);
+        assert_eq!(t.label_name(kids[0]), "c");
+        assert_eq!(t.label_name(kids[2]), "d");
+    }
+
+    #[test]
+    fn dewey_roundtrip() {
+        let t = sample_tree();
+        for n in t.iter() {
+            let d = t.dewey(n);
+            assert_eq!(t.node_at(&d), Some(n), "dewey {d} should resolve");
+        }
+        assert!(t.node_at(&Dewey::parse("1.9").unwrap()).is_none());
+        assert!(t.node_at(&Dewey::parse("2").unwrap()).is_none());
+    }
+
+    #[test]
+    fn dewey_matches_document_order() {
+        let t = sample_tree();
+        let deweys: Vec<_> = t.iter().map(|n| t.dewey(n)).collect();
+        let mut sorted = deweys.clone();
+        sorted.sort();
+        assert_eq!(deweys, sorted, "preorder arena must agree with Dewey order");
+    }
+
+    #[test]
+    fn subtree_extents() {
+        let t = sample_tree();
+        let root = t.root();
+        assert_eq!(t.subtree_end(root), t.len() as u32);
+        let c2 = t.node_at(&Dewey::parse("1.2").unwrap()).unwrap();
+        let sub: Vec<_> = t.subtree(c2).map(|n| t.dewey(n).to_string()).collect();
+        assert_eq!(sub, vec!["1.2", "1.2.1", "1.2.2", "1.2.3"]);
+        let leaf = t.node_at(&Dewey::parse("1.2.3").unwrap()).unwrap();
+        assert!(t.is_ancestor_or_self(c2, leaf));
+        assert!(!t.is_ancestor_or_self(leaf, c2));
+    }
+
+    /// Regression test: `subtree_end` of nodes on the "last descendant"
+    /// spine used to be computed from parents' not-yet-computed extents.
+    #[test]
+    fn subtree_end_is_consistent_for_every_node() {
+        let t = sample_tree();
+        for n in t.iter() {
+            let end = t.subtree_end(n);
+            assert!(end > n.0, "subtree contains the node itself");
+            // Every node in the claimed range must have n as ancestor-or-self.
+            for m in t.subtree(n) {
+                let mut cur = Some(m);
+                let mut found = false;
+                while let Some(c) = cur {
+                    if c == n {
+                        found = true;
+                        break;
+                    }
+                    cur = t.parent(c);
+                }
+                assert!(found, "{m:?} not a descendant of {n:?}");
+            }
+            // And the node just past the range must not.
+            if (end as usize) < t.len() {
+                let m = NodeId(end);
+                let mut cur = Some(m);
+                while let Some(c) = cur {
+                    assert_ne!(c, n, "{m:?} wrongly inside subtree of {n:?}");
+                    cur = t.parent(c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lca_and_ancestor_at_depth() {
+        let t = sample_tree();
+        let a = t.node_at(&Dewey::parse("1.2.1").unwrap()).unwrap();
+        let b = t.node_at(&Dewey::parse("1.2.3").unwrap()).unwrap();
+        let c = t.node_at(&Dewey::parse("1.3.1").unwrap()).unwrap();
+        assert_eq!(t.dewey(t.lca(a, b)).to_string(), "1.2");
+        assert_eq!(t.dewey(t.lca(a, c)).to_string(), "1");
+        assert_eq!(
+            t.dewey(t.ancestor_at_depth(a, 2).unwrap()).to_string(),
+            "1.2"
+        );
+        assert_eq!(t.ancestor_at_depth(a, 4), None);
+        assert_eq!(t.ancestor_at_depth(a, 3), Some(a));
+    }
+
+    #[test]
+    fn virtual_document_concatenates_subtree_text() {
+        let t = sample_tree();
+        let d3 = t.node_at(&Dewey::parse("1.3").unwrap()).unwrap();
+        assert_eq!(t.virtual_document(d3), "trie icdt icde");
+    }
+
+    #[test]
+    fn path_strings() {
+        let t = sample_tree();
+        let x = t.node_at(&Dewey::parse("1.2.1").unwrap()).unwrap();
+        assert_eq!(t.path_string(x), "/a/c/x");
+        let y = t.node_at(&Dewey::parse("1.3.2").unwrap()).unwrap();
+        assert_eq!(t.path_string(y), "/a/d/y");
+    }
+
+    #[test]
+    fn text_accumulates() {
+        let mut b = TreeBuilder::new("r");
+        b.open("p");
+        b.text("hello");
+        b.text("world");
+        b.close();
+        let t = b.finish();
+        let p = t.children(t.root()).next().unwrap();
+        assert_eq!(t.text(p), Some("hello world"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Serialising trees back to XML text.
+//!
+//! Used by the data generators to materialise corpora (and to measure the
+//! serialised size reported in the paper's Table I).
+
+use crate::tree::{NodeId, XmlTree};
+
+/// Serialises the whole tree as an XML document string.
+pub fn to_xml(tree: &XmlTree) -> String {
+    let mut out = String::new();
+    write_node(tree, tree.root(), &mut out);
+    out
+}
+
+/// The serialised byte size of the tree (`to_xml(tree).len()`), without
+/// materialising intermediate allocations beyond the single output string.
+pub fn serialized_size(tree: &XmlTree) -> usize {
+    to_xml(tree).len()
+}
+
+fn write_node(tree: &XmlTree, node: NodeId, out: &mut String) {
+    let name = tree.label_name(node);
+    out.push('<');
+    out.push_str(name);
+    let children: Vec<NodeId> = tree.children(node).collect();
+    let text = tree.text(node);
+    if children.is_empty() && text.is_none() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    if let Some(t) = text {
+        escape_into(t, out);
+    }
+    for c in children {
+        write_node(tree, c, out);
+    }
+    out.push_str("</");
+    out.push_str(name);
+    out.push('>');
+}
+
+/// Serialises the subtree rooted at `node` as an XML fragment.
+pub fn subtree_to_xml(tree: &XmlTree, node: NodeId) -> String {
+    let mut out = String::new();
+    write_node(tree, node, &mut out);
+    out
+}
+
+/// Escapes the five predefined XML entities.
+pub fn escape_into(text: &str, out: &mut String) {
+    for ch in text.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+    use crate::tree::TreeBuilder;
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = "<a><b>hello</b><c/></a>";
+        let t = parse_document(src).unwrap();
+        assert_eq!(to_xml(&t), src);
+    }
+
+    #[test]
+    fn escaping_roundtrips() {
+        let mut b = TreeBuilder::new("a");
+        b.text("x < y & z");
+        let t = b.finish();
+        let xml = to_xml(&t);
+        assert_eq!(xml, "<a>x &lt; y &amp; z</a>");
+        let t2 = parse_document(&xml).unwrap();
+        assert_eq!(t2.text(t2.root()), Some("x < y & z"));
+    }
+
+    #[test]
+    fn subtree_fragment() {
+        let t = parse_document("<a><b>hi</b><c><d>x</d></c></a>").unwrap();
+        let c = t.children(t.root()).nth(1).unwrap();
+        assert_eq!(subtree_to_xml(&t, c), "<c><d>x</d></c>");
+    }
+
+    #[test]
+    fn serialized_size_counts_bytes() {
+        let t = parse_document("<a><b>hi</b></a>").unwrap();
+        assert_eq!(serialized_size(&t), to_xml(&t).len());
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build an engine over a small XML document and clean a
+//! misspelt query.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use xclean_suite::xclean::{XCleanConfig, XCleanEngine};
+use xclean_suite::xmltree::parse_document;
+
+fn main() {
+    // 1. Any XML document works; attributes count as child nodes.
+    let xml = r#"
+        <bibliography>
+            <paper year="2011" venue="icde">
+                <author>yifei lu</author>
+                <author>wei wang</author>
+                <title>xclean providing valid spelling suggestions for xml keyword queries</title>
+            </paper>
+            <paper year="2008" venue="sigmod">
+                <author>ken pu</author>
+                <title>keyword query cleaning</title>
+            </paper>
+            <paper year="2009" venue="www">
+                <author>hinrich schutze</author>
+                <title>introduction to information retrieval</title>
+            </paper>
+        </bibliography>"#;
+    let tree = parse_document(xml).expect("well-formed XML");
+
+    // 2. Build the engine (corpus index + FastSS variant index).
+    let engine = XCleanEngine::new(tree, XCleanConfig::default());
+
+    // 3. Clean a dirty query.
+    for query in ["keywrd quer", "schutze retrieval", "spelling sugestions"] {
+        let response = engine.suggest(query);
+        println!("query: {query:?}");
+        if response.suggestions.is_empty() {
+            println!("  (no valid suggestion)");
+        }
+        for (rank, s) in response.suggestions.iter().enumerate().take(3) {
+            println!(
+                "  #{} {:<40} log-score {:>8.3}  entities {}  edits {:?}",
+                rank + 1,
+                s.query_string(),
+                s.log_score,
+                s.entity_count,
+                s.distances,
+            );
+        }
+        println!(
+            "  ({} subtrees, {} postings read, {} skipped, {:?})\n",
+            response.stats.subtrees,
+            response.stats.postings_read,
+            response.stats.postings_skipped,
+            response.elapsed,
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! The §VI-A extension: correcting queries whose errors change the number
+//! of keywords (missing/spurious spaces), combined with ordinary typo
+//! cleaning.
+//!
+//! ```sh
+//! cargo run --release --example space_edits
+//! ```
+
+use xclean_suite::xclean::{expand_space_edits, XCleanConfig, XCleanEngine};
+use xclean_suite::xmltree::parse_document;
+
+fn main() {
+    let xml = "<kb>\
+        <article><t>powerpoint presentation design</t></article>\
+        <article><t>power point alternatives</t></article>\
+        <article><t>database systems survey</t></article>\
+        <article><t>data base administration</t></article>\
+    </kb>";
+    let engine = XCleanEngine::new(parse_document(xml).unwrap(), XCleanConfig::default());
+
+    for query in ["power point design", "powerpoint alternatives", "data base survey", "databse administration"] {
+        println!("query: {query:?}");
+        let keywords = engine.parse_query(query);
+
+        // τ = 1 space edits, validated against the vocabulary.
+        let rewrites = expand_space_edits(engine.corpus(), &keywords, 1);
+        println!("  space-edit rewrites considered: {}", rewrites.len());
+
+        // Run each rewriting through the engine; rank all suggestions
+        // together, charging one β-penalty per space edit (β = 5 default).
+        let beta = engine.config().beta;
+        let mut pooled: Vec<(f64, String, u32)> = Vec::new();
+        for rw in &rewrites {
+            let r = engine.suggest_keywords(&rw.keywords);
+            for s in r.suggestions {
+                pooled.push((
+                    s.log_score - beta * f64::from(rw.edits),
+                    s.query_string(),
+                    rw.edits,
+                ));
+            }
+        }
+        pooled.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        pooled.dedup_by(|a, b| a.1 == b.1);
+        for (score, q, edits) in pooled.iter().take(4) {
+            println!("    [{q}]  score {score:.3}  space-edits {edits}");
+        }
+        println!();
+    }
+}

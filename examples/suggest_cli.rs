@@ -1,0 +1,96 @@
+//! Interactive query-cleaning CLI over an XML file or a generated corpus.
+//!
+//! ```sh
+//! # over your own XML document
+//! cargo run --release --example suggest_cli -- path/to/data.xml
+//! # over the synthetic DBLP corpus
+//! cargo run --release --example suggest_cli
+//! ```
+//!
+//! Then type keyword queries; `:quit` exits. `:stats` prints corpus
+//! statistics, `:slca` / `:nodetype` switch semantics.
+
+use std::io::{self, BufRead, Write};
+
+use xclean_suite::datagen::{generate_dblp, DblpConfig};
+use xclean_suite::xclean::{Semantics, XCleanConfig, XCleanEngine};
+use xclean_suite::xmltree::{parse_document, TreeStats};
+
+fn main() {
+    let tree = match std::env::args().nth(1) {
+        Some(path) => {
+            eprintln!("parsing {path}…");
+            let text = std::fs::read_to_string(&path).expect("read XML file");
+            parse_document(&text).expect("well-formed XML")
+        }
+        None => {
+            eprintln!("no file given; generating a synthetic DBLP corpus…");
+            generate_dblp(&DblpConfig {
+                publications: 5_000,
+                ..Default::default()
+            })
+        }
+    };
+    eprintln!("indexing {} nodes…", tree.len());
+    let mut engine = XCleanEngine::new(tree, XCleanConfig::default());
+    eprintln!(
+        "ready: {} terms in vocabulary. Type a query (':quit' to exit).",
+        engine.corpus().vocab().len()
+    );
+
+    let stdin = io::stdin();
+    loop {
+        print!("xclean> ");
+        io::stdout().flush().ok();
+        let Some(Ok(line)) = stdin.lock().lines().next() else {
+            break;
+        };
+        let line = line.trim();
+        match line {
+            "" => continue,
+            ":quit" | ":q" => break,
+            ":stats" => {
+                let s = TreeStats::compute(engine.corpus().tree());
+                println!(
+                    "nodes {}  max depth {}  avg depth {:.2}  node types {}  |V| {}",
+                    s.node_count,
+                    s.max_depth,
+                    s.avg_depth,
+                    s.distinct_paths,
+                    engine.corpus().vocab().len()
+                );
+                continue;
+            }
+            ":slca" => {
+                engine = engine.with_semantics(Semantics::Slca);
+                println!("semantics: SLCA");
+                continue;
+            }
+            ":nodetype" => {
+                engine = engine.with_semantics(Semantics::NodeType);
+                println!("semantics: node-type");
+                continue;
+            }
+            _ => {}
+        }
+        let r = engine.suggest(line);
+        if r.suggestions.is_empty() {
+            println!("no valid suggestion (no candidate query has results)");
+            continue;
+        }
+        for (i, s) in r.suggestions.iter().enumerate() {
+            println!(
+                "{:>2}. {:<50} score {:>9.3}  entities {:>5}  edits {:?}",
+                i + 1,
+                s.query_string(),
+                s.log_score,
+                s.entity_count,
+                s.distances
+            );
+        }
+        println!(
+            "    [{:?}; {} subtrees, {} read / {} skipped postings]",
+            r.elapsed, r.stats.subtrees, r.stats.postings_read, r.stats.postings_skipped
+        );
+    }
+}

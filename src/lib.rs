@@ -1,0 +1,22 @@
+//! # xclean-suite
+//!
+//! Umbrella crate for the XClean reproduction. Re-exports the public API of
+//! every workspace crate so examples and downstream users can depend on a
+//! single crate:
+//!
+//! ```
+//! use xclean_suite::xmltree::parse_document;
+//! let tree = parse_document("<a><b>keyword search</b></a>").unwrap();
+//! assert_eq!(tree.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use xclean;
+pub use xclean_baselines as baselines;
+pub use xclean_datagen as datagen;
+pub use xclean_eval as eval;
+pub use xclean_fastss as fastss;
+pub use xclean_index as index;
+pub use xclean_lm as lm;
+pub use xclean_xmltree as xmltree;

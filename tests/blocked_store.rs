@@ -1,0 +1,86 @@
+//! Integration test: the block-compressed posting store must agree with
+//! the in-memory lists on a realistic generated corpus, and its
+//! decode-on-skip behaviour must actually avoid work.
+
+use xclean_suite::datagen::{generate_dblp, DblpConfig};
+use xclean_suite::index::{BlockedPostingList, CorpusIndex, TokenId, BLOCK_SIZE};
+
+fn corpus() -> CorpusIndex {
+    CorpusIndex::build(generate_dblp(&DblpConfig {
+        publications: 2_000,
+        seed: 91,
+        ..Default::default()
+    }))
+}
+
+#[test]
+fn blocked_lists_agree_with_plain_on_generated_corpus() {
+    let c = corpus();
+    for t in 0..c.vocab().len() as u32 {
+        let plain = c.postings(TokenId(t));
+        let blocked = BlockedPostingList::from_plain(plain);
+        assert_eq!(blocked.len(), plain.len());
+        let mut cursor = blocked.cursor();
+        for i in 0..plain.len() {
+            let want = plain.get(i);
+            let got = cursor.current().expect("entry present");
+            assert_eq!(got.node, want.node, "token {t} entry {i}");
+            assert_eq!(got.path, want.path);
+            assert_eq!(got.tf, want.tf);
+            assert_eq!(got.dewey.as_slice(), want.dewey);
+            cursor.advance();
+        }
+        assert!(cursor.current().is_none());
+    }
+}
+
+#[test]
+fn skipping_saves_decodes_on_long_lists() {
+    let c = corpus();
+    // The longest posting list (the most frequent token).
+    let longest = (0..c.vocab().len() as u32)
+        .map(TokenId)
+        .max_by_key(|&t| c.postings(t).len())
+        .unwrap();
+    let plain = c.postings(longest);
+    assert!(
+        plain.len() > BLOCK_SIZE * 4,
+        "corpus too small for this test: {} postings",
+        plain.len()
+    );
+    let blocked = BlockedPostingList::from_plain(plain);
+
+    // Probe ~5 spread-out targets: decode cost must stay far below a
+    // full drain.
+    let mut cursor = blocked.cursor();
+    let n = plain.len();
+    for frac in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
+        let target = plain.get((n as f64 * frac) as usize).node;
+        cursor.skip_to(target);
+        assert_eq!(cursor.current().unwrap().node, target);
+    }
+    assert!(
+        cursor.blocks_decoded() <= 10,
+        "decoded {} of {} blocks",
+        cursor.blocks_decoded(),
+        blocked.block_count()
+    );
+    assert!(blocked.block_count() > 10);
+}
+
+#[test]
+fn encoded_size_is_compact() {
+    let c = corpus();
+    let mut encoded = 0usize;
+    let mut entries = 0usize;
+    for t in 0..c.vocab().len() as u32 {
+        let plain = c.postings(TokenId(t));
+        encoded += BlockedPostingList::from_plain(plain).encoded_bytes();
+        entries += plain.len();
+    }
+    // Well under a naive 24-byte/entry flat layout.
+    assert!(
+        encoded < entries * 12,
+        "encoded {encoded} bytes for {entries} entries"
+    );
+}

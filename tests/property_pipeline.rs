@@ -1,0 +1,117 @@
+//! Cross-crate property tests: invariants of the full pipeline on
+//! arbitrary generated inputs.
+
+use proptest::prelude::*;
+use xclean_suite::index::CorpusIndex;
+use xclean_suite::xclean::{XCleanConfig, XCleanEngine};
+use xclean_suite::xmltree::{parse_document, to_xml, TreeBuilder, XmlTree};
+
+/// Builds an arbitrary small tree from a shape script and word pool.
+fn arbitrary_tree(shape: &[u8], words: &[String]) -> XmlTree {
+    let mut b = TreeBuilder::new("root");
+    let mut depth = 0usize;
+    let mut w = 0usize;
+    for &s in shape {
+        match s % 4 {
+            0 => {
+                b.open(["rec", "sec", "item"][s as usize % 3]);
+                depth += 1;
+            }
+            1 if depth > 0 => {
+                b.close();
+                depth -= 1;
+            }
+            _ => {
+                if !words.is_empty() {
+                    let text = format!(
+                        "{} {}",
+                        words[w % words.len()],
+                        words[(w + 1) % words.len()]
+                    );
+                    b.leaf("t", &text);
+                    w += 2;
+                }
+            }
+        }
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// writer → parser is the identity on structure, labels and text.
+    #[test]
+    fn xml_roundtrip(
+        shape in proptest::collection::vec(0u8..4, 0..60),
+        words in proptest::collection::vec("[a-z]{3,9}", 1..8),
+    ) {
+        let tree = arbitrary_tree(&shape, &words);
+        let xml = to_xml(&tree);
+        let back = parse_document(&xml).expect("own output must parse");
+        prop_assert_eq!(tree.len(), back.len());
+        for n in tree.iter() {
+            prop_assert_eq!(tree.label_name(n), back.label_name(n));
+            prop_assert_eq!(tree.text(n), back.text(n));
+            prop_assert_eq!(tree.depth(n), back.depth(n));
+            prop_assert_eq!(tree.subtree_end(n), back.subtree_end(n));
+        }
+    }
+
+    /// Every suggestion the engine ever returns is valid: positive entity
+    /// count, one term per input keyword, terms from the vocabulary, and
+    /// monotonically non-increasing scores.
+    #[test]
+    fn suggestions_are_always_well_formed(
+        shape in proptest::collection::vec(0u8..4, 5..60),
+        words in proptest::collection::vec("[a-e]{3,7}", 2..8),
+        query in proptest::collection::vec("[a-e]{2,8}", 1..4),
+    ) {
+        let tree = arbitrary_tree(&shape, &words);
+        let engine = XCleanEngine::new(tree, XCleanConfig::default());
+        let keywords: Vec<String> = query;
+        let r = engine.suggest_keywords(&keywords);
+        let mut prev = f64::INFINITY;
+        for s in &r.suggestions {
+            prop_assert!(s.entity_count > 0);
+            prop_assert_eq!(s.terms.len(), keywords.len());
+            for t in &s.terms {
+                prop_assert!(engine.corpus().vocab().get(t).is_some());
+            }
+            prop_assert!(s.log_score <= prev);
+            prop_assert!(s.log_score.is_finite());
+            prev = s.log_score;
+        }
+    }
+
+    /// The γ bound is respected and never changes which scores are
+    /// reported for the candidates it keeps.
+    #[test]
+    fn gamma_keeps_true_scores(
+        shape in proptest::collection::vec(0u8..4, 10..50),
+        words in proptest::collection::vec("[a-c]{3,5}", 2..6),
+    ) {
+        let tree = arbitrary_tree(&shape, &words);
+        let corpus = CorpusIndex::build(tree);
+        if corpus.vocab().is_empty() {
+            return Ok(());
+        }
+        let engine = XCleanEngine::from_corpus(corpus, XCleanConfig::default());
+        let kw = vec![engine.corpus().vocab().term(xclean_suite::index::TokenId(0)).to_string()];
+        let full = engine.suggest_keywords_with(&kw, &XCleanConfig {
+            gamma: None,
+            ..Default::default()
+        });
+        let pruned = engine.suggest_keywords_with(&kw, &XCleanConfig {
+            gamma: Some(2),
+            ..Default::default()
+        });
+        // Every pruned survivor appears in the unpruned run with the same
+        // score (pruning may drop candidates, never corrupt them).
+        for p in &pruned.suggestions {
+            if let Some(f) = full.suggestions.iter().find(|f| f.terms == p.terms) {
+                prop_assert!((f.log_score - p.log_score).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration tests comparing the three entity semantics (node-type,
+//! SLCA, ELCA) on the same corpora: structural relationships that must
+//! hold regardless of scoring details.
+
+use xclean_suite::datagen::{generate_dblp, DblpConfig};
+use xclean_suite::xclean::{
+    elca_of_lists, run_elca, run_slca, slca_of_lists, KeywordSlot, Semantics,
+    VariantGenerator, XCleanConfig, XCleanEngine,
+};
+use xclean_suite::xmltree::{parse_document, NodeId};
+
+#[test]
+fn slca_set_is_subset_of_elca_set() {
+    // Structural invariant: every SLCA is an ELCA.
+    let tree = generate_dblp(&DblpConfig {
+        publications: 300,
+        seed: 61,
+        ..Default::default()
+    });
+    let corpus = xclean_suite::index::CorpusIndex::build(tree);
+    let tree = corpus.tree();
+    // Use the two most frequent tokens as the keyword sets.
+    let mut by_cf: Vec<(u64, u32)> = (0..corpus.vocab().len() as u32)
+        .map(|i| (corpus.vocab().cf(xclean_suite::index::TokenId(i)), i))
+        .collect();
+    by_cf.sort_unstable_by(|a, b| b.cmp(a));
+    let lists: Vec<Vec<NodeId>> = by_cf[..2]
+        .iter()
+        .map(|&(_, t)| {
+            corpus
+                .postings(xclean_suite::index::TokenId(t))
+                .nodes()
+                .to_vec()
+        })
+        .collect();
+    let slcas = slca_of_lists(tree, &lists);
+    let elcas = elca_of_lists(tree, &lists, 1);
+    assert!(!slcas.is_empty());
+    for s in &slcas {
+        assert!(elcas.contains(s), "SLCA {s:?} not in ELCA set");
+    }
+    assert!(elcas.len() >= slcas.len());
+}
+
+#[test]
+fn all_semantics_find_the_clean_correction() {
+    let xml = "<db>\
+        <rec><a>smith</a><t>health insurance policy</t></rec>\
+        <rec><a>jones</a><t>program instance analysis</t></rec>\
+        <rec><a>smith</a><t>insurance markets</t></rec>\
+    </db>";
+    for semantics in [Semantics::NodeType, Semantics::Slca, Semantics::Elca] {
+        let e = XCleanEngine::new(parse_document(xml).unwrap(), XCleanConfig::default())
+            .with_semantics(semantics);
+        let r = e.suggest("helth insurance");
+        assert!(
+            !r.suggestions.is_empty(),
+            "{semantics:?} found no suggestions"
+        );
+        assert_eq!(
+            r.suggestions[0].terms,
+            vec!["health", "insurance"],
+            "{semantics:?} top suggestion wrong"
+        );
+    }
+}
+
+#[test]
+fn elca_scores_superset_of_slca_candidates() {
+    // On a fixed corpus, every candidate surviving the SLCA run must also
+    // survive the ELCA run (more entities can only add candidates).
+    let tree = generate_dblp(&DblpConfig {
+        publications: 400,
+        seed: 71,
+        ..Default::default()
+    });
+    let corpus = xclean_suite::index::CorpusIndex::build(tree);
+    let gen = VariantGenerator::build(&corpus, 2, 14);
+    let cfg = XCleanConfig {
+        gamma: None,
+        ..Default::default()
+    };
+    for q in ["keyword search", "databse systems"] {
+        let slots: Vec<KeywordSlot> = q
+            .split_whitespace()
+            .map(|k| KeywordSlot {
+                keyword: k.to_string(),
+                variants: gen.variants(k),
+            })
+            .collect();
+        let slca = run_slca(&corpus, &slots, &cfg);
+        let elca = run_elca(&corpus, &slots, &cfg);
+        let elca_tokens: Vec<_> = elca.candidates.iter().map(|c| &c.tokens).collect();
+        for c in &slca.candidates {
+            assert!(
+                elca_tokens.contains(&&c.tokens),
+                "candidate {:?} in SLCA but not ELCA for {q}",
+                c.tokens
+            );
+        }
+    }
+}

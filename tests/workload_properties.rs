@@ -1,0 +1,82 @@
+//! Property tests on the evaluation-workload machinery: the guarantees
+//! the experiment harness silently relies on must hold for arbitrary
+//! generator parameters.
+
+use proptest::prelude::*;
+use xclean_suite::datagen::{
+    generate_dblp, make_workload, DblpConfig, Perturbation, WorkloadSpec,
+};
+use xclean_suite::fastss::edit_distance;
+use xclean_suite::index::CorpusIndex;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any seed/size, RAND workloads satisfy the paper's two rules:
+    /// dirty tokens are out-of-vocabulary, and short tokens are spared.
+    #[test]
+    fn rand_workload_rules_hold(seed in 0u64..1000, pubs in 100usize..400) {
+        let corpus = CorpusIndex::build(generate_dblp(&DblpConfig {
+            publications: pubs,
+            seed,
+            ..Default::default()
+        }));
+        let ws = make_workload(&corpus, &WorkloadSpec {
+            n_queries: 10,
+            min_len: 1,
+            max_len: 4,
+            seed: seed.wrapping_mul(31),
+            perturbation: Perturbation::Rand,
+            dataset: "T".into(),
+        });
+        for case in &ws.cases {
+            prop_assert_eq!(case.dirty.len(), case.clean.len());
+            let mut changed = 0;
+            for (d, c) in case.dirty.iter().zip(case.clean.iter()) {
+                if d != c {
+                    changed += 1;
+                    prop_assert!(corpus.vocab().get(d).is_none(), "{d} in vocab");
+                    prop_assert_eq!(edit_distance(d, c), 1);
+                    prop_assert!(c.chars().count() >= 5);
+                }
+                // Clean keywords always come from the vocabulary.
+                prop_assert!(corpus.vocab().get(c).is_some());
+            }
+            prop_assert!(changed >= 1, "dirty query identical to clean");
+        }
+    }
+
+    /// Clean workloads are entity-coherent: a query's keywords co-occur in
+    /// at least one child-of-root subtree, so the ground truth provably
+    /// has results.
+    #[test]
+    fn clean_workloads_have_answers(seed in 0u64..1000) {
+        let corpus = CorpusIndex::build(generate_dblp(&DblpConfig {
+            publications: 200,
+            seed,
+            ..Default::default()
+        }));
+        let ws = make_workload(&corpus, &WorkloadSpec {
+            n_queries: 8,
+            min_len: 2,
+            max_len: 3,
+            seed: seed ^ 0xABCD,
+            perturbation: Perturbation::Clean,
+            dataset: "T".into(),
+        });
+        let tree = corpus.tree();
+        for case in &ws.cases {
+            let coherent = tree.children(tree.root()).any(|e| {
+                case.clean.iter().all(|k| {
+                    let t = corpus.vocab().get(k).expect("clean keyword in vocab");
+                    corpus
+                        .postings(t)
+                        .nodes()
+                        .iter()
+                        .any(|&n| tree.is_ancestor_or_self(e, n))
+                })
+            });
+            prop_assert!(coherent, "query {:?} has no entity", case.clean);
+        }
+    }
+}
