@@ -7,7 +7,7 @@
 //! mean of its per-entity scores scaled by its error-model weight, as
 //! justified by the Hoeffding bound in the paper — is lowest.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use xclean_index::TokenId;
 
@@ -58,6 +58,11 @@ pub struct PruningStats {
 #[derive(Debug)]
 pub struct AccumulatorTable {
     accs: HashMap<CandidateKey, Accumulator>,
+    /// Keys that lost their accumulator (or never got one). Blocking
+    /// re-admission keeps every *surviving* accumulator's sum exact: a
+    /// candidate that re-entered after eviction would report a partial —
+    /// and therefore wrong — score.
+    evicted: HashSet<CandidateKey>,
     gamma: Option<usize>,
     stats: PruningStats,
 }
@@ -68,6 +73,7 @@ impl AccumulatorTable {
     pub fn new(gamma: Option<usize>) -> Self {
         AccumulatorTable {
             accs: HashMap::new(),
+            evicted: HashSet::new(),
             gamma,
             stats: PruningStats::default(),
         }
@@ -110,6 +116,12 @@ impl AccumulatorTable {
             acc.weight_sum += weight;
             return;
         }
+        if self.evicted.contains(key) {
+            // Once out, stay out: re-admitting would restart the sum and
+            // report a corrupted partial score for this candidate.
+            self.stats.rejected += 1;
+            return;
+        }
         let candidate = Accumulator {
             score_sum: score,
             entity_count: 1,
@@ -122,19 +134,27 @@ impl AccumulatorTable {
             if self.accs.len() >= gamma {
                 // Choose the victim among existing accumulators; the new
                 // candidate competes with its own first-entity estimate.
+                // Ties break on the key so the choice does not depend on
+                // HashMap iteration order (which varies between runs).
                 let (victim_key, victim_est) = self
                     .accs
                     .iter()
                     .map(|(k, a)| (k, a.estimated_log_score()))
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN scores"))
+                    .min_by(|a, b| {
+                        a.1.partial_cmp(&b.1)
+                            .expect("no NaN scores")
+                            .then_with(|| a.0.cmp(b.0))
+                    })
                     .map(|(k, e)| (k.clone(), e))
                     .expect("table is full, so non-empty");
                 if candidate.estimated_log_score() <= victim_est {
                     // The newcomer itself is the victim.
+                    self.evicted.insert(key.clone());
                     self.stats.rejected += 1;
                     return;
                 }
                 self.accs.remove(&victim_key);
+                self.evicted.insert(victim_key);
                 self.stats.evictions += 1;
             }
         }

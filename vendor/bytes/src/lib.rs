@@ -1,0 +1,296 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build container has no access to crates.io, so this workspace
+//! vendors the small API subset it actually uses: [`Bytes`] (a cheaply
+//! cloneable shared byte view), [`BytesMut`] (a growable buffer), and the
+//! [`Buf`]/[`BufMut`] traits. Semantics match the real crate for this
+//! subset; performance characteristics are close enough for an index
+//! wire-format (the backing store is an `Arc<[u8]>`).
+
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous, immutable slice of bytes.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub fn new() -> Self {
+        Bytes::from_vec(Vec::new())
+    }
+
+    /// Creates `Bytes` from a static slice without copying the reference's
+    /// contents more than once.
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes::from_vec(s.to_vec())
+    }
+
+    fn from_vec(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a sub-view; panics when the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Copies the view into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes::from_vec(v)
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Self {
+        b.freeze()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// A growable byte buffer.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates a buffer with the given capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Read-side cursor over a byte source.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The unconsumed bytes, contiguously.
+    fn chunk(&self) -> &[u8];
+
+    /// Consumes `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// `true` while bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consumes and returns one byte; panics when empty.
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 on empty buffer");
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Consumes and returns a big-endian u32; panics when short.
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "get_u32 on short buffer");
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Consumes `len` bytes into an owned [`Bytes`].
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "copy_to_bytes past end");
+        let out = Bytes::from_vec(self.chunk()[..len].to_vec());
+        self.advance(len);
+        out
+    }
+
+    /// Copies exactly `dst.len()` bytes into `dst`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "copy_to_slice past end");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.start += cnt;
+    }
+}
+
+/// Write-side sink for bytes.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, b: u8) {
+        self.push(b);
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut m = BytesMut::new();
+        m.put_u8(1);
+        m.put_slice(&[2, 3, 4]);
+        m.put_u32(0xdead_beef);
+        let mut b = m.freeze();
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.get_u8(), 1);
+        assert_eq!(b.copy_to_bytes(3).to_vec(), vec![2, 3, 4]);
+        assert_eq!(b.get_u32(), 0xdead_beef);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn slice_and_clone_share() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4]);
+        let s = b.slice(1..4);
+        assert_eq!(&*s, &[1, 2, 3]);
+        assert_eq!(b.clone().to_vec(), vec![0, 1, 2, 3, 4]);
+    }
+}

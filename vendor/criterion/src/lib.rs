@@ -1,0 +1,330 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A wall-clock micro-benchmark harness covering the API subset this
+//! workspace's `harness = false` benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, throughput, bench_function,
+//! bench_with_input, finish}`, `Bencher::{iter, iter_with_setup}`,
+//! `BenchmarkId::new`, `Throughput` and the `criterion_group!` /
+//! `criterion_main!` macros. No statistical analysis or HTML reports —
+//! each benchmark prints min / mean / max per-iteration time (and derived
+//! throughput when configured) to stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI filters here; the stand-in runs everything.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Overrides the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.render(None), self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Opens a named group sharing sample-size / throughput settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares input size so the report can derive a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            &id.render(Some(&self.name)),
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a parameterised benchmark; `input` is passed back to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.render(Some(&self.name));
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut bencher, input);
+        report(&label, self.throughput, &bencher.samples);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the stand-in prints
+    /// eagerly, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark, optionally with a parameter suffix.
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: Option<&str>) -> String {
+        let mut out = String::new();
+        if let Some(g) = group {
+            out.push_str(g);
+            out.push('/');
+        }
+        out.push_str(&self.name);
+        if let Some(p) = &self.parameter {
+            out.push('/');
+            out.push_str(p);
+        }
+        out
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Input magnitude used to derive a processing rate in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times closures; handed to each benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+/// Samples per benchmark. `bench_with_input` constructs the `Bencher`
+/// before the closure runs, so the count is fixed here rather than read
+/// from group config at call time.
+const DEFAULT_SAMPLES: usize = 20;
+
+impl Bencher {
+    /// Times `routine`, recording one sample per call after a short warmup.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let samples = if self.samples.capacity() > 0 {
+            self.samples.capacity()
+        } else {
+            DEFAULT_SAMPLES
+        };
+        // Warmup: a couple of untimed runs to fault in caches/allocs.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        self.samples.clear();
+        for _ in 0..samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Like [`iter`](Self::iter) but excludes `setup` from the timing.
+    pub fn iter_with_setup<I, R, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let samples = if self.samples.capacity() > 0 {
+            self.samples.capacity()
+        } else {
+            DEFAULT_SAMPLES
+        };
+        black_box(routine(setup()));
+        self.samples.clear();
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+    };
+    f(&mut bencher);
+    report(label, throughput, &bencher.samples);
+}
+
+fn report(label: &str, throughput: Option<Throughput>, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = *samples.iter().min().unwrap();
+    let max = *samples.iter().max().unwrap();
+    let rate = throughput.map(|t| {
+        let per_sec = match t {
+            Throughput::Bytes(n) => (n as f64 / mean.as_secs_f64(), "B/s"),
+            Throughput::Elements(n) => (n as f64 / mean.as_secs_f64(), "elem/s"),
+        };
+        format!("  {:.3e} {}", per_sec.0, per_sec.1)
+    });
+    println!(
+        "{label:<48} time: [{} {} {}]{}",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a runner function named `$name`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups (for `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a.wrapping_add(b))
+    }
+
+    #[test]
+    fn group_runs_benches_and_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(1000));
+        group.bench_with_input(BenchmarkId::new("sum", 1000), &1000u64, |b, &n| {
+            b.iter(|| sum_to(n))
+        });
+        group.bench_function("sum_fixed", |b| b.iter(|| sum_to(100)));
+        group.finish();
+    }
+
+    #[test]
+    fn iter_with_setup_times_only_routine() {
+        let mut c = Criterion::default();
+        c.bench_function("setup", |b| {
+            b.iter_with_setup(|| vec![1u32; 64], |v| v.iter().sum::<u32>())
+        });
+    }
+}

@@ -1,0 +1,104 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the two facilities this workspace uses:
+//!
+//! * [`scope`] — scoped threads, implemented over `std::thread::scope`
+//!   with crossbeam's `Result`-returning signature;
+//! * [`channel`] — multi-producer **multi-consumer** channels (std's mpsc
+//!   receivers cannot be shared; the worker pools here need competing
+//!   consumers), implemented with a `Mutex<VecDeque>` + `Condvar`.
+
+pub mod channel;
+
+use std::panic::AssertUnwindSafe;
+use std::thread;
+
+/// A handle to a thread spawned inside [`scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result.
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// The spawner handed to the [`scope`] closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again so
+    /// nested spawns compile (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        ScopedJoinHandle {
+            inner: inner_scope.spawn(move || {
+                let scope = Scope { inner: inner_scope };
+                f(&scope)
+            }),
+        }
+    }
+}
+
+/// Runs `f` with a scope in which borrowing, scoped threads can be
+/// spawned; joins them all before returning. Returns `Err` when a
+/// spawned thread (or `f` itself) panicked — crossbeam's contract, where
+/// std's `thread::scope` would re-raise the panic instead.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_environment() {
+        let counter = AtomicUsize::new(0);
+        let r = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn panicking_worker_yields_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let v = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| v.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(v.load(Ordering::Relaxed), 1);
+    }
+}

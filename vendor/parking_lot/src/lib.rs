@@ -1,0 +1,104 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync` primitives.
+//!
+//! Matches the `parking_lot` API shape the workspace uses: `lock()` /
+//! `read()` / `write()` return guards directly (poisoning is absorbed by
+//! taking the inner value from a poisoned lock, mirroring `parking_lot`'s
+//! poison-free semantics).
+
+/// A mutual-exclusion lock whose `lock()` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking the current thread.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A reader-writer lock whose accessors never return poison errors.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Consumes the lock and returns the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(vec![1]);
+        l.write().push(2);
+        assert_eq!(*l.read(), vec![1, 2]);
+        assert_eq!(l.into_inner(), vec![1, 2]);
+    }
+}

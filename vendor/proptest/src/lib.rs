@@ -1,0 +1,464 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the API subset this workspace uses: the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros, `ProptestConfig::with_cases`,
+//! integer-range / char-range / tuple strategies, the
+//! `proptest::collection::{vec, btree_set, btree_map}` combinators and
+//! `&'static str` character-class regex strategies (`"[a-zA-Z]{1,20}"`).
+//!
+//! Unlike upstream there is no shrinking: a failing case panics with the
+//! case number and assertion message. Generation is fully deterministic —
+//! each test function derives its RNG seed from its own name, so failures
+//! reproduce exactly across runs and thread counts.
+
+use std::ops::{Range, RangeInclusive};
+
+// Lets this crate's own tests (and the macro examples) use absolute
+// `proptest::…` paths the way downstream crates do.
+extern crate self as proptest;
+
+pub mod test_runner {
+    //! Deterministic RNG driving case generation.
+
+    /// SplitMix64 generator; statistically fine for test-case generation
+    /// and trivially reproducible.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds deterministically from a label (the test function name).
+        pub fn deterministic(label: &str) -> Self {
+            let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+            for b in label.bytes() {
+                seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+            }
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform-ish value in `[0, n)`. Modulo bias is irrelevant at
+        /// test-generation scale and keeps the generator simple.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A source of deterministic test values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `&'static str` character-class patterns like `"[a-zA-Z]{1,20}"`.
+/// Supported shape: one `[...]` class (literals and `x-y` ranges) followed
+/// by a `{min,max}` or `{n}` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (class, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| class[rng.below(class.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[class]{m,n}` / `[class]{n}` into (expanded chars, m, n).
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class_src: Vec<char> = rest[..close].chars().collect();
+    let mut class = Vec::new();
+    let mut i = 0;
+    while i < class_src.len() {
+        if i + 2 < class_src.len() && class_src[i + 1] == '-' {
+            let (lo, hi) = (class_src[i], class_src[i + 2]);
+            for c in lo..=hi {
+                class.push(c);
+            }
+            i += 3;
+        } else {
+            class.push(class_src[i]);
+            i += 1;
+        }
+    }
+    if class.is_empty() {
+        return None;
+    }
+    let reps = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match reps.split_once(',') {
+        Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+        None => {
+            let n = reps.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if min > max {
+        return None;
+    }
+    Some((class, min, max))
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+    use super::{Strategy, TestRng};
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::Range;
+
+    /// Vector of `element` values with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = pick_len(&self.size, rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Ordered set of `element` values; aims for a size drawn from `size`
+    /// (may fall short when the element domain is small, as upstream).
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = pick_len(&self.size, rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 10 + 32 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// Ordered map from `key` to `value` strategies, sized like `btree_set`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    /// Strategy returned by [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = pick_len(&self.size, rng);
+            let mut out = BTreeMap::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 10 + 32 {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    fn pick_len(size: &Range<usize>, rng: &mut TestRng) -> usize {
+        assert!(size.start < size.end, "empty size range");
+        size.start + rng.below((size.end - size.start) as u64) as usize
+    }
+}
+
+pub mod char {
+    //! Char strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Uniform char in the inclusive range `[lo, hi]`.
+    pub fn range(lo: ::core::primitive::char, hi: ::core::primitive::char) -> CharRange {
+        assert!(lo <= hi, "empty char range");
+        CharRange { lo, hi }
+    }
+
+    /// Strategy returned by [`range`].
+    pub struct CharRange {
+        lo: ::core::primitive::char,
+        hi: ::core::primitive::char,
+    }
+
+    impl Strategy for CharRange {
+        type Value = ::core::primitive::char;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // Sample scalar values, skipping the surrogate gap by retrying.
+            let (lo, hi) = (self.lo as u32, self.hi as u32);
+            loop {
+                let v = lo + rng.below((hi - lo + 1) as u64) as u32;
+                if let Some(c) = ::core::char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+pub mod config {
+    //! Run configuration.
+
+    /// How many cases each property runs. Upstream defaults to 256; this
+    /// stand-in defaults to 64 for faster offline test runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+    pub use crate::config::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+/// Declares deterministic property tests. Each `fn name(arg in strategy, ...)
+/// { body }` item becomes a test running `cases` generated inputs; the
+/// user-supplied attributes (typically `#[test]`) pass through unchanged.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{
+            config = <$crate::config::ProptestConfig as ::core::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$attr:meta])*
+     fn $name:ident( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $( let $arg = $crate::Strategy::generate(&$strat, &mut __rng); )+
+                let __result: ::std::result::Result<(), ::std::string::String> =
+                    (|| -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__msg) = __result {
+                    panic!("property '{}' failed at case {}: {}", stringify!($name), __case, __msg);
+                }
+            }
+        }
+        $crate::__proptest_items!{ config = $config; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the case (not the whole
+/// process) with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!` with `Debug` reporting of both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l != __r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l != __r {
+            return ::std::result::Result::Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                __l,
+                __r
+            ));
+        }
+    }};
+}
+
+// Re-exported at the root so `use proptest::prelude::*` plus absolute
+// paths like `proptest::collection::vec` both work, as with upstream.
+pub use config::ProptestConfig;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_respects_class_and_length() {
+        let mut rng = crate::test_runner::TestRng::deterministic("pattern");
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-cx]{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "bad len: {s:?}");
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | 'x')), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen_once = || {
+            let mut rng = crate::test_runner::TestRng::deterministic("det");
+            let strat = crate::collection::vec(0u32..100, 1..8);
+            (0..16)
+                .map(|_| crate::Strategy::generate(&strat, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen_once(), gen_once());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_runs_and_ranges_hold(
+            x in 3u32..17,
+            s in proptest::collection::btree_set(0u8..10, 0..6),
+            (a, b) in (0i32..5, 10usize..20),
+            c in proptest::char::range('a', 'f'),
+        ) {
+            prop_assert!(x >= 3 && x < 17);
+            prop_assert!(s.len() < 6, "set too big: {:?}", s);
+            prop_assert_eq!(a / 5, 0);
+            prop_assert!(b >= 10 && b < 20);
+            prop_assert!(('a'..='f').contains(&c));
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde's format-agnostic visitor machinery is far more than
+//! this workspace needs: every consumer here serialises to JSON via
+//! `serde_json`. So this stand-in collapses the data model to one tree
+//! type, [`Content`] (re-exported by the vendored `serde_json` as
+//! `Value`), and the [`Serialize`]/[`Deserialize`] traits convert to and
+//! from it. The `derive` feature re-exports `#[derive(Serialize)]` from
+//! the companion `serde_derive` proc-macro crate, mirroring upstream.
+
+use std::collections::{BTreeMap, HashMap};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// A JSON-shaped value tree: the single data model of this stand-in.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Content {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (stored as `f64`; integers up to 2^53 round-trip).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Content>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The value as `u64` if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` if it is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::Number(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice if it is an array.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// `true` when the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Object field lookup (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Object(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+}
+
+static NULL: Content = Content::Null;
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, i: usize) -> &Content {
+        match self {
+            Content::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Content> for &str {
+    fn eq(&self, other: &Content) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+/// Types serialisable into the [`Content`] tree.
+pub trait Serialize {
+    /// Converts the value into the data-model tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Types reconstructible from the [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds the value, erroring with a human-readable message on
+    /// shape mismatches.
+    fn from_content(content: &Content) -> Result<Self, String>;
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        Ok(content.clone())
+    }
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, String> {
+                match content {
+                    Content::Number(n) => Ok(*n as $t),
+                    other => Err(format!(
+                        "expected number, found {other:?} for {}",
+                        stringify!($t)
+                    )),
+                }
+            }
+        }
+    )*};
+}
+
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        content
+            .as_bool()
+            .ok_or_else(|| format!("expected bool, found {content:?}"))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        content
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected string, found {content:?}"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Array(items) => items.iter().map(T::from_content).collect(),
+            other => Err(format!("expected array, found {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Array(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Array(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn to_content(&self) -> Content {
+        let mut fields: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Object(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_eq_sugar() {
+        let v = Content::Object(vec![
+            ("name".into(), Content::String("xclean".into())),
+            ("k".into(), Content::Number(10.0)),
+        ]);
+        assert_eq!(v["name"], "xclean");
+        assert_eq!(v["k"].as_u64(), Some(10));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn roundtrip_vec() {
+        let c = vec![1i32, 2, 3].to_content();
+        assert_eq!(Vec::<i32>::from_content(&c).unwrap(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Supports `#[derive(Serialize)]` on plain (non-generic) structs with
+//! named fields — the only shape this workspace derives. Parsing is done
+//! directly over the token stream (no `syn`/`quote`, which are not
+//! available offline): a field name is the identifier immediately before
+//! each top-level `:` in the struct body, where "top level" means outside
+//! any `<…>` nesting so types like `Vec<(String, f64)>` don't confuse the
+//! field splitter.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by mapping each named field into a
+/// `serde::Content::Object` entry.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut name: Option<String> = None;
+    let mut body: Option<TokenStream> = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(tok) = iter.next() {
+        match tok {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                let Some(TokenTree::Ident(n)) = iter.next() else {
+                    panic!("derive(Serialize): expected a struct name");
+                };
+                name = Some(n.to_string());
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        body = Some(g.stream());
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("derive(Serialize): generic structs are not supported by the vendored serde_derive");
+                    }
+                    _ => panic!(
+                        "derive(Serialize): only structs with named fields are supported by the vendored serde_derive"
+                    ),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                panic!("derive(Serialize): enums are not supported by the vendored serde_derive");
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("derive(Serialize): no struct found");
+    let body = body.expect("derive(Serialize): struct body missing");
+    let fields = field_names(body);
+
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(String::from(\"{f}\"), serde::Serialize::to_content(&self.{f})),"
+            )
+        })
+        .collect();
+    let impl_src = format!(
+        "impl serde::Serialize for {name} {{\n\
+         \tfn to_content(&self) -> serde::Content {{\n\
+         \t\tserde::Content::Object(vec![{entries}])\n\
+         \t}}\n\
+         }}"
+    );
+    impl_src
+        .parse()
+        .expect("derive(Serialize): generated impl must parse")
+}
+
+/// Splits the brace body into fields at top-level commas (tracking `<…>`
+/// depth) and returns the identifier preceding each field's `:`.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth: i32 = 0;
+    // Tokens of the current field up to (and excluding) its ':'.
+    let mut head: Vec<TokenTree> = Vec::new();
+    let mut seen_colon = false;
+    for tok in body {
+        match &tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if let Some(name) = last_ident(&head) {
+                        fields.push(name);
+                    }
+                    head.clear();
+                    seen_colon = false;
+                    continue;
+                }
+                ':' if angle_depth == 0 && !seen_colon => {
+                    seen_colon = true;
+                    continue;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        if !seen_colon {
+            head.push(tok);
+        }
+    }
+    if let Some(name) = last_ident(&head) {
+        fields.push(name);
+    }
+    fields
+}
+
+/// The field identifier: the last plain ident of the pre-`:` tokens
+/// (skips `#[…]` attributes and `pub`/`pub(crate)` visibility).
+fn last_ident(head: &[TokenTree]) -> Option<String> {
+    head.iter().rev().find_map(|t| match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    })
+}
