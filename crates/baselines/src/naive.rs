@@ -58,8 +58,7 @@ pub fn run_naive(
                     if tree.path(r) != rt.path {
                         continue;
                     }
-                    *per_entity.entry(r).or_default().entry(t).or_insert(0) +=
-                        u64::from(p.tf);
+                    *per_entity.entry(r).or_default().entry(t).or_insert(0) += u64::from(p.tf);
                 }
             }
             let mut score_sum = 0.0f64;
@@ -88,12 +87,8 @@ pub fn run_naive(
             }
             if score_sum > 0.0 {
                 let normalizer = match config.prior {
-                    EntityPrior::Uniform => {
-                        corpus.count_nodes_of_path(rt.path).max(1) as f64
-                    }
-                    EntityPrior::DocLength => {
-                        corpus.path_doc_len_total(rt.path).max(1) as f64
-                    }
+                    EntityPrior::Uniform => corpus.count_nodes_of_path(rt.path).max(1) as f64,
+                    EntityPrior::DocLength => corpus.path_doc_len_total(rt.path).max(1) as f64,
                 };
                 out.push(ScoredCandidate {
                     log_score: error_model.log_query_weight(&distances)
@@ -169,11 +164,7 @@ mod tests {
             let s = slots(&c, &query, 1);
             let fast = run_xclean(&c, &s, &cfg);
             let slow = run_naive(&c, &s, &cfg);
-            assert_eq!(
-                fast.candidates.len(),
-                slow.len(),
-                "query {query:?}"
-            );
+            assert_eq!(fast.candidates.len(), slow.len(), "query {query:?}");
             for (f, s_) in fast.candidates.iter().zip(slow.iter()) {
                 assert_eq!(f.tokens, s_.tokens, "query {query:?}");
                 assert!(

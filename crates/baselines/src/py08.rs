@@ -94,8 +94,7 @@ impl Py08 {
                 std::cmp::Ordering::Greater => y += 1,
                 std::cmp::Ordering::Equal => {
                     let len = corpus.direct_len(pa.node).max(1) as f64;
-                    let joint =
-                        f64::from(pa.tf) / len * ia + f64::from(pb.tf) / len * ib;
+                    let joint = f64::from(pa.tf) / len * ia + f64::from(pb.tf) / len * ib;
                     best = best.max(joint);
                     x += 1;
                     y += 1;
@@ -108,12 +107,7 @@ impl Py08 {
     /// Full candidate score: best segmentation into singletons and
     /// adjacent pairs (dynamic program), each segment weighted by the
     /// spelling penalties of its keywords.
-    fn candidate_score(
-        &self,
-        corpus: &CorpusIndex,
-        singles: &[f64],
-        variants: &[Variant],
-    ) -> f64 {
+    fn candidate_score(&self, corpus: &CorpusIndex, singles: &[f64], variants: &[Variant]) -> f64 {
         let l = variants.len();
         let f = |v: &Variant| 1.0 / (1.0 + f64::from(v.distance));
         // dp[j] = best score of the first j keywords.
@@ -154,8 +148,7 @@ impl Py08 {
                     .variants
                     .iter()
                     .map(|&v| {
-                        let base = self.score_ir(corpus, v.token)
-                            / (1.0 + f64::from(v.distance));
+                        let base = self.score_ir(corpus, v.token) / (1.0 + f64::from(v.distance));
                         (base, v)
                     })
                     .collect();
@@ -190,9 +183,8 @@ impl Py08 {
                 Some(self.cmp(other))
             }
         }
-        let total = |idxs: &[usize]| -> f64 {
-            idxs.iter().enumerate().map(|(i, &j)| lists[i][j].0).sum()
-        };
+        let total =
+            |idxs: &[usize]| -> f64 { idxs.iter().enumerate().map(|(i, &j)| lists[i][j].0).sum() };
         let mut heap = BinaryHeap::new();
         let mut seen: HashSet<Vec<usize>> = HashSet::new();
         let start = vec![0usize; lists.len()];
@@ -306,11 +298,7 @@ mod tests {
         let s = slots(&c, &["health", "insuance"]);
         let out = py.suggest(&c, &s, 5);
         assert!(!out.is_empty());
-        let top_terms: Vec<&str> = out[0]
-            .tokens
-            .iter()
-            .map(|&t| c.vocab().term(t))
-            .collect();
+        let top_terms: Vec<&str> = out[0].tokens.iter().map(|&t| c.vocab().term(t)).collect();
         assert_eq!(top_terms, vec!["health", "instance"]);
     }
 

@@ -32,7 +32,10 @@ fn bench_merge_vs_skip(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("drain_next", len), &lists, |b, lists| {
             b.iter(|| {
                 let mut m = MergedList::new(
-                    lists.iter().enumerate().map(|(i, l)| (TokenId(i as u32), l)),
+                    lists
+                        .iter()
+                        .enumerate()
+                        .map(|(i, l)| (TokenId(i as u32), l)),
                 );
                 let mut n = 0u64;
                 while let Some(e) = m.next() {
@@ -43,21 +46,28 @@ fn bench_merge_vs_skip(c: &mut Criterion) {
         });
         // Sparse access via skip_to jumps (simulates anchor alignment:
         // touch every 50th region only).
-        group.bench_with_input(BenchmarkId::new("skip_to_sparse", len), &lists, |b, lists| {
-            b.iter(|| {
-                let mut m = MergedList::new(
-                    lists.iter().enumerate().map(|(i, l)| (TokenId(i as u32), l)),
-                );
-                let mut n = 0u64;
-                let mut target = 0u32;
-                while let Some(e) = m.skip_to(NodeId(target)) {
-                    n += u64::from(e.posting.node.0);
-                    m.next();
-                    target = e.posting.node.0 + 20_000;
-                }
-                black_box(n)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("skip_to_sparse", len),
+            &lists,
+            |b, lists| {
+                b.iter(|| {
+                    let mut m = MergedList::new(
+                        lists
+                            .iter()
+                            .enumerate()
+                            .map(|(i, l)| (TokenId(i as u32), l)),
+                    );
+                    let mut n = 0u64;
+                    let mut target = 0u32;
+                    while let Some(e) = m.skip_to(NodeId(target)) {
+                        n += u64::from(e.posting.node.0);
+                        m.next();
+                        target = e.posting.node.0 + 20_000;
+                    }
+                    black_box(n)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -4,9 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use xclean::{Semantics, XCleanConfig, XCleanEngine};
-use xclean_datagen::{
-    generate_dblp, make_workload, DblpConfig, Perturbation, WorkloadSpec,
-};
+use xclean_datagen::{generate_dblp, make_workload, DblpConfig, Perturbation, WorkloadSpec};
 
 fn bench_semantics(c: &mut Criterion) {
     let mk_engine = || {

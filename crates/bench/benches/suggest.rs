@@ -43,17 +43,13 @@ fn bench_suggest(c: &mut Criterion) {
     let mut group = c.benchmark_group("suggest_table6");
     group.sample_size(10);
     for set in &s.sets {
-        group.bench_with_input(
-            BenchmarkId::new("xclean", &set.name),
-            set,
-            |b, set| {
-                b.iter(|| {
-                    for case in &set.cases {
-                        black_box(s.engine.suggest_keywords(&case.dirty));
-                    }
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("xclean", &set.name), set, |b, set| {
+            b.iter(|| {
+                for case in &set.cases {
+                    black_box(s.engine.suggest_keywords(&case.dirty));
+                }
+            })
+        });
         group.bench_with_input(BenchmarkId::new("py08", &set.name), set, |b, set| {
             b.iter(|| {
                 for case in &set.cases {

@@ -1,0 +1,85 @@
+//! Benchmark: batched suggestion throughput — `suggest_many` over a
+//! workload at 1/2/4/8 worker threads versus a sequential `suggest` loop.
+//!
+//! The target for the parallel engine is > 1.5× throughput at 4 threads
+//! over the sequential loop on the same workload; the printed `elem/s`
+//! rates make the ratio directly readable. Note that the ratio is only
+//! meaningful on a multi-core host: with a single CPU (check `nproc`)
+//! the pool cannot beat the loop, and the interesting number becomes the
+//! pool *overhead*, which should stay within a few percent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xclean::{XCleanConfig, XCleanEngine};
+use xclean_datagen::{generate_dblp, make_workload, DblpConfig, Perturbation, WorkloadSpec};
+
+struct Setup {
+    /// One engine per thread count (the pool size is a config knob), all
+    /// sharing a single corpus snapshot.
+    engines: Vec<(usize, XCleanEngine)>,
+    queries: Vec<Vec<String>>,
+}
+
+fn setup() -> Setup {
+    let tree = generate_dblp(&DblpConfig {
+        publications: 5_000,
+        ..Default::default()
+    });
+    let base = XCleanEngine::new(tree, XCleanConfig::default());
+    let set = make_workload(
+        base.corpus(),
+        &WorkloadSpec {
+            n_queries: 64,
+            ..WorkloadSpec::dblp(Perturbation::Rand)
+        },
+    );
+    let queries: Vec<Vec<String>> = set.cases.iter().map(|c| c.dirty.clone()).collect();
+    let corpus = base.corpus_shared();
+    let engines = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|threads| {
+            (
+                threads,
+                XCleanEngine::from_shared(
+                    corpus.clone(),
+                    XCleanConfig {
+                        num_threads: threads,
+                        ..Default::default()
+                    },
+                ),
+            )
+        })
+        .collect();
+    Setup { engines, queries }
+}
+
+fn bench_suggest_batch(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("suggest_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(s.queries.len() as u64));
+
+    // Baseline: a plain sequential loop over suggest_keywords.
+    group.bench_function("sequential_loop", |b| {
+        let (_, engine) = &s.engines[0];
+        b.iter(|| {
+            for q in &s.queries {
+                black_box(engine.suggest_keywords(q));
+            }
+        })
+    });
+
+    for (threads, engine) in &s.engines {
+        group.bench_with_input(
+            BenchmarkId::new("suggest_many", threads),
+            engine,
+            |b, engine| {
+                b.iter(|| black_box(engine.suggest_many_keywords(&s.queries)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suggest_batch);
+criterion_main!(benches);

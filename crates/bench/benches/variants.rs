@@ -25,8 +25,14 @@ fn vocabularies() -> Vec<(&'static str, Vec<String>)> {
 
 fn bench_variants(c: &mut Criterion) {
     let queries = [
-        "databse", "kyword", "optimizaton", "helth", "anciet", "mountin",
-        "religous", "architcture",
+        "databse",
+        "kyword",
+        "optimizaton",
+        "helth",
+        "anciet",
+        "mountin",
+        "religous",
+        "architcture",
     ];
     let mut group = c.benchmark_group("variant_generation");
     for (name, vocab) in vocabularies() {
@@ -61,12 +67,7 @@ fn bench_variants(c: &mut Criterion) {
 fn bench_index_construction(c: &mut Criterion) {
     let (_, vocab) = vocabularies().swap_remove(0);
     c.bench_function("fastss_build_dblp_vocab", |b| {
-        b.iter(|| {
-            black_box(VariantIndex::build(
-                &vocab,
-                VariantIndexConfig::default(),
-            ))
-        })
+        b.iter(|| black_box(VariantIndex::build(&vocab, VariantIndexConfig::default())))
     });
 }
 

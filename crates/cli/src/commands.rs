@@ -46,7 +46,11 @@ USAGE:
     xclean suggest <data.xml | index.xci> <query keywords…>
             [--k N] [--beta B] [--gamma G] [--epsilon E] [--min-depth D]
             [--semantics node-type|slca|elca] [--phonetic DIST]
-            [--space-edits TAU] [--preview N] [--json]
+            [--space-edits TAU] [--preview N] [--threads N] [--json]
+    xclean suggest <data.xml | index.xci> --batch <workload.txt>
+            [--threads N] [--k N] [… same tuning flags] [--json]
+            (workload file: one query per line; blank lines and
+             #-comments are skipped; --threads sizes the worker pool)
     xclean stats <data.xml | index.xci>
     xclean generate <dblp | inex> --out <corpus.xml> [--size N] [--seed S]
 ";
@@ -81,8 +85,7 @@ fn load_corpus(path: &str) -> Result<CorpusIndex, ArgError> {
     if path.ends_with(".xci") {
         storage::load_from_file(path).map_err(|e| ArgError(format!("{path}: {e}")))
     } else {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| ArgError(format!("{path}: {e}")))?;
+        let text = std::fs::read_to_string(path).map_err(|e| ArgError(format!("{path}: {e}")))?;
         let tree = parse_document(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
         Ok(CorpusIndex::build(tree))
     }
@@ -92,7 +95,9 @@ fn cmd_index(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     let args = Args::parse(raw, &[])?;
     args.reject_unknown(&["out"])?;
     let [input] = args.positional() else {
-        return Err(ArgError("usage: xclean index <data.xml> --out <index.xci>".into()));
+        return Err(ArgError(
+            "usage: xclean index <data.xml> --out <index.xci>".into(),
+        ));
     };
     let out = args
         .get("out")
@@ -111,20 +116,43 @@ fn cmd_index(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
 fn cmd_suggest(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     let args = Args::parse(raw, &["json"])?;
     args.reject_unknown(&[
-        "k", "beta", "gamma", "epsilon", "min-depth", "semantics", "phonetic",
-        "space-edits", "json", "preview",
+        "k",
+        "beta",
+        "gamma",
+        "epsilon",
+        "min-depth",
+        "semantics",
+        "phonetic",
+        "space-edits",
+        "json",
+        "preview",
+        "threads",
+        "batch",
     ])?;
     let [input, query @ ..] = args.positional() else {
         return Err(ArgError("usage: xclean suggest <data> <query…>".into()));
     };
-    if query.is_empty() {
-        return Err(ArgError("no query keywords given".into()));
+    let batch_file = args.get("batch");
+    if query.is_empty() && batch_file.is_none() {
+        return Err(ArgError(
+            "no query keywords given (or use --batch <file>)".into(),
+        ));
+    }
+    if !query.is_empty() && batch_file.is_some() {
+        return Err(ArgError(
+            "--batch replaces the inline query; give one or the other".into(),
+        ));
+    }
+    let threads: usize = args.get_parsed("threads", 1usize)?;
+    if threads == 0 {
+        return Err(ArgError("--threads must be at least 1".into()));
     }
     let mut config = XCleanConfig {
         k: args.get_parsed("k", 10usize)?,
         beta: args.get_parsed("beta", 5.0f64)?,
         epsilon: args.get_parsed("epsilon", 2usize)?,
         min_depth: args.get_parsed("min-depth", 2u32)?,
+        num_threads: threads,
         ..Default::default()
     };
     if let Some(g) = args.get("gamma") {
@@ -153,6 +181,14 @@ fn cmd_suggest(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
 
     let corpus = load_corpus(input)?;
     let engine = XCleanEngine::from_corpus(corpus, config).with_semantics(semantics);
+    if let Some(batch) = batch_file {
+        if tau > 0 {
+            return Err(ArgError(
+                "--space-edits is not supported with --batch".into(),
+            ));
+        }
+        return cmd_suggest_batch(&engine, batch, args.has_flag("json"));
+    }
     let query_str = query.join(" ");
     let response = if tau > 0 {
         engine.suggest_with_space_edits(&query_str, tau)
@@ -197,11 +233,83 @@ fn cmd_suggest(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
             }
         }
         lines.push(format!(
-            "[{:?}; {} subtrees, {} postings read / {} skipped]",
+            "[{:?}; {} subtrees, {} postings read / {} skipped in {} skip_to calls; \
+             slots {:.2}ms, walk {:.2}ms, rank {:.2}ms]",
             response.elapsed,
             response.stats.subtrees,
             response.stats.postings_read,
-            response.stats.postings_skipped
+            response.stats.postings_skipped,
+            response.stats.skip_calls,
+            response.stats.slot_nanos as f64 / 1e6,
+            response.stats.walk_nanos as f64 / 1e6,
+            response.stats.rank_nanos as f64 / 1e6
+        ));
+    }
+    Ok(CmdOutput::ok(lines))
+}
+
+/// The `--batch <file>` workload mode: answers every query in the file
+/// through [`XCleanEngine::suggest_many`] (pooled when `--threads > 1`)
+/// and reports per-query results plus throughput.
+fn cmd_suggest_batch(engine: &XCleanEngine, path: &str, json: bool) -> Result<CmdOutput, ArgError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    let queries: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    if queries.is_empty() {
+        return Err(ArgError(format!("{path}: no queries (one per line)")));
+    }
+    let start = std::time::Instant::now();
+    let responses = engine.suggest_many(&queries);
+    let elapsed = start.elapsed();
+
+    let mut lines = Vec::new();
+    if json {
+        let items: Vec<serde_json::Value> = queries
+            .iter()
+            .zip(responses.iter())
+            .map(|(q, r)| {
+                let suggestions: Vec<serde_json::Value> = r
+                    .suggestions
+                    .iter()
+                    .map(|s| {
+                        serde_json::json!({
+                            "query": s.query_string(),
+                            "log_score": s.log_score,
+                            "distances": s.distances,
+                            "entities": s.entity_count,
+                        })
+                    })
+                    .collect();
+                serde_json::json!({
+                    "input": (*q).to_string(),
+                    "suggestions": serde_json::Value::Array(suggestions),
+                })
+            })
+            .collect();
+        lines.push(serde_json::to_string_pretty(&items).expect("serialisable"));
+    } else {
+        for (q, r) in queries.iter().zip(responses.iter()) {
+            match r.suggestions.first() {
+                Some(best) => lines.push(format!(
+                    "{:<35} → {:<35} score {:>9.3}  ({} suggestions)",
+                    q,
+                    best.query_string(),
+                    best.log_score,
+                    r.suggestions.len()
+                )),
+                None => lines.push(format!("{q:<35} → (no valid suggestion)")),
+            }
+        }
+        let qps = queries.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+        lines.push(format!(
+            "[{} queries in {:?} on {} thread(s); {:.1} q/s]",
+            queries.len(),
+            elapsed,
+            engine.config().num_threads,
+            qps
         ));
     }
     Ok(CmdOutput::ok(lines))
@@ -252,8 +360,7 @@ fn cmd_generate(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         other => return Err(ArgError(format!("unknown dataset {other:?}"))),
     };
     let xml = to_xml(&tree);
-    let mut f =
-        std::fs::File::create(out).map_err(|e| ArgError(format!("{out}: {e}")))?;
+    let mut f = std::fs::File::create(out).map_err(|e| ArgError(format!("{out}: {e}")))?;
     f.write_all(xml.as_bytes())
         .map_err(|e| ArgError(format!("{out}: {e}")))?;
     Ok(CmdOutput::ok(vec![format!(
@@ -353,8 +460,18 @@ mod tests {
         let xml = write_sample_xml("flags.xml");
         for sem in ["node-type", "slca", "elca"] {
             let out = run(argv(&[
-                "suggest", &xml, "helth", "insurance", "--semantics", sem, "--k", "3",
-                "--gamma", "none", "--beta", "4",
+                "suggest",
+                &xml,
+                "helth",
+                "insurance",
+                "--semantics",
+                sem,
+                "--k",
+                "3",
+                "--gamma",
+                "none",
+                "--beta",
+                "4",
             ]));
             assert_eq!(out.code, 0, "{sem}: {:?}", out.lines);
             assert!(out.lines[0].contains("health insurance"), "{sem}");
@@ -364,10 +481,19 @@ mod tests {
     #[test]
     fn preview_flag_prints_fragments() {
         let xml = write_sample_xml("preview.xml");
-        let out = run(argv(&["suggest", &xml, "helth", "insurance", "--preview", "2"]));
+        let out = run(argv(&[
+            "suggest",
+            &xml,
+            "helth",
+            "insurance",
+            "--preview",
+            "2",
+        ]));
         assert_eq!(out.code, 0, "{:?}", out.lines);
         assert!(
-            out.lines.iter().any(|l| l.contains("↳") && l.contains("health insurance")),
+            out.lines
+                .iter()
+                .any(|l| l.contains("↳") && l.contains("health insurance")),
             "{:?}",
             out.lines
         );
@@ -381,6 +507,96 @@ mod tests {
         assert!(out.lines[0].contains("unknown option"));
         let out = run(argv(&["suggest", &xml, "x", "--semantics", "weird"]));
         assert_eq!(out.code, 2);
+    }
+
+    fn write_workload(name: &str) -> String {
+        let path = tmp(name);
+        std::fs::write(
+            &path,
+            "# sample workload\nhelth insurance\n\nprogram instence\nqqqq zzzz\n",
+        )
+        .unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn batch_mode_answers_every_query() {
+        let xml = write_sample_xml("batch.xml");
+        let wl = write_workload("batch.txt");
+        for threads in ["1", "4"] {
+            let out = run(argv(&[
+                "suggest",
+                &xml,
+                "--batch",
+                &wl,
+                "--threads",
+                threads,
+            ]));
+            assert_eq!(out.code, 0, "{threads}: {:?}", out.lines);
+            // 3 query lines (comment + blank skipped) + 1 summary line.
+            assert_eq!(out.lines.len(), 4, "{:?}", out.lines);
+            assert!(out.lines[0].contains("health insurance"), "{:?}", out.lines);
+            assert!(out.lines[1].contains("program instance"), "{:?}", out.lines);
+            assert!(
+                out.lines[2].contains("no valid suggestion"),
+                "{:?}",
+                out.lines
+            );
+            assert!(out.lines[3].contains("3 queries"), "{:?}", out.lines);
+        }
+    }
+
+    #[test]
+    fn batch_mode_json_output() {
+        let xml = write_sample_xml("batch_json.xml");
+        let wl = write_workload("batch_json.txt");
+        let out = run(argv(&[
+            "suggest",
+            &xml,
+            "--batch",
+            &wl,
+            "--threads",
+            "2",
+            "--json",
+        ]));
+        assert_eq!(out.code, 0, "{:?}", out.lines);
+        let v: serde_json::Value = serde_json::from_str(&out.lines[0]).unwrap();
+        assert_eq!(v[0]["input"], "helth insurance");
+        assert_eq!(v[0]["suggestions"][0]["query"], "health insurance");
+        assert_eq!(v[2]["input"], "qqqq zzzz");
+    }
+
+    #[test]
+    fn batch_and_inline_query_conflict() {
+        let xml = write_sample_xml("batch_conflict.xml");
+        let wl = write_workload("batch_conflict.txt");
+        let out = run(argv(&["suggest", &xml, "helth", "--batch", &wl]));
+        assert_eq!(out.code, 2);
+        assert!(out.lines[0].contains("--batch"), "{:?}", out.lines);
+        let out = run(argv(&["suggest", &xml, "helth", "--threads", "0"]));
+        assert_eq!(out.code, 2);
+    }
+
+    #[test]
+    fn batch_results_are_thread_count_invariant() {
+        let xml = write_sample_xml("batch_invariant.xml");
+        let wl = write_workload("batch_invariant.txt");
+        let mut outputs = Vec::new();
+        for threads in ["1", "2", "8"] {
+            let out = run(argv(&[
+                "suggest",
+                &xml,
+                "--batch",
+                &wl,
+                "--threads",
+                threads,
+                "--json",
+            ]));
+            assert_eq!(out.code, 0);
+            outputs.push(out.lines.join("\n"));
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
     }
 
     #[test]

@@ -93,7 +93,10 @@ pub fn generate_dblp(config: &DblpConfig) -> XmlTree {
             b.leaf("booktitle", venue);
         }
         let start = rng.gen_range(1..800);
-        b.leaf("pages", &format!("{start}-{}", start + rng.gen_range(5..20)));
+        b.leaf(
+            "pages",
+            &format!("{start}-{}", start + rng.gen_range(5..20)),
+        );
         b.close();
     }
     b.finish()

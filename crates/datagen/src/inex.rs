@@ -99,7 +99,11 @@ fn gen_section(
     // Recurse with decreasing probability; a small fraction of articles
     // produces very deep chains (document-centric irregularity).
     if depth < max_depth {
-        let p_child = if depth < 3 { 0.35 } else { 0.55_f64.powi(depth as i32 - 2) * 0.5 };
+        let p_child = if depth < 3 {
+            0.35
+        } else {
+            0.55_f64.powi(depth as i32 - 2) * 0.5
+        };
         let mut children = 0;
         while children < 2 && rng.gen_bool(p_child.clamp(0.0, 0.95)) {
             gen_section(b, vocab, zipf, rng, depth + 1, max_depth, noise_rate);

@@ -28,7 +28,5 @@ pub mod zipf;
 pub use dblp::{generate_dblp, DblpConfig};
 pub use inex::{generate_inex, InexConfig};
 pub use misspellings::{misspellings_of, rule_misspell, COMMON_MISSPELLINGS};
-pub use workload::{
-    make_workload, Perturbation, QueryCase, QuerySet, WorkloadSpec,
-};
+pub use workload::{make_workload, Perturbation, QueryCase, QuerySet, WorkloadSpec};
 pub use zipf::Zipf;

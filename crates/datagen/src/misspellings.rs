@@ -350,8 +350,14 @@ mod tests {
     fn rule_misspell_produces_close_nonidentical_words() {
         let mut rng = StdRng::seed_from_u64(11);
         for w in [
-            "architecture", "information", "performance", "believe",
-            "parallel", "separate", "history", "probability",
+            "architecture",
+            "information",
+            "performance",
+            "believe",
+            "parallel",
+            "separate",
+            "history",
+            "probability",
         ] {
             for _ in 0..20 {
                 if let Some(m) = rule_misspell(w, &mut rng) {
@@ -375,8 +381,14 @@ mod tests {
         // RAND default), since suffix confusions cost ≥ 2.
         let mut rng = StdRng::seed_from_u64(5);
         let words = [
-            "optimization", "classification", "appearance", "existence",
-            "available", "noticeable", "achievement", "information",
+            "optimization",
+            "classification",
+            "appearance",
+            "existence",
+            "available",
+            "noticeable",
+            "achievement",
+            "information",
         ];
         let mut total = 0usize;
         let mut n = 0usize;

@@ -123,7 +123,10 @@ pub fn make_workload(corpus: &CorpusIndex, spec: &WorkloadSpec) -> QuerySet {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let tree = corpus.tree();
     let entities: Vec<_> = tree.children(tree.root()).collect();
-    assert!(!entities.is_empty(), "corpus has no entities under the root");
+    assert!(
+        !entities.is_empty(),
+        "corpus has no entities under the root"
+    );
     let tokenizer = corpus.tokenizer().clone();
 
     let mut cases = Vec::with_capacity(spec.n_queries);
@@ -143,9 +146,7 @@ pub fn make_workload(corpus: &CorpusIndex, spec: &WorkloadSpec) -> QuerySet {
         if tokens.is_empty() {
             continue;
         }
-        let len = rng
-            .gen_range(spec.min_len..=spec.max_len)
-            .min(tokens.len());
+        let len = rng.gen_range(spec.min_len..=spec.max_len).min(tokens.len());
         // Sample `len` distinct tokens.
         let mut clean: Vec<String> = Vec::with_capacity(len);
         let mut pool = tokens;
@@ -288,14 +289,17 @@ mod tests {
     #[test]
     fn rand_workload_produces_oov_dirty_tokens() {
         let c = corpus();
-        let ws = make_workload(&c, &WorkloadSpec {
-            n_queries: 25,
-            min_len: 2,
-            max_len: 3,
-            seed: 11,
-            perturbation: Perturbation::Rand,
-            dataset: "DBLP".into(),
-        });
+        let ws = make_workload(
+            &c,
+            &WorkloadSpec {
+                n_queries: 25,
+                min_len: 2,
+                max_len: 3,
+                seed: 11,
+                perturbation: Perturbation::Rand,
+                dataset: "DBLP".into(),
+            },
+        );
         assert_eq!(ws.cases.len(), 25);
         for case in &ws.cases {
             assert_ne!(case.dirty, case.clean);
@@ -313,14 +317,17 @@ mod tests {
     fn rule_workload_has_larger_distances_on_average() {
         let c = corpus();
         let mk = |p| {
-            make_workload(&c, &WorkloadSpec {
-                n_queries: 40,
-                min_len: 2,
-                max_len: 3,
-                seed: 13,
-                perturbation: p,
-                dataset: "DBLP".into(),
-            })
+            make_workload(
+                &c,
+                &WorkloadSpec {
+                    n_queries: 40,
+                    min_len: 2,
+                    max_len: 3,
+                    seed: 13,
+                    perturbation: p,
+                    dataset: "DBLP".into(),
+                },
+            )
         };
         let rand = mk(Perturbation::Rand);
         let rule = mk(Perturbation::Rule);
@@ -364,14 +371,17 @@ mod tests {
         // Coherence: every clean query's keywords co-occur in at least one
         // child-of-root subtree.
         let c = corpus();
-        let ws = make_workload(&c, &WorkloadSpec {
-            n_queries: 15,
-            min_len: 2,
-            max_len: 3,
-            seed: 2,
-            perturbation: Perturbation::Clean,
-            dataset: "DBLP".into(),
-        });
+        let ws = make_workload(
+            &c,
+            &WorkloadSpec {
+                n_queries: 15,
+                min_len: 2,
+                max_len: 3,
+                seed: 2,
+                perturbation: Perturbation::Clean,
+                dataset: "DBLP".into(),
+            },
+        );
         let tree = c.tree();
         for case in &ws.cases {
             let found = tree.children(tree.root()).any(|e| {

@@ -22,7 +22,12 @@ struct AblationResult {
     evictions: u64,
 }
 
-fn run(engine: &xclean::XCleanEngine, set: &xclean_datagen::QuerySet, cfg: &XCleanConfig, label: &str) -> AblationResult {
+fn run(
+    engine: &xclean::XCleanEngine,
+    set: &xclean_datagen::QuerySet,
+    cfg: &XCleanConfig,
+    label: &str,
+) -> AblationResult {
     let mut acc = MetricAccumulator::new(10);
     let mut out = AblationResult {
         label: label.to_string(),
@@ -36,8 +41,7 @@ fn run(engine: &xclean::XCleanEngine, set: &xclean_datagen::QuerySet, cfg: &XCle
         out.subtrees += resp.stats.subtrees;
         out.candidates += resp.stats.candidates_enumerated;
         out.evictions += resp.stats.pruning.evictions;
-        let suggestions: Vec<Vec<String>> =
-            resp.suggestions.into_iter().map(|s| s.terms).collect();
+        let suggestions: Vec<Vec<String>> = resp.suggestions.into_iter().map(|s| s.terms).collect();
         acc.record(&suggestions, &case.clean);
     }
     out.avg_secs = start.elapsed().as_secs_f64() / set.cases.len().max(1) as f64;
@@ -70,7 +74,11 @@ fn main() {
             results.push(run(&engine, set, &cfg, &format!("{}: d={d}", set.name)));
         }
         // (3) pruning ablation
-        for (label, gamma) in [("γ=1000", Some(1000)), ("γ=25", Some(25)), ("no pruning", None)] {
+        for (label, gamma) in [
+            ("γ=1000", Some(1000)),
+            ("γ=25", Some(25)),
+            ("no pruning", None),
+        ] {
             let cfg = XCleanConfig {
                 gamma,
                 ..default_config()
@@ -81,8 +89,14 @@ fn main() {
 
     let table = render_table(
         &[
-            "configuration", "MRR", "avg s", "read", "skipped", "subtrees",
-            "candidates", "evictions",
+            "configuration",
+            "MRR",
+            "avg s",
+            "read",
+            "skipped",
+            "subtrees",
+            "candidates",
+            "evictions",
         ],
         &results
             .iter()

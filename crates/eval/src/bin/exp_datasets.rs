@@ -50,8 +50,14 @@ fn main() {
     }
     let table = render_table(
         &[
-            "dataset", "size (MB)", "#node", "max depth", "avg depth",
-            "#paths", "|V|", "index (MB)",
+            "dataset",
+            "size (MB)",
+            "#node",
+            "max depth",
+            "avg depth",
+            "#paths",
+            "|V|",
+            "index (MB)",
         ],
         &rows
             .iter()

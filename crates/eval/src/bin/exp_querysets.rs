@@ -28,11 +28,7 @@ fn main() {
         ("INEX", build_inex(scale, default_config())),
     ] {
         for set in query_sets(&engine, dataset) {
-            let avg_len = set
-                .cases
-                .iter()
-                .map(|c| c.dirty.len() as f64)
-                .sum::<f64>()
+            let avg_len = set.cases.iter().map(|c| c.dirty.len() as f64).sum::<f64>()
                 / set.cases.len().max(1) as f64;
             let (mut dist, mut n) = (0usize, 0usize);
             for c in &set.cases {
@@ -55,7 +51,14 @@ fn main() {
         }
     }
     let table = render_table(
-        &["query set", "#q", "avg len", "avg ed", "sample (dirty)", "(clean)"],
+        &[
+            "query set",
+            "#q",
+            "avg len",
+            "avg ed",
+            "sample (dirty)",
+            "(clean)",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -24,11 +24,26 @@ fn main() {
     println!("== E13: LM smoothing ablation (scale {scale}) ==\n");
     let schemes: Vec<(String, Smoothing)> = vec![
         ("dirichlet μ=500".into(), Smoothing::Dirichlet { mu: 500.0 }),
-        ("dirichlet μ=2000".into(), Smoothing::Dirichlet { mu: 2000.0 }),
-        ("dirichlet μ=8000".into(), Smoothing::Dirichlet { mu: 8000.0 }),
-        ("jelinek–mercer λ=0.1".into(), Smoothing::JelinekMercer { lambda: 0.1 }),
-        ("jelinek–mercer λ=0.5".into(), Smoothing::JelinekMercer { lambda: 0.5 }),
-        ("jelinek–mercer λ=0.9".into(), Smoothing::JelinekMercer { lambda: 0.9 }),
+        (
+            "dirichlet μ=2000".into(),
+            Smoothing::Dirichlet { mu: 2000.0 },
+        ),
+        (
+            "dirichlet μ=8000".into(),
+            Smoothing::Dirichlet { mu: 8000.0 },
+        ),
+        (
+            "jelinek–mercer λ=0.1".into(),
+            Smoothing::JelinekMercer { lambda: 0.1 },
+        ),
+        (
+            "jelinek–mercer λ=0.5".into(),
+            Smoothing::JelinekMercer { lambda: 0.5 },
+        ),
+        (
+            "jelinek–mercer λ=0.9".into(),
+            Smoothing::JelinekMercer { lambda: 0.9 },
+        ),
     ];
     let mut rows: Vec<Row> = Vec::new();
     for (dataset, engine) in [

@@ -6,8 +6,8 @@
 use xclean::{Semantics, XCleanConfig, XCleanEngine};
 use xclean_baselines::{SeConfig, SearchEngineCorrector};
 use xclean_datagen::{
-    generate_dblp, generate_inex, make_workload, DblpConfig, InexConfig,
-    Perturbation, QuerySet, WorkloadSpec, COMMON_MISSPELLINGS,
+    generate_dblp, generate_inex, make_workload, DblpConfig, InexConfig, Perturbation, QuerySet,
+    WorkloadSpec, COMMON_MISSPELLINGS,
 };
 
 /// Scale factor for corpus sizes, read from `XCLEAN_SCALE` (default 1.0).
@@ -66,7 +66,9 @@ pub fn query_sets(engine: &XCleanEngine, dataset: &str) -> Vec<QuerySet> {
 /// plus the misspelling table. SE1 is stronger (ε=2, full table); SE2 is
 /// weaker (ε=1, popularity-heavier) — mirroring that the two real engines
 /// performed similarly but not identically.
-pub fn build_search_engines(clean_sets: &[&QuerySet]) -> (SearchEngineCorrector, SearchEngineCorrector) {
+pub fn build_search_engines(
+    clean_sets: &[&QuerySet],
+) -> (SearchEngineCorrector, SearchEngineCorrector) {
     let mut log: Vec<(String, u64)> = Vec::new();
     for set in clean_sets {
         for (i, case) in set.cases.iter().enumerate() {

@@ -67,8 +67,9 @@ pub fn run_set_parallel<S: Suggester + Sync + ?Sized>(
     /// One query's ranked suggestions plus its wall time.
     type QueryOutcome = (Vec<Vec<String>>, f64);
     // Per-query results, in case order.
-    let results: Vec<parking_lot::Mutex<Option<QueryOutcome>>> =
-        (0..set.cases.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<parking_lot::Mutex<Option<QueryOutcome>>> = (0..set.cases.len())
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
     crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {

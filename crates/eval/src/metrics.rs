@@ -13,10 +13,7 @@ pub fn reciprocal_rank(suggestions: &[Vec<String>], truth: &[String]) -> f64 {
 
 /// Whether the truth occurs within the first `n` suggestions.
 pub fn hit_at_n(suggestions: &[Vec<String>], truth: &[String], n: usize) -> bool {
-    suggestions
-        .iter()
-        .take(n)
-        .any(|s| s.as_slice() == truth)
+    suggestions.iter().take(n).any(|s| s.as_slice() == truth)
 }
 
 /// Aggregated quality metrics over a query set.

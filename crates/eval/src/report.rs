@@ -49,10 +49,9 @@ pub fn f2(v: f64) -> String {
 
 /// Directory where experiment JSON results are written.
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-    )
-    .join("experiments");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+            .join("experiments");
     let _ = fs::create_dir_all(&dir);
     dir
 }

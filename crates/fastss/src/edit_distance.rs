@@ -118,8 +118,19 @@ mod tests {
     #[test]
     fn within_agrees_with_full() {
         let words = [
-            "", "a", "ab", "tree", "trie", "trees", "icde", "icdt", "health",
-            "instance", "insurance", "architecture", "archetecture",
+            "",
+            "a",
+            "ab",
+            "tree",
+            "trie",
+            "trees",
+            "icde",
+            "icdt",
+            "health",
+            "instance",
+            "insurance",
+            "architecture",
+            "archetecture",
         ];
         for x in words {
             for y in words {
@@ -147,7 +158,85 @@ mod prop {
     use super::*;
     use proptest::prelude::*;
 
+    /// Textbook Wagner–Fischer reference: the full `O(n·m)` matrix with
+    /// no banding, rolling rows, or argument swapping. Deliberately the
+    /// dumbest correct implementation, as the oracle for both production
+    /// variants.
+    fn reference_dp(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        let mut m = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[0] = i;
+        }
+        for (j, cell) in m[0].iter_mut().enumerate() {
+            *cell = j;
+        }
+        for i in 1..=a.len() {
+            for j in 1..=b.len() {
+                let cost = usize::from(a[i - 1] != b[j - 1]);
+                m[i][j] = (m[i - 1][j - 1] + cost)
+                    .min(m[i - 1][j] + 1)
+                    .min(m[i][j - 1] + 1);
+            }
+        }
+        m[a.len()][b.len()]
+    }
+
     proptest! {
+        /// Production distance equals the reference DP on random ASCII,
+        /// and the banded variant agrees for every threshold.
+        #[test]
+        fn matches_reference_dp_ascii(a in "[a-h]{0,12}", b in "[a-h]{0,12}", max in 0usize..6) {
+            let expect = reference_dp(&a, &b);
+            prop_assert_eq!(edit_distance(&a, &b), expect);
+            let banded = edit_distance_within(&a, &b, max);
+            if expect <= max {
+                prop_assert_eq!(banded, Some(expect));
+            } else {
+                prop_assert_eq!(banded, None);
+            }
+        }
+
+        /// Same agreement on multi-byte UTF-8: Greek and CJK scalars mixed
+        /// with ASCII, so byte length and char length diverge.
+        #[test]
+        fn matches_reference_dp_utf8(
+            a_greek in proptest::collection::vec(proptest::char::range('α', 'ω'), 0..5),
+            a_ascii in proptest::collection::vec(proptest::char::range('a', 'f'), 0..5),
+            b_cjk in proptest::collection::vec(proptest::char::range('一', '十'), 0..5),
+            b_ascii in proptest::collection::vec(proptest::char::range('a', 'f'), 0..5),
+            max in 0usize..5,
+        ) {
+            // Interleave so multi-byte scalars appear at arbitrary offsets.
+            let interleave = |x: &[char], y: &[char]| -> String {
+                let mut s = String::new();
+                let mut xi = x.iter();
+                let mut yi = y.iter();
+                loop {
+                    match (xi.next(), yi.next()) {
+                        (None, None) => break,
+                        (cx, cy) => {
+                            if let Some(&c) = cx { s.push(c); }
+                            if let Some(&c) = cy { s.push(c); }
+                        }
+                    }
+                }
+                s
+            };
+            let a = interleave(&a_greek, &a_ascii);
+            let b = interleave(&b_cjk, &b_ascii);
+            let expect = reference_dp(&a, &b);
+            prop_assert_eq!(edit_distance(&a, &b), expect);
+            prop_assert_eq!(edit_distance(&b, &a), expect);
+            let banded = edit_distance_within(&a, &b, max);
+            if expect <= max {
+                prop_assert_eq!(banded, Some(expect));
+            } else {
+                prop_assert_eq!(banded, None);
+            }
+        }
+
         #[test]
         fn symmetric(a in "[a-c]{0,8}", b in "[a-c]{0,8}") {
             prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));

@@ -141,8 +141,9 @@ impl VariantIndex {
             if wlen_usize.abs_diff(qlen) > max_ed {
                 continue;
             }
-            for (ord, (start, seg_len)) in
-                segment_spans(wlen_usize, self.config.epsilon + 1).into_iter().enumerate()
+            for (ord, (start, seg_len)) in segment_spans(wlen_usize, self.config.epsilon + 1)
+                .into_iter()
+                .enumerate()
             {
                 let lo = start.saturating_sub(max_ed);
                 let hi = (start + max_ed).min(qlen.saturating_sub(seg_len));
@@ -166,11 +167,12 @@ impl VariantIndex {
         let mut out: Vec<VariantMatch> = candidates
             .into_iter()
             .filter_map(|id| {
-                edit_distance_within(query, &self.words[id as usize], max_ed)
-                    .map(|d| VariantMatch {
+                edit_distance_within(query, &self.words[id as usize], max_ed).map(|d| {
+                    VariantMatch {
                         word: id,
                         distance: d as u32,
-                    })
+                    }
+                })
             })
             .collect();
         out.sort_unstable_by_key(|m| (m.distance, m.word));
@@ -245,8 +247,18 @@ mod tests {
 
     fn sample_vocab() -> Vec<&'static str> {
         vec![
-            "tree", "trees", "trie", "icde", "icdt", "health", "insurance",
-            "instance", "architecture", "keyword", "search", "database",
+            "tree",
+            "trees",
+            "trie",
+            "icde",
+            "icdt",
+            "health",
+            "insurance",
+            "instance",
+            "architecture",
+            "keyword",
+            "search",
+            "database",
             "reconfigurable", // long: partitioned at default threshold 14? len 14 -> short
             "internationalization", // definitely long
             "misunderstanding",
@@ -256,10 +268,13 @@ mod tests {
     #[test]
     fn finds_paper_example_variants() {
         let vocab = sample_vocab();
-        let idx = VariantIndex::build(&vocab, VariantIndexConfig {
-            epsilon: 1,
-            partition_threshold: 14,
-        });
+        let idx = VariantIndex::build(
+            &vocab,
+            VariantIndexConfig {
+                epsilon: 1,
+                partition_threshold: 14,
+            },
+        );
         let hits: Vec<&str> = idx
             .query("tree")
             .iter()
@@ -289,10 +304,13 @@ mod tests {
     #[test]
     fn long_words_found_via_partitioning() {
         let vocab = sample_vocab();
-        let idx = VariantIndex::build(&vocab, VariantIndexConfig {
-            epsilon: 2,
-            partition_threshold: 10,
-        });
+        let idx = VariantIndex::build(
+            &vocab,
+            VariantIndexConfig {
+                epsilon: 2,
+                partition_threshold: 10,
+            },
+        );
         // One substitution inside a long word.
         let hits: Vec<&str> = idx
             .query("internationalizatiom")
@@ -312,15 +330,26 @@ mod tests {
     #[test]
     fn agrees_with_naive_oracle() {
         let vocab = sample_vocab();
-        let idx = VariantIndex::build(&vocab, VariantIndexConfig {
-            epsilon: 2,
-            partition_threshold: 8,
-        });
+        let idx = VariantIndex::build(
+            &vocab,
+            VariantIndexConfig {
+                epsilon: 2,
+                partition_threshold: 8,
+            },
+        );
         let naive = NaiveVariantFinder::new(&vocab);
         for q in [
-            "tree", "tre", "treeees", "icd", "helth", "architecture",
-            "architectur", "misunderstandin", "internationalisation",
-            "xyzzy", "searhc",
+            "tree",
+            "tre",
+            "treeees",
+            "icd",
+            "helth",
+            "architecture",
+            "architectur",
+            "misunderstandin",
+            "internationalisation",
+            "xyzzy",
+            "searhc",
         ] {
             assert_eq!(idx.query(q), naive.query(q, 2), "query {q}");
         }
@@ -342,10 +371,13 @@ mod tests {
         let idx = VariantIndex::build::<&str>(&[], VariantIndexConfig::default());
         assert!(idx.query("anything").is_empty());
         let vocab = ["ab"];
-        let idx = VariantIndex::build(&vocab, VariantIndexConfig {
-            epsilon: 2,
-            partition_threshold: 14,
-        });
+        let idx = VariantIndex::build(
+            &vocab,
+            VariantIndexConfig {
+                epsilon: 2,
+                partition_threshold: 14,
+            },
+        );
         let hits = idx.query("");
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].distance, 2);

@@ -152,6 +152,48 @@ mod prop {
             }
         }
 
+        /// Round-trip: applying explicit random deletions to a word lands
+        /// exactly in its deletion neighbourhood, and the member's edit
+        /// distance equals the (deletion-only) length gap.
+        #[test]
+        fn random_deletions_round_trip(
+            a in "[a-f]{1,8}",
+            picks in proptest::collection::vec(0usize..8, 0..3),
+        ) {
+            let mut chars: Vec<char> = a.chars().collect();
+            let mut deleted = 0usize;
+            for p in picks {
+                if chars.is_empty() {
+                    break;
+                }
+                chars.remove(p % chars.len());
+                deleted += 1;
+            }
+            let s: String = chars.iter().collect();
+            let n = deletion_neighborhood(&a, deleted);
+            prop_assert!(
+                n.binary_search(&s).is_ok(),
+                "{} missing from the {}-deletion neighbourhood of {}", s, deleted, a
+            );
+            prop_assert!(edit_distance(&a, &s) <= deleted);
+        }
+
+        /// Neighbourhoods of multi-byte words delete whole scalars: every
+        /// member is a valid string whose edit distance from the word is
+        /// exactly the character-count gap.
+        #[test]
+        fn utf8_members_delete_whole_scalars(
+            word in proptest::collection::vec(proptest::char::range('Α', 'ω'), 1..6),
+        ) {
+            let word: String = word.into_iter().collect();
+            let lw = word.chars().count();
+            for m in deletion_neighborhood(&word, 2) {
+                let lm = m.chars().count();
+                prop_assert!(lw - lm <= 2);
+                prop_assert_eq!(edit_distance(&word, &m), lw - lm);
+            }
+        }
+
         /// Every neighbour is within deletion distance ε of the word.
         #[test]
         fn members_are_subsequences(a in "[a-e]{1,8}") {

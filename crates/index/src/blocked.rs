@@ -349,11 +349,7 @@ mod tests {
             let mut c = b.cursor();
             c.skip_to(NodeId(target));
             let expect = sorted.iter().copied().find(|&n| n >= target);
-            assert_eq!(
-                c.current().map(|p| p.node.0),
-                expect,
-                "target {target}"
-            );
+            assert_eq!(c.current().map(|p| p.node.0), expect, "target {target}");
         }
     }
 

@@ -7,6 +7,7 @@
 //! subtree length is O(1)).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use xclean_xmltree::{NodeId, PathId, Tokenizer, XmlTree};
 
@@ -189,10 +190,7 @@ impl CorpusIndex {
     /// Number of nodes with at least one indexed token in their direct
     /// text — the "document" count of the element-as-document view.
     pub fn element_count(&self) -> usize {
-        self.token_prefix
-            .windows(2)
-            .filter(|w| w[1] > w[0])
-            .count()
+        self.token_prefix.windows(2).filter(|w| w[1] > w[0]).count()
     }
 
     /// Number of nodes of a given label path in the whole tree: the `N` of
@@ -216,6 +214,60 @@ impl CorpusIndex {
     /// Background probability `P(w|B)`.
     pub fn background_prob(&self, token: TokenId) -> f64 {
         self.vocab.background_prob(token)
+    }
+
+    /// A posting-list view that co-owns the corpus snapshot — `'static`
+    /// and therefore free to cross thread boundaries (worker pools,
+    /// spawned tasks) without lifetime plumbing.
+    pub fn shared_postings(self: &Arc<Self>, token: TokenId) -> SharedPostings {
+        SharedPostings {
+            corpus: Arc::clone(self),
+            token,
+        }
+    }
+}
+
+// Compile-time proof that the whole read path is thread-shareable: the
+// batched suggestion engine hands `Arc<CorpusIndex>` references to a
+// worker pool, which is only sound while every component stays
+// `Send + Sync`. Adding e.g. a `Cell` or `Rc` field breaks the build
+// here rather than at a distant spawn site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CorpusIndex>();
+    assert_send_sync::<PostingList>();
+    assert_send_sync::<SharedPostings>();
+};
+
+/// A [`PostingList`] borrowed through a shared [`CorpusIndex`] snapshot.
+///
+/// Produced by [`CorpusIndex::shared_postings`]. Cloning is cheap (one
+/// `Arc` bump); the postings themselves are never copied. Derefs to the
+/// underlying list, so all read accessors (`len`, `get`, `iter`,
+/// `skip_from`, …) apply directly.
+#[derive(Debug, Clone)]
+pub struct SharedPostings {
+    corpus: Arc<CorpusIndex>,
+    token: TokenId,
+}
+
+impl SharedPostings {
+    /// The token this view indexes.
+    pub fn token(&self) -> TokenId {
+        self.token
+    }
+
+    /// The shared corpus snapshot the view keeps alive.
+    pub fn corpus(&self) -> &Arc<CorpusIndex> {
+        &self.corpus
+    }
+}
+
+impl std::ops::Deref for SharedPostings {
+    type Target = PostingList;
+
+    fn deref(&self) -> &PostingList {
+        self.corpus.postings(self.token)
     }
 }
 
@@ -340,6 +392,24 @@ mod tests {
         let c = CorpusIndex::build(parse_document("<a/>").unwrap());
         assert_eq!(c.vocab().len(), 0);
         assert_eq!(c.doc_len(c.tree().root()), 0);
+    }
+
+    #[test]
+    fn shared_postings_cross_threads() {
+        let c = Arc::new(corpus());
+        let kw = c.vocab().get("keyword").unwrap();
+        let view = c.shared_postings(kw);
+        assert_eq!(view.token(), kw);
+        assert_eq!(view.len(), 2); // via Deref
+                                   // The view stays valid after the local Arc is gone and on another
+                                   // thread (it co-owns the snapshot).
+        let expected = view.nodes().to_vec();
+        drop(c);
+        let moved = view.clone();
+        let nodes = std::thread::spawn(move || moved.nodes().to_vec())
+            .join()
+            .unwrap();
+        assert_eq!(nodes, expected);
     }
 
     #[test]

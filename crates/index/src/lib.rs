@@ -21,9 +21,9 @@ pub mod posting;
 pub mod storage;
 pub mod vocab;
 
-pub use corpus::CorpusIndex;
+pub use blocked::{BlockedCursor, BlockedPostingList, OwnedPosting, BLOCK_SIZE};
+pub use corpus::{CorpusIndex, SharedPostings};
 pub use merged::{AccessStats, MergedEntry, MergedList};
 pub use path_stats::PathStatsIndex;
-pub use blocked::{BlockedCursor, BlockedPostingList, OwnedPosting, BLOCK_SIZE};
 pub use posting::{Posting, PostingList};
 pub use vocab::{TokenId, Vocabulary};

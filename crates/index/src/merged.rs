@@ -146,6 +146,15 @@ impl<'a> MergedList<'a> {
     }
 }
 
+// `MergedList` borrows posting slices from a (`Sync`) corpus, so cursors
+// may be built and driven inside worker threads; this pins the guarantee
+// at compile time.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<MergedList<'static>>();
+    assert_send::<MergedEntry<'static>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,10 +177,7 @@ mod tests {
         while let Some(e) = m.next() {
             seen.push((e.posting.node.0, e.token.0));
         }
-        assert_eq!(
-            seen,
-            vec![(1, 0), (2, 1), (5, 0), (5, 1), (7, 1), (9, 0)]
-        );
+        assert_eq!(seen, vec![(1, 0), (2, 1), (5, 0), (5, 1), (7, 1), (9, 0)]);
         assert!(m.is_exhausted());
         assert_eq!(m.stats().read, 6);
     }
@@ -240,6 +246,156 @@ mod prop {
     use super::*;
     use proptest::prelude::*;
     use xclean_xmltree::PathId;
+
+    /// Naive reference model: the flat sorted `(node, member)` multiset
+    /// with a cursor. `MergedList` must behave exactly like this no
+    /// matter how `next`/`skip_to` interleave.
+    struct Oracle {
+        items: Vec<(u32, u32)>,
+        pos: usize,
+    }
+
+    impl Oracle {
+        fn new(lists: &[std::collections::BTreeSet<u32>]) -> Self {
+            let mut items: Vec<(u32, u32)> = lists
+                .iter()
+                .enumerate()
+                .flat_map(|(i, s)| s.iter().map(move |&n| (n, i as u32)))
+                .collect();
+            // Equal nodes tie-break on member index, matching the heap's
+            // `(NodeId, usize)` ordering.
+            items.sort_unstable();
+            Oracle { items, pos: 0 }
+        }
+
+        fn cur(&self) -> Option<(u32, u32)> {
+            self.items.get(self.pos).copied()
+        }
+
+        fn next(&mut self) -> Option<(u32, u32)> {
+            let e = self.cur()?;
+            self.pos += 1;
+            Some(e)
+        }
+
+        fn skip_to(&mut self, target: u32) -> Option<(u32, u32)> {
+            self.pos += self.items[self.pos..].partition_point(|&(n, _)| n < target);
+            self.cur()
+        }
+    }
+
+    fn build_lists(lists: &[std::collections::BTreeSet<u32>]) -> Vec<PostingList> {
+        lists
+            .iter()
+            .map(|s| {
+                let mut l = PostingList::new();
+                for &n in s {
+                    l.push(NodeId(n), PathId(0), 1, &[n]);
+                }
+                l
+            })
+            .collect()
+    }
+
+    fn merged(pls: &[PostingList]) -> MergedList<'_> {
+        MergedList::new(pls.iter().enumerate().map(|(i, l)| (TokenId(i as u32), l)))
+    }
+
+    fn entry_pair(e: MergedEntry<'_>) -> (u32, u32) {
+        (e.posting.node.0, e.token.0)
+    }
+
+    proptest! {
+        /// Arbitrary interleavings of `next`/`skip_to` agree with the
+        /// oracle on both the node *and* the member token of every entry.
+        #[test]
+        fn oracle_agrees_on_random_interleavings(
+            lists in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..150, 0..25), 1..5),
+            ops in proptest::collection::vec((0u32..2, 0u32..160), 0..60),
+        ) {
+            let pls = build_lists(&lists);
+            let mut m = merged(&pls);
+            let mut oracle = Oracle::new(&lists);
+            for (op, arg) in ops {
+                let (got, expect) = if op == 0 {
+                    (m.next().map(entry_pair), oracle.next())
+                } else {
+                    (m.skip_to(NodeId(arg)).map(entry_pair), oracle.skip_to(arg))
+                };
+                prop_assert_eq!(got, expect);
+                prop_assert_eq!(m.cur_pos().map(entry_pair), oracle.cur());
+                prop_assert_eq!(m.is_exhausted(), oracle.cur().is_none());
+            }
+            // I/O accounting can never exceed the physical postings.
+            let s = m.stats();
+            prop_assert!(s.read + s.skipped <= m.total_len() as u64);
+        }
+
+        /// Skipping past the largest node exhausts the list, and further
+        /// operations stay `None` without panicking.
+        #[test]
+        fn skip_to_past_end_exhausts(
+            lists in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..100, 1..20), 1..4),
+        ) {
+            let max = lists.iter().flatten().max().copied().unwrap_or(0);
+            let pls = build_lists(&lists);
+            let mut m = merged(&pls);
+            prop_assert_eq!(m.skip_to(NodeId(max + 1)).map(entry_pair), None);
+            prop_assert!(m.is_exhausted());
+            prop_assert_eq!(m.next().map(entry_pair), None);
+            prop_assert_eq!(m.skip_to(NodeId(0)).map(entry_pair), None);
+        }
+
+        /// `skip_to(cur_pos().node)` is the identity: it returns the
+        /// current head and performs zero skipping I/O.
+        #[test]
+        fn skip_to_current_is_identity(
+            lists in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..100, 1..20), 1..4),
+            advance in 0usize..10,
+        ) {
+            let pls = build_lists(&lists);
+            let mut m = merged(&pls);
+            for _ in 0..advance {
+                if m.next().is_none() { break; }
+            }
+            if let Some(head) = m.cur_pos().map(entry_pair) {
+                let before = m.stats();
+                let again = m.skip_to(NodeId(head.0)).map(entry_pair);
+                prop_assert_eq!(again, Some(head));
+                prop_assert_eq!(m.stats().skipped, before.skipped);
+                prop_assert_eq!(m.stats().read, before.read);
+                prop_assert_eq!(m.stats().skip_calls, before.skip_calls + 1);
+            }
+        }
+
+        /// Empty member lists are invisible: the merged stream equals the
+        /// stream over the non-empty members alone.
+        #[test]
+        fn empty_members_are_invisible(
+            lists in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..100, 0..15), 1..5),
+        ) {
+            let pls = build_lists(&lists);
+            let mut with_empty = merged(&pls);
+            // Keep original member indices so tokens line up.
+            let kept: Vec<(TokenId, &PostingList)> = pls
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| !l.is_empty())
+                .map(|(i, l)| (TokenId(i as u32), l))
+                .collect();
+            let mut without = MergedList::new(kept);
+            loop {
+                let a = with_empty.next().map(entry_pair);
+                let b = without.next().map(entry_pair);
+                prop_assert_eq!(a, b);
+                if a.is_none() { break; }
+            }
+        }
+    }
 
     proptest! {
         /// Draining via arbitrary interleavings of next/skip_to yields a

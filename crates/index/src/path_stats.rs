@@ -173,8 +173,16 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(idx.f(tid, pid("/r")), 1);
-        assert_eq!(idx.f(tid, pid("/r/s")), 1, "s contains alpha once, not twice");
-        assert_eq!(idx.f(tid, pid("/r/s/p")), 2, "two distinct p nodes contain alpha");
+        assert_eq!(
+            idx.f(tid, pid("/r/s")),
+            1,
+            "s contains alpha once, not twice"
+        );
+        assert_eq!(
+            idx.f(tid, pid("/r/s/p")),
+            2,
+            "two distinct p nodes contain alpha"
+        );
     }
 
     #[test]

@@ -79,8 +79,7 @@ fn get_str(buf: &mut Bytes) -> Result<String, StorageError> {
         return Err(StorageError::Codec(CodecError::UnexpectedEof));
     }
     let bytes = buf.copy_to_bytes(len);
-    String::from_utf8(bytes.to_vec())
-        .map_err(|_| StorageError::Corrupt("non-utf8 string"))
+    String::from_utf8(bytes.to_vec()).map_err(|_| StorageError::Corrupt("non-utf8 string"))
 }
 
 /// Serialises a corpus index to bytes.
@@ -170,7 +169,11 @@ pub fn from_bytes(mut buf: Bytes) -> Result<CorpusIndex, StorageError> {
             .get(label)
             .ok_or(StorageError::Corrupt("label id out of range"))?;
         let has_text = buf.has_remaining() && buf.get_u8() == 1;
-        let text = if has_text { Some(get_str(&mut buf)?) } else { None };
+        let text = if has_text {
+            Some(get_str(&mut buf)?)
+        } else {
+            None
+        };
         if i == 0 {
             if depth != 1 {
                 return Err(StorageError::Corrupt("root must have depth 1"));
@@ -283,10 +286,7 @@ mod tests {
             assert_eq!(a.vocab().cf(t), b.vocab().cf(t));
             assert_eq!(a.vocab().df(t), b.vocab().df(t));
             assert_eq!(a.postings(t), b.postings(t));
-            assert_eq!(
-                a.path_stats().paths_of(t),
-                b.path_stats().paths_of(t)
-            );
+            assert_eq!(a.path_stats().paths_of(t), b.path_stats().paths_of(t));
         }
         assert_eq!(a.vocab().total_tokens(), b.vocab().total_tokens());
         assert_eq!(a.element_count(), b.element_count());

@@ -191,7 +191,9 @@ mod tests {
         let m = MaysErrorModel::new(0.75);
         let others = 6usize;
         let total = m.log_prob(0, others).exp()
-            + (0..others).map(|_| m.log_prob(1, others).exp()).sum::<f64>();
+            + (0..others)
+                .map(|_| m.log_prob(1, others).exp())
+                .sum::<f64>();
         assert!((total - 1.0).abs() < 1e-12);
     }
 

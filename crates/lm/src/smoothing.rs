@@ -38,10 +38,9 @@ impl Smoothing {
     pub fn validate(&self) {
         match *self {
             Smoothing::Dirichlet { mu } => assert!(mu > 0.0, "μ must be positive"),
-            Smoothing::JelinekMercer { lambda } => assert!(
-                lambda > 0.0 && lambda < 1.0,
-                "λ must be in (0, 1)"
-            ),
+            Smoothing::JelinekMercer { lambda } => {
+                assert!(lambda > 0.0 && lambda < 1.0, "λ must be in (0, 1)")
+            }
         }
     }
 }
@@ -71,9 +70,7 @@ impl<'a> LanguageModel<'a> {
     pub fn log_prob(&self, token: TokenId, count: u64, doc_len: u64) -> f64 {
         let pb = self.corpus.background_prob(token);
         let p = match self.smoothing {
-            Smoothing::Dirichlet { mu } => {
-                (count as f64 + mu * pb) / (doc_len as f64 + mu)
-            }
+            Smoothing::Dirichlet { mu } => (count as f64 + mu * pb) / (doc_len as f64 + mu),
             Smoothing::JelinekMercer { lambda } => {
                 let ml = if doc_len == 0 {
                     0.0
@@ -110,8 +107,7 @@ mod tests {
         let apple = c.vocab().get("apple").unwrap();
         for (count, dlen) in [(0u64, 3u64), (1, 3), (2, 5), (0, 0)] {
             assert!(
-                (a.log_prob(apple, count, dlen) - b.log_prob(apple, count, dlen)).abs()
-                    < 1e-12
+                (a.log_prob(apple, count, dlen) - b.log_prob(apple, count, dlen)).abs() < 1e-12
             );
         }
     }
@@ -134,9 +130,7 @@ mod tests {
         let counts = [("apple", 2u64), ("banana", 1), ("cherry", 0)];
         let sum: f64 = counts
             .iter()
-            .map(|&(w, cnt)| {
-                m.log_prob(c.vocab().get(w).unwrap(), cnt, 3).exp()
-            })
+            .map(|&(w, cnt)| m.log_prob(c.vocab().get(w).unwrap(), cnt, 3).exp())
             .sum();
         assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
     }

@@ -16,15 +16,26 @@
 //!
 //! Node-id comparisons stand in for Dewey comparisons throughout (the
 //! tree arena is in preorder, so the orders coincide).
+//!
+//! # Parallel scoring
+//!
+//! With `config.num_threads > 1` the candidate space is partitioned by a
+//! deterministic hash of the candidate's token ids. Every worker replays
+//! the *same* anchor walk and candidate enumeration (cheap relative to
+//! scoring) but scores only the candidates it owns, so each candidate's
+//! floating-point accumulation happens on exactly one thread in exactly
+//! the sequential order — the merged output is bit-identical to a
+//! single-threaded run (see DESIGN.md, "Concurrency & batching").
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
 
 use xclean_index::{CorpusIndex, TokenId};
 use xclean_lm::{ErrorModel, LanguageModel};
 use xclean_xmltree::{NodeId, PathId};
 
 use crate::config::{EntityPrior, XCleanConfig};
-use crate::pruning::{AccumulatorTable, CandidateKey, PruningStats};
+use crate::pruning::{Accumulator, AccumulatorTable, CandidateKey, PruningStats};
 use crate::result_type::{find_result_type, ResultType};
 use crate::variants::Variant;
 
@@ -68,8 +79,36 @@ pub struct RunStats {
     pub postings_read: u64,
     /// Postings jumped by `skip_to` across all merged lists.
     pub postings_skipped: u64,
+    /// `skip_to` invocations across all merged lists.
+    pub skip_calls: u64,
     /// Accumulator-table pruning outcome.
     pub pruning: PruningStats,
+    /// Wall time of variant-slot construction, in nanoseconds (filled in
+    /// by the engine; zero when `run_xclean` is called directly).
+    pub slot_nanos: u64,
+    /// Wall time of the walk + accumulate phase, in nanoseconds.
+    pub walk_nanos: u64,
+    /// Wall time of the finalise + rank phase, in nanoseconds.
+    pub rank_nanos: u64,
+}
+
+impl RunStats {
+    /// Combines per-partition stats into run totals. Walk-level counters
+    /// (subtrees, candidate enumeration, posting I/O) are identical in
+    /// every partition — each worker replays the same walk — so they are
+    /// taken from partition 0; scoring counters cover disjoint candidate
+    /// sets and are summed.
+    pub fn merge_partitions(parts: &[RunStats]) -> RunStats {
+        let mut out = parts.first().copied().unwrap_or_default();
+        for p in &parts[1..] {
+            out.result_type_computations += p.result_type_computations;
+            out.entities_scored += p.entities_scored;
+            out.pruning.evictions += p.pruning.evictions;
+            out.pruning.rejected += p.pruning.rejected;
+            out.walk_nanos = out.walk_nanos.max(p.walk_nanos);
+        }
+        out
+    }
 }
 
 /// Output of [`run_xclean`]: candidates sorted by descending score, plus
@@ -82,17 +121,61 @@ pub struct RunOutput {
     pub stats: RunStats,
 }
 
-/// Executes Algorithm 1 and final scoring.
-pub fn run_xclean(
+/// Executes Algorithm 1 and final scoring, using
+/// `config.num_threads` candidate-partition workers when > 1 (the output
+/// is bit-identical either way).
+pub fn run_xclean(corpus: &CorpusIndex, slots: &[KeywordSlot], config: &XCleanConfig) -> RunOutput {
+    if slots.is_empty() || slots.iter().any(|s| s.variants.is_empty()) {
+        // Some keyword has no variant at all: the candidate space is empty.
+        return RunOutput::default();
+    }
+    let walk_start = Instant::now();
+    let (entries, mut stats) = if config.num_threads > 1 {
+        accumulate_parallel(corpus, slots, config)
+    } else {
+        let mut stats = RunStats::default();
+        let table = accumulate_partition(corpus, slots, config, 0, 1, &mut stats);
+        stats.pruning = table.stats();
+        (table.into_entries(), stats)
+    };
+    stats.walk_nanos = walk_start.elapsed().as_nanos() as u64;
+
+    let rank_start = Instant::now();
+    let candidates = finalize_candidates(corpus, config, entries);
+    stats.rank_nanos = rank_start.elapsed().as_nanos() as u64;
+    RunOutput { candidates, stats }
+}
+
+/// Deterministic candidate → partition assignment (FNV-1a over the token
+/// ids). Independent of process state, so every run and every thread
+/// count agree on ownership.
+pub(crate) fn candidate_partition(cand: &[TokenId], parts: usize) -> usize {
+    if parts <= 1 {
+        return 0;
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for t in cand {
+        for b in t.0.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    (h % parts as u64) as usize
+}
+
+/// Runs the walk + accumulate phase for one candidate partition. All
+/// partitions perform the identical walk and candidate enumeration
+/// (including the shared per-subtree budget), but only the owner of a
+/// candidate computes its result type and accumulates its entity scores —
+/// so per-candidate floating-point op order matches the sequential run
+/// exactly.
+fn accumulate_partition(
     corpus: &CorpusIndex,
     slots: &[KeywordSlot],
     config: &XCleanConfig,
-) -> RunOutput {
-    let mut out = RunOutput::default();
-    if slots.is_empty() || slots.iter().any(|s| s.variants.is_empty()) {
-        // Some keyword has no variant at all: the candidate space is empty.
-        return out;
-    }
+    part: usize,
+    parts: usize,
+    stats: &mut RunStats,
+) -> AccumulatorTable {
     let error_model = ErrorModel::new(config.beta);
     let lm = LanguageModel::new(corpus, config.effective_smoothing());
 
@@ -102,7 +185,8 @@ pub fn run_xclean(
         .map(|s| s.variants.iter().map(|v| (v.token, v.distance)).collect())
         .collect();
 
-    // Result-type cache (the hash table `P` of Algorithm 1).
+    // Result-type cache (the hash table `P` of Algorithm 1); owned
+    // candidates only.
     let mut type_cache: HashMap<CandidateKey, Option<ResultType>> = HashMap::new();
     let mut table = AccumulatorTable::new(config.gamma);
     let mut candidates_enumerated = 0u64;
@@ -113,15 +197,20 @@ pub fn run_xclean(
         corpus,
         slots,
         config,
-        &mut out.stats,
+        stats,
         |_g, occurrences, slot_tokens| {
             // Lines 12–15: enumerate candidates and accumulate entity
             // scores. Entity-count maps are built lazily per result type.
-            let mut entity_maps: HashMap<PathId, HashMap<NodeId, HashMap<TokenId, u64>>> =
+            // The map is keyed in NodeId order so entity accumulation
+            // order (and with it f64 rounding) is reproducible.
+            let mut entity_maps: HashMap<PathId, BTreeMap<NodeId, HashMap<TokenId, u64>>> =
                 HashMap::new();
             let mut budget = config.max_candidates_per_subtree;
             crate::walk::enumerate_candidates(slot_tokens, &mut budget, &mut |cand| {
                 candidates_enumerated += 1;
+                if candidate_partition(cand, parts) != part {
+                    return;
+                }
                 let rt = type_cache.entry(cand.to_vec()).or_insert_with(|| {
                     result_type_computations += 1;
                     find_result_type(corpus, cand, config.min_depth, config.depth_decay)
@@ -171,14 +260,53 @@ pub fn run_xclean(
             });
         },
     );
-    out.stats.candidates_enumerated = candidates_enumerated;
-    out.stats.result_type_computations = result_type_computations;
-    out.stats.entities_scored = entities_scored;
-    out.stats.pruning = table.stats();
+    stats.candidates_enumerated = candidates_enumerated;
+    stats.result_type_computations = result_type_computations;
+    stats.entities_scored = entities_scored;
+    table
+}
 
-    // Final scoring: log P(Q|C) + log( Σ_r P(C|r)·P(r|T) ) (Eq. 10).
-    let mut scored: Vec<ScoredCandidate> = table
-        .into_entries()
+/// Fans the candidate partitions out over `config.num_threads` scoped
+/// threads sharing the borrowed corpus, then concatenates the (disjoint)
+/// accumulator entries.
+fn accumulate_parallel(
+    corpus: &CorpusIndex,
+    slots: &[KeywordSlot],
+    config: &XCleanConfig,
+) -> (Vec<(CandidateKey, Accumulator)>, RunStats) {
+    let parts = config.num_threads;
+    let results: Vec<(Vec<(CandidateKey, Accumulator)>, RunStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..parts)
+            .map(|part| {
+                scope.spawn(move || {
+                    let mut stats = RunStats::default();
+                    let table =
+                        accumulate_partition(corpus, slots, config, part, parts, &mut stats);
+                    stats.pruning = table.stats();
+                    (table.into_entries(), stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition worker panicked"))
+            .collect()
+    });
+    let stats = RunStats::merge_partitions(&results.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+    let entries = results.into_iter().flat_map(|(e, _)| e).collect();
+    (entries, stats)
+}
+
+/// Final scoring: `log P(Q|C) + log( Σ_r P(C|r)·P(r|T) )` (Eq. 10),
+/// sorted best-first with a deterministic token tie-break. Shared by the
+/// sequential and parallel paths — entry order does not matter because
+/// each candidate's accumulator is already complete.
+fn finalize_candidates(
+    corpus: &CorpusIndex,
+    config: &XCleanConfig,
+    entries: Vec<(CandidateKey, Accumulator)>,
+) -> Vec<ScoredCandidate> {
+    let mut scored: Vec<ScoredCandidate> = entries
         .into_iter()
         .filter(|(_, acc)| acc.score_sum > 0.0)
         .map(|(tokens, acc)| {
@@ -186,12 +314,8 @@ pub fn run_xclean(
             // of the result type (Eq. 8 sums over every r_j; non-matching
             // entities contribute zero).
             let normalizer = match config.prior {
-                EntityPrior::Uniform => {
-                    corpus.count_nodes_of_path(acc.result_path).max(1) as f64
-                }
-                EntityPrior::DocLength => {
-                    corpus.path_doc_len_total(acc.result_path).max(1) as f64
-                }
+                EntityPrior::Uniform => corpus.count_nodes_of_path(acc.result_path).max(1) as f64,
+                EntityPrior::DocLength => corpus.path_doc_len_total(acc.result_path).max(1) as f64,
             };
             ScoredCandidate {
                 log_score: acc.log_error_weight + (acc.score_sum / normalizer).ln(),
@@ -208,8 +332,7 @@ pub fn run_xclean(
             .expect("scores are never NaN")
             .then_with(|| a.tokens.cmp(&b.tokens))
     });
-    out.candidates = scored;
-    out
+    scored
 }
 
 /// Builds, for one result type `path`, the map
@@ -221,11 +344,13 @@ fn build_entity_map(
     corpus: &CorpusIndex,
     occurrences: &[Vec<(TokenId, NodeId, u32)>],
     path: PathId,
-) -> HashMap<NodeId, HashMap<TokenId, u64>> {
+) -> BTreeMap<NodeId, HashMap<TokenId, u64>> {
     let tree = corpus.tree();
     let depth = tree.paths().depth(path);
     let mut seen: HashMap<(TokenId, NodeId), ()> = HashMap::new();
-    let mut map: HashMap<NodeId, HashMap<TokenId, u64>> = HashMap::new();
+    // BTreeMap: entity iteration order must be reproducible (see the
+    // module docs on deterministic scoring).
+    let mut map: BTreeMap<NodeId, HashMap<TokenId, u64>> = BTreeMap::new();
     for occ in occurrences {
         for &(token, node, tf) in occ {
             if seen.insert((token, node), ()).is_some() {
@@ -360,8 +485,16 @@ mod tests {
                 ..Default::default()
             },
         );
-        let a: Vec<_> = with.candidates.iter().map(|x| (&x.tokens, x.log_score)).collect();
-        let b: Vec<_> = without.candidates.iter().map(|x| (&x.tokens, x.log_score)).collect();
+        let a: Vec<_> = with
+            .candidates
+            .iter()
+            .map(|x| (&x.tokens, x.log_score))
+            .collect();
+        let b: Vec<_> = without
+            .candidates
+            .iter()
+            .map(|x| (&x.tokens, x.log_score))
+            .collect();
         assert_eq!(a.len(), b.len());
         for ((ta, sa), (tb, sb)) in a.iter().zip(b.iter()) {
             assert_eq!(ta, tb);
@@ -401,13 +534,72 @@ mod tests {
     }
 
     #[test]
+    fn parallel_run_is_bit_identical_to_sequential() {
+        let c = corpus();
+        for query in [&["tree", "icdt"][..], &["trie", "icde"], &["icde"]] {
+            let slots = slots_for(&c, query, 2);
+            let seq = run_xclean(&c, &slots, &XCleanConfig::default());
+            for threads in [2, 3, 8] {
+                let par = run_xclean(
+                    &c,
+                    &slots,
+                    &XCleanConfig {
+                        num_threads: threads,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(seq.candidates.len(), par.candidates.len());
+                for (a, b) in seq.candidates.iter().zip(par.candidates.iter()) {
+                    assert_eq!(a.tokens, b.tokens);
+                    // Bit-identical, not merely close.
+                    assert_eq!(a.log_score.to_bits(), b.log_score.to_bits());
+                    assert_eq!(a.entity_count, b.entity_count);
+                }
+                // Walk-level counters replay identically; scoring counters
+                // sum to the sequential totals.
+                assert_eq!(
+                    seq.stats.candidates_enumerated,
+                    par.stats.candidates_enumerated
+                );
+                assert_eq!(seq.stats.entities_scored, par.stats.entities_scored);
+                assert_eq!(seq.stats.skip_calls, par.stats.skip_calls);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_assignment_is_total_and_stable() {
+        let cand = vec![TokenId(7), TokenId(123)];
+        assert_eq!(candidate_partition(&cand, 1), 0);
+        for parts in 2..9 {
+            let p = candidate_partition(&cand, parts);
+            assert!(p < parts);
+            assert_eq!(p, candidate_partition(&cand, parts));
+        }
+    }
+
+    #[test]
+    fn phase_timings_are_recorded() {
+        let c = corpus();
+        let slots = slots_for(&c, &["tree", "icdt"], 1);
+        let out = run_xclean(&c, &slots, &XCleanConfig::default());
+        assert!(out.stats.walk_nanos > 0);
+        // rank_nanos may round to zero on a tiny corpus, but never after
+        // a non-trivial sort; just check it was written coherently.
+        assert!(out.stats.rank_nanos < out.stats.walk_nanos + u64::MAX / 2);
+    }
+
+    #[test]
     fn scores_decrease_with_edit_distance_ceteris_paribus() {
         let c = corpus();
         // Query exactly "icde": variants icde (d=0) and icdt (d=1) have
         // similar distributions; icde must rank first.
         let slots = slots_for(&c, &["icde"], 1);
         let out = run_xclean(&c, &slots, &XCleanConfig::default());
-        assert_eq!(term_strings(&c, &out.candidates[0]), vec!["icde".to_string()]);
+        assert_eq!(
+            term_strings(&c, &out.candidates[0]),
+            vec!["icde".to_string()]
+        );
         if out.candidates.len() > 1 {
             assert!(out.candidates[0].log_score > out.candidates[1].log_score);
         }

@@ -61,6 +61,15 @@ pub struct XCleanConfig {
     /// setting; `Some` selects an explicit scheme (e.g. Jelinek–Mercer)
     /// for the smoothing ablation.
     pub smoothing: Option<xclean_lm::Smoothing>,
+    /// Worker threads used by `suggest_many` batches and by the
+    /// candidate-partitioned scoring of single queries (node-type
+    /// semantics). `1` (default) runs fully sequentially; any value
+    /// produces bit-identical suggestions (see DESIGN.md, "Concurrency
+    /// & batching").
+    pub num_threads: usize,
+    /// Queries handed to a pool worker per dispatch in `suggest_many`
+    /// (amortises channel traffic on large workloads).
+    pub batch_size: usize,
 }
 
 impl Default for XCleanConfig {
@@ -79,6 +88,8 @@ impl Default for XCleanConfig {
             prior: EntityPrior::Uniform,
             phonetic_distance: None,
             smoothing: None,
+            num_threads: 1,
+            batch_size: 16,
         }
     }
 }
@@ -106,6 +117,8 @@ impl XCleanConfig {
         if let Some(g) = self.gamma {
             assert!(g >= 1, "γ must be at least 1 when set");
         }
+        assert!(self.num_threads >= 1, "num_threads must be at least 1");
+        assert!(self.batch_size >= 1, "batch_size must be at least 1");
     }
 }
 
@@ -128,6 +141,26 @@ mod tests {
     fn invalid_mu_rejected() {
         XCleanConfig {
             mu: 0.0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "num_threads must be at least 1")]
+    fn zero_threads_rejected() {
+        XCleanConfig {
+            num_threads: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be at least 1")]
+    fn zero_batch_rejected() {
+        XCleanConfig {
+            batch_size: 0,
             ..Default::default()
         }
         .validate();

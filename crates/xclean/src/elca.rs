@@ -287,9 +287,7 @@ mod tests {
     fn elca_excludes_non_exclusive_ancestor() {
         // The article's only witnesses live in the section: the article is
         // NOT an ELCA (all witnesses claimed by the full descendant).
-        let t = tree_of(
-            "<a><art><meta>x</meta><sec><x>k1</x><x>k2</x></sec></art></a>",
-        );
+        let t = tree_of("<a><art><meta>x</meta><sec><x>k1</x><x>k2</x></sec></art></a>");
         let k1 = vec![node(&t, "1.1.2.1")];
         let k2 = vec![node(&t, "1.1.2.2")];
         let got = elca_of_lists(&t, &[k1.clone(), k2.clone()], 1);
@@ -300,9 +298,8 @@ mod tests {
     #[test]
     fn elca_superset_of_slca() {
         // Every SLCA is an ELCA.
-        let t = tree_of(
-            "<a><r><x>1</x><y>2</y></r><r><x>3</x><y>4</y><s><x>5</x><y>6</y></s></r></a>",
-        );
+        let t =
+            tree_of("<a><r><x>1</x><y>2</y></r><r><x>3</x><y>4</y><s><x>5</x><y>6</y></s></r></a>");
         let xs = vec![node(&t, "1.1.1"), node(&t, "1.2.1"), node(&t, "1.2.3.1")];
         let ys = vec![node(&t, "1.1.2"), node(&t, "1.2.2"), node(&t, "1.2.3.2")];
         let elcas = elca_of_lists(&t, &[xs.clone(), ys.clone()], 1);
@@ -319,10 +316,7 @@ mod tests {
         let k1 = vec![node(&t, "1.1")];
         let k2 = vec![node(&t, "1.2")];
         assert_eq!(elca_of_lists(&t, &[k1.clone(), k2.clone()], 2), vec![]);
-        assert_eq!(
-            elca_of_lists(&t, &[k1, k2], 1),
-            vec![t.root()]
-        );
+        assert_eq!(elca_of_lists(&t, &[k1, k2], 1), vec![t.root()]);
     }
 
     #[test]

@@ -4,7 +4,16 @@
 //! (both built offline) and answers [`XCleanEngine::suggest`] queries with
 //! ranked, *valid* alternative queries — every suggestion is guaranteed to
 //! have at least one entity in the data containing all of its keywords.
+//!
+//! Whole workloads go through [`XCleanEngine::suggest_many`]: a fixed pool
+//! of `config.num_threads` workers drains batches of
+//! `config.batch_size` queries from a shared channel, every worker reading
+//! the same immutable [`CorpusIndex`] snapshot through an [`Arc`]. Each
+//! query is answered by the ordinary sequential path, so the responses are
+//! bit-identical to calling [`XCleanEngine::suggest`] in a loop — only the
+//! wall-clock time differs (see DESIGN.md, "Concurrency & batching").
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use xclean_index::{CorpusIndex, TokenId};
@@ -79,10 +88,15 @@ impl SuggestResponse {
 }
 
 /// The XClean suggestion engine.
+///
+/// The corpus and variant indexes are held behind [`Arc`]s: they are
+/// immutable after construction, and the `suggest_many` worker pool (as
+/// well as any caller using [`XCleanEngine::corpus_shared`]) reads the
+/// same snapshot without copying.
 #[derive(Debug)]
 pub struct XCleanEngine {
-    corpus: CorpusIndex,
-    variants: VariantGenerator,
+    corpus: Arc<CorpusIndex>,
+    variants: Arc<VariantGenerator>,
     config: XCleanConfig,
     semantics: Semantics,
 }
@@ -98,6 +112,13 @@ impl XCleanEngine {
 
     /// Builds the engine from an already-built corpus index.
     pub fn from_corpus(corpus: CorpusIndex, config: XCleanConfig) -> Self {
+        Self::from_shared(Arc::new(corpus), config)
+    }
+
+    /// Builds the engine over a shared corpus snapshot — several engines
+    /// (e.g. with different configs or semantics) can serve the same index
+    /// without duplicating it.
+    pub fn from_shared(corpus: Arc<CorpusIndex>, config: XCleanConfig) -> Self {
         config.validate();
         let mut variants =
             VariantGenerator::build(&corpus, config.epsilon, config.partition_threshold);
@@ -106,7 +127,7 @@ impl XCleanEngine {
         }
         XCleanEngine {
             corpus,
-            variants,
+            variants: Arc::new(variants),
             config,
             semantics: Semantics::NodeType,
         }
@@ -120,7 +141,13 @@ impl XCleanEngine {
 
     /// The corpus index.
     pub fn corpus(&self) -> &CorpusIndex {
-        &self.corpus
+        self.corpus.as_ref()
+    }
+
+    /// A shared handle to the corpus snapshot (cheap clone; see
+    /// [`XCleanEngine::from_shared`]).
+    pub fn corpus_shared(&self) -> Arc<CorpusIndex> {
+        Arc::clone(&self.corpus)
     }
 
     /// The engine configuration.
@@ -163,6 +190,77 @@ impl XCleanEngine {
     pub fn suggest(&self, query: &str) -> SuggestResponse {
         let keywords = self.parse_query(query);
         self.suggest_keywords(&keywords)
+    }
+
+    /// Answers a whole workload, one [`SuggestResponse`] per query in
+    /// input order.
+    ///
+    /// With `config.num_threads > 1` the queries are dispatched in
+    /// `config.batch_size` chunks to a fixed pool of worker threads that
+    /// share the engine (and through it the corpus snapshot) by reference;
+    /// each query runs the plain sequential pipeline, so every response is
+    /// bit-identical to what [`XCleanEngine::suggest`] returns for the
+    /// same query. `num_threads == 1` processes the batch inline with no
+    /// pool at all.
+    pub fn suggest_many(&self, queries: &[&str]) -> Vec<SuggestResponse> {
+        let keywords: Vec<Vec<String>> = queries.iter().map(|q| self.parse_query(q)).collect();
+        self.suggest_many_keywords(&keywords)
+    }
+
+    /// [`XCleanEngine::suggest_many`] for already-tokenised queries.
+    pub fn suggest_many_keywords(&self, queries: &[Vec<String>]) -> Vec<SuggestResponse> {
+        // Intra-query candidate partitioning and inter-query pooling
+        // compose poorly (nested fan-out oversubscribes the pool), so
+        // batch mode pins each query to one worker and runs it
+        // sequentially — the outputs are identical either way.
+        let mut per_query = self.config.clone();
+        per_query.num_threads = 1;
+        if self.config.num_threads <= 1 || queries.len() <= 1 {
+            return queries
+                .iter()
+                .map(|kw| self.suggest_keywords_with(kw, &per_query))
+                .collect();
+        }
+        let workers = self.config.num_threads.min(queries.len());
+        let chunk = self.config.batch_size.max(1);
+        // Jobs carry the index of their first query so results can be
+        // written straight into the right output slots.
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, &[Vec<String>])>();
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, Vec<SuggestResponse>)>();
+        for (i, jobs) in queries.chunks(chunk).enumerate() {
+            job_tx
+                .send((i * chunk, jobs))
+                .expect("receivers alive while sending");
+        }
+        drop(job_tx);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = job_rx.clone();
+                let res_tx = res_tx.clone();
+                let per_query = &per_query;
+                scope.spawn(move || {
+                    while let Ok((start, batch)) = job_rx.recv() {
+                        let responses: Vec<SuggestResponse> = batch
+                            .iter()
+                            .map(|kw| self.suggest_keywords_with(kw, per_query))
+                            .collect();
+                        if res_tx.send((start, responses)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        drop(res_tx);
+        let mut out: Vec<Option<SuggestResponse>> = (0..queries.len()).map(|_| None).collect();
+        for (start, responses) in res_rx.iter() {
+            for (offset, r) in responses.into_iter().enumerate() {
+                out[start + offset] = Some(r);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every query answered exactly once"))
+            .collect()
     }
 
     /// Suggests with the space-edit extension of §VI-A: up to `tau` space
@@ -287,11 +385,13 @@ impl XCleanEngine {
                 },
             })
             .collect();
-        let out = match self.semantics {
+        let slot_nanos = start.elapsed().as_nanos() as u64;
+        let mut out = match self.semantics {
             Semantics::NodeType => run_xclean(&self.corpus, &slots, config),
             Semantics::Slca => run_slca(&self.corpus, &slots, config),
             Semantics::Elca => run_elca(&self.corpus, &slots, config),
         };
+        out.stats.slot_nanos = slot_nanos;
         let suggestions = out
             .candidates
             .into_iter()
@@ -356,9 +456,10 @@ mod tests {
         let e = engine();
         let r = e.suggest("health insurrance");
         assert_eq!(r.suggestions[0].terms, vec!["health", "insurance"]);
-        assert!(r
-            .rank_of(&["health", "instance"])
-            .is_none(), "health instance has no connected entity");
+        assert!(
+            r.rank_of(&["health", "instance"]).is_none(),
+            "health instance has no connected entity"
+        );
     }
 
     #[test]
@@ -445,5 +546,96 @@ mod tests {
         let e = engine();
         let r = e.suggest("helth insurance");
         assert_eq!(r.suggestions[0].query_string(), "health insurance");
+    }
+
+    fn assert_same_responses(a: &SuggestResponse, b: &SuggestResponse) {
+        assert_eq!(a.suggestions.len(), b.suggestions.len());
+        for (x, y) in a.suggestions.iter().zip(b.suggestions.iter()) {
+            assert_eq!(x.terms, y.terms);
+            assert_eq!(x.log_score.to_bits(), y.log_score.to_bits());
+            assert_eq!(x.distances, y.distances);
+            assert_eq!(x.entity_count, y.entity_count);
+        }
+    }
+
+    #[test]
+    fn suggest_many_matches_sequential_suggest() {
+        let queries = [
+            "helth insurance",
+            "health insurrance",
+            "geo taging",
+            "smith",
+            "qqqq",
+        ];
+        for threads in [1usize, 2, 8] {
+            let e = XCleanEngine::from_shared(
+                engine().corpus_shared(),
+                XCleanConfig {
+                    num_threads: threads,
+                    batch_size: 2,
+                    ..Default::default()
+                },
+            );
+            let batched = e.suggest_many(&queries);
+            assert_eq!(batched.len(), queries.len());
+            for (q, r) in queries.iter().zip(batched.iter()) {
+                assert_same_responses(&e.suggest(q), r);
+            }
+        }
+    }
+
+    #[test]
+    fn suggest_many_preserves_input_order() {
+        let e = XCleanEngine::from_shared(
+            engine().corpus_shared(),
+            XCleanConfig {
+                num_threads: 4,
+                batch_size: 1, // one query per job: maximal reordering risk
+                ..Default::default()
+            },
+        );
+        // Distinguishable queries so a misplaced response is detectable.
+        let queries = ["helth", "insurance", "markets", "policy", "smith", "jones"];
+        let rs = e.suggest_many(&queries);
+        for (q, r) in queries.iter().zip(rs.iter()) {
+            assert_same_responses(&e.suggest(q), r);
+        }
+    }
+
+    #[test]
+    fn suggest_many_handles_empty_and_oversized_batches() {
+        let e = engine();
+        assert!(e.suggest_many(&[]).is_empty());
+        let e = XCleanEngine::from_shared(
+            e.corpus_shared(),
+            XCleanConfig {
+                num_threads: 8,  // more workers than queries
+                batch_size: 100, // batch bigger than the workload
+                ..Default::default()
+            },
+        );
+        let rs = e.suggest_many(&["helth insurance", "health policy"]);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].suggestions[0].terms, vec!["health", "insurance"]);
+    }
+
+    #[test]
+    fn from_shared_engines_reuse_one_corpus() {
+        let base = engine();
+        let shared = base.corpus_shared();
+        let other = XCleanEngine::from_shared(Arc::clone(&shared), XCleanConfig::default());
+        assert!(std::ptr::eq(base.corpus(), other.corpus()));
+        assert_same_responses(
+            &base.suggest("helth insurance"),
+            &other.suggest("helth insurance"),
+        );
+    }
+
+    #[test]
+    fn slot_timing_is_reported() {
+        let e = engine();
+        let r = e.suggest("helth insurance");
+        assert!(r.stats.slot_nanos > 0);
+        assert!(r.stats.walk_nanos > 0);
     }
 }

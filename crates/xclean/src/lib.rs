@@ -43,10 +43,10 @@ pub mod walk;
 
 pub use algorithm::{run_xclean, KeywordSlot, RunOutput, RunStats, ScoredCandidate};
 pub use config::{EntityPrior, XCleanConfig};
+pub use elca::{elca_of_lists, run_elca};
 pub use engine::{Semantics, SuggestResponse, Suggestion, XCleanEngine};
 pub use pruning::{Accumulator, AccumulatorTable, CandidateKey, PruningStats};
 pub use result_type::{find_result_type, ResultType};
-pub use elca::{elca_of_lists, run_elca};
 pub use slca::{run_slca, slca_of_lists};
 pub use space_edits::{expand_space_edits, SpaceVariant};
 pub use variants::{Variant, VariantGenerator};

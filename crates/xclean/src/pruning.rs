@@ -199,8 +199,20 @@ mod tests {
     fn accumulates_per_candidate() {
         let mut t = AccumulatorTable::new(None);
         t.add(&key(&[1, 2]), 0.5, -5.0, &[1, 0], xclean_xmltree::PathId(0));
-        t.add(&key(&[1, 2]), 0.25, -5.0, &[1, 0], xclean_xmltree::PathId(0));
-        t.add(&key(&[1, 3]), 0.1, -10.0, &[1, 2], xclean_xmltree::PathId(0));
+        t.add(
+            &key(&[1, 2]),
+            0.25,
+            -5.0,
+            &[1, 0],
+            xclean_xmltree::PathId(0),
+        );
+        t.add(
+            &key(&[1, 3]),
+            0.1,
+            -10.0,
+            &[1, 2],
+            xclean_xmltree::PathId(0),
+        );
         assert_eq!(t.len(), 2);
         let a = t.get(&key(&[1, 2])).unwrap();
         assert_eq!(a.score_sum, 0.75);

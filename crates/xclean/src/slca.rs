@@ -227,7 +227,10 @@ mod tests {
         let mut min: Vec<NodeId> = all
             .iter()
             .copied()
-            .filter(|&v| !all.iter().any(|&w| w != v && tree.is_ancestor_or_self(v, w)))
+            .filter(|&v| {
+                !all.iter()
+                    .any(|&w| w != v && tree.is_ancestor_or_self(v, w))
+            })
             .collect();
         min.sort_unstable();
         min
@@ -258,9 +261,7 @@ mod tests {
 
     #[test]
     fn slca_multiple_results() {
-        let t = tree_of(
-            "<a><r><x>1</x><y>2</y></r><r><x>3</x><y>4</y></r></a>",
-        );
+        let t = tree_of("<a><r><x>1</x><y>2</y></r><r><x>3</x><y>4</y></r></a>");
         let l1 = vec![node(&t, "1.1.1"), node(&t, "1.2.1")];
         let l2 = vec![node(&t, "1.1.2"), node(&t, "1.2.2")];
         let s = slca_of_lists(&t, &[l1.clone(), l2.clone()]);

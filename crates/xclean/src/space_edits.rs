@@ -109,7 +109,9 @@ mod tests {
     fn merge_found_when_in_vocabulary() {
         let c = corpus();
         let vs = expand_space_edits(&c, &kws(&["power", "point"]), 1);
-        assert!(vs.iter().any(|v| v.keywords == kws(&["powerpoint"]) && v.edits == 1));
+        assert!(vs
+            .iter()
+            .any(|v| v.keywords == kws(&["powerpoint"]) && v.edits == 1));
         // Unchanged query is first.
         assert_eq!(vs[0].keywords, kws(&["power", "point"]));
         assert_eq!(vs[0].edits, 0);
@@ -156,7 +158,11 @@ mod tests {
         let vs = expand_space_edits(&c, &kws(&["power", "point"]), 3);
         let mut seen = std::collections::HashSet::new();
         for v in &vs {
-            assert!(seen.insert(v.keywords.clone()), "duplicate {:?}", v.keywords);
+            assert!(
+                seen.insert(v.keywords.clone()),
+                "duplicate {:?}",
+                v.keywords
+            );
         }
     }
 }

@@ -62,11 +62,7 @@ impl VariantGenerator {
     /// sharing the keyword's Soundex code, assigned `phonetic_distance`
     /// unless an edit-based match already gives them a smaller distance.
     /// Requires [`Self::with_phonetic_index`].
-    pub fn variants_with_phonetic(
-        &self,
-        keyword: &str,
-        phonetic_distance: u32,
-    ) -> Vec<Variant> {
+    pub fn variants_with_phonetic(&self, keyword: &str, phonetic_distance: u32) -> Vec<Variant> {
         let mut out = self.variants(keyword);
         let Some(map) = &self.phonetic else {
             return out;
@@ -135,7 +131,9 @@ mod tests {
         let c = corpus();
         let g = VariantGenerator::build(&c, 1, 14);
         let names = |vs: &[Variant]| -> Vec<String> {
-            vs.iter().map(|v| c.vocab().term(v.token).to_string()).collect()
+            vs.iter()
+                .map(|v| c.vocab().term(v.token).to_string())
+                .collect()
         };
         let v = g.variants("tree");
         assert_eq!(names(&v), vec!["tree", "trees", "trie"]);

@@ -53,9 +53,7 @@ pub fn walk_gated_subtrees(
             let mut dead = false;
             for vl in &vls {
                 match vl.cur_pos() {
-                    Some(e) => {
-                        max = Some(max.map_or(e.posting.node, |m| m.max(e.posting.node)))
-                    }
+                    Some(e) => max = Some(max.map_or(e.posting.node, |m| m.max(e.posting.node))),
                     None => {
                         dead = true;
                         break;
@@ -124,6 +122,7 @@ pub fn walk_gated_subtrees(
     for vl in &vls {
         stats.postings_read += vl.stats().read;
         stats.postings_skipped += vl.stats().skipped;
+        stats.skip_calls += vl.stats().skip_calls;
     }
 }
 

@@ -296,8 +296,7 @@ impl<'a> Parser<'a> {
                     }
                     self.bump();
                 }
-                let text =
-                    String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                let text = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
                 if !text.trim().is_empty() {
                     builder.text(text.trim());
                 }
@@ -347,7 +346,9 @@ impl<'a> Parser<'a> {
                     b"apos" => out.push('\''),
                     _ if ent.first() == Some(&b'#') => {
                         let s = std::str::from_utf8(&ent[1..]).unwrap_or("");
-                        let cp = if let Some(hex) = s.strip_prefix('x').or_else(|| s.strip_prefix('X')) {
+                        let cp = if let Some(hex) =
+                            s.strip_prefix('x').or_else(|| s.strip_prefix('X'))
+                        {
                             u32::from_str_radix(hex, 16).ok()
                         } else {
                             s.parse().ok()
@@ -455,10 +456,7 @@ mod tests {
 
     #[test]
     fn doctype_with_internal_subset() {
-        let t = parse_document(
-            "<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>ok</a>",
-        )
-        .unwrap();
+        let t = parse_document("<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>ok</a>").unwrap();
         assert_eq!(t.text(t.root()), Some("ok"));
     }
 

@@ -8,11 +8,10 @@
 /// classic IR stop list; the experiments are insensitive to its exact
 /// membership because queries are built from content terms.
 pub const STOP_WORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from",
-    "had", "has", "have", "he", "her", "his", "if", "in", "into", "is", "it",
-    "its", "no", "not", "of", "on", "or", "she", "such", "that", "the",
-    "their", "then", "there", "these", "they", "this", "to", "was", "were",
-    "will", "with",
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "had", "has", "have",
+    "he", "her", "his", "if", "in", "into", "is", "it", "its", "no", "not", "of", "on", "or",
+    "she", "such", "that", "the", "their", "then", "there", "these", "they", "this", "to", "was",
+    "were", "will", "with",
 ];
 
 /// Tokenisation policy: which tokens enter the vocabulary.

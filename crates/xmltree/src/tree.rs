@@ -209,7 +209,8 @@ impl XmlTree {
 
     /// The node's label path rendered as `/a/b/c`.
     pub fn path_string(&self, id: NodeId) -> String {
-        self.paths.display(self.nodes[id.index()].path, &self.labels)
+        self.paths
+            .display(self.nodes[id.index()].path, &self.labels)
     }
 
     /// The node's parent, or `None` for the root.

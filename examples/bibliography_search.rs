@@ -38,9 +38,7 @@ fn main() {
         let mut title_words: Vec<String> = Vec::new();
         for c in tree.children(rec) {
             match (tree.label_name(c), tree.text(c)) {
-                ("author", Some(t)) => {
-                    author = t.split_whitespace().last().map(str::to_string)
-                }
+                ("author", Some(t)) => author = t.split_whitespace().last().map(str::to_string),
                 ("title", Some(t)) => {
                     title_words = t
                         .split_whitespace()
@@ -81,11 +79,7 @@ fn main() {
         let slots = engine.make_slots(&keywords);
         print!("  PY08  :");
         for c in py08.suggest(corpus, &slots, 3) {
-            let terms: Vec<&str> = c
-                .tokens
-                .iter()
-                .map(|&t| corpus.vocab().term(t))
-                .collect();
+            let terms: Vec<&str> = c.tokens.iter().map(|&t| corpus.vocab().term(t)).collect();
             print!("  [{}]", terms.join(" "));
         }
         println!("\n");

@@ -18,7 +18,12 @@ fn main() {
     </kb>";
     let engine = XCleanEngine::new(parse_document(xml).unwrap(), XCleanConfig::default());
 
-    for query in ["power point design", "powerpoint alternatives", "data base survey", "databse administration"] {
+    for query in [
+        "power point design",
+        "powerpoint alternatives",
+        "data base survey",
+        "databse administration",
+    ] {
         println!("query: {query:?}");
         let keywords = engine.parse_query(query);
 

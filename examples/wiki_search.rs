@@ -72,11 +72,7 @@ fn main() {
         let r = slca.suggest(q);
         println!("query: {q:?}");
         for s in r.suggestions.iter().take(3) {
-            println!(
-                "  [{}]  slca entities {}",
-                s.query_string(),
-                s.entity_count
-            );
+            println!("  [{}]  slca entities {}", s.query_string(), s.entity_count);
         }
         println!();
     }

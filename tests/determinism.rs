@@ -1,0 +1,145 @@
+//! Determinism harness for the parallel batched suggestion engine.
+//!
+//! The contract under test (DESIGN.md, "Concurrency & batching"): for any
+//! worker-thread count, `suggest_many` returns *bit-identical* responses —
+//! same suggestions, same order, same `f64` score bits — to calling the
+//! sequential `suggest` path query by query. The corpus and the ~200-query
+//! workload are generated from fixed seeds, so every run of this test (and
+//! every machine) exercises the same inputs.
+
+use xclean_suite::datagen::{generate_dblp, make_workload, DblpConfig, Perturbation, WorkloadSpec};
+use xclean_suite::xclean::{SuggestResponse, XCleanConfig, XCleanEngine};
+
+/// Builds the shared corpus and the mixed determinism workload:
+/// ~200 queries drawn from all three perturbation families.
+fn corpus_and_queries() -> (XCleanEngine, Vec<Vec<String>>) {
+    let engine = XCleanEngine::new(
+        generate_dblp(&DblpConfig {
+            publications: 1200,
+            ..Default::default()
+        }),
+        XCleanConfig::default(),
+    );
+    let mut queries = Vec::new();
+    for (p, n, seed) in [
+        (Perturbation::Clean, 60, 11),
+        (Perturbation::Rand, 80, 22),
+        (Perturbation::Rule, 60, 33),
+    ] {
+        let set = make_workload(
+            engine.corpus(),
+            &WorkloadSpec {
+                n_queries: n,
+                seed,
+                ..WorkloadSpec::dblp(p)
+            },
+        );
+        queries.extend(set.cases.into_iter().map(|c| c.dirty));
+    }
+    assert!(
+        queries.len() >= 190,
+        "workload came up short: {}",
+        queries.len()
+    );
+    (engine, queries)
+}
+
+/// Exact (bit-level) equality of two responses, with a query label for
+/// diagnosis. Timings are excluded — they are the only fields allowed to
+/// differ between runs.
+fn assert_identical(q: &[String], a: &SuggestResponse, b: &SuggestResponse) {
+    let label = q.join(" ");
+    assert_eq!(
+        a.suggestions.len(),
+        b.suggestions.len(),
+        "suggestion count diverged for {label:?}"
+    );
+    for (i, (x, y)) in a.suggestions.iter().zip(b.suggestions.iter()).enumerate() {
+        assert_eq!(x.terms, y.terms, "terms diverged at rank {i} for {label:?}");
+        assert_eq!(
+            x.log_score.to_bits(),
+            y.log_score.to_bits(),
+            "score bits diverged at rank {i} for {label:?}: {} vs {}",
+            x.log_score,
+            y.log_score
+        );
+        assert_eq!(x.tokens, y.tokens, "tokens diverged for {label:?}");
+        assert_eq!(x.distances, y.distances, "distances diverged for {label:?}");
+        assert_eq!(
+            x.entity_count, y.entity_count,
+            "entity count diverged for {label:?}"
+        );
+    }
+    // Walk-level counters must replay identically as well.
+    assert_eq!(
+        a.stats.candidates_enumerated, b.stats.candidates_enumerated,
+        "candidate enumeration diverged for {label:?}"
+    );
+    assert_eq!(
+        a.stats.entities_scored, b.stats.entities_scored,
+        "entities scored diverged for {label:?}"
+    );
+    assert_eq!(
+        a.stats.skip_calls, b.stats.skip_calls,
+        "skip_to accounting diverged for {label:?}"
+    );
+}
+
+/// The tentpole guarantee: `suggest_many` at 1, 2, and 8 threads is
+/// bit-identical to the sequential per-query path over the whole corpus.
+#[test]
+fn suggest_many_is_bit_identical_across_thread_counts() {
+    let (engine, queries) = corpus_and_queries();
+    let baseline: Vec<SuggestResponse> =
+        queries.iter().map(|q| engine.suggest_keywords(q)).collect();
+    for threads in [1usize, 2, 8] {
+        let pooled = XCleanEngine::from_shared(
+            engine.corpus_shared(),
+            XCleanConfig {
+                num_threads: threads,
+                batch_size: 7, // deliberately not a divisor of the workload
+                ..Default::default()
+            },
+        );
+        let batched = pooled.suggest_many_keywords(&queries);
+        assert_eq!(batched.len(), queries.len());
+        for (q, (a, b)) in queries.iter().zip(baseline.iter().zip(batched.iter())) {
+            assert_identical(q, a, b);
+        }
+    }
+}
+
+/// Intra-query candidate partitioning (num_threads on the single-query
+/// path) must also be invisible in the output.
+#[test]
+fn single_query_parallel_scoring_is_bit_identical() {
+    let (engine, queries) = corpus_and_queries();
+    let parallel = XCleanEngine::from_shared(
+        engine.corpus_shared(),
+        XCleanConfig {
+            num_threads: 4,
+            ..Default::default()
+        },
+    );
+    // A slice of the workload keeps this test fast; the batched test
+    // above covers all ~200 queries.
+    for q in queries.iter().take(40) {
+        assert_identical(
+            q,
+            &engine.suggest_keywords(q),
+            &parallel.suggest_keywords(q),
+        );
+    }
+}
+
+/// Repeated sequential runs are bit-identical too (no HashMap iteration
+/// order, clock, or address-dependent behaviour leaks into scores).
+#[test]
+fn sequential_runs_are_reproducible() {
+    let (engine, queries) = corpus_and_queries();
+    for q in queries.iter().take(40) {
+        let a = engine.suggest_keywords(q);
+        let b = engine.suggest_keywords(q);
+        assert_identical(q, &a, &b);
+    }
+}

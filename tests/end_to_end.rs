@@ -2,9 +2,7 @@
 //! (generate → index → perturb → suggest → evaluate) must reproduce the
 //! paper's headline claims in miniature.
 
-use xclean_suite::datagen::{
-    generate_dblp, make_workload, DblpConfig, Perturbation, WorkloadSpec,
-};
+use xclean_suite::datagen::{generate_dblp, make_workload, DblpConfig, Perturbation, WorkloadSpec};
 use xclean_suite::eval::datasets::build_search_engines;
 use xclean_suite::eval::harness::run_set;
 use xclean_suite::eval::systems::{Py08Suggester, SeSuggester, XCleanSuggester};
@@ -97,9 +95,7 @@ fn suggestions_are_always_valid() {
             // The suggested query, issued as-is, has itself as a valid
             // candidate (distance 0, non-empty).
             let again = engine.suggest_keywords(&s.terms);
-            let self_rank = again.rank_of(
-                &s.terms.iter().map(String::as_str).collect::<Vec<_>>(),
-            );
+            let self_rank = again.rank_of(&s.terms.iter().map(String::as_str).collect::<Vec<_>>());
             assert!(
                 self_rank.is_some(),
                 "suggestion {:?} not valid as its own query",

@@ -60,13 +60,13 @@ fn combining_space_edits_with_typo_correction() {
 fn posting_lists_roundtrip_through_codec() {
     // The full index of a generated corpus must survive encode/decode —
     // the persistence path of the index.
-    let corpus = CorpusIndex::build(
-        xclean_suite::datagen::generate_dblp(&xclean_suite::datagen::DblpConfig {
+    let corpus = CorpusIndex::build(xclean_suite::datagen::generate_dblp(
+        &xclean_suite::datagen::DblpConfig {
             publications: 300,
             seed: 17,
             ..Default::default()
-        }),
-    );
+        },
+    ));
     for t in 0..corpus.vocab().len() as u32 {
         let list = corpus.postings(TokenId(t));
         let encoded = codec::encode(list);
@@ -89,7 +89,12 @@ fn persisted_index_yields_identical_suggestions() {
         storage::from_bytes(bytes).expect("load index"),
         XCleanConfig::default(),
     );
-    for q in ["keyword serach", "databse systems", "jones indexng", "smith"] {
+    for q in [
+        "keyword serach",
+        "databse systems",
+        "jones indexng",
+        "smith",
+    ] {
         let a = original.suggest(q);
         let b = restored.suggest(q);
         assert_eq!(a.suggestions.len(), b.suggestions.len(), "query {q}");
@@ -160,13 +165,13 @@ fn storage_rejects_arbitrary_bytes_without_panicking() {
 
 #[test]
 fn encoded_index_is_smaller_than_flat_representation() {
-    let corpus = CorpusIndex::build(
-        xclean_suite::datagen::generate_dblp(&xclean_suite::datagen::DblpConfig {
+    let corpus = CorpusIndex::build(xclean_suite::datagen::generate_dblp(
+        &xclean_suite::datagen::DblpConfig {
             publications: 500,
             seed: 23,
             ..Default::default()
-        }),
-    );
+        },
+    ));
     let mut encoded = 0usize;
     let mut entries = 0usize;
     for t in 0..corpus.vocab().len() as u32 {

@@ -112,6 +112,10 @@ fn anchor_walk_skips_first_subtree() {
     // effect: postings are skipped.
     let e = engine();
     let r = e.suggest("tree icdt");
-    assert!(r.stats.subtrees >= 2, "visited {} subtrees", r.stats.subtrees);
+    assert!(
+        r.stats.subtrees >= 2,
+        "visited {} subtrees",
+        r.stats.subtrees
+    );
     assert!(r.stats.postings_read > 0);
 }

@@ -4,8 +4,8 @@
 
 use xclean_suite::datagen::{generate_dblp, DblpConfig};
 use xclean_suite::xclean::{
-    elca_of_lists, run_elca, run_slca, slca_of_lists, KeywordSlot, Semantics,
-    VariantGenerator, XCleanConfig, XCleanEngine,
+    elca_of_lists, run_elca, run_slca, slca_of_lists, KeywordSlot, Semantics, VariantGenerator,
+    XCleanConfig, XCleanEngine,
 };
 use xclean_suite::xmltree::{parse_document, NodeId};
 

@@ -3,9 +3,7 @@
 //! generator parameters.
 
 use proptest::prelude::*;
-use xclean_suite::datagen::{
-    generate_dblp, make_workload, DblpConfig, Perturbation, WorkloadSpec,
-};
+use xclean_suite::datagen::{generate_dblp, make_workload, DblpConfig, Perturbation, WorkloadSpec};
 use xclean_suite::fastss::edit_distance;
 use xclean_suite::index::CorpusIndex;
 

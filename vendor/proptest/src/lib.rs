@@ -454,10 +454,10 @@ mod tests {
             (a, b) in (0i32..5, 10usize..20),
             c in proptest::char::range('a', 'f'),
         ) {
-            prop_assert!(x >= 3 && x < 17);
+            prop_assert!((3..17).contains(&x));
             prop_assert!(s.len() < 6, "set too big: {:?}", s);
             prop_assert_eq!(a / 5, 0);
-            prop_assert!(b >= 10 && b < 20);
+            prop_assert!((10..20).contains(&b));
             prop_assert!(('a'..='f').contains(&c));
         }
     }

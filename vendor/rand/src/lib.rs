@@ -65,8 +65,7 @@ impl Standard for bool {
 /// infer `u8` the way upstream rand does.
 pub trait SampleUniform: Copy {
     /// Uniform draw from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
-    fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
-        -> Self;
+    fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {
@@ -242,10 +241,7 @@ pub mod rngs {
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];

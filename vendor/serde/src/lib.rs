@@ -88,9 +88,7 @@ impl Content {
     /// Object field lookup (`None` for non-objects / missing keys).
     pub fn get(&self, key: &str) -> Option<&Content> {
         match self {
-            Content::Object(fields) => {
-                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            Content::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }

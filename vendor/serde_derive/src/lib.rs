@@ -50,11 +50,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 
     let entries: String = fields
         .iter()
-        .map(|f| {
-            format!(
-                "(String::from(\"{f}\"), serde::Serialize::to_content(&self.{f})),"
-            )
-        })
+        .map(|f| format!("(String::from(\"{f}\"), serde::Serialize::to_content(&self.{f})),"))
         .collect();
     let impl_src = format!(
         "impl serde::Serialize for {name} {{\n\
@@ -77,8 +73,8 @@ fn field_names(body: TokenStream) -> Vec<String> {
     let mut head: Vec<TokenTree> = Vec::new();
     let mut seen_colon = false;
     for tok in body {
-        match &tok {
-            TokenTree::Punct(p) => match p.as_char() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
                 '<' => angle_depth += 1,
                 '>' => angle_depth -= 1,
                 ',' if angle_depth == 0 => {
@@ -94,8 +90,7 @@ fn field_names(body: TokenStream) -> Vec<String> {
                     continue;
                 }
                 _ => {}
-            },
-            _ => {}
+            }
         }
         if !seen_colon {
             head.push(tok);

@@ -65,10 +65,7 @@ pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
     let value = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::new(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
     }
     T::from_content(&value).map_err(Error::new)
 }
@@ -322,10 +319,7 @@ impl<'a> Parser<'a> {
                             s.push(c);
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape '\\{}'",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape '\\{}'", other as char)))
                         }
                     }
                 }
