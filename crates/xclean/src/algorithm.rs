@@ -26,6 +26,17 @@
 //! floating-point accumulation happens on exactly one thread in exactly
 //! the sequential order — the merged output is bit-identical to a
 //! single-threaded run (see DESIGN.md, "Concurrency & batching").
+//!
+//! Partitioning is only *engaged* when it is provably exact: γ-pruning
+//! decisions (§V-D) depend on which candidates share an accumulator
+//! table, so per-partition tables could diverge from the global
+//! sequential table once it fills. [`run_xclean`] therefore partitions
+//! only when `config.gamma` is `None` or at least the candidate-space
+//! upper bound `Π_i |var_ε(q_i)|` — in which case no table can ever fill
+//! and eviction never happens on any path. Queries whose γ could bind
+//! fall back to sequential scoring ([`RunStats::score_partitions`]
+//! reports what actually ran), keeping the bit-identity contract
+//! unconditional for every `num_threads` value.
 
 use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
@@ -90,6 +101,11 @@ pub struct RunStats {
     pub walk_nanos: u64,
     /// Wall time of the finalise + rank phase, in nanoseconds.
     pub rank_nanos: u64,
+    /// Candidate partitions the scoring phase actually used (1 =
+    /// sequential). Stays 1 even with `num_threads > 1` when γ could bind
+    /// — partitioned scoring only engages when provably exact (see the
+    /// module docs, "Parallel scoring").
+    pub score_partitions: u64,
 }
 
 impl RunStats {
@@ -97,7 +113,11 @@ impl RunStats {
     /// (subtrees, candidate enumeration, posting I/O) are identical in
     /// every partition — each worker replays the same walk — so they are
     /// taken from partition 0; scoring counters cover disjoint candidate
-    /// sets and are summed.
+    /// sets and are summed. Pruning counters are summed too, but under
+    /// the exactness gate ([`run_xclean`]) partitioned runs only happen
+    /// when no table can fill, so `pruning` is all-zero whenever
+    /// `score_partitions > 1` — directly comparable with the (likewise
+    /// zero) sequential counters.
     pub fn merge_partitions(parts: &[RunStats]) -> RunStats {
         let mut out = parts.first().copied().unwrap_or_default();
         for p in &parts[1..] {
@@ -122,28 +142,60 @@ pub struct RunOutput {
 }
 
 /// Executes Algorithm 1 and final scoring, using
-/// `config.num_threads` candidate-partition workers when > 1 (the output
-/// is bit-identical either way).
+/// `config.num_threads` candidate-partition workers when > 1 *and* the
+/// partitioning is provably exact (see [`partitioning_is_exact`]); the
+/// output is bit-identical for every thread count either way.
 pub fn run_xclean(corpus: &CorpusIndex, slots: &[KeywordSlot], config: &XCleanConfig) -> RunOutput {
     if slots.is_empty() || slots.iter().any(|s| s.variants.is_empty()) {
         // Some keyword has no variant at all: the candidate space is empty.
         return RunOutput::default();
     }
     let walk_start = Instant::now();
-    let (entries, mut stats) = if config.num_threads > 1 {
-        accumulate_parallel(corpus, slots, config)
+    let parts = if partitioning_is_exact(slots, config) {
+        config.num_threads
+    } else {
+        1
+    };
+    let (entries, mut stats) = if parts > 1 {
+        accumulate_parallel(corpus, slots, config, parts)
     } else {
         let mut stats = RunStats::default();
         let table = accumulate_partition(corpus, slots, config, 0, 1, &mut stats);
         stats.pruning = table.stats();
         (table.into_entries(), stats)
     };
+    stats.score_partitions = parts as u64;
     stats.walk_nanos = walk_start.elapsed().as_nanos() as u64;
 
     let rank_start = Instant::now();
     let candidates = finalize_candidates(corpus, config, entries);
     stats.rank_nanos = rank_start.elapsed().as_nanos() as u64;
     RunOutput { candidates, stats }
+}
+
+/// Upper bound on the number of *distinct* candidate keys a query can
+/// produce: one variant token per keyword slot, so `Π_i |var_ε(q_i)|`
+/// (saturating — the exact value past `usize::MAX` is irrelevant, only
+/// whether it fits under γ).
+fn candidate_space_bound(slots: &[KeywordSlot]) -> usize {
+    slots
+        .iter()
+        .fold(1usize, |acc, s| acc.saturating_mul(s.variants.len()))
+}
+
+/// Whether candidate-partitioned scoring is provably bit-identical to the
+/// sequential run. γ-eviction decisions depend on which candidates share
+/// an accumulator table, so per-partition tables are only safe when no
+/// table can ever fill: γ disabled, or γ at least the candidate-space
+/// bound (then `accs.len() < γ` holds before every insertion on both the
+/// global and any partition-local table, and no eviction or rejection is
+/// ever taken anywhere).
+pub(crate) fn partitioning_is_exact(slots: &[KeywordSlot], config: &XCleanConfig) -> bool {
+    config.num_threads > 1
+        && match config.gamma {
+            None => true,
+            Some(g) => candidate_space_bound(slots) <= g,
+        }
 }
 
 /// Deterministic candidate → partition assignment (FNV-1a over the token
@@ -266,15 +318,15 @@ fn accumulate_partition(
     table
 }
 
-/// Fans the candidate partitions out over `config.num_threads` scoped
-/// threads sharing the borrowed corpus, then concatenates the (disjoint)
-/// accumulator entries.
+/// Fans the candidate partitions out over `parts` scoped threads sharing
+/// the borrowed corpus, then concatenates the (disjoint) accumulator
+/// entries. Callers must have checked [`partitioning_is_exact`].
 fn accumulate_parallel(
     corpus: &CorpusIndex,
     slots: &[KeywordSlot],
     config: &XCleanConfig,
+    parts: usize,
 ) -> (Vec<(CandidateKey, Accumulator)>, RunStats) {
-    let parts = config.num_threads;
     let results: Vec<(Vec<(CandidateKey, Accumulator)>, RunStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..parts)
             .map(|part| {
@@ -548,6 +600,11 @@ mod tests {
                         ..Default::default()
                     },
                 );
+                // The default γ=1000 is far above the candidate-space
+                // bound here, so the exactness gate must actually engage
+                // the partitioned path (not silently fall back).
+                assert_eq!(par.stats.score_partitions, threads as u64);
+                assert_eq!(seq.stats.score_partitions, 1);
                 assert_eq!(seq.candidates.len(), par.candidates.len());
                 for (a, b) in seq.candidates.iter().zip(par.candidates.iter()) {
                     assert_eq!(a.tokens, b.tokens);
@@ -568,6 +625,61 @@ mod tests {
     }
 
     #[test]
+    fn binding_gamma_disables_partitioning_but_stays_identical() {
+        let c = corpus();
+        // ε=2 leaves two variants per slot (tree/trie, icdt/icde), so the
+        // candidate-space bound is 4.
+        let slots = slots_for(&c, &["tree", "icdt"], 2);
+        for gamma in [Some(1), Some(3)] {
+            let seq = run_xclean(
+                &c,
+                &slots,
+                &XCleanConfig {
+                    gamma,
+                    ..Default::default()
+                },
+            );
+            for threads in [2, 8] {
+                let par = run_xclean(
+                    &c,
+                    &slots,
+                    &XCleanConfig {
+                        gamma,
+                        num_threads: threads,
+                        ..Default::default()
+                    },
+                );
+                // γ could bind (bound 4 > γ): partition-local eviction
+                // would diverge from the global table, so the gate must
+                // fall back to one partition…
+                assert_eq!(par.stats.score_partitions, 1);
+                // …making the run identical to sequential, pruning
+                // decisions included.
+                assert_eq!(seq.stats.pruning, par.stats.pruning);
+                assert_eq!(seq.candidates.len(), par.candidates.len());
+                for (a, b) in seq.candidates.iter().zip(par.candidates.iter()) {
+                    assert_eq!(a.tokens, b.tokens);
+                    assert_eq!(a.log_score.to_bits(), b.log_score.to_bits());
+                    assert_eq!(a.entity_count, b.entity_count);
+                }
+            }
+        }
+        // γ at the bound can never fill the table → partitioning engages
+        // and never prunes.
+        let par = run_xclean(
+            &c,
+            &slots,
+            &XCleanConfig {
+                gamma: Some(4),
+                num_threads: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(par.stats.score_partitions, 2);
+        assert_eq!(par.stats.pruning, PruningStats::default());
+    }
+
+    #[test]
     fn partition_assignment_is_total_and_stable() {
         let cand = vec![TokenId(7), TokenId(123)];
         assert_eq!(candidate_partition(&cand, 1), 0);
@@ -584,9 +696,14 @@ mod tests {
         let slots = slots_for(&c, &["tree", "icdt"], 1);
         let out = run_xclean(&c, &slots, &XCleanConfig::default());
         assert!(out.stats.walk_nanos > 0);
-        // rank_nanos may round to zero on a tiny corpus, but never after
-        // a non-trivial sort; just check it was written coherently.
-        assert!(out.stats.rank_nanos < out.stats.walk_nanos + u64::MAX / 2);
+        // The rank phase ran over a non-empty candidate set (allocations,
+        // ln/exp, a sort), so its measured wall time is non-zero on any
+        // nanosecond-resolution clock.
+        assert!(!out.candidates.is_empty());
+        assert!(out.stats.rank_nanos > 0);
+        // Slot construction is timed by the engine; the direct entry
+        // point leaves it zero (documented on RunStats).
+        assert_eq!(out.stats.slot_nanos, 0);
     }
 
     #[test]

@@ -64,8 +64,12 @@ pub struct XCleanConfig {
     /// Worker threads used by `suggest_many` batches and by the
     /// candidate-partitioned scoring of single queries (node-type
     /// semantics). `1` (default) runs fully sequentially; any value
-    /// produces bit-identical suggestions (see DESIGN.md, "Concurrency
-    /// & batching").
+    /// produces bit-identical suggestions. Intra-query partitioning only
+    /// engages when provably exact — [`XCleanConfig::gamma`] disabled or
+    /// at least the query's candidate-space bound `Π_i |var_ε(q_i)|`;
+    /// queries whose γ could bind are scored sequentially instead, since
+    /// partition-local eviction could diverge from the global table (see
+    /// DESIGN.md, "Concurrency & batching").
     pub num_threads: usize,
     /// Queries handed to a pool worker per dispatch in `suggest_many`
     /// (amortises channel traffic on large workloads).

@@ -8,10 +8,12 @@
 //! Whole workloads go through [`XCleanEngine::suggest_many`]: a fixed pool
 //! of `config.num_threads` workers drains batches of
 //! `config.batch_size` queries from a shared channel, every worker reading
-//! the same immutable [`CorpusIndex`] snapshot through an [`Arc`]. Each
-//! query is answered by the ordinary sequential path, so the responses are
-//! bit-identical to calling [`XCleanEngine::suggest`] in a loop — only the
-//! wall-clock time differs (see DESIGN.md, "Concurrency & batching").
+//! the same immutable [`CorpusIndex`] snapshot through an [`Arc`]. When
+//! the workload has fewer queries than threads, the leftover threads are
+//! handed to the queries themselves as intra-query candidate partitions.
+//! Either way the responses are bit-identical to calling
+//! [`XCleanEngine::suggest`] in a loop — only the wall-clock time differs
+//! (see DESIGN.md, "Concurrency & batching").
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -197,11 +199,10 @@ impl XCleanEngine {
     ///
     /// With `config.num_threads > 1` the queries are dispatched in
     /// `config.batch_size` chunks to a fixed pool of worker threads that
-    /// share the engine (and through it the corpus snapshot) by reference;
-    /// each query runs the plain sequential pipeline, so every response is
-    /// bit-identical to what [`XCleanEngine::suggest`] returns for the
-    /// same query. `num_threads == 1` processes the batch inline with no
-    /// pool at all.
+    /// share the engine (and through it the corpus snapshot) by reference.
+    /// Every response is bit-identical to what [`XCleanEngine::suggest`]
+    /// returns for the same query, whatever the thread count.
+    /// `num_threads == 1` processes the batch inline with no pool at all.
     pub fn suggest_many(&self, queries: &[&str]) -> Vec<SuggestResponse> {
         let keywords: Vec<Vec<String>> = queries.iter().map(|q| self.parse_query(q)).collect();
         self.suggest_many_keywords(&keywords)
@@ -209,19 +210,21 @@ impl XCleanEngine {
 
     /// [`XCleanEngine::suggest_many`] for already-tokenised queries.
     pub fn suggest_many_keywords(&self, queries: &[Vec<String>]) -> Vec<SuggestResponse> {
-        // Intra-query candidate partitioning and inter-query pooling
-        // compose poorly (nested fan-out oversubscribes the pool), so
-        // batch mode pins each query to one worker and runs it
-        // sequentially — the outputs are identical either way.
+        // One pool worker per query up to num_threads; threads left over
+        // when the workload is narrower than the pool (few expensive
+        // queries) are handed down as intra-query candidate partitions,
+        // keeping workers * per_query.num_threads ≤ num_threads so the
+        // nested fan-out never oversubscribes. Outputs are bit-identical
+        // for any split (see DESIGN.md, "Concurrency & batching").
+        let workers = self.config.num_threads.min(queries.len()).max(1);
         let mut per_query = self.config.clone();
-        per_query.num_threads = 1;
+        per_query.num_threads = (self.config.num_threads / workers).max(1);
         if self.config.num_threads <= 1 || queries.len() <= 1 {
             return queries
                 .iter()
                 .map(|kw| self.suggest_keywords_with(kw, &per_query))
                 .collect();
         }
-        let workers = self.config.num_threads.min(queries.len());
         let chunk = self.config.batch_size.max(1);
         // Jobs carry the index of their first query so results can be
         // written straight into the right output slots.

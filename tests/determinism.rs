@@ -132,6 +132,53 @@ fn single_query_parallel_scoring_is_bit_identical() {
     }
 }
 
+/// Bit-identity must survive a γ that actually binds: with γ = 4, real
+/// ε=2 multi-keyword queries overflow the accumulator budget, so the
+/// exactness gate falls back to sequential scoring for them instead of
+/// letting partition-local eviction diverge (DESIGN.md, "γ-eviction
+/// exactness gate"). Pruning stats are compared too — under the gate
+/// they come from the same global table on both paths.
+#[test]
+fn binding_gamma_is_bit_identical_across_thread_counts() {
+    let (engine, queries) = corpus_and_queries();
+    let tight = XCleanConfig {
+        gamma: Some(4),
+        ..Default::default()
+    };
+    let sequential = XCleanEngine::from_shared(engine.corpus_shared(), tight.clone());
+    let queries: Vec<Vec<String>> = queries.into_iter().take(60).collect();
+    let baseline: Vec<SuggestResponse> = queries
+        .iter()
+        .map(|q| sequential.suggest_keywords(q))
+        .collect();
+    let mut pruned_somewhere = false;
+    for threads in [2usize, 8] {
+        let pooled = XCleanEngine::from_shared(
+            engine.corpus_shared(),
+            XCleanConfig {
+                num_threads: threads,
+                batch_size: 7,
+                ..tight.clone()
+            },
+        );
+        let batched = pooled.suggest_many_keywords(&queries);
+        for (q, (a, b)) in queries.iter().zip(baseline.iter().zip(batched.iter())) {
+            assert_identical(q, a, b);
+            assert_eq!(
+                a.stats.pruning,
+                b.stats.pruning,
+                "pruning outcome diverged for {:?}",
+                q.join(" ")
+            );
+            pruned_somewhere |= b.stats.pruning.evictions > 0 || b.stats.pruning.rejected > 0;
+        }
+    }
+    assert!(
+        pruned_somewhere,
+        "γ=4 never bound on this workload — the test exercises nothing"
+    );
+}
+
 /// Repeated sequential runs are bit-identical too (no HashMap iteration
 /// order, clock, or address-dependent behaviour leaks into scores).
 #[test]
