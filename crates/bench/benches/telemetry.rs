@@ -1,0 +1,54 @@
+//! Benchmark: telemetry overhead on the suggestion hot path.
+//!
+//! Two engines answer the same workload: tracing disabled (the default —
+//! an inert tracer plus a handful of relaxed atomic metric adds per
+//! query, which the DESIGN.md §9 overhead contract requires to be
+//! negligible) and full span tracing. The spread between the two bars is
+//! the opt-in cost of `--trace-out`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xclean::{Telemetry, XCleanConfig, XCleanEngine};
+use xclean_datagen::{generate_dblp, make_workload, DblpConfig, Perturbation, WorkloadSpec};
+
+fn setup() -> (XCleanEngine, Vec<Vec<String>>) {
+    let tree = generate_dblp(&DblpConfig {
+        publications: 2_000,
+        ..Default::default()
+    });
+    let engine = XCleanEngine::new(tree, XCleanConfig::default());
+    let set = make_workload(
+        engine.corpus(),
+        &WorkloadSpec {
+            n_queries: 20,
+            ..WorkloadSpec::dblp(Perturbation::Rand)
+        },
+    );
+    let queries = set.cases.into_iter().map(|c| c.dirty).collect();
+    (engine, queries)
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let (base, queries) = setup();
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    let variants: [(&str, Telemetry); 2] = [
+        ("tracing_off", Telemetry::disabled()),
+        ("tracing_on", Telemetry::with_tracing()),
+    ];
+    for (name, telemetry) in variants {
+        let engine = XCleanEngine::from_shared(base.corpus_shared(), base.config().clone())
+            .with_telemetry(telemetry);
+        group.bench_with_input(BenchmarkId::new("suggest", name), &engine, |b, e| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(e.suggest_keywords(q));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

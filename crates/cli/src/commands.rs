@@ -8,8 +8,9 @@
 //! ```
 
 use std::io::Write;
+use std::time::Duration;
 
-use xclean::{Semantics, XCleanConfig, XCleanEngine};
+use xclean::{RunStats, Semantics, Telemetry, XCleanConfig, XCleanEngine};
 use xclean_datagen::{generate_dblp, generate_inex, DblpConfig, InexConfig};
 use xclean_index::{storage, CorpusIndex};
 use xclean_xmltree::{parse_document, to_xml, TreeStats};
@@ -47,10 +48,16 @@ USAGE:
             [--k N] [--beta B] [--gamma G] [--epsilon E] [--min-depth D]
             [--semantics node-type|slca|elca] [--phonetic DIST]
             [--space-edits TAU] [--preview N] [--threads N] [--json]
+            [--trace-out trace.json] [--metrics-json]
     xclean suggest <data.xml | index.xci> --batch <workload.txt>
             [--threads N] [--k N] [… same tuning flags] [--json]
+            [--trace-out trace.json] [--metrics-json]
             (workload file: one query per line; blank lines and
              #-comments are skipped; --threads sizes the worker pool)
+            (--trace-out writes a Chrome trace-event JSON of the query's
+             pipeline spans — load it in Perfetto / chrome://tracing;
+             --metrics-json appends the engine's aggregated counters and
+             p50/p95/p99 stage histograms as one JSON line)
     xclean stats <data.xml | index.xci>
     xclean generate <dblp | inex> --out <corpus.xml> [--size N] [--seed S]
 ";
@@ -113,8 +120,82 @@ fn cmd_index(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     )]))
 }
 
+/// Renders the per-stage summary table: stage, time, share of `total`,
+/// and the counters that explain where that time went.
+fn stage_table(stats: &RunStats, total: Duration, suggestions: usize) -> Vec<String> {
+    let total_nanos = (total.as_nanos() as u64).max(1);
+    let row = |stage: &str, nanos: u64, counters: String| {
+        format!(
+            "  {:<6} {:>9.3}ms {:>6.1}%  {counters}",
+            stage,
+            nanos as f64 / 1e6,
+            100.0 * nanos as f64 / total_nanos as f64,
+        )
+    };
+    vec![
+        format!("  {:<6} {:>11} {:>7}  counters", "stage", "time", "%"),
+        row(
+            "slots",
+            stats.slot_nanos,
+            "variant generation (FastSS + phonetic)".to_string(),
+        ),
+        row(
+            "walk",
+            stats.walk_nanos,
+            format!(
+                "{} subtrees; {} postings read, {} skipped in {} skip_to calls",
+                stats.subtrees, stats.access.read, stats.access.skipped, stats.access.skip_calls
+            ),
+        ),
+        row(
+            "rank",
+            stats.rank_nanos,
+            format!(
+                "{} candidates, {} entities, {} result types; γ: {} evicted, {} rejected",
+                stats.candidates_enumerated,
+                stats.entities_scored,
+                stats.result_type_computations,
+                stats.pruning.evictions,
+                stats.pruning.rejected
+            ),
+        ),
+        row(
+            "total",
+            total_nanos,
+            format!(
+                "{} score partition(s), {} suggestion(s)",
+                stats.score_partitions, suggestions
+            ),
+        ),
+    ]
+}
+
+/// Sums per-response stats for the batch-mode stage table (stage times
+/// are CPU time across all workers, so they can exceed wall-clock).
+fn merge_batch_stats(responses: &[xclean::SuggestResponse]) -> (RunStats, Duration, usize) {
+    let mut merged = RunStats::default();
+    let mut cpu = Duration::ZERO;
+    let mut suggestions = 0usize;
+    for r in responses {
+        merged.subtrees += r.stats.subtrees;
+        merged.candidates_enumerated += r.stats.candidates_enumerated;
+        merged.result_type_computations += r.stats.result_type_computations;
+        merged.entities_scored += r.stats.entities_scored;
+        merged.access += r.stats.access;
+        merged.pruning.evictions += r.stats.pruning.evictions;
+        merged.pruning.rejected += r.stats.pruning.rejected;
+        merged.slot_nanos += r.stats.slot_nanos;
+        merged.walk_nanos += r.stats.walk_nanos;
+        merged.rank_nanos += r.stats.rank_nanos;
+        merged.score_partitions = merged.score_partitions.max(r.stats.score_partitions);
+        cpu += r.elapsed;
+        suggestions += r.suggestions.len();
+    }
+    (merged, cpu, suggestions)
+}
+
 fn cmd_suggest(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
-    let args = Args::parse(raw, &["json"])?;
+    let args = Args::parse(raw, &["json", "metrics-json"])?;
     args.reject_unknown(&[
         "k",
         "beta",
@@ -128,6 +209,8 @@ fn cmd_suggest(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         "preview",
         "threads",
         "batch",
+        "trace-out",
+        "metrics-json",
     ])?;
     let [input, query @ ..] = args.positional() else {
         return Err(ArgError("usage: xclean suggest <data> <query…>".into()));
@@ -179,16 +262,42 @@ fn cmd_suggest(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     };
     let tau: u32 = args.get_parsed("space-edits", 0u32)?;
 
+    let trace_out = args.get("trace-out").map(str::to_string);
     let corpus = load_corpus(input)?;
-    let engine = XCleanEngine::from_corpus(corpus, config).with_semantics(semantics);
-    if let Some(batch) = batch_file {
+    let mut engine = XCleanEngine::from_corpus(corpus, config).with_semantics(semantics);
+    if trace_out.is_some() {
+        // Span capture is opt-in; the metrics registry is always live.
+        engine = engine.with_telemetry(Telemetry::with_tracing());
+    }
+    let mut out = if let Some(batch) = batch_file {
         if tau > 0 {
             return Err(ArgError(
                 "--space-edits is not supported with --batch".into(),
             ));
         }
-        return cmd_suggest_batch(&engine, batch, args.has_flag("json"));
+        cmd_suggest_batch(&engine, batch, args.has_flag("json"))?
+    } else {
+        cmd_suggest_one(&engine, &args, query, tau)?
+    };
+    if let Some(path) = trace_out {
+        let spans = engine.tracer().finished_spans().len();
+        std::fs::write(&path, engine.tracer().chrome_trace_json())
+            .map_err(|e| ArgError(format!("{path}: {e}")))?;
+        out.lines
+            .push(format!("trace: {spans} spans → {path} (chrome://tracing)"));
     }
+    if args.has_flag("metrics-json") {
+        out.lines.push(engine.metrics().metrics_json());
+    }
+    Ok(out)
+}
+
+fn cmd_suggest_one(
+    engine: &XCleanEngine,
+    args: &Args,
+    query: &[String],
+    tau: u32,
+) -> Result<CmdOutput, ArgError> {
     let query_str = query.join(" ");
     let response = if tau > 0 {
         engine.suggest_with_space_edits(&query_str, tau)
@@ -232,17 +341,10 @@ fn cmd_suggest(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
                 }
             }
         }
-        lines.push(format!(
-            "[{:?}; {} subtrees, {} postings read / {} skipped in {} skip_to calls; \
-             slots {:.2}ms, walk {:.2}ms, rank {:.2}ms]",
+        lines.extend(stage_table(
+            &response.stats,
             response.elapsed,
-            response.stats.subtrees,
-            response.stats.postings_read,
-            response.stats.postings_skipped,
-            response.stats.skip_calls,
-            response.stats.slot_nanos as f64 / 1e6,
-            response.stats.walk_nanos as f64 / 1e6,
-            response.stats.rank_nanos as f64 / 1e6
+            response.suggestions.len(),
         ));
     }
     Ok(CmdOutput::ok(lines))
@@ -311,6 +413,10 @@ fn cmd_suggest_batch(engine: &XCleanEngine, path: &str, json: bool) -> Result<Cm
             engine.config().num_threads,
             qps
         ));
+        // Stage shares are of summed per-query CPU time, not wall-clock,
+        // so they stay meaningful however wide the worker pool is.
+        let (merged, cpu, suggestions) = merge_batch_stats(&responses);
+        lines.extend(stage_table(&merged, cpu, suggestions));
     }
     Ok(CmdOutput::ok(lines))
 }
@@ -533,8 +639,9 @@ mod tests {
                 threads,
             ]));
             assert_eq!(out.code, 0, "{threads}: {:?}", out.lines);
-            // 3 query lines (comment + blank skipped) + 1 summary line.
-            assert_eq!(out.lines.len(), 4, "{:?}", out.lines);
+            // 3 query lines (comment + blank skipped) + 1 summary line
+            // + 5 stage-table lines (header, slots, walk, rank, total).
+            assert_eq!(out.lines.len(), 9, "{:?}", out.lines);
             assert!(out.lines[0].contains("health insurance"), "{:?}", out.lines);
             assert!(out.lines[1].contains("program instance"), "{:?}", out.lines);
             assert!(
@@ -543,6 +650,8 @@ mod tests {
                 out.lines
             );
             assert!(out.lines[3].contains("3 queries"), "{:?}", out.lines);
+            assert!(out.lines[4].contains("stage"), "{:?}", out.lines);
+            assert!(out.lines[6].contains("postings read"), "{:?}", out.lines);
         }
     }
 
@@ -604,5 +713,119 @@ mod tests {
         let out = run(argv(&["stats", "/nonexistent/file.xml"]));
         assert_eq!(out.code, 2);
         assert!(out.lines[0].contains("error"));
+    }
+
+    #[test]
+    fn suggest_prints_stage_table() {
+        let xml = write_sample_xml("stage_table.xml");
+        let out = run(argv(&["suggest", &xml, "helth", "insurance"]));
+        assert_eq!(out.code, 0, "{:?}", out.lines);
+        let table: Vec<&String> = out.lines.iter().filter(|l| l.starts_with("  ")).collect();
+        assert_eq!(table.len(), 5, "{:?}", out.lines);
+        assert!(table[0].contains("stage") && table[0].contains("counters"));
+        assert!(table[1].contains("slots"));
+        assert!(table[2].contains("walk") && table[2].contains("postings read"));
+        assert!(table[3].contains("rank") && table[3].contains("candidates"));
+        assert!(table[4].contains("total") && table[4].contains("suggestion"));
+        for row in &table[1..] {
+            assert!(row.contains("ms") && row.contains('%'), "{row}");
+        }
+    }
+
+    #[test]
+    fn trace_out_writes_chrome_trace_json() {
+        let xml = write_sample_xml("trace.xml");
+        let trace = tmp("trace.json").to_string_lossy().into_owned();
+        let out = run(argv(&[
+            "suggest",
+            &xml,
+            "helth",
+            "insurance",
+            "--trace-out",
+            &trace,
+        ]));
+        assert_eq!(out.code, 0, "{:?}", out.lines);
+        assert!(
+            out.lines.iter().any(|l| l.contains("trace:")),
+            "{:?}",
+            out.lines
+        );
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let events = v["traceEvents"].as_array().expect("traceEvents array");
+        assert!(!events.is_empty());
+        let names: Vec<&str> = events.iter().map(|e| e["name"].as_str().unwrap()).collect();
+        for expected in ["suggest", "slot_build", "variant_gen", "rank"] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        assert!(
+            names
+                .iter()
+                .any(|n| *n == "walk_accumulate" || *n == "score_partition"),
+            "{names:?}"
+        );
+        for e in events {
+            assert_eq!(e["ph"].as_str(), Some("X"), "{e:?}");
+            assert!(e["ts"].as_u64().is_some() || e["ts"].as_f64().is_some());
+            assert!(e["dur"].as_u64().is_some() || e["dur"].as_f64().is_some());
+        }
+    }
+
+    #[test]
+    fn metrics_json_reports_counters_and_stage_histograms() {
+        let xml = write_sample_xml("metrics.xml");
+        let out = run(argv(&[
+            "suggest",
+            &xml,
+            "helth",
+            "insurance",
+            "--metrics-json",
+        ]));
+        assert_eq!(out.code, 0, "{:?}", out.lines);
+        let v: serde_json::Value =
+            serde_json::from_str(out.lines.last().unwrap()).expect("metrics JSON line");
+        assert_eq!(v["counters"]["xclean_queries_total"].as_u64(), Some(1));
+        assert!(
+            v["counters"]["xclean_postings_read_total"]
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+        let stages = [
+            "xclean_stage_slot_nanos",
+            "xclean_stage_walk_nanos",
+            "xclean_stage_rank_nanos",
+            "xclean_stage_partition_walk_nanos",
+            "xclean_stage_total_nanos",
+        ];
+        for s in stages {
+            let h = &v["histograms"][s];
+            assert!(h["count"].as_u64().unwrap() >= 1, "{s}: {h:?}");
+            for q in ["p50", "p95", "p99"] {
+                assert!(h[q].as_u64().is_some(), "{s} missing {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_metrics_aggregate_across_workers() {
+        let xml = write_sample_xml("batch_metrics.xml");
+        let wl = write_workload("batch_metrics.txt");
+        let out = run(argv(&[
+            "suggest",
+            &xml,
+            "--batch",
+            &wl,
+            "--threads",
+            "4",
+            "--metrics-json",
+        ]));
+        assert_eq!(out.code, 0, "{:?}", out.lines);
+        let v: serde_json::Value = serde_json::from_str(out.lines.last().unwrap()).unwrap();
+        assert_eq!(v["counters"]["xclean_queries_total"].as_u64(), Some(3));
+        assert_eq!(
+            v["histograms"]["xclean_stage_total_nanos"]["count"].as_u64(),
+            Some(3)
+        );
     }
 }

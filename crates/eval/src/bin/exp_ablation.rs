@@ -36,8 +36,8 @@ fn run(
     let start = std::time::Instant::now();
     for case in &set.cases {
         let resp = engine.suggest_keywords_with(&case.dirty, cfg);
-        out.postings_read += resp.stats.postings_read;
-        out.postings_skipped += resp.stats.postings_skipped;
+        out.postings_read += resp.stats.access.read;
+        out.postings_skipped += resp.stats.access.skipped;
         out.subtrees += resp.stats.subtrees;
         out.candidates += resp.stats.candidates_enumerated;
         out.evictions += resp.stats.pruning.evictions;

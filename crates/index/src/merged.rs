@@ -26,6 +26,10 @@ pub struct MergedEntry<'a> {
 }
 
 /// Counters of posting-list I/O performed by a [`MergedList`].
+///
+/// Also the unit in which the engine reports posting I/O per run:
+/// `RunStats::access` in `crates/xclean` sums the per-list stats with
+/// [`AccessStats::add_assign`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct AccessStats {
     /// Postings returned by `next()` (actually consumed).
@@ -34,6 +38,14 @@ pub struct AccessStats {
     pub skipped: u64,
     /// Number of `skip_to` calls.
     pub skip_calls: u64,
+}
+
+impl std::ops::AddAssign for AccessStats {
+    fn add_assign(&mut self, rhs: AccessStats) {
+        self.read += rhs.read;
+        self.skipped += rhs.skipped;
+        self.skip_calls += rhs.skip_calls;
+    }
 }
 
 struct Cursor<'a> {

@@ -1,0 +1,154 @@
+//! # xclean-telemetry
+//!
+//! Dependency-free observability for the XClean engine (DESIGN.md §9):
+//!
+//! - [`Tracer`] — a lightweight hierarchical span tracer. Spans carry a
+//!   name, optional detail, start/duration in nanoseconds relative to the
+//!   tracer's epoch, a parent span, and the recording thread. A disabled
+//!   tracer is a zero-allocation no-op: [`Tracer::span`] returns an inert
+//!   guard without touching thread-locals or the clock.
+//! - [`MetricsRegistry`] — named monotonic [`Counter`]s and log-bucketed
+//!   latency [`Histogram`]s (p50/p95/p99). All recording is lock-free
+//!   (atomic adds); the registry lock is only taken on first registration
+//!   of a name, so a pool of worker threads never serialises on it.
+//! - Exporters — [`Tracer::chrome_trace_json`] emits Chrome trace-event
+//!   JSON (loadable in `chrome://tracing` / Perfetto);
+//!   [`MetricsRegistry::metrics_text`] emits the Prometheus text format
+//!   and [`MetricsRegistry::metrics_json`] a JSON snapshot.
+//!
+//! The crate is intentionally free of workspace and external
+//! dependencies so every layer (index, engine, CLI, benches) can depend
+//! on it without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{Counter, Histogram, HistogramSummary, MetricsRegistry};
+pub use span::{SpanGuard, SpanRecord, Tracer};
+
+/// Canonical metric names used by the engine, shared between the
+/// recording side (`crates/xclean`) and consumers (CLI, tests) so the two
+/// can never drift apart.
+pub mod names {
+    /// Queries answered over the engine lifetime.
+    pub const QUERIES: &str = "xclean_queries_total";
+    /// Suggestions returned (post top-k truncation).
+    pub const SUGGESTIONS: &str = "xclean_suggestions_total";
+    /// Gating subtrees processed.
+    pub const SUBTREES: &str = "xclean_subtrees_total";
+    /// Candidate queries enumerated (with multiplicity).
+    pub const CANDIDATES: &str = "xclean_candidates_enumerated_total";
+    /// Distinct result-type computations.
+    pub const RESULT_TYPES: &str = "xclean_result_type_computations_total";
+    /// Entity score contributions accumulated.
+    pub const ENTITIES: &str = "xclean_entities_scored_total";
+    /// Postings consumed via `next()` across all merged lists.
+    pub const POSTINGS_READ: &str = "xclean_postings_read_total";
+    /// Postings jumped by `skip_to` across all merged lists.
+    pub const POSTINGS_SKIPPED: &str = "xclean_postings_skipped_total";
+    /// `skip_to` invocations.
+    pub const SKIP_CALLS: &str = "xclean_skip_calls_total";
+    /// Accumulators evicted by γ-pruning.
+    pub const EVICTIONS: &str = "xclean_pruning_evictions_total";
+    /// Contributions rejected after eviction.
+    pub const REJECTED: &str = "xclean_pruning_rejected_total";
+    /// Latency histogram: variant-slot construction.
+    pub const STAGE_SLOT: &str = "xclean_stage_slot_nanos";
+    /// Latency histogram: walk + accumulate phase.
+    pub const STAGE_WALK: &str = "xclean_stage_walk_nanos";
+    /// Latency histogram: finalise + rank phase.
+    pub const STAGE_RANK: &str = "xclean_stage_rank_nanos";
+    /// Latency histogram: one scoring partition's walk (per worker).
+    pub const STAGE_PARTITION: &str = "xclean_stage_partition_walk_nanos";
+    /// Latency histogram: whole `suggest` call.
+    pub const STAGE_TOTAL: &str = "xclean_stage_total_nanos";
+}
+
+/// The telemetry bundle an engine carries: a span tracer (disabled by
+/// default) plus a metrics registry (always live — recording is a handful
+/// of atomic adds per query).
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    tracer: Tracer,
+    metrics: MetricsRegistry,
+}
+
+impl Telemetry {
+    /// Telemetry with tracing disabled (the default): spans are no-ops,
+    /// metrics still aggregate.
+    pub fn disabled() -> Self {
+        Telemetry::default()
+    }
+
+    /// Telemetry with span tracing enabled.
+    pub fn with_tracing() -> Self {
+        Telemetry {
+            tracer: Tracer::enabled(),
+            metrics: MetricsRegistry::default(),
+        }
+    }
+
+    /// The span tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal (shared by the
+/// exporters; names and details are engine-controlled but query text may
+/// carry anything).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_telemetry_is_disabled() {
+        let t = Telemetry::default();
+        assert!(!t.tracer().is_enabled());
+        {
+            let _g = t.tracer().span("noop");
+        }
+        assert!(t.tracer().finished_spans().is_empty());
+    }
+
+    #[test]
+    fn with_tracing_records() {
+        let t = Telemetry::with_tracing();
+        assert!(t.tracer().is_enabled());
+        {
+            let _g = t.tracer().span("root");
+        }
+        assert_eq!(t.tracer().finished_spans().len(), 1);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

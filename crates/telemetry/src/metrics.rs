@@ -1,0 +1,371 @@
+//! Engine-lifetime metrics: named counters and log-bucketed histograms.
+//!
+//! Recording is lock-free: counters are single `AtomicU64`s and a
+//! histogram is a fixed array of atomic buckets, so the `suggest_many`
+//! worker pool aggregates into one registry without serialising. The
+//! registry's interior lock is taken only when a *name* is first
+//! registered; hot paths hold pre-resolved `Arc` handles.
+//!
+//! **Bucket scheme** (documented in DESIGN.md §9): bucket `i ≥ 1` covers
+//! values in `[2^(i-1), 2^i)`; bucket 0 holds the value 0. Quantiles are
+//! answered with the *upper bound* of the bucket where the cumulative
+//! count crosses the rank, i.e. an over-estimate by at most 2× — the
+//! right trade-off for latency monitoring where order of magnitude and
+//! tail direction matter more than the third significant digit.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::json_escape;
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket 0 plus one per power of two up to
+/// `2^63`.
+const HIST_BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of `u64` samples (typically nanoseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Median upper bound.
+    pub p50: u64,
+    /// 95th-percentile upper bound.
+    pub p95: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+}
+
+impl Histogram {
+    fn bucket_of(value: u64) -> usize {
+        // 0 → 0; v ≥ 1 → floor(log2 v) + 1, capped at the last bucket.
+        (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// The inclusive upper bound of a bucket (what quantiles report).
+    fn bucket_upper(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            i if i >= HIST_BUCKETS - 1 => u64::MAX,
+            i => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as the upper bound of the bucket
+    /// holding the rank-`⌈q·count⌉` sample; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Self::bucket_upper(i);
+            }
+        }
+        Self::bucket_upper(HIST_BUCKETS - 1)
+    }
+
+    /// Count/sum/p50/p95/p99 snapshot.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: RwLock<BTreeMap<&'static str, Arc<Counter>>>,
+    histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+/// Shared registry of named counters and histograms; cheap to clone.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// Returns (registering on first use) the counter named `name`.
+    /// Callers on hot paths should resolve once and keep the `Arc`.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        if let Some(c) = self.inner.counters.read().expect("lock").get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.inner
+                .counters
+                .write()
+                .expect("lock")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    /// Returns (registering on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        if let Some(h) = self.inner.histograms.read().expect("lock").get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.inner
+                .histograms
+                .write()
+                .expect("lock")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    /// Value of a counter, if registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.inner
+            .counters
+            .read()
+            .expect("lock")
+            .get(name)
+            .map(|c| c.get())
+    }
+
+    /// Summary of a histogram, if registered.
+    pub fn histogram_summary(&self, name: &str) -> Option<HistogramSummary> {
+        self.inner
+            .histograms
+            .read()
+            .expect("lock")
+            .get(name)
+            .map(|h| h.summary())
+    }
+
+    /// Prometheus text-format snapshot: counters as `counter` metrics,
+    /// histograms as `summary` metrics with p50/p95/p99 quantile labels.
+    pub fn metrics_text(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.inner.counters.read().expect("lock").iter() {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+        }
+        for (name, h) in self.inner.histograms.read().expect("lock").iter() {
+            let s = h.summary();
+            out.push_str(&format!(
+                "# TYPE {name} summary\n\
+                 {name}{{quantile=\"0.5\"}} {}\n\
+                 {name}{{quantile=\"0.95\"}} {}\n\
+                 {name}{{quantile=\"0.99\"}} {}\n\
+                 {name}_sum {}\n\
+                 {name}_count {}\n",
+                s.p50, s.p95, s.p99, s.sum, s.count
+            ));
+        }
+        out
+    }
+
+    /// JSON snapshot:
+    /// `{"counters": {name: value, …},
+    ///   "histograms": {name: {count, sum, p50, p95, p99}, …}}`.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, c)) in self.inner.counters.read().expect("lock").iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(name), c.get()));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self
+            .inner
+            .histograms
+            .read()
+            .expect("lock")
+            .iter()
+            .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            let s = h.summary();
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                json_escape(name),
+                s.count,
+                s.sum,
+                s.p50,
+                s.p95,
+                s.p99
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let r = MetricsRegistry::default();
+        let a = r.counter("xclean_test_total");
+        let b = r.counter("xclean_test_total");
+        a.add(3);
+        b.inc();
+        assert_eq!(r.counter_value("xclean_test_total"), Some(4));
+        assert_eq!(r.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let r = MetricsRegistry::default();
+        let c = r.counter("xclean_mt_total");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_upper(0), 0);
+        assert_eq!(Histogram::bucket_upper(1), 1);
+        assert_eq!(Histogram::bucket_upper(10), 1023);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let h = Histogram::default();
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            h.record(v);
+        }
+        // 9 of 10 samples in bucket 1 (upper bound 1): p50 = 1, p90 = 1;
+        // the straggler pushes p99 into 1000's bucket [512, 1024) → 1023.
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(0.9), 1);
+        assert_eq!(h.quantile(0.99), 1023);
+        let s = h.summary();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.sum, 1009);
+        assert_eq!(s.p50, 1);
+        assert_eq!(s.p99, 1023);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.summary().count, 0);
+    }
+
+    #[test]
+    fn prometheus_text_format() {
+        let r = MetricsRegistry::default();
+        r.counter("xclean_queries_total").add(2);
+        r.histogram("xclean_stage_walk_nanos").record(700);
+        let text = r.metrics_text();
+        assert!(text.contains("# TYPE xclean_queries_total counter"));
+        assert!(text.contains("xclean_queries_total 2"));
+        assert!(text.contains("# TYPE xclean_stage_walk_nanos summary"));
+        assert!(text.contains("xclean_stage_walk_nanos{quantile=\"0.5\"} 1023"));
+        assert!(text.contains("xclean_stage_walk_nanos_sum 700"));
+        assert!(text.contains("xclean_stage_walk_nanos_count 1"));
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let r = MetricsRegistry::default();
+        r.counter("xclean_queries_total").inc();
+        r.histogram("xclean_stage_rank_nanos").record(5);
+        let json = r.metrics_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"xclean_queries_total\":1"));
+        assert!(json.contains("\"xclean_stage_rank_nanos\":{\"count\":1,\"sum\":5"));
+        assert!(json.contains("\"p99\":"));
+    }
+}

@@ -1,0 +1,337 @@
+//! Hierarchical span tracing.
+//!
+//! A [`Tracer`] hands out RAII [`SpanGuard`]s; the guard records a
+//! [`SpanRecord`] into a sharded buffer when dropped. Parent attribution
+//! uses a thread-local stack of open spans (spans are strictly nested per
+//! thread by guard drop order), and each recording thread is tagged with
+//! a small stable id so traces from the `suggest_many` worker pool land
+//! in separate Chrome-trace lanes.
+//!
+//! **Disabled-path contract:** a disabled tracer performs *no* work —
+//! [`Tracer::span`] is a branch on an `Option` that returns an inert
+//! guard without reading the clock, touching thread-local state, or
+//! allocating. The detail closure of [`Tracer::span_with`] is never
+//! evaluated when disabled.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json_escape;
+
+/// Number of finished-span buffers; pushes shard by recording thread so
+/// pool workers rarely contend on the same mutex.
+const SHARDS: usize = 16;
+
+/// One finished span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique id within the tracer (allocation order, starts at 1).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Static span name (e.g. `"walk_accumulate"`).
+    pub name: &'static str,
+    /// Optional dynamic detail (query text, partition index, …).
+    pub detail: Option<String>,
+    /// Start offset from the tracer epoch, in nanoseconds.
+    pub start_nanos: u64,
+    /// Span duration in nanoseconds (≥ 1 by construction).
+    pub dur_nanos: u64,
+    /// Small stable id of the recording thread (1, 2, …).
+    pub thread: u64,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    /// Distinguishes tracers on the shared thread-local span stack.
+    tracer_id: u64,
+    epoch: Instant,
+    next_span: AtomicU64,
+    shards: Vec<Mutex<Vec<SpanRecord>>>,
+}
+
+static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_TAG: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Small per-thread id, assigned on first span recorded by a thread.
+    static THREAD_TAG: Cell<u64> = const { Cell::new(0) };
+    /// Stack of open spans on this thread as `(tracer_id, span_id)`.
+    /// Keyed by tracer so two live tracers interleaving on one thread
+    /// cannot adopt each other's spans as parents.
+    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn thread_tag() -> u64 {
+    THREAD_TAG.with(|t| {
+        let mut tag = t.get();
+        if tag == 0 {
+            tag = NEXT_THREAD_TAG.fetch_add(1, Ordering::Relaxed);
+            t.set(tag);
+        }
+        tag
+    })
+}
+
+/// Hierarchical span tracer; cheap to clone (shared buffers) and safe to
+/// use from many threads at once.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing, for free.
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// A tracer that records spans.
+    pub fn enabled() -> Self {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                tracer_id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+                epoch: Instant::now(),
+                next_span: AtomicU64::new(1),
+                shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            })),
+        }
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span; it is recorded when the returned guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.start(name, None)
+    }
+
+    /// Like [`Tracer::span`] with a lazily-built detail string. The
+    /// closure only runs when the tracer is enabled, so dynamic labels
+    /// cost nothing on the disabled path.
+    pub fn span_with(&self, name: &'static str, detail: impl FnOnce() -> String) -> SpanGuard<'_> {
+        if self.inner.is_some() {
+            self.start(name, Some(detail()))
+        } else {
+            SpanGuard { active: None }
+        }
+    }
+
+    fn start(&self, name: &'static str, detail: Option<String>) -> SpanGuard<'_> {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { active: None };
+        };
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s
+                .iter()
+                .rev()
+                .find(|&&(t, _)| t == inner.tracer_id)
+                .map(|&(_, id)| id);
+            s.push((inner.tracer_id, id));
+            parent
+        });
+        SpanGuard {
+            active: Some(ActiveSpan {
+                inner,
+                id,
+                parent,
+                name,
+                detail,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Snapshot of all finished spans, in start order.
+    pub fn finished_spans(&self) -> Vec<SpanRecord> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut out: Vec<SpanRecord> = Vec::new();
+        for shard in &inner.shards {
+            out.extend(shard.lock().expect("span shard poisoned").iter().cloned());
+        }
+        out.sort_by_key(|s| (s.start_nanos, s.id));
+        out
+    }
+
+    /// Exports all finished spans as Chrome trace-event JSON (the
+    /// `{"traceEvents": [...]}` envelope with complete — `"ph": "X"` —
+    /// events), loadable in `chrome://tracing` and Perfetto. Timestamps
+    /// and durations are microseconds with nanosecond precision.
+    pub fn chrome_trace_json(&self) -> String {
+        let spans = self.finished_spans();
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"xclean\",\"ph\":\"X\",\
+                 \"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"span_id\":{}",
+                json_escape(s.name),
+                s.start_nanos as f64 / 1e3,
+                s.dur_nanos as f64 / 1e3,
+                s.thread,
+                s.id,
+            ));
+            if let Some(p) = s.parent {
+                out.push_str(&format!(",\"parent_id\":{p}"));
+            }
+            if let Some(d) = &s.detail {
+                out.push_str(&format!(",\"detail\":\"{}\"", json_escape(d)));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[derive(Debug)]
+struct ActiveSpan<'a> {
+    inner: &'a Arc<TracerInner>,
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    detail: Option<String>,
+    start: Instant,
+}
+
+/// RAII guard for an open span; records the span when dropped. Inert (all
+/// methods and the drop are no-ops) when the tracer is disabled.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    active: Option<ActiveSpan<'a>>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let dur_nanos = (active.start.elapsed().as_nanos() as u64).max(1);
+        let start_nanos = (active.start - active.inner.epoch).as_nanos() as u64;
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Guards drop in strict nesting order per thread, so our entry
+            // is the deepest one belonging to this tracer.
+            if let Some(pos) = s
+                .iter()
+                .rposition(|&(t, id)| t == active.inner.tracer_id && id == active.id)
+            {
+                s.remove(pos);
+            }
+        });
+        let tag = thread_tag();
+        let shard = &active.inner.shards[(tag as usize) % SHARDS];
+        shard.lock().expect("span shard poisoned").push(SpanRecord {
+            id: active.id,
+            parent: active.parent,
+            name: active.name,
+            detail: active.detail,
+            start_nanos,
+            dur_nanos,
+            thread: tag,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        {
+            let _a = t.span("a");
+            let _b = t.span_with("b", || panic!("detail closure must not run"));
+        }
+        assert!(t.finished_spans().is_empty());
+        assert_eq!(t.chrome_trace_json(), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn spans_nest_and_record_parents() {
+        let t = Tracer::enabled();
+        {
+            let _root = t.span("root");
+            {
+                let _child = t.span("child");
+                let _grandchild = t.span("grandchild");
+            }
+            let _sibling = t.span("sibling");
+        }
+        let spans = t.finished_spans();
+        assert_eq!(spans.len(), 4);
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        let root = by_name("root");
+        assert_eq!(root.parent, None);
+        assert_eq!(by_name("child").parent, Some(root.id));
+        assert_eq!(by_name("grandchild").parent, Some(by_name("child").id));
+        assert_eq!(by_name("sibling").parent, Some(root.id));
+        for s in &spans {
+            assert!(s.dur_nanos >= 1);
+        }
+        // Parent spans start no later and end no earlier than children.
+        let child = by_name("child");
+        assert!(root.start_nanos <= child.start_nanos);
+        assert!(root.start_nanos + root.dur_nanos >= child.start_nanos + child.dur_nanos);
+    }
+
+    #[test]
+    fn two_tracers_do_not_adopt_each_others_spans() {
+        let a = Tracer::enabled();
+        let b = Tracer::enabled();
+        {
+            let _outer = a.span("outer_a");
+            let _inner = b.span("inner_b"); // must NOT parent under outer_a
+            let _leaf = a.span("leaf_a"); // must parent under outer_a
+        }
+        assert_eq!(b.finished_spans()[0].parent, None);
+        let spans = a.finished_spans();
+        let outer = spans.iter().find(|s| s.name == "outer_a").unwrap();
+        let leaf = spans.iter().find(|s| s.name == "leaf_a").unwrap();
+        assert_eq!(leaf.parent, Some(outer.id));
+    }
+
+    #[test]
+    fn threads_get_distinct_lanes() {
+        let t = Tracer::enabled();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let _s = t.span("worker");
+                });
+            }
+        });
+        let spans = t.finished_spans();
+        assert_eq!(spans.len(), 2);
+        assert_ne!(spans[0].thread, spans[1].thread);
+        // Cross-thread spans have no parent (the stack is thread-local).
+        assert!(spans.iter().all(|s| s.parent.is_none()));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let t = Tracer::enabled();
+        {
+            let _s = t.span_with("suggest", || "helth \"insurance\"".into());
+        }
+        let json = t.chrome_trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"suggest\""));
+        assert!(json.contains("helth \\\"insurance\\\""));
+        assert!(json.contains("\"pid\":1"));
+    }
+}

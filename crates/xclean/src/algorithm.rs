@@ -41,8 +41,9 @@
 use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 
-use xclean_index::{CorpusIndex, TokenId};
+use xclean_index::{AccessStats, CorpusIndex, TokenId};
 use xclean_lm::{ErrorModel, LanguageModel};
+use xclean_telemetry::{names, Telemetry};
 use xclean_xmltree::{NodeId, PathId};
 
 use crate::config::{EntityPrior, XCleanConfig};
@@ -86,20 +87,22 @@ pub struct RunStats {
     pub result_type_computations: u64,
     /// Entity score contributions accumulated.
     pub entities_scored: u64,
-    /// Postings consumed via `next()` across all merged lists.
-    pub postings_read: u64,
-    /// Postings jumped by `skip_to` across all merged lists.
-    pub postings_skipped: u64,
-    /// `skip_to` invocations across all merged lists.
-    pub skip_calls: u64,
+    /// Posting-list I/O summed over all merged lists (postings read via
+    /// `next()`, postings jumped by `skip_to`, and `skip_to` call count
+    /// — [`xclean_index::MergedList`]'s own counters, surfaced per run).
+    pub access: AccessStats,
     /// Accumulator-table pruning outcome.
     pub pruning: PruningStats,
-    /// Wall time of variant-slot construction, in nanoseconds (filled in
-    /// by the engine; zero when `run_xclean` is called directly).
+    /// Wall time of variant-slot construction, in nanoseconds. Always
+    /// ≥ 1 on engine paths (`XCleanEngine::suggest*`); zero only when
+    /// `run_xclean` is called directly, which has no slot phase.
     pub slot_nanos: u64,
-    /// Wall time of the walk + accumulate phase, in nanoseconds.
+    /// Wall time of the walk + accumulate phase, in nanoseconds. Recorded
+    /// (≥ 1) on **every** code path, including the empty-candidate early
+    /// return and the sequential γ-fallback.
     pub walk_nanos: u64,
-    /// Wall time of the finalise + rank phase, in nanoseconds.
+    /// Wall time of the finalise + rank phase, in nanoseconds. Recorded
+    /// (≥ 1) on every code path, like [`RunStats::walk_nanos`].
     pub rank_nanos: u64,
     /// Candidate partitions the scoring phase actually used (1 =
     /// sequential). Stays 1 even with `num_threads > 1` when γ could bind
@@ -120,7 +123,7 @@ impl RunStats {
     /// zero) sequential counters.
     pub fn merge_partitions(parts: &[RunStats]) -> RunStats {
         let mut out = parts.first().copied().unwrap_or_default();
-        for p in &parts[1..] {
+        for p in parts.iter().skip(1) {
             out.result_type_computations += p.result_type_computations;
             out.entities_scored += p.entities_scored;
             out.pruning.evictions += p.pruning.evictions;
@@ -146,30 +149,62 @@ pub struct RunOutput {
 /// partitioning is provably exact (see [`partitioning_is_exact`]); the
 /// output is bit-identical for every thread count either way.
 pub fn run_xclean(corpus: &CorpusIndex, slots: &[KeywordSlot], config: &XCleanConfig) -> RunOutput {
-    if slots.is_empty() || slots.iter().any(|s| s.variants.is_empty()) {
-        // Some keyword has no variant at all: the candidate space is empty.
-        return RunOutput::default();
-    }
+    run_xclean_with(corpus, slots, config, &Telemetry::disabled())
+}
+
+/// Wall time since `start`, clamped to ≥ 1 ns so "this phase ran" is
+/// always distinguishable from "this phase was never recorded" even on
+/// coarse clocks (the assertion-backed guarantee on [`RunStats`]).
+pub(crate) fn nanos_since(start: Instant) -> u64 {
+    (start.elapsed().as_nanos() as u64).max(1)
+}
+
+/// [`run_xclean`] with telemetry: spans around each scoring partition and
+/// the rank phase, and per-partition walk latencies into the
+/// [`names::STAGE_PARTITION`] histogram. Telemetry never influences
+/// scoring — a disabled [`Telemetry`] makes this identical to
+/// [`run_xclean`], and an enabled one changes no output bit.
+pub fn run_xclean_with(
+    corpus: &CorpusIndex,
+    slots: &[KeywordSlot],
+    config: &XCleanConfig,
+    telemetry: &Telemetry,
+) -> RunOutput {
     let walk_start = Instant::now();
-    let parts = if partitioning_is_exact(slots, config) {
+    // Some keyword with no variant at all empties the candidate space;
+    // flow through the common finalise path so every `*_nanos` field is
+    // recorded even on this early-out.
+    let empty = slots.is_empty() || slots.iter().any(|s| s.variants.is_empty());
+    let parts = if !empty && partitioning_is_exact(slots, config) {
         config.num_threads
     } else {
         1
     };
-    let (entries, mut stats) = if parts > 1 {
-        accumulate_parallel(corpus, slots, config, parts)
+    let (entries, mut stats) = if empty {
+        (Vec::new(), RunStats::default())
+    } else if parts > 1 {
+        accumulate_parallel(corpus, slots, config, parts, telemetry)
     } else {
+        let _span = telemetry.tracer().span("walk_accumulate");
+        let part_start = Instant::now();
         let mut stats = RunStats::default();
         let table = accumulate_partition(corpus, slots, config, 0, 1, &mut stats);
         stats.pruning = table.stats();
+        telemetry
+            .metrics()
+            .histogram(names::STAGE_PARTITION)
+            .record(nanos_since(part_start));
         (table.into_entries(), stats)
     };
     stats.score_partitions = parts as u64;
-    stats.walk_nanos = walk_start.elapsed().as_nanos() as u64;
+    stats.walk_nanos = nanos_since(walk_start);
 
     let rank_start = Instant::now();
-    let candidates = finalize_candidates(corpus, config, entries);
-    stats.rank_nanos = rank_start.elapsed().as_nanos() as u64;
+    let candidates = {
+        let _span = telemetry.tracer().span("rank");
+        finalize_candidates(corpus, config, entries)
+    };
+    stats.rank_nanos = nanos_since(rank_start);
     RunOutput { candidates, stats }
 }
 
@@ -326,15 +361,23 @@ fn accumulate_parallel(
     slots: &[KeywordSlot],
     config: &XCleanConfig,
     parts: usize,
+    telemetry: &Telemetry,
 ) -> (Vec<(CandidateKey, Accumulator)>, RunStats) {
+    let part_hist = telemetry.metrics().histogram(names::STAGE_PARTITION);
     let results: Vec<(Vec<(CandidateKey, Accumulator)>, RunStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..parts)
             .map(|part| {
+                let part_hist = std::sync::Arc::clone(&part_hist);
                 scope.spawn(move || {
+                    let _span = telemetry
+                        .tracer()
+                        .span_with("score_partition", || format!("partition {part}/{parts}"));
+                    let part_start = Instant::now();
                     let mut stats = RunStats::default();
                     let table =
                         accumulate_partition(corpus, slots, config, part, parts, &mut stats);
                     stats.pruning = table.stats();
+                    part_hist.record(nanos_since(part_start));
                     (table.into_entries(), stats)
                 })
             })
@@ -561,7 +604,7 @@ mod tests {
         let out = run_xclean(&c, &slots, &XCleanConfig::default());
         assert!(out.stats.subtrees > 0);
         assert!(out.stats.candidates_enumerated > 0);
-        assert!(out.stats.postings_read > 0);
+        assert!(out.stats.access.read > 0);
         assert!(out.stats.entities_scored > 0);
     }
 
@@ -619,7 +662,7 @@ mod tests {
                     par.stats.candidates_enumerated
                 );
                 assert_eq!(seq.stats.entities_scored, par.stats.entities_scored);
-                assert_eq!(seq.stats.skip_calls, par.stats.skip_calls);
+                assert_eq!(seq.stats.access, par.stats.access);
             }
         }
     }
@@ -696,14 +739,157 @@ mod tests {
         let slots = slots_for(&c, &["tree", "icdt"], 1);
         let out = run_xclean(&c, &slots, &XCleanConfig::default());
         assert!(out.stats.walk_nanos > 0);
-        // The rank phase ran over a non-empty candidate set (allocations,
-        // ln/exp, a sort), so its measured wall time is non-zero on any
-        // nanosecond-resolution clock.
         assert!(!out.candidates.is_empty());
         assert!(out.stats.rank_nanos > 0);
         // Slot construction is timed by the engine; the direct entry
-        // point leaves it zero (documented on RunStats).
+        // point has no slot phase (documented on RunStats).
         assert_eq!(out.stats.slot_nanos, 0);
+    }
+
+    #[test]
+    fn phase_timings_recorded_on_every_code_path() {
+        let c = corpus();
+        // Empty-candidate early return: one slot has no variants.
+        let mut slots = slots_for(&c, &["tree", "icdt"], 1);
+        slots[1].variants.clear();
+        let out = run_xclean(&c, &slots, &XCleanConfig::default());
+        assert!(out.candidates.is_empty());
+        assert!(out.stats.walk_nanos > 0, "empty path must record walk");
+        assert!(out.stats.rank_nanos > 0, "empty path must record rank");
+        assert_eq!(out.stats.score_partitions, 1);
+        // Sequential γ-fallback: threads requested but γ could bind.
+        let slots = slots_for(&c, &["tree", "icdt"], 2);
+        let out = run_xclean(
+            &c,
+            &slots,
+            &XCleanConfig {
+                gamma: Some(1),
+                num_threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.stats.score_partitions, 1, "gate must fall back");
+        assert!(out.stats.walk_nanos > 0);
+        assert!(out.stats.rank_nanos > 0);
+        // Partitioned path.
+        let out = run_xclean(
+            &c,
+            &slots,
+            &XCleanConfig {
+                num_threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.stats.score_partitions, 4);
+        assert!(out.stats.walk_nanos > 0);
+        assert!(out.stats.rank_nanos > 0);
+    }
+
+    #[test]
+    fn merge_partitions_sums_scoring_and_keeps_walk_counters() {
+        let part0 = RunStats {
+            subtrees: 7,
+            candidates_enumerated: 20,
+            result_type_computations: 3,
+            entities_scored: 11,
+            access: AccessStats {
+                read: 100,
+                skipped: 40,
+                skip_calls: 9,
+            },
+            pruning: PruningStats {
+                evictions: 1,
+                rejected: 2,
+            },
+            slot_nanos: 5,
+            walk_nanos: 1_000,
+            rank_nanos: 17,
+            score_partitions: 0,
+        };
+        let part1 = RunStats {
+            // Walk-level counters replay identically in every partition…
+            subtrees: 7,
+            candidates_enumerated: 20,
+            access: part0.access,
+            // …scoring counters cover disjoint candidate sets.
+            result_type_computations: 5,
+            entities_scored: 13,
+            pruning: PruningStats {
+                evictions: 3,
+                rejected: 4,
+            },
+            slot_nanos: 99,
+            walk_nanos: 3_000,
+            rank_nanos: 99,
+            score_partitions: 99,
+        };
+        let merged = RunStats::merge_partitions(&[part0, part1]);
+        // Walk-level counters come from partition 0.
+        assert_eq!(merged.subtrees, 7);
+        assert_eq!(merged.candidates_enumerated, 20);
+        assert_eq!(merged.access, part0.access);
+        // Scoring counters sum across partitions.
+        assert_eq!(merged.result_type_computations, 3 + 5);
+        assert_eq!(merged.entities_scored, 11 + 13);
+        assert_eq!(merged.pruning.evictions, 1 + 3);
+        assert_eq!(merged.pruning.rejected, 2 + 4);
+        // walk_nanos combines as the max (partitions run concurrently);
+        // the other nanos fields and score_partitions are the caller's
+        // responsibility and keep partition 0's values.
+        assert_eq!(merged.walk_nanos, 3_000);
+        assert_eq!(merged.slot_nanos, 5);
+        assert_eq!(merged.rank_nanos, 17);
+        assert_eq!(merged.score_partitions, 0);
+    }
+
+    #[test]
+    fn merge_partitions_degenerate_inputs() {
+        assert_eq!(
+            RunStats::merge_partitions(&[]).entities_scored,
+            RunStats::default().entities_scored
+        );
+        let one = RunStats {
+            entities_scored: 42,
+            walk_nanos: 5,
+            ..Default::default()
+        };
+        let merged = RunStats::merge_partitions(&[one]);
+        assert_eq!(merged.entities_scored, 42);
+        assert_eq!(merged.walk_nanos, 5);
+    }
+
+    #[test]
+    fn telemetry_on_output_is_bit_identical_and_traced() {
+        let c = corpus();
+        let slots = slots_for(&c, &["tree", "icdt"], 2);
+        for threads in [1usize, 3] {
+            let config = XCleanConfig {
+                num_threads: threads,
+                ..Default::default()
+            };
+            let plain = run_xclean(&c, &slots, &config);
+            let telemetry = Telemetry::with_tracing();
+            let traced = run_xclean_with(&c, &slots, &config, &telemetry);
+            assert_eq!(plain.candidates.len(), traced.candidates.len());
+            for (a, b) in plain.candidates.iter().zip(traced.candidates.iter()) {
+                assert_eq!(a.tokens, b.tokens);
+                assert_eq!(a.log_score.to_bits(), b.log_score.to_bits());
+            }
+            let spans = telemetry.tracer().finished_spans();
+            let expected = if threads > 1 {
+                "score_partition"
+            } else {
+                "walk_accumulate"
+            };
+            assert!(spans.iter().any(|s| s.name == expected), "{spans:?}");
+            assert!(spans.iter().any(|s| s.name == "rank"));
+            // Each partition's walk time lands in the stage histogram.
+            let h = telemetry
+                .metrics()
+                .histogram_summary(names::STAGE_PARTITION)
+                .unwrap();
+            assert_eq!(h.count, threads as u64);
+        }
     }
 
     #[test]

@@ -14,12 +14,13 @@
 //! keyword some occurrence's *lowest full ancestor* is exactly `v`.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use xclean_index::{CorpusIndex, TokenId};
 use xclean_lm::{ErrorModel, LanguageModel};
 use xclean_xmltree::{NodeId, PathId, XmlTree};
 
-use crate::algorithm::{KeywordSlot, RunOutput, ScoredCandidate};
+use crate::algorithm::{nanos_since, KeywordSlot, RunOutput, ScoredCandidate};
 use crate::config::{EntityPrior, XCleanConfig};
 use crate::pruning::AccumulatorTable;
 
@@ -105,8 +106,14 @@ pub fn elca_of_lists(tree: &XmlTree, lists: &[Vec<NodeId>], floor_depth: u32) ->
 /// Runs the ELCA-semantics suggestion pipeline (same contract as
 /// [`crate::run_xclean`] / [`crate::run_slca`]).
 pub fn run_elca(corpus: &CorpusIndex, slots: &[KeywordSlot], config: &XCleanConfig) -> RunOutput {
+    let walk_start = Instant::now();
     let mut out = RunOutput::default();
+    out.stats.score_partitions = 1;
     if slots.is_empty() || slots.iter().any(|s| s.variants.is_empty()) {
+        // Phase timings are recorded even on the empty early-out (see the
+        // guarantee on RunStats).
+        out.stats.walk_nanos = nanos_since(walk_start);
+        out.stats.rank_nanos = 1;
         return out;
     }
     let error_model = ErrorModel::new(config.beta);
@@ -190,7 +197,9 @@ pub fn run_elca(corpus: &CorpusIndex, slots: &[KeywordSlot], config: &XCleanConf
     out.stats.candidates_enumerated = candidates_enumerated;
     out.stats.entities_scored = entities_scored;
     out.stats.pruning = table.stats();
+    out.stats.walk_nanos = nanos_since(walk_start);
 
+    let rank_start = Instant::now();
     let mut scored: Vec<ScoredCandidate> = table
         .into_entries()
         .into_iter()
@@ -209,6 +218,7 @@ pub fn run_elca(corpus: &CorpusIndex, slots: &[KeywordSlot], config: &XCleanConf
             .expect("scores are never NaN")
             .then_with(|| a.tokens.cmp(&b.tokens))
     });
+    out.stats.rank_nanos = nanos_since(rank_start);
     out.candidates = scored;
     out
 }

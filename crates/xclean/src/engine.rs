@@ -19,9 +19,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use xclean_index::{CorpusIndex, TokenId};
+use xclean_telemetry::{names, Counter, Histogram, MetricsRegistry, Telemetry, Tracer};
 use xclean_xmltree::{PathId, Tokenizer, XmlTree};
 
-use crate::algorithm::{run_xclean, KeywordSlot, RunStats};
+use crate::algorithm::{nanos_since, run_xclean_with, KeywordSlot, RunStats};
 use crate::config::XCleanConfig;
 use crate::elca::run_elca;
 use crate::slca::run_slca;
@@ -89,18 +90,90 @@ impl SuggestResponse {
     }
 }
 
+/// Pre-resolved metric handles so the per-query hot path never takes the
+/// registry's name-lookup lock: every counter bump and histogram record
+/// below is a plain atomic op on a shared [`Arc`], which is what lets the
+/// `suggest_many` worker pool aggregate into one engine-lifetime registry
+/// without serialising on it.
+#[derive(Debug, Clone)]
+struct EngineMetrics {
+    queries: Arc<Counter>,
+    suggestions: Arc<Counter>,
+    subtrees: Arc<Counter>,
+    candidates: Arc<Counter>,
+    result_types: Arc<Counter>,
+    entities: Arc<Counter>,
+    postings_read: Arc<Counter>,
+    postings_skipped: Arc<Counter>,
+    skip_calls: Arc<Counter>,
+    evictions: Arc<Counter>,
+    rejected: Arc<Counter>,
+    stage_slot: Arc<Histogram>,
+    stage_walk: Arc<Histogram>,
+    stage_rank: Arc<Histogram>,
+    stage_total: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        EngineMetrics {
+            queries: registry.counter(names::QUERIES),
+            suggestions: registry.counter(names::SUGGESTIONS),
+            subtrees: registry.counter(names::SUBTREES),
+            candidates: registry.counter(names::CANDIDATES),
+            result_types: registry.counter(names::RESULT_TYPES),
+            entities: registry.counter(names::ENTITIES),
+            postings_read: registry.counter(names::POSTINGS_READ),
+            postings_skipped: registry.counter(names::POSTINGS_SKIPPED),
+            skip_calls: registry.counter(names::SKIP_CALLS),
+            evictions: registry.counter(names::EVICTIONS),
+            rejected: registry.counter(names::REJECTED),
+            stage_slot: registry.histogram(names::STAGE_SLOT),
+            stage_walk: registry.histogram(names::STAGE_WALK),
+            stage_rank: registry.histogram(names::STAGE_RANK),
+            stage_total: registry.histogram(names::STAGE_TOTAL),
+        }
+    }
+
+    fn record_query(&self, stats: &RunStats, total_nanos: u64, suggestions: u64) {
+        self.queries.inc();
+        self.suggestions.add(suggestions);
+        self.subtrees.add(stats.subtrees);
+        self.candidates.add(stats.candidates_enumerated);
+        self.result_types.add(stats.result_type_computations);
+        self.entities.add(stats.entities_scored);
+        self.postings_read.add(stats.access.read);
+        self.postings_skipped.add(stats.access.skipped);
+        self.skip_calls.add(stats.access.skip_calls);
+        self.evictions.add(stats.pruning.evictions);
+        self.rejected.add(stats.pruning.rejected);
+        self.stage_slot.record(stats.slot_nanos);
+        self.stage_walk.record(stats.walk_nanos);
+        self.stage_rank.record(stats.rank_nanos);
+        self.stage_total.record(total_nanos);
+    }
+}
+
 /// The XClean suggestion engine.
 ///
 /// The corpus and variant indexes are held behind [`Arc`]s: they are
 /// immutable after construction, and the `suggest_many` worker pool (as
 /// well as any caller using [`XCleanEngine::corpus_shared`]) reads the
 /// same snapshot without copying.
+///
+/// Every engine carries a [`Telemetry`] bundle: a metrics registry that
+/// aggregates counters and stage histograms over the engine's lifetime
+/// (across all `suggest_many` workers), and a span tracer that is inert
+/// by default — opt in with [`XCleanEngine::with_telemetry`] and
+/// [`Telemetry::with_tracing`].
 #[derive(Debug)]
 pub struct XCleanEngine {
     corpus: Arc<CorpusIndex>,
     variants: Arc<VariantGenerator>,
     config: XCleanConfig,
     semantics: Semantics,
+    telemetry: Telemetry,
+    metric_handles: EngineMetrics,
 }
 
 impl XCleanEngine {
@@ -127,11 +200,15 @@ impl XCleanEngine {
         if config.phonetic_distance.is_some() {
             variants = variants.with_phonetic_index(&corpus);
         }
+        let telemetry = Telemetry::disabled();
+        let metric_handles = EngineMetrics::new(telemetry.metrics());
         XCleanEngine {
             corpus,
             variants: Arc::new(variants),
             config,
             semantics: Semantics::NodeType,
+            telemetry,
+            metric_handles,
         }
     }
 
@@ -139,6 +216,31 @@ impl XCleanEngine {
     pub fn with_semantics(mut self, semantics: Semantics) -> Self {
         self.semantics = semantics;
         self
+    }
+
+    /// Attaches a telemetry bundle (metrics registry + optional span
+    /// tracer). The engine records into `telemetry.metrics()` for its
+    /// whole lifetime; pass [`Telemetry::with_tracing`] to also capture
+    /// per-query spans exportable as a Chrome trace.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.metric_handles = EngineMetrics::new(telemetry.metrics());
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The engine's telemetry bundle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The engine's span tracer (inert unless tracing was enabled).
+    pub fn tracer(&self) -> &Tracer {
+        self.telemetry.tracer()
+    }
+
+    /// The engine-lifetime metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.telemetry.metrics()
     }
 
     /// The corpus index.
@@ -216,6 +318,10 @@ impl XCleanEngine {
         // keeping workers * per_query.num_threads ≤ num_threads so the
         // nested fan-out never oversubscribes. Outputs are bit-identical
         // for any split (see DESIGN.md, "Concurrency & batching").
+        let _batch_span = self
+            .telemetry
+            .tracer()
+            .span_with("suggest_batch", || format!("{} queries", queries.len()));
         let workers = self.config.num_threads.min(queries.len()).max(1);
         let mut per_query = self.config.clone();
         per_query.num_threads = (self.config.num_threads / workers).max(1);
@@ -274,6 +380,10 @@ impl XCleanEngine {
     /// keyword counts.
     pub fn suggest_with_space_edits(&self, query: &str, tau: u32) -> SuggestResponse {
         let start = Instant::now();
+        let _span = self
+            .telemetry
+            .tracer()
+            .span_with("suggest_space_edits", || query.to_string());
         let keywords = self.parse_query(query);
         let rewritings = crate::space_edits::expand_space_edits(&self.corpus, &keywords, tau);
         let mut pooled: Vec<Suggestion> = Vec::new();
@@ -282,9 +392,18 @@ impl XCleanEngine {
             let r = self.suggest_keywords(&rw.keywords);
             stats.subtrees += r.stats.subtrees;
             stats.candidates_enumerated += r.stats.candidates_enumerated;
+            stats.result_type_computations += r.stats.result_type_computations;
             stats.entities_scored += r.stats.entities_scored;
-            stats.postings_read += r.stats.postings_read;
-            stats.postings_skipped += r.stats.postings_skipped;
+            stats.access += r.stats.access;
+            stats.pruning.evictions += r.stats.pruning.evictions;
+            stats.pruning.rejected += r.stats.pruning.rejected;
+            // Stage times sum across rewritings: each one runs the full
+            // pipeline, so the totals remain wall-clock-meaningful (and
+            // stay ≥ 1 whenever at least one rewriting ran).
+            stats.slot_nanos += r.stats.slot_nanos;
+            stats.walk_nanos += r.stats.walk_nanos;
+            stats.rank_nanos += r.stats.rank_nanos;
+            stats.score_partitions = stats.score_partitions.max(r.stats.score_partitions);
             for mut s in r.suggestions {
                 s.log_score -= self.config.beta * f64::from(rw.edits);
                 pooled.push(s);
@@ -378,24 +497,43 @@ impl XCleanEngine {
     ) -> SuggestResponse {
         config.validate();
         let start = Instant::now();
-        let slots: Vec<KeywordSlot> = keywords
-            .iter()
-            .map(|k| KeywordSlot {
-                keyword: k.clone(),
-                variants: match config.phonetic_distance {
-                    Some(d) => self.variants.variants_with_phonetic(k, d),
-                    None => self.variants.variants_within(k, config.epsilon),
-                },
-            })
-            .collect();
-        let slot_nanos = start.elapsed().as_nanos() as u64;
+        let tracer = self.telemetry.tracer();
+        let _query_span = tracer.span_with("suggest", || keywords.join(" "));
+        let slots: Vec<KeywordSlot> = {
+            let _slot_span = tracer.span("slot_build");
+            keywords
+                .iter()
+                .map(|k| {
+                    let _variant_span = tracer.span_with("variant_gen", || k.clone());
+                    KeywordSlot {
+                        keyword: k.clone(),
+                        variants: match config.phonetic_distance {
+                            Some(d) => self.variants.variants_with_phonetic(k, d),
+                            None => self.variants.variants_within(k, config.epsilon),
+                        },
+                    }
+                })
+                .collect()
+        };
+        let slot_nanos = nanos_since(start);
         let mut out = match self.semantics {
-            Semantics::NodeType => run_xclean(&self.corpus, &slots, config),
-            Semantics::Slca => run_slca(&self.corpus, &slots, config),
-            Semantics::Elca => run_elca(&self.corpus, &slots, config),
+            Semantics::NodeType => run_xclean_with(&self.corpus, &slots, config, &self.telemetry),
+            Semantics::Slca => {
+                let _walk_span = tracer.span("walk_accumulate");
+                run_slca(&self.corpus, &slots, config)
+            }
+            Semantics::Elca => {
+                let _walk_span = tracer.span("walk_accumulate");
+                run_elca(&self.corpus, &slots, config)
+            }
         };
         out.stats.slot_nanos = slot_nanos;
-        let suggestions = out
+        debug_assert!(
+            out.stats.slot_nanos > 0 && out.stats.walk_nanos > 0 && out.stats.rank_nanos > 0,
+            "every stage records a non-zero duration on every code path: {:?}",
+            out.stats
+        );
+        let suggestions: Vec<Suggestion> = out
             .candidates
             .into_iter()
             .take(config.k)
@@ -412,9 +550,15 @@ impl XCleanEngine {
                 entity_count: c.entity_count,
             })
             .collect();
+        let elapsed = start.elapsed();
+        self.metric_handles.record_query(
+            &out.stats,
+            (elapsed.as_nanos() as u64).max(1),
+            suggestions.len() as u64,
+        );
         SuggestResponse {
             suggestions,
-            elapsed: start.elapsed(),
+            elapsed,
             stats: out.stats,
         }
     }

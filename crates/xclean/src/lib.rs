@@ -41,7 +41,9 @@ pub mod space_edits;
 pub mod variants;
 pub mod walk;
 
-pub use algorithm::{run_xclean, KeywordSlot, RunOutput, RunStats, ScoredCandidate};
+pub use algorithm::{
+    run_xclean, run_xclean_with, KeywordSlot, RunOutput, RunStats, ScoredCandidate,
+};
 pub use config::{EntityPrior, XCleanConfig};
 pub use elca::{elca_of_lists, run_elca};
 pub use engine::{Semantics, SuggestResponse, Suggestion, XCleanEngine};
@@ -50,3 +52,5 @@ pub use result_type::{find_result_type, ResultType};
 pub use slca::{run_slca, slca_of_lists};
 pub use space_edits::{expand_space_edits, SpaceVariant};
 pub use variants::{Variant, VariantGenerator};
+pub use xclean_telemetry as telemetry;
+pub use xclean_telemetry::Telemetry;

@@ -11,12 +11,13 @@
 //! (`N = |SLCA(C)|` in Eq. 8), since SLCA entities are query-specific.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use xclean_index::{CorpusIndex, TokenId};
 use xclean_lm::{ErrorModel, LanguageModel};
 use xclean_xmltree::{NodeId, PathId, XmlTree};
 
-use crate::algorithm::{KeywordSlot, RunOutput, ScoredCandidate};
+use crate::algorithm::{nanos_since, KeywordSlot, RunOutput, ScoredCandidate};
 use crate::config::{EntityPrior, XCleanConfig};
 use crate::pruning::AccumulatorTable;
 
@@ -85,8 +86,14 @@ pub fn slca_of_lists(tree: &XmlTree, lists: &[Vec<NodeId>]) -> Vec<NodeId> {
 /// [`crate::algorithm::run_xclean`] but scores SLCA entities and
 /// normalises by each candidate's own prior mass.
 pub fn run_slca(corpus: &CorpusIndex, slots: &[KeywordSlot], config: &XCleanConfig) -> RunOutput {
+    let walk_start = Instant::now();
     let mut out = RunOutput::default();
+    out.stats.score_partitions = 1;
     if slots.is_empty() || slots.iter().any(|s| s.variants.is_empty()) {
+        // Phase timings are recorded even on the empty early-out (see the
+        // guarantee on RunStats).
+        out.stats.walk_nanos = nanos_since(walk_start);
+        out.stats.rank_nanos = 1;
         return out;
     }
     let error_model = ErrorModel::new(config.beta);
@@ -176,9 +183,11 @@ pub fn run_slca(corpus: &CorpusIndex, slots: &[KeywordSlot], config: &XCleanConf
     out.stats.candidates_enumerated = candidates_enumerated;
     out.stats.entities_scored = entities_scored;
     out.stats.pruning = table.stats();
+    out.stats.walk_nanos = nanos_since(walk_start);
 
     // SLCA entities are candidate-specific, so the prior normaliser is the
     // candidate's own accumulated prior mass.
+    let rank_start = Instant::now();
     let mut scored: Vec<ScoredCandidate> = table
         .into_entries()
         .into_iter()
@@ -197,6 +206,7 @@ pub fn run_slca(corpus: &CorpusIndex, slots: &[KeywordSlot], config: &XCleanConf
             .expect("scores are never NaN")
             .then_with(|| a.tokens.cmp(&b.tokens))
     });
+    out.stats.rank_nanos = nanos_since(rank_start);
     out.candidates = scored;
     out
 }

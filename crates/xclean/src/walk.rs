@@ -120,9 +120,7 @@ pub fn walk_gated_subtrees(
     }
 
     for vl in &vls {
-        stats.postings_read += vl.stats().read;
-        stats.postings_skipped += vl.stats().skipped;
-        stats.skip_calls += vl.stats().skip_calls;
+        stats.access += vl.stats();
     }
 }
 
@@ -197,7 +195,7 @@ mod tests {
             },
         );
         assert_eq!(visited, vec!["1.2"]);
-        assert!(stats.postings_read > 0);
+        assert!(stats.access.read > 0);
     }
 
     #[test]

@@ -51,8 +51,8 @@ fn main() {
         println!(
             "  ({} subtrees, {} postings read, {} skipped, {:?})\n",
             response.stats.subtrees,
-            response.stats.postings_read,
-            response.stats.postings_skipped,
+            response.stats.access.read,
+            response.stats.access.skipped,
             response.elapsed,
         );
     }

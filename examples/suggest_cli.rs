@@ -90,7 +90,7 @@ fn main() {
         }
         println!(
             "    [{:?}; {} subtrees, {} read / {} skipped postings]",
-            r.elapsed, r.stats.subtrees, r.stats.postings_read, r.stats.postings_skipped
+            r.elapsed, r.stats.subtrees, r.stats.access.read, r.stats.access.skipped
         );
     }
 }

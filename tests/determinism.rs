@@ -80,7 +80,7 @@ fn assert_identical(q: &[String], a: &SuggestResponse, b: &SuggestResponse) {
         "entities scored diverged for {label:?}"
     );
     assert_eq!(
-        a.stats.skip_calls, b.stats.skip_calls,
+        a.stats.access.skip_calls, b.stats.access.skip_calls,
         "skip_to accounting diverged for {label:?}"
     );
 }

@@ -117,5 +117,5 @@ fn anchor_walk_skips_first_subtree() {
         "visited {} subtrees",
         r.stats.subtrees
     );
-    assert!(r.stats.postings_read > 0);
+    assert!(r.stats.access.read > 0);
 }
