@@ -13,6 +13,13 @@ use std::hint::black_box;
 use xclean::{XCleanConfig, XCleanEngine};
 use xclean_datagen::{generate_dblp, make_workload, DblpConfig, Perturbation, WorkloadSpec};
 
+/// `XCLEAN_BENCH_QUICK=1` shrinks the corpus, workload, and sample count
+/// so CI can run the bench as a regression smoke in seconds; numbers from
+/// quick mode are comparable to each other but not to full runs.
+fn quick() -> bool {
+    std::env::var_os("XCLEAN_BENCH_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
 struct Setup {
     /// One engine per thread count (the pool size is a config knob), all
     /// sharing a single corpus snapshot.
@@ -22,14 +29,14 @@ struct Setup {
 
 fn setup() -> Setup {
     let tree = generate_dblp(&DblpConfig {
-        publications: 5_000,
+        publications: if quick() { 800 } else { 5_000 },
         ..Default::default()
     });
     let base = XCleanEngine::new(tree, XCleanConfig::default());
     let set = make_workload(
         base.corpus(),
         &WorkloadSpec {
-            n_queries: 64,
+            n_queries: if quick() { 16 } else { 64 },
             ..WorkloadSpec::dblp(Perturbation::Rand)
         },
     );
@@ -56,7 +63,7 @@ fn setup() -> Setup {
 fn bench_suggest_batch(c: &mut Criterion) {
     let s = setup();
     let mut group = c.benchmark_group("suggest_batch");
-    group.sample_size(10);
+    group.sample_size(if quick() { 3 } else { 10 });
     group.throughput(Throughput::Elements(s.queries.len() as u64));
 
     // Baseline: a plain sequential loop over suggest_keywords.

@@ -11,16 +11,22 @@ use std::hint::black_box;
 use xclean::{Telemetry, XCleanConfig, XCleanEngine};
 use xclean_datagen::{generate_dblp, make_workload, DblpConfig, Perturbation, WorkloadSpec};
 
+/// `XCLEAN_BENCH_QUICK=1` shrinks the corpus, workload, and sample count
+/// so CI can run the bench as a regression smoke in seconds.
+fn quick() -> bool {
+    std::env::var_os("XCLEAN_BENCH_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
 fn setup() -> (XCleanEngine, Vec<Vec<String>>) {
     let tree = generate_dblp(&DblpConfig {
-        publications: 2_000,
+        publications: if quick() { 500 } else { 2_000 },
         ..Default::default()
     });
     let engine = XCleanEngine::new(tree, XCleanConfig::default());
     let set = make_workload(
         engine.corpus(),
         &WorkloadSpec {
-            n_queries: 20,
+            n_queries: if quick() { 8 } else { 20 },
             ..WorkloadSpec::dblp(Perturbation::Rand)
         },
     );
@@ -31,7 +37,7 @@ fn setup() -> (XCleanEngine, Vec<Vec<String>>) {
 fn bench_telemetry_overhead(c: &mut Criterion) {
     let (base, queries) = setup();
     let mut group = c.benchmark_group("telemetry_overhead");
-    group.sample_size(10);
+    group.sample_size(if quick() { 3 } else { 10 });
     let variants: [(&str, Telemetry); 2] = [
         ("tracing_off", Telemetry::disabled()),
         ("tracing_on", Telemetry::with_tracing()),

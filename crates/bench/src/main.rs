@@ -1,8 +1,141 @@
-//! Placeholder binary for the benchmark crate. The real entry points are
-//! the Criterion benches: run `cargo bench -p xclean-bench` (optionally
-//! `-- <filter>`); each bench file maps to one performance table/figure
-//! of the paper (see DESIGN.md §4).
+//! Quick-bench runner: a CI-friendly throughput/latency snapshot.
+//!
+//! The Criterion benches (`cargo bench -p xclean-bench`) reproduce the
+//! paper's performance tables but take minutes; CI wants one number per
+//! PR in seconds. This binary runs the batched suggestion workload in a
+//! fixed-shape quick mode and writes a small JSON report — queries/sec
+//! per thread count plus p50/p95 rank-stage latency pulled from the
+//! engine's own metrics histograms — suitable for uploading as a build
+//! artifact and diffing across PRs.
+//!
+//! ```text
+//! cargo run -p xclean-bench --release -- --out BENCH_pr3.json [--full]
+//! ```
+//!
+//! The same quick mode is available inside the Criterion benches via the
+//! `XCLEAN_BENCH_QUICK` environment variable (shrinks corpora and sample
+//! counts so `cargo bench` finishes in CI time).
+
+use std::time::Instant;
+
+use xclean::{XCleanConfig, XCleanEngine};
+use xclean_datagen::{generate_dblp, make_workload, DblpConfig, Perturbation, WorkloadSpec};
+use xclean_telemetry::names;
+
+struct Scale {
+    publications: usize,
+    n_queries: usize,
+    repeats: usize,
+}
+
+const QUICK: Scale = Scale {
+    publications: 800,
+    n_queries: 32,
+    repeats: 3,
+};
+
+const FULL: Scale = Scale {
+    publications: 5_000,
+    n_queries: 64,
+    repeats: 10,
+};
 
 fn main() {
-    eprintln!("run `cargo bench -p xclean-bench` to execute the Criterion benches");
+    let mut out = String::from("BENCH_pr3.json");
+    let mut scale = &QUICK;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().expect("--out expects a path"),
+            "--full" => scale = &FULL,
+            "--quick" => scale = &QUICK,
+            other => {
+                eprintln!("unknown argument {other:?} (expected --out <path> | --quick | --full)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "quick-bench: dblp {} publications, {} queries, {} repeat(s)",
+        scale.publications, scale.n_queries, scale.repeats
+    );
+    let tree = generate_dblp(&DblpConfig {
+        publications: scale.publications,
+        ..Default::default()
+    });
+    let base = XCleanEngine::new(tree, XCleanConfig::default());
+    let set = make_workload(
+        base.corpus(),
+        &WorkloadSpec {
+            n_queries: scale.n_queries,
+            ..WorkloadSpec::dblp(Perturbation::Rand)
+        },
+    );
+    let queries: Vec<Vec<String>> = set.cases.into_iter().map(|c| c.dirty).collect();
+    let corpus = base.corpus_shared();
+
+    let mut thread_rows = Vec::new();
+    for threads in [1usize, 4] {
+        let engine = XCleanEngine::from_shared(
+            corpus.clone(),
+            XCleanConfig {
+                num_threads: threads,
+                ..Default::default()
+            },
+        );
+        // One untimed pass to warm caches and populate code paths.
+        let _ = engine.suggest_many_keywords(&queries);
+        let mut best_qps = 0.0f64;
+        for _ in 0..scale.repeats {
+            let start = Instant::now();
+            let responses = engine.suggest_many_keywords(&queries);
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            assert_eq!(responses.len(), queries.len());
+            best_qps = best_qps.max(queries.len() as f64 / secs);
+        }
+        // Rank-stage latency distribution across every query answered by
+        // this engine (warm-up included — it is the same workload).
+        let rank = engine
+            .metrics()
+            .histogram_summary(names::STAGE_RANK)
+            .expect("rank histogram present");
+        eprintln!(
+            "  threads={threads}: {best_qps:.1} q/s, rank p50={} p95={} ns ({} samples)",
+            rank.p50, rank.p95, rank.count
+        );
+        thread_rows.push(serde_json::json!({
+            "threads": threads,
+            "queries_per_sec": best_qps,
+            "rank_nanos": serde_json::json!({
+                "p50": rank.p50,
+                "p95": rank.p95,
+                "p99": rank.p99,
+                "count": rank.count,
+            }),
+        }));
+    }
+
+    let report = serde_json::json!({
+        "bench": "suggest_batch",
+        "mode": if std::ptr::eq(scale, &FULL) { "full" } else { "quick" },
+        "corpus": serde_json::json!({
+            "dataset": "dblp",
+            "publications": scale.publications,
+            "nodes": corpus.tree().len(),
+            "terms": corpus.vocab().len(),
+        }),
+        "workload": serde_json::json!({
+            "n_queries": queries.len(),
+            "perturbation": "rand",
+            "repeats": scale.repeats,
+        }),
+        "results": serde_json::Value::Array(thread_rows),
+    });
+    let text = serde_json::to_string_pretty(&report).expect("serialisable");
+    std::fs::write(&out, &text).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("report → {out}");
 }

@@ -1,18 +1,22 @@
 //! The `xclean` subcommands.
 //!
 //! ```text
-//! xclean index <data.xml> --out index.xci          build & persist an index
+//! xclean index build <data.xml> --out index.xci    build & persist an index
+//! xclean index inspect <index.xci>                 snapshot summary
 //! xclean suggest <data.xml|index.xci> <query…>     clean a keyword query
+//! xclean serve <index.xci> --port 8080             long-running HTTP server
 //! xclean stats <data.xml|index.xci>                corpus statistics
 //! xclean generate <dblp|inex> --out corpus.xml     synthetic corpus
 //! ```
 
 use std::io::Write;
+use std::sync::Arc;
 use std::time::Duration;
 
 use xclean::{RunStats, Semantics, Telemetry, XCleanConfig, XCleanEngine};
 use xclean_datagen::{generate_dblp, generate_inex, DblpConfig, InexConfig};
 use xclean_index::{storage, CorpusIndex};
+use xclean_server::{ServerConfig, SuggestServer};
 use xclean_xmltree::{parse_document, to_xml, TreeStats};
 
 use crate::args::{ArgError, Args};
@@ -43,7 +47,10 @@ pub const USAGE: &str = "\
 xclean — valid spelling suggestions for XML keyword queries (ICDE 2011)
 
 USAGE:
-    xclean index <data.xml> --out <index.xci>
+    xclean index build <data.xml> --out <index.xci>
+            (`xclean index <data.xml> --out <index.xci>` still works)
+    xclean index inspect <index.xci>
+            (summarises a snapshot without materialising the index)
     xclean suggest <data.xml | index.xci> <query keywords…>
             [--k N] [--beta B] [--gamma G] [--epsilon E] [--min-depth D]
             [--semantics node-type|slca|elca] [--phonetic DIST]
@@ -58,6 +65,15 @@ USAGE:
              pipeline spans — load it in Perfetto / chrome://tracing;
              --metrics-json appends the engine's aggregated counters and
              p50/p95/p99 stage histograms as one JSON line)
+    xclean serve <index.xci> [--host H] [--port P] [--threads N]
+            [--cache-entries N] [--cache-shards N] [--max-body-bytes N]
+            [--k N] [--beta B] [--gamma G] [--epsilon E] [--min-depth D]
+            [--semantics node-type|slca|elca] [--phonetic DIST]
+            [--trace-out trace.json] [--metrics-json metrics.json]
+            (long-running HTTP server: POST /suggest, GET /healthz,
+             GET /metrics; answers repeated queries from a sharded LRU
+             response cache; Ctrl-C drains in-flight requests, then
+             flushes --trace-out / --metrics-json if given)
     xclean stats <data.xml | index.xci>
     xclean generate <dblp | inex> --out <corpus.xml> [--size N] [--seed S]
 ";
@@ -74,6 +90,7 @@ pub fn run(raw: Vec<String>) -> CmdOutput {
     let result = match cmd.as_str() {
         "index" => cmd_index(rest),
         "suggest" => cmd_suggest(rest),
+        "serve" => cmd_serve(rest),
         "stats" => cmd_stats(rest),
         "generate" => cmd_generate(rest),
         "help" | "--help" | "-h" => {
@@ -98,12 +115,23 @@ fn load_corpus(path: &str) -> Result<CorpusIndex, ArgError> {
     }
 }
 
+/// `xclean index <build|inspect> …`. The original bare form
+/// (`xclean index <data.xml> --out <index.xci>`) remains an alias for
+/// `build` so existing scripts keep working.
 fn cmd_index(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
+    match raw.first().map(String::as_str) {
+        Some("build") => cmd_index_build(raw[1..].to_vec()),
+        Some("inspect") => cmd_index_inspect(raw[1..].to_vec()),
+        _ => cmd_index_build(raw),
+    }
+}
+
+fn cmd_index_build(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     let args = Args::parse(raw, &[])?;
     args.reject_unknown(&["out"])?;
     let [input] = args.positional() else {
         return Err(ArgError(
-            "usage: xclean index <data.xml> --out <index.xci>".into(),
+            "usage: xclean index build <data.xml> --out <index.xci>".into(),
         ));
     };
     let out = args
@@ -118,6 +146,35 @@ fn cmd_index(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         corpus.vocab().len(),
         size as f64 / 1e6
     )]))
+}
+
+/// `xclean index inspect <index.xci>`: reads only the snapshot framing
+/// ([`storage::summarize_file`]) — no postings decode, no tree replay —
+/// so it answers in O(terms) even on multi-hundred-MB snapshots.
+fn cmd_index_inspect(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
+    let args = Args::parse(raw, &[])?;
+    args.reject_unknown(&[])?;
+    let [path] = args.positional() else {
+        return Err(ArgError("usage: xclean index inspect <index.xci>".into()));
+    };
+    let s = storage::summarize_file(path).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    Ok(CmdOutput::ok(vec![
+        format!("snapshot    {path}"),
+        format!("size        {:.2} MB", s.total_bytes as f64 / 1e6),
+        format!("nodes       {}", s.nodes),
+        format!("labels      {}", s.labels),
+        format!("terms       {}", s.terms),
+        format!("tokens      {}", s.total_tokens),
+        format!(
+            "postings    {:.2} MB ({:.1}% of snapshot)",
+            s.postings_bytes as f64 / 1e6,
+            100.0 * s.postings_bytes as f64 / (s.total_bytes as f64).max(1.0)
+        ),
+        format!(
+            "tokenizer   min_len={} drop_numbers={} drop_stop_words={}",
+            s.tokenizer.min_token_len, s.tokenizer.drop_numbers, s.tokenizer.drop_stop_words
+        ),
+    ]))
 }
 
 /// Renders the per-stage summary table: stage, time, share of `total`,
@@ -194,6 +251,41 @@ fn merge_batch_stats(responses: &[xclean::SuggestResponse]) -> (RunStats, Durati
     (merged, cpu, suggestions)
 }
 
+/// Parses the engine tuning flags shared by `suggest` and `serve`
+/// (scoring parameters only — concurrency is each command's own affair).
+fn tuning_from_args(args: &Args) -> Result<(XCleanConfig, Semantics), ArgError> {
+    let mut config = XCleanConfig {
+        k: args.get_parsed("k", 10usize)?,
+        beta: args.get_parsed("beta", 5.0f64)?,
+        epsilon: args.get_parsed("epsilon", 2usize)?,
+        min_depth: args.get_parsed("min-depth", 2u32)?,
+        ..Default::default()
+    };
+    if let Some(g) = args.get("gamma") {
+        config.gamma = if g == "none" {
+            None
+        } else {
+            Some(
+                g.parse()
+                    .map_err(|_| ArgError(format!("--gamma: cannot parse {g:?}")))?,
+            )
+        };
+    }
+    if let Some(p) = args.get("phonetic") {
+        config.phonetic_distance = Some(
+            p.parse()
+                .map_err(|_| ArgError(format!("--phonetic: cannot parse {p:?}")))?,
+        );
+    }
+    let semantics = match args.get("semantics").unwrap_or("node-type") {
+        "node-type" => Semantics::NodeType,
+        "slca" => Semantics::Slca,
+        "elca" => Semantics::Elca,
+        other => return Err(ArgError(format!("unknown semantics {other:?}"))),
+    };
+    Ok((config, semantics))
+}
+
 fn cmd_suggest(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     let args = Args::parse(raw, &["json", "metrics-json"])?;
     args.reject_unknown(&[
@@ -230,36 +322,8 @@ fn cmd_suggest(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     if threads == 0 {
         return Err(ArgError("--threads must be at least 1".into()));
     }
-    let mut config = XCleanConfig {
-        k: args.get_parsed("k", 10usize)?,
-        beta: args.get_parsed("beta", 5.0f64)?,
-        epsilon: args.get_parsed("epsilon", 2usize)?,
-        min_depth: args.get_parsed("min-depth", 2u32)?,
-        num_threads: threads,
-        ..Default::default()
-    };
-    if let Some(g) = args.get("gamma") {
-        config.gamma = if g == "none" {
-            None
-        } else {
-            Some(
-                g.parse()
-                    .map_err(|_| ArgError(format!("--gamma: cannot parse {g:?}")))?,
-            )
-        };
-    }
-    if let Some(p) = args.get("phonetic") {
-        config.phonetic_distance = Some(
-            p.parse()
-                .map_err(|_| ArgError(format!("--phonetic: cannot parse {p:?}")))?,
-        );
-    }
-    let semantics = match args.get("semantics").unwrap_or("node-type") {
-        "node-type" => Semantics::NodeType,
-        "slca" => Semantics::Slca,
-        "elca" => Semantics::Elca,
-        other => return Err(ArgError(format!("unknown semantics {other:?}"))),
-    };
+    let (mut config, semantics) = tuning_from_args(&args)?;
+    config.num_threads = threads;
     let tau: u32 = args.get_parsed("space-edits", 0u32)?;
 
     let trace_out = args.get("trace-out").map(str::to_string);
@@ -417,6 +481,109 @@ fn cmd_suggest_batch(engine: &XCleanEngine, path: &str, json: bool) -> Result<Cm
         // so they stay meaningful however wide the worker pool is.
         let (merged, cpu, suggestions) = merge_batch_stats(&responses);
         lines.extend(stage_table(&merged, cpu, suggestions));
+    }
+    Ok(CmdOutput::ok(lines))
+}
+
+/// `xclean serve <index.xci>`: the long-running suggestion server.
+/// Loads the snapshot once, then blocks in the accept loop until
+/// SIGINT/SIGTERM triggers a graceful drain; the returned lines are the
+/// post-drain summary.
+fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
+    let args = Args::parse(raw, &[])?;
+    args.reject_unknown(&[
+        "host",
+        "port",
+        "threads",
+        "cache-entries",
+        "cache-shards",
+        "max-body-bytes",
+        "k",
+        "beta",
+        "gamma",
+        "epsilon",
+        "min-depth",
+        "semantics",
+        "phonetic",
+        "trace-out",
+        "metrics-json",
+    ])?;
+    let [snapshot] = args.positional() else {
+        return Err(ArgError(
+            "usage: xclean serve <index.xci> [--port P] [--threads N] [--cache-entries N]".into(),
+        ));
+    };
+    let (config, semantics) = tuning_from_args(&args)?;
+    let defaults = ServerConfig::default();
+    let server_config = ServerConfig {
+        threads: args.get_parsed("threads", defaults.threads)?,
+        cache_entries: args.get_parsed("cache-entries", defaults.cache_entries)?,
+        cache_shards: args.get_parsed("cache-shards", defaults.cache_shards)?,
+        max_body_bytes: args.get_parsed("max-body-bytes", defaults.max_body_bytes)?,
+        ..defaults
+    };
+    if server_config.threads == 0 {
+        return Err(ArgError("--threads must be at least 1".into()));
+    }
+    let host = args.get("host").unwrap_or("127.0.0.1");
+    let port: u16 = args.get_parsed("port", 8080u16)?;
+    let trace_out = args.get("trace-out").map(str::to_string);
+    let metrics_out = args.get("metrics-json").map(str::to_string);
+
+    // The server path deliberately refuses to parse XML on the fly: a
+    // long-running process should start from the index built offline
+    // (`xclean index build`), exactly as the paper separates offline
+    // indexing from interactive querying.
+    let corpus = storage::load_from_file(snapshot).map_err(|e| {
+        ArgError(format!(
+            "{snapshot}: {e} (build a snapshot first: xclean index build <data.xml> --out <index.xci>)"
+        ))
+    })?;
+    let mut engine = XCleanEngine::from_corpus(corpus, config).with_semantics(semantics);
+    if trace_out.is_some() {
+        engine = engine.with_telemetry(Telemetry::with_tracing());
+    }
+    let engine = Arc::new(engine);
+    let addr = format!("{host}:{port}");
+    let server = SuggestServer::bind(Arc::clone(&engine), &addr, server_config)
+        .map_err(|e| ArgError(format!("cannot bind {addr}: {e}")))?;
+    let bound = server
+        .local_addr()
+        .map_err(|e| ArgError(format!("{addr}: {e}")))?;
+
+    xclean_server::install_signal_handler();
+    // Banner goes out before the blocking accept loop — CmdOutput lines
+    // would only print after drain, far too late for "is it up yet?".
+    println!(
+        "xclean-server listening on http://{bound} — {} worker(s), cache {} entries / {} shard(s), fingerprint {:016x}",
+        args.get_parsed("threads", defaults.threads)?,
+        args.get_parsed("cache-entries", defaults.cache_entries)?,
+        args.get_parsed("cache-shards", defaults.cache_shards)?,
+        server.fingerprint()
+    );
+    println!("endpoints: POST /suggest   GET /healthz   GET /metrics   (Ctrl-C drains)");
+    let _ = std::io::stdout().flush();
+
+    let report = server.run().map_err(|e| ArgError(format!("server: {e}")))?;
+
+    let mut lines = vec![format!(
+        "drained: {} request(s), {} error(s); cache {} hit(s) / {} miss(es) / {} eviction(s)",
+        report.requests,
+        report.errors,
+        report.cache_hits,
+        report.cache_misses,
+        report.cache_evictions
+    )];
+    if let Some(path) = trace_out {
+        let spans = engine.tracer().finished_spans().len();
+        std::fs::write(&path, engine.tracer().chrome_trace_json())
+            .map_err(|e| ArgError(format!("{path}: {e}")))?;
+        lines.push(format!("trace: {spans} spans → {path} (chrome://tracing)"));
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, engine.metrics().metrics_json())
+            .map_err(|e| ArgError(format!("{path}: {e}")))?;
+        lines.push(format!("metrics → {path}"));
     }
     Ok(CmdOutput::ok(lines))
 }
@@ -706,6 +873,69 @@ mod tests {
         }
         assert_eq!(outputs[0], outputs[1]);
         assert_eq!(outputs[0], outputs[2]);
+    }
+
+    #[test]
+    fn index_build_subcommand_and_legacy_alias_agree() {
+        let xml = write_sample_xml("build_forms.xml");
+        let a = tmp("build_sub.xci").to_string_lossy().into_owned();
+        let b = tmp("build_legacy.xci").to_string_lossy().into_owned();
+        let out = run(argv(&["index", "build", &xml, "--out", &a]));
+        assert_eq!(out.code, 0, "{:?}", out.lines);
+        let out = run(argv(&["index", &xml, "--out", &b]));
+        assert_eq!(out.code, 0, "{:?}", out.lines);
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+    }
+
+    #[test]
+    fn index_inspect_summarises_snapshot() {
+        let xml = write_sample_xml("inspect.xml");
+        let idx = tmp("inspect.xci").to_string_lossy().into_owned();
+        assert_eq!(run(argv(&["index", "build", &xml, "--out", &idx])).code, 0);
+        let out = run(argv(&["index", "inspect", &idx]));
+        assert_eq!(out.code, 0, "{:?}", out.lines);
+        let text = out.lines.join("\n");
+        // The sample corpus has 4 distinct ≥3-char terms over 5 nodes.
+        assert!(text.contains("nodes       5"), "{text}");
+        assert!(text.contains("terms       4"), "{text}");
+        assert!(text.contains("tokenizer   min_len=3"), "{text}");
+        // Inspect must agree with a full load.
+        let corpus = storage::load_from_file(&idx).unwrap();
+        assert!(text.contains(&format!("terms       {}", corpus.vocab().len())));
+    }
+
+    #[test]
+    fn index_inspect_rejects_non_snapshots() {
+        let xml = write_sample_xml("inspect_bad.xml");
+        let out = run(argv(&["index", "inspect", &xml]));
+        assert_eq!(out.code, 2, "{:?}", out.lines);
+        let out = run(argv(&["index", "inspect"]));
+        assert_eq!(out.code, 2);
+        assert!(out.lines[0].contains("usage"), "{:?}", out.lines);
+    }
+
+    #[test]
+    fn serve_validates_before_binding() {
+        // Missing snapshot path.
+        let out = run(argv(&["serve"]));
+        assert_eq!(out.code, 2);
+        assert!(out.lines[0].contains("usage"), "{:?}", out.lines);
+        // Nonexistent snapshot: the error points at `index build`.
+        let out = run(argv(&["serve", "/nonexistent/corpus.xci"]));
+        assert_eq!(out.code, 2);
+        assert!(out.lines[0].contains("index build"), "{:?}", out.lines);
+        // Flag typos and zero-width pools are rejected up front.
+        let xml = write_sample_xml("serve_flags.xml");
+        let idx = tmp("serve_flags.xci").to_string_lossy().into_owned();
+        assert_eq!(run(argv(&["index", "build", &xml, "--out", &idx])).code, 0);
+        let out = run(argv(&["serve", &idx, "--cache-entires", "64"]));
+        assert_eq!(out.code, 2);
+        assert!(out.lines[0].contains("unknown option"), "{:?}", out.lines);
+        let out = run(argv(&["serve", &idx, "--threads", "0"]));
+        assert_eq!(out.code, 2);
+        assert!(out.lines[0].contains("--threads"), "{:?}", out.lines);
+        let out = run(argv(&["serve", &idx, "--port", "notaport"]));
+        assert_eq!(out.code, 2);
     }
 
     #[test]

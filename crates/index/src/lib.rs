@@ -26,4 +26,5 @@ pub use corpus::{CorpusIndex, SharedPostings};
 pub use merged::{AccessStats, MergedEntry, MergedList};
 pub use path_stats::PathStatsIndex;
 pub use posting::{Posting, PostingList};
+pub use storage::{SnapshotSummary, StorageError};
 pub use vocab::{TokenId, Vocabulary};

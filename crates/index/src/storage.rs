@@ -240,6 +240,101 @@ pub fn from_bytes(mut buf: Bytes) -> Result<CorpusIndex, StorageError> {
     Ok(CorpusIndex::from_parts(tree, vocab, lists, tokenizer))
 }
 
+/// Cheap structural facts about a stored snapshot, extracted without
+/// rebuilding the tree, vocabulary, or posting lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotSummary {
+    /// Total snapshot size in bytes.
+    pub total_bytes: usize,
+    /// Number of distinct element labels.
+    pub labels: usize,
+    /// Number of tree nodes.
+    pub nodes: usize,
+    /// Number of vocabulary terms (= number of posting lists).
+    pub terms: usize,
+    /// Total token occurrences (sum of collection frequencies).
+    pub total_tokens: u64,
+    /// Bytes occupied by the encoded posting lists.
+    pub postings_bytes: usize,
+    /// Tokenizer policy the index was built with.
+    pub tokenizer: TokenizerConfig,
+}
+
+/// Walks a snapshot's framing and returns a [`SnapshotSummary`] without
+/// materialising the index — the fast path behind `xclean index inspect`.
+/// Every length field is still bounds-checked, so a truncated or hostile
+/// file errors instead of panicking; it just skips the O(corpus) work of
+/// re-establishing structural invariants that [`from_bytes`] performs.
+pub fn summarize(mut buf: Bytes) -> Result<SnapshotSummary, StorageError> {
+    let total_bytes = buf.remaining();
+    if buf.remaining() < MAGIC.len() || &buf.copy_to_bytes(MAGIC.len())[..] != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    let skip_str = |buf: &mut Bytes| -> Result<(), StorageError> {
+        let len = get_varint(buf)? as usize;
+        if buf.remaining() < len {
+            return Err(StorageError::Codec(CodecError::UnexpectedEof));
+        }
+        buf.advance(len);
+        Ok(())
+    };
+    let labels = get_count(&mut buf, 1)?;
+    for _ in 0..labels {
+        skip_str(&mut buf)?;
+    }
+    let nodes = get_count(&mut buf, 3)?;
+    for _ in 0..nodes {
+        get_varint(&mut buf)?; // depth
+        get_varint(&mut buf)?; // label id
+        if !buf.has_remaining() {
+            return Err(StorageError::Codec(CodecError::UnexpectedEof));
+        }
+        if buf.get_u8() == 1 {
+            skip_str(&mut buf)?;
+        }
+    }
+    let terms = get_count(&mut buf, 3)?;
+    let mut total_tokens = 0u64;
+    for _ in 0..terms {
+        skip_str(&mut buf)?;
+        total_tokens = total_tokens.saturating_add(get_varint(&mut buf)?); // cf
+        get_varint(&mut buf)?; // df
+    }
+    let mut postings_bytes = 0usize;
+    for _ in 0..terms {
+        let len = get_varint(&mut buf)? as usize;
+        if buf.remaining() < len {
+            return Err(StorageError::Codec(CodecError::UnexpectedEof));
+        }
+        buf.advance(len);
+        postings_bytes += len;
+    }
+    let min_token_len = get_varint(&mut buf)? as usize;
+    if buf.remaining() < 2 {
+        return Err(StorageError::Codec(CodecError::UnexpectedEof));
+    }
+    let tokenizer = TokenizerConfig {
+        min_token_len,
+        drop_numbers: buf.get_u8() == 1,
+        drop_stop_words: buf.get_u8() == 1,
+    };
+    Ok(SnapshotSummary {
+        total_bytes,
+        labels,
+        nodes,
+        terms,
+        total_tokens,
+        postings_bytes,
+        tokenizer,
+    })
+}
+
+/// [`summarize`] for a file on disk.
+pub fn summarize_file(path: impl AsRef<std::path::Path>) -> Result<SnapshotSummary, StorageError> {
+    let data = std::fs::read(path)?;
+    summarize(Bytes::from(data))
+}
+
 /// Writes the index to a file.
 pub fn save_to_file(
     corpus: &CorpusIndex,
@@ -316,6 +411,28 @@ mod tests {
         for cut in (8..bytes.len()).step_by(7) {
             assert!(from_bytes(bytes.slice(0..cut)).is_err(), "cut {cut}");
         }
+    }
+
+    #[test]
+    fn summary_matches_full_load() {
+        let a = corpus();
+        let bytes = to_bytes(&a);
+        let s = summarize(bytes.clone()).unwrap();
+        assert_eq!(s.total_bytes, bytes.len());
+        assert_eq!(s.nodes, a.tree().len());
+        assert_eq!(s.labels, a.tree().labels().len());
+        assert_eq!(s.terms, a.vocab().len());
+        assert_eq!(s.total_tokens, a.vocab().total_tokens());
+        assert_eq!(s.tokenizer, *a.tokenizer().config());
+        assert!(s.postings_bytes > 0 && s.postings_bytes < bytes.len());
+        // Truncations error, never panic — same contract as from_bytes.
+        for cut in (8..bytes.len()).step_by(11) {
+            assert!(summarize(bytes.slice(0..cut)).is_err(), "cut {cut}");
+        }
+        assert!(matches!(
+            summarize(Bytes::from_static(b"NOTANIDX")),
+            Err(StorageError::BadMagic)
+        ));
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Blocking HTTP/1.1 framing over a [`TcpStream`].
+//!
+//! Just enough of RFC 9112 for a JSON API that `curl` and load
+//! generators speak: request-line + headers + `Content-Length` body on
+//! the way in, `Connection: close` responses on the way out. Every input
+//! dimension is bounded (request-line/header bytes, header count, body
+//! bytes) and reads run under the socket read timeout configured by the
+//! server, so a slow or hostile client costs one worker at most
+//! `read_timeout` — it can never wedge the process.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line plus all header lines, in bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on the number of header lines.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, upper-cased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path (query strings are kept verbatim).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` was present).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Each variant maps to one HTTP status
+/// so the caller can always answer with a structured JSON error.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line or headers → 400.
+    Malformed(&'static str),
+    /// Body advertised more bytes than the server allows → 413.
+    BodyTooLarge {
+        /// The advertised `Content-Length`.
+        advertised: usize,
+        /// The server's limit.
+        limit: usize,
+    },
+    /// The client went away or stalled past the read timeout → drop.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::BodyTooLarge { advertised, limit } => {
+                write!(f, "body of {advertised} bytes exceeds limit of {limit}")
+            }
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one size-bounded CRLF- (or LF-) terminated line.
+fn read_line(reader: &mut BufReader<&TcpStream>, budget: &mut usize) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => return Err(HttpError::Malformed("connection closed mid-line")),
+            _ => {
+                if *budget == 0 {
+                    return Err(HttpError::Malformed("request head too large"));
+                }
+                *budget -= 1;
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+            }
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::Malformed("non-utf8 header"))
+}
+
+/// Reads one request from the stream. `max_body_bytes` bounds the body;
+/// the stream's read timeout (set by the caller) bounds the wait.
+pub fn read_request(stream: &TcpStream, max_body_bytes: usize) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_line(&mut reader, &mut budget)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Malformed("bad request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported protocol version"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header without ':'"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0usize,
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| HttpError::Malformed("bad content-length"))?,
+    };
+    if content_length > max_body_bytes {
+        return Err(HttpError::BodyTooLarge {
+            advertised: content_length,
+            limit: max_body_bytes,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// The reason phrase for the status codes this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete response. Every response carries
+/// `Connection: close`: the server is one-request-per-connection, which
+/// keeps the graceful-drain contract trivial (no idle keep-alive
+/// sockets to account for). `extra_headers` lets handlers attach
+/// metadata such as `X-Cache` without it entering the cached body.
+pub fn write_response(
+    stream: &TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut stream = stream;
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Runs `read_request` against raw bytes written from a client socket.
+    fn parse_raw(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(&raw).unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let r = read_request(&stream, max_body);
+        writer.join().unwrap();
+        r
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = parse_raw(
+            b"POST /suggest HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/suggest");
+        assert_eq!(r.header("content-length"), Some("5"));
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body_and_lf_only_lines() {
+        let r = parse_raw(b"GET /healthz HTTP/1.0\nAccept: */*\n\n", 1024).unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized() {
+        assert!(matches!(
+            parse_raw(b"not http at all\r\n\r\n", 1024),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"POST / HTTP/1.1\r\nContent-Length: gigantic\r\n\r\n", 16),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n", 16),
+            Err(HttpError::BodyTooLarge {
+                advertised: 999,
+                limit: 16
+            })
+        ));
+        assert!(matches!(
+            parse_raw(b"GET / SPDY/99\r\n\r\n", 16),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            let mut buf = Vec::new();
+            c.read_to_end(&mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        });
+        let (stream, _) = listener.accept().unwrap();
+        write_response(
+            &stream,
+            200,
+            "application/json",
+            &[("X-Cache", "hit")],
+            b"{}",
+        )
+        .unwrap();
+        drop(stream);
+        let text = reader.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("X-Cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

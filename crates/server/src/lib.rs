@@ -1,0 +1,41 @@
+//! # xclean-server
+//!
+//! A long-running HTTP/1.1 JSON suggestion server over the XClean
+//! engine (DESIGN.md §10). The paper builds its indexes offline so
+//! queries can be answered interactively (§VII-A); this crate is the
+//! online half: load a persisted [`xclean_index`] snapshot once, share
+//! it behind an `Arc` across a bounded worker pool, and answer
+//! `POST /suggest` from a sharded LRU response cache keyed by
+//! `(normalized query, engine fingerprint)`.
+//!
+//! Endpoints:
+//!
+//! - `POST /suggest` — body `{"query": "…"}` or `{"queries": ["…", …]}`;
+//!   responds with rendered suggestion lists and an `X-Cache` header.
+//! - `GET /healthz` — liveness plus cache occupancy and the engine
+//!   fingerprint.
+//! - `GET /metrics` — Prometheus text snapshot of the shared registry
+//!   (engine counters/histograms and the server's own series).
+//!
+//! Robustness: per-socket read/write timeouts, bounded request head and
+//! body sizes, bounded accept queue with `503` load-shedding, structured
+//! JSON error responses on every failure path, and SIGINT/SIGTERM
+//! graceful drain (stop accepting, answer in-flight, then return so the
+//! caller can flush exporters).
+//!
+//! Like `xclean-telemetry`, the crate is std-only: HTTP framing, the
+//! JSON codec, and the LRU cache are implemented here rather than
+//! imported.
+
+#![deny(unsafe_code)] // one vetted exception: shutdown::install_signal_handler
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod shutdown;
+
+pub use cache::{CacheKey, ResponseCache};
+pub use server::{DrainReport, ServerConfig, SuggestServer, MAX_BATCH_QUERIES};
+pub use shutdown::{install_signal_handler, ShutdownFlag};

@@ -1,0 +1,655 @@
+//! The long-running suggestion server.
+//!
+//! Architecture (DESIGN.md §10): one accept loop + a bounded pool of
+//! worker threads, all sharing an immutable [`XCleanEngine`] (and
+//! through it the corpus snapshot) behind an [`Arc`]. Accepted sockets
+//! flow through a bounded queue; when it is full the accept loop answers
+//! `503` directly instead of letting latency grow without bound. In
+//! front of the engine sits the sharded LRU [`ResponseCache`]: the cache
+//! value is the rendered per-query JSON result object, so a hot query
+//! costs a hash, one shard lock, and a `memcpy` of the response bytes.
+//!
+//! Graceful drain: when the [`ShutdownFlag`] trips (SIGINT/SIGTERM or
+//! [`ShutdownFlag::trigger`]), the accept loop stops taking connections,
+//! already-queued and in-flight requests are answered, the workers are
+//! joined, and [`SuggestServer::run`] returns a [`DrainReport`] — the
+//! caller then flushes exporters (`--trace-out`, `--metrics-json`).
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use xclean::{SuggestResponse, XCleanEngine};
+use xclean_telemetry::{names, Counter, Histogram};
+
+use crate::cache::{CacheKey, ResponseCache};
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::json::{self, Json};
+use crate::shutdown::ShutdownFlag;
+
+/// Upper bound on queries in one batch request: bounds the work a single
+/// request can demand from the pool.
+pub const MAX_BATCH_QUERIES: usize = 1024;
+
+/// Tunables of the serving layer (the engine has its own config).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads answering requests.
+    pub threads: usize,
+    /// Total response-cache entries across shards (0 disables caching).
+    pub cache_entries: usize,
+    /// Response-cache shards.
+    pub cache_shards: usize,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+    /// Per-socket read/write timeout.
+    pub read_timeout: Duration,
+    /// Accepted connections that may wait for a worker before the accept
+    /// loop starts shedding load with `503`s.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 4,
+            cache_entries: 4096,
+            cache_shards: 8,
+            max_body_bytes: 1 << 20,
+            read_timeout: Duration::from_secs(5),
+            queue_depth: 64,
+        }
+    }
+}
+
+/// What the server did over its lifetime, returned by
+/// [`SuggestServer::run`] after a graceful drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// HTTP requests answered (all routes, all statuses).
+    pub requests: u64,
+    /// Responses with a 4xx/5xx status.
+    pub errors: u64,
+    /// Response-cache hits.
+    pub cache_hits: u64,
+    /// Response-cache misses.
+    pub cache_misses: u64,
+    /// Response-cache evictions.
+    pub cache_evictions: u64,
+}
+
+/// The bound-but-not-yet-running server.
+#[derive(Debug)]
+pub struct SuggestServer {
+    engine: Arc<XCleanEngine>,
+    cache: Arc<ResponseCache>,
+    config: ServerConfig,
+    listener: TcpListener,
+    shutdown: ShutdownFlag,
+    fingerprint: u64,
+}
+
+/// Everything a worker needs to answer one connection.
+struct Handler {
+    engine: Arc<XCleanEngine>,
+    cache: Arc<ResponseCache>,
+    fingerprint: u64,
+    max_body_bytes: usize,
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
+
+/// One rendered response, ready to write.
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    cache_header: Option<String>,
+    body: String,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            content_type: "application/json",
+            cache_header: None,
+            body,
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Reply {
+        Reply::json(
+            status,
+            format!(
+                "{{\"error\":{{\"code\":{status},\"message\":\"{}\"}}}}",
+                json::escape(message)
+            ),
+        )
+    }
+}
+
+impl SuggestServer {
+    /// Binds to `addr` (e.g. `127.0.0.1:0` for an ephemeral port) over a
+    /// shared engine. The cache's counters are registered in the
+    /// engine's metrics registry so `GET /metrics` exposes engine and
+    /// server series side by side.
+    pub fn bind(
+        engine: Arc<XCleanEngine>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> io::Result<SuggestServer> {
+        let listener = TcpListener::bind(addr)?;
+        let cache = Arc::new(ResponseCache::new(
+            config.cache_entries,
+            config.cache_shards,
+            engine.metrics(),
+        ));
+        let fingerprint = engine.fingerprint();
+        Ok(SuggestServer {
+            engine,
+            cache,
+            config,
+            listener,
+            shutdown: ShutdownFlag::new(),
+            fingerprint,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that triggers (or observes) graceful drain.
+    pub fn shutdown_flag(&self) -> ShutdownFlag {
+        self.shutdown.clone()
+    }
+
+    /// The engine fingerprint used for cache keying.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<XCleanEngine> {
+        &self.engine
+    }
+
+    /// Serves until the shutdown flag trips, then drains: stops
+    /// accepting, answers queued and in-flight requests, joins the
+    /// workers, and reports lifetime totals.
+    pub fn run(self) -> io::Result<DrainReport> {
+        self.listener.set_nonblocking(true)?;
+        let registry = self.engine.metrics().clone();
+        let handler = Arc::new(Handler {
+            engine: Arc::clone(&self.engine),
+            cache: Arc::clone(&self.cache),
+            fingerprint: self.fingerprint,
+            max_body_bytes: self.config.max_body_bytes,
+            requests: registry.counter(names::SERVER_REQUESTS),
+            errors: registry.counter(names::SERVER_ERRORS),
+            latency: registry.histogram(names::SERVER_REQUEST),
+        });
+        let (tx, rx) = sync_channel::<TcpStream>(self.config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.threads.max(1) {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
+                scope.spawn(move || worker_loop(&rx, &handler));
+            }
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+                        let _ = stream.set_write_timeout(Some(self.config.read_timeout));
+                        if let Err(TrySendError::Full(stream)) = tx.try_send(stream) {
+                            handler.requests.inc();
+                            handler.errors.inc();
+                            let reply = Reply::error(503, "server overloaded; retry");
+                            let _ = write_response(
+                                &stream,
+                                reply.status,
+                                reply.content_type,
+                                &[],
+                                reply.body.as_bytes(),
+                            );
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        if self.shutdown.is_triggered() {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => {
+                        if self.shutdown.is_triggered() {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+                if self.shutdown.is_triggered() {
+                    break;
+                }
+            }
+            // Drain: close the channel; workers finish queued + in-flight
+            // requests, then exit, and the scope joins them.
+            drop(tx);
+        });
+        let (cache_hits, cache_misses, cache_evictions) = self.cache.counters();
+        Ok(DrainReport {
+            requests: handler.requests.get(),
+            errors: handler.errors.get(),
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+        })
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, handler: &Handler) {
+    loop {
+        // Hold the receiver lock only for the dequeue itself.
+        let stream = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(stream) = stream else {
+            return; // channel closed: drain complete
+        };
+        // A panicking handler (engine bug, poisoned lock) must cost one
+        // connection, not the whole pool.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(&stream, handler);
+        }));
+        if result.is_err() {
+            handler.errors.inc();
+            let reply = Reply::error(500, "internal error");
+            let _ = write_response(
+                &stream,
+                reply.status,
+                reply.content_type,
+                &[],
+                reply.body.as_bytes(),
+            );
+        }
+    }
+}
+
+fn handle_connection(stream: &TcpStream, handler: &Handler) {
+    let start = Instant::now();
+    let reply = match read_request(stream, handler.max_body_bytes) {
+        Ok(request) => route(&request, handler),
+        Err(HttpError::Malformed(m)) => Reply::error(400, m),
+        Err(HttpError::BodyTooLarge { advertised, limit }) => Reply::error(
+            413,
+            &format!("body of {advertised} bytes exceeds limit of {limit}"),
+        ),
+        Err(HttpError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {
+            // Read timeout: best-effort 408, then close.
+            Reply::error(408, "request read timed out")
+        }
+        Err(HttpError::Io(_)) => return, // client went away: nothing to answer
+    };
+    handler.requests.inc();
+    if reply.status >= 400 {
+        handler.errors.inc();
+    }
+    let mut extra: Vec<(&str, &str)> = Vec::new();
+    if let Some(h) = reply.cache_header.as_deref() {
+        extra.push(("X-Cache", h));
+    }
+    let _ = write_response(
+        stream,
+        reply.status,
+        reply.content_type,
+        &extra,
+        reply.body.as_bytes(),
+    );
+    handler
+        .latency
+        .record((start.elapsed().as_nanos() as u64).max(1));
+}
+
+fn route(request: &Request, handler: &Handler) -> Reply {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => healthz(handler),
+        ("GET", "/metrics") => Reply {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            cache_header: None,
+            body: handler.engine.metrics().metrics_text(),
+        },
+        ("POST", "/suggest") => suggest(request, handler),
+        (_, "/suggest") | (_, "/healthz") | (_, "/metrics") => {
+            Reply::error(405, "method not allowed")
+        }
+        _ => Reply::error(404, "no such endpoint"),
+    }
+}
+
+fn healthz(handler: &Handler) -> Reply {
+    if let Err(m) = handler.cache.check_consistency() {
+        return Reply::error(500, &format!("cache inconsistent: {m}"));
+    }
+    let queries = handler
+        .engine
+        .metrics()
+        .counter_value(names::QUERIES)
+        .unwrap_or(0);
+    Reply::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"fingerprint\":\"{:016x}\",\"queries_total\":{queries},\
+             \"cache\":{{\"entries\":{},\"capacity\":{},\"shards\":{}}}}}",
+            handler.fingerprint,
+            handler.cache.len(),
+            handler.cache.capacity(),
+            handler.cache.shard_count(),
+        ),
+    )
+}
+
+/// Renders one per-query result object — the unit the cache stores. It
+/// contains only the *normalized* query and the (deterministic)
+/// suggestions, never timings, so a cached body is byte-identical to a
+/// freshly computed one.
+fn render_result(normalized: &str, response: &SuggestResponse) -> String {
+    let mut out = String::from("{\"query\":\"");
+    out.push_str(&json::escape(normalized));
+    out.push_str("\",\"suggestions\":[");
+    for (i, s) in response.suggestions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"query\":\"");
+        out.push_str(&json::escape(&s.query_string()));
+        out.push_str("\",\"terms\":[");
+        for (j, t) in s.terms.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&json::escape(t));
+            out.push('"');
+        }
+        out.push_str("],\"log_score\":");
+        out.push_str(&format!("{}", s.log_score));
+        out.push_str(",\"distances\":[");
+        for (j, d) in s.distances.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.to_string());
+        }
+        out.push_str("],\"entities\":");
+        out.push_str(&s.entity_count.to_string());
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Answers one normalized query through the cache, computing on miss.
+/// Returns the rendered result object and whether it was a hit.
+fn cached_result(keywords: &[String], handler: &Handler) -> (Arc<str>, bool) {
+    let normalized = keywords.join(" ");
+    let key = CacheKey {
+        query: normalized.clone(),
+        fingerprint: handler.fingerprint,
+    };
+    if let Some(hit) = handler.cache.get(&key) {
+        return (hit, true);
+    }
+    let response = handler.engine.suggest_keywords(keywords);
+    let rendered: Arc<str> = Arc::from(render_result(&normalized, &response).as_str());
+    handler.cache.insert(key, Arc::clone(&rendered));
+    (rendered, false)
+}
+
+fn suggest(request: &Request, handler: &Handler) -> Reply {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Reply::error(400, "body is not utf-8");
+    };
+    let parsed = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Reply::error(400, &format!("invalid JSON body: {e}")),
+    };
+    match (parsed.get("query"), parsed.get("queries")) {
+        (Some(_), Some(_)) => Reply::error(400, "give \"query\" or \"queries\", not both"),
+        (Some(q), None) => {
+            let Some(q) = q.as_str() else {
+                return Reply::error(400, "\"query\" must be a string");
+            };
+            let keywords = handler.engine.parse_query(q);
+            if keywords.is_empty() {
+                return Reply::error(400, "query contains no keywords");
+            }
+            let (body, hit) = cached_result(&keywords, handler);
+            Reply {
+                status: 200,
+                content_type: "application/json",
+                cache_header: Some(if hit { "hit" } else { "miss" }.to_string()),
+                body: body.to_string(),
+            }
+        }
+        (None, Some(qs)) => {
+            let Some(items) = qs.as_array() else {
+                return Reply::error(400, "\"queries\" must be an array of strings");
+            };
+            if items.len() > MAX_BATCH_QUERIES {
+                return Reply::error(
+                    400,
+                    &format!("at most {MAX_BATCH_QUERIES} queries per batch"),
+                );
+            }
+            let mut raw = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    Json::Str(s) => raw.push(s.as_str()),
+                    _ => return Reply::error(400, "\"queries\" must be an array of strings"),
+                }
+            }
+            let (body, hits, misses) = batch_suggest(&raw, handler);
+            Reply {
+                status: 200,
+                content_type: "application/json",
+                cache_header: Some(format!("hits={hits} misses={misses}")),
+                body,
+            }
+        }
+        (None, None) => Reply::error(400, "body must contain \"query\" or \"queries\""),
+    }
+}
+
+/// The batch path: answer every hit from the cache, send the misses
+/// through `suggest_many_keywords` (the engine's worker pool) in one go,
+/// and reassemble in request order.
+fn batch_suggest(raw: &[&str], handler: &Handler) -> (String, u64, u64) {
+    let keyword_lists: Vec<Vec<String>> =
+        raw.iter().map(|q| handler.engine.parse_query(q)).collect();
+    let mut slots: Vec<Option<Arc<str>>> = vec![None; raw.len()];
+    let mut miss_idx = Vec::new();
+    let mut hits = 0u64;
+    for (i, keywords) in keyword_lists.iter().enumerate() {
+        let key = CacheKey {
+            query: keywords.join(" "),
+            fingerprint: handler.fingerprint,
+        };
+        match handler.cache.get(&key) {
+            Some(hit) => {
+                slots[i] = Some(hit);
+                hits += 1;
+            }
+            None => miss_idx.push(i),
+        }
+    }
+    let misses = miss_idx.len() as u64;
+    if !miss_idx.is_empty() {
+        let miss_keywords: Vec<Vec<String>> =
+            miss_idx.iter().map(|&i| keyword_lists[i].clone()).collect();
+        let responses = handler.engine.suggest_many_keywords(&miss_keywords);
+        for (&i, response) in miss_idx.iter().zip(responses.iter()) {
+            let normalized = keyword_lists[i].join(" ");
+            let rendered: Arc<str> = Arc::from(render_result(&normalized, response).as_str());
+            handler.cache.insert(
+                CacheKey {
+                    query: normalized,
+                    fingerprint: handler.fingerprint,
+                },
+                Arc::clone(&rendered),
+            );
+            slots[i] = Some(rendered);
+        }
+    }
+    let mut body = String::from("{\"results\":[");
+    for (i, slot) in slots.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(slot.as_deref().expect("every slot answered"));
+    }
+    body.push_str("]}");
+    (body, hits, misses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xclean::XCleanConfig;
+    use xclean_telemetry::MetricsRegistry;
+    use xclean_xmltree::parse_document;
+
+    fn handler() -> Handler {
+        let xml = "<db><rec><t>health insurance</t></rec><rec><t>program instance</t></rec></db>";
+        let engine = Arc::new(XCleanEngine::new(
+            parse_document(xml).unwrap(),
+            XCleanConfig::default(),
+        ));
+        let registry: &MetricsRegistry = engine.metrics();
+        let cache = Arc::new(ResponseCache::new(64, 4, registry));
+        let fingerprint = engine.fingerprint();
+        Handler {
+            requests: registry.counter(names::SERVER_REQUESTS),
+            errors: registry.counter(names::SERVER_ERRORS),
+            latency: registry.histogram(names::SERVER_REQUEST),
+            engine,
+            cache,
+            fingerprint,
+            max_body_bytes: 1 << 20,
+        }
+    }
+
+    fn post(body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: "/suggest".to_string(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn single_query_misses_then_hits_bit_identically() {
+        let h = handler();
+        let first = route(&post(r#"{"query": "helth insurance"}"#), &h);
+        assert_eq!(first.status, 200);
+        assert_eq!(first.cache_header.as_deref(), Some("miss"));
+        assert!(
+            first.body.contains("\"health insurance\""),
+            "{}",
+            first.body
+        );
+        // Different raw spelling, same normalized form → hit, same bytes.
+        let second = route(&post(r#"{"query": "  HELTH   insurance "}"#), &h);
+        assert_eq!(second.cache_header.as_deref(), Some("hit"));
+        assert_eq!(first.body, second.body);
+        assert_eq!(h.cache.counters(), (1, 1, 0));
+    }
+
+    #[test]
+    fn batch_reassembles_in_order_and_uses_cache() {
+        let h = handler();
+        let warm = route(&post(r#"{"query": "program instance"}"#), &h);
+        assert_eq!(warm.status, 200);
+        let reply = route(
+            &post(r#"{"queries": ["helth insurance", "program instance", "zzz qqq"]}"#),
+            &h,
+        );
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.cache_header.as_deref(), Some("hits=1 misses=2"));
+        let order: Vec<usize> = ["helth insurance", "program instance", "\"zzz qqq\""]
+            .iter()
+            .map(|n| reply.body.find(*n).expect(n))
+            .collect();
+        assert!(order[0] < order[1] && order[1] < order[2], "{}", reply.body);
+    }
+
+    #[test]
+    fn malformed_bodies_yield_structured_errors() {
+        let h = handler();
+        for (body, needle) in [
+            ("{not json", "invalid JSON body"),
+            ("[1,2]", "must contain"),
+            (r#"{"query": 7}"#, "must be a string"),
+            (r#"{"queries": "x"}"#, "array of strings"),
+            (r#"{"queries": [1]}"#, "array of strings"),
+            (r#"{"query": "a", "queries": ["b"]}"#, "not both"),
+            (r#"{"query": "...!!!"}"#, "no keywords"),
+        ] {
+            let reply = route(&post(body), &h);
+            assert_eq!(reply.status, 400, "{body}");
+            assert!(reply.body.contains("\"error\""), "{}", reply.body);
+            assert!(reply.body.contains(needle), "{body} → {}", reply.body);
+        }
+    }
+
+    #[test]
+    fn routing_rejects_unknown_paths_and_methods() {
+        let h = handler();
+        let mut r = post("{}");
+        r.path = "/nope".to_string();
+        assert_eq!(route(&r, &h).status, 404);
+        let mut r = post("{}");
+        r.method = "GET".to_string();
+        assert_eq!(route(&r, &h).status, 405);
+        let mut r = post("{}");
+        r.method = "DELETE".to_string();
+        r.path = "/metrics".to_string();
+        assert_eq!(route(&r, &h).status, 405);
+    }
+
+    #[test]
+    fn healthz_and_metrics_render() {
+        let h = handler();
+        let _ = route(&post(r#"{"query": "helth insurance"}"#), &h);
+        let mut r = post("");
+        r.method = "GET".to_string();
+        r.path = "/healthz".to_string();
+        let reply = route(&r, &h);
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains("\"status\":\"ok\""), "{}", reply.body);
+        assert!(reply.body.contains("\"queries_total\":1"), "{}", reply.body);
+        let mut r = post("");
+        r.method = "GET".to_string();
+        r.path = "/metrics".to_string();
+        let reply = route(&r, &h);
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains(names::CACHE_MISSES), "{}", reply.body);
+        assert!(reply.body.contains(names::QUERIES), "{}", reply.body);
+    }
+
+    #[test]
+    fn batch_and_single_share_cache_entries() {
+        let h = handler();
+        let single = route(&post(r#"{"query": "helth insurance"}"#), &h);
+        let batch = route(&post(r#"{"queries": ["helth insurance"]}"#), &h);
+        assert_eq!(batch.cache_header.as_deref(), Some("hits=1 misses=0"));
+        assert_eq!(batch.body, format!("{{\"results\":[{}]}}", single.body));
+    }
+}

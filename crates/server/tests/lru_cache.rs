@@ -1,0 +1,151 @@
+//! Response-cache contract tests: eviction order at minimal capacity,
+//! config-fingerprint keying, and a multi-threaded hammer asserting the
+//! counters balance and no shard mutex ends up poisoned.
+
+use std::sync::Arc;
+
+use xclean_server::{CacheKey, ResponseCache};
+use xclean_telemetry::{names, MetricsRegistry};
+
+fn key(query: &str, fingerprint: u64) -> CacheKey {
+    CacheKey {
+        query: query.to_string(),
+        fingerprint,
+    }
+}
+
+#[test]
+fn capacity_one_keeps_exactly_the_last_touched_entry() {
+    let registry = MetricsRegistry::default();
+    let cache = ResponseCache::new(1, 1, &registry);
+    // a, then b: b must evict a (strict LRU at capacity 1 is "newest
+    // wins"), and so on down a chain — after inserting n entries exactly
+    // the last survives and exactly n-1 evictions happened.
+    let names = ["a", "b", "c", "d", "e"];
+    for n in names {
+        cache.insert(key(n, 0), Arc::from(n));
+    }
+    assert_eq!(cache.len(), 1);
+    for gone in &names[..names.len() - 1] {
+        assert!(cache.get(&key(gone, 0)).is_none(), "{gone} must be evicted");
+    }
+    assert_eq!(cache.get(&key("e", 0)).as_deref(), Some("e"));
+    let (_, _, evictions) = cache.counters();
+    assert_eq!(evictions, names.len() as u64 - 1);
+    // Re-touching the survivor then inserting evicts nothing until the
+    // new entry displaces it.
+    cache.insert(key("f", 0), Arc::from("f"));
+    assert!(cache.get(&key("e", 0)).is_none());
+    assert_eq!(cache.get(&key("f", 0)).as_deref(), Some("f"));
+    cache.check_consistency().unwrap();
+}
+
+#[test]
+fn same_query_different_fingerprint_misses() {
+    // The fingerprint separates configs: the same normalized query under
+    // a different β/γ (hence different fingerprint) must be a miss.
+    let registry = MetricsRegistry::default();
+    let cache = ResponseCache::new(64, 4, &registry);
+    let fp_beta5 = 0xAAAA_BBBB_CCCC_0001u64;
+    let fp_beta4 = 0xAAAA_BBBB_CCCC_0002u64;
+    cache.insert(key("health insurance", fp_beta5), Arc::from("under beta=5"));
+    assert!(
+        cache.get(&key("health insurance", fp_beta4)).is_none(),
+        "different fingerprint must never hit"
+    );
+    assert_eq!(
+        cache.get(&key("health insurance", fp_beta5)).as_deref(),
+        Some("under beta=5")
+    );
+    // Both keys can coexist — they are distinct entries.
+    cache.insert(key("health insurance", fp_beta4), Arc::from("under beta=4"));
+    assert_eq!(
+        cache.get(&key("health insurance", fp_beta4)).as_deref(),
+        Some("under beta=4")
+    );
+    assert_eq!(
+        cache.get(&key("health insurance", fp_beta5)).as_deref(),
+        Some("under beta=5")
+    );
+    assert_eq!(cache.len(), 2);
+}
+
+#[test]
+fn real_engine_fingerprints_key_the_cache() {
+    // End-to-end over the real fingerprint scheme: two configs differing
+    // only in β (and two differing only in γ) produce different engine
+    // fingerprints, so their entries never collide.
+    use xclean::{XCleanConfig, XCleanEngine};
+    use xclean_xmltree::parse_document;
+    let xml = "<db><rec><t>health insurance</t></rec></db>";
+    let base = XCleanEngine::new(parse_document(xml).unwrap(), XCleanConfig::default());
+    let corpus = base.corpus_shared();
+    let beta4 = XCleanEngine::from_shared(
+        Arc::clone(&corpus),
+        XCleanConfig {
+            beta: 4.0,
+            ..Default::default()
+        },
+    );
+    let gamma_off = XCleanEngine::from_shared(
+        Arc::clone(&corpus),
+        XCleanConfig {
+            gamma: None,
+            ..Default::default()
+        },
+    );
+    let registry = MetricsRegistry::default();
+    let cache = ResponseCache::new(16, 2, &registry);
+    cache.insert(
+        key("health insurance", base.fingerprint()),
+        Arc::from("base"),
+    );
+    assert!(cache
+        .get(&key("health insurance", beta4.fingerprint()))
+        .is_none());
+    assert!(cache
+        .get(&key("health insurance", gamma_off.fingerprint()))
+        .is_none());
+    assert!(cache
+        .get(&key("health insurance", base.fingerprint()))
+        .is_some());
+}
+
+#[test]
+fn concurrent_hammer_balances_counters_and_poisons_nothing() {
+    let registry = MetricsRegistry::default();
+    let cache = Arc::new(ResponseCache::new(32, 8, &registry));
+    const THREADS: usize = 8;
+    const OPS: usize = 2_000;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = Arc::clone(&cache);
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    // A working set larger than capacity with per-thread
+                    // skew: plenty of hits, misses, and evictions.
+                    let q = format!("query-{}", (i * (t + 1)) % 96);
+                    let k = key(&q, 7);
+                    if cache.get(&k).is_none() {
+                        cache.insert(k, Arc::from(q.as_str()));
+                    }
+                }
+            });
+        }
+    });
+    let (hits, misses, evictions) = cache.counters();
+    assert_eq!(
+        hits + misses,
+        (THREADS * OPS) as u64,
+        "every request is exactly one hit or one miss"
+    );
+    assert!(misses > 0 && hits > 0, "workload exercises both outcomes");
+    assert!(evictions > 0, "working set exceeds capacity");
+    cache
+        .check_consistency()
+        .expect("no shard poisoned, maps consistent");
+    assert!(cache.len() <= 32);
+    // The registry saw the same numbers (shared counters).
+    assert_eq!(registry.counter_value(names::CACHE_HITS), Some(hits));
+    assert_eq!(registry.counter_value(names::CACHE_MISSES), Some(misses));
+}

@@ -65,6 +65,18 @@ pub mod names {
     pub const STAGE_PARTITION: &str = "xclean_stage_partition_walk_nanos";
     /// Latency histogram: whole `suggest` call.
     pub const STAGE_TOTAL: &str = "xclean_stage_total_nanos";
+    /// HTTP requests served by the suggestion server.
+    pub const SERVER_REQUESTS: &str = "xclean_server_requests_total";
+    /// HTTP responses with a 4xx/5xx status.
+    pub const SERVER_ERRORS: &str = "xclean_server_errors_total";
+    /// Response-cache lookups that hit.
+    pub const CACHE_HITS: &str = "xclean_server_cache_hits_total";
+    /// Response-cache lookups that missed.
+    pub const CACHE_MISSES: &str = "xclean_server_cache_misses_total";
+    /// Response-cache entries evicted by LRU pressure.
+    pub const CACHE_EVICTIONS: &str = "xclean_server_cache_evictions_total";
+    /// Latency histogram: whole HTTP request (parse → response written).
+    pub const SERVER_REQUEST: &str = "xclean_server_request_nanos";
 }
 
 /// The telemetry bundle an engine carries: a span tracer (disabled by

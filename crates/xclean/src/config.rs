@@ -98,12 +98,77 @@ impl Default for XCleanConfig {
     }
 }
 
+/// FNV-1a accumulation step, shared by the fingerprint methods.
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
 impl XCleanConfig {
     /// The effective smoothing scheme: the explicit override, or
     /// Dirichlet with `mu`.
     pub fn effective_smoothing(&self) -> xclean_lm::Smoothing {
         self.smoothing
             .unwrap_or(xclean_lm::Smoothing::Dirichlet { mu: self.mu })
+    }
+
+    /// A 64-bit FNV-1a fingerprint of every *result-relevant* parameter.
+    ///
+    /// Two configs with equal fingerprints produce bit-identical
+    /// suggestions for the same query over the same corpus. The
+    /// concurrency knobs (`num_threads`, `batch_size`) are deliberately
+    /// excluded: the engine guarantees they never change results, only
+    /// wall-clock. The serving layer keys its response cache on this
+    /// value so entries can never leak across configurations.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        fnv1a(&mut h, &(self.epsilon as u64).to_le_bytes());
+        fnv1a(&mut h, &self.beta.to_bits().to_le_bytes());
+        fnv1a(&mut h, &self.depth_decay.to_bits().to_le_bytes());
+        fnv1a(&mut h, &u64::from(self.min_depth).to_le_bytes());
+        // Option/enum values get a tag byte so `None` can never collide
+        // with a payload that happens to encode to the same bytes.
+        match self.gamma {
+            None => fnv1a(&mut h, &[0]),
+            Some(g) => {
+                fnv1a(&mut h, &[1]);
+                fnv1a(&mut h, &(g as u64).to_le_bytes());
+            }
+        }
+        fnv1a(&mut h, &(self.k as u64).to_le_bytes());
+        fnv1a(
+            &mut h,
+            &(self.max_candidates_per_subtree as u64).to_le_bytes(),
+        );
+        fnv1a(&mut h, &(self.partition_threshold as u64).to_le_bytes());
+        fnv1a(&mut h, &[u8::from(self.enable_skipping)]);
+        fnv1a(
+            &mut h,
+            &[match self.prior {
+                EntityPrior::Uniform => 0,
+                EntityPrior::DocLength => 1,
+            }],
+        );
+        match self.phonetic_distance {
+            None => fnv1a(&mut h, &[0]),
+            Some(d) => {
+                fnv1a(&mut h, &[1]);
+                fnv1a(&mut h, &u64::from(d).to_le_bytes());
+            }
+        }
+        match self.effective_smoothing() {
+            xclean_lm::Smoothing::Dirichlet { mu } => {
+                fnv1a(&mut h, &[0]);
+                fnv1a(&mut h, &mu.to_bits().to_le_bytes());
+            }
+            xclean_lm::Smoothing::JelinekMercer { lambda } => {
+                fnv1a(&mut h, &[1]);
+                fnv1a(&mut h, &lambda.to_bits().to_le_bytes());
+            }
+        }
+        h
     }
 
     /// Validates parameter ranges, panicking on nonsense values. Called by
@@ -138,6 +203,61 @@ mod tests {
         assert_eq!(c.gamma, Some(1000));
         assert_eq!(c.depth_decay, 0.8);
         c.validate();
+    }
+
+    #[test]
+    fn fingerprint_tracks_scoring_params_only() {
+        let base = XCleanConfig::default();
+        assert_eq!(base.fingerprint(), XCleanConfig::default().fingerprint());
+        // Concurrency knobs never change results, so they must not
+        // change the fingerprint either.
+        let threaded = XCleanConfig {
+            num_threads: 8,
+            batch_size: 1,
+            ..Default::default()
+        };
+        assert_eq!(base.fingerprint(), threaded.fingerprint());
+        // Every scoring parameter must perturb it.
+        for changed in [
+            XCleanConfig {
+                beta: 4.0,
+                ..Default::default()
+            },
+            XCleanConfig {
+                gamma: None,
+                ..Default::default()
+            },
+            XCleanConfig {
+                gamma: Some(999),
+                ..Default::default()
+            },
+            XCleanConfig {
+                epsilon: 1,
+                ..Default::default()
+            },
+            XCleanConfig {
+                k: 5,
+                ..Default::default()
+            },
+            XCleanConfig {
+                mu: 1999.0,
+                ..Default::default()
+            },
+            XCleanConfig {
+                phonetic_distance: Some(1),
+                ..Default::default()
+            },
+            XCleanConfig {
+                prior: EntityPrior::DocLength,
+                ..Default::default()
+            },
+            XCleanConfig {
+                enable_skipping: false,
+                ..Default::default()
+            },
+        ] {
+            assert_ne!(base.fingerprint(), changed.fingerprint(), "{changed:?}");
+        }
     }
 
     #[test]

@@ -269,6 +269,36 @@ impl XCleanEngine {
         &self.variants
     }
 
+    /// A fingerprint of everything that determines this engine's
+    /// responses: the scoring configuration
+    /// ([`XCleanConfig::fingerprint`]), the entity semantics, and the
+    /// shape of the corpus snapshot. The serving layer keys its response
+    /// cache on this value, so an engine rebuilt with a different β/γ —
+    /// or over a different snapshot — can never be answered from stale
+    /// entries.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = self.config.fingerprint();
+        let mix = |h: &mut u64, v: u64| {
+            for b in v.to_le_bytes() {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(
+            &mut h,
+            match self.semantics {
+                Semantics::NodeType => 0,
+                Semantics::Slca => 1,
+                Semantics::Elca => 2,
+            },
+        );
+        mix(&mut h, self.corpus.tree().len() as u64);
+        mix(&mut h, self.corpus.vocab().len() as u64);
+        mix(&mut h, self.corpus.vocab().total_tokens());
+        mix(&mut h, self.corpus.element_count() as u64);
+        h
+    }
+
     /// Splits a raw query string into keywords (permissive: the user's
     /// tokens are preserved even when short or numeric).
     pub fn parse_query(&self, query: &str) -> Vec<String> {
@@ -776,6 +806,45 @@ mod tests {
             &base.suggest("helth insurance"),
             &other.suggest("helth insurance"),
         );
+    }
+
+    #[test]
+    fn fingerprint_separates_configs_semantics_and_corpora() {
+        let base = engine();
+        let same = XCleanEngine::from_shared(
+            base.corpus_shared(),
+            XCleanConfig {
+                epsilon: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(base.fingerprint(), same.fingerprint());
+        let other_beta = XCleanEngine::from_shared(
+            base.corpus_shared(),
+            XCleanConfig {
+                epsilon: 2,
+                beta: 4.0,
+                ..Default::default()
+            },
+        );
+        assert_ne!(base.fingerprint(), other_beta.fingerprint());
+        let slca = XCleanEngine::from_shared(
+            base.corpus_shared(),
+            XCleanConfig {
+                epsilon: 2,
+                ..Default::default()
+            },
+        )
+        .with_semantics(Semantics::Slca);
+        assert_ne!(base.fingerprint(), slca.fingerprint());
+        let other_corpus = XCleanEngine::new(
+            parse_document("<r><a><w>different corpus</w></a></r>").unwrap(),
+            XCleanConfig {
+                epsilon: 2,
+                ..Default::default()
+            },
+        );
+        assert_ne!(base.fingerprint(), other_corpus.fingerprint());
     }
 
     #[test]

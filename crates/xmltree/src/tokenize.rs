@@ -15,7 +15,7 @@ pub const STOP_WORDS: &[&str] = &[
 ];
 
 /// Tokenisation policy: which tokens enter the vocabulary.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TokenizerConfig {
     /// Tokens shorter than this many characters are dropped (paper: 3).
     pub min_token_len: usize,

@@ -19,5 +19,6 @@ pub use xclean_eval as eval;
 pub use xclean_fastss as fastss;
 pub use xclean_index as index;
 pub use xclean_lm as lm;
+pub use xclean_server as server;
 pub use xclean_telemetry as telemetry;
 pub use xclean_xmltree as xmltree;
