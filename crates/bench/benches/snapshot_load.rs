@@ -1,0 +1,72 @@
+//! Benchmark: snapshot open cost — the v1 rebuild-load path versus the
+//! v2 columnar open (owned copy and mmap-backed) on the dblp corpus.
+//!
+//! v1 loading replays the tree builder and re-interns the vocabulary, so
+//! it is O(corpus) work before the first query can run. v2 opening is a
+//! validation pass over slab byte-ranges (postings and path statistics
+//! decode lazily on first access), so the target is an open that is at
+//! least 5× faster than the v1 load on the same corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use xclean_datagen::{generate_dblp, DblpConfig};
+use xclean_index::{storage, CorpusIndex, OpenOptions, SlabMode};
+
+/// `XCLEAN_BENCH_QUICK=1` shrinks the corpus and sample count so CI can
+/// run the bench as a regression smoke in seconds.
+fn quick() -> bool {
+    std::env::var_os("XCLEAN_BENCH_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+fn bench_snapshot_load(c: &mut Criterion) {
+    let corpus = CorpusIndex::build(generate_dblp(&DblpConfig {
+        publications: if quick() { 200 } else { 1_000 },
+        ..Default::default()
+    }));
+    let v1_bytes = storage::to_bytes(&corpus);
+    let v2_bytes = storage::to_bytes_v2(&corpus);
+
+    let dir = std::env::temp_dir().join("xclean_snapshot_load_bench");
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let v1_path = dir.join("dblp.v1.xci");
+    let v2_path = dir.join("dblp.v2.xci");
+    std::fs::write(&v1_path, &v1_bytes).expect("write v1 snapshot");
+    std::fs::write(&v2_path, &v2_bytes).expect("write v2 snapshot");
+
+    let mut group = c.benchmark_group("snapshot_load");
+    group.throughput(Throughput::Bytes(v2_bytes.len() as u64));
+    group.bench_function("v1_rebuild_load", |b| {
+        b.iter(|| black_box(storage::open_file(&v1_path, &OpenOptions::default()).unwrap()))
+    });
+    group.bench_function("v2_open_owned", |b| {
+        b.iter(|| {
+            black_box(
+                storage::open_file(
+                    &v2_path,
+                    &OpenOptions {
+                        mode: SlabMode::Owned,
+                        ..Default::default()
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("v2_open_mapped", |b| {
+        b.iter(|| black_box(storage::open_file(&v2_path, &OpenOptions::default()).unwrap()))
+    });
+    // An open that defers all decoding would be cheating if first access
+    // were then catastrophic: also measure open + touching every posting
+    // list (the worst-case cold read, far beyond any single query).
+    group.bench_function("v2_open_plus_full_decode", |b| {
+        b.iter(|| {
+            let (corpus, _) = storage::open_file(&v2_path, &OpenOptions::default()).unwrap();
+            let total: usize = corpus.posting_lists().map(|l| l.len()).sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot_load);
+criterion_main!(benches);

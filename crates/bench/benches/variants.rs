@@ -18,8 +18,14 @@ fn vocabularies() -> Vec<(&'static str, Vec<String>)> {
         ..Default::default()
     }));
     vec![
-        ("dblp", dblp.vocab().terms().to_vec()),
-        ("inex", inex.vocab().terms().to_vec()),
+        (
+            "dblp",
+            dblp.vocab().iter_terms().map(str::to_string).collect(),
+        ),
+        (
+            "inex",
+            inex.vocab().iter_terms().map(str::to_string).collect(),
+        ),
     ]
 }
 

@@ -9,8 +9,12 @@
 //! artifact and diffing across PRs.
 //!
 //! ```text
-//! cargo run -p xclean-bench --release -- --out BENCH_pr3.json [--full]
+//! cargo run -p xclean-bench --release -- --out BENCH_pr4.json [--full]
 //! ```
+//!
+//! Besides throughput, the report carries a cold-start section comparing
+//! the v1 rebuild-load with the v2 mapped open on the same corpus
+//! (open/validate split, first-query latency, resident-set delta).
 //!
 //! The same quick mode is available inside the Criterion benches via the
 //! `XCLEAN_BENCH_QUICK` environment variable (shrinks corpora and sample
@@ -20,6 +24,7 @@ use std::time::Instant;
 
 use xclean::{XCleanConfig, XCleanEngine};
 use xclean_datagen::{generate_dblp, make_workload, DblpConfig, Perturbation, WorkloadSpec};
+use xclean_index::{storage, OpenOptions, SlabMode};
 use xclean_telemetry::names;
 
 struct Scale {
@@ -40,8 +45,108 @@ const FULL: Scale = Scale {
     repeats: 10,
 };
 
+/// VmRSS in kilobytes from /proc/self/status (Linux; None elsewhere).
+fn vm_rss_kb() -> Option<i64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Cold-start comparison: the v1 rebuild-load versus the v2 open (mapped
+/// and owned) on a dblp-1000 corpus (the scale the snapshot-v2 acceptance
+/// criteria pin), plus the first full posting sweep after a lazy open and
+/// the resident-set growth of each path.
+///
+/// RSS deltas are in-process and therefore indicative, not exact: the
+/// allocator reuses freed pages, so the *second* format measured borrows
+/// memory released by the first. The v2 mapped open is measured first so
+/// its (small) delta is the honest one; reuse then only shrinks the v1
+/// figure, making the comparison conservative.
+fn bench_cold_start(repeats: usize) -> serde_json::Value {
+    let corpus = &xclean_index::CorpusIndex::build(generate_dblp(&DblpConfig {
+        publications: 1000,
+        ..Default::default()
+    }));
+    let dir = std::env::temp_dir().join("xclean_quick_bench");
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let v1_path = dir.join("cold.v1.xci");
+    let v2_path = dir.join("cold.v2.xci");
+    storage::save_to_file(corpus, &v1_path).expect("write v1 snapshot");
+    storage::save_to_file_v2(corpus, &v2_path).expect("write v2 snapshot");
+    let snapshot_bytes = std::fs::metadata(&v2_path).map(|m| m.len()).unwrap_or(0);
+
+    // RSS deltas first, while the allocator is least polluted.
+    let rss_before = vm_rss_kb().unwrap_or(0);
+    let (v2_corpus, _) =
+        storage::open_file(&v2_path, &OpenOptions::default()).expect("open v2 snapshot");
+    let v2_open_rss_kb = vm_rss_kb().unwrap_or(0) - rss_before;
+    let sweep_start = Instant::now();
+    let touched: usize = v2_corpus.posting_lists().map(|l| l.len()).sum();
+    let v2_sweep_nanos = (sweep_start.elapsed().as_nanos() as u64).max(1);
+    assert!(touched > 0, "posting sweep touched nothing");
+    drop(v2_corpus);
+    let rss_before = vm_rss_kb().unwrap_or(0);
+    let (v1_corpus, _) =
+        storage::open_file(&v1_path, &OpenOptions::default()).expect("open v1 snapshot");
+    let v1_open_rss_kb = vm_rss_kb().unwrap_or(0) - rss_before;
+    drop(v1_corpus);
+
+    // Open latency: best of `repeats` to shed scheduler noise.
+    let time_best = |options: &OpenOptions, path: &std::path::Path| {
+        let mut best = u64::MAX;
+        let mut best_report = None;
+        for _ in 0..repeats.max(1) {
+            let start = Instant::now();
+            let (c, report) = storage::open_file(path, options).expect("open snapshot");
+            let nanos = (start.elapsed().as_nanos() as u64).max(1);
+            drop(c);
+            if nanos < best {
+                best = nanos;
+                best_report = Some(report);
+            }
+        }
+        (best, best_report.expect("at least one timed open"))
+    };
+    let (v1_nanos, _) = time_best(&OpenOptions::default(), &v1_path);
+    let (v2_nanos, v2_report) = time_best(&OpenOptions::default(), &v2_path);
+    let (v2_owned_nanos, _) = time_best(
+        &OpenOptions {
+            mode: SlabMode::Owned,
+            ..Default::default()
+        },
+        &v2_path,
+    );
+
+    let speedup = v1_nanos as f64 / v2_nanos as f64;
+    eprintln!(
+        "  cold start: v1 load {:.2}ms, v2 open {:.3}ms ({}, {speedup:.1}×), \
+         decode sweep {:.2}ms; ΔRSS open v1 {v1_open_rss_kb} kB vs v2 {v2_open_rss_kb} kB",
+        v1_nanos as f64 / 1e6,
+        v2_nanos as f64 / 1e6,
+        if v2_report.mapped { "mmap" } else { "owned" },
+        v2_sweep_nanos as f64 / 1e6,
+    );
+    serde_json::json!({
+        "snapshot_bytes": snapshot_bytes,
+        "v1_load_nanos": v1_nanos,
+        "v2_open_nanos": v2_nanos,
+        "v2_open_owned_nanos": v2_owned_nanos,
+        "v2_open_breakdown": serde_json::json!({
+            "open_nanos": v2_report.open_nanos,
+            "validate_nanos": v2_report.validate_nanos,
+            "mapped": v2_report.mapped,
+        }),
+        "v2_full_decode_sweep_nanos": v2_sweep_nanos,
+        "open_speedup_v1_over_v2": speedup,
+        "rss_delta_kb": serde_json::json!({
+            "v1_load": v1_open_rss_kb,
+            "v2_open": v2_open_rss_kb,
+        }),
+    })
+}
+
 fn main() {
-    let mut out = String::from("BENCH_pr3.json");
+    let mut out = String::from("BENCH_pr4.json");
     let mut scale = &QUICK;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -116,6 +221,8 @@ fn main() {
         }));
     }
 
+    let cold_start = bench_cold_start(scale.repeats.max(5));
+
     let report = serde_json::json!({
         "bench": "suggest_batch",
         "mode": if std::ptr::eq(scale, &FULL) { "full" } else { "quick" },
@@ -131,6 +238,7 @@ fn main() {
             "repeats": scale.repeats,
         }),
         "results": serde_json::Value::Array(thread_rows),
+        "cold_start": cold_start,
     });
     let text = serde_json::to_string_pretty(&report).expect("serialisable");
     std::fs::write(&out, &text).unwrap_or_else(|e| {

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! xclean index build <data.xml> --out index.xci    build & persist an index
+//! xclean index upgrade <old.xci> --out new.xci     rewrite a snapshot as v2
 //! xclean index inspect <index.xci>                 snapshot summary
 //! xclean suggest <data.xml|index.xci> <query…>     clean a keyword query
 //! xclean serve <index.xci> --port 8080             long-running HTTP server
@@ -15,7 +16,7 @@ use std::time::Duration;
 
 use xclean::{RunStats, Semantics, Telemetry, XCleanConfig, XCleanEngine};
 use xclean_datagen::{generate_dblp, generate_inex, DblpConfig, InexConfig};
-use xclean_index::{storage, CorpusIndex};
+use xclean_index::{storage, CorpusIndex, OpenOptions, SlabMode};
 use xclean_server::{ServerConfig, SuggestServer};
 use xclean_xmltree::{parse_document, to_xml, TreeStats};
 
@@ -47,10 +48,14 @@ pub const USAGE: &str = "\
 xclean — valid spelling suggestions for XML keyword queries (ICDE 2011)
 
 USAGE:
-    xclean index build <data.xml> --out <index.xci>
-            (`xclean index <data.xml> --out <index.xci>` still works)
+    xclean index build <data.xml> --out <index.xci> [--format v1|v2]
+            (`xclean index <data.xml> --out <index.xci>` still works;
+             default format is v2 — columnar, checksummed, mmap-servable)
+    xclean index upgrade <old.xci> --out <new.xci>
+            (rewrites any readable snapshot in the v2 format)
     xclean index inspect <index.xci>
-            (summarises a snapshot without materialising the index)
+            (summarises a snapshot without materialising the index:
+             format version, section sizes, checksum)
     xclean suggest <data.xml | index.xci> <query keywords…>
             [--k N] [--beta B] [--gamma G] [--epsilon E] [--min-depth D]
             [--semantics node-type|slca|elca] [--phonetic DIST]
@@ -66,6 +71,7 @@ USAGE:
              --metrics-json appends the engine's aggregated counters and
              p50/p95/p99 stage histograms as one JSON line)
     xclean serve <index.xci> [--host H] [--port P] [--threads N]
+            [--mmap | --no-mmap]
             [--cache-entries N] [--cache-shards N] [--max-body-bytes N]
             [--k N] [--beta B] [--gamma G] [--epsilon E] [--min-depth D]
             [--semantics node-type|slca|elca] [--phonetic DIST]
@@ -74,6 +80,9 @@ USAGE:
              GET /metrics; answers repeated queries from a sharded LRU
              response cache; Ctrl-C drains in-flight requests, then
              flushes --trace-out / --metrics-json if given)
+            (v2 snapshots are served straight from the snapshot bytes:
+             by default they are mmap-ed when possible; --mmap requires
+             the mapping, --no-mmap forces an in-memory copy)
     xclean stats <data.xml | index.xci>
     xclean generate <dblp | inex> --out <corpus.xml> [--size N] [--seed S]
 ";
@@ -107,7 +116,9 @@ pub fn run(raw: Vec<String>) -> CmdOutput {
 /// Loads a corpus from either an XML document or a persisted `.xci` index.
 fn load_corpus(path: &str) -> Result<CorpusIndex, ArgError> {
     if path.ends_with(".xci") {
-        storage::load_from_file(path).map_err(|e| ArgError(format!("{path}: {e}")))
+        storage::open_file(path, &OpenOptions::default())
+            .map(|(corpus, _report)| corpus)
+            .map_err(|e| ArgError(format!("{path}: {e}")))
     } else {
         let text = std::fs::read_to_string(path).map_err(|e| ArgError(format!("{path}: {e}")))?;
         let tree = parse_document(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
@@ -115,12 +126,13 @@ fn load_corpus(path: &str) -> Result<CorpusIndex, ArgError> {
     }
 }
 
-/// `xclean index <build|inspect> …`. The original bare form
+/// `xclean index <build|upgrade|inspect> …`. The original bare form
 /// (`xclean index <data.xml> --out <index.xci>`) remains an alias for
 /// `build` so existing scripts keep working.
 fn cmd_index(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     match raw.first().map(String::as_str) {
         Some("build") => cmd_index_build(raw[1..].to_vec()),
+        Some("upgrade") => cmd_index_upgrade(raw[1..].to_vec()),
         Some("inspect") => cmd_index_inspect(raw[1..].to_vec()),
         _ => cmd_index_build(raw),
     }
@@ -128,23 +140,56 @@ fn cmd_index(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
 
 fn cmd_index_build(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     let args = Args::parse(raw, &[])?;
-    args.reject_unknown(&["out"])?;
+    args.reject_unknown(&["out", "format"])?;
     let [input] = args.positional() else {
         return Err(ArgError(
-            "usage: xclean index build <data.xml> --out <index.xci>".into(),
+            "usage: xclean index build <data.xml> --out <index.xci> [--format v1|v2]".into(),
         ));
     };
     let out = args
         .get("out")
         .ok_or_else(|| ArgError("--out <index.xci> is required".into()))?;
+    let format = args.get("format").unwrap_or("v2");
     let corpus = load_corpus(input)?;
-    storage::save_to_file(&corpus, out).map_err(|e| ArgError(e.to_string()))?;
+    match format {
+        "v2" => storage::save_to_file_v2(&corpus, out).map_err(|e| ArgError(e.to_string()))?,
+        "v1" => storage::save_to_file(&corpus, out).map_err(|e| ArgError(e.to_string()))?,
+        other => {
+            return Err(ArgError(format!(
+                "--format: expected v1 or v2, got {other:?}"
+            )))
+        }
+    }
     let size = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
     Ok(CmdOutput::ok(vec![format!(
-        "indexed {} nodes, {} terms → {out} ({:.1} MB)",
+        "indexed {} nodes, {} terms → {out} ({format}, {:.1} MB)",
         corpus.tree().len(),
         corpus.vocab().len(),
         size as f64 / 1e6
+    )]))
+}
+
+/// `xclean index upgrade <old.xci> --out <new.xci>`: re-encodes any
+/// readable snapshot (v1 or v2) in the current v2 format.
+fn cmd_index_upgrade(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
+    let args = Args::parse(raw, &[])?;
+    args.reject_unknown(&["out"])?;
+    let [input] = args.positional() else {
+        return Err(ArgError(
+            "usage: xclean index upgrade <old.xci> --out <new.xci>".into(),
+        ));
+    };
+    let out = args
+        .get("out")
+        .ok_or_else(|| ArgError("--out <new.xci> is required".into()))?;
+    storage::upgrade_file(input, out).map_err(|e| ArgError(format!("{input}: {e}")))?;
+    let s = storage::summarize_file(out).map_err(|e| ArgError(format!("{out}: {e}")))?;
+    Ok(CmdOutput::ok(vec![format!(
+        "upgraded {input} → {out} (v{}, {} nodes, {} terms, {:.1} MB)",
+        s.format_version,
+        s.nodes,
+        s.terms,
+        s.total_bytes as f64 / 1e6
     )]))
 }
 
@@ -158,9 +203,17 @@ fn cmd_index_inspect(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         return Err(ArgError("usage: xclean index inspect <index.xci>".into()));
     };
     let s = storage::summarize_file(path).map_err(|e| ArgError(format!("{path}: {e}")))?;
-    Ok(CmdOutput::ok(vec![
+    let mut lines = vec![
         format!("snapshot    {path}"),
+        format!("format      v{}", s.format_version),
         format!("size        {:.2} MB", s.total_bytes as f64 / 1e6),
+        format!(
+            "checksum    {}",
+            match s.checksum {
+                Some(c) => format!("{c:016x} (fnv1a, verified)"),
+                None => "none (v1 snapshots are unchecksummed)".to_string(),
+            }
+        ),
         format!("nodes       {}", s.nodes),
         format!("labels      {}", s.labels),
         format!("terms       {}", s.terms),
@@ -174,7 +227,17 @@ fn cmd_index_inspect(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
             "tokenizer   min_len={} drop_numbers={} drop_stop_words={}",
             s.tokenizer.min_token_len, s.tokenizer.drop_numbers, s.tokenizer.drop_stop_words
         ),
-    ]))
+    ];
+    lines.push("sections".to_string());
+    for sec in &s.sections {
+        lines.push(format!(
+            "  {:<10} {:>12} B ({:.1}%)",
+            sec.name,
+            sec.bytes,
+            100.0 * sec.bytes as f64 / (s.total_bytes as f64).max(1.0)
+        ));
+    }
+    Ok(CmdOutput::ok(lines))
 }
 
 /// Renders the per-stage summary table: stage, time, share of `total`,
@@ -490,11 +553,13 @@ fn cmd_suggest_batch(engine: &XCleanEngine, path: &str, json: bool) -> Result<Cm
 /// SIGINT/SIGTERM triggers a graceful drain; the returned lines are the
 /// post-drain summary.
 fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
-    let args = Args::parse(raw, &[])?;
+    let args = Args::parse(raw, &["mmap", "no-mmap"])?;
     args.reject_unknown(&[
         "host",
         "port",
         "threads",
+        "mmap",
+        "no-mmap",
         "cache-entries",
         "cache-shards",
         "max-body-bytes",
@@ -530,11 +595,29 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     let trace_out = args.get("trace-out").map(str::to_string);
     let metrics_out = args.get("metrics-json").map(str::to_string);
 
+    if args.has_flag("mmap") && args.has_flag("no-mmap") {
+        return Err(ArgError(
+            "--mmap and --no-mmap are mutually exclusive".into(),
+        ));
+    }
+    let open_options = OpenOptions {
+        mode: if args.has_flag("mmap") {
+            SlabMode::Mapped
+        } else if args.has_flag("no-mmap") {
+            SlabMode::Owned
+        } else {
+            SlabMode::Auto
+        },
+        ..Default::default()
+    };
+
     // The server path deliberately refuses to parse XML on the fly: a
     // long-running process should start from the index built offline
     // (`xclean index build`), exactly as the paper separates offline
-    // indexing from interactive querying.
-    let corpus = storage::load_from_file(snapshot).map_err(|e| {
+    // indexing from interactive querying. v2 snapshots open as a view
+    // over the file bytes (mmap-ed by default), so startup cost is the
+    // validation pass, not a full re-encode.
+    let (corpus, load_report) = storage::open_file(snapshot, &open_options).map_err(|e| {
         ArgError(format!(
             "{snapshot}: {e} (build a snapshot first: xclean index build <data.xml> --out <index.xci>)"
         ))
@@ -543,6 +626,7 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     if trace_out.is_some() {
         engine = engine.with_telemetry(Telemetry::with_tracing());
     }
+    engine.record_snapshot_timings(&load_report);
     let engine = Arc::new(engine);
     let addr = format!("{host}:{port}");
     let server = SuggestServer::bind(Arc::clone(&engine), &addr, server_config)
@@ -554,6 +638,18 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     xclean_server::install_signal_handler();
     // Banner goes out before the blocking accept loop — CmdOutput lines
     // would only print after drain, far too late for "is it up yet?".
+    println!(
+        "snapshot: v{} {} ({:.2} MB) — open {:.1}ms, validate {:.1}ms",
+        load_report.format_version,
+        if load_report.mapped {
+            "mmap-backed"
+        } else {
+            "in-memory"
+        },
+        load_report.total_bytes as f64 / 1e6,
+        load_report.open_nanos as f64 / 1e6,
+        load_report.validate_nanos as f64 / 1e6,
+    );
     println!(
         "xclean-server listening on http://{bound} — {} worker(s), cache {} entries / {} shard(s), fingerprint {:016x}",
         args.get_parsed("threads", defaults.threads)?,
@@ -895,6 +991,19 @@ mod tests {
         let out = run(argv(&["index", "inspect", &idx]));
         assert_eq!(out.code, 0, "{:?}", out.lines);
         let text = out.lines.join("\n");
+        // The default build format is v2: checksummed, six sections.
+        assert!(text.contains("format      v2"), "{text}");
+        assert!(text.contains("(fnv1a, verified)"), "{text}");
+        for sec in [
+            "TREE",
+            "DIRECT",
+            "VOCAB",
+            "POSTINGS",
+            "PATHSTATS",
+            "TOKENIZER",
+        ] {
+            assert!(text.contains(sec), "missing section {sec}: {text}");
+        }
         // The sample corpus has 4 distinct ≥3-char terms over 5 nodes.
         assert!(text.contains("nodes       5"), "{text}");
         assert!(text.contains("terms       4"), "{text}");
@@ -902,6 +1011,86 @@ mod tests {
         // Inspect must agree with a full load.
         let corpus = storage::load_from_file(&idx).unwrap();
         assert!(text.contains(&format!("terms       {}", corpus.vocab().len())));
+    }
+
+    #[test]
+    fn index_inspect_reports_v1_snapshots() {
+        let xml = write_sample_xml("inspect_v1.xml");
+        let idx = tmp("inspect_v1.xci").to_string_lossy().into_owned();
+        assert_eq!(
+            run(argv(&[
+                "index", "build", &xml, "--out", &idx, "--format", "v1"
+            ]))
+            .code,
+            0
+        );
+        let out = run(argv(&["index", "inspect", &idx]));
+        assert_eq!(out.code, 0, "{:?}", out.lines);
+        let text = out.lines.join("\n");
+        assert!(text.contains("format      v1"), "{text}");
+        assert!(text.contains("checksum    none"), "{text}");
+        assert!(text.contains("nodes       5"), "{text}");
+        for sec in ["TREE", "VOCAB", "POSTINGS", "TOKENIZER"] {
+            assert!(text.contains(sec), "missing section {sec}: {text}");
+        }
+    }
+
+    #[test]
+    fn index_build_format_flag_selects_encoding() {
+        let xml = write_sample_xml("format_flag.xml");
+        let v1 = tmp("format_v1.xci").to_string_lossy().into_owned();
+        let v2 = tmp("format_v2.xci").to_string_lossy().into_owned();
+        assert_eq!(
+            run(argv(&[
+                "index", "build", &xml, "--out", &v1, "--format", "v1"
+            ]))
+            .code,
+            0
+        );
+        assert_eq!(
+            run(argv(&[
+                "index", "build", &xml, "--out", &v2, "--format", "v2"
+            ]))
+            .code,
+            0
+        );
+        assert!(std::fs::read(&v1).unwrap().starts_with(b"XCLIDX1\0"));
+        assert!(std::fs::read(&v2).unwrap().starts_with(b"XCLIDX2\0"));
+        // Both formats answer queries identically.
+        let a = run(argv(&["suggest", &v1, "helth", "insurance", "--json"]));
+        let b = run(argv(&["suggest", &v2, "helth", "insurance", "--json"]));
+        assert_eq!(a.code, 0, "{:?}", a.lines);
+        assert_eq!(a.lines, b.lines);
+        let bad = run(argv(&[
+            "index", "build", &xml, "--out", &v2, "--format", "v3",
+        ]));
+        assert_eq!(bad.code, 2);
+        assert!(bad.lines[0].contains("--format"), "{:?}", bad.lines);
+    }
+
+    #[test]
+    fn index_upgrade_rewrites_v1_as_v2() {
+        let xml = write_sample_xml("upgrade.xml");
+        let old = tmp("upgrade_v1.xci").to_string_lossy().into_owned();
+        let new = tmp("upgrade_v2.xci").to_string_lossy().into_owned();
+        assert_eq!(
+            run(argv(&[
+                "index", "build", &xml, "--out", &old, "--format", "v1"
+            ]))
+            .code,
+            0
+        );
+        let out = run(argv(&["index", "upgrade", &old, "--out", &new]));
+        assert_eq!(out.code, 0, "{:?}", out.lines);
+        assert!(out.lines[0].contains("upgraded"), "{:?}", out.lines);
+        assert!(std::fs::read(&new).unwrap().starts_with(b"XCLIDX2\0"));
+        let a = run(argv(&["suggest", &old, "helth", "insurance", "--json"]));
+        let b = run(argv(&["suggest", &new, "helth", "insurance", "--json"]));
+        assert_eq!(a.lines, b.lines);
+        // Usage errors.
+        let out = run(argv(&["index", "upgrade", &old]));
+        assert_eq!(out.code, 2);
+        assert!(out.lines[0].contains("--out"), "{:?}", out.lines);
     }
 
     #[test]
@@ -936,6 +1125,14 @@ mod tests {
         assert!(out.lines[0].contains("--threads"), "{:?}", out.lines);
         let out = run(argv(&["serve", &idx, "--port", "notaport"]));
         assert_eq!(out.code, 2);
+        // Contradictory slab modes are rejected before binding.
+        let out = run(argv(&["serve", &idx, "--mmap", "--no-mmap"]));
+        assert_eq!(out.code, 2);
+        assert!(
+            out.lines[0].contains("mutually exclusive"),
+            "{:?}",
+            out.lines
+        );
     }
 
     #[test]

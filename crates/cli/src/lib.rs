@@ -1,0 +1,13 @@
+//! Library surface of the `xclean` command-line interface.
+//!
+//! The binary in this crate (and the workspace-root `xclean` shim) are
+//! thin wrappers over [`run`]: parsing, dispatch, and all command logic
+//! live here so they are unit-testable and reusable from the umbrella
+//! crate.
+
+#![forbid(unsafe_code)]
+
+mod args;
+pub mod commands;
+
+pub use commands::{run, CmdOutput, USAGE};

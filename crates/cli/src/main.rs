@@ -2,12 +2,9 @@
 //!
 //! Run `xclean help` for usage.
 
-mod args;
-mod commands;
-
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let out = commands::run(raw);
+    let out = xclean_cli::run(raw);
     for line in &out.lines {
         println!("{line}");
     }

@@ -32,11 +32,7 @@ fn main() {
     ] {
         let corpus = engine.corpus();
         let stats = TreeStats::compute(corpus.tree());
-        let index_bytes: usize = corpus
-            .posting_lists()
-            .iter()
-            .map(|l| codec::encode(l).len())
-            .sum();
+        let index_bytes: usize = corpus.posting_lists().map(|l| codec::encode(l).len()).sum();
         rows.push(Row {
             dataset: name.to_string(),
             size_mb: stats.size_bytes as f64 / 1e6,

@@ -95,27 +95,102 @@ pub fn encode(list: &PostingList) -> Bytes {
 }
 
 /// Deserialises a posting list produced by [`encode`].
-pub fn decode(mut buf: Bytes) -> Result<PostingList, CodecError> {
-    let n = get_varint(&mut buf)? as usize;
+pub fn decode(buf: Bytes) -> Result<PostingList, CodecError> {
+    decode_slice(&buf)
+}
+
+/// A borrowing cursor over an encoded byte range — the slab-backed decode
+/// path, which reads straight out of the snapshot without copying the
+/// input into a `Bytes`.
+pub(crate) struct SliceReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SliceReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        SliceReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current absolute position within the input.
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads one byte.
+    pub(crate) fn get_u8(&mut self) -> Result<u8, CodecError> {
+        let &b = self.buf.get(self.pos).ok_or(CodecError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Skips `n` bytes, erroring (not panicking) past the end.
+    pub(crate) fn skip(&mut self, n: usize) -> Result<(), CodecError> {
+        if n > self.remaining() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        self.pos += n;
+        Ok(())
+    }
+
+    /// Borrows the next `n` bytes and advances past them.
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if n > self.remaining() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn get_varint(&mut self) -> Result<u64, CodecError> {
+        let mut v: u64 = 0;
+        let mut shift = 0;
+        loop {
+            let &byte = self.buf.get(self.pos).ok_or(CodecError::UnexpectedEof)?;
+            self.pos += 1;
+            if shift >= 64 {
+                return Err(CodecError::VarintOverflow);
+            }
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+}
+
+/// Deserialises a posting list from a borrowed byte range. The entire
+/// input must be consumed — trailing garbage is a corruption error, which
+/// keeps per-token slab ranges honest.
+pub fn decode_slice(buf: &[u8]) -> Result<PostingList, CodecError> {
+    let mut r = SliceReader::new(buf);
+    let n = get_count(&mut r, 5)?; // ≥5 bytes per entry (5 varints)
     let mut list = PostingList::new();
     let mut prev_node = 0u64;
     let mut prev_dewey: Vec<u32> = Vec::new();
     let mut first = true;
     for _ in 0..n {
-        let gap = get_varint(&mut buf)?;
+        let gap = r.get_varint()?;
         let node = if first { gap } else { prev_node + gap };
         first = false;
         prev_node = node;
-        let path = get_varint(&mut buf)?;
-        let tf = get_varint(&mut buf)?;
-        let shared = get_varint(&mut buf)? as usize;
+        let path = r.get_varint()?;
+        let tf = r.get_varint()?;
+        let shared = r.get_varint()? as usize;
         if shared > prev_dewey.len() {
             return Err(CodecError::Corrupt("dewey prefix too long"));
         }
-        let suffix_len = get_varint(&mut buf)? as usize;
+        let suffix_len = get_count(&mut r, 1)?;
         prev_dewey.truncate(shared);
         for _ in 0..suffix_len {
-            let c = get_varint(&mut buf)?;
+            let c = r.get_varint()?;
             prev_dewey.push(u32::try_from(c).map_err(|_| CodecError::VarintOverflow)?);
         }
         list.push(
@@ -125,7 +200,25 @@ pub fn decode(mut buf: Bytes) -> Result<PostingList, CodecError> {
             &prev_dewey,
         );
     }
+    if r.remaining() != 0 {
+        return Err(CodecError::Corrupt("trailing bytes after posting list"));
+    }
     Ok(list)
+}
+
+/// Reads a count and clamps it against the remaining input, assuming each
+/// record needs at least `min_record_bytes` — hostile length prefixes must
+/// never drive allocation.
+pub(crate) fn get_count(
+    r: &mut SliceReader<'_>,
+    min_record_bytes: usize,
+) -> Result<usize, CodecError> {
+    let n = r.get_varint()?;
+    let n = usize::try_from(n).map_err(|_| CodecError::Corrupt("count overflows usize"))?;
+    if n.saturating_mul(min_record_bytes.max(1)) > r.remaining() {
+        return Err(CodecError::Corrupt("declared count exceeds input"));
+    }
+    Ok(n)
 }
 
 #[cfg(test)]

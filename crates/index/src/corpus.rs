@@ -7,20 +7,75 @@
 //! subtree length is O(1)).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
 
 use xclean_xmltree::{NodeId, PathId, Tokenizer, XmlTree};
 
+use crate::codec;
 use crate::path_stats::PathStatsIndex;
 use crate::posting::PostingList;
+use crate::slab::IndexSlab;
 use crate::vocab::{TokenId, Vocabulary};
+
+/// Where a snapshot-loaded index came from — folded into the engine
+/// fingerprint so cache keys distinguish loads only when bytes differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotProvenance {
+    /// On-disk format version (2 for `XCLIDX2`).
+    pub format_version: u8,
+    /// FNV-1a 64 checksum of the snapshot payload.
+    pub checksum: u64,
+}
+
+/// Where posting lists live: materialised vectors, or encoded blobs in a
+/// snapshot slab decoded lazily per token on first access.
+#[derive(Debug)]
+enum PostingStore {
+    Owned(Vec<PostingList>),
+    Slab {
+        slab: Arc<IndexSlab>,
+        /// Absolute byte range of each token's `codec::encode` blob.
+        ranges: Vec<Range<usize>>,
+        cells: Box<[OnceLock<PostingList>]>,
+    },
+}
+
+impl PostingStore {
+    fn len(&self) -> usize {
+        match self {
+            PostingStore::Owned(lists) => lists.len(),
+            PostingStore::Slab { ranges, .. } => ranges.len(),
+        }
+    }
+
+    fn get(&self, i: usize) -> &PostingList {
+        match self {
+            PostingStore::Owned(lists) => &lists[i],
+            PostingStore::Slab {
+                slab,
+                ranges,
+                cells,
+            } => cells[i].get_or_init(|| {
+                // The slab checksum was verified at open; a decode failure
+                // here is a writer bug, so degrade to an empty list rather
+                // than panic on the query path.
+                codec::decode_slice(&slab.bytes()[ranges[i].clone()]).unwrap_or_default()
+            }),
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &PostingList> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
 
 /// Index over one XML corpus.
 #[derive(Debug)]
 pub struct CorpusIndex {
     tree: XmlTree,
     vocab: Vocabulary,
-    lists: Vec<PostingList>,
+    store: PostingStore,
     path_stats: PathStatsIndex,
     /// `token_prefix[i]` = total indexed tokens in nodes `0..i`; subtree
     /// token length of node `n` is `token_prefix[subtree_end] - token_prefix[n.0]`.
@@ -32,6 +87,25 @@ pub struct CorpusIndex {
     /// doc_len(n)` — the normaliser of the document-length entity prior.
     path_doc_len_totals: Vec<u64>,
     tokenizer: Tokenizer,
+    provenance: Option<SnapshotProvenance>,
+}
+
+/// Derived per-node/per-path tables, all O(n) passes over the tree given
+/// the direct token count of each node.
+fn derived_tables(tree: &XmlTree, direct: &[u64]) -> (Vec<u64>, Vec<u32>, Vec<u64>) {
+    let mut token_prefix = vec![0u64; tree.len() + 1];
+    for i in 0..tree.len() {
+        token_prefix[i + 1] = token_prefix[i] + direct[i];
+    }
+    let mut path_node_counts = vec![0u32; tree.paths().len()];
+    let mut path_doc_len_totals = vec![0u64; tree.paths().len()];
+    for n in tree.iter() {
+        let p = tree.path(n).0 as usize;
+        path_node_counts[p] += 1;
+        let end = tree.subtree_end(n) as usize;
+        path_doc_len_totals[p] += token_prefix[end] - token_prefix[n.index()];
+    }
+    (token_prefix, path_node_counts, path_doc_len_totals)
 }
 
 impl CorpusIndex {
@@ -44,7 +118,6 @@ impl CorpusIndex {
     pub fn build_with(tree: XmlTree, tokenizer: Tokenizer) -> Self {
         let mut vocab = Vocabulary::new();
         let mut lists: Vec<PostingList> = Vec::new();
-        let mut token_prefix = vec![0u64; tree.len() + 1];
         let mut counts: HashMap<TokenId, u32> = HashMap::new();
         let mut direct: Vec<u64> = vec![0; tree.len()];
         for n in tree.iter() {
@@ -73,27 +146,18 @@ impl CorpusIndex {
             }
         }
         lists.resize_with(vocab.len(), PostingList::new);
-        for i in 0..tree.len() {
-            token_prefix[i + 1] = token_prefix[i] + direct[i];
-        }
         let path_stats = PathStatsIndex::build(&tree, &lists);
-        let mut path_node_counts = vec![0u32; tree.paths().len()];
-        let mut path_doc_len_totals = vec![0u64; tree.paths().len()];
-        for n in tree.iter() {
-            let p = tree.path(n).0 as usize;
-            path_node_counts[p] += 1;
-            let end = tree.subtree_end(n) as usize;
-            path_doc_len_totals[p] += token_prefix[end] - token_prefix[n.index()];
-        }
+        let (token_prefix, path_node_counts, path_doc_len_totals) = derived_tables(&tree, &direct);
         CorpusIndex {
             tree,
             vocab,
-            lists,
+            store: PostingStore::Owned(lists),
             path_stats,
             token_prefix,
             path_node_counts,
             path_doc_len_totals,
             tokenizer,
+            provenance: None,
         }
     }
 
@@ -118,29 +182,71 @@ impl CorpusIndex {
                 direct[p.node.index()] += u64::from(p.tf);
             }
         }
-        let mut token_prefix = vec![0u64; tree.len() + 1];
-        for i in 0..tree.len() {
-            token_prefix[i + 1] = token_prefix[i] + direct[i];
-        }
         let path_stats = PathStatsIndex::build(&tree, &lists);
-        let mut path_node_counts = vec![0u32; tree.paths().len()];
-        let mut path_doc_len_totals = vec![0u64; tree.paths().len()];
-        for n in tree.iter() {
-            let p = tree.path(n).0 as usize;
-            path_node_counts[p] += 1;
-            let end = tree.subtree_end(n) as usize;
-            path_doc_len_totals[p] += token_prefix[end] - token_prefix[n.index()];
-        }
+        let (token_prefix, path_node_counts, path_doc_len_totals) = derived_tables(&tree, &direct);
         CorpusIndex {
             tree,
             vocab,
-            lists,
+            store: PostingStore::Owned(lists),
             path_stats,
             token_prefix,
             path_node_counts,
             path_doc_len_totals,
             tokenizer,
+            provenance: None,
         }
+    }
+
+    /// Assembles an index over a v2 snapshot slab without materialising
+    /// posting lists: `posting_ranges[t]` addresses token `t`'s encoded
+    /// blob inside `slab`, decoded on first access, and `direct[n]` is the
+    /// stored per-node direct token count (the DIRECT section), so no
+    /// posting list needs decoding to derive document lengths.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_slab_parts(
+        tree: XmlTree,
+        vocab: Vocabulary,
+        slab: Arc<IndexSlab>,
+        posting_ranges: Vec<Range<usize>>,
+        path_stats: PathStatsIndex,
+        direct: Vec<u64>,
+        tokenizer: Tokenizer,
+        provenance: SnapshotProvenance,
+    ) -> Result<Self, &'static str> {
+        if posting_ranges.len() != vocab.len() {
+            return Err("one posting blob per vocabulary token required");
+        }
+        if path_stats.len() != vocab.len() {
+            return Err("one path-stats blob per vocabulary token required");
+        }
+        if direct.len() != tree.len() {
+            return Err("one direct token count per node required");
+        }
+        for r in &posting_ranges {
+            if r.start > r.end || r.end > slab.len() {
+                return Err("posting blob range out of bounds");
+            }
+        }
+        if direct.iter().copied().try_fold(0u64, u64::checked_add) != Some(vocab.total_tokens()) {
+            return Err("direct token counts disagree with vocabulary total");
+        }
+        let (token_prefix, path_node_counts, path_doc_len_totals) = derived_tables(&tree, &direct);
+        let cells = (0..posting_ranges.len()).map(|_| OnceLock::new()).collect();
+        Ok(CorpusIndex {
+            tree,
+            vocab,
+            store: PostingStore::Slab {
+                slab,
+                ranges: posting_ranges,
+                cells,
+            },
+            path_stats,
+            token_prefix,
+            path_node_counts,
+            path_doc_len_totals,
+            tokenizer,
+            provenance: Some(provenance),
+        })
     }
 
     /// The underlying tree.
@@ -160,12 +266,19 @@ impl CorpusIndex {
 
     /// The posting list of a token.
     pub fn postings(&self, token: TokenId) -> &PostingList {
-        &self.lists[token.index()]
+        self.store.get(token.index())
     }
 
-    /// All posting lists, indexed by token id.
-    pub fn posting_lists(&self) -> &[PostingList] {
-        &self.lists
+    /// All posting lists in token-id order. On a slab-backed index this
+    /// decodes every list, so reserve it for offline tooling.
+    pub fn posting_lists(&self) -> impl Iterator<Item = &PostingList> + '_ {
+        self.store.iter()
+    }
+
+    /// Snapshot provenance, present only on snapshot-loaded indexes whose
+    /// format records a payload checksum (v2).
+    pub fn provenance(&self) -> Option<SnapshotProvenance> {
+        self.provenance
     }
 
     /// Path statistics (`f_w^p`).

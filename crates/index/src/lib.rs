@@ -9,7 +9,7 @@
 //! [`CorpusIndex::build`] constructs all of it in one pass over a parsed
 //! [`xclean_xmltree::XmlTree`].
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // one vetted exception: slab::mmap (mmap(2)/munmap(2) FFI)
 #![warn(missing_docs)]
 
 pub mod blocked;
@@ -18,13 +18,15 @@ pub mod corpus;
 pub mod merged;
 pub mod path_stats;
 pub mod posting;
+pub mod slab;
 pub mod storage;
 pub mod vocab;
 
 pub use blocked::{BlockedCursor, BlockedPostingList, OwnedPosting, BLOCK_SIZE};
-pub use corpus::{CorpusIndex, SharedPostings};
+pub use corpus::{CorpusIndex, SharedPostings, SnapshotProvenance};
 pub use merged::{AccessStats, MergedEntry, MergedList};
 pub use path_stats::PathStatsIndex;
 pub use posting::{Posting, PostingList};
-pub use storage::{SnapshotSummary, StorageError};
+pub use slab::{IndexSlab, SlabMode};
+pub use storage::{LoadReport, OpenOptions, SectionInfo, SnapshotSummary, StorageError};
 pub use vocab::{TokenId, Vocabulary};

@@ -8,17 +8,45 @@
 //! containing node is counted exactly once by diffing ancestor chains.
 
 use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+use std::sync::OnceLock;
 
 use xclean_xmltree::{NodeId, PathId, XmlTree};
 
+use crate::codec::{self, CodecError};
 use crate::posting::PostingList;
+use crate::slab::IndexSlab;
 use crate::vocab::TokenId;
+
+/// Lazily-decoded `(path, f)` pairs for one token (see [`StatsStore::Slab`]).
+type StatsCell = OnceLock<Vec<(PathId, u32)>>;
+
+/// Where a token's `(path, f)` pairs live.
+#[derive(Debug, Clone)]
+enum StatsStore {
+    /// Fully materialised (index build and v1 loads).
+    Owned(Vec<Vec<(PathId, u32)>>),
+    /// Encoded blobs inside a v2 snapshot slab, decoded lazily on first
+    /// access per token.
+    Slab {
+        slab: Arc<IndexSlab>,
+        /// Absolute byte range of each token's blob.
+        ranges: Vec<Range<usize>>,
+        cells: Box<[StatsCell]>,
+    },
+}
+
+impl Default for StatsStore {
+    fn default() -> Self {
+        StatsStore::Owned(Vec::new())
+    }
+}
 
 /// `f_w^p` table for every token.
 #[derive(Debug, Default, Clone)]
 pub struct PathStatsIndex {
-    /// Per token: `(path, f)` pairs sorted by path id.
-    per_token: Vec<Vec<(PathId, u32)>>,
+    store: StatsStore,
 }
 
 impl PathStatsIndex {
@@ -27,11 +55,42 @@ impl PathStatsIndex {
     /// `lists[t]` must be the posting list of `TokenId(t)`, sorted in
     /// document order (as produced by the corpus builder).
     pub fn build(tree: &XmlTree, lists: &[PostingList]) -> Self {
+        Self::build_from_iter(tree, lists.iter())
+    }
+
+    /// [`Self::build`] over any iterator of posting lists in token order.
+    pub fn build_from_iter<'a>(
+        tree: &XmlTree,
+        lists: impl Iterator<Item = &'a PostingList>,
+    ) -> Self {
         let per_token = lists
-            .iter()
             .map(|list| Self::stats_for_token(tree, list))
             .collect();
-        PathStatsIndex { per_token }
+        PathStatsIndex {
+            store: StatsStore::Owned(per_token),
+        }
+    }
+
+    /// Wraps encoded per-token blobs inside `slab` without decoding them;
+    /// each token decodes on first access. `ranges[t]` is the absolute
+    /// byte range of token `t`'s blob (see [`encode_stats`]).
+    pub(crate) fn from_slab(
+        slab: Arc<IndexSlab>,
+        ranges: Vec<Range<usize>>,
+    ) -> Result<Self, &'static str> {
+        for r in &ranges {
+            if r.start > r.end || r.end > slab.len() {
+                return Err("path-stats blob range out of bounds");
+            }
+        }
+        let cells = (0..ranges.len()).map(|_| OnceLock::new()).collect();
+        Ok(PathStatsIndex {
+            store: StatsStore::Slab {
+                slab,
+                ranges,
+                cells,
+            },
+        })
     }
 
     fn stats_for_token(tree: &XmlTree, list: &PostingList) -> Vec<(PathId, u32)> {
@@ -65,7 +124,19 @@ impl PathStatsIndex {
 
     /// The `(path, f_w^p)` list `P_w` for a token, sorted by path id.
     pub fn paths_of(&self, token: TokenId) -> &[(PathId, u32)] {
-        &self.per_token[token.index()]
+        match &self.store {
+            StatsStore::Owned(per_token) => &per_token[token.index()],
+            StatsStore::Slab {
+                slab,
+                ranges,
+                cells,
+            } => cells[token.index()].get_or_init(|| {
+                // The slab checksum was verified at open, so a decode
+                // failure here is a writer bug; degrade to an empty list
+                // rather than panic on the query path.
+                decode_stats(&slab.bytes()[ranges[token.index()].clone()]).unwrap_or_default()
+            }),
+        }
     }
 
     /// `f_w^p` for one (token, path) pair, 0 if absent.
@@ -79,13 +150,60 @@ impl PathStatsIndex {
 
     /// Number of tokens covered.
     pub fn len(&self) -> usize {
-        self.per_token.len()
+        match &self.store {
+            StatsStore::Owned(per_token) => per_token.len(),
+            StatsStore::Slab { ranges, .. } => ranges.len(),
+        }
     }
 
     /// `true` when no tokens are covered.
     pub fn is_empty(&self) -> bool {
-        self.per_token.is_empty()
+        self.len() == 0
     }
+}
+
+/// Serialises one token's `(path, f)` list: a count, then per pair the
+/// path-id gap from the previous path (absolute for the first) and `f`.
+pub(crate) fn encode_stats(list: &[(PathId, u32)], out: &mut bytes::BytesMut) {
+    codec::put_varint(out, list.len() as u64);
+    let mut prev = 0u64;
+    let mut first = true;
+    for &(path, f) in list {
+        let p = u64::from(path.0);
+        let gap = if first { p } else { p - prev };
+        first = false;
+        prev = p;
+        codec::put_varint(out, gap);
+        codec::put_varint(out, u64::from(f));
+    }
+}
+
+/// Deserialises a blob written by [`encode_stats`]. Strict: the whole
+/// input must be consumed and path ids must be strictly increasing.
+pub(crate) fn decode_stats(bytes: &[u8]) -> Result<Vec<(PathId, u32)>, CodecError> {
+    let mut r = codec::SliceReader::new(bytes);
+    let n = codec::get_count(&mut r, 2)?;
+    let mut out = Vec::with_capacity(n);
+    let mut prev = 0u64;
+    let mut first = true;
+    for _ in 0..n {
+        let gap = r.get_varint()?;
+        if !first && gap == 0 {
+            return Err(CodecError::Corrupt("path ids not strictly increasing"));
+        }
+        let path = if first { gap } else { prev + gap };
+        first = false;
+        prev = path;
+        let f = r.get_varint()?;
+        out.push((
+            PathId(u32::try_from(path).map_err(|_| CodecError::VarintOverflow)?),
+            u32::try_from(f).map_err(|_| CodecError::VarintOverflow)?,
+        ));
+    }
+    if r.remaining() != 0 {
+        return Err(CodecError::Corrupt("trailing bytes after path stats"));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -227,5 +345,52 @@ mod tests {
             }
             assert_eq!(idx.paths_of(TokenId(t as u32)).len(), expect.len());
         }
+    }
+
+    #[test]
+    fn stats_blob_roundtrip() {
+        let lists: Vec<Vec<(PathId, u32)>> = vec![
+            vec![],
+            vec![(PathId(0), 7)],
+            vec![(PathId(2), 1), (PathId(3), 9), (PathId(40), 2)],
+        ];
+        for l in &lists {
+            let mut buf = bytes::BytesMut::new();
+            encode_stats(l, &mut buf);
+            assert_eq!(&decode_stats(&buf).unwrap(), l);
+        }
+    }
+
+    #[test]
+    fn slab_backed_matches_owned() {
+        let xml = "<lib><book><t>rust xml rust</t></book><book><t>xml</t></book></lib>";
+        let tree = parse_document(xml).unwrap();
+        let (_, lists) = index_tokens(&tree);
+        let owned = PathStatsIndex::build(&tree, &lists);
+        // Re-encode into a slab and wrap it.
+        let mut buf = bytes::BytesMut::new();
+        let mut ranges = Vec::new();
+        for t in 0..owned.len() {
+            let start = buf.len();
+            encode_stats(owned.paths_of(TokenId(t as u32)), &mut buf);
+            ranges.push(start..buf.len());
+        }
+        let slab = std::sync::Arc::new(crate::slab::IndexSlab::Owned(buf.to_vec()));
+        let lazy = PathStatsIndex::from_slab(slab, ranges).unwrap();
+        assert_eq!(lazy.len(), owned.len());
+        for t in 0..owned.len() {
+            let t = TokenId(t as u32);
+            assert_eq!(lazy.paths_of(t), owned.paths_of(t));
+            // Second access hits the decoded cell.
+            assert_eq!(lazy.paths_of(t), owned.paths_of(t));
+        }
+    }
+
+    #[test]
+    fn corrupt_stats_blob_degrades_to_empty() {
+        let slab = std::sync::Arc::new(crate::slab::IndexSlab::Owned(vec![0xFF, 0xFF]));
+        let ranges = vec![std::ops::Range { start: 0, end: 2 }];
+        let lazy = PathStatsIndex::from_slab(slab, ranges).unwrap();
+        assert!(lazy.paths_of(TokenId(0)).is_empty());
     }
 }

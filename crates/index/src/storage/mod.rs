@@ -1,0 +1,449 @@
+//! Persistent index formats.
+//!
+//! Two snapshot formats coexist (DESIGN.md §11):
+//!
+//! * **v1** (`XCLIDX1\0`, [`v1`]) — the legacy stream format: loading
+//!   *replays* tree construction and re-materialises every posting list,
+//!   so open cost is O(corpus).
+//! * **v2** (`XCLIDX2\0`, [`v2`]) — a columnar, offset-addressed layout
+//!   with a section table and payload checksum. Postings, the term
+//!   dictionary, and path statistics stay *in* the file bytes (owned or
+//!   memory-mapped via [`IndexSlab`]) and are viewed/decoded lazily, so
+//!   open cost is O(validation).
+//!
+//! [`save_to_file`]/[`to_bytes`]/[`from_bytes`] keep their historical v1
+//! behaviour; [`open_file`] is the primary read path and handles both
+//! formats, returning a [`LoadReport`] with open/validate timings.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use xclean_xmltree::{TokenizerConfig, TreeAssemblyError};
+
+use crate::codec::CodecError;
+use crate::corpus::CorpusIndex;
+use crate::slab::{IndexSlab, SlabMode};
+
+pub mod v1;
+pub mod v2;
+
+/// Errors raised while loading a stored index.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The input does not start with a known format magic.
+    BadMagic,
+    /// A low-level decoding failure.
+    Codec(CodecError),
+    /// Structural inconsistency in the stored data.
+    Corrupt(&'static str),
+    /// The stored tree columns violate a structural invariant.
+    Tree(TreeAssemblyError),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::BadMagic => write!(f, "not an xclean index file"),
+            StorageError::Codec(e) => write!(f, "decode error: {e}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt index: {m}"),
+            StorageError::Tree(e) => write!(f, "corrupt index tree: {e}"),
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<CodecError> for StorageError {
+    fn from(e: CodecError) -> Self {
+        StorageError::Codec(e)
+    }
+}
+
+impl From<TreeAssemblyError> for StorageError {
+    fn from(e: TreeAssemblyError) -> Self {
+        StorageError::Tree(e)
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// One named section of a snapshot, as reported by [`summarize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Section name (`TREE`, `VOCAB`, …).
+    pub name: &'static str,
+    /// Payload bytes the section occupies.
+    pub bytes: u64,
+}
+
+/// Cheap structural facts about a stored snapshot, extracted without
+/// rebuilding the tree, vocabulary, or posting lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotSummary {
+    /// On-disk format version (1 or 2).
+    pub format_version: u8,
+    /// Total snapshot size in bytes.
+    pub total_bytes: usize,
+    /// Number of distinct element labels.
+    pub labels: usize,
+    /// Number of tree nodes.
+    pub nodes: usize,
+    /// Number of vocabulary terms (= number of posting lists).
+    pub terms: usize,
+    /// Total token occurrences (sum of collection frequencies).
+    pub total_tokens: u64,
+    /// Bytes occupied by the encoded posting lists.
+    pub postings_bytes: usize,
+    /// Tokenizer policy the index was built with.
+    pub tokenizer: TokenizerConfig,
+    /// Payload checksum recorded in the file (v2 only).
+    pub checksum: Option<u64>,
+    /// Per-section byte sizes in file order.
+    pub sections: Vec<SectionInfo>,
+}
+
+/// How [`open_file`] should back and verify a snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenOptions {
+    /// Backing-store mode for the slab (v2 snapshots only; v1 always
+    /// decodes into owned memory).
+    pub mode: SlabMode,
+    /// Verify the v2 payload checksum before trusting any length field.
+    pub verify_checksum: bool,
+}
+
+impl Default for OpenOptions {
+    fn default() -> Self {
+        OpenOptions {
+            mode: SlabMode::Auto,
+            verify_checksum: true,
+        }
+    }
+}
+
+/// What [`open_file`] did and how long it took.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadReport {
+    /// Format version of the snapshot that was opened.
+    pub format_version: u8,
+    /// Total snapshot size in bytes.
+    pub total_bytes: usize,
+    /// `true` when the serving index reads from a memory mapping.
+    pub mapped: bool,
+    /// Verified payload checksum (v2 only).
+    pub checksum: Option<u64>,
+    /// Nanoseconds spent acquiring the bytes (read or mmap).
+    pub open_nanos: u64,
+    /// Nanoseconds spent validating + assembling the index.
+    pub validate_nanos: u64,
+}
+
+/// Serialises a corpus index in the legacy v1 stream format.
+pub fn to_bytes(corpus: &CorpusIndex) -> Bytes {
+    v1::to_bytes(corpus)
+}
+
+/// Serialises a corpus index in the v2 columnar format.
+pub fn to_bytes_v2(corpus: &CorpusIndex) -> Bytes {
+    v2::to_bytes(corpus)
+}
+
+/// Restores a corpus index from bytes in either format.
+pub fn from_bytes(buf: Bytes) -> Result<CorpusIndex, StorageError> {
+    if buf.len() >= 8 && &buf[..8] == v2::MAGIC {
+        let slab = Arc::new(IndexSlab::Owned(buf.to_vec()));
+        return v2::load(slab, true).map(|(c, _)| c);
+    }
+    v1::from_bytes(buf)
+}
+
+/// Walks a snapshot's framing (either format) and returns a
+/// [`SnapshotSummary`] without materialising the index — the fast path
+/// behind `xclean index inspect`. Every length field is bounds-checked,
+/// so a truncated or hostile file errors instead of panicking.
+pub fn summarize(bytes: impl AsRef<[u8]>) -> Result<SnapshotSummary, StorageError> {
+    let bytes = bytes.as_ref();
+    if bytes.len() >= 8 && &bytes[..8] == v2::MAGIC {
+        return v2::summarize(bytes);
+    }
+    v1::summarize(bytes)
+}
+
+/// [`summarize`] for a file on disk.
+pub fn summarize_file(path: impl AsRef<std::path::Path>) -> Result<SnapshotSummary, StorageError> {
+    let data = std::fs::read(path)?;
+    summarize(&data)
+}
+
+/// Writes the index to a file in the legacy v1 format.
+pub fn save_to_file(
+    corpus: &CorpusIndex,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), StorageError> {
+    std::fs::write(path, to_bytes(corpus))?;
+    Ok(())
+}
+
+/// Writes the index to a file in the v2 columnar format.
+pub fn save_to_file_v2(
+    corpus: &CorpusIndex,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), StorageError> {
+    std::fs::write(path, to_bytes_v2(corpus))?;
+    Ok(())
+}
+
+/// Loads an index from a file in either format, into owned memory.
+pub fn load_from_file(path: impl AsRef<std::path::Path>) -> Result<CorpusIndex, StorageError> {
+    let data = std::fs::read(path)?;
+    from_bytes(Bytes::from(data))
+}
+
+/// Opens a snapshot for serving: v2 snapshots validate in place over the
+/// slab (owned or mapped per `options.mode`); v1 snapshots fall back to
+/// the full owned decode. Returns the index plus a [`LoadReport`] with
+/// open/validate timings for telemetry.
+pub fn open_file(
+    path: impl AsRef<std::path::Path>,
+    options: &OpenOptions,
+) -> Result<(CorpusIndex, LoadReport), StorageError> {
+    let t0 = Instant::now();
+    let slab = IndexSlab::open(path, options.mode)?;
+    let open_nanos = t0.elapsed().as_nanos() as u64;
+    let total_bytes = slab.len();
+    let mapped = slab.is_mapped();
+    let t1 = Instant::now();
+    if total_bytes >= 8 && &slab[..8] == v2::MAGIC {
+        let (corpus, checksum) = v2::load(Arc::new(slab), options.verify_checksum)?;
+        return Ok((
+            corpus,
+            LoadReport {
+                format_version: 2,
+                total_bytes,
+                mapped,
+                checksum: Some(checksum),
+                open_nanos,
+                validate_nanos: t1.elapsed().as_nanos() as u64,
+            },
+        ));
+    }
+    // Legacy v1: the decode owns everything, so the slab is only a source.
+    let corpus = v1::from_bytes(Bytes::from(slab.to_vec()))?;
+    Ok((
+        corpus,
+        LoadReport {
+            format_version: 1,
+            total_bytes,
+            mapped: false,
+            checksum: None,
+            open_nanos,
+            validate_nanos: t1.elapsed().as_nanos() as u64,
+        },
+    ))
+}
+
+/// Rewrites any snapshot as v2 — the engine behind `xclean index upgrade`.
+pub fn upgrade_file(
+    src: impl AsRef<std::path::Path>,
+    dst: impl AsRef<std::path::Path>,
+) -> Result<(), StorageError> {
+    let corpus = load_from_file(src)?;
+    save_to_file_v2(&corpus, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::TokenId;
+    use xclean_xmltree::parse_document;
+
+    fn corpus() -> CorpusIndex {
+        let xml = "<dblp>\
+            <article><title>keyword search systems</title><author>smith</author></article>\
+            <article year=\"2009\"><title>keyword cleaning</title><author>jones</author></article>\
+        </dblp>";
+        CorpusIndex::build(parse_document(xml).unwrap())
+    }
+
+    fn assert_equivalent(a: &CorpusIndex, b: &CorpusIndex) {
+        assert_eq!(a.tree().len(), b.tree().len());
+        for n in a.tree().iter() {
+            assert_eq!(a.tree().depth(n), b.tree().depth(n));
+            assert_eq!(a.tree().label_name(n), b.tree().label_name(n));
+            assert_eq!(a.tree().text(n), b.tree().text(n));
+            assert_eq!(a.tree().subtree_end(n), b.tree().subtree_end(n));
+            assert_eq!(a.tree().path_string(n), b.tree().path_string(n));
+            assert_eq!(a.doc_len(n), b.doc_len(n));
+        }
+        assert_eq!(a.vocab().len(), b.vocab().len());
+        for i in 0..a.vocab().len() as u32 {
+            let t = TokenId(i);
+            assert_eq!(a.vocab().term(t), b.vocab().term(t));
+            assert_eq!(a.vocab().cf(t), b.vocab().cf(t));
+            assert_eq!(a.vocab().df(t), b.vocab().df(t));
+            assert_eq!(a.vocab().get(a.vocab().term(t)), Some(t));
+            assert_eq!(a.postings(t), b.postings(t));
+            assert_eq!(a.path_stats().paths_of(t), b.path_stats().paths_of(t));
+        }
+        assert_eq!(a.vocab().total_tokens(), b.vocab().total_tokens());
+        assert_eq!(a.element_count(), b.element_count());
+    }
+
+    #[test]
+    fn v1_roundtrip_preserves_everything() {
+        let a = corpus();
+        let bytes = to_bytes(&a);
+        let b = from_bytes(bytes).unwrap();
+        assert_equivalent(&a, &b);
+        assert!(b.provenance().is_none(), "v1 loads carry no provenance");
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_everything() {
+        let a = corpus();
+        let bytes = to_bytes_v2(&a);
+        let b = from_bytes(bytes).unwrap();
+        assert_equivalent(&a, &b);
+        let prov = b.provenance().expect("v2 loads carry provenance");
+        assert_eq!(prov.format_version, 2);
+    }
+
+    #[test]
+    fn v2_double_roundtrip_is_byte_stable() {
+        let a = corpus();
+        let bytes = to_bytes_v2(&a);
+        let b = from_bytes(bytes.clone()).unwrap();
+        assert_eq!(to_bytes_v2(&b), bytes);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            from_bytes(Bytes::from_static(b"NOTANIDX")),
+            Err(StorageError::BadMagic)
+        ));
+        assert!(from_bytes(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn truncation_detected_both_formats() {
+        for bytes in [to_bytes(&corpus()), to_bytes_v2(&corpus())] {
+            // Any truncation must error, never panic.
+            for cut in (8..bytes.len()).step_by(7) {
+                assert!(from_bytes(bytes.slice(0..cut)).is_err(), "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn summary_matches_full_load_v1() {
+        let a = corpus();
+        let bytes = to_bytes(&a);
+        let s = summarize(&bytes).unwrap();
+        assert_eq!(s.format_version, 1);
+        assert_eq!(s.checksum, None);
+        assert_eq!(s.total_bytes, bytes.len());
+        assert_eq!(s.nodes, a.tree().len());
+        assert_eq!(s.labels, a.tree().labels().len());
+        assert_eq!(s.terms, a.vocab().len());
+        assert_eq!(s.total_tokens, a.vocab().total_tokens());
+        assert_eq!(s.tokenizer, *a.tokenizer().config());
+        assert!(s.postings_bytes > 0 && s.postings_bytes < bytes.len());
+        let section_sum: u64 = s.sections.iter().map(|x| x.bytes).sum();
+        assert_eq!(section_sum as usize + 8, bytes.len(), "magic + sections");
+        // Truncations error, never panic — same contract as from_bytes.
+        for cut in (8..bytes.len()).step_by(11) {
+            assert!(summarize(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        assert!(matches!(
+            summarize(b"NOTANIDX".as_slice()),
+            Err(StorageError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn summary_matches_full_load_v2() {
+        let a = corpus();
+        let bytes = to_bytes_v2(&a);
+        let s = summarize(&bytes).unwrap();
+        assert_eq!(s.format_version, 2);
+        assert!(s.checksum.is_some());
+        assert_eq!(s.total_bytes, bytes.len());
+        assert_eq!(s.nodes, a.tree().len());
+        assert_eq!(s.labels, a.tree().labels().len());
+        assert_eq!(s.terms, a.vocab().len());
+        assert_eq!(s.total_tokens, a.vocab().total_tokens());
+        assert_eq!(s.tokenizer, *a.tokenizer().config());
+        assert!(s.postings_bytes > 0 && s.postings_bytes < bytes.len());
+        assert_eq!(s.sections.len(), 6);
+        for cut in (8..bytes.len()).step_by(11) {
+            assert!(summarize(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_and_upgrade() {
+        let a = corpus();
+        let dir = std::env::temp_dir().join("xclean_storage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.xci");
+        save_to_file(&a, &path).unwrap();
+        let b = load_from_file(&path).unwrap();
+        assert_equivalent(&a, &b);
+        let v2_path = dir.join("index_v2.xci");
+        upgrade_file(&path, &v2_path).unwrap();
+        assert_eq!(summarize_file(&v2_path).unwrap().format_version, 2);
+        let (c, report) = open_file(&v2_path, &OpenOptions::default()).unwrap();
+        assert_equivalent(&a, &c);
+        assert_eq!(report.format_version, 2);
+        assert!(report.checksum.is_some());
+        // v1 snapshots open through the same API, owned.
+        let (d, report1) = open_file(&path, &OpenOptions::default()).unwrap();
+        assert_equivalent(&a, &d);
+        assert_eq!(report1.format_version, 1);
+        assert!(!report1.mapped);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&v2_path).ok();
+    }
+
+    #[test]
+    fn v2_checksum_flip_detected() {
+        let a = corpus();
+        let mut bytes = to_bytes_v2(&a).to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(from_bytes(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn v2_mapped_open_equals_owned() {
+        let a = corpus();
+        let dir = std::env::temp_dir().join("xclean_storage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mapped.xci");
+        save_to_file_v2(&a, &path).unwrap();
+        let (owned, _) = open_file(
+            &path,
+            &OpenOptions {
+                mode: SlabMode::Owned,
+                verify_checksum: true,
+            },
+        )
+        .unwrap();
+        let (auto, report) = open_file(&path, &OpenOptions::default()).unwrap();
+        assert_equivalent(&owned, &auto);
+        assert_equivalent(&a, &auto);
+        #[cfg(unix)]
+        assert!(report.mapped);
+        assert_eq!(owned.provenance(), auto.provenance());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,9 +1,4 @@
-//! Persistent index format.
-//!
-//! The paper builds its indexes offline (§VII-A reports 1.8 GB / 400 MB
-//! index sizes); this module is the corresponding persistence layer: a
-//! versioned binary snapshot of a [`CorpusIndex`] that loads without
-//! re-parsing or re-tokenising the XML.
+//! Legacy v1 snapshot format (`XCLIDX1\0`).
 //!
 //! Layout (all integers LEB128 varints):
 //!
@@ -18,7 +13,9 @@
 //!
 //! The tree is stored as a builder *replay* (depth deltas drive
 //! `open`/`close`), so loading reuses the ordinary construction path and
-//! every structural invariant is re-established rather than trusted.
+//! every structural invariant is re-established rather than trusted. The
+//! price is that load cost is O(corpus); the v2 format ([`super::v2`])
+//! exists to avoid exactly that.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use xclean_xmltree::{Tokenizer, TokenizerConfig, TreeBuilder, XmlTree};
@@ -28,47 +25,11 @@ use crate::corpus::CorpusIndex;
 use crate::posting::PostingList;
 use crate::vocab::Vocabulary;
 
-const MAGIC: &[u8; 8] = b"XCLIDX1\0";
+use super::{SectionInfo, SnapshotSummary, StorageError};
 
-/// Errors raised while loading a stored index.
-#[derive(Debug)]
-pub enum StorageError {
-    /// The input does not start with the format magic.
-    BadMagic,
-    /// A low-level decoding failure.
-    Codec(CodecError),
-    /// Structural inconsistency in the stored data.
-    Corrupt(&'static str),
-    /// Underlying I/O failure.
-    Io(std::io::Error),
-}
+pub(crate) const MAGIC: &[u8; 8] = b"XCLIDX1\0";
 
-impl std::fmt::Display for StorageError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            StorageError::BadMagic => write!(f, "not an xclean index file"),
-            StorageError::Codec(e) => write!(f, "decode error: {e}"),
-            StorageError::Corrupt(m) => write!(f, "corrupt index: {m}"),
-            StorageError::Io(e) => write!(f, "io error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for StorageError {}
-
-impl From<CodecError> for StorageError {
-    fn from(e: CodecError) -> Self {
-        StorageError::Codec(e)
-    }
-}
-
-impl From<std::io::Error> for StorageError {
-    fn from(e: std::io::Error) -> Self {
-        StorageError::Io(e)
-    }
-}
-
-fn put_str(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     put_varint(buf, s.len() as u64);
     buf.put_slice(s.as_bytes());
 }
@@ -82,7 +43,7 @@ fn get_str(buf: &mut Bytes) -> Result<String, StorageError> {
     String::from_utf8(bytes.to_vec()).map_err(|_| StorageError::Corrupt("non-utf8 string"))
 }
 
-/// Serialises a corpus index to bytes.
+/// Serialises a corpus index to v1 bytes.
 pub fn to_bytes(corpus: &CorpusIndex) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
@@ -240,33 +201,10 @@ pub fn from_bytes(mut buf: Bytes) -> Result<CorpusIndex, StorageError> {
     Ok(CorpusIndex::from_parts(tree, vocab, lists, tokenizer))
 }
 
-/// Cheap structural facts about a stored snapshot, extracted without
-/// rebuilding the tree, vocabulary, or posting lists.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SnapshotSummary {
-    /// Total snapshot size in bytes.
-    pub total_bytes: usize,
-    /// Number of distinct element labels.
-    pub labels: usize,
-    /// Number of tree nodes.
-    pub nodes: usize,
-    /// Number of vocabulary terms (= number of posting lists).
-    pub terms: usize,
-    /// Total token occurrences (sum of collection frequencies).
-    pub total_tokens: u64,
-    /// Bytes occupied by the encoded posting lists.
-    pub postings_bytes: usize,
-    /// Tokenizer policy the index was built with.
-    pub tokenizer: TokenizerConfig,
-}
-
-/// Walks a snapshot's framing and returns a [`SnapshotSummary`] without
-/// materialising the index — the fast path behind `xclean index inspect`.
-/// Every length field is still bounds-checked, so a truncated or hostile
-/// file errors instead of panicking; it just skips the O(corpus) work of
-/// re-establishing structural invariants that [`from_bytes`] performs.
-pub fn summarize(mut buf: Bytes) -> Result<SnapshotSummary, StorageError> {
-    let total_bytes = buf.remaining();
+/// Walks a v1 snapshot's framing without materialising the index.
+pub(crate) fn summarize(bytes: &[u8]) -> Result<SnapshotSummary, StorageError> {
+    let total_bytes = bytes.len();
+    let mut buf = Bytes::from(bytes.to_vec());
     if buf.remaining() < MAGIC.len() || &buf.copy_to_bytes(MAGIC.len())[..] != MAGIC {
         return Err(StorageError::BadMagic);
     }
@@ -278,6 +216,7 @@ pub fn summarize(mut buf: Bytes) -> Result<SnapshotSummary, StorageError> {
         buf.advance(len);
         Ok(())
     };
+    let tree_start = total_bytes - buf.remaining();
     let labels = get_count(&mut buf, 1)?;
     for _ in 0..labels {
         skip_str(&mut buf)?;
@@ -293,6 +232,7 @@ pub fn summarize(mut buf: Bytes) -> Result<SnapshotSummary, StorageError> {
             skip_str(&mut buf)?;
         }
     }
+    let vocab_start = total_bytes - buf.remaining();
     let terms = get_count(&mut buf, 3)?;
     let mut total_tokens = 0u64;
     for _ in 0..terms {
@@ -300,6 +240,7 @@ pub fn summarize(mut buf: Bytes) -> Result<SnapshotSummary, StorageError> {
         total_tokens = total_tokens.saturating_add(get_varint(&mut buf)?); // cf
         get_varint(&mut buf)?; // df
     }
+    let postings_start = total_bytes - buf.remaining();
     let mut postings_bytes = 0usize;
     for _ in 0..terms {
         let len = get_varint(&mut buf)? as usize;
@@ -309,6 +250,7 @@ pub fn summarize(mut buf: Bytes) -> Result<SnapshotSummary, StorageError> {
         buf.advance(len);
         postings_bytes += len;
     }
+    let tokenizer_start = total_bytes - buf.remaining();
     let min_token_len = get_varint(&mut buf)? as usize;
     if buf.remaining() < 2 {
         return Err(StorageError::Codec(CodecError::UnexpectedEof));
@@ -318,7 +260,27 @@ pub fn summarize(mut buf: Bytes) -> Result<SnapshotSummary, StorageError> {
         drop_numbers: buf.get_u8() == 1,
         drop_stop_words: buf.get_u8() == 1,
     };
+    let end = total_bytes - buf.remaining();
+    let sections = vec![
+        SectionInfo {
+            name: "TREE",
+            bytes: (vocab_start - tree_start) as u64,
+        },
+        SectionInfo {
+            name: "VOCAB",
+            bytes: (postings_start - vocab_start) as u64,
+        },
+        SectionInfo {
+            name: "POSTINGS",
+            bytes: (tokenizer_start - postings_start) as u64,
+        },
+        SectionInfo {
+            name: "TOKENIZER",
+            bytes: (end - tokenizer_start) as u64,
+        },
+    ];
     Ok(SnapshotSummary {
+        format_version: 1,
         total_bytes,
         labels,
         nodes,
@@ -326,124 +288,7 @@ pub fn summarize(mut buf: Bytes) -> Result<SnapshotSummary, StorageError> {
         total_tokens,
         postings_bytes,
         tokenizer,
+        checksum: None,
+        sections,
     })
-}
-
-/// [`summarize`] for a file on disk.
-pub fn summarize_file(path: impl AsRef<std::path::Path>) -> Result<SnapshotSummary, StorageError> {
-    let data = std::fs::read(path)?;
-    summarize(Bytes::from(data))
-}
-
-/// Writes the index to a file.
-pub fn save_to_file(
-    corpus: &CorpusIndex,
-    path: impl AsRef<std::path::Path>,
-) -> Result<(), StorageError> {
-    std::fs::write(path, to_bytes(corpus))?;
-    Ok(())
-}
-
-/// Loads an index from a file.
-pub fn load_from_file(path: impl AsRef<std::path::Path>) -> Result<CorpusIndex, StorageError> {
-    let data = std::fs::read(path)?;
-    from_bytes(Bytes::from(data))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::vocab::TokenId;
-    use xclean_xmltree::parse_document;
-
-    fn corpus() -> CorpusIndex {
-        let xml = "<dblp>\
-            <article><title>keyword search systems</title><author>smith</author></article>\
-            <article year=\"2009\"><title>keyword cleaning</title><author>jones</author></article>\
-        </dblp>";
-        CorpusIndex::build(parse_document(xml).unwrap())
-    }
-
-    fn assert_equivalent(a: &CorpusIndex, b: &CorpusIndex) {
-        assert_eq!(a.tree().len(), b.tree().len());
-        for n in a.tree().iter() {
-            assert_eq!(a.tree().depth(n), b.tree().depth(n));
-            assert_eq!(a.tree().label_name(n), b.tree().label_name(n));
-            assert_eq!(a.tree().text(n), b.tree().text(n));
-            assert_eq!(a.tree().subtree_end(n), b.tree().subtree_end(n));
-            assert_eq!(a.tree().path_string(n), b.tree().path_string(n));
-            assert_eq!(a.doc_len(n), b.doc_len(n));
-        }
-        assert_eq!(a.vocab().len(), b.vocab().len());
-        for i in 0..a.vocab().len() as u32 {
-            let t = TokenId(i);
-            assert_eq!(a.vocab().term(t), b.vocab().term(t));
-            assert_eq!(a.vocab().cf(t), b.vocab().cf(t));
-            assert_eq!(a.vocab().df(t), b.vocab().df(t));
-            assert_eq!(a.postings(t), b.postings(t));
-            assert_eq!(a.path_stats().paths_of(t), b.path_stats().paths_of(t));
-        }
-        assert_eq!(a.vocab().total_tokens(), b.vocab().total_tokens());
-        assert_eq!(a.element_count(), b.element_count());
-    }
-
-    #[test]
-    fn roundtrip_preserves_everything() {
-        let a = corpus();
-        let bytes = to_bytes(&a);
-        let b = from_bytes(bytes).unwrap();
-        assert_equivalent(&a, &b);
-    }
-
-    #[test]
-    fn bad_magic_rejected() {
-        assert!(matches!(
-            from_bytes(Bytes::from_static(b"NOTANIDX")),
-            Err(StorageError::BadMagic)
-        ));
-        assert!(from_bytes(Bytes::new()).is_err());
-    }
-
-    #[test]
-    fn truncation_detected() {
-        let bytes = to_bytes(&corpus());
-        // Any truncation must error, never panic.
-        for cut in (8..bytes.len()).step_by(7) {
-            assert!(from_bytes(bytes.slice(0..cut)).is_err(), "cut {cut}");
-        }
-    }
-
-    #[test]
-    fn summary_matches_full_load() {
-        let a = corpus();
-        let bytes = to_bytes(&a);
-        let s = summarize(bytes.clone()).unwrap();
-        assert_eq!(s.total_bytes, bytes.len());
-        assert_eq!(s.nodes, a.tree().len());
-        assert_eq!(s.labels, a.tree().labels().len());
-        assert_eq!(s.terms, a.vocab().len());
-        assert_eq!(s.total_tokens, a.vocab().total_tokens());
-        assert_eq!(s.tokenizer, *a.tokenizer().config());
-        assert!(s.postings_bytes > 0 && s.postings_bytes < bytes.len());
-        // Truncations error, never panic — same contract as from_bytes.
-        for cut in (8..bytes.len()).step_by(11) {
-            assert!(summarize(bytes.slice(0..cut)).is_err(), "cut {cut}");
-        }
-        assert!(matches!(
-            summarize(Bytes::from_static(b"NOTANIDX")),
-            Err(StorageError::BadMagic)
-        ));
-    }
-
-    #[test]
-    fn file_roundtrip() {
-        let a = corpus();
-        let dir = std::env::temp_dir().join("xclean_storage_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("index.xci");
-        save_to_file(&a, &path).unwrap();
-        let b = load_from_file(&path).unwrap();
-        assert_equivalent(&a, &b);
-        std::fs::remove_file(&path).ok();
-    }
 }

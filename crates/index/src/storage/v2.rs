@@ -1,0 +1,558 @@
+//! Columnar v2 snapshot format (`XCLIDX2\0`).
+//!
+//! Layout (DESIGN.md §11):
+//!
+//! ```text
+//! magic "XCLIDX2\0"
+//! checksum   : u64 LE — checksum64 (4-lane word-folded FNV-1a, see
+//!              `slab::checksum64`) over every byte after the section table
+//! section_count : u8
+//! section table : per section { id u8, absolute offset u64 LE, len u64 LE }
+//! ──────────────────────────── payload ────────────────────────────
+//! TREE(1)     : label table (count, len-prefixed strings); node_count;
+//!               depth varint column; label-index varint column;
+//!               text bitmap (⌈n/8⌉ bytes); text blob (len-prefixed, one
+//!               entry per set bitmap bit, in preorder)
+//! DIRECT(2)   : per-node direct token counts (node_count varints)
+//! VOCAB(3)    : term_count; (count+1) u32 LE term offsets; term blob;
+//!               cf varints; df varints; count u32 LE ids sorted by term
+//! POSTINGS(4) : count; (count+1) u64 LE offsets; concatenated
+//!               `codec::encode` blobs (byte-identical to v1 blobs)
+//! PATHSTATS(5): count; (count+1) u64 LE offsets; concatenated
+//!               `encode_stats` blobs
+//! TOKENIZER(6): min_token_len varint; drop_numbers u8; drop_stop_words u8
+//! ```
+//!
+//! Loading never replays construction: the tree is assembled from the
+//! flat preorder columns and re-validated by an explicit O(n) pass
+//! ([`xclean_xmltree::PreorderAssembler`]), the term dictionary and the
+//! postings/path-stats blobs stay in the slab and are viewed or decoded
+//! lazily, and the DIRECT column supplies per-node document lengths
+//! without touching a single posting list. Every varint-declared size is
+//! clamped against the remaining input before it drives an allocation.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use xclean_xmltree::{LabelId, NodeId, PreorderAssembler, Tokenizer, TokenizerConfig};
+
+use crate::codec::{self, get_count, put_varint, SliceReader};
+use crate::corpus::{CorpusIndex, SnapshotProvenance};
+use crate::path_stats::{self, PathStatsIndex};
+use crate::slab::{checksum64, IndexSlab};
+use crate::vocab::{TokenId, Vocabulary};
+
+use super::v1::put_str;
+use super::{SectionInfo, SnapshotSummary, StorageError};
+
+pub(crate) const MAGIC: &[u8; 8] = b"XCLIDX2\0";
+
+const SEC_TREE: u8 = 1;
+const SEC_DIRECT: u8 = 2;
+const SEC_VOCAB: u8 = 3;
+const SEC_POSTINGS: u8 = 4;
+const SEC_PATHSTATS: u8 = 5;
+const SEC_TOKENIZER: u8 = 6;
+
+fn section_name(id: u8) -> &'static str {
+    match id {
+        SEC_TREE => "TREE",
+        SEC_DIRECT => "DIRECT",
+        SEC_VOCAB => "VOCAB",
+        SEC_POSTINGS => "POSTINGS",
+        SEC_PATHSTATS => "PATHSTATS",
+        SEC_TOKENIZER => "TOKENIZER",
+        _ => "UNKNOWN",
+    }
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Serialises a corpus index to v2 bytes. The section order is fixed
+/// (TREE, DIRECT, VOCAB, POSTINGS, PATHSTATS, TOKENIZER), so re-encoding
+/// a loaded snapshot is byte-stable.
+pub fn to_bytes(corpus: &CorpusIndex) -> Bytes {
+    let mut payload = BytesMut::new();
+    let mut table: Vec<(u8, usize, usize)> = Vec::new();
+    let mut section = |id: u8, payload: &mut BytesMut, start: usize| {
+        table.push((id, start, payload.len() - start));
+    };
+
+    // TREE.
+    let start = payload.len();
+    let tree = corpus.tree();
+    let labels = tree.labels();
+    put_varint(&mut payload, labels.len() as u64);
+    for i in 0..labels.len() as u32 {
+        put_str(&mut payload, labels.name(LabelId(i)));
+    }
+    let n = tree.len();
+    put_varint(&mut payload, n as u64);
+    for node in tree.iter() {
+        put_varint(&mut payload, u64::from(tree.depth(node)));
+    }
+    for node in tree.iter() {
+        put_varint(&mut payload, u64::from(tree.label(node).0));
+    }
+    let mut bitmap = vec![0u8; n.div_ceil(8)];
+    for (i, node) in tree.iter().enumerate() {
+        if tree.text(node).is_some() {
+            bitmap[i / 8] |= 1 << (i % 8);
+        }
+    }
+    payload.put_slice(&bitmap);
+    for node in tree.iter() {
+        if let Some(t) = tree.text(node) {
+            put_str(&mut payload, t);
+        }
+    }
+    section(SEC_TREE, &mut payload, start);
+
+    // DIRECT.
+    let start = payload.len();
+    for i in 0..n {
+        put_varint(&mut payload, corpus.direct_len(NodeId(i as u32)));
+    }
+    section(SEC_DIRECT, &mut payload, start);
+
+    // VOCAB.
+    let start = payload.len();
+    let vocab = corpus.vocab();
+    let count = vocab.len();
+    put_varint(&mut payload, count as u64);
+    let mut off = 0u32;
+    payload.put_slice(&off.to_le_bytes());
+    for term in vocab.iter_terms() {
+        off = off
+            .checked_add(u32::try_from(term.len()).expect("term too long"))
+            .expect("term blob exceeds 4 GiB");
+        payload.put_slice(&off.to_le_bytes());
+    }
+    for term in vocab.iter_terms() {
+        payload.put_slice(term.as_bytes());
+    }
+    for i in 0..count as u32 {
+        put_varint(&mut payload, vocab.cf(TokenId(i)));
+    }
+    for i in 0..count as u32 {
+        put_varint(&mut payload, vocab.df(TokenId(i)));
+    }
+    let mut sorted: Vec<u32> = (0..count as u32).collect();
+    sorted.sort_unstable_by(|&a, &b| {
+        vocab
+            .term(TokenId(a))
+            .as_bytes()
+            .cmp(vocab.term(TokenId(b)).as_bytes())
+    });
+    for id in &sorted {
+        payload.put_slice(&id.to_le_bytes());
+    }
+    section(SEC_VOCAB, &mut payload, start);
+
+    // POSTINGS.
+    let start = payload.len();
+    put_varint(&mut payload, count as u64);
+    let blobs: Vec<Bytes> = (0..count as u32)
+        .map(|i| codec::encode(corpus.postings(TokenId(i))))
+        .collect();
+    let mut off = 0u64;
+    payload.put_slice(&off.to_le_bytes());
+    for b in &blobs {
+        off += b.len() as u64;
+        payload.put_slice(&off.to_le_bytes());
+    }
+    for b in &blobs {
+        payload.put_slice(b);
+    }
+    section(SEC_POSTINGS, &mut payload, start);
+
+    // PATHSTATS.
+    let start = payload.len();
+    put_varint(&mut payload, count as u64);
+    let mut stats_blob = BytesMut::new();
+    let mut stat_offsets: Vec<u64> = vec![0];
+    for i in 0..count as u32 {
+        path_stats::encode_stats(corpus.path_stats().paths_of(TokenId(i)), &mut stats_blob);
+        stat_offsets.push(stats_blob.len() as u64);
+    }
+    for o in &stat_offsets {
+        payload.put_slice(&o.to_le_bytes());
+    }
+    payload.put_slice(&stats_blob);
+    section(SEC_PATHSTATS, &mut payload, start);
+
+    // TOKENIZER.
+    let start = payload.len();
+    let tc = corpus.tokenizer().config();
+    put_varint(&mut payload, tc.min_token_len as u64);
+    payload.put_u8(u8::from(tc.drop_numbers));
+    payload.put_u8(u8::from(tc.drop_stop_words));
+    section(SEC_TOKENIZER, &mut payload, start);
+
+    // Header: magic, payload checksum, section table (absolute offsets).
+    let header_len = 8 + 8 + 1 + 17 * table.len();
+    let checksum = checksum64(&payload);
+    let mut out = BytesMut::with_capacity(header_len + payload.len());
+    out.put_slice(MAGIC);
+    out.put_slice(&checksum.to_le_bytes());
+    out.put_u8(table.len() as u8);
+    for (id, rel, len) in &table {
+        out.put_u8(*id);
+        out.put_slice(&((header_len + rel) as u64).to_le_bytes());
+        out.put_slice(&(*len as u64).to_le_bytes());
+    }
+    out.put_slice(&payload);
+    out.freeze()
+}
+
+/// Parsed v2 header: recorded checksum, section ranges, header end.
+struct Header {
+    checksum: u64,
+    /// Sections in table order.
+    sections: Vec<(u8, Range<usize>)>,
+    header_end: usize,
+}
+
+impl Header {
+    fn section(&self, id: u8) -> Result<Range<usize>, StorageError> {
+        self.sections
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, r)| r.clone())
+            .ok_or(StorageError::Corrupt("missing snapshot section"))
+    }
+}
+
+fn parse_header(bytes: &[u8]) -> Result<Header, StorageError> {
+    if bytes.len() < 8 || &bytes[..8] != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    if bytes.len() < 17 {
+        return Err(StorageError::Corrupt("header truncated"));
+    }
+    let checksum = read_u64(bytes, 8);
+    let section_count = bytes[16] as usize;
+    let header_end = 17 + 17 * section_count;
+    if bytes.len() < header_end {
+        return Err(StorageError::Corrupt("section table truncated"));
+    }
+    let mut sections = Vec::with_capacity(section_count);
+    let mut seen = [false; 256];
+    for i in 0..section_count {
+        let at = 17 + 17 * i;
+        let id = bytes[at];
+        if seen[id as usize] {
+            return Err(StorageError::Corrupt("duplicate section id"));
+        }
+        seen[id as usize] = true;
+        let offset = usize::try_from(read_u64(bytes, at + 1))
+            .map_err(|_| StorageError::Corrupt("section offset overflows"))?;
+        let len = usize::try_from(read_u64(bytes, at + 9))
+            .map_err(|_| StorageError::Corrupt("section length overflows"))?;
+        let end = offset
+            .checked_add(len)
+            .ok_or(StorageError::Corrupt("section range overflows"))?;
+        if offset < header_end || end > bytes.len() {
+            return Err(StorageError::Corrupt("section range out of bounds"));
+        }
+        sections.push((id, offset..end));
+    }
+    Ok(Header {
+        checksum,
+        sections,
+        header_end,
+    })
+}
+
+/// Reads a length-prefixed UTF-8 string, clamping the declared length.
+fn read_str(r: &mut SliceReader<'_>) -> Result<String, StorageError> {
+    Ok(read_str_ref(r)?.to_string())
+}
+
+/// Borrowing variant of [`read_str`]: validates UTF-8 in place and hands
+/// back a view into the underlying slice — the text hot path of
+/// [`load_tree`] copies it straight into the tree's arena without an
+/// intermediate allocation.
+fn read_str_ref<'a>(r: &mut SliceReader<'a>) -> Result<&'a str, StorageError> {
+    let len = get_count(r, 1)?;
+    let bytes = r.take(len)?;
+    std::str::from_utf8(bytes).map_err(|_| StorageError::Corrupt("non-utf8 string"))
+}
+
+/// Parses a `(count+1) × u64 LE` offset table followed by a blob within
+/// `section`, returning the absolute byte range of each entry's slice.
+fn parse_offset_blob(
+    bytes: &[u8],
+    section: &Range<usize>,
+) -> Result<Vec<Range<usize>>, StorageError> {
+    let mut r = SliceReader::new(&bytes[section.clone()]);
+    let count = get_count(&mut r, 8)?;
+    let table_bytes = (count + 1)
+        .checked_mul(8)
+        .ok_or(StorageError::Corrupt("offset table overflows"))?;
+    let table_start = section.start + r.pos();
+    r.skip(table_bytes)
+        .map_err(|_| StorageError::Corrupt("offset table truncated"))?;
+    let blob_start = section.start + r.pos();
+    let blob_len = r.remaining() as u64;
+    let mut ranges = Vec::with_capacity(count);
+    let mut prev = read_u64(bytes, table_start);
+    if prev != 0 {
+        return Err(StorageError::Corrupt("first offset must be zero"));
+    }
+    for i in 0..count {
+        let next = read_u64(bytes, table_start + 8 * (i + 1));
+        if next < prev || next > blob_len {
+            return Err(StorageError::Corrupt("offsets not monotonic"));
+        }
+        ranges.push(blob_start + prev as usize..blob_start + next as usize);
+        prev = next;
+    }
+    if prev != blob_len {
+        return Err(StorageError::Corrupt("offsets do not cover blob"));
+    }
+    Ok(ranges)
+}
+
+/// Parses the TREE section into a validated [`xclean_xmltree::XmlTree`].
+fn load_tree(
+    bytes: &[u8],
+    section: &Range<usize>,
+) -> Result<(xclean_xmltree::XmlTree, usize), StorageError> {
+    let mut r = SliceReader::new(&bytes[section.clone()]);
+    let label_count = get_count(&mut r, 1)?;
+    let mut names = Vec::with_capacity(label_count);
+    for _ in 0..label_count {
+        names.push(read_str(&mut r)?);
+    }
+    let node_count = get_count(&mut r, 2)?;
+    if node_count == 0 {
+        return Err(StorageError::Corrupt("empty tree"));
+    }
+    let mut depths = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        let d = r.get_varint()?;
+        depths.push(u32::try_from(d).map_err(|_| StorageError::Corrupt("depth overflows u32"))?);
+    }
+    let mut label_col = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        let l = r.get_varint()?;
+        label_col
+            .push(u32::try_from(l).map_err(|_| StorageError::Corrupt("label id overflows u32"))?);
+    }
+    let bitmap = r.take(node_count.div_ceil(8))?.to_vec();
+    let mut asm = PreorderAssembler::new(&names);
+    asm.reserve(node_count);
+    for i in 0..node_count {
+        let text = if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+            Some(read_str_ref(&mut r)?)
+        } else {
+            None
+        };
+        asm.push(depths[i], label_col[i], text)?;
+    }
+    if r.remaining() != 0 {
+        return Err(StorageError::Corrupt("trailing bytes in TREE section"));
+    }
+    Ok((asm.finish()?, node_count))
+}
+
+/// Validates a v2 snapshot over `slab` and assembles a [`CorpusIndex`]
+/// whose postings, term dictionary, and path statistics remain views into
+/// the slab. Returns the index and the payload checksum.
+pub(crate) fn load(
+    slab: Arc<IndexSlab>,
+    verify_checksum: bool,
+) -> Result<(CorpusIndex, u64), StorageError> {
+    let bytes = slab.bytes();
+    let header = parse_header(bytes)?;
+    if verify_checksum && checksum64(&bytes[header.header_end..]) != header.checksum {
+        return Err(StorageError::Corrupt("payload checksum mismatch"));
+    }
+
+    // TREE: flat preorder columns + explicit O(n) validation pass.
+    let (tree, node_count) = load_tree(bytes, &header.section(SEC_TREE)?)?;
+
+    // DIRECT: per-node token counts — document lengths without postings.
+    let direct_range = header.section(SEC_DIRECT)?;
+    let mut r = SliceReader::new(&bytes[direct_range]);
+    let mut direct = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        direct.push(r.get_varint()?);
+    }
+    if r.remaining() != 0 {
+        return Err(StorageError::Corrupt("trailing bytes in DIRECT section"));
+    }
+
+    // VOCAB: slab-backed term dictionary.
+    let vocab_range = header.section(SEC_VOCAB)?;
+    let mut r = SliceReader::new(&bytes[vocab_range.clone()]);
+    let count = get_count(&mut r, 10)?;
+    let table_bytes = (count + 1)
+        .checked_mul(4)
+        .ok_or(StorageError::Corrupt("vocab offset table overflows"))?;
+    let off_start = vocab_range.start + r.pos();
+    r.skip(table_bytes)
+        .map_err(|_| StorageError::Corrupt("vocab offset table truncated"))?;
+    let blob_len = read_u32(bytes, off_start + table_bytes - 4) as usize;
+    let blob_start = vocab_range.start + r.pos();
+    r.skip(blob_len)
+        .map_err(|_| StorageError::Corrupt("vocab term blob truncated"))?;
+    let mut cf = Vec::with_capacity(count);
+    for _ in 0..count {
+        cf.push(r.get_varint()?);
+    }
+    let mut df = Vec::with_capacity(count);
+    for _ in 0..count {
+        df.push(r.get_varint()?);
+    }
+    let sorted_start = vocab_range.start + r.pos();
+    r.skip(count * 4)
+        .map_err(|_| StorageError::Corrupt("vocab permutation truncated"))?;
+    if r.remaining() != 0 {
+        return Err(StorageError::Corrupt("trailing bytes in VOCAB section"));
+    }
+    let vocab = Vocabulary::from_slab(
+        Arc::clone(&slab),
+        off_start..blob_start,
+        blob_start..blob_start + blob_len,
+        sorted_start..sorted_start + count * 4,
+        count,
+        cf,
+        df,
+    )
+    .map_err(StorageError::Corrupt)?;
+
+    // POSTINGS / PATHSTATS: offset tables into lazily-decoded blobs.
+    let posting_ranges = parse_offset_blob(bytes, &header.section(SEC_POSTINGS)?)?;
+    let stats_ranges = parse_offset_blob(bytes, &header.section(SEC_PATHSTATS)?)?;
+    let path_stats = PathStatsIndex::from_slab(Arc::clone(&slab), stats_ranges)
+        .map_err(StorageError::Corrupt)?;
+
+    // TOKENIZER.
+    let tok_range = header.section(SEC_TOKENIZER)?;
+    let mut r = SliceReader::new(&bytes[tok_range]);
+    let min_token_len = usize::try_from(r.get_varint()?)
+        .map_err(|_| StorageError::Corrupt("min_token_len overflows"))?;
+    let drop_numbers = r.get_u8()? == 1;
+    let drop_stop_words = r.get_u8()? == 1;
+    if r.remaining() != 0 {
+        return Err(StorageError::Corrupt("trailing bytes in TOKENIZER section"));
+    }
+    let tokenizer = Tokenizer::new(TokenizerConfig {
+        min_token_len,
+        drop_numbers,
+        drop_stop_words,
+    });
+
+    let provenance = SnapshotProvenance {
+        format_version: 2,
+        checksum: header.checksum,
+    };
+    let corpus = CorpusIndex::from_slab_parts(
+        tree,
+        vocab,
+        Arc::clone(&slab),
+        posting_ranges,
+        path_stats,
+        direct,
+        tokenizer,
+        provenance,
+    )
+    .map_err(StorageError::Corrupt)?;
+    Ok((corpus, header.checksum))
+}
+
+/// Walks a v2 snapshot's section table and framing without assembling the
+/// index. Verifies the payload checksum (it is cheaper than one posting
+/// decode pass and lets `index inspect` vouch for file integrity).
+pub(crate) fn summarize(bytes: &[u8]) -> Result<SnapshotSummary, StorageError> {
+    let header = parse_header(bytes)?;
+    if checksum64(&bytes[header.header_end..]) != header.checksum {
+        return Err(StorageError::Corrupt("payload checksum mismatch"));
+    }
+    let by_id: HashMap<u8, Range<usize>> = header.sections.iter().cloned().collect();
+    let tree_range = by_id
+        .get(&SEC_TREE)
+        .ok_or(StorageError::Corrupt("missing TREE section"))?;
+    let mut r = SliceReader::new(&bytes[tree_range.clone()]);
+    let labels = get_count(&mut r, 1)?;
+    for _ in 0..labels {
+        let len = get_count(&mut r, 1)?;
+        r.skip(len)?;
+    }
+    let nodes = get_count(&mut r, 2)?;
+
+    let vocab_range = by_id
+        .get(&SEC_VOCAB)
+        .ok_or(StorageError::Corrupt("missing VOCAB section"))?;
+    let mut r = SliceReader::new(&bytes[vocab_range.clone()]);
+    let terms = get_count(&mut r, 10)?;
+    let table_bytes = (terms + 1)
+        .checked_mul(4)
+        .ok_or(StorageError::Corrupt("vocab offset table overflows"))?;
+    let off_start = vocab_range.start + r.pos();
+    r.skip(table_bytes)?;
+    let blob_len = read_u32(bytes, off_start + table_bytes - 4) as usize;
+    r.skip(blob_len)?;
+    let mut total_tokens = 0u64;
+    for _ in 0..terms {
+        total_tokens = total_tokens.saturating_add(r.get_varint()?);
+    }
+
+    let postings_range = by_id
+        .get(&SEC_POSTINGS)
+        .ok_or(StorageError::Corrupt("missing POSTINGS section"))?;
+    let mut r = SliceReader::new(&bytes[postings_range.clone()]);
+    let pcount = get_count(&mut r, 8)?;
+    let ptable = (pcount + 1)
+        .checked_mul(8)
+        .ok_or(StorageError::Corrupt("offset table overflows"))?;
+    r.skip(ptable)?;
+    let postings_bytes = r.remaining();
+
+    let tok_range = by_id
+        .get(&SEC_TOKENIZER)
+        .ok_or(StorageError::Corrupt("missing TOKENIZER section"))?;
+    let mut r = SliceReader::new(&bytes[tok_range.clone()]);
+    let min_token_len = usize::try_from(r.get_varint()?)
+        .map_err(|_| StorageError::Corrupt("min_token_len overflows"))?;
+    let tokenizer = TokenizerConfig {
+        min_token_len,
+        drop_numbers: r.get_u8()? == 1,
+        drop_stop_words: r.get_u8()? == 1,
+    };
+
+    let sections = header
+        .sections
+        .iter()
+        .map(|(id, range)| SectionInfo {
+            name: section_name(*id),
+            bytes: range.len() as u64,
+        })
+        .collect();
+    Ok(SnapshotSummary {
+        format_version: 2,
+        total_bytes: bytes.len(),
+        labels,
+        nodes,
+        terms,
+        total_tokens,
+        postings_bytes,
+        tokenizer,
+        checksum: Some(header.checksum),
+        sections,
+    })
+}

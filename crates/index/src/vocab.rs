@@ -1,6 +1,16 @@
 //! The vocabulary: interned tokens with collection statistics.
+//!
+//! Terms live in a [`TermStore`]: either owned `String`s built during
+//! indexing (and v1 snapshot loads), or borrowed views over a v2 snapshot
+//! slab — a `u32` offset table into a concatenated UTF-8 blob plus a
+//! term-sorted permutation that replaces the hash map for lookups. The
+//! slab-backed store allocates nothing per term at load time.
 
 use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::slab::IndexSlab;
 
 /// Interned token id. Ids are dense and start at 0.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -13,12 +23,111 @@ impl TokenId {
     }
 }
 
+/// Where the term strings live: owned heap strings or slab byte ranges.
+#[derive(Debug, Clone)]
+enum TermStore {
+    Owned {
+        terms: Vec<String>,
+        by_term: HashMap<String, TokenId>,
+    },
+    Slab {
+        slab: Arc<IndexSlab>,
+        /// `(count + 1)` little-endian `u32` byte offsets into `blob`.
+        offsets: Range<usize>,
+        /// Concatenated UTF-8 term bytes.
+        blob: Range<usize>,
+        /// `count` little-endian `u32` token ids sorted by term bytes.
+        sorted: Range<usize>,
+        count: usize,
+    },
+}
+
+impl Default for TermStore {
+    fn default() -> Self {
+        TermStore::Owned {
+            terms: Vec::new(),
+            by_term: HashMap::new(),
+        }
+    }
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
+impl TermStore {
+    fn len(&self) -> usize {
+        match self {
+            TermStore::Owned { terms, .. } => terms.len(),
+            TermStore::Slab { count, .. } => *count,
+        }
+    }
+
+    fn term_bytes<'a>(
+        slab: &'a IndexSlab,
+        offsets: &Range<usize>,
+        blob: &Range<usize>,
+        i: usize,
+    ) -> &'a [u8] {
+        let bytes = slab.bytes();
+        let start = read_u32(bytes, offsets.start + 4 * i) as usize;
+        let end = read_u32(bytes, offsets.start + 4 * (i + 1)) as usize;
+        &bytes[blob.start + start..blob.start + end]
+    }
+
+    fn term(&self, i: usize) -> &str {
+        match self {
+            TermStore::Owned { terms, .. } => &terms[i],
+            TermStore::Slab {
+                slab,
+                offsets,
+                blob,
+                ..
+            } => {
+                // UTF-8 was validated once at open; an invalid term here
+                // would be a bug, not bad input, so degrade to "".
+                std::str::from_utf8(Self::term_bytes(slab, offsets, blob, i)).unwrap_or("")
+            }
+        }
+    }
+
+    fn get(&self, term: &str) -> Option<TokenId> {
+        match self {
+            TermStore::Owned { by_term, .. } => by_term.get(term).copied(),
+            TermStore::Slab {
+                slab,
+                offsets,
+                blob,
+                sorted,
+                count,
+            } => {
+                let bytes = slab.bytes();
+                let needle = term.as_bytes();
+                let mut lo = 0usize;
+                let mut hi = *count;
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    let id = read_u32(bytes, sorted.start + 4 * mid) as usize;
+                    let cand = Self::term_bytes(slab, offsets, blob, id);
+                    match cand.cmp(needle) {
+                        std::cmp::Ordering::Less => lo = mid + 1,
+                        std::cmp::Ordering::Greater => hi = mid,
+                        std::cmp::Ordering::Equal => return Some(TokenId(id as u32)),
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
 /// All distinct tokens of the corpus (§III: "these tokens collectively form
 /// the vocabulary V"), with per-token collection statistics.
 #[derive(Debug, Default, Clone)]
 pub struct Vocabulary {
-    terms: Vec<String>,
-    by_term: HashMap<String, TokenId>,
+    store: TermStore,
     /// Collection frequency: total occurrences of the token.
     cf: Vec<u64>,
     /// Element-document frequency: number of nodes whose *direct* text
@@ -52,13 +161,19 @@ impl Vocabulary {
     }
 
     /// Interns `term` without recording occurrences.
+    ///
+    /// # Panics
+    /// On a slab-backed vocabulary — snapshot-loaded indexes are frozen.
     pub fn intern(&mut self, term: &str) -> TokenId {
-        if let Some(&id) = self.by_term.get(term) {
+        let TermStore::Owned { terms, by_term } = &mut self.store else {
+            panic!("cannot intern into a slab-backed vocabulary");
+        };
+        if let Some(&id) = by_term.get(term) {
             return id;
         }
-        let id = TokenId(self.terms.len() as u32);
-        self.terms.push(term.to_string());
-        self.by_term.insert(term.to_string(), id);
+        let id = TokenId(terms.len() as u32);
+        terms.push(term.to_string());
+        by_term.insert(term.to_string(), id);
         self.cf.push(0);
         self.df.push(0);
         id
@@ -66,12 +181,12 @@ impl Vocabulary {
 
     /// Looks up an existing token.
     pub fn get(&self, term: &str) -> Option<TokenId> {
-        self.by_term.get(term).copied()
+        self.store.get(term)
     }
 
     /// The token's surface form.
     pub fn term(&self, id: TokenId) -> &str {
-        &self.terms[id.index()]
+        self.store.term(id.index())
     }
 
     /// Collection frequency (total occurrences).
@@ -92,20 +207,20 @@ impl Vocabulary {
 
     /// Number of distinct tokens `|V|`.
     pub fn len(&self) -> usize {
-        self.terms.len()
+        self.store.len()
     }
 
     /// `true` when no tokens are interned.
     pub fn is_empty(&self) -> bool {
-        self.terms.is_empty()
+        self.store.len() == 0
     }
 
     /// All terms in id order.
-    pub fn terms(&self) -> &[String] {
-        &self.terms
+    pub fn iter_terms(&self) -> impl Iterator<Item = &str> + '_ {
+        (0..self.store.len()).map(move |i| self.store.term(i))
     }
 
-    /// Reconstructs a vocabulary from stored parts (used by the index
+    /// Reconstructs a vocabulary from stored parts (used by the v1 index
     /// storage format). `terms`, `cf` and `df` must be parallel arrays.
     pub fn from_parts(terms: Vec<String>, cf: Vec<u64>, df: Vec<u64>) -> Self {
         assert_eq!(terms.len(), cf.len());
@@ -117,12 +232,85 @@ impl Vocabulary {
             .collect();
         let total_tokens = cf.iter().sum();
         Vocabulary {
-            terms,
-            by_term,
+            store: TermStore::Owned { terms, by_term },
             cf,
             df,
             total_tokens,
         }
+    }
+
+    /// Builds a slab-backed vocabulary over a v2 snapshot's VOCAB section.
+    ///
+    /// Validates — in one `O(|V| + blob)` pass, allocating nothing per
+    /// term — that the offset table is monotonic and ends at the blob
+    /// length, every term is valid UTF-8, and `sorted` is a permutation of
+    /// the ids in strictly increasing term-byte order (which is what the
+    /// binary-search lookup relies on).
+    pub fn from_slab(
+        slab: Arc<IndexSlab>,
+        offsets: Range<usize>,
+        blob: Range<usize>,
+        sorted: Range<usize>,
+        count: usize,
+        cf: Vec<u64>,
+        df: Vec<u64>,
+    ) -> Result<Vocabulary, &'static str> {
+        let bytes = slab.bytes();
+        if offsets.end > bytes.len() || blob.end > bytes.len() || sorted.end > bytes.len() {
+            return Err("vocab section ranges out of bounds");
+        }
+        if offsets.len() != (count + 1) * 4 {
+            return Err("vocab offset table has wrong size");
+        }
+        if sorted.len() != count * 4 {
+            return Err("vocab sorted permutation has wrong size");
+        }
+        if cf.len() != count || df.len() != count {
+            return Err("vocab statistics arrays have wrong size");
+        }
+        let mut prev = 0u32;
+        for i in 0..=count {
+            let off = read_u32(bytes, offsets.start + 4 * i);
+            if off < prev {
+                return Err("vocab offsets not monotonic");
+            }
+            prev = off;
+        }
+        if prev as usize != blob.len() {
+            return Err("vocab offsets do not cover term blob");
+        }
+        for i in 0..count {
+            if std::str::from_utf8(TermStore::term_bytes(&slab, &offsets, &blob, i)).is_err() {
+                return Err("vocab term is not valid UTF-8");
+            }
+        }
+        let mut prev_term: Option<&[u8]> = None;
+        for k in 0..count {
+            let id = read_u32(bytes, sorted.start + 4 * k) as usize;
+            if id >= count {
+                return Err("vocab permutation id out of range");
+            }
+            let term = TermStore::term_bytes(&slab, &offsets, &blob, id);
+            if let Some(p) = prev_term {
+                if p >= term {
+                    return Err("vocab permutation not strictly sorted");
+                }
+            }
+            prev_term = Some(term);
+        }
+        let total_tokens = cf.iter().sum();
+        Ok(Vocabulary {
+            store: TermStore::Slab {
+                slab,
+                offsets,
+                blob,
+                sorted,
+                count,
+            },
+            cf,
+            df,
+            total_tokens,
+        })
     }
 
     /// Background-model probability `P(w|B) = cf(w) / total` (§IV-B2).
@@ -174,5 +362,87 @@ mod tests {
         let mut v = Vocabulary::new();
         let id = v.intern("x");
         assert_eq!(v.background_prob(id), 0.0);
+    }
+
+    /// Lays out a VOCAB-style slab for `terms` (in id order) and wraps it.
+    fn slab_vocab(terms: &[&str]) -> Vocabulary {
+        let mut blob = Vec::new();
+        let mut offsets = vec![0u32];
+        for t in terms {
+            blob.extend_from_slice(t.as_bytes());
+            offsets.push(blob.len() as u32);
+        }
+        let mut sorted: Vec<u32> = (0..terms.len() as u32).collect();
+        sorted.sort_by_key(|&i| terms[i as usize].as_bytes());
+        let mut bytes = Vec::new();
+        let off_start = bytes.len();
+        for o in &offsets {
+            bytes.extend_from_slice(&o.to_le_bytes());
+        }
+        let blob_start = bytes.len();
+        bytes.extend_from_slice(&blob);
+        let sorted_start = bytes.len();
+        for s in &sorted {
+            bytes.extend_from_slice(&s.to_le_bytes());
+        }
+        let end = bytes.len();
+        Vocabulary::from_slab(
+            Arc::new(IndexSlab::Owned(bytes)),
+            off_start..blob_start,
+            blob_start..sorted_start,
+            sorted_start..end,
+            terms.len(),
+            vec![1; terms.len()],
+            vec![1; terms.len()],
+        )
+        .expect("valid layout")
+    }
+
+    #[test]
+    fn slab_backed_lookup_matches_owned() {
+        let terms = ["tree", "icde", "xml", "query", "a", "zz"];
+        let v = slab_vocab(&terms);
+        assert_eq!(v.len(), terms.len());
+        for (i, t) in terms.iter().enumerate() {
+            assert_eq!(v.term(TokenId(i as u32)), *t);
+            assert_eq!(v.get(t), Some(TokenId(i as u32)));
+        }
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.get(""), None);
+        let collected: Vec<&str> = v.iter_terms().collect();
+        assert_eq!(collected, terms);
+    }
+
+    #[test]
+    fn slab_rejects_bad_permutation() {
+        // Build a valid layout, then corrupt the permutation order.
+        let terms = ["b", "a"];
+        let mut blob = Vec::new();
+        let mut offsets = vec![0u32];
+        for t in terms {
+            blob.extend_from_slice(t.as_bytes());
+            offsets.push(blob.len() as u32);
+        }
+        let mut bytes = Vec::new();
+        for o in &offsets {
+            bytes.extend_from_slice(&o.to_le_bytes());
+        }
+        let blob_start = 12;
+        bytes.extend_from_slice(&blob);
+        let sorted_start = bytes.len();
+        // Identity order: "b" then "a" — not sorted.
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        let end = bytes.len();
+        let r = Vocabulary::from_slab(
+            Arc::new(IndexSlab::Owned(bytes)),
+            0..blob_start,
+            blob_start..sorted_start,
+            sorted_start..end,
+            2,
+            vec![1, 1],
+            vec![1, 1],
+        );
+        assert!(r.is_err());
     }
 }

@@ -77,6 +77,13 @@ pub mod names {
     pub const CACHE_EVICTIONS: &str = "xclean_server_cache_evictions_total";
     /// Latency histogram: whole HTTP request (parse → response written).
     pub const SERVER_REQUEST: &str = "xclean_server_request_nanos";
+    /// Latency histogram: snapshot open (read/map bytes into a slab).
+    pub const SNAPSHOT_OPEN: &str = "xclean_snapshot_open_nanos";
+    /// Latency histogram: snapshot validation (structure + checksum).
+    pub const SNAPSHOT_VALIDATE: &str = "xclean_snapshot_validate_nanos";
+    /// Latency histogram: first `suggest` call after open (cold caches,
+    /// lazy slab decodes still pending).
+    pub const FIRST_QUERY: &str = "xclean_first_query_nanos";
 }
 
 /// The telemetry bundle an engine carries: a span tracer (disabled by

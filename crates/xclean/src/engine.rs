@@ -18,7 +18,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use xclean_index::{CorpusIndex, TokenId};
+use xclean_index::{CorpusIndex, LoadReport, TokenId};
 use xclean_telemetry::{names, Counter, Histogram, MetricsRegistry, Telemetry, Tracer};
 use xclean_xmltree::{PathId, Tokenizer, XmlTree};
 
@@ -98,6 +98,11 @@ impl SuggestResponse {
 #[derive(Debug, Clone)]
 struct EngineMetrics {
     queries: Arc<Counter>,
+    /// Set until the first query is recorded; that query's total latency
+    /// also lands in the `FIRST_QUERY` histogram (cold caches, lazy slab
+    /// decodes still pending).
+    first_query_pending: Arc<std::sync::atomic::AtomicBool>,
+    first_query: Arc<Histogram>,
     suggestions: Arc<Counter>,
     subtrees: Arc<Counter>,
     candidates: Arc<Counter>,
@@ -118,6 +123,8 @@ impl EngineMetrics {
     fn new(registry: &MetricsRegistry) -> Self {
         EngineMetrics {
             queries: registry.counter(names::QUERIES),
+            first_query_pending: Arc::new(std::sync::atomic::AtomicBool::new(true)),
+            first_query: registry.histogram(names::FIRST_QUERY),
             suggestions: registry.counter(names::SUGGESTIONS),
             subtrees: registry.counter(names::SUBTREES),
             candidates: registry.counter(names::CANDIDATES),
@@ -137,6 +144,12 @@ impl EngineMetrics {
 
     fn record_query(&self, stats: &RunStats, total_nanos: u64, suggestions: u64) {
         self.queries.inc();
+        if self
+            .first_query_pending
+            .swap(false, std::sync::atomic::Ordering::Relaxed)
+        {
+            self.first_query.record(total_nanos);
+        }
         self.suggestions.add(suggestions);
         self.subtrees.add(stats.subtrees);
         self.candidates.add(stats.candidates_enumerated);
@@ -296,7 +309,26 @@ impl XCleanEngine {
         mix(&mut h, self.corpus.vocab().len() as u64);
         mix(&mut h, self.corpus.vocab().total_tokens());
         mix(&mut h, self.corpus.element_count() as u64);
+        // A snapshot-loaded corpus additionally pins the exact bytes it
+        // came from: the v2 format version and payload checksum. Two
+        // engines over byte-identical snapshots (owned or mapped) agree;
+        // any re-encode that changes bytes gets a fresh fingerprint.
+        if let Some(p) = self.corpus.provenance() {
+            mix(&mut h, u64::from(p.format_version));
+            mix(&mut h, p.checksum);
+        }
         h
+    }
+
+    /// Records the open/validate timings of the snapshot this engine was
+    /// loaded from into its metrics registry, so cold-start cost shows up
+    /// next to query latencies in `/metrics` and exported reports.
+    pub fn record_snapshot_timings(&self, report: &LoadReport) {
+        let m = self.telemetry.metrics();
+        m.histogram(names::SNAPSHOT_OPEN)
+            .record(report.open_nanos.max(1));
+        m.histogram(names::SNAPSHOT_VALIDATE)
+            .record(report.validate_nanos.max(1));
     }
 
     /// Splits a raw query string into keywords (permissive: the user's

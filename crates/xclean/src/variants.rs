@@ -31,8 +31,9 @@ impl VariantGenerator {
     /// Builds the FastSS index over the corpus vocabulary. This is the
     /// offline step of §V-A.
     pub fn build(corpus: &CorpusIndex, epsilon: usize, partition_threshold: usize) -> Self {
+        let terms: Vec<&str> = corpus.vocab().iter_terms().collect();
         let index = VariantIndex::build(
-            corpus.vocab().terms(),
+            &terms,
             VariantIndexConfig {
                 epsilon,
                 partition_threshold,
@@ -49,7 +50,7 @@ impl VariantGenerator {
     /// extension).
     pub fn with_phonetic_index(mut self, corpus: &CorpusIndex) -> Self {
         let mut map: HashMap<SoundexCode, Vec<TokenId>> = HashMap::new();
-        for (i, term) in corpus.vocab().terms().iter().enumerate() {
+        for (i, term) in corpus.vocab().iter_terms().enumerate() {
             if let Some(code) = soundex(term) {
                 map.entry(code).or_default().push(TokenId(i as u32));
             }

@@ -1,0 +1,428 @@
+//! Flat preorder-column tree assembly.
+//!
+//! The v2 index snapshot stores the tree as parallel preorder columns
+//! (depth, label index, optional text) rather than a builder replay.
+//! [`PreorderAssembler`] turns those columns back into an [`XmlTree`] in
+//! one O(n) pass: labels are interned once up front (not re-hashed per
+//! node), and parent/ordinal/path/sibling links are re-derived from the
+//! depth sequence with an explicit ancestor stack. Every structural
+//! invariant the incremental [`crate::TreeBuilder`] maintains is either
+//! re-established here or rejected with a [`TreeAssemblyError`] — a
+//! corrupt column stream can never produce a malformed tree.
+
+use crate::label::{LabelId, LabelTable, PathTable};
+use crate::tree::{Node, NodeId, XmlTree};
+
+/// Structural violation found while assembling a tree from flat columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeAssemblyError {
+    /// The column stream contained no nodes.
+    EmptyTree,
+    /// The first node must be the root at depth 1.
+    BadRootDepth(u32),
+    /// A non-first node claimed depth 1 (a second root) or depth 0.
+    SecondRoot {
+        /// Preorder index of the offending node.
+        index: usize,
+    },
+    /// A node's depth exceeded its predecessor's depth + 1: preorder can
+    /// descend only one level at a time.
+    DepthJump {
+        /// Preorder index of the offending node.
+        index: usize,
+        /// Claimed depth.
+        depth: u32,
+        /// Depth of the preceding node.
+        prev: u32,
+    },
+    /// A node referenced a label index outside the label table.
+    LabelOutOfRange {
+        /// Preorder index of the offending node.
+        index: usize,
+        /// The out-of-range label column value.
+        label: u32,
+    },
+    /// A post-assembly structural invariant did not hold.
+    InvariantViolated(&'static str),
+}
+
+impl std::fmt::Display for TreeAssemblyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeAssemblyError::EmptyTree => write!(f, "tree has no nodes"),
+            TreeAssemblyError::BadRootDepth(d) => write!(f, "root must have depth 1, got {d}"),
+            TreeAssemblyError::SecondRoot { index } => {
+                write!(f, "node {index} claims root depth")
+            }
+            TreeAssemblyError::DepthJump { index, depth, prev } => {
+                write!(f, "node {index} jumps from depth {prev} to {depth}")
+            }
+            TreeAssemblyError::LabelOutOfRange { index, label } => {
+                write!(f, "node {index} references unknown label {label}")
+            }
+            TreeAssemblyError::InvariantViolated(m) => write!(f, "tree invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeAssemblyError {}
+
+/// Assembles an [`XmlTree`] from flat preorder columns.
+///
+/// Feed nodes in preorder via [`PreorderAssembler::push`], then call
+/// [`PreorderAssembler::finish`]. The assembler re-derives everything the
+/// columns do not store: parent links, sibling chains, 1-based ordinals,
+/// interned label paths, and subtree extents.
+#[derive(Debug)]
+pub struct PreorderAssembler {
+    tree: XmlTree,
+    /// Interned id for each label-column index.
+    label_ids: Vec<LabelId>,
+    /// Ancestor stack: (node, next child ordinal, last child pushed).
+    stack: Vec<(NodeId, u32, Option<NodeId>)>,
+}
+
+impl PreorderAssembler {
+    /// Starts assembly over the given label table (label-column values
+    /// index into `label_names`).
+    pub fn new(label_names: &[String]) -> Self {
+        let mut labels = LabelTable::new();
+        let label_ids = label_names.iter().map(|n| labels.intern(n)).collect();
+        PreorderAssembler {
+            tree: XmlTree {
+                nodes: Vec::new(),
+                text_blob: String::new(),
+                labels,
+                paths: PathTable::new(),
+            },
+            label_ids,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Reserves arena capacity for `nodes` nodes.
+    pub fn reserve(&mut self, nodes: usize) {
+        self.tree.nodes.reserve(nodes);
+    }
+
+    /// Appends the next preorder node. Text is copied into the tree's
+    /// shared arena, so callers can hand in borrowed slices (e.g. views
+    /// into a snapshot) without allocating per node.
+    pub fn push(
+        &mut self,
+        depth: u32,
+        label_index: u32,
+        text: Option<&str>,
+    ) -> Result<NodeId, TreeAssemblyError> {
+        let index = self.tree.nodes.len();
+        let label = *self.label_ids.get(label_index as usize).ok_or(
+            TreeAssemblyError::LabelOutOfRange {
+                index,
+                label: label_index,
+            },
+        )?;
+        let text = match text {
+            Some(t) => {
+                let arena_overflow =
+                    || TreeAssemblyError::InvariantViolated("text arena exceeds 4 GiB");
+                let off = u32::try_from(self.tree.text_blob.len()).map_err(|_| arena_overflow())?;
+                self.tree.text_blob.push_str(t);
+                let end = u32::try_from(self.tree.text_blob.len()).map_err(|_| arena_overflow())?;
+                Some((off, end - off))
+            }
+            None => None,
+        };
+        if index == 0 {
+            if depth != 1 {
+                return Err(TreeAssemblyError::BadRootDepth(depth));
+            }
+            let path = self.tree.paths.intern_root(label);
+            self.tree.nodes.push(Node {
+                label,
+                path,
+                parent: None,
+                ordinal: 1,
+                depth: 1,
+                text,
+                first_child: None,
+                next_sibling: None,
+                subtree_end: 0,
+            });
+            self.stack.push((NodeId(0), 1, None));
+            return Ok(NodeId(0));
+        }
+        let prev = self.stack.len() as u32;
+        if depth < 2 {
+            return Err(TreeAssemblyError::SecondRoot { index });
+        }
+        if depth > prev + 1 {
+            return Err(TreeAssemblyError::DepthJump { index, depth, prev });
+        }
+        // Pop back to the parent level: the stack holds exactly the
+        // ancestors of the node being appended.
+        self.stack.truncate(depth as usize - 1);
+        let (parent, ordinal, prev_sibling) = {
+            let top = self.stack.last_mut().expect("depth ≥ 2 keeps the root");
+            let ord = top.1;
+            top.1 += 1;
+            let prev_sibling = top.2;
+            (top.0, ord, prev_sibling)
+        };
+        let parent_node = &self.tree.nodes[parent.index()];
+        let path = self.tree.paths.intern_child(parent_node.path, label);
+        let id = NodeId(index as u32);
+        self.tree.nodes.push(Node {
+            label,
+            path,
+            parent: Some(parent),
+            ordinal,
+            depth,
+            text,
+            first_child: None,
+            next_sibling: None,
+            subtree_end: 0,
+        });
+        match prev_sibling {
+            Some(p) => self.tree.nodes[p.index()].next_sibling = Some(id),
+            None => self.tree.nodes[parent.index()].first_child = Some(id),
+        }
+        self.stack.last_mut().expect("parent on stack").2 = Some(id);
+        self.stack.push((id, 1, None));
+        Ok(id)
+    }
+
+    /// Finishes assembly: computes subtree extents (one reverse pass) and
+    /// re-checks every structural invariant.
+    pub fn finish(mut self) -> Result<XmlTree, TreeAssemblyError> {
+        let n = self.tree.nodes.len();
+        if n == 0 {
+            return Err(TreeAssemblyError::EmptyTree);
+        }
+        let mut size = vec![1u32; n];
+        for i in (1..n).rev() {
+            let p = self.tree.nodes[i].parent.expect("non-root has parent");
+            size[p.index()] += size[i];
+        }
+        for (i, sz) in size.iter().enumerate() {
+            self.tree.nodes[i].subtree_end = i as u32 + sz;
+        }
+        self.tree.validate_structure()?;
+        Ok(self.tree)
+    }
+}
+
+impl XmlTree {
+    /// Explicit O(n) structural validation: checks every invariant the
+    /// incremental builder guarantees by construction. Used after
+    /// assembling a tree from untrusted flat columns, and available to
+    /// tests as an oracle.
+    pub fn validate_structure(&self) -> Result<(), TreeAssemblyError> {
+        use TreeAssemblyError::InvariantViolated;
+        if self.nodes.is_empty() {
+            return Err(TreeAssemblyError::EmptyTree);
+        }
+        let root = &self.nodes[0];
+        if root.parent.is_some() || root.depth != 1 || root.ordinal != 1 {
+            return Err(InvariantViolated("malformed root"));
+        }
+        if root.subtree_end as usize != self.nodes.len() {
+            return Err(InvariantViolated("root subtree must span the arena"));
+        }
+        for (i, node) in self.nodes.iter().enumerate().skip(1) {
+            let p = node
+                .parent
+                .ok_or(InvariantViolated("non-root without parent"))?;
+            if p.index() >= i {
+                return Err(InvariantViolated("parent id must precede child id"));
+            }
+            let parent = &self.nodes[p.index()];
+            if parent.depth + 1 != node.depth {
+                return Err(InvariantViolated("child depth ≠ parent depth + 1"));
+            }
+            if self.paths.parent(node.path) != Some(parent.path)
+                || self.paths.label(node.path) != node.label
+            {
+                return Err(InvariantViolated("label path disagrees with parentage"));
+            }
+            if node.ordinal == 0 {
+                return Err(InvariantViolated("ordinals are 1-based"));
+            }
+            // Subtrees nest: a child's extent stays inside its parent's.
+            if node.subtree_end <= i as u32 || node.subtree_end > parent.subtree_end {
+                return Err(InvariantViolated("subtree extents must nest"));
+            }
+            // Preorder contiguity: the node right after this subtree is
+            // never a descendant, so its parent must sit at or above.
+            if i as u32 + 1 < node.subtree_end {
+                let first_desc = &self.nodes[i + 1];
+                if first_desc.parent != Some(NodeId(i as u32)) {
+                    return Err(InvariantViolated("first descendant must be first child"));
+                }
+            }
+        }
+        // Sibling chains and first_child links agree with parent/ordinal.
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut expected_ord = 1u32;
+            let mut cur = node.first_child;
+            while let Some(c) = cur {
+                let child = self
+                    .nodes
+                    .get(c.index())
+                    .ok_or(InvariantViolated("child id out of range"))?;
+                if child.parent != Some(NodeId(i as u32)) {
+                    return Err(InvariantViolated("sibling chain crosses parents"));
+                }
+                if child.ordinal != expected_ord {
+                    return Err(InvariantViolated("ordinals must be consecutive"));
+                }
+                expected_ord += 1;
+                cur = child.next_sibling;
+                if expected_ord as usize > self.nodes.len() {
+                    return Err(InvariantViolated("sibling cycle"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeBuilder;
+
+    type NodeRow = (u32, u32, Option<String>);
+
+    fn columns_of(tree: &XmlTree) -> (Vec<String>, Vec<NodeRow>) {
+        let labels: Vec<String> = (0..tree.labels().len() as u32)
+            .map(|i| tree.labels().name(LabelId(i)).to_string())
+            .collect();
+        let rows = tree
+            .iter()
+            .map(|n| {
+                (
+                    tree.depth(n),
+                    tree.label(n).0,
+                    tree.text(n).map(str::to_string),
+                )
+            })
+            .collect();
+        (labels, rows)
+    }
+
+    fn reassemble(tree: &XmlTree) -> XmlTree {
+        let (labels, rows) = columns_of(tree);
+        let mut asm = PreorderAssembler::new(&labels);
+        for (depth, label, text) in rows {
+            asm.push(depth, label, text.as_deref()).unwrap();
+        }
+        asm.finish().unwrap()
+    }
+
+    fn sample() -> XmlTree {
+        let mut b = TreeBuilder::new("a");
+        b.open("c");
+        b.leaf("x", "tree");
+        b.leaf("x", "trie");
+        b.close();
+        b.open("d");
+        b.leaf("x", "trie");
+        b.leaf("y", "icdt icde");
+        b.close();
+        b.leaf("z", "tail");
+        b.finish()
+    }
+
+    #[test]
+    fn reassembly_is_exact() {
+        let t = sample();
+        let r = reassemble(&t);
+        assert_eq!(t.len(), r.len());
+        for n in t.iter() {
+            assert_eq!(t.depth(n), r.depth(n));
+            assert_eq!(t.label_name(n), r.label_name(n));
+            assert_eq!(t.text(n), r.text(n));
+            assert_eq!(t.parent(n), r.parent(n));
+            assert_eq!(t.subtree_end(n), r.subtree_end(n));
+            assert_eq!(t.dewey(n), r.dewey(n));
+            assert_eq!(t.path_string(n), r.path_string(n));
+        }
+        assert_eq!(
+            t.children(t.root()).collect::<Vec<_>>(),
+            r.children(r.root()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn builder_trees_validate() {
+        sample().validate_structure().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_columns() {
+        let labels = vec!["a".to_string(), "b".to_string()];
+        // Root depth ≠ 1.
+        let mut asm = PreorderAssembler::new(&labels);
+        assert_eq!(
+            asm.push(2, 0, None),
+            Err(TreeAssemblyError::BadRootDepth(2))
+        );
+        // Depth jump.
+        let mut asm = PreorderAssembler::new(&labels);
+        asm.push(1, 0, None).unwrap();
+        assert_eq!(
+            asm.push(3, 1, None),
+            Err(TreeAssemblyError::DepthJump {
+                index: 1,
+                depth: 3,
+                prev: 1
+            })
+        );
+        // Second root.
+        let mut asm = PreorderAssembler::new(&labels);
+        asm.push(1, 0, None).unwrap();
+        assert_eq!(
+            asm.push(1, 1, None),
+            Err(TreeAssemblyError::SecondRoot { index: 1 })
+        );
+        // Unknown label.
+        let mut asm = PreorderAssembler::new(&labels);
+        assert!(matches!(
+            asm.push(1, 7, None),
+            Err(TreeAssemblyError::LabelOutOfRange { label: 7, .. })
+        ));
+        // Empty stream.
+        assert_eq!(
+            PreorderAssembler::new(&labels).finish().unwrap_err(),
+            TreeAssemblyError::EmptyTree
+        );
+    }
+
+    #[test]
+    fn deep_and_wide_shapes_roundtrip() {
+        // Deep chain.
+        let mut b = TreeBuilder::new("r");
+        for _ in 0..200 {
+            b.open("n");
+        }
+        b.text("leaf");
+        let deep = b.finish();
+        reassemble(&deep).validate_structure().unwrap();
+        // Wide fan-out with mixed text.
+        let mut b = TreeBuilder::new("r");
+        for i in 0..300 {
+            if i % 3 == 0 {
+                b.leaf("k", "text here");
+            } else {
+                b.open("k");
+                b.close();
+            }
+        }
+        let wide = b.finish();
+        let r = reassemble(&wide);
+        assert_eq!(wide.len(), r.len());
+        for n in wide.iter() {
+            assert_eq!(wide.dewey(n), r.dewey(n));
+        }
+    }
+}

@@ -66,6 +66,37 @@ impl LabelTable {
     }
 }
 
+/// Deterministic multiplicative hasher for the id-keyed interner map.
+///
+/// `intern_child` runs once per node during tree construction and
+/// snapshot loading, and its key is just two `u32` ids — SipHash (the
+/// `HashMap` default) costs more than the rest of the probe combined.
+/// A splitmix64-style finalizer over a multiplicative accumulator gives
+/// the map well-distributed bits at a few cycles per key.
+#[derive(Debug, Default)]
+struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0 ^ u64::from(v)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn finish(&self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+}
+
 /// Interner for label paths.
 ///
 /// Paths are stored as parent-pointer pairs `(parent PathId, LabelId)`,
@@ -77,7 +108,7 @@ pub struct PathTable {
     /// `(parent, label)` per path; the root path's parent is itself.
     entries: Vec<(PathId, LabelId)>,
     depths: Vec<u32>,
-    by_key: HashMap<(PathId, LabelId), PathId>,
+    by_key: HashMap<(PathId, LabelId), PathId, std::hash::BuildHasherDefault<IdHasher>>,
 }
 
 /// Key used for a root-level path: its "parent" is the invalid sentinel.

@@ -21,6 +21,7 @@
 
 pub mod dewey;
 pub mod error;
+pub mod flat;
 pub mod label;
 pub mod parser;
 pub mod stats;
@@ -30,6 +31,7 @@ pub mod writer;
 
 pub use dewey::Dewey;
 pub use error::{XmlError, XmlResult};
+pub use flat::{PreorderAssembler, TreeAssemblyError};
 pub use label::{LabelId, LabelTable, PathId, PathTable};
 pub use parser::{parse_collection, parse_document};
 pub use stats::TreeStats;

@@ -23,28 +23,34 @@ impl NodeId {
 }
 
 #[derive(Debug, Clone)]
-struct Node {
-    label: LabelId,
-    path: PathId,
-    parent: Option<NodeId>,
+pub(crate) struct Node {
+    pub(crate) label: LabelId,
+    pub(crate) path: PathId,
+    pub(crate) parent: Option<NodeId>,
     /// Ordinal among siblings, 1-based (Dewey component).
-    ordinal: u32,
-    depth: u32,
-    /// Directly attached text (leaf content), if any.
-    text: Option<String>,
-    first_child: Option<NodeId>,
-    next_sibling: Option<NodeId>,
+    pub(crate) ordinal: u32,
+    pub(crate) depth: u32,
+    /// Directly attached text (leaf content) as a `(offset, len)` byte
+    /// range into the tree's shared text arena, if any.
+    pub(crate) text: Option<(u32, u32)>,
+    pub(crate) first_child: Option<NodeId>,
+    pub(crate) next_sibling: Option<NodeId>,
     /// Exclusive end of this node's subtree in preorder: all ids in
     /// `self.0 .. subtree_end` are descendants-or-self.
-    subtree_end: u32,
+    pub(crate) subtree_end: u32,
 }
 
 /// A rooted, labelled, ordered XML tree with interned labels and paths.
+///
+/// Node text lives in one shared arena (`text_blob`) addressed by
+/// `(offset, len)` ranges, so building or loading a tree costs one
+/// growing allocation instead of one `String` per text node.
 #[derive(Debug, Clone)]
 pub struct XmlTree {
-    nodes: Vec<Node>,
-    labels: LabelTable,
-    paths: PathTable,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) text_blob: String,
+    pub(crate) labels: LabelTable,
+    pub(crate) paths: PathTable,
 }
 
 /// Builder used by parsers and generators to construct trees in document
@@ -61,6 +67,7 @@ impl TreeBuilder {
     pub fn new(root_label: &str) -> Self {
         let mut tree = XmlTree {
             nodes: Vec::new(),
+            text_blob: String::new(),
             labels: LabelTable::new(),
             paths: PathTable::new(),
         };
@@ -120,15 +127,32 @@ impl TreeBuilder {
     /// Appends text to the current node's content.
     pub fn text(&mut self, text: &str) {
         let (id, _, _) = *self.stack.last().expect("builder stack underflow");
+        let blob = &mut self.tree.text_blob;
         let node = &mut self.tree.nodes[id.index()];
         match &mut node.text {
-            Some(t) => {
-                if !t.is_empty() && !t.ends_with(char::is_whitespace) {
-                    t.push(' ');
+            Some((off, len)) => {
+                // Mixed content can interleave children between text runs;
+                // if this node's text is no longer at the arena's end, move
+                // it there so the range stays contiguous.
+                if (*off + *len) as usize != blob.len() {
+                    let moved = blob[*off as usize..(*off + *len) as usize].to_string();
+                    *off = u32::try_from(blob.len()).expect("text arena exceeds 4 GiB");
+                    blob.push_str(&moved);
                 }
-                t.push_str(text);
+                let existing = &blob[*off as usize..];
+                if !existing.is_empty() && !existing.ends_with(char::is_whitespace) {
+                    blob.push(' ');
+                }
+                blob.push_str(text);
+                let end = u32::try_from(blob.len()).expect("text arena exceeds 4 GiB");
+                *len = end - *off;
             }
-            None => node.text = Some(text.to_string()),
+            None => {
+                let off = u32::try_from(blob.len()).expect("text arena exceeds 4 GiB");
+                blob.push_str(text);
+                let end = u32::try_from(blob.len()).expect("text arena exceeds 4 GiB");
+                node.text = Some((off, end - off));
+            }
         }
     }
 
@@ -225,7 +249,9 @@ impl XmlTree {
 
     /// Directly attached text, if any.
     pub fn text(&self, id: NodeId) -> Option<&str> {
-        self.nodes[id.index()].text.as_deref()
+        self.nodes[id.index()]
+            .text
+            .map(|(off, len)| &self.text_blob[off as usize..(off + len) as usize])
     }
 
     /// Children of `id` in document order.

@@ -1,0 +1,13 @@
+//! Workspace-root `xclean` binary: a shim over [`xclean_cli::run`] so
+//! that `cargo run --bin xclean` (and plain `cargo run`, via
+//! `default-run`) work from the repository root exactly like
+//! `cargo run -p xclean-cli`.
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let out = xclean_cli::run(raw);
+    for line in &out.lines {
+        println!("{line}");
+    }
+    std::process::exit(out.code);
+}

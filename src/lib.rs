@@ -14,6 +14,7 @@
 
 pub use xclean;
 pub use xclean_baselines as baselines;
+pub use xclean_cli as cli;
 pub use xclean_datagen as datagen;
 pub use xclean_eval as eval;
 pub use xclean_fastss as fastss;

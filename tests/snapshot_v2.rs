@@ -1,0 +1,195 @@
+//! v2 snapshot bit-identity harness.
+//!
+//! The contract (ISSUE PR 4, DESIGN.md §11): an engine serving a **v2
+//! snapshot through a mapped slab** — postings and path statistics
+//! decoded lazily out of the file bytes — returns *bit-identical*
+//! responses (same suggestions, same order, same `f64` score bits) to an
+//! engine over the **v1 in-memory load** of the same corpus, on dblp at
+//! three scales plus inex, at 1 and 8 worker threads. Laziness, mmap,
+//! and the columnar tree encoding must all be semantically invisible.
+
+use xclean_suite::datagen::{
+    generate_dblp, generate_inex, make_workload, DblpConfig, InexConfig, Perturbation, WorkloadSpec,
+};
+use xclean_suite::index::{storage, CorpusIndex, OpenOptions, SlabMode};
+use xclean_suite::xclean::{SuggestResponse, XCleanConfig, XCleanEngine};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("xclean_snapshot_v2");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Perturbed workload (random + rule-based misspellings) over a corpus.
+fn workload(index: &CorpusIndex, n: usize, seed: u64) -> Vec<Vec<String>> {
+    let mut queries = Vec::new();
+    for (p, s) in [(Perturbation::Rand, seed), (Perturbation::Rule, seed + 1)] {
+        let set = make_workload(
+            index,
+            &WorkloadSpec {
+                n_queries: n / 2,
+                seed: s,
+                ..WorkloadSpec::dblp(p)
+            },
+        );
+        queries.extend(set.cases.into_iter().map(|c| c.dirty));
+    }
+    queries
+}
+
+/// Bit-level equality of two responses (timings excluded).
+fn assert_identical(name: &str, q: &[String], a: &SuggestResponse, b: &SuggestResponse) {
+    let label = q.join(" ");
+    assert_eq!(
+        a.suggestions.len(),
+        b.suggestions.len(),
+        "{name}: count diverged for {label:?}"
+    );
+    for (i, (x, y)) in a.suggestions.iter().zip(b.suggestions.iter()).enumerate() {
+        assert_eq!(x.terms, y.terms, "{name}: terms at rank {i} for {label:?}");
+        assert_eq!(
+            x.log_score.to_bits(),
+            y.log_score.to_bits(),
+            "{name}: score bits at rank {i} for {label:?}: {} vs {}",
+            x.log_score,
+            y.log_score
+        );
+        assert_eq!(x.tokens, y.tokens, "{name}: tokens for {label:?}");
+        assert_eq!(x.distances, y.distances, "{name}: distances for {label:?}");
+        assert_eq!(
+            x.entity_count, y.entity_count,
+            "{name}: entities for {label:?}"
+        );
+    }
+    assert_eq!(
+        a.stats.candidates_enumerated, b.stats.candidates_enumerated,
+        "{name}: candidate enumeration diverged for {label:?}"
+    );
+}
+
+/// Saves `index` as both formats, opens v1 into memory and v2 through a
+/// mapped slab, and asserts every workload query answers bit-identically
+/// at 1 and 8 worker threads.
+fn assert_v2_mapped_matches_v1_in_memory(name: &str, index: CorpusIndex, queries: &[Vec<String>]) {
+    let v1_path = tmp(&format!("{name}.v1.xci"));
+    let v2_path = tmp(&format!("{name}.v2.xci"));
+    storage::save_to_file(&index, &v1_path).unwrap();
+    storage::save_to_file_v2(&index, &v2_path).unwrap();
+    drop(index);
+
+    let (v1_corpus, v1_report) = storage::open_file(
+        &v1_path,
+        &OpenOptions {
+            mode: SlabMode::Owned,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(v1_report.format_version, 1, "{name}");
+    assert!(!v1_report.mapped, "{name}");
+    let (v2_corpus, v2_report) = storage::open_file(&v2_path, &OpenOptions::default()).unwrap();
+    assert_eq!(v2_report.format_version, 2, "{name}");
+    #[cfg(unix)]
+    assert!(v2_report.mapped, "{name}: v2 open should mmap on unix");
+    assert!(v2_report.checksum.is_some(), "{name}");
+
+    let v1_corpus = std::sync::Arc::new(v1_corpus);
+    let v2_corpus = std::sync::Arc::new(v2_corpus);
+    let mut non_empty = 0usize;
+    for threads in [1usize, 8] {
+        let config = XCleanConfig {
+            num_threads: threads,
+            batch_size: 5, // not a divisor of the workload sizes
+            ..Default::default()
+        };
+        let v1_engine = XCleanEngine::from_shared(v1_corpus.clone(), config.clone());
+        let v2_engine = XCleanEngine::from_shared(v2_corpus.clone(), config);
+        let a = v1_engine.suggest_many_keywords(queries);
+        let b = v2_engine.suggest_many_keywords(queries);
+        assert_eq!(a.len(), queries.len());
+        for (q, (x, y)) in queries.iter().zip(a.iter().zip(b.iter())) {
+            assert_identical(name, q, x, y);
+            non_empty += usize::from(!x.suggestions.is_empty());
+        }
+    }
+    assert!(
+        non_empty * 4 >= queries.len(),
+        "{name}: workload too degenerate — {non_empty} non-empty answers"
+    );
+}
+
+#[test]
+fn dblp_v2_mapped_matches_v1_across_sizes() {
+    for (publications, n_queries) in [(50, 12), (300, 16), (1000, 20)] {
+        let index = CorpusIndex::build(generate_dblp(&DblpConfig {
+            publications,
+            ..Default::default()
+        }));
+        let queries = workload(&index, n_queries, 4000 + publications as u64);
+        assert_v2_mapped_matches_v1_in_memory(&format!("dblp_{publications}"), index, &queries);
+    }
+}
+
+#[test]
+fn inex_v2_mapped_matches_v1() {
+    let index = CorpusIndex::build(generate_inex(&InexConfig {
+        articles: 150,
+        ..Default::default()
+    }));
+    let queries = workload(&index, 16, 4200);
+    assert_v2_mapped_matches_v1_in_memory("inex_150", index, &queries);
+}
+
+/// Fingerprints key the server's response cache, so they must not depend
+/// on *how* the snapshot bytes are held (owned copy vs mapping), and an
+/// `index upgrade` of a v1 snapshot must produce the same bytes as a
+/// direct v2 save of the same corpus (the encoder is canonical).
+#[test]
+fn v2_fingerprint_is_slab_mode_invariant_and_upgrade_is_canonical() {
+    let index = CorpusIndex::build(generate_dblp(&DblpConfig {
+        publications: 200,
+        ..Default::default()
+    }));
+    let v1_path = tmp("fp.v1.xci");
+    let v2_path = tmp("fp.v2.xci");
+    let upgraded_path = tmp("fp.upgraded.xci");
+    storage::save_to_file(&index, &v1_path).unwrap();
+    storage::save_to_file_v2(&index, &v2_path).unwrap();
+    storage::upgrade_file(&v1_path, &upgraded_path).unwrap();
+    assert_eq!(
+        std::fs::read(&v2_path).unwrap(),
+        std::fs::read(&upgraded_path).unwrap(),
+        "upgrade of a v1 snapshot must be byte-identical to a direct v2 save"
+    );
+
+    let (owned, owned_report) = storage::open_file(
+        &v2_path,
+        &OpenOptions {
+            mode: SlabMode::Owned,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let (mapped, mapped_report) = storage::open_file(&v2_path, &OpenOptions::default()).unwrap();
+    assert!(!owned_report.mapped);
+    assert_eq!(owned_report.checksum, mapped_report.checksum);
+
+    let owned_engine = XCleanEngine::from_corpus(owned, XCleanConfig::default());
+    let mapped_engine = XCleanEngine::from_corpus(mapped, XCleanConfig::default());
+    assert_eq!(
+        owned_engine.fingerprint(),
+        mapped_engine.fingerprint(),
+        "slab mode leaked into the fingerprint"
+    );
+
+    // Sanity: both engines agree on an actual query.
+    let queries = workload(owned_engine.corpus(), 8, 900);
+    for q in &queries {
+        assert_identical(
+            "fp",
+            q,
+            &owned_engine.suggest_keywords(q),
+            &mapped_engine.suggest_keywords(q),
+        );
+    }
+}

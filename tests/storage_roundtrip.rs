@@ -157,6 +157,23 @@ fn inex_roundtrip_is_bit_identical() {
     assert_roundtrip_identical("inex_150.xci", index, &queries);
 }
 
+/// The committed v1 fixture must keep loading verbatim: compatibility
+/// with already-deployed snapshots is a contract, not an accident of the
+/// current encoder (CI additionally upgrades it and diffs the answers).
+#[test]
+fn committed_v1_fixture_stays_loadable() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/tiny_v1.xci");
+    let summary = storage::summarize_file(&path).unwrap();
+    assert_eq!(summary.format_version, 1);
+    assert_eq!(summary.checksum, None);
+    let index = storage::load_from_file(&path).unwrap();
+    assert_eq!(index.tree().len(), summary.nodes);
+    assert_eq!(index.vocab().len(), summary.terms);
+    let engine = XCleanEngine::from_corpus(index, XCleanConfig::default());
+    let r = engine.suggest("helth insurance");
+    assert_eq!(r.suggestions[0].terms, vec!["health", "insurance"]);
+}
+
 #[test]
 fn double_roundtrip_is_byte_stable() {
     // save → load → save must reproduce the identical byte stream: the
