@@ -145,6 +145,100 @@ fn bench_cold_start(repeats: usize) -> serde_json::Value {
     })
 }
 
+/// Observability-overhead guard: the request ring + rolling windows are
+/// record-only and sit *outside* the suggestion computation, so serving
+/// with them on adds exactly one ring/window record per request. A/B
+/// medians of the full suggest call cannot resolve that cost on a noisy
+/// CI box (run-to-run medians swing ±5%, the record is <1µs), so the
+/// guard measures each side where it is stable: the per-record cost in
+/// a tight loop over a server-shaped `RequestRecord`, and the suggest
+/// p50 as the exact min-of-medians over the workload. Fails the bench —
+/// and CI — if the record costs more than 2% of the p50.
+fn bench_observability_overhead(
+    corpus: &std::sync::Arc<xclean_index::CorpusIndex>,
+    queries: &[Vec<String>],
+    repeats: usize,
+) -> serde_json::Value {
+    use xclean_telemetry::{RequestRecord, RequestRing, RollingWindows, WindowEvent};
+
+    let engine = XCleanEngine::from_shared(corpus.clone(), XCleanConfig::default());
+    // Warm the per-call path (allocator, branch predictors, the engine's
+    // lazy structures) before any timing.
+    for keywords in queries {
+        let _ = engine.suggest_keywords(keywords);
+    }
+
+    // Suggest p50: exact median of each pass (every call's nanos, not a
+    // histogram bucket bound), minimum across passes to shed noise.
+    let mut suggest_p50 = u64::MAX;
+    for _ in 0..repeats.max(3) {
+        let mut nanos: Vec<u64> = Vec::with_capacity(queries.len());
+        for keywords in queries {
+            let start = Instant::now();
+            std::hint::black_box(engine.suggest_keywords(keywords));
+            nanos.push((start.elapsed().as_nanos() as u64).max(1));
+        }
+        nanos.sort_unstable();
+        suggest_p50 = suggest_p50.min(nanos[nanos.len() / 2]);
+    }
+
+    // Per-request record cost: exactly what `observe_reply` adds on the
+    // server — one window record and one ring push (trace-ID String
+    // included). Enough iterations to swamp timer granularity; the ring
+    // is at eviction capacity for most of them, the honest steady state.
+    let ring = RequestRing::new(512, 8);
+    let windows = RollingWindows::new();
+    let iterations: u64 = 4096;
+    let epoch = Instant::now();
+    let start = Instant::now();
+    for i in 0..iterations {
+        let now = epoch.elapsed().as_nanos() as u64;
+        windows.record(
+            now,
+            &WindowEvent {
+                total_nanos: suggest_p50,
+                error: false,
+                cache_hit: Some(false),
+            },
+        );
+        ring.push(RequestRecord {
+            seq: 0,
+            trace_id: format!("bench-{i}"),
+            route: "suggest",
+            query: "health insurance".to_string(),
+            status: 200,
+            cache_hit: Some(false),
+            slot_nanos: 0,
+            walk_nanos: 0,
+            rank_nanos: suggest_p50,
+            total_nanos: suggest_p50,
+            candidates: 0,
+            entities: 0,
+            suggestions: 0,
+            arrived_nanos: now,
+        });
+    }
+    let record_nanos = ((start.elapsed().as_nanos() as u64) / iterations).max(1);
+    assert_eq!(ring.len(), 512, "ring reached eviction steady state");
+
+    let overhead_pct = record_nanos as f64 / suggest_p50 as f64 * 100.0;
+    eprintln!(
+        "  observability overhead: ring+window record {record_nanos} ns per request \
+         vs suggest p50 {suggest_p50} ns ({overhead_pct:.3}%)"
+    );
+    assert!(
+        overhead_pct < 2.0,
+        "request ring + rolling windows cost {overhead_pct:.3}% of suggest p50 (budget: 2%)"
+    );
+    serde_json::json!({
+        "suggest_p50_nanos": suggest_p50,
+        "record_nanos": record_nanos,
+        "overhead_pct": overhead_pct,
+        "samples_per_pass": queries.len(),
+        "budget_pct": 2.0,
+    })
+}
+
 fn main() {
     let mut out = String::from("BENCH_pr4.json");
     let mut scale = &QUICK;
@@ -221,6 +315,7 @@ fn main() {
         }));
     }
 
+    let observability = bench_observability_overhead(&corpus, &queries, scale.repeats);
     let cold_start = bench_cold_start(scale.repeats.max(5));
 
     let report = serde_json::json!({
@@ -238,6 +333,7 @@ fn main() {
             "repeats": scale.repeats,
         }),
         "results": serde_json::Value::Array(thread_rows),
+        "observability_overhead": observability,
         "cold_start": cold_start,
     });
     let text = serde_json::to_string_pretty(&report).expect("serialisable");

@@ -76,10 +76,14 @@ USAGE:
             [--k N] [--beta B] [--gamma G] [--epsilon E] [--min-depth D]
             [--semantics node-type|slca|elca] [--phonetic DIST]
             [--trace-out trace.json] [--metrics-json metrics.json]
-            (long-running HTTP server: POST /suggest, GET /healthz,
-             GET /metrics; answers repeated queries from a sharded LRU
-             response cache; Ctrl-C drains in-flight requests, then
-             flushes --trace-out / --metrics-json if given)
+            [--slow-ms MS] [--slow-log FILE]
+            (long-running HTTP server: POST/GET /suggest, GET /healthz,
+             GET /metrics, GET /statusz, GET /debug/requests?n=K;
+             answers repeated queries from a sharded LRU response cache;
+             every response carries an X-Request-Id; requests slower
+             than --slow-ms (default 100) are logged as JSON lines to
+             --slow-log (default stderr); Ctrl-C drains in-flight
+             requests, then flushes --trace-out / --metrics-json)
             (v2 snapshots are served straight from the snapshot bytes:
              by default they are mmap-ed when possible; --mmap requires
              the mapping, --no-mmap forces an in-memory copy)
@@ -572,6 +576,8 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         "phonetic",
         "trace-out",
         "metrics-json",
+        "slow-ms",
+        "slow-log",
     ])?;
     let [snapshot] = args.positional() else {
         return Err(ArgError(
@@ -580,11 +586,14 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     };
     let (config, semantics) = tuning_from_args(&args)?;
     let defaults = ServerConfig::default();
+    let slow_ms: u64 = args.get_parsed("slow-ms", 100u64)?;
     let server_config = ServerConfig {
         threads: args.get_parsed("threads", defaults.threads)?,
         cache_entries: args.get_parsed("cache-entries", defaults.cache_entries)?,
         cache_shards: args.get_parsed("cache-shards", defaults.cache_shards)?,
         max_body_bytes: args.get_parsed("max-body-bytes", defaults.max_body_bytes)?,
+        slow_threshold: Duration::from_millis(slow_ms),
+        slow_log: args.get("slow-log").map(std::path::PathBuf::from),
         ..defaults
     };
     if server_config.threads == 0 {
@@ -657,7 +666,13 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         args.get_parsed("cache-shards", defaults.cache_shards)?,
         server.fingerprint()
     );
-    println!("endpoints: POST /suggest   GET /healthz   GET /metrics   (Ctrl-C drains)");
+    println!(
+        "endpoints: POST/GET /suggest   GET /healthz /metrics /statusz /debug/requests   (Ctrl-C drains)"
+    );
+    println!(
+        "slow-query log: threshold {slow_ms}ms → {}",
+        args.get("slow-log").unwrap_or("stderr")
+    );
     let _ = std::io::stdout().flush();
 
     let report = server.run().map_err(|e| ArgError(format!("server: {e}")))?;

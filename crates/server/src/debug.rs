@@ -1,0 +1,512 @@
+//! The server's per-request observability plane (DESIGN.md §12).
+//!
+//! One [`Observability`] instance per server bundles everything the
+//! debug/status endpoints read and every completed request writes:
+//!
+//! - a bounded lock-striped [`RequestRing`] of recent requests (all
+//!   statuses, error paths included) behind `GET /debug/requests?n=K`;
+//! - a separate, smaller ring of *slow* requests (total time over the
+//!   configured threshold), each additionally emitted as one JSON line
+//!   to the slow-query log (stderr or `--slow-log <path>`);
+//! - [`RollingWindows`] (1m/5m/15m) behind the `_window` series on
+//!   `GET /metrics` and the table on `GET /statusz`;
+//! - the deterministic trace-ID generator handed to each worker.
+//!
+//! Everything is record-only with respect to the suggestion path: a
+//! request pushes one record after its response is rendered, and nothing
+//! the engine computes ever reads this state — which is what keeps the
+//! bit-identity contract (suggestions identical with observability on or
+//! off) true by construction rather than by care.
+
+use std::cell::Cell;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use xclean_telemetry::{
+    escape_label_value, names, RequestRecord, RequestRing, RollingWindows, SharedClock,
+    WindowEvent, WindowSnapshot,
+};
+
+/// Ring stripes: enough that an 8-worker pool rarely collides on a lock.
+const RING_STRIPES: usize = 8;
+
+/// Hard cap on `?n=` for `/debug/requests` (the ring is smaller anyway).
+pub const MAX_DEBUG_REQUESTS: usize = 1000;
+
+/// Per-server observability state; shared by the accept loop and every
+/// worker through an `Arc`.
+pub struct Observability {
+    clock: SharedClock,
+    ring: RequestRing,
+    slow_ring: RequestRing,
+    windows: RollingWindows,
+    slow_threshold_nanos: u64,
+    slow_sink: Mutex<Box<dyn Write + Send>>,
+    start_nanos: u64,
+    trace_seed: u64,
+    next_worker: AtomicU64,
+}
+
+impl std::fmt::Debug for Observability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observability")
+            .field("ring_capacity", &self.ring.capacity())
+            .field("slow_ring_capacity", &self.slow_ring.capacity())
+            .field("slow_threshold_nanos", &self.slow_threshold_nanos)
+            .field("trace_seed", &self.trace_seed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Observability {
+    /// Builds the plane. `slow_sink` receives one JSON line per slow
+    /// request (pass `Box::new(std::io::stderr())` for the default).
+    pub fn new(
+        clock: SharedClock,
+        ring_capacity: usize,
+        slow_ring_capacity: usize,
+        slow_threshold_nanos: u64,
+        trace_seed: u64,
+        slow_sink: Box<dyn Write + Send>,
+    ) -> Observability {
+        let start_nanos = clock.now_nanos();
+        Observability {
+            ring: RequestRing::new(ring_capacity, RING_STRIPES),
+            slow_ring: RequestRing::new(slow_ring_capacity, RING_STRIPES),
+            windows: RollingWindows::new(),
+            slow_threshold_nanos,
+            slow_sink: Mutex::new(slow_sink),
+            start_nanos,
+            trace_seed,
+            next_worker: AtomicU64::new(0),
+            clock,
+        }
+    }
+
+    /// The clock requests are stamped against.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Whole seconds since the plane was built (server start).
+    pub fn uptime_secs(&self) -> u64 {
+        (self.clock.now_nanos() - self.start_nanos) / 1_000_000_000
+    }
+
+    /// The slow-request threshold in nanoseconds.
+    pub fn slow_threshold_nanos(&self) -> u64 {
+        self.slow_threshold_nanos
+    }
+
+    /// A trace-ID generator for one worker thread. Worker indices are
+    /// handed out in call order, so a fixed seed plus a fixed pool size
+    /// yields a fully deterministic ID space — nothing here reads the
+    /// wall clock or a random source.
+    pub fn trace_gen(&self) -> TraceIdGen {
+        TraceIdGen {
+            seed: self.trace_seed,
+            worker: self.next_worker.fetch_add(1, Ordering::Relaxed),
+            counter: Cell::new(0),
+        }
+    }
+
+    /// Records one completed request: into the main ring and the rolling
+    /// windows always, and — when its total time crosses the threshold —
+    /// into the slow ring and the slow-query log. Returns the record's
+    /// ring sequence number.
+    pub fn observe(&self, record: RequestRecord) -> u64 {
+        self.windows.record(
+            record.arrived_nanos,
+            &WindowEvent {
+                total_nanos: record.total_nanos,
+                error: record.is_error(),
+                cache_hit: record.cache_hit,
+            },
+        );
+        let slow_copy = (record.total_nanos >= self.slow_threshold_nanos).then(|| record.clone());
+        let seq = self.ring.push(record);
+        if let Some(mut slow) = slow_copy {
+            // The log line carries the main-ring seq, so a slow-log entry
+            // names the same record `/debug/requests` shows.
+            slow.seq = seq;
+            let mut sink = self.slow_sink.lock().expect("slow sink poisoned");
+            let _ = writeln!(sink, "{}", slow.to_json());
+            let _ = sink.flush();
+            self.slow_ring.push(slow);
+        }
+        seq
+    }
+
+    /// The `n` most recent requests, newest first.
+    pub fn recent(&self, n: usize) -> Vec<RequestRecord> {
+        self.ring.recent(n.min(MAX_DEBUG_REQUESTS))
+    }
+
+    /// Requests observed over the server lifetime.
+    pub fn total_observed(&self) -> u64 {
+        self.ring.total_recorded()
+    }
+
+    /// The `n` slowest among the recent retained requests.
+    pub fn slowest_recent(&self, n: usize) -> Vec<RequestRecord> {
+        let mut all = self.ring.recent(MAX_DEBUG_REQUESTS);
+        all.sort_by_key(|r| std::cmp::Reverse(r.total_nanos));
+        all.truncate(n);
+        all
+    }
+
+    /// Point-in-time 1m/5m/15m aggregates.
+    pub fn window_snapshots(&self) -> Vec<WindowSnapshot> {
+        self.windows.snapshot(self.clock.now_nanos())
+    }
+}
+
+/// Deterministic per-worker trace-ID source: `seed-worker-counter` in
+/// hex, e.g. `0005ca1e-02-00002a`. One lives on each worker's stack
+/// (plus one in the accept loop for load-shed replies), so generation is
+/// a `Cell` bump — no locks, no clock, no randomness.
+#[derive(Debug)]
+pub struct TraceIdGen {
+    seed: u64,
+    worker: u64,
+    counter: Cell<u64>,
+}
+
+impl TraceIdGen {
+    /// The next trace ID.
+    pub fn next_id(&self) -> String {
+        let n = self.counter.get();
+        self.counter.set(n + 1);
+        format!("{:08x}-{:02x}-{:06x}", self.seed, self.worker, n)
+    }
+}
+
+/// Renders the `_window` gauge series appended to `GET /metrics`:
+/// request/error counts, q/s, ratios, and latency quantiles per window,
+/// every label value escaped per the exposition format.
+pub fn render_window_metrics(snapshots: &[WindowSnapshot]) -> String {
+    let mut out = String::new();
+    let gauge_header = |out: &mut String, name: &str| {
+        out.push_str(&format!(
+            "# HELP {name} {}\n# TYPE {name} gauge\n",
+            names::help_for(name)
+        ));
+    };
+    gauge_header(&mut out, names::WINDOW_REQUESTS);
+    for s in snapshots {
+        out.push_str(&format!(
+            "{}{{window=\"{}\"}} {}\n",
+            names::WINDOW_REQUESTS,
+            escape_label_value(s.label),
+            s.count
+        ));
+    }
+    gauge_header(&mut out, names::WINDOW_ERRORS);
+    for s in snapshots {
+        out.push_str(&format!(
+            "{}{{window=\"{}\"}} {}\n",
+            names::WINDOW_ERRORS,
+            escape_label_value(s.label),
+            s.errors
+        ));
+    }
+    gauge_header(&mut out, names::WINDOW_QPS);
+    for s in snapshots {
+        out.push_str(&format!(
+            "{}{{window=\"{}\"}} {:.6}\n",
+            names::WINDOW_QPS,
+            escape_label_value(s.label),
+            s.qps()
+        ));
+    }
+    gauge_header(&mut out, names::WINDOW_ERROR_RATIO);
+    for s in snapshots {
+        out.push_str(&format!(
+            "{}{{window=\"{}\"}} {:.6}\n",
+            names::WINDOW_ERROR_RATIO,
+            escape_label_value(s.label),
+            s.error_ratio()
+        ));
+    }
+    gauge_header(&mut out, names::WINDOW_CACHE_HIT_RATIO);
+    for s in snapshots {
+        out.push_str(&format!(
+            "{}{{window=\"{}\"}} {:.6}\n",
+            names::WINDOW_CACHE_HIT_RATIO,
+            escape_label_value(s.label),
+            s.cache_hit_ratio()
+        ));
+    }
+    gauge_header(&mut out, names::WINDOW_LATENCY);
+    for s in snapshots {
+        for (q, v) in [
+            ("0.5", s.p50_nanos),
+            ("0.95", s.p95_nanos),
+            ("0.99", s.p99_nanos),
+        ] {
+            out.push_str(&format!(
+                "{}{{window=\"{}\",quantile=\"{q}\"}} {v}\n",
+                names::WINDOW_LATENCY,
+                escape_label_value(s.label),
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the `GET /debug/requests` body: newest-first records under a
+/// `requests` key plus the lifetime total (so a reader can tell how much
+/// history the bounded ring dropped).
+pub fn render_debug_requests(records: &[RequestRecord], total_observed: u64) -> String {
+    let mut out = format!("{{\"total_observed\":{total_observed},\"requests\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&r.to_json());
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Everything `GET /statusz` shows that the plane does not itself own.
+#[derive(Debug, Clone, Default)]
+pub struct StatuszInfo {
+    /// Engine fingerprint (cache keying / config identity).
+    pub fingerprint: u64,
+    /// Snapshot provenance as `(format_version, checksum)`, when the
+    /// corpus was loaded from a snapshot rather than built in memory.
+    pub snapshot: Option<(u32, u64)>,
+    /// Response-cache occupancy.
+    pub cache_entries: usize,
+    /// Response-cache capacity.
+    pub cache_capacity: usize,
+    /// Lifetime requests answered.
+    pub requests_total: u64,
+    /// Lifetime error responses.
+    pub errors_total: u64,
+}
+
+/// Renders the `GET /statusz` text dashboard.
+pub fn render_statusz(obs: &Observability, info: &StatuszInfo) -> String {
+    let mut out = String::from("xclean suggestion server\n\n");
+    out.push_str(&format!("uptime_secs: {}\n", obs.uptime_secs()));
+    out.push_str(&format!("engine_fingerprint: {:016x}\n", info.fingerprint));
+    match info.snapshot {
+        Some((format, checksum)) => out.push_str(&format!(
+            "snapshot: format=v{format} checksum={checksum:016x}\n"
+        )),
+        None => out.push_str("snapshot: none (corpus built in memory)\n"),
+    }
+    out.push_str(&format!(
+        "cache: entries={} capacity={}\n",
+        info.cache_entries, info.cache_capacity
+    ));
+    out.push_str(&format!(
+        "requests_total: {}  errors_total: {}\n",
+        info.requests_total, info.errors_total
+    ));
+    out.push_str(&format!(
+        "slow_threshold_ms: {}\n\n",
+        obs.slow_threshold_nanos() / 1_000_000
+    ));
+    out.push_str(
+        "window  requests  errors  qps        err_ratio  hit_ratio  p50_ns      p95_ns      p99_ns\n",
+    );
+    for s in obs.window_snapshots() {
+        out.push_str(&format!(
+            "{:<7} {:<9} {:<7} {:<10.4} {:<10.4} {:<10.4} {:<11} {:<11} {}\n",
+            s.label,
+            s.count,
+            s.errors,
+            s.qps(),
+            s.error_ratio(),
+            s.cache_hit_ratio(),
+            s.p50_nanos,
+            s.p95_nanos,
+            s.p99_nanos
+        ));
+    }
+    out.push_str("\nslowest recent requests:\n");
+    let slowest = obs.slowest_recent(5);
+    if slowest.is_empty() {
+        out.push_str("  (none yet)\n");
+    }
+    for r in &slowest {
+        out.push_str(&format!(
+            "  {:>12} ns  {}  {}  {}  {}\n",
+            r.total_nanos,
+            r.status,
+            r.trace_id,
+            r.route,
+            if r.query.is_empty() { "-" } else { &r.query }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xclean_telemetry::{Clock, ManualClock};
+
+    /// A slow-log sink tests can read back.
+    #[derive(Clone, Default)]
+    pub(crate) struct SharedSink(pub Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn obs_with(clock: Arc<ManualClock>, threshold: u64) -> (Observability, SharedSink) {
+        let sink = SharedSink::default();
+        let obs = Observability::new(clock, 64, 16, threshold, 0x5ca1e, Box::new(sink.clone()));
+        (obs, sink)
+    }
+
+    fn record(total: u64, status: u16) -> RequestRecord {
+        RequestRecord {
+            trace_id: "t-1".into(),
+            route: "suggest",
+            query: "helth insurance".into(),
+            status,
+            cache_hit: Some(false),
+            slot_nanos: total / 4,
+            walk_nanos: total / 4,
+            rank_nanos: total / 4,
+            total_nanos: total,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn slow_requests_hit_the_log_and_fast_ones_do_not() {
+        let clock = ManualClock::starting_at(0);
+        let (obs, sink) = obs_with(clock, 1_000_000);
+        obs.observe(record(999_999, 200));
+        assert!(sink.0.lock().unwrap().is_empty());
+        obs.observe(record(1_000_000, 200));
+        let log = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(
+            lines[0].starts_with('{') && lines[0].ends_with('}'),
+            "{log}"
+        );
+        assert!(lines[0].contains("\"total_nanos\":1000000"), "{log}");
+        assert_eq!(obs.recent(10).len(), 2, "both land in the main ring");
+        assert_eq!(obs.slowest_recent(1)[0].total_nanos, 1_000_000);
+    }
+
+    #[test]
+    fn windows_advance_with_the_injected_clock() {
+        let clock = ManualClock::starting_at(0);
+        let (obs, _sink) = obs_with(Arc::clone(&clock), u64::MAX);
+        let mut r = record(100, 200);
+        r.arrived_nanos = clock.now_nanos();
+        obs.observe(r);
+        assert_eq!(obs.window_snapshots()[0].count, 1);
+        clock.advance_secs(61);
+        let snaps = obs.window_snapshots();
+        assert_eq!(snaps[0].count, 0, "1m window forgot");
+        assert_eq!(snaps[1].count, 1, "5m window remembers");
+        assert_eq!(obs.uptime_secs(), 61);
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_per_worker() {
+        let clock = ManualClock::starting_at(0);
+        let (obs, _sink) = obs_with(clock, u64::MAX);
+        let w0 = obs.trace_gen();
+        let w1 = obs.trace_gen();
+        assert_eq!(w0.next_id(), "0005ca1e-00-000000");
+        assert_eq!(w0.next_id(), "0005ca1e-00-000001");
+        assert_eq!(w1.next_id(), "0005ca1e-01-000000");
+    }
+
+    #[test]
+    fn window_metrics_series_shape() {
+        let clock = ManualClock::starting_at(0);
+        let (obs, _sink) = obs_with(clock, u64::MAX);
+        obs.observe(record(100, 200));
+        obs.observe(record(100, 404));
+        let text = render_window_metrics(&obs.window_snapshots());
+        assert!(text.contains(&format!("# TYPE {} gauge", names::WINDOW_REQUESTS)));
+        assert!(text.contains(&format!("{}{{window=\"1m\"}} 2", names::WINDOW_REQUESTS)));
+        assert!(text.contains(&format!("{}{{window=\"15m\"}} 1", names::WINDOW_ERRORS)));
+        assert!(text.contains(&format!(
+            "{}{{window=\"1m\",quantile=\"0.99\"}}",
+            names::WINDOW_LATENCY
+        )));
+        // HELP/TYPE pairing holds for the appended series too.
+        for (i, line) in text.lines().collect::<Vec<_>>().windows(2).enumerate() {
+            if let Some(rest) = line[0].strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().unwrap();
+                assert!(line[1].starts_with(&format!("# TYPE {name} ")), "line {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn statusz_renders_all_sections() {
+        let clock = ManualClock::starting_at(0);
+        let (obs, _sink) = obs_with(Arc::clone(&clock), u64::MAX);
+        let mut r = record(5_000, 200);
+        r.trace_id = "abc123".into();
+        obs.observe(r);
+        clock.advance_secs(3);
+        let text = render_statusz(
+            &obs,
+            &StatuszInfo {
+                fingerprint: 0xdead_beef,
+                snapshot: Some((2, 0xfeed)),
+                cache_entries: 3,
+                cache_capacity: 64,
+                requests_total: 1,
+                errors_total: 0,
+            },
+        );
+        assert!(text.contains("uptime_secs: 3"), "{text}");
+        assert!(
+            text.contains("engine_fingerprint: 00000000deadbeef"),
+            "{text}"
+        );
+        assert!(
+            text.contains("snapshot: format=v2 checksum=000000000000feed"),
+            "{text}"
+        );
+        assert!(text.contains("1m"), "{text}");
+        assert!(text.contains("abc123"), "{text}");
+        let no_snapshot = render_statusz(&obs, &StatuszInfo::default());
+        assert!(
+            no_snapshot.contains("corpus built in memory"),
+            "{no_snapshot}"
+        );
+    }
+
+    #[test]
+    fn debug_requests_body_shape() {
+        let clock = ManualClock::starting_at(0);
+        let (obs, _sink) = obs_with(clock, u64::MAX);
+        obs.observe(record(10, 200));
+        obs.observe(record(20, 200));
+        let body = render_debug_requests(&obs.recent(1), obs.total_observed());
+        assert!(
+            body.starts_with("{\"total_observed\":2,\"requests\":[{"),
+            "{body}"
+        );
+        assert!(body.contains("\"total_nanos\":20"), "{body}");
+        assert!(
+            !body.contains("\"total_nanos\":10"),
+            "newest-first cap: {body}"
+        );
+    }
+}

@@ -12,10 +12,22 @@
 //!
 //! - `POST /suggest` — body `{"query": "…"}` or `{"queries": ["…", …]}`;
 //!   responds with rendered suggestion lists and an `X-Cache` header.
-//! - `GET /healthz` — liveness plus cache occupancy and the engine
-//!   fingerprint.
+//! - `GET /suggest?q=…` — single percent-encoded query, same body shape.
+//! - `GET /healthz` — liveness JSON: engine fingerprint, snapshot
+//!   provenance, uptime, and cache occupancy.
 //! - `GET /metrics` — Prometheus text snapshot of the shared registry
-//!   (engine counters/histograms and the server's own series).
+//!   (engine counters/histograms, the server's own series, and the
+//!   rolling-window `_window` gauges).
+//! - `GET /statusz` — human-readable dashboard: uptime, provenance,
+//!   1m/5m/15m window table, slowest recent queries.
+//! - `GET /debug/requests?n=K` — the K most recent requests from the
+//!   bounded request ring, as JSON.
+//!
+//! Every response — errors and load-shed replies included — carries an
+//! `X-Request-Id` header (inbound value echoed, else generated from a
+//! seeded per-worker counter), and every completed request lands in the
+//! request ring; requests over the slow threshold additionally go to the
+//! slow-query log (see [`debug`]).
 //!
 //! Robustness: per-socket read/write timeouts, bounded request head and
 //! body sizes, bounded accept queue with `503` load-shedding, structured
@@ -31,11 +43,13 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod debug;
 pub mod http;
 pub mod json;
 pub mod server;
 pub mod shutdown;
 
 pub use cache::{CacheKey, ResponseCache};
+pub use debug::{Observability, StatuszInfo, TraceIdGen};
 pub use server::{DrainReport, ServerConfig, SuggestServer, MAX_BATCH_QUERIES};
 pub use shutdown::{install_signal_handler, ShutdownFlag};

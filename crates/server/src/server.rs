@@ -9,6 +9,16 @@
 //! value is the rendered per-query JSON result object, so a hot query
 //! costs a hash, one shard lock, and a `memcpy` of the response bytes.
 //!
+//! Observability (DESIGN.md §12): every request — errors, timeouts,
+//! load-shed, and panic replies included — carries an `X-Request-Id`
+//! (inbound value echoed, else generated deterministically per worker)
+//! and is recorded into the [`Observability`] plane after its response
+//! is written: the request ring (`/debug/requests`), the rolling 1m/5m/
+//! 15m windows (`/metrics` `_window` series, `/statusz`), and — when
+//! slower than the configured threshold — the slow-query log. Recording
+//! happens strictly *after* the suggestion work, so responses stay
+//! byte-identical with the plane enabled or ignored.
+//!
 //! Graceful drain: when the [`ShutdownFlag`] trips (SIGINT/SIGTERM or
 //! [`ShutdownFlag::trigger`]), the accept loop stops taking connections,
 //! already-queued and in-flight requests are answered, the workers are
@@ -17,14 +27,16 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use xclean::{SuggestResponse, XCleanEngine};
-use xclean_telemetry::{names, Counter, Histogram};
+use xclean_telemetry::{names, Counter, Histogram, MonotonicClock, RequestRecord, SharedClock};
 
 use crate::cache::{CacheKey, ResponseCache};
+use crate::debug::{self, Observability, StatuszInfo, TraceIdGen};
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::json::{self, Json};
 use crate::shutdown::ShutdownFlag;
@@ -49,6 +61,21 @@ pub struct ServerConfig {
     /// Accepted connections that may wait for a worker before the accept
     /// loop starts shedding load with `503`s.
     pub queue_depth: usize,
+    /// Requests at least this slow are retained in the slow ring and
+    /// emitted to the slow-query log (`serve --slow-ms`).
+    pub slow_threshold: Duration,
+    /// Slow-query log destination; `None` writes JSON lines to stderr.
+    pub slow_log: Option<PathBuf>,
+    /// Recent-request ring capacity (`/debug/requests` history).
+    pub ring_capacity: usize,
+    /// Slow-request ring capacity.
+    pub slow_ring_capacity: usize,
+    /// Seed of the deterministic per-worker trace-ID generator.
+    pub trace_seed: u64,
+    /// Clock requests are stamped against. The default monotonic clock
+    /// is right for serving; tests inject a
+    /// [`xclean_telemetry::ManualClock`] to drive window rotation.
+    pub clock: SharedClock,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +87,12 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             read_timeout: Duration::from_secs(5),
             queue_depth: 64,
+            slow_threshold: Duration::from_millis(100),
+            slow_log: None,
+            ring_capacity: 512,
+            slow_ring_capacity: 128,
+            trace_seed: 0x5ca1_ab1e,
+            clock: Arc::new(MonotonicClock::new()),
         }
     }
 }
@@ -85,6 +118,7 @@ pub struct DrainReport {
 pub struct SuggestServer {
     engine: Arc<XCleanEngine>,
     cache: Arc<ResponseCache>,
+    obs: Arc<Observability>,
     config: ServerConfig,
     listener: TcpListener,
     shutdown: ShutdownFlag,
@@ -95,11 +129,27 @@ pub struct SuggestServer {
 struct Handler {
     engine: Arc<XCleanEngine>,
     cache: Arc<ResponseCache>,
+    obs: Arc<Observability>,
     fingerprint: u64,
     max_body_bytes: usize,
     requests: Arc<Counter>,
     errors: Arc<Counter>,
     latency: Arc<Histogram>,
+}
+
+/// What a route wants remembered about its request in the ring — filled
+/// by the suggest paths, left at defaults by metadata routes and errors.
+#[derive(Debug, Default)]
+struct RouteObs {
+    route: &'static str,
+    query: String,
+    cache_hit: Option<bool>,
+    slot_nanos: u64,
+    walk_nanos: u64,
+    rank_nanos: u64,
+    candidates: u64,
+    entities: u64,
+    suggestions: u64,
 }
 
 /// One rendered response, ready to write.
@@ -108,6 +158,7 @@ struct Reply {
     content_type: &'static str,
     cache_header: Option<String>,
     body: String,
+    obs: RouteObs,
 }
 
 impl Reply {
@@ -117,6 +168,7 @@ impl Reply {
             content_type: "application/json",
             cache_header: None,
             body,
+            obs: RouteObs::default(),
         }
     }
 
@@ -129,13 +181,22 @@ impl Reply {
             ),
         )
     }
+
+    /// Sets the ring route tag unless the handler already set one.
+    fn tagged(mut self, route: &'static str) -> Reply {
+        if self.obs.route.is_empty() {
+            self.obs.route = route;
+        }
+        self
+    }
 }
 
 impl SuggestServer {
     /// Binds to `addr` (e.g. `127.0.0.1:0` for an ephemeral port) over a
     /// shared engine. The cache's counters are registered in the
     /// engine's metrics registry so `GET /metrics` exposes engine and
-    /// server series side by side.
+    /// server series side by side; the observability plane (request
+    /// ring, windows, slow log) is built here from the config.
     pub fn bind(
         engine: Arc<XCleanEngine>,
         addr: &str,
@@ -147,10 +208,23 @@ impl SuggestServer {
             config.cache_shards,
             engine.metrics(),
         ));
+        let slow_sink: Box<dyn io::Write + Send> = match &config.slow_log {
+            Some(path) => Box::new(std::fs::File::create(path)?),
+            None => Box::new(io::stderr()),
+        };
+        let obs = Arc::new(Observability::new(
+            Arc::clone(&config.clock),
+            config.ring_capacity,
+            config.slow_ring_capacity,
+            config.slow_threshold.as_nanos() as u64,
+            config.trace_seed,
+            slow_sink,
+        ));
         let fingerprint = engine.fingerprint();
         Ok(SuggestServer {
             engine,
             cache,
+            obs,
             config,
             listener,
             shutdown: ShutdownFlag::new(),
@@ -178,6 +252,12 @@ impl SuggestServer {
         &self.engine
     }
 
+    /// The server's observability plane (request ring, windows, slow
+    /// log) — shared with the workers; readable during and after `run`.
+    pub fn observability(&self) -> Arc<Observability> {
+        Arc::clone(&self.obs)
+    }
+
     /// Serves until the shutdown flag trips, then drains: stops
     /// accepting, answers queued and in-flight requests, joins the
     /// workers, and reports lifetime totals.
@@ -187,6 +267,7 @@ impl SuggestServer {
         let handler = Arc::new(Handler {
             engine: Arc::clone(&self.engine),
             cache: Arc::clone(&self.cache),
+            obs: Arc::clone(&self.obs),
             fingerprint: self.fingerprint,
             max_body_bytes: self.config.max_body_bytes,
             requests: registry.counter(names::SERVER_REQUESTS),
@@ -201,6 +282,10 @@ impl SuggestServer {
                 let handler = Arc::clone(&handler);
                 scope.spawn(move || worker_loop(&rx, &handler));
             }
+            // The accept loop sheds load with its own trace-ID lane: a
+            // 503 reply never read the request, so there is no inbound
+            // ID to echo — it gets a generated one like any other reply.
+            let shed_ids = handler.obs.trace_gen();
             loop {
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
@@ -208,16 +293,12 @@ impl SuggestServer {
                         let _ = stream.set_read_timeout(Some(self.config.read_timeout));
                         let _ = stream.set_write_timeout(Some(self.config.read_timeout));
                         if let Err(TrySendError::Full(stream)) = tx.try_send(stream) {
-                            handler.requests.inc();
-                            handler.errors.inc();
-                            let reply = Reply::error(503, "server overloaded; retry");
-                            let _ = write_response(
-                                &stream,
-                                reply.status,
-                                reply.content_type,
-                                &[],
-                                reply.body.as_bytes(),
-                            );
+                            let arrived = handler.obs.clock().now_nanos();
+                            let trace_id = shed_ids.next_id();
+                            let reply =
+                                Reply::error(503, "server overloaded; retry").tagged("overload");
+                            write_reply(&stream, &reply, &trace_id);
+                            observe_reply(&handler, reply, trace_id, arrived);
                         }
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -253,6 +334,7 @@ impl SuggestServer {
 }
 
 fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, handler: &Handler) {
+    let ids = handler.obs.trace_gen();
     loop {
         // Hold the receiver lock only for the dequeue itself.
         let stream = match rx.lock() {
@@ -262,45 +344,67 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, handler: &Handler) {
         let Ok(stream) = stream else {
             return; // channel closed: drain complete
         };
+        let arrived = handler.obs.clock().now_nanos();
         // A panicking handler (engine bug, poisoned lock) must cost one
         // connection, not the whole pool.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle_connection(&stream, handler);
+            handle_connection(&stream, handler, &ids, arrived);
         }));
         if result.is_err() {
-            handler.errors.inc();
-            let reply = Reply::error(500, "internal error");
-            let _ = write_response(
-                &stream,
-                reply.status,
-                reply.content_type,
-                &[],
-                reply.body.as_bytes(),
-            );
+            let trace_id = ids.next_id();
+            let reply = Reply::error(500, "internal error").tagged("panic");
+            write_reply(&stream, &reply, &trace_id);
+            observe_reply(handler, reply, trace_id, arrived);
         }
     }
 }
 
-fn handle_connection(stream: &TcpStream, handler: &Handler) {
-    let start = Instant::now();
-    let reply = match read_request(stream, handler.max_body_bytes) {
-        Ok(request) => route(&request, handler),
-        Err(HttpError::Malformed(m)) => Reply::error(400, m),
+/// Renders the reply for one parsed-or-failed request, or `None` when
+/// the client vanished and there is nobody to answer. Separated from the
+/// socket so tests can drive every error path directly.
+fn reply_for(
+    parsed: Result<Request, HttpError>,
+    handler: &Handler,
+    trace_id: &str,
+) -> Option<Reply> {
+    Some(match parsed {
+        Ok(request) => route(&request, handler, trace_id),
+        Err(HttpError::Malformed(m)) => Reply::error(400, m).tagged("malformed"),
         Err(HttpError::BodyTooLarge { advertised, limit }) => Reply::error(
             413,
             &format!("body of {advertised} bytes exceeds limit of {limit}"),
-        ),
+        )
+        .tagged("body_too_large"),
         Err(HttpError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {
             // Read timeout: best-effort 408, then close.
-            Reply::error(408, "request read timed out")
+            Reply::error(408, "request read timed out").tagged("timeout")
         }
-        Err(HttpError::Io(_)) => return, // client went away: nothing to answer
+        Err(HttpError::Io(_)) => return None, // client went away: nothing to answer
+    })
+}
+
+fn handle_connection(stream: &TcpStream, handler: &Handler, ids: &TraceIdGen, arrived: u64) {
+    let parsed = read_request(stream, handler.max_body_bytes);
+    // Echo the caller's X-Request-Id when it sent one; generate a
+    // deterministic per-worker ID otherwise (also for unreadable
+    // requests, which never yielded headers to echo).
+    let trace_id = match &parsed {
+        Ok(request) => request
+            .header("x-request-id")
+            .map(str::to_string)
+            .unwrap_or_else(|| ids.next_id()),
+        Err(_) => ids.next_id(),
     };
-    handler.requests.inc();
-    if reply.status >= 400 {
-        handler.errors.inc();
-    }
-    let mut extra: Vec<(&str, &str)> = Vec::new();
+    let Some(reply) = reply_for(parsed, handler, &trace_id) else {
+        return;
+    };
+    write_reply(stream, &reply, &trace_id);
+    observe_reply(handler, reply, trace_id, arrived);
+}
+
+/// Writes the response with its trace and cache headers attached.
+fn write_reply(stream: &TcpStream, reply: &Reply, trace_id: &str) {
+    let mut extra: Vec<(&str, &str)> = vec![("X-Request-Id", trace_id)];
     if let Some(h) = reply.cache_header.as_deref() {
         extra.push(("X-Cache", h));
     }
@@ -311,25 +415,97 @@ fn handle_connection(stream: &TcpStream, handler: &Handler) {
         &extra,
         reply.body.as_bytes(),
     );
-    handler
-        .latency
-        .record((start.elapsed().as_nanos() as u64).max(1));
 }
 
-fn route(request: &Request, handler: &Handler) -> Reply {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => healthz(handler),
-        ("GET", "/metrics") => Reply {
-            status: 200,
-            content_type: "text/plain; version=0.0.4",
-            cache_header: None,
-            body: handler.engine.metrics().metrics_text(),
-        },
-        ("POST", "/suggest") => suggest(request, handler),
-        (_, "/suggest") | (_, "/healthz") | (_, "/metrics") => {
-            Reply::error(405, "method not allowed")
+/// The single bookkeeping choke point: lifetime counters, the latency
+/// histogram, and the observability plane all record here, so the ring
+/// and `/metrics` can never disagree about what was served.
+fn observe_reply(handler: &Handler, reply: Reply, trace_id: String, arrived_nanos: u64) {
+    let total_nanos = handler
+        .obs
+        .clock()
+        .now_nanos()
+        .saturating_sub(arrived_nanos)
+        .max(1);
+    handler.requests.inc();
+    if reply.status >= 400 {
+        handler.errors.inc();
+    }
+    handler.latency.record(total_nanos);
+    let o = reply.obs;
+    handler.obs.observe(RequestRecord {
+        seq: 0, // assigned by the ring
+        trace_id,
+        route: if o.route.is_empty() { "other" } else { o.route },
+        query: o.query,
+        status: reply.status,
+        cache_hit: o.cache_hit,
+        slot_nanos: o.slot_nanos,
+        walk_nanos: o.walk_nanos,
+        rank_nanos: o.rank_nanos,
+        total_nanos,
+        candidates: o.candidates,
+        entities: o.entities,
+        suggestions: o.suggestions,
+        arrived_nanos,
+    });
+}
+
+/// Splits a request target into path and (un-decoded) query string.
+fn split_target(target: &str) -> (&str, &str) {
+    match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    }
+}
+
+/// The raw value of `name` in a query string, if present.
+fn query_param<'a>(query: &'a str, name: &str) -> Option<&'a str> {
+    query.split('&').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == name).then_some(v)
+    })
+}
+
+/// Percent-decodes a query-string value (`+` means space). `None` on
+/// truncated or non-hex escapes, or when the bytes are not UTF-8.
+fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = std::str::from_utf8(bytes.get(i + 1..i + 3)?).ok()?;
+                out.push(u8::from_str_radix(hex, 16).ok()?);
+                i += 3;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
         }
-        _ => Reply::error(404, "no such endpoint"),
+    }
+    String::from_utf8(out).ok()
+}
+
+fn route(request: &Request, handler: &Handler, trace_id: &str) -> Reply {
+    let (path, query) = split_target(&request.path);
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => healthz(handler).tagged("healthz"),
+        ("GET", "/metrics") => metrics(handler).tagged("metrics"),
+        ("GET", "/statusz") => statusz(handler).tagged("statusz"),
+        ("GET", "/debug/requests") => debug_requests(handler, query).tagged("debug_requests"),
+        ("GET", "/suggest") => suggest_get(query, handler, trace_id).tagged("suggest"),
+        ("POST", "/suggest") => suggest(request, handler, trace_id).tagged("suggest"),
+        (_, "/suggest" | "/healthz" | "/metrics" | "/statusz" | "/debug/requests") => {
+            Reply::error(405, "method not allowed").tagged("method_not_allowed")
+        }
+        _ => Reply::error(404, "no such endpoint").tagged("not_found"),
     }
 }
 
@@ -342,16 +518,75 @@ fn healthz(handler: &Handler) -> Reply {
         .metrics()
         .counter_value(names::QUERIES)
         .unwrap_or(0);
+    let snapshot = match handler.engine.corpus().provenance() {
+        Some(p) => format!(
+            "{{\"format\":{},\"checksum\":\"{:016x}\"}}",
+            p.format_version, p.checksum
+        ),
+        None => "null".to_string(),
+    };
     Reply::json(
         200,
         format!(
-            "{{\"status\":\"ok\",\"fingerprint\":\"{:016x}\",\"queries_total\":{queries},\
+            "{{\"status\":\"ok\",\"fingerprint\":\"{:016x}\",\"uptime_secs\":{},\
+             \"snapshot\":{snapshot},\"queries_total\":{queries},\
              \"cache\":{{\"entries\":{},\"capacity\":{},\"shards\":{}}}}}",
             handler.fingerprint,
+            handler.obs.uptime_secs(),
             handler.cache.len(),
             handler.cache.capacity(),
             handler.cache.shard_count(),
         ),
+    )
+}
+
+fn metrics(handler: &Handler) -> Reply {
+    let mut body = handler.engine.metrics().metrics_text();
+    body.push_str(&debug::render_window_metrics(
+        &handler.obs.window_snapshots(),
+    ));
+    Reply {
+        status: 200,
+        content_type: "text/plain; version=0.0.4",
+        cache_header: None,
+        body,
+        obs: RouteObs::default(),
+    }
+}
+
+fn statusz(handler: &Handler) -> Reply {
+    let info = StatuszInfo {
+        fingerprint: handler.fingerprint,
+        snapshot: handler
+            .engine
+            .corpus()
+            .provenance()
+            .map(|p| (u32::from(p.format_version), p.checksum)),
+        cache_entries: handler.cache.len(),
+        cache_capacity: handler.cache.capacity(),
+        requests_total: handler.requests.get(),
+        errors_total: handler.errors.get(),
+    };
+    Reply {
+        status: 200,
+        content_type: "text/plain; charset=utf-8",
+        cache_header: None,
+        body: debug::render_statusz(&handler.obs, &info),
+        obs: RouteObs::default(),
+    }
+}
+
+fn debug_requests(handler: &Handler, query: &str) -> Reply {
+    let n = match query_param(query, "n") {
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n.min(debug::MAX_DEBUG_REQUESTS),
+            Err(_) => return Reply::error(400, "n must be a non-negative integer"),
+        },
+        None => 20,
+    };
+    Reply::json(
+        200,
+        debug::render_debug_requests(&handler.obs.recent(n), handler.obs.total_observed()),
     )
 }
 
@@ -396,23 +631,83 @@ fn render_result(normalized: &str, response: &SuggestResponse) -> String {
 }
 
 /// Answers one normalized query through the cache, computing on miss.
-/// Returns the rendered result object and whether it was a hit.
-fn cached_result(keywords: &[String], handler: &Handler) -> (Arc<str>, bool) {
+/// Returns the rendered result object plus what the ring should remember
+/// (cache outcome, per-stage nanos, and counters — all zero on a hit,
+/// which did no engine work).
+fn cached_result(keywords: &[String], handler: &Handler) -> (Arc<str>, RouteObs) {
     let normalized = keywords.join(" ");
     let key = CacheKey {
         query: normalized.clone(),
         fingerprint: handler.fingerprint,
     };
     if let Some(hit) = handler.cache.get(&key) {
-        return (hit, true);
+        let obs = RouteObs {
+            route: "suggest",
+            query: normalized,
+            cache_hit: Some(true),
+            ..RouteObs::default()
+        };
+        return (hit, obs);
     }
     let response = handler.engine.suggest_keywords(keywords);
     let rendered: Arc<str> = Arc::from(render_result(&normalized, &response).as_str());
     handler.cache.insert(key, Arc::clone(&rendered));
-    (rendered, false)
+    let obs = RouteObs {
+        route: "suggest",
+        query: normalized,
+        cache_hit: Some(false),
+        slot_nanos: response.stats.slot_nanos,
+        walk_nanos: response.stats.walk_nanos,
+        rank_nanos: response.stats.rank_nanos,
+        candidates: response.stats.candidates_enumerated,
+        entities: response.stats.entities_scored,
+        suggestions: response.suggestions.len() as u64,
+    };
+    (rendered, obs)
 }
 
-fn suggest(request: &Request, handler: &Handler) -> Reply {
+/// The single-query reply both `GET /suggest?q=` and the `"query"` body
+/// form share.
+fn single_query_reply(keywords: &[String], handler: &Handler) -> Reply {
+    let (body, obs) = cached_result(keywords, handler);
+    Reply {
+        status: 200,
+        content_type: "application/json",
+        cache_header: Some(
+            if obs.cache_hit == Some(true) {
+                "hit"
+            } else {
+                "miss"
+            }
+            .to_string(),
+        ),
+        body: body.to_string(),
+        obs,
+    }
+}
+
+fn suggest_get(query: &str, handler: &Handler, trace_id: &str) -> Reply {
+    let Some(raw) = query_param(query, "q") else {
+        return Reply::error(400, "missing q parameter");
+    };
+    let Some(decoded) = percent_decode(raw) else {
+        return Reply::error(400, "bad percent-encoding in q");
+    };
+    let keywords = handler.engine.parse_query(&decoded);
+    if keywords.is_empty() {
+        return Reply::error(400, "query contains no keywords");
+    }
+    // Root span for the whole request: engine spans opened below (and
+    // partition spans on worker threads) chain under it, so the trace ID
+    // names one tree in exported traces.
+    let _request_span = handler
+        .engine
+        .tracer()
+        .span_with("request", || trace_id.to_string());
+    single_query_reply(&keywords, handler)
+}
+
+fn suggest(request: &Request, handler: &Handler, trace_id: &str) -> Reply {
     let Ok(text) = std::str::from_utf8(&request.body) else {
         return Reply::error(400, "body is not utf-8");
     };
@@ -420,6 +715,10 @@ fn suggest(request: &Request, handler: &Handler) -> Reply {
         Ok(v) => v,
         Err(e) => return Reply::error(400, &format!("invalid JSON body: {e}")),
     };
+    let _request_span = handler
+        .engine
+        .tracer()
+        .span_with("request", || trace_id.to_string());
     match (parsed.get("query"), parsed.get("queries")) {
         (Some(_), Some(_)) => Reply::error(400, "give \"query\" or \"queries\", not both"),
         (Some(q), None) => {
@@ -430,13 +729,7 @@ fn suggest(request: &Request, handler: &Handler) -> Reply {
             if keywords.is_empty() {
                 return Reply::error(400, "query contains no keywords");
             }
-            let (body, hit) = cached_result(&keywords, handler);
-            Reply {
-                status: 200,
-                content_type: "application/json",
-                cache_header: Some(if hit { "hit" } else { "miss" }.to_string()),
-                body: body.to_string(),
-            }
+            single_query_reply(&keywords, handler)
         }
         (None, Some(qs)) => {
             let Some(items) = qs.as_array() else {
@@ -455,12 +748,13 @@ fn suggest(request: &Request, handler: &Handler) -> Reply {
                     _ => return Reply::error(400, "\"queries\" must be an array of strings"),
                 }
             }
-            let (body, hits, misses) = batch_suggest(&raw, handler);
+            let (body, hits, misses, obs) = batch_suggest(&raw, handler);
             Reply {
                 status: 200,
                 content_type: "application/json",
                 cache_header: Some(format!("hits={hits} misses={misses}")),
                 body,
+                obs,
             }
         }
         (None, None) => Reply::error(400, "body must contain \"query\" or \"queries\""),
@@ -470,7 +764,7 @@ fn suggest(request: &Request, handler: &Handler) -> Reply {
 /// The batch path: answer every hit from the cache, send the misses
 /// through `suggest_many_keywords` (the engine's worker pool) in one go,
 /// and reassemble in request order.
-fn batch_suggest(raw: &[&str], handler: &Handler) -> (String, u64, u64) {
+fn batch_suggest(raw: &[&str], handler: &Handler) -> (String, u64, u64, RouteObs) {
     let keyword_lists: Vec<Vec<String>> =
         raw.iter().map(|q| handler.engine.parse_query(q)).collect();
     let mut slots: Vec<Option<Arc<str>>> = vec![None; raw.len()];
@@ -490,11 +784,22 @@ fn batch_suggest(raw: &[&str], handler: &Handler) -> (String, u64, u64) {
         }
     }
     let misses = miss_idx.len() as u64;
+    let mut obs = RouteObs {
+        route: "suggest_batch",
+        cache_hit: Some(miss_idx.is_empty()),
+        ..RouteObs::default()
+    };
     if !miss_idx.is_empty() {
         let miss_keywords: Vec<Vec<String>> =
             miss_idx.iter().map(|&i| keyword_lists[i].clone()).collect();
         let responses = handler.engine.suggest_many_keywords(&miss_keywords);
         for (&i, response) in miss_idx.iter().zip(responses.iter()) {
+            obs.slot_nanos += response.stats.slot_nanos;
+            obs.walk_nanos += response.stats.walk_nanos;
+            obs.rank_nanos += response.stats.rank_nanos;
+            obs.candidates += response.stats.candidates_enumerated;
+            obs.entities += response.stats.entities_scored;
+            obs.suggestions += response.suggestions.len() as u64;
             let normalized = keyword_lists[i].join(" ");
             let rendered: Arc<str> = Arc::from(render_result(&normalized, response).as_str());
             handler.cache.insert(
@@ -515,17 +820,21 @@ fn batch_suggest(raw: &[&str], handler: &Handler) -> (String, u64, u64) {
         body.push_str(slot.as_deref().expect("every slot answered"));
     }
     body.push_str("]}");
-    (body, hits, misses)
+    (body, hits, misses, obs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use xclean::XCleanConfig;
-    use xclean_telemetry::MetricsRegistry;
+    use xclean_telemetry::{ManualClock, MetricsRegistry};
     use xclean_xmltree::parse_document;
 
     fn handler() -> Handler {
+        handler_with_clock(ManualClock::starting_at(0))
+    }
+
+    fn handler_with_clock(clock: Arc<ManualClock>) -> Handler {
         let xml = "<db><rec><t>health insurance</t></rec><rec><t>program instance</t></rec></db>";
         let engine = Arc::new(XCleanEngine::new(
             parse_document(xml).unwrap(),
@@ -534,12 +843,21 @@ mod tests {
         let registry: &MetricsRegistry = engine.metrics();
         let cache = Arc::new(ResponseCache::new(64, 4, registry));
         let fingerprint = engine.fingerprint();
+        let obs = Arc::new(Observability::new(
+            clock,
+            64,
+            16,
+            1_000_000_000, // 1 s: nothing is "slow" under a manual clock
+            0xfeed,
+            Box::new(io::sink()),
+        ));
         Handler {
             requests: registry.counter(names::SERVER_REQUESTS),
             errors: registry.counter(names::SERVER_ERRORS),
             latency: registry.histogram(names::SERVER_REQUEST),
             engine,
             cache,
+            obs,
             fingerprint,
             max_body_bytes: 1 << 20,
         }
@@ -554,10 +872,21 @@ mod tests {
         }
     }
 
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    const T: &str = "t-test";
+
     #[test]
     fn single_query_misses_then_hits_bit_identically() {
         let h = handler();
-        let first = route(&post(r#"{"query": "helth insurance"}"#), &h);
+        let first = route(&post(r#"{"query": "helth insurance"}"#), &h, T);
         assert_eq!(first.status, 200);
         assert_eq!(first.cache_header.as_deref(), Some("miss"));
         assert!(
@@ -566,20 +895,48 @@ mod tests {
             first.body
         );
         // Different raw spelling, same normalized form → hit, same bytes.
-        let second = route(&post(r#"{"query": "  HELTH   insurance "}"#), &h);
+        let second = route(&post(r#"{"query": "  HELTH   insurance "}"#), &h, T);
         assert_eq!(second.cache_header.as_deref(), Some("hit"));
         assert_eq!(first.body, second.body);
         assert_eq!(h.cache.counters(), (1, 1, 0));
+        // The miss carried engine work in its observability payload.
+        assert_eq!(first.obs.cache_hit, Some(false));
+        assert!(first.obs.walk_nanos > 0);
+        assert_eq!(second.obs.cache_hit, Some(true));
+        assert_eq!(second.obs.walk_nanos, 0);
+        assert_eq!(first.obs.query, "helth insurance");
+    }
+
+    #[test]
+    fn get_suggest_decodes_and_matches_post() {
+        let h = handler();
+        let via_get = route(&get("/suggest?q=helth%20insurance"), &h, T);
+        assert_eq!(via_get.status, 200, "{}", via_get.body);
+        let via_post = route(&post(r#"{"query": "helth insurance"}"#), &h, T);
+        assert_eq!(via_get.body, via_post.body);
+        assert_eq!(
+            via_post.cache_header.as_deref(),
+            Some("hit"),
+            "shared cache"
+        );
+        // '+' decodes to space too.
+        let plus = route(&get("/suggest?q=helth+insurance"), &h, T);
+        assert_eq!(plus.body, via_get.body);
+        // Error paths.
+        assert_eq!(route(&get("/suggest"), &h, T).status, 400);
+        assert_eq!(route(&get("/suggest?q=%zz"), &h, T).status, 400);
+        assert_eq!(route(&get("/suggest?q=..."), &h, T).status, 400);
     }
 
     #[test]
     fn batch_reassembles_in_order_and_uses_cache() {
         let h = handler();
-        let warm = route(&post(r#"{"query": "program instance"}"#), &h);
+        let warm = route(&post(r#"{"query": "program instance"}"#), &h, T);
         assert_eq!(warm.status, 200);
         let reply = route(
             &post(r#"{"queries": ["helth insurance", "program instance", "zzz qqq"]}"#),
             &h,
+            T,
         );
         assert_eq!(reply.status, 200);
         assert_eq!(reply.cache_header.as_deref(), Some("hits=1 misses=2"));
@@ -588,6 +945,8 @@ mod tests {
             .map(|n| reply.body.find(*n).expect(n))
             .collect();
         assert!(order[0] < order[1] && order[1] < order[2], "{}", reply.body);
+        assert_eq!(reply.obs.route, "suggest_batch");
+        assert!(reply.obs.walk_nanos > 0, "misses did engine work");
     }
 
     #[test]
@@ -602,7 +961,7 @@ mod tests {
             (r#"{"query": "a", "queries": ["b"]}"#, "not both"),
             (r#"{"query": "...!!!"}"#, "no keywords"),
         ] {
-            let reply = route(&post(body), &h);
+            let reply = route(&post(body), &h, T);
             assert_eq!(reply.status, 400, "{body}");
             assert!(reply.body.contains("\"error\""), "{}", reply.body);
             assert!(reply.body.contains(needle), "{body} → {}", reply.body);
@@ -614,42 +973,205 @@ mod tests {
         let h = handler();
         let mut r = post("{}");
         r.path = "/nope".to_string();
-        assert_eq!(route(&r, &h).status, 404);
+        assert_eq!(route(&r, &h, T).status, 404);
         let mut r = post("{}");
         r.method = "GET".to_string();
-        assert_eq!(route(&r, &h).status, 405);
+        assert_eq!(route(&r, &h, T).status, 400, "GET /suggest wants ?q=");
         let mut r = post("{}");
         r.method = "DELETE".to_string();
         r.path = "/metrics".to_string();
-        assert_eq!(route(&r, &h).status, 405);
+        assert_eq!(route(&r, &h, T).status, 405);
+        let mut r = post("{}");
+        r.path = "/statusz".to_string();
+        assert_eq!(route(&r, &h, T).status, 405);
     }
 
     #[test]
-    fn healthz_and_metrics_render() {
-        let h = handler();
-        let _ = route(&post(r#"{"query": "helth insurance"}"#), &h);
-        let mut r = post("");
-        r.method = "GET".to_string();
-        r.path = "/healthz".to_string();
-        let reply = route(&r, &h);
+    fn healthz_reports_fingerprint_provenance_and_uptime() {
+        let clock = ManualClock::starting_at(0);
+        let h = handler_with_clock(Arc::clone(&clock));
+        let _ = route(&post(r#"{"query": "helth insurance"}"#), &h, T);
+        clock.advance_secs(7);
+        let reply = route(&get("/healthz"), &h, T);
         assert_eq!(reply.status, 200);
         assert!(reply.body.contains("\"status\":\"ok\""), "{}", reply.body);
         assert!(reply.body.contains("\"queries_total\":1"), "{}", reply.body);
-        let mut r = post("");
-        r.method = "GET".to_string();
-        r.path = "/metrics".to_string();
-        let reply = route(&r, &h);
+        assert!(reply.body.contains("\"uptime_secs\":7"), "{}", reply.body);
+        // An in-memory corpus has no snapshot provenance.
+        assert!(reply.body.contains("\"snapshot\":null"), "{}", reply.body);
+        assert!(
+            reply
+                .body
+                .contains(&format!("\"fingerprint\":\"{:016x}\"", h.fingerprint)),
+            "{}",
+            reply.body
+        );
+        assert!(
+            reply.body.contains("\"cache\":{\"entries\":1"),
+            "{}",
+            reply.body
+        );
+    }
+
+    #[test]
+    fn metrics_include_window_series() {
+        let h = handler();
+        let reply = route(&post(r#"{"query": "helth insurance"}"#), &h, T);
+        observe_reply(&h, reply, T.to_string(), 0);
+        let reply = route(&get("/metrics"), &h, T);
         assert_eq!(reply.status, 200);
         assert!(reply.body.contains(names::CACHE_MISSES), "{}", reply.body);
         assert!(reply.body.contains(names::QUERIES), "{}", reply.body);
+        assert!(
+            reply
+                .body
+                .contains(&format!("{}{{window=\"1m\"}} 1", names::WINDOW_REQUESTS)),
+            "{}",
+            reply.body
+        );
+        assert!(
+            reply
+                .body
+                .contains(&format!("# TYPE {} gauge", names::WINDOW_QPS)),
+            "{}",
+            reply.body
+        );
+    }
+
+    #[test]
+    fn statusz_and_debug_requests_render() {
+        let h = handler();
+        let reply = route(&post(r#"{"query": "helth insurance"}"#), &h, T);
+        observe_reply(&h, reply, "trace-xyz".to_string(), 0);
+        let status = route(&get("/statusz"), &h, T);
+        assert_eq!(status.status, 200);
+        assert!(status.body.contains("uptime_secs:"), "{}", status.body);
+        assert!(status.body.contains("trace-xyz"), "{}", status.body);
+        let dbg = route(&get("/debug/requests?n=5"), &h, T);
+        assert_eq!(dbg.status, 200);
+        assert!(
+            dbg.body.contains("\"trace_id\":\"trace-xyz\""),
+            "{}",
+            dbg.body
+        );
+        assert!(
+            dbg.body.contains("\"query\":\"helth insurance\""),
+            "{}",
+            dbg.body
+        );
+        assert_eq!(route(&get("/debug/requests?n=x"), &h, T).status, 400);
     }
 
     #[test]
     fn batch_and_single_share_cache_entries() {
         let h = handler();
-        let single = route(&post(r#"{"query": "helth insurance"}"#), &h);
-        let batch = route(&post(r#"{"queries": ["helth insurance"]}"#), &h);
+        let single = route(&post(r#"{"query": "helth insurance"}"#), &h, T);
+        let batch = route(&post(r#"{"queries": ["helth insurance"]}"#), &h, T);
         assert_eq!(batch.cache_header.as_deref(), Some("hits=1 misses=0"));
         assert_eq!(batch.body, format!("{{\"results\":[{}]}}", single.body));
+    }
+
+    /// Satellite: every error reply path is traced and counted — the
+    /// ring and the lifetime metrics must agree exactly.
+    #[test]
+    fn every_error_path_lands_in_ring_and_metrics() {
+        let h = handler();
+        let mut del = get("/metrics");
+        del.method = "DELETE".to_string();
+        let replies: Vec<Reply> = vec![
+            // Unreadable requests: malformed head, oversized body, timeout.
+            reply_for(Err(HttpError::Malformed("bad request line")), &h, T).unwrap(),
+            reply_for(
+                Err(HttpError::BodyTooLarge {
+                    advertised: 999,
+                    limit: 16,
+                }),
+                &h,
+                T,
+            )
+            .unwrap(),
+            reply_for(
+                Err(HttpError::Io(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "timeout",
+                ))),
+                &h,
+                T,
+            )
+            .unwrap(),
+            // Routed errors: 404, 405, invalid body.
+            route(&get("/nope"), &h, T),
+            route(&del, &h, T),
+            route(&post("{not json"), &h, T),
+            // Accept-loop and panic replies use the same constructors.
+            Reply::error(503, "server overloaded; retry").tagged("overload"),
+            Reply::error(500, "internal error").tagged("panic"),
+        ];
+        let expected: Vec<u16> = vec![400, 413, 408, 404, 405, 400, 503, 500];
+        let statuses: Vec<u16> = replies.iter().map(|r| r.status).collect();
+        assert_eq!(statuses, expected);
+        for (i, reply) in replies.into_iter().enumerate() {
+            observe_reply(&h, reply, format!("err-{i}"), 0);
+        }
+        // A client-gone connection yields no reply and is not counted.
+        assert!(reply_for(
+            Err(HttpError::Io(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "gone"
+            ))),
+            &h,
+            T
+        )
+        .is_none());
+        // Ring and metrics agree: every reply counted, every one an error.
+        assert_eq!(h.requests.get(), expected.len() as u64);
+        assert_eq!(h.errors.get(), expected.len() as u64);
+        assert_eq!(h.obs.total_observed(), expected.len() as u64);
+        let records = h.obs.recent(100);
+        assert_eq!(records.len(), expected.len());
+        assert!(records.iter().all(|r| r.is_error()));
+        assert!(records.iter().all(|r| !r.trace_id.is_empty()));
+        let routes: std::collections::BTreeSet<&str> = records.iter().map(|r| r.route).collect();
+        for tag in [
+            "malformed",
+            "body_too_large",
+            "timeout",
+            "not_found",
+            "method_not_allowed",
+            "suggest",
+            "overload",
+            "panic",
+        ] {
+            assert!(routes.contains(tag), "missing route tag {tag}: {routes:?}");
+        }
+        // The windows saw them too.
+        assert_eq!(h.obs.window_snapshots()[0].errors, expected.len() as u64);
+    }
+
+    #[test]
+    fn percent_decode_handles_escapes_and_rejects_garbage() {
+        assert_eq!(percent_decode("plain").as_deref(), Some("plain"));
+        assert_eq!(percent_decode("a+b").as_deref(), Some("a b"));
+        assert_eq!(percent_decode("a%20b%2Fc").as_deref(), Some("a b/c"));
+        assert_eq!(
+            percent_decode(
+                "%
+"
+            ),
+            None
+        );
+        assert_eq!(percent_decode("%zz"), None);
+        assert_eq!(percent_decode("%e2%82%ac").as_deref(), Some("€"));
+        assert_eq!(percent_decode("%ff"), None, "lone 0xff is not utf-8");
+    }
+
+    #[test]
+    fn split_target_and_query_param() {
+        assert_eq!(split_target("/suggest?q=a&n=2"), ("/suggest", "q=a&n=2"));
+        assert_eq!(split_target("/healthz"), ("/healthz", ""));
+        assert_eq!(query_param("q=a&n=2", "n"), Some("2"));
+        assert_eq!(query_param("q=a&n=2", "q"), Some("a"));
+        assert_eq!(query_param("q=a", "missing"), None);
+        assert_eq!(query_param("", "q"), None);
     }
 }

@@ -162,7 +162,10 @@ fn serves_suggestions_hits_cache_and_drains() {
     // Unknown endpoint and wrong method.
     let (status, _, _) = request(run.addr, "GET", "/nope", "");
     assert_eq!(status, 404);
-    let (status, _, _) = request(run.addr, "GET", "/suggest", "");
+    let (status, _, body) = request(run.addr, "GET", "/suggest", "");
+    assert_eq!(status, 400, "GET /suggest without ?q= is missing its query");
+    assert!(body.contains("missing q parameter"), "{body}");
+    let (status, _, _) = request(run.addr, "DELETE", "/suggest", "");
     assert_eq!(status, 405);
 
     // Graceful drain: trigger the flag, run() returns with totals.

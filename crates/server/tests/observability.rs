@@ -1,0 +1,304 @@
+//! End-to-end tests of the request observability plane over real
+//! sockets: `X-Request-Id` echo and generation (on success *and* error
+//! replies), the `/debug/requests` ring with stage-nanos accounting,
+//! the slow-query log, `/statusz`, the rolling-window `/metrics`
+//! series — and the contract that observability never changes a
+//! suggestion byte, at 1 and at 8 engine threads.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use xclean::{XCleanConfig, XCleanEngine};
+use xclean_server::{DrainReport, ServerConfig, ShutdownFlag, SuggestServer};
+use xclean_telemetry::Telemetry;
+use xclean_xmltree::parse_document;
+
+fn engine_with(threads: usize, telemetry: Telemetry) -> Arc<XCleanEngine> {
+    let xml = "<dblp>\
+        <article><author>jones</author><title>health insurance markets</title></article>\
+        <article><author>smith</author><title>program instance analysis</title></article>\
+        <article><author>brown</author><title>database system internals</title></article>\
+    </dblp>";
+    let config = XCleanConfig {
+        num_threads: threads,
+        ..XCleanConfig::default()
+    };
+    Arc::new(XCleanEngine::new(parse_document(xml).unwrap(), config).with_telemetry(telemetry))
+}
+
+struct Running {
+    addr: std::net::SocketAddr,
+    flag: ShutdownFlag,
+    join: std::thread::JoinHandle<DrainReport>,
+}
+
+impl Running {
+    fn stop(self) -> DrainReport {
+        self.flag.trigger();
+        self.join.join().unwrap()
+    }
+}
+
+fn start(engine: Arc<XCleanEngine>, config: ServerConfig) -> Running {
+    let server = SuggestServer::bind(engine, "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let flag = server.shutdown_flag();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    Running { addr, flag, join }
+}
+
+/// One raw HTTP request with optional extra headers; returns
+/// (status, headers, body) with header names lower-cased.
+fn request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
+    for (k, v) in extra_headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    write!(stream, "{head}{body}").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, payload) = raw.split_once("\r\n\r\n").expect("header terminator");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, payload.to_string())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn request_id_is_echoed_generated_and_ringed() {
+    let run = start(
+        engine_with(1, Telemetry::disabled()),
+        ServerConfig::default(),
+    );
+
+    // Inbound X-Request-Id is echoed verbatim (the acceptance query).
+    let (status, headers, _) = request(
+        run.addr,
+        "GET",
+        "/suggest?q=helth+insurance",
+        &[("X-Request-Id", "abc123")],
+        "",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-request-id"), Some("abc123"));
+
+    // Without one, a deterministic seed-worker-counter ID is generated.
+    let (_, headers, _) = request(run.addr, "GET", "/healthz", &[], "");
+    let generated = header(&headers, "x-request-id")
+        .expect("generated id")
+        .to_string();
+    let parts: Vec<&str> = generated.split('-').collect();
+    assert_eq!(parts.len(), 3, "{generated}");
+    assert!(u64::from_str_radix(parts[0], 16).is_ok(), "{generated}");
+
+    // Error replies carry one too.
+    let (status, headers, _) = request(run.addr, "GET", "/nope", &[], "");
+    assert_eq!(status, 404);
+    assert!(header(&headers, "x-request-id").is_some());
+    let (status, headers, _) = request(
+        run.addr,
+        "POST",
+        "/suggest",
+        &[("X-Request-Id", "err-echo")],
+        "{broken",
+    );
+    assert_eq!(status, 400);
+    assert_eq!(header(&headers, "x-request-id"), Some("err-echo"));
+
+    // The ring saw all of it, and the suggest record's stage nanos are
+    // consistent with its total (stages are a subset of the request).
+    let (status, _, body) = request(run.addr, "GET", "/debug/requests?n=10", &[], "");
+    assert_eq!(status, 200);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    let requests = v["requests"].as_array().unwrap();
+    assert!(requests.len() >= 4, "{body}");
+    let ids: Vec<&str> = requests
+        .iter()
+        .map(|r| r["trace_id"].as_str().unwrap())
+        .collect();
+    assert!(ids.contains(&"abc123"), "{ids:?}");
+    assert!(ids.contains(&"err-echo"), "{ids:?}");
+    assert!(ids.contains(&generated.as_str()), "{ids:?}");
+    let suggest = requests.iter().find(|r| r["trace_id"] == "abc123").unwrap();
+    assert_eq!(suggest["route"], "suggest");
+    assert_eq!(suggest["query"], "helth insurance");
+    assert_eq!(suggest["cache"], "miss");
+    let stages = &suggest["stages"];
+    let stage_sum = stages["slot_nanos"].as_u64().unwrap()
+        + stages["walk_nanos"].as_u64().unwrap()
+        + stages["rank_nanos"].as_u64().unwrap();
+    let total = suggest["total_nanos"].as_u64().unwrap();
+    assert!(stage_sum > 0, "miss did engine work: {suggest:?}");
+    assert!(
+        stage_sum <= total,
+        "stage nanos {stage_sum} exceed request total {total}"
+    );
+
+    let report = run.stop();
+    assert_eq!(report.errors, 2, "{report:?}");
+}
+
+#[test]
+fn statusz_and_window_metrics_reflect_traffic() {
+    let run = start(
+        engine_with(1, Telemetry::disabled()),
+        ServerConfig::default(),
+    );
+    for _ in 0..3 {
+        let (status, _, _) = request(
+            run.addr,
+            "POST",
+            "/suggest",
+            &[],
+            r#"{"query": "helth insurance"}"#,
+        );
+        assert_eq!(status, 200);
+    }
+    let (_, _, _) = request(run.addr, "GET", "/nope", &[], "");
+
+    let (status, _, metrics) = request(run.addr, "GET", "/metrics", &[], "");
+    assert_eq!(status, 200);
+    let count_1m = metrics
+        .lines()
+        .find(|l| l.starts_with("xclean_server_window_requests{window=\"1m\"}"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|n| n.parse::<u64>().ok())
+        .expect("1m window series present");
+    assert!(count_1m >= 4, "{count_1m}");
+    assert!(
+        metrics.contains("xclean_server_window_latency_nanos{window=\"1m\",quantile=\"0.95\"}"),
+        "{metrics}"
+    );
+
+    let (status, _, statusz) = request(run.addr, "GET", "/statusz", &[], "");
+    assert_eq!(status, 200);
+    assert!(statusz.contains("xclean suggestion server"), "{statusz}");
+    assert!(
+        statusz.contains("helth insurance"),
+        "slowest table: {statusz}"
+    );
+    assert!(statusz.contains("1m"), "{statusz}");
+    run.stop();
+}
+
+#[test]
+fn slow_log_captures_requests_over_threshold() {
+    let path = std::env::temp_dir().join(format!("xclean_slow_log_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let run = start(
+        engine_with(1, Telemetry::disabled()),
+        ServerConfig {
+            // Zero threshold: every request is "slow" and must be logged.
+            slow_threshold: Duration::ZERO,
+            slow_log: Some(path.clone()),
+            ..ServerConfig::default()
+        },
+    );
+    let (status, _, _) = request(
+        run.addr,
+        "GET",
+        "/suggest?q=helth+insurance",
+        &[("X-Request-Id", "slow-1")],
+        "",
+    );
+    assert_eq!(status, 200);
+    run.stop();
+
+    let log = std::fs::read_to_string(&path).unwrap();
+    let line = log
+        .lines()
+        .find(|l| l.contains("\"trace_id\":\"slow-1\""))
+        .unwrap_or_else(|| panic!("slow-1 not logged: {log}"));
+    let v: serde_json::Value = serde_json::from_str(line).expect("slow log line is JSON");
+    assert_eq!(v["route"], "suggest");
+    assert_eq!(v["query"], "helth insurance");
+    assert_eq!(v["status"].as_u64(), Some(200));
+    assert!(v["total_nanos"].as_u64().unwrap() >= 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The acceptance bit-identity check: with the ring, windows, and slow
+/// log running (they always are), response bodies must be byte-identical
+/// to a server whose engine telemetry is fully disabled — at 1 thread
+/// and at 8.
+#[test]
+fn observability_never_changes_a_suggestion_byte() {
+    let queries = [
+        "helth insurance",
+        "progrm instance",
+        "databse system",
+        "insurence markets",
+    ];
+    for threads in [1usize, 8] {
+        let plain = start(
+            engine_with(threads, Telemetry::disabled()),
+            ServerConfig::default(),
+        );
+        let traced = start(
+            engine_with(threads, Telemetry::with_tracing()),
+            ServerConfig {
+                slow_threshold: Duration::ZERO, // slow-log every request
+                slow_log: Some(std::env::temp_dir().join(format!(
+                    "xclean_bitid_{}_{threads}.jsonl",
+                    std::process::id()
+                ))),
+                ring_capacity: 8, // force ring eviction too
+                ..ServerConfig::default()
+            },
+        );
+        for q in queries {
+            let body = format!("{{\"query\": \"{q}\"}}");
+            let (s1, _, b1) = request(plain.addr, "POST", "/suggest", &[], &body);
+            let (s2, _, b2) = request(traced.addr, "POST", "/suggest", &[], &body);
+            assert_eq!((s1, s2), (200, 200));
+            assert_eq!(
+                b1, b2,
+                "observability changed bytes at {threads} threads: {q}"
+            );
+        }
+        // Batch path too (exercises the engine pool + partition spans).
+        let batch = format!(
+            "{{\"queries\": [{}]}}",
+            queries
+                .iter()
+                .map(|q| format!("\"{q}\""))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let (_, _, b1) = request(plain.addr, "POST", "/suggest", &[], &batch);
+        let (_, _, b2) = request(traced.addr, "POST", "/suggest", &[], &batch);
+        assert_eq!(b1, b2, "batch bytes differ at {threads} threads");
+        plain.stop();
+        traced.stop();
+    }
+}

@@ -1,0 +1,126 @@
+//! Injectable monotonic time.
+//!
+//! The rolling-window aggregates ([`crate::window`]) and the request
+//! ring ([`crate::ring`]) stamp events against a [`Clock`] rather than
+//! reading `Instant::now()` directly, for one reason: tests must be able
+//! to *drive* time. A wall-clock-driven window can only be tested with
+//! sleeps (slow, flaky); a [`ManualClock`] lets a test push 61 seconds
+//! forward in one call and assert the 1-minute wheel rotated.
+//!
+//! Production code uses [`MonotonicClock`], a thin wrapper over
+//! [`Instant`] measuring nanoseconds since the clock's construction.
+//! Nothing here reads the wall clock (`SystemTime`), so nothing in the
+//! observability plane depends on the host's date — the determinism
+//! contract the test suite relies on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A source of monotonic nanoseconds. Epoch is implementation-defined
+/// (construction time for [`MonotonicClock`], zero for [`ManualClock`]);
+/// only differences are meaningful.
+pub trait Clock: std::fmt::Debug + Send + Sync {
+    /// Nanoseconds since the clock's epoch. Never decreases.
+    fn now_nanos(&self) -> u64;
+}
+
+/// A shared clock handle, cheap to clone across worker threads.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// The production clock: nanoseconds since construction, via [`Instant`].
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// A test clock: time moves only when the test says so.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at 0 ns.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// A shared clock frozen at `nanos`.
+    pub fn starting_at(nanos: u64) -> Arc<ManualClock> {
+        let c = ManualClock::new();
+        c.nanos.store(nanos, Ordering::Relaxed);
+        Arc::new(c)
+    }
+
+    /// Advances time by `nanos`.
+    pub fn advance(&self, nanos: u64) {
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Advances time by whole seconds (window tests think in seconds).
+    pub fn advance_secs(&self, secs: u64) {
+        self.advance(secs * 1_000_000_000);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let c = MonotonicClock::new();
+        let a = c.now_nanos();
+        let b = c.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_on_demand() {
+        let c = ManualClock::starting_at(5);
+        assert_eq!(c.now_nanos(), 5);
+        assert_eq!(c.now_nanos(), 5);
+        c.advance(10);
+        assert_eq!(c.now_nanos(), 15);
+        c.advance_secs(2);
+        assert_eq!(c.now_nanos(), 2_000_000_015);
+    }
+
+    #[test]
+    fn clocks_are_object_safe_and_shareable() {
+        let shared: SharedClock = Arc::new(ManualClock::new());
+        let clone = Arc::clone(&shared);
+        std::thread::spawn(move || clone.now_nanos())
+            .join()
+            .unwrap();
+        assert_eq!(shared.now_nanos(), 0);
+    }
+}

@@ -23,11 +23,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod metrics;
+pub mod ring;
 pub mod span;
+pub mod window;
 
-pub use metrics::{Counter, Histogram, HistogramSummary, MetricsRegistry};
+pub use clock::{Clock, ManualClock, MonotonicClock, SharedClock};
+pub use metrics::{escape_label_value, Counter, Histogram, HistogramSummary, MetricsRegistry};
+pub use ring::{RequestRecord, RequestRing};
 pub use span::{SpanGuard, SpanRecord, Tracer};
+pub use window::{RollingWindows, WindowEvent, WindowSnapshot};
 
 /// Canonical metric names used by the engine, shared between the
 /// recording side (`crates/xclean`) and consumers (CLI, tests) so the two
@@ -84,6 +90,61 @@ pub mod names {
     /// Latency histogram: first `suggest` call after open (cold caches,
     /// lazy slab decodes still pending).
     pub const FIRST_QUERY: &str = "xclean_first_query_nanos";
+    /// Rolling-window gauge: requests completed inside the window
+    /// (labelled `window="1m"|"5m"|"15m"`).
+    pub const WINDOW_REQUESTS: &str = "xclean_server_window_requests";
+    /// Rolling-window gauge: 4xx/5xx responses inside the window.
+    pub const WINDOW_ERRORS: &str = "xclean_server_window_errors";
+    /// Rolling-window gauge: requests per second over the window.
+    pub const WINDOW_QPS: &str = "xclean_server_window_qps";
+    /// Rolling-window gauge: error share of requests in the window.
+    pub const WINDOW_ERROR_RATIO: &str = "xclean_server_window_error_ratio";
+    /// Rolling-window gauge: cache hit share in the window.
+    pub const WINDOW_CACHE_HIT_RATIO: &str = "xclean_server_window_cache_hit_ratio";
+    /// Rolling-window gauge: request latency quantile (labelled
+    /// `window` and `quantile`).
+    pub const WINDOW_LATENCY: &str = "xclean_server_window_latency_nanos";
+
+    /// One-line `# HELP` text for a metric name; a generic fallback for
+    /// names registered outside this canonical list (tests, ad hoc).
+    pub fn help_for(name: &str) -> &'static str {
+        match name {
+            n if n == QUERIES => "Queries answered over the engine lifetime.",
+            n if n == SUGGESTIONS => "Suggestions returned (post top-k truncation).",
+            n if n == SUBTREES => "Gating subtrees processed.",
+            n if n == CANDIDATES => "Candidate queries enumerated (with multiplicity).",
+            n if n == RESULT_TYPES => "Distinct result-type computations.",
+            n if n == ENTITIES => "Entity score contributions accumulated.",
+            n if n == POSTINGS_READ => "Postings consumed via next() across all merged lists.",
+            n if n == POSTINGS_SKIPPED => "Postings jumped by skip_to across all merged lists.",
+            n if n == SKIP_CALLS => "skip_to invocations.",
+            n if n == EVICTIONS => "Accumulators evicted by gamma-pruning.",
+            n if n == REJECTED => "Contributions rejected after eviction.",
+            n if n == STAGE_SLOT => "Variant-slot construction latency in nanoseconds.",
+            n if n == STAGE_WALK => "Walk + accumulate phase latency in nanoseconds.",
+            n if n == STAGE_RANK => "Finalise + rank phase latency in nanoseconds.",
+            n if n == STAGE_PARTITION => {
+                "Per-worker scoring partition walk latency in nanoseconds."
+            }
+            n if n == STAGE_TOTAL => "Whole suggest call latency in nanoseconds.",
+            n if n == SERVER_REQUESTS => "HTTP requests served by the suggestion server.",
+            n if n == SERVER_ERRORS => "HTTP responses with a 4xx/5xx status.",
+            n if n == CACHE_HITS => "Response-cache lookups that hit.",
+            n if n == CACHE_MISSES => "Response-cache lookups that missed.",
+            n if n == CACHE_EVICTIONS => "Response-cache entries evicted by LRU pressure.",
+            n if n == SERVER_REQUEST => "Whole HTTP request latency in nanoseconds.",
+            n if n == SNAPSHOT_OPEN => "Snapshot open latency in nanoseconds.",
+            n if n == SNAPSHOT_VALIDATE => "Snapshot validation latency in nanoseconds.",
+            n if n == FIRST_QUERY => "First suggest call after snapshot open, in nanoseconds.",
+            n if n == WINDOW_REQUESTS => "Requests completed inside the rolling window.",
+            n if n == WINDOW_ERRORS => "Error responses inside the rolling window.",
+            n if n == WINDOW_QPS => "Requests per second over the rolling window.",
+            n if n == WINDOW_ERROR_RATIO => "Error share of requests in the rolling window.",
+            n if n == WINDOW_CACHE_HIT_RATIO => "Cache hit share in the rolling window.",
+            n if n == WINDOW_LATENCY => "Request latency quantile over the rolling window.",
+            _ => "XClean metric.",
+        }
+    }
 }
 
 /// The telemetry bundle an engine carries: a span tracer (disabled by

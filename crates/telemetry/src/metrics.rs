@@ -43,8 +43,41 @@ impl Counter {
 }
 
 /// Number of histogram buckets: bucket 0 plus one per power of two up to
-/// `2^63`.
-const HIST_BUCKETS: usize = 64;
+/// `2^63`. Shared with the rolling-window wheels ([`crate::window`]), so
+/// windowed quantiles and lifetime quantiles use one bucket scheme.
+pub(crate) const HIST_BUCKETS: usize = 64;
+
+/// The bucket index holding `value` (0 → 0; v ≥ 1 → ⌊log₂ v⌋ + 1).
+pub(crate) fn log2_bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+}
+
+/// The inclusive upper bound of bucket `i` (what quantiles report).
+pub(crate) fn log2_bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        i if i >= HIST_BUCKETS - 1 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// The `q`-quantile over a plain (non-atomic) bucket array: the upper
+/// bound of the bucket where the cumulative count crosses the rank.
+pub(crate) fn log2_quantile(counts: &[u64; HIST_BUCKETS], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        cum += c;
+        if cum >= rank {
+            return log2_bucket_upper(i);
+        }
+    }
+    log2_bucket_upper(HIST_BUCKETS - 1)
+}
 
 /// A log₂-bucketed histogram of `u64` samples (typically nanoseconds).
 #[derive(Debug)]
@@ -81,17 +114,12 @@ pub struct HistogramSummary {
 
 impl Histogram {
     fn bucket_of(value: u64) -> usize {
-        // 0 → 0; v ≥ 1 → floor(log2 v) + 1, capped at the last bucket.
-        (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+        log2_bucket_of(value)
     }
 
     /// The inclusive upper bound of a bucket (what quantiles report).
     fn bucket_upper(i: usize) -> u64 {
-        match i {
-            0 => 0,
-            i if i >= HIST_BUCKETS - 1 => u64::MAX,
-            i => (1u64 << i) - 1,
-        }
+        log2_bucket_upper(i)
     }
 
     /// Records one sample.
@@ -144,6 +172,22 @@ impl Histogram {
             p99: self.quantile(0.99),
         }
     }
+}
+
+/// Escapes a string for use as a Prometheus label *value*: backslash,
+/// double-quote, and newline must be backslash-escaped per the text
+/// exposition format. Everything else passes through verbatim.
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[derive(Debug, Default)]
@@ -211,22 +255,48 @@ impl MetricsRegistry {
     }
 
     /// Prometheus text-format snapshot: counters as `counter` metrics,
-    /// histograms as `summary` metrics with p50/p95/p99 quantile labels.
+    /// histograms in native `histogram` exposition — cumulative
+    /// `_bucket{le="…"}` series ending at `le="+Inf"`, plus `_sum` and
+    /// `_count`. Series are emitted in sorted name order (the registries
+    /// are `BTreeMap`s) so scrapes are deterministic, and every metric is
+    /// preceded by paired `# HELP` / `# TYPE` lines.
     pub fn metrics_text(&self) -> String {
         let mut out = String::new();
         for (name, c) in self.inner.counters.read().expect("lock").iter() {
-            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+            out.push_str(&format!(
+                "# HELP {name} {}\n# TYPE {name} counter\n{name} {}\n",
+                crate::names::help_for(name),
+                c.get()
+            ));
         }
         for (name, h) in self.inner.histograms.read().expect("lock").iter() {
-            let s = h.summary();
             out.push_str(&format!(
-                "# TYPE {name} summary\n\
-                 {name}{{quantile=\"0.5\"}} {}\n\
-                 {name}{{quantile=\"0.95\"}} {}\n\
-                 {name}{{quantile=\"0.99\"}} {}\n\
-                 {name}_sum {}\n\
-                 {name}_count {}\n",
-                s.p50, s.p95, s.p99, s.sum, s.count
+                "# HELP {name} {}\n# TYPE {name} histogram\n",
+                crate::names::help_for(name)
+            ));
+            let counts: Vec<u64> = h
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect();
+            // Emit cumulative buckets up to the highest occupied one;
+            // `+Inf` (required last bucket) always carries the total.
+            let max_used = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+            let mut cum = 0u64;
+            for (i, &c) in counts.iter().enumerate().take(max_used + 1) {
+                cum += c;
+                if i == HIST_BUCKETS - 1 {
+                    break; // the final bucket is only ever shown as +Inf
+                }
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                    log2_bucket_upper(i)
+                ));
+            }
+            let total: u64 = counts.iter().sum();
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"+Inf\"}} {total}\n{name}_sum {}\n{name}_count {total}\n",
+                h.sum()
             ));
         }
         out
@@ -351,10 +421,114 @@ mod tests {
         let text = r.metrics_text();
         assert!(text.contains("# TYPE xclean_queries_total counter"));
         assert!(text.contains("xclean_queries_total 2"));
-        assert!(text.contains("# TYPE xclean_stage_walk_nanos summary"));
-        assert!(text.contains("xclean_stage_walk_nanos{quantile=\"0.5\"} 1023"));
+        assert!(text.contains("# TYPE xclean_stage_walk_nanos histogram"));
+        // 700 lands in bucket [512, 1024): cumulative count 1 at le=1023.
+        assert!(text.contains("xclean_stage_walk_nanos_bucket{le=\"1023\"} 1"));
+        assert!(text.contains("xclean_stage_walk_nanos_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("xclean_stage_walk_nanos_sum 700"));
         assert!(text.contains("xclean_stage_walk_nanos_count 1"));
+    }
+
+    /// Every `# HELP` line is immediately followed by the matching
+    /// `# TYPE` line, and every series line belongs to the most recent
+    /// `# TYPE` metric family.
+    #[test]
+    fn prometheus_help_type_pairing() {
+        let r = MetricsRegistry::default();
+        r.counter("xclean_queries_total").inc();
+        r.histogram("xclean_stage_walk_nanos").record(7);
+        let text = r.metrics_text();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut current_family: Option<&str> = None;
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().unwrap();
+                assert!(
+                    rest.len() > name.len() + 1,
+                    "HELP line must carry text: {line}"
+                );
+                let next = lines.get(i + 1).unwrap_or(&"");
+                assert!(
+                    next.starts_with(&format!("# TYPE {name} ")),
+                    "HELP for {name} not followed by its TYPE: {next}"
+                );
+                current_family = Some(name);
+            } else if !line.starts_with('#') && !line.is_empty() {
+                let family = current_family.expect("series before any TYPE");
+                let series = line.split(['{', ' ']).next().unwrap();
+                assert!(
+                    series == family
+                        || series
+                            .strip_prefix(family)
+                            .is_some_and(|s| matches!(s, "_bucket" | "_sum" | "_count")),
+                    "series {series} outside family {family}"
+                );
+            }
+        }
+    }
+
+    /// Series come out in deterministic sorted order: two snapshots of
+    /// the same registry are byte-identical, and counter names appear in
+    /// lexicographic order.
+    #[test]
+    fn prometheus_sorted_deterministic_order() {
+        let r = MetricsRegistry::default();
+        // Register deliberately out of order.
+        r.counter("xclean_zz_total").inc();
+        r.counter("xclean_aa_total").inc();
+        r.histogram("xclean_mm_nanos").record(1);
+        let a = r.metrics_text();
+        let b = r.metrics_text();
+        assert_eq!(a, b);
+        let aa = a.find("xclean_aa_total").unwrap();
+        let zz = a.find("xclean_zz_total").unwrap();
+        assert!(aa < zz, "counters must be sorted by name");
+    }
+
+    /// Histogram `_bucket` series are cumulative (non-decreasing in `le`
+    /// order), end at `le="+Inf"`, and `+Inf` equals `_count`.
+    #[test]
+    fn prometheus_histogram_bucket_consistency() {
+        let r = MetricsRegistry::default();
+        let h = r.histogram("xclean_stage_walk_nanos");
+        for v in [0u64, 1, 3, 700, 700, 5000] {
+            h.record(v);
+        }
+        let text = r.metrics_text();
+        let mut prev_cum = 0u64;
+        let mut inf_seen = false;
+        let mut bucket_lines = 0;
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("xclean_stage_walk_nanos_bucket{le=\"") else {
+                continue;
+            };
+            assert!(!inf_seen, "+Inf must be the last bucket");
+            bucket_lines += 1;
+            let (le, count) = rest.split_once("\"} ").unwrap();
+            let cum: u64 = count.parse().unwrap();
+            assert!(cum >= prev_cum, "buckets must be cumulative: {line}");
+            prev_cum = cum;
+            if le == "+Inf" {
+                inf_seen = true;
+                assert_eq!(cum, 6, "+Inf bucket must hold every sample");
+            } else {
+                le.parse::<u64>().expect("finite le must be an integer");
+            }
+        }
+        assert!(inf_seen, "histogram exposition must end at +Inf");
+        assert!(bucket_lines >= 2);
+        assert!(text.contains("xclean_stage_walk_nanos_count 6"));
+        // 0 + 1 + 3 + 700 + 700 + 5000
+        assert!(text.contains("xclean_stage_walk_nanos_sum 6404"));
+    }
+
+    #[test]
+    fn label_value_escaping() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(escape_label_value("q=\"x\\y\nz\""), "q=\\\"x\\\\y\\nz\\\"");
     }
 
     #[test]

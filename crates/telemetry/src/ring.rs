@@ -1,0 +1,275 @@
+//! A bounded, lock-striped ring buffer of completed request records.
+//!
+//! The serving layer pushes one [`RequestRecord`] per finished HTTP
+//! request — success or error — and `GET /debug/requests` reads the most
+//! recent ones back. Design constraints:
+//!
+//! - **Bounded**: the ring holds at most `capacity` records; old records
+//!   are overwritten, never accumulated. Memory is O(capacity) for the
+//!   process lifetime.
+//! - **Lock-striped**: records land in `stripes` independent
+//!   `Mutex<VecDeque>` shards selected by a global sequence number, so
+//!   concurrent workers rarely contend on the same lock and never
+//!   serialise on one. Reads (rare, debug-only) lock each stripe in turn
+//!   and merge by sequence number.
+//! - **Record-only**: nothing on the suggestion path reads the ring; a
+//!   push is the only interaction. The bit-identity contract of the
+//!   engine is therefore untouchable from here by construction.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json_escape;
+
+/// One completed request, as the observability plane remembers it.
+#[derive(Debug, Clone, Default)]
+pub struct RequestRecord {
+    /// Monotonic completion sequence number (assigned by the ring).
+    pub seq: u64,
+    /// The request's trace ID (inbound `X-Request-Id` or generated).
+    pub trace_id: String,
+    /// Coarse route tag (`suggest`, `suggest_batch`, `metrics`, …).
+    pub route: &'static str,
+    /// Normalized query text (empty for non-suggest routes).
+    pub query: String,
+    /// HTTP status of the response.
+    pub status: u16,
+    /// Response-cache outcome, when the route consults the cache.
+    pub cache_hit: Option<bool>,
+    /// Variant-slot construction nanos (0 on cache hits / error paths).
+    pub slot_nanos: u64,
+    /// Walk + accumulate nanos.
+    pub walk_nanos: u64,
+    /// Finalise + rank nanos.
+    pub rank_nanos: u64,
+    /// Whole-request nanos (parse → response rendered), clock-derived.
+    pub total_nanos: u64,
+    /// Candidate queries enumerated.
+    pub candidates: u64,
+    /// Entity score contributions accumulated.
+    pub entities: u64,
+    /// Suggestions returned.
+    pub suggestions: u64,
+    /// Arrival time in clock nanos (see [`crate::clock::Clock`]).
+    pub arrived_nanos: u64,
+}
+
+impl RequestRecord {
+    /// Whether the response status counts as an error.
+    pub fn is_error(&self) -> bool {
+        self.status >= 400
+    }
+
+    /// The record as one compact JSON object — the `/debug/requests`
+    /// item shape and the slow-query-log line shape (one per line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160 + self.query.len());
+        out.push_str(&format!(
+            "{{\"seq\":{},\"trace_id\":\"{}\",\"route\":\"{}\",\"query\":\"{}\",\"status\":{}",
+            self.seq,
+            json_escape(&self.trace_id),
+            json_escape(self.route),
+            json_escape(&self.query),
+            self.status
+        ));
+        match self.cache_hit {
+            Some(hit) => out.push_str(&format!(
+                ",\"cache\":\"{}\"",
+                if hit { "hit" } else { "miss" }
+            )),
+            None => out.push_str(",\"cache\":null"),
+        }
+        out.push_str(&format!(
+            ",\"stages\":{{\"slot_nanos\":{},\"walk_nanos\":{},\"rank_nanos\":{}}},\
+             \"total_nanos\":{},\"candidates\":{},\"entities\":{},\"suggestions\":{},\
+             \"arrived_nanos\":{}}}",
+            self.slot_nanos,
+            self.walk_nanos,
+            self.rank_nanos,
+            self.total_nanos,
+            self.candidates,
+            self.entities,
+            self.suggestions,
+            self.arrived_nanos
+        ));
+        out
+    }
+}
+
+/// Bounded lock-striped ring of [`RequestRecord`]s.
+#[derive(Debug)]
+pub struct RequestRing {
+    stripes: Vec<Mutex<VecDeque<RequestRecord>>>,
+    per_stripe: usize,
+    next_seq: AtomicU64,
+}
+
+impl RequestRing {
+    /// A ring retaining the most recent ~`capacity` records across
+    /// `stripes` shards (both clamped to ≥ 1; per-stripe capacity is
+    /// rounded up, so effective capacity is `per_stripe * stripes`).
+    pub fn new(capacity: usize, stripes: usize) -> Self {
+        let stripes = stripes.max(1);
+        let per_stripe = capacity.max(1).div_ceil(stripes);
+        RequestRing {
+            stripes: (0..stripes)
+                .map(|_| Mutex::new(VecDeque::with_capacity(per_stripe)))
+                .collect(),
+            per_stripe,
+            next_seq: AtomicU64::new(1),
+        }
+    }
+
+    /// Total records the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.per_stripe * self.stripes.len()
+    }
+
+    /// Records one completed request; assigns and returns its sequence
+    /// number. Evicts the oldest record in the chosen stripe when full.
+    pub fn push(&self, mut record: RequestRecord) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        record.seq = seq;
+        let stripe = &self.stripes[(seq as usize) % self.stripes.len()];
+        let mut q = stripe.lock().expect("ring stripe poisoned");
+        if q.len() == self.per_stripe {
+            q.pop_front();
+        }
+        q.push_back(record);
+        seq
+    }
+
+    /// Records pushed over the ring's lifetime (≥ `len()`).
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed) - 1
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("ring stripe poisoned").len())
+            .sum()
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `n` most recent records, newest first.
+    pub fn recent(&self, n: usize) -> Vec<RequestRecord> {
+        let mut all: Vec<RequestRecord> = Vec::new();
+        for stripe in &self.stripes {
+            all.extend(stripe.lock().expect("ring stripe poisoned").iter().cloned());
+        }
+        all.sort_by_key(|r| std::cmp::Reverse(r.seq));
+        all.truncate(n);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(trace: &str, total: u64) -> RequestRecord {
+        RequestRecord {
+            trace_id: trace.to_string(),
+            route: "suggest",
+            query: "helth insurance".to_string(),
+            status: 200,
+            cache_hit: Some(false),
+            slot_nanos: 10,
+            walk_nanos: 20,
+            rank_nanos: 5,
+            total_nanos: total,
+            candidates: 3,
+            entities: 7,
+            suggestions: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn push_assigns_increasing_seq_and_recent_is_newest_first() {
+        let ring = RequestRing::new(8, 2);
+        for i in 0..5 {
+            assert_eq!(ring.push(record(&format!("t{i}"), i)), i + 1);
+        }
+        assert_eq!(ring.len(), 5);
+        assert_eq!(ring.total_recorded(), 5);
+        let recent = ring.recent(3);
+        let traces: Vec<&str> = recent.iter().map(|r| r.trace_id.as_str()).collect();
+        assert_eq!(traces, ["t4", "t3", "t2"]);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_evicts_oldest() {
+        let ring = RequestRing::new(4, 2);
+        assert_eq!(ring.capacity(), 4);
+        for i in 0..100 {
+            ring.push(record(&format!("t{i}"), i));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.total_recorded(), 100);
+        // The survivors are the 4 newest (stripes interleave, so exactly
+        // the last 2 of each parity class).
+        let seqs: Vec<u64> = ring.recent(10).iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, [100, 99, 98, 97]);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_lose_count() {
+        let ring = RequestRing::new(1024, 8);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        ring.push(record(&format!("w{t}-{i}"), i));
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.total_recorded(), 800);
+        assert_eq!(ring.len(), 800);
+        // Sequence numbers are unique.
+        let mut seqs: Vec<u64> = ring.recent(800).iter().map(|r| r.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 800);
+    }
+
+    #[test]
+    fn json_shape_escapes_and_orders_fields() {
+        let mut r = record("abc\"123", 1234);
+        r.query = "a\nb".to_string();
+        r.seq = 9;
+        let json = r.to_json();
+        assert!(
+            json.starts_with("{\"seq\":9,\"trace_id\":\"abc\\\"123\""),
+            "{json}"
+        );
+        assert!(json.contains("\"query\":\"a\\nb\""), "{json}");
+        assert!(json.contains("\"cache\":\"miss\""), "{json}");
+        assert!(
+            json.contains("\"stages\":{\"slot_nanos\":10,\"walk_nanos\":20,\"rank_nanos\":5}"),
+            "{json}"
+        );
+        assert!(json.contains("\"total_nanos\":1234"), "{json}");
+        let mut none = record("t", 1);
+        none.cache_hit = None;
+        assert!(none.to_json().contains("\"cache\":null"));
+    }
+
+    #[test]
+    fn degenerate_sizes_are_clamped() {
+        let ring = RequestRing::new(0, 0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(record("a", 1));
+        ring.push(record("b", 2));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.recent(5)[0].trace_id, "b");
+    }
+}

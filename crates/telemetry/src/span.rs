@@ -121,6 +121,43 @@ impl Tracer {
         }
     }
 
+    /// The id of the innermost open span *on the calling thread*, if any.
+    /// Capture this before handing work to another thread and pass it to
+    /// [`Tracer::span_under`] there, so a request's spans form one tree
+    /// even across the worker pool (the stack itself is thread-local and
+    /// cannot see across threads).
+    pub fn current_span_id(&self) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        SPAN_STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|&&(t, _)| t == inner.tracer_id)
+                .map(|&(_, id)| id)
+        })
+    }
+
+    /// Opens a span with an explicit parent (typically a span id captured
+    /// on another thread via [`Tracer::current_span_id`]). The span still
+    /// joins this thread's stack, so spans nested under it chain normally.
+    pub fn span_under(&self, name: &'static str, parent: Option<u64>) -> SpanGuard<'_> {
+        self.start_under(name, None, parent)
+    }
+
+    /// [`Tracer::span_under`] with a lazily-built detail string.
+    pub fn span_under_with(
+        &self,
+        name: &'static str,
+        parent: Option<u64>,
+        detail: impl FnOnce() -> String,
+    ) -> SpanGuard<'_> {
+        if self.inner.is_some() {
+            self.start_under(name, Some(detail()), parent)
+        } else {
+            SpanGuard { active: None }
+        }
+    }
+
     fn start(&self, name: &'static str, detail: Option<String>) -> SpanGuard<'_> {
         let Some(inner) = &self.inner else {
             return SpanGuard { active: None };
@@ -133,6 +170,43 @@ impl Tracer {
                 .rev()
                 .find(|&&(t, _)| t == inner.tracer_id)
                 .map(|&(_, id)| id);
+            s.push((inner.tracer_id, id));
+            parent
+        });
+        SpanGuard {
+            active: Some(ActiveSpan {
+                inner,
+                id,
+                parent,
+                name,
+                detail,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    fn start_under(
+        &self,
+        name: &'static str,
+        detail: Option<String>,
+        explicit_parent: Option<u64>,
+    ) -> SpanGuard<'_> {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { active: None };
+        };
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        // The explicit parent wins over whatever is open on this thread
+        // (usually nothing — the point is adoption across threads), but
+        // the new span still joins the local stack so its own children
+        // parent under it.
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = explicit_parent.or_else(|| {
+                s.iter()
+                    .rev()
+                    .find(|&&(t, _)| t == inner.tracer_id)
+                    .map(|&(_, id)| id)
+            });
             s.push((inner.tracer_id, id));
             parent
         });
@@ -319,6 +393,40 @@ mod tests {
         assert_ne!(spans[0].thread, spans[1].thread);
         // Cross-thread spans have no parent (the stack is thread-local).
         assert!(spans.iter().all(|s| s.parent.is_none()));
+    }
+
+    #[test]
+    fn span_under_adopts_cross_thread_parent() {
+        let t = Tracer::enabled();
+        {
+            let _req = t.span("request");
+            let parent = t.current_span_id();
+            assert!(parent.is_some());
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let _w = t.span_under("partition", parent);
+                    let _leaf = t.span("partition_leaf"); // chains under partition
+                });
+            });
+        }
+        let spans = t.finished_spans();
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        let req = by_name("request");
+        let part = by_name("partition");
+        assert_eq!(part.parent, Some(req.id), "cross-thread adoption");
+        assert_eq!(by_name("partition_leaf").parent, Some(part.id));
+        assert_ne!(req.thread, part.thread);
+    }
+
+    #[test]
+    fn span_under_on_disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert_eq!(t.current_span_id(), None);
+        {
+            let _s = t.span_under("x", Some(7));
+            let _d = t.span_under_with("y", Some(7), || panic!("must not run"));
+        }
+        assert!(t.finished_spans().is_empty());
     }
 
     #[test]

@@ -364,14 +364,22 @@ fn accumulate_parallel(
     telemetry: &Telemetry,
 ) -> (Vec<(CandidateKey, Accumulator)>, RunStats) {
     let part_hist = telemetry.metrics().histogram(names::STAGE_PARTITION);
+    // The span stack is thread-local, so partition spans opened on worker
+    // threads cannot see the enclosing suggest/request spans. Capture the
+    // parent id here (on the request's thread) and adopt it explicitly —
+    // the whole request then traces as one tree.
+    let parent_span = telemetry.tracer().current_span_id();
     let results: Vec<(Vec<(CandidateKey, Accumulator)>, RunStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..parts)
             .map(|part| {
                 let part_hist = std::sync::Arc::clone(&part_hist);
                 scope.spawn(move || {
-                    let _span = telemetry
-                        .tracer()
-                        .span_with("score_partition", || format!("partition {part}/{parts}"));
+                    let _span =
+                        telemetry
+                            .tracer()
+                            .span_under_with("score_partition", parent_span, || {
+                                format!("partition {part}/{parts}")
+                            });
                     let part_start = Instant::now();
                     let mut stats = RunStats::default();
                     let table =

@@ -358,6 +358,25 @@ impl XCleanEngine {
         self.suggest_keywords(&keywords)
     }
 
+    /// [`XCleanEngine::suggest`] under a request trace ID: opens a root
+    /// `request` span carrying the ID, so every stage span — including
+    /// `score_partition` spans on pool worker threads — hangs off one
+    /// tree findable by trace ID in exported traces. The observability is
+    /// record-only: the response is bit-identical to plain `suggest`.
+    pub fn suggest_traced(&self, query: &str, trace_id: &str) -> SuggestResponse {
+        let keywords = self.parse_query(query);
+        self.suggest_keywords_traced(&keywords, trace_id)
+    }
+
+    /// [`XCleanEngine::suggest_traced`] for already-tokenised queries.
+    pub fn suggest_keywords_traced(&self, keywords: &[String], trace_id: &str) -> SuggestResponse {
+        let _request_span = self
+            .telemetry
+            .tracer()
+            .span_with("request", || trace_id.to_string());
+        self.suggest_keywords_with(keywords, &self.config)
+    }
+
     /// Answers a whole workload, one [`SuggestResponse`] per query in
     /// input order.
     ///
@@ -384,6 +403,10 @@ impl XCleanEngine {
             .telemetry
             .tracer()
             .span_with("suggest_batch", || format!("{} queries", queries.len()));
+        // Pool workers run on their own threads, where the thread-local
+        // span stack cannot see `suggest_batch`; each worker adopts it
+        // explicitly so the whole batch traces as one tree.
+        let batch_parent = self.telemetry.tracer().current_span_id();
         let workers = self.config.num_threads.min(queries.len()).max(1);
         let mut per_query = self.config.clone();
         per_query.num_threads = (self.config.num_threads / workers).max(1);
@@ -410,6 +433,10 @@ impl XCleanEngine {
                 let res_tx = res_tx.clone();
                 let per_query = &per_query;
                 scope.spawn(move || {
+                    let _worker_span = self
+                        .telemetry
+                        .tracer()
+                        .span_under("batch_worker", batch_parent);
                     while let Ok((start, batch)) = job_rx.recv() {
                         let responses: Vec<SuggestResponse> = batch
                             .iter()
@@ -877,6 +904,66 @@ mod tests {
             },
         );
         assert_ne!(base.fingerprint(), other_corpus.fingerprint());
+    }
+
+    #[test]
+    fn traced_suggest_forms_one_span_tree() {
+        let e = XCleanEngine::from_shared(
+            engine().corpus_shared(),
+            XCleanConfig {
+                epsilon: 2,
+                num_threads: 4,
+                ..Default::default()
+            },
+        )
+        .with_telemetry(Telemetry::with_tracing());
+        let traced = e.suggest_traced("helth insurance", "trace-abc123");
+        assert_same_responses(&engine().suggest("helth insurance"), &traced);
+        let spans = e.tracer().finished_spans();
+        let root = spans.iter().find(|s| s.name == "request").unwrap();
+        assert_eq!(root.parent, None);
+        assert_eq!(root.detail.as_deref(), Some("trace-abc123"));
+        // The partitioned scorers ran on worker threads…
+        let parts: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "score_partition")
+            .collect();
+        assert_eq!(parts.len(), 4, "{spans:?}");
+        assert!(parts.iter().any(|s| s.thread != root.thread));
+        // …yet every span reaches the request root through its parents.
+        let parent_of: std::collections::HashMap<u64, Option<u64>> =
+            spans.iter().map(|s| (s.id, s.parent)).collect();
+        for s in &spans {
+            let mut cur = s.id;
+            while let Some(&Some(p)) = parent_of.get(&cur) {
+                cur = p;
+            }
+            assert_eq!(cur, root.id, "span {} detached from the tree", s.name);
+        }
+    }
+
+    #[test]
+    fn batch_spans_form_one_tree() {
+        let e = XCleanEngine::from_shared(
+            engine().corpus_shared(),
+            XCleanConfig {
+                num_threads: 4,
+                batch_size: 1,
+                ..Default::default()
+            },
+        )
+        .with_telemetry(Telemetry::with_tracing());
+        e.suggest_many(&["helth insurance", "health policy", "smith", "jones"]);
+        let spans = e.tracer().finished_spans();
+        let batch = spans.iter().find(|s| s.name == "suggest_batch").unwrap();
+        for s in spans.iter().filter(|s| s.name == "suggest") {
+            let worker = spans
+                .iter()
+                .find(|w| Some(w.id) == s.parent)
+                .expect("suggest span has a parent");
+            assert_eq!(worker.name, "batch_worker");
+            assert_eq!(worker.parent, Some(batch.id));
+        }
     }
 
     #[test]

@@ -175,13 +175,13 @@ fn chrome_trace_covers_the_pipeline() {
 }
 
 #[test]
-fn prometheus_text_has_counter_and_summary_markers() {
+fn prometheus_text_has_counter_and_histogram_markers() {
     let engine = engine_with(1, Telemetry::disabled());
     engine.suggest("database systems");
     let text = engine.metrics().metrics_text();
     assert!(text.contains("# TYPE xclean_queries_total counter"));
     assert!(text.contains("xclean_queries_total 1"));
-    assert!(text.contains("# TYPE xclean_stage_total_nanos summary"));
-    assert!(text.contains("xclean_stage_total_nanos{quantile=\"0.99\"}"));
+    assert!(text.contains("# TYPE xclean_stage_total_nanos histogram"));
+    assert!(text.contains("xclean_stage_total_nanos_bucket{le=\"+Inf\"} 1"));
     assert!(text.contains("xclean_stage_total_nanos_count 1"));
 }
