@@ -17,7 +17,7 @@ use std::time::Duration;
 use xclean::{RunStats, Semantics, Telemetry, XCleanConfig, XCleanEngine};
 use xclean_datagen::{generate_dblp, generate_inex, DblpConfig, InexConfig};
 use xclean_index::{storage, CorpusIndex, OpenOptions, SlabMode};
-use xclean_server::{ServerConfig, SuggestServer};
+use xclean_server::{AcceptModel, ServerConfig, SuggestServer};
 use xclean_xmltree::{parse_document, to_xml, TreeStats};
 
 use crate::args::{ArgError, Args};
@@ -71,6 +71,7 @@ USAGE:
              --metrics-json appends the engine's aggregated counters and
              p50/p95/p99 stage histograms as one JSON line)
     xclean serve <index.xci> [--host H] [--port P] [--threads N]
+            [--event-loop | --thread-pool] [--max-connections N]
             [--mmap | --no-mmap]
             [--cache-entries N] [--cache-shards N] [--max-body-bytes N]
             [--k N] [--beta B] [--gamma G] [--epsilon E] [--min-depth D]
@@ -84,6 +85,11 @@ USAGE:
              than --slow-ms (default 100) are logged as JSON lines to
              --slow-log (default stderr); Ctrl-C drains in-flight
              requests, then flushes --trace-out / --metrics-json)
+            (--event-loop serves HTTP/1.1 keep-alive connections from a
+             nonblocking epoll loop — the default on Linux, up to
+             --max-connections sockets; --thread-pool falls back to
+             one-request-per-connection blocking accept, the only model
+             on other platforms)
             (v2 snapshots are served straight from the snapshot bytes:
              by default they are mmap-ed when possible; --mmap requires
              the mapping, --no-mmap forces an in-memory copy)
@@ -557,11 +563,14 @@ fn cmd_suggest_batch(engine: &XCleanEngine, path: &str, json: bool) -> Result<Cm
 /// SIGINT/SIGTERM triggers a graceful drain; the returned lines are the
 /// post-drain summary.
 fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
-    let args = Args::parse(raw, &["mmap", "no-mmap"])?;
+    let args = Args::parse(raw, &["mmap", "no-mmap", "event-loop", "thread-pool"])?;
     args.reject_unknown(&[
         "host",
         "port",
         "threads",
+        "event-loop",
+        "thread-pool",
+        "max-connections",
         "mmap",
         "no-mmap",
         "cache-entries",
@@ -587,8 +596,27 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     let (config, semantics) = tuning_from_args(&args)?;
     let defaults = ServerConfig::default();
     let slow_ms: u64 = args.get_parsed("slow-ms", 100u64)?;
+    if args.has_flag("event-loop") && args.has_flag("thread-pool") {
+        return Err(ArgError(
+            "--event-loop and --thread-pool are mutually exclusive".into(),
+        ));
+    }
+    if args.has_flag("event-loop") && !cfg!(target_os = "linux") {
+        return Err(ArgError(
+            "--event-loop requires Linux (epoll); use --thread-pool".into(),
+        ));
+    }
+    // The epoll loop is the default wherever it exists; elsewhere the
+    // blocking thread-pool accept path is the only model.
+    let accept_model = if args.has_flag("thread-pool") || !cfg!(target_os = "linux") {
+        AcceptModel::ThreadPool
+    } else {
+        AcceptModel::EventLoop
+    };
     let server_config = ServerConfig {
         threads: args.get_parsed("threads", defaults.threads)?,
+        accept_model,
+        max_connections: args.get_parsed("max-connections", defaults.max_connections)?,
         cache_entries: args.get_parsed("cache-entries", defaults.cache_entries)?,
         cache_shards: args.get_parsed("cache-shards", defaults.cache_shards)?,
         max_body_bytes: args.get_parsed("max-body-bytes", defaults.max_body_bytes)?,
@@ -596,6 +624,9 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         slow_log: args.get("slow-log").map(std::path::PathBuf::from),
         ..defaults
     };
+    if server_config.max_connections == 0 {
+        return Err(ArgError("--max-connections must be at least 1".into()));
+    }
     if server_config.threads == 0 {
         return Err(ArgError("--threads must be at least 1".into()));
     }
@@ -660,7 +691,11 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         load_report.validate_nanos as f64 / 1e6,
     );
     println!(
-        "xclean-server listening on http://{bound} — {} worker(s), cache {} entries / {} shard(s), fingerprint {:016x}",
+        "xclean-server listening on http://{bound} — {}, {} worker(s), cache {} entries / {} shard(s), fingerprint {:016x}",
+        match accept_model {
+            AcceptModel::EventLoop => "epoll event loop (keep-alive)",
+            AcceptModel::ThreadPool => "thread-pool accept",
+        },
         args.get_parsed("threads", defaults.threads)?,
         args.get_parsed("cache-entries", defaults.cache_entries)?,
         args.get_parsed("cache-shards", defaults.cache_shards)?,
@@ -678,9 +713,12 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     let report = server.run().map_err(|e| ArgError(format!("server: {e}")))?;
 
     let mut lines = vec![format!(
-        "drained: {} request(s), {} error(s); cache {} hit(s) / {} miss(es) / {} eviction(s)",
+        "drained: {} request(s), {} error(s) over {} connection(s) ({} keep-alive reuse); \
+         cache {} hit(s) / {} miss(es) / {} eviction(s)",
         report.requests,
         report.errors,
+        report.connections,
+        report.keepalive_reuse,
         report.cache_hits,
         report.cache_misses,
         report.cache_evictions
@@ -1140,6 +1178,22 @@ mod tests {
         assert!(out.lines[0].contains("--threads"), "{:?}", out.lines);
         let out = run(argv(&["serve", &idx, "--port", "notaport"]));
         assert_eq!(out.code, 2);
+        // Contradictory accept models and a zero connection cap are
+        // rejected before binding.
+        let out = run(argv(&["serve", &idx, "--event-loop", "--thread-pool"]));
+        assert_eq!(out.code, 2);
+        assert!(
+            out.lines[0].contains("mutually exclusive"),
+            "{:?}",
+            out.lines
+        );
+        let out = run(argv(&["serve", &idx, "--max-connections", "0"]));
+        assert_eq!(out.code, 2);
+        assert!(
+            out.lines[0].contains("--max-connections"),
+            "{:?}",
+            out.lines
+        );
         // Contradictory slab modes are rejected before binding.
         let out = run(argv(&["serve", &idx, "--mmap", "--no-mmap"]));
         assert_eq!(out.code, 2);

@@ -286,6 +286,12 @@ pub struct StatuszInfo {
     pub requests_total: u64,
     /// Lifetime error responses.
     pub errors_total: u64,
+    /// Lifetime TCP connections accepted.
+    pub connections_opened: u64,
+    /// Lifetime TCP connections finished.
+    pub connections_closed: u64,
+    /// Requests served on an already-used keep-alive connection.
+    pub keepalive_reuse: u64,
 }
 
 /// Renders the `GET /statusz` text dashboard.
@@ -306,6 +312,14 @@ pub fn render_statusz(obs: &Observability, info: &StatuszInfo) -> String {
     out.push_str(&format!(
         "requests_total: {}  errors_total: {}\n",
         info.requests_total, info.errors_total
+    ));
+    out.push_str(&format!(
+        "connections: open={} opened={} closed={} keepalive_reuse={}\n",
+        info.connections_opened
+            .saturating_sub(info.connections_closed),
+        info.connections_opened,
+        info.connections_closed,
+        info.keepalive_reuse
     ));
     out.push_str(&format!(
         "slow_threshold_ms: {}\n\n",
@@ -472,9 +486,16 @@ mod tests {
                 cache_capacity: 64,
                 requests_total: 1,
                 errors_total: 0,
+                connections_opened: 5,
+                connections_closed: 3,
+                keepalive_reuse: 7,
             },
         );
         assert!(text.contains("uptime_secs: 3"), "{text}");
+        assert!(
+            text.contains("connections: open=2 opened=5 closed=3 keepalive_reuse=7"),
+            "{text}"
+        );
         assert!(
             text.contains("engine_fingerprint: 00000000deadbeef"),
             "{text}"

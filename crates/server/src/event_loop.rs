@@ -1,0 +1,504 @@
+//! The nonblocking epoll accept path (DESIGN.md §13).
+//!
+//! One loop thread owns the listener, every connected socket, and the
+//! [`crate::conn::Connection`] state machine of each; the existing
+//! worker pool keeps doing the CPU-bound part (`route` → engine →
+//! cache). The split is deliberate: suggestion scoring can take
+//! milliseconds, and running it on the loop thread would head-of-line
+//! block every other connection, while I/O on the loop costs
+//! microseconds. Requests flow loop → workers over an unbounded
+//! channel (backpressure lives in the per-connection pipeline cap and
+//! the `max_connections` accept cap, not in a queue bound); scored
+//! replies flow back over a completion channel, and the worker bumps an
+//! `eventfd` so the loop wakes from `epoll_wait` to flush them.
+//!
+//! Contracts preserved from the thread-pool path, verified by the
+//! conformance suite:
+//!
+//! - every response carries `X-Request-Id` (inbound echoed, else
+//!   generated — all IDs come from the loop thread's lane, so they stay
+//!   deterministic under a fixed seed);
+//! - [`crate::server::observe_reply`] remains the single bookkeeping
+//!   choke point, called in *wire order* as responses flush (the tokens
+//!   [`crate::conn::Connection::complete`] returns);
+//! - suggestion bodies are byte-identical to the thread-pool path —
+//!   both call the same `route`/cache/engine stack.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+use crate::conn::{ConnEvent, Connection, DeadlineAction, Response};
+use crate::debug::TraceIdGen;
+use crate::epoll::{Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::http::{render_response, HttpError, Request};
+use crate::server::{observe_reply, reply_for, route, Handler, Reply, ServerConfig};
+use crate::shutdown::ShutdownFlag;
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+/// Readiness events drained per `epoll_wait`.
+const WAIT_CAPACITY: usize = 256;
+/// Loop tick: the upper bound on shutdown-detection and deadline-scan
+/// latency when no I/O is happening.
+const TICK_MS: i32 = 50;
+/// Deadline scans are amortised to at most one per this many nanos.
+const SCAN_INTERVAL_NANOS: u64 = 100_000_000;
+
+/// Per-response observability payload threaded through the connection
+/// state machine and recorded — in wire order — when the response bytes
+/// are flushed.
+struct ObsToken {
+    reply: Reply,
+    trace_id: String,
+    arrived: u64,
+}
+
+/// One live client socket.
+struct Conn {
+    stream: TcpStream,
+    machine: Connection<ObsToken>,
+    /// `(read, write)` interest currently registered with epoll.
+    registered: (bool, bool),
+}
+
+/// A parsed request on its way to the worker pool.
+struct Job {
+    conn_token: u64,
+    seq: u64,
+    request: Request,
+    trace_id: String,
+    arrived: u64,
+}
+
+/// A routed reply on its way back to the loop.
+struct Done {
+    conn_token: u64,
+    seq: u64,
+    reply: Reply,
+    trace_id: String,
+    arrived: u64,
+}
+
+/// Runs the event loop until drain completes. The worker pool lives
+/// inside; the caller (`SuggestServer::run`) owns report assembly.
+pub(crate) fn run_event_loop(
+    listener: &TcpListener,
+    handler: &Arc<Handler>,
+    config: &ServerConfig,
+    shutdown: &ShutdownFlag,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let epoll = Epoll::new()?;
+    let wake = Arc::new(WakeFd::new()?);
+    epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+    epoll.add(wake.raw_fd(), EPOLLIN, TOKEN_WAKE)?;
+
+    let (job_tx, job_rx) = channel::<Job>();
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let (done_tx, done_rx) = channel::<Done>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..config.threads.max(1) {
+            let rx = Arc::clone(&job_rx);
+            let handler = Arc::clone(handler);
+            let done = done_tx.clone();
+            let wake = Arc::clone(&wake);
+            scope.spawn(move || worker_loop(&rx, &handler, &done, &wake));
+        }
+        drop(done_tx); // workers hold the only senders
+        let mut state = EventLoop {
+            epoll,
+            wake,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            handler,
+            config,
+            ids: handler.obs.trace_gen(),
+            job_tx: Some(job_tx),
+            done_rx,
+            draining: false,
+            drain_deadline: u64::MAX,
+            last_scan: 0,
+        };
+        let result = state.run(listener, shutdown);
+        // Dropping the state drops `job_tx`; workers see the closed
+        // channel, finish their current job, and exit — the scope joins
+        // them before returning.
+        drop(state);
+        result
+    })
+}
+
+/// CPU-bound half: dequeue a parsed request, route it (cache → engine),
+/// hand the reply back, and wake the loop. A panicking route costs one
+/// reply, not the pool — the client gets a 500 like any other response.
+fn worker_loop(rx: &Mutex<Receiver<Job>>, handler: &Handler, done: &Sender<Done>, wake: &WakeFd) {
+    loop {
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else {
+            return; // channel closed: drain complete
+        };
+        let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            route(&job.request, handler, &job.trace_id)
+        }))
+        .unwrap_or_else(|_| Reply::error(500, "internal error").tagged("panic"));
+        let delivered = done.send(Done {
+            conn_token: job.conn_token,
+            seq: job.seq,
+            reply,
+            trace_id: job.trace_id,
+            arrived: job.arrived,
+        });
+        if delivered.is_err() {
+            return; // loop is gone (forced teardown)
+        }
+        wake.notify();
+    }
+}
+
+struct EventLoop<'a> {
+    epoll: Epoll,
+    wake: Arc<WakeFd>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    handler: &'a Arc<Handler>,
+    config: &'a ServerConfig,
+    /// The loop thread's trace-ID lane (echo-or-generate at parse time,
+    /// plus inline error replies and load-shed 503s).
+    ids: TraceIdGen,
+    job_tx: Option<Sender<Job>>,
+    done_rx: Receiver<Done>,
+    draining: bool,
+    drain_deadline: u64,
+    last_scan: u64,
+}
+
+impl EventLoop<'_> {
+    fn now(&self) -> u64 {
+        self.handler.obs.clock().now_nanos()
+    }
+
+    fn run(&mut self, listener: &TcpListener, shutdown: &ShutdownFlag) -> io::Result<()> {
+        let mut events = vec![EpollEvent { events: 0, data: 0 }; WAIT_CAPACITY];
+        loop {
+            let n = self.epoll.wait(&mut events, TICK_MS)?;
+            for ev in &events[..n] {
+                match ev.token() {
+                    TOKEN_LISTENER => {
+                        if !self.draining {
+                            self.accept_ready(listener);
+                        }
+                    }
+                    TOKEN_WAKE => {} // drained by pump_done below
+                    token => self.conn_ready(token, ev.events()),
+                }
+            }
+            self.pump_done();
+            let now = self.now();
+            if now.saturating_sub(self.last_scan) >= SCAN_INTERVAL_NANOS {
+                self.last_scan = now;
+                self.scan_deadlines(now);
+            }
+            if !self.draining && shutdown.is_triggered() {
+                self.begin_drain(listener);
+            }
+            if self.draining {
+                if self.conns.is_empty() {
+                    return Ok(());
+                }
+                if self.now() >= self.drain_deadline {
+                    // Grace expired: peers that never read their final
+                    // response forfeit it.
+                    for (_, conn) in self.conns.drain() {
+                        let _ = self.epoll.del(conn.stream.as_raw_fd());
+                        self.handler.conn_stats.closed.inc();
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Accepts until `WouldBlock`; over the connection cap, answers 503
+    /// and closes (the accepted socket is still blocking, so the one
+    /// small write needs no registration).
+    fn accept_ready(&mut self, listener: &TcpListener) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.handler.conn_stats.opened.inc();
+                    if self.conns.len() >= self.config.max_connections {
+                        self.shed(&stream);
+                        self.handler.conn_stats.closed.inc();
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        self.handler.conn_stats.closed.inc();
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .epoll
+                        .add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
+                        .is_err()
+                    {
+                        self.handler.conn_stats.closed.inc();
+                        continue;
+                    }
+                    let machine = Connection::new(
+                        self.now(),
+                        self.config.max_body_bytes,
+                        self.config.max_pipeline,
+                    );
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            machine,
+                            registered: (true, false),
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Best-effort 503 on a connection the cap rejected.
+    fn shed(&mut self, stream: &TcpStream) {
+        let arrived = self.now();
+        let trace_id = self.ids.next_id();
+        let reply = Reply::error(503, "server overloaded; retry").tagged("overload");
+        let bytes = render_response(
+            reply.status,
+            reply.content_type,
+            &[("X-Request-Id", trace_id.as_str())],
+            reply.body.as_bytes(),
+            false,
+        );
+        let _ = (&mut (&*stream)).write_all(&bytes);
+        observe_reply(self.handler, reply, trace_id, arrived);
+    }
+
+    /// Socket readiness for one connection.
+    fn conn_ready(&mut self, token: u64, bits: u32) {
+        let now = self.now();
+        let mut events = Vec::new();
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if bits & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0 {
+                events = conn.machine.on_readable(&mut conn.stream, now);
+            }
+            if bits & EPOLLOUT != 0 {
+                conn.machine.on_writable(&mut conn.stream);
+            }
+        }
+        self.dispatch(token, events);
+        self.sync_conn(token);
+    }
+
+    /// Routes surfaced requests to the pool and answers framing errors
+    /// inline (they never need the engine).
+    fn dispatch(&mut self, token: u64, events: Vec<ConnEvent>) {
+        for event in events {
+            match event {
+                ConnEvent::Request { seq, request } => {
+                    let arrived = self.now();
+                    let trace_id = request
+                        .header("x-request-id")
+                        .map(str::to_string)
+                        .unwrap_or_else(|| self.ids.next_id());
+                    if seq > 0 {
+                        self.handler.conn_stats.reuse.inc();
+                    }
+                    let job = Job {
+                        conn_token: token,
+                        seq,
+                        request,
+                        trace_id,
+                        arrived,
+                    };
+                    if let Some(tx) = &self.job_tx {
+                        let _ = tx.send(job);
+                    }
+                }
+                ConnEvent::BadRequest { seq, error } => {
+                    let arrived = self.now();
+                    let trace_id = self.ids.next_id();
+                    let reply =
+                        reply_for(Err(error), self.handler, &trace_id).unwrap_or_else(|| {
+                            Reply::error(400, "malformed request").tagged("malformed")
+                        });
+                    self.complete_one(token, seq, reply, trace_id, arrived, true);
+                }
+            }
+        }
+    }
+
+    /// Delivers one reply into its connection's pipeline slot; responses
+    /// that just became wire bytes are observed in wire order, then the
+    /// socket is flushed opportunistically (the common case finishes
+    /// without ever registering `EPOLLOUT`).
+    fn complete_one(
+        &mut self,
+        token: u64,
+        seq: u64,
+        mut reply: Reply,
+        trace_id: String,
+        arrived: u64,
+        force_close: bool,
+    ) {
+        let now = self.now();
+        let follow_on = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                // The socket broke before its answer came back; the work
+                // still happened — count it.
+                observe_reply(self.handler, reply, trace_id, arrived);
+                return;
+            };
+            let mut extra = vec![("X-Request-Id".to_string(), trace_id.clone())];
+            if let Some(h) = &reply.cache_header {
+                extra.push(("X-Cache".to_string(), h.clone()));
+            }
+            let response = Response {
+                status: reply.status,
+                content_type: reply.content_type,
+                extra,
+                body: std::mem::take(&mut reply.body).into_bytes(),
+                close: force_close,
+            };
+            let token_payload = ObsToken {
+                reply,
+                trace_id,
+                arrived,
+            };
+            let flushed = conn.machine.complete(seq, response, token_payload, now);
+            for t in flushed {
+                observe_reply(self.handler, t.reply, t.trace_id, t.arrived);
+            }
+            conn.machine.on_writable(&mut conn.stream);
+            // A freed pipeline slot may unblock already-buffered
+            // requests (backpressure release).
+            conn.machine.parse_buffered(now)
+        };
+        if !follow_on.is_empty() {
+            self.dispatch(token, follow_on);
+        }
+        self.sync_conn(token);
+    }
+
+    /// Pulls every completed reply the workers have queued. The wake fd
+    /// is drained first so level-triggered epoll quiets down.
+    fn pump_done(&mut self) {
+        self.wake.drain();
+        while let Ok(done) = self.done_rx.try_recv() {
+            self.complete_one(
+                done.conn_token,
+                done.seq,
+                done.reply,
+                done.trace_id,
+                done.arrived,
+                false,
+            );
+        }
+    }
+
+    /// Mirrors the state machine's interest into epoll and reaps
+    /// finished connections.
+    fn sync_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.machine.finished() {
+            let _ = self.epoll.del(conn.stream.as_raw_fd());
+            self.conns.remove(&token);
+            self.handler.conn_stats.closed.inc();
+            return;
+        }
+        let want = conn.machine.interest();
+        if (want.read, want.write) != conn.registered {
+            let mut bits = EPOLLRDHUP;
+            if want.read {
+                bits |= EPOLLIN;
+            }
+            if want.write {
+                bits |= EPOLLOUT;
+            }
+            if self
+                .epoll
+                .modify(conn.stream.as_raw_fd(), bits, token)
+                .is_ok()
+            {
+                conn.registered = (want.read, want.write);
+            }
+        }
+    }
+
+    /// Applies the timeout policy: 408s for stalled partial requests
+    /// (slow-loris), silent closes for idle keep-alive sockets.
+    fn scan_deadlines(&mut self, now: u64) {
+        let read_to = self.config.read_timeout.as_nanos() as u64;
+        let ka_to = self.config.keep_alive_timeout.as_nanos() as u64;
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            let action = match self.conns.get_mut(&token) {
+                Some(conn) => conn.machine.check_deadlines(now, read_to, ka_to),
+                None => continue,
+            };
+            match action {
+                DeadlineAction::None => {}
+                DeadlineAction::Respond408 { seq } => {
+                    let trace_id = self.ids.next_id();
+                    let reply = reply_for(
+                        Err(HttpError::Io(io::Error::new(
+                            io::ErrorKind::WouldBlock,
+                            "read timed out",
+                        ))),
+                        self.handler,
+                        &trace_id,
+                    )
+                    .expect("timeout maps to a 408 reply");
+                    self.complete_one(token, seq, reply, trace_id, now, true);
+                }
+                DeadlineAction::CloseIdle => {
+                    if let Some(conn) = self.conns.remove(&token) {
+                        let _ = self.epoll.del(conn.stream.as_raw_fd());
+                        self.handler.conn_stats.closed.inc();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stops accepting and puts every connection into drain: idle ones
+    /// close now; ones with in-flight pipelined requests get their
+    /// answers, the last marked `Connection: close`.
+    fn begin_drain(&mut self, listener: &TcpListener) {
+        self.draining = true;
+        let _ = self.epoll.del(listener.as_raw_fd());
+        self.drain_deadline = self
+            .now()
+            .saturating_add(self.config.drain_grace.as_nanos() as u64);
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.machine.begin_drain();
+                conn.machine.on_writable(&mut conn.stream);
+            }
+            self.sync_conn(token);
+        }
+    }
+}

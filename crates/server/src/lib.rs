@@ -39,11 +39,18 @@
 //! JSON codec, and the LRU cache are implemented here rather than
 //! imported.
 
-#![deny(unsafe_code)] // one vetted exception: shutdown::install_signal_handler
+// Two vetted FFI-shim exceptions: shutdown::install_signal_handler
+// (signal(2)) and the epoll module (epoll(7)/eventfd(2)).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod conn;
 pub mod debug;
+#[cfg(target_os = "linux")]
+pub mod epoll;
+#[cfg(target_os = "linux")]
+mod event_loop;
 pub mod http;
 pub mod json;
 pub mod server;
@@ -51,5 +58,5 @@ pub mod shutdown;
 
 pub use cache::{CacheKey, ResponseCache};
 pub use debug::{Observability, StatuszInfo, TraceIdGen};
-pub use server::{DrainReport, ServerConfig, SuggestServer, MAX_BATCH_QUERIES};
+pub use server::{AcceptModel, DrainReport, ServerConfig, SuggestServer, MAX_BATCH_QUERIES};
 pub use shutdown::{install_signal_handler, ShutdownFlag};

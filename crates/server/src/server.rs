@@ -45,9 +45,26 @@ use crate::shutdown::ShutdownFlag;
 /// request can demand from the pool.
 pub const MAX_BATCH_QUERIES: usize = 1024;
 
+/// How accepted sockets are turned into requests (DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AcceptModel {
+    /// PR-3 model: blocking sockets on a bounded worker pool, one
+    /// request per connection (`Connection: close`). Portable; the
+    /// default so embedders and tests keep their close-per-request
+    /// semantics unless they opt in.
+    #[default]
+    ThreadPool,
+    /// Nonblocking epoll event loop with HTTP/1.1 keep-alive and
+    /// pipelining; scoring stays on the worker pool. Linux only —
+    /// `run` errors with `Unsupported` elsewhere.
+    EventLoop,
+}
+
 /// Tunables of the serving layer (the engine has its own config).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
+    /// How connections are accepted and multiplexed.
+    pub accept_model: AcceptModel,
     /// Worker threads answering requests.
     pub threads: usize,
     /// Total response-cache entries across shards (0 disables caching).
@@ -59,8 +76,21 @@ pub struct ServerConfig {
     /// Per-socket read/write timeout.
     pub read_timeout: Duration,
     /// Accepted connections that may wait for a worker before the accept
-    /// loop starts shedding load with `503`s.
+    /// loop starts shedding load with `503`s (thread-pool model only;
+    /// the event loop has no socket queue).
     pub queue_depth: usize,
+    /// Concurrent connections the event loop holds open; above this,
+    /// new connections are answered `503` and closed.
+    pub max_connections: usize,
+    /// Idle keep-alive connections are closed after this long without a
+    /// request (event-loop model only).
+    pub keep_alive_timeout: Duration,
+    /// Pipelined requests one connection may have in flight before the
+    /// loop stops reading from it (backpressure, event-loop model only).
+    pub max_pipeline: usize,
+    /// During graceful drain, connections that still owe responses get
+    /// this long to take delivery before being dropped.
+    pub drain_grace: Duration,
     /// Requests at least this slow are retained in the slow ring and
     /// emitted to the slow-query log (`serve --slow-ms`).
     pub slow_threshold: Duration,
@@ -81,12 +111,17 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            accept_model: AcceptModel::ThreadPool,
             threads: 4,
             cache_entries: 4096,
             cache_shards: 8,
             max_body_bytes: 1 << 20,
             read_timeout: Duration::from_secs(5),
             queue_depth: 64,
+            max_connections: 4096,
+            keep_alive_timeout: Duration::from_secs(60),
+            max_pipeline: 32,
+            drain_grace: Duration::from_secs(5),
             slow_threshold: Duration::from_millis(100),
             slow_log: None,
             ring_capacity: 512,
@@ -111,6 +146,12 @@ pub struct DrainReport {
     pub cache_misses: u64,
     /// Response-cache evictions.
     pub cache_evictions: u64,
+    /// TCP connections accepted over the lifetime (including shed ones).
+    pub connections: u64,
+    /// Requests served on an already-used keep-alive connection (always
+    /// zero under the thread-pool model, which closes after each
+    /// response).
+    pub keepalive_reuse: u64,
 }
 
 /// The bound-but-not-yet-running server.
@@ -125,22 +166,42 @@ pub struct SuggestServer {
     fingerprint: u64,
 }
 
+/// Connection-lifecycle counters shared by both accept models; the
+/// open-connection gauge on `/metrics` is rendered as `opened - closed`.
+#[derive(Clone)]
+pub(crate) struct ConnStats {
+    pub(crate) opened: Arc<Counter>,
+    pub(crate) closed: Arc<Counter>,
+    pub(crate) reuse: Arc<Counter>,
+}
+
+impl ConnStats {
+    fn new(registry: &xclean_telemetry::MetricsRegistry) -> ConnStats {
+        ConnStats {
+            opened: registry.counter(names::CONNECTIONS_OPENED),
+            closed: registry.counter(names::CONNECTIONS_CLOSED),
+            reuse: registry.counter(names::KEEPALIVE_REUSE),
+        }
+    }
+}
+
 /// Everything a worker needs to answer one connection.
-struct Handler {
+pub(crate) struct Handler {
     engine: Arc<XCleanEngine>,
     cache: Arc<ResponseCache>,
-    obs: Arc<Observability>,
+    pub(crate) obs: Arc<Observability>,
     fingerprint: u64,
     max_body_bytes: usize,
     requests: Arc<Counter>,
     errors: Arc<Counter>,
     latency: Arc<Histogram>,
+    pub(crate) conn_stats: ConnStats,
 }
 
 /// What a route wants remembered about its request in the ring — filled
 /// by the suggest paths, left at defaults by metadata routes and errors.
 #[derive(Debug, Default)]
-struct RouteObs {
+pub(crate) struct RouteObs {
     route: &'static str,
     query: String,
     cache_hit: Option<bool>,
@@ -153,11 +214,11 @@ struct RouteObs {
 }
 
 /// One rendered response, ready to write.
-struct Reply {
-    status: u16,
-    content_type: &'static str,
-    cache_header: Option<String>,
-    body: String,
+pub(crate) struct Reply {
+    pub(crate) status: u16,
+    pub(crate) content_type: &'static str,
+    pub(crate) cache_header: Option<String>,
+    pub(crate) body: String,
     obs: RouteObs,
 }
 
@@ -172,7 +233,7 @@ impl Reply {
         }
     }
 
-    fn error(status: u16, message: &str) -> Reply {
+    pub(crate) fn error(status: u16, message: &str) -> Reply {
         Reply::json(
             status,
             format!(
@@ -183,7 +244,7 @@ impl Reply {
     }
 
     /// Sets the ring route tag unless the handler already set one.
-    fn tagged(mut self, route: &'static str) -> Reply {
+    pub(crate) fn tagged(mut self, route: &'static str) -> Reply {
         if self.obs.route.is_empty() {
             self.obs.route = route;
         }
@@ -260,10 +321,13 @@ impl SuggestServer {
 
     /// Serves until the shutdown flag trips, then drains: stops
     /// accepting, answers queued and in-flight requests, joins the
-    /// workers, and reports lifetime totals.
+    /// workers, and reports lifetime totals. The wire model is chosen by
+    /// [`ServerConfig::accept_model`]; both models share the routing,
+    /// caching, and observability stack, so suggestion bodies are
+    /// byte-identical between them.
     pub fn run(self) -> io::Result<DrainReport> {
-        self.listener.set_nonblocking(true)?;
         let registry = self.engine.metrics().clone();
+        let conn_stats = ConnStats::new(&registry);
         let handler = Arc::new(Handler {
             engine: Arc::clone(&self.engine),
             cache: Arc::clone(&self.cache),
@@ -273,13 +337,50 @@ impl SuggestServer {
             requests: registry.counter(names::SERVER_REQUESTS),
             errors: registry.counter(names::SERVER_ERRORS),
             latency: registry.histogram(names::SERVER_REQUEST),
+            conn_stats: conn_stats.clone(),
         });
+        match self.config.accept_model {
+            AcceptModel::ThreadPool => self.run_thread_pool(&handler)?,
+            AcceptModel::EventLoop => self.run_event_loop(&handler)?,
+        }
+        let (cache_hits, cache_misses, cache_evictions) = self.cache.counters();
+        Ok(DrainReport {
+            requests: handler.requests.get(),
+            errors: handler.errors.get(),
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            connections: conn_stats.opened.get(),
+            keepalive_reuse: conn_stats.reuse.get(),
+        })
+    }
+
+    /// The epoll event loop (Linux).
+    #[cfg(target_os = "linux")]
+    fn run_event_loop(&self, handler: &Arc<Handler>) -> io::Result<()> {
+        crate::event_loop::run_event_loop(&self.listener, handler, &self.config, &self.shutdown)
+    }
+
+    /// Event loop unavailable off-Linux: a clear error beats a silent
+    /// behavioural downgrade.
+    #[cfg(not(target_os = "linux"))]
+    fn run_event_loop(&self, _handler: &Arc<Handler>) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "the event-loop accept model requires Linux epoll; use AcceptModel::ThreadPool",
+        ))
+    }
+
+    /// The PR-3 blocking accept path: one connection, one request, one
+    /// worker at a time.
+    fn run_thread_pool(&self, handler: &Arc<Handler>) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
         let (tx, rx) = sync_channel::<TcpStream>(self.config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
         std::thread::scope(|scope| {
             for _ in 0..self.config.threads.max(1) {
                 let rx = Arc::clone(&rx);
-                let handler = Arc::clone(&handler);
+                let handler = Arc::clone(handler);
                 scope.spawn(move || worker_loop(&rx, &handler));
             }
             // The accept loop sheds load with its own trace-ID lane: a
@@ -289,6 +390,7 @@ impl SuggestServer {
             loop {
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
+                        handler.conn_stats.opened.inc();
                         let _ = stream.set_nonblocking(false);
                         let _ = stream.set_read_timeout(Some(self.config.read_timeout));
                         let _ = stream.set_write_timeout(Some(self.config.read_timeout));
@@ -298,7 +400,8 @@ impl SuggestServer {
                             let reply =
                                 Reply::error(503, "server overloaded; retry").tagged("overload");
                             write_reply(&stream, &reply, &trace_id);
-                            observe_reply(&handler, reply, trace_id, arrived);
+                            observe_reply(handler, reply, trace_id, arrived);
+                            handler.conn_stats.closed.inc();
                         }
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -322,14 +425,7 @@ impl SuggestServer {
             // requests, then exit, and the scope joins them.
             drop(tx);
         });
-        let (cache_hits, cache_misses, cache_evictions) = self.cache.counters();
-        Ok(DrainReport {
-            requests: handler.requests.get(),
-            errors: handler.errors.get(),
-            cache_hits,
-            cache_misses,
-            cache_evictions,
-        })
+        Ok(())
     }
 }
 
@@ -356,13 +452,14 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, handler: &Handler) {
             write_reply(&stream, &reply, &trace_id);
             observe_reply(handler, reply, trace_id, arrived);
         }
+        handler.conn_stats.closed.inc();
     }
 }
 
 /// Renders the reply for one parsed-or-failed request, or `None` when
 /// the client vanished and there is nobody to answer. Separated from the
 /// socket so tests can drive every error path directly.
-fn reply_for(
+pub(crate) fn reply_for(
     parsed: Result<Request, HttpError>,
     handler: &Handler,
     trace_id: &str,
@@ -420,7 +517,7 @@ fn write_reply(stream: &TcpStream, reply: &Reply, trace_id: &str) {
 /// The single bookkeeping choke point: lifetime counters, the latency
 /// histogram, and the observability plane all record here, so the ring
 /// and `/metrics` can never disagree about what was served.
-fn observe_reply(handler: &Handler, reply: Reply, trace_id: String, arrived_nanos: u64) {
+pub(crate) fn observe_reply(handler: &Handler, reply: Reply, trace_id: String, arrived_nanos: u64) {
     let total_nanos = handler
         .obs
         .clock()
@@ -493,7 +590,7 @@ fn percent_decode(s: &str) -> Option<String> {
     String::from_utf8(out).ok()
 }
 
-fn route(request: &Request, handler: &Handler, trace_id: &str) -> Reply {
+pub(crate) fn route(request: &Request, handler: &Handler, trace_id: &str) -> Reply {
     let (path, query) = split_target(&request.path);
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => healthz(handler).tagged("healthz"),
@@ -545,6 +642,18 @@ fn metrics(handler: &Handler) -> Reply {
     body.push_str(&debug::render_window_metrics(
         &handler.obs.window_snapshots(),
     ));
+    // The open-connection gauge is derived (opened − closed) rather than
+    // registered: the registry only holds monotonic series.
+    let open = handler
+        .conn_stats
+        .opened
+        .get()
+        .saturating_sub(handler.conn_stats.closed.get());
+    body.push_str(&format!(
+        "# HELP {g} {h}\n# TYPE {g} gauge\n{g} {open}\n",
+        g = names::CONNECTIONS_OPEN,
+        h = names::help_for(names::CONNECTIONS_OPEN),
+    ));
     Reply {
         status: 200,
         content_type: "text/plain; version=0.0.4",
@@ -566,6 +675,9 @@ fn statusz(handler: &Handler) -> Reply {
         cache_capacity: handler.cache.capacity(),
         requests_total: handler.requests.get(),
         errors_total: handler.errors.get(),
+        connections_opened: handler.conn_stats.opened.get(),
+        connections_closed: handler.conn_stats.closed.get(),
+        keepalive_reuse: handler.conn_stats.reuse.get(),
     };
     Reply {
         status: 200,
@@ -855,6 +967,7 @@ mod tests {
             requests: registry.counter(names::SERVER_REQUESTS),
             errors: registry.counter(names::SERVER_ERRORS),
             latency: registry.histogram(names::SERVER_REQUEST),
+            conn_stats: ConnStats::new(registry),
             engine,
             cache,
             obs,
@@ -869,6 +982,7 @@ mod tests {
             path: "/suggest".to_string(),
             headers: Vec::new(),
             body: body.as_bytes().to_vec(),
+            keep_alive: true,
         }
     }
 
@@ -878,6 +992,7 @@ mod tests {
             path: path.to_string(),
             headers: Vec::new(),
             body: Vec::new(),
+            keep_alive: true,
         }
     }
 

@@ -1,0 +1,564 @@
+//! HTTP/1.1 conformance suite for the epoll event-loop accept path
+//! (DESIGN.md §13): keep-alive reuse, `Connection: close`, pipelining
+//! order, framing-error closes, slow-loris timeouts, graceful drain of
+//! in-flight pipelines, and byte-identity between the event-loop and
+//! thread-pool models.
+//!
+//! Everything here drives real sockets against an in-process server.
+//! The suite is Linux-only (the event loop is).
+
+#![cfg(target_os = "linux")]
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use xclean::{XCleanConfig, XCleanEngine};
+use xclean_server::{AcceptModel, DrainReport, ServerConfig, ShutdownFlag, SuggestServer};
+use xclean_xmltree::parse_document;
+
+fn engine() -> Arc<XCleanEngine> {
+    let xml = "<dblp>\
+        <article><author>jones</author><title>health insurance markets</title></article>\
+        <article><author>smith</author><title>program instance analysis</title></article>\
+        <article><author>chen</author><title>data integration systems</title></article>\
+    </dblp>";
+    Arc::new(XCleanEngine::new(
+        parse_document(xml).unwrap(),
+        XCleanConfig::default(),
+    ))
+}
+
+struct Running {
+    addr: std::net::SocketAddr,
+    flag: ShutdownFlag,
+    join: std::thread::JoinHandle<DrainReport>,
+}
+
+fn event_loop_config() -> ServerConfig {
+    ServerConfig {
+        accept_model: AcceptModel::EventLoop,
+        threads: 2,
+        ..Default::default()
+    }
+}
+
+/// A corpus big enough that a 1024-query batch takes real wall-clock
+/// time — the drain test needs a request that is provably still in
+/// flight when the shutdown flag trips.
+fn big_engine() -> Arc<XCleanEngine> {
+    const A: [&str; 20] = [
+        "data", "index", "query", "graph", "table", "merge", "parse", "token", "score", "cache",
+        "batch", "shard", "trace", "probe", "chunk", "frame", "stack", "queue", "field", "label",
+    ];
+    const B: [&str; 20] = [
+        "wise", "ford", "hart", "lane", "mont", "ship", "ton", "berg", "dale", "wick", "combe",
+        "stone", "mark", "path", "well", "gate", "holm", "firth", "moor", "stead",
+    ];
+    let mut xml = String::from("<dblp>");
+    for i in 0..400usize {
+        xml.push_str("<article><author>");
+        xml.push_str(A[i % 20]);
+        xml.push_str(B[(i / 20) % 20]);
+        xml.push_str("</author><title>");
+        for k in 0..6 {
+            if k > 0 {
+                xml.push(' ');
+            }
+            xml.push_str(A[(i + 7 * k) % 20]);
+            xml.push_str(B[(i / 3 + 5 * k) % 20]);
+        }
+        xml.push_str("</title></article>");
+    }
+    xml.push_str("</dblp>");
+    Arc::new(XCleanEngine::new(
+        parse_document(&xml).unwrap(),
+        XCleanConfig::default(),
+    ))
+}
+
+/// A 1024-query batch body of distinct misspelled multi-keyword
+/// queries over [`big_engine`]'s vocabulary (`salt` keeps separate
+/// batches from ever sharing a query).
+fn slow_batch_body(salt: usize) -> String {
+    const A: [&str; 20] = [
+        "data", "index", "query", "graph", "table", "merge", "parse", "token", "score", "cache",
+        "batch", "shard", "trace", "probe", "chunk", "frame", "stack", "queue", "field", "label",
+    ];
+    const B: [&str; 20] = [
+        "wise", "ford", "hart", "lane", "mont", "ship", "ton", "berg", "dale", "wick", "combe",
+        "stone", "mark", "path", "well", "gate", "holm", "firth", "moor", "stead",
+    ];
+    let queries: Vec<String> = (0..1024usize)
+        .map(|i| {
+            let n = salt * 1024 + i;
+            // Misspell by doubling the first letter: stays within edit
+            // distance 1 of a real vocabulary term.
+            format!(
+                "\"{}{}{} {}{}{}\"",
+                &A[n % 20][..1],
+                A[n % 20],
+                B[(n / 20) % 20],
+                &A[(n / 3) % 20][..1],
+                A[(n / 3) % 20],
+                B[(n / 7) % 20]
+            )
+        })
+        .collect();
+    format!("{{\"queries\": [{}]}}", queries.join(","))
+}
+
+fn start(config: ServerConfig) -> Running {
+    start_with(engine(), config)
+}
+
+fn start_with(engine: Arc<XCleanEngine>, config: ServerConfig) -> Running {
+    let server = SuggestServer::bind(engine, "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let flag = server.shutdown_flag();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    Running { addr, flag, join }
+}
+
+impl Running {
+    fn stop(self) -> DrainReport {
+        self.flag.trigger();
+        self.join.join().unwrap()
+    }
+}
+
+/// One parsed response read off an open stream (keep-alive aware:
+/// reads exactly head + `Content-Length` bytes, leaving the socket
+/// usable for the next response).
+#[derive(Debug)]
+struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one complete response; `None` on clean EOF before any byte.
+fn read_response(stream: &mut TcpStream) -> Option<Response> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    // Head first, byte by byte (simple and plenty fast for tests).
+    while !buf.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                assert!(
+                    buf.is_empty(),
+                    "EOF mid-head: {:?}",
+                    String::from_utf8_lossy(&buf)
+                );
+                return None;
+            }
+            Ok(_) => buf.push(byte[0]),
+            Err(e) => panic!("read error mid-head: {e}"),
+        }
+    }
+    let head = String::from_utf8(buf).unwrap();
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let len: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse().unwrap())
+        .unwrap_or(0);
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).unwrap();
+    Some(Response {
+        status,
+        headers,
+        body: String::from_utf8(body).unwrap(),
+    })
+}
+
+fn connect(addr: std::net::SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+}
+
+fn get_request(path: &str, extra_headers: &str) -> String {
+    format!("GET {path} HTTP/1.1\r\nHost: t\r\n{extra_headers}\r\n")
+}
+
+#[test]
+fn keep_alive_reuses_one_socket_for_many_requests() {
+    let run = start(event_loop_config());
+    let mut stream = connect(run.addr);
+    let mut bodies = Vec::new();
+    // ≥3 requests over the same socket, strictly request→response.
+    for i in 0..4 {
+        let path = if i % 2 == 0 {
+            "/suggest?q=helth+insurance".to_string()
+        } else {
+            "/healthz".to_string()
+        };
+        stream.write_all(get_request(&path, "").as_bytes()).unwrap();
+        let response = read_response(&mut stream).expect("keep-alive socket stayed open");
+        assert_eq!(response.status, 200, "request {i}");
+        assert_eq!(
+            response.header("connection"),
+            Some("keep-alive"),
+            "request {i}"
+        );
+        bodies.push(response.body);
+    }
+    assert_eq!(bodies[0], bodies[2], "same query, same bytes");
+    let report = run.stop();
+    assert!(
+        report.keepalive_reuse >= 3,
+        "3 of 4 requests reused the connection: {report:?}"
+    );
+    assert_eq!(report.connections, 1, "{report:?}");
+}
+
+#[test]
+fn connection_close_is_honored() {
+    let run = start(event_loop_config());
+    let mut stream = connect(run.addr);
+    stream
+        .write_all(get_request("/healthz", "Connection: close\r\n").as_bytes())
+        .unwrap();
+    let response = read_response(&mut stream).unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("connection"), Some("close"));
+    // The server closes: next read is EOF.
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "{:?}", String::from_utf8_lossy(&rest));
+    run.stop();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_with_matching_request_ids() {
+    let run = start(event_loop_config());
+    let mut stream = connect(run.addr);
+    // Three requests written back-to-back before reading anything, each
+    // tagged with its own X-Request-Id. Mixing cheap (/healthz) and
+    // engine-bound (/suggest) paths makes out-of-order completion likely
+    // if ordering were broken.
+    let mut wire = String::new();
+    wire.push_str(&get_request(
+        "/suggest?q=helth+insurance",
+        "X-Request-Id: pipe-0\r\n",
+    ));
+    wire.push_str(&get_request("/healthz", "X-Request-Id: pipe-1\r\n"));
+    wire.push_str(&get_request(
+        "/suggest?q=dta+integration",
+        "X-Request-Id: pipe-2\r\n",
+    ));
+    stream.write_all(wire.as_bytes()).unwrap();
+    for i in 0..3 {
+        let response = read_response(&mut stream).expect("pipelined response");
+        assert_eq!(response.status, 200, "response {i}");
+        assert_eq!(
+            response.header("x-request-id"),
+            Some(format!("pipe-{i}").as_str()),
+            "responses must arrive in request order"
+        );
+    }
+    run.stop();
+}
+
+#[test]
+fn malformed_request_gets_400_and_close() {
+    let run = start(event_loop_config());
+    let mut stream = connect(run.addr);
+    stream
+        .write_all(b"utter nonsense\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n")
+        .unwrap();
+    let response = read_response(&mut stream).unwrap();
+    assert_eq!(response.status, 400);
+    assert_eq!(response.header("connection"), Some("close"));
+    assert!(read_response(&mut stream).is_none(), "socket closed");
+    run.stop();
+}
+
+#[test]
+fn oversized_body_gets_413_and_close() {
+    let run = start(ServerConfig {
+        max_body_bytes: 64,
+        ..event_loop_config()
+    });
+    let mut stream = connect(run.addr);
+    stream
+        .write_all(b"POST /suggest HTTP/1.1\r\nHost: t\r\nContent-Length: 100000\r\n\r\n")
+        .unwrap();
+    let response = read_response(&mut stream).unwrap();
+    assert_eq!(response.status, 413);
+    assert_eq!(response.header("connection"), Some("close"));
+    assert!(read_response(&mut stream).is_none(), "socket closed");
+    run.stop();
+}
+
+#[test]
+fn slow_loris_times_out_with_408_without_wedging_the_loop() {
+    let run = start(ServerConfig {
+        read_timeout: Duration::from_millis(500),
+        ..event_loop_config()
+    });
+    // The loris: dribbles one byte at a time, never finishing its head.
+    // It stops dribbling before the deadline so the 408 is read off a
+    // quiet socket (a write racing the server's close would RST away
+    // the buffered response).
+    let mut loris = connect(run.addr);
+    let partial = b"GET /suggest?q=helth HTTP/1.1\r\nX-Loris: y";
+    for chunk in partial[..12].chunks(1) {
+        loris.write_all(chunk).unwrap();
+        std::thread::sleep(Duration::from_millis(25));
+        // While the loris dribbles, other clients are served normally —
+        // the loop is not wedged.
+        let mut healthy = connect(run.addr);
+        healthy
+            .write_all(get_request("/healthz", "").as_bytes())
+            .unwrap();
+        assert_eq!(read_response(&mut healthy).unwrap().status, 200);
+    }
+    // The deadline runs from the loris's FIRST byte; dribbling later
+    // bytes must not have reset it. ~500 ms after that first byte the
+    // 408 arrives (the blocking read below waits for it).
+    let response = read_response(&mut loris).expect("a 408, not a dropped socket");
+    assert_eq!(response.status, 408);
+    assert_eq!(response.header("connection"), Some("close"));
+    assert!(read_response(&mut loris).is_none(), "socket closed");
+    run.stop();
+}
+
+#[test]
+fn graceful_drain_completes_in_flight_pipeline_and_announces_close() {
+    // One worker thread and a genuinely slow first request, so the drain
+    // provably begins while responses are still owed on an open
+    // keep-alive pipeline.
+    let run = start_with(
+        big_engine(),
+        ServerConfig {
+            threads: 1,
+            cache_entries: 0,
+            ..event_loop_config()
+        },
+    );
+
+    // Calibrate: time one slow batch end-to-end, then trigger the real
+    // drain a quarter of the way into an identical batch. Parsing and
+    // dispatch happen on the loop thread within microseconds of the
+    // bytes landing, so at that point the batch is mid-computation and
+    // the two requests pipelined behind it are queued.
+    let calibration = {
+        let mut stream = connect(run.addr);
+        let body = slow_batch_body(0);
+        let started = Instant::now();
+        write!(
+            stream,
+            "POST /suggest HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        assert_eq!(read_response(&mut stream).unwrap().status, 200);
+        started.elapsed()
+    };
+    assert!(
+        calibration >= Duration::from_millis(40),
+        "batch too fast ({calibration:?}) to make the drain race meaningful; grow big_engine"
+    );
+
+    let mut stream = connect(run.addr);
+    let body = slow_batch_body(1);
+    let mut wire = format!(
+        "POST /suggest HTTP/1.1\r\nHost: t\r\nX-Request-Id: drain-0\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    wire.push_str(&get_request("/healthz", "X-Request-Id: drain-1\r\n"));
+    wire.push_str(&get_request(
+        "/suggest?q=ddatawise",
+        "X-Request-Id: drain-2\r\n",
+    ));
+    stream.write_all(wire.as_bytes()).unwrap();
+    std::thread::sleep(calibration / 4);
+    run.flag.trigger();
+
+    // Every pipelined response still arrives, in order; the last one
+    // carries Connection: close instead of the socket being dropped.
+    for (i, (id, connection)) in [
+        ("drain-0", "keep-alive"),
+        ("drain-1", "keep-alive"),
+        ("drain-2", "close"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let response = read_response(&mut stream)
+            .unwrap_or_else(|| panic!("drain dropped pipelined response {i}"));
+        assert_eq!(response.status, 200, "response {i}");
+        assert_eq!(
+            response.header("x-request-id"),
+            Some(*id),
+            "order preserved under drain"
+        );
+        assert_eq!(
+            response.header("connection"),
+            Some(*connection),
+            "response {i}"
+        );
+    }
+    assert!(
+        read_response(&mut stream).is_none(),
+        "socket closed after final response"
+    );
+    let report = run.join.join().unwrap();
+    assert_eq!(report.requests, 4, "{report:?}");
+    assert_eq!(report.errors, 0, "{report:?}");
+}
+
+#[test]
+fn suggestion_bodies_are_byte_identical_across_accept_models() {
+    let pool = start(ServerConfig {
+        accept_model: AcceptModel::ThreadPool,
+        threads: 2,
+        cache_entries: 0,
+        ..Default::default()
+    });
+    let event = start(ServerConfig {
+        accept_model: AcceptModel::EventLoop,
+        threads: 2,
+        cache_entries: 0,
+        ..Default::default()
+    });
+    let cases = [
+        ("GET", "/suggest?q=helth+insurance", String::new()),
+        ("GET", "/suggest?q=dta+integration", String::new()),
+        ("GET", "/suggest?q=progrm+instance", String::new()),
+        (
+            "POST",
+            "/suggest",
+            r#"{"queries": ["helth insurance", "program instence", "zzz qqq"]}"#.to_string(),
+        ),
+        ("POST", "/suggest", r#"{"query": "smith"}"#.to_string()),
+        ("GET", "/suggest?q=...", String::new()), // error body too
+    ];
+    for (method, path, body) in &cases {
+        let fetch = |addr| {
+            let mut stream = connect(addr);
+            write!(
+                stream,
+                "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .unwrap();
+            read_response(&mut stream).unwrap()
+        };
+        let via_pool = fetch(pool.addr);
+        let via_event = fetch(event.addr);
+        assert_eq!(via_pool.status, via_event.status, "{method} {path}");
+        assert_eq!(
+            via_pool.body, via_event.body,
+            "bodies must be byte-identical across accept models: {method} {path}"
+        );
+    }
+    pool.stop();
+    event.stop();
+}
+
+#[test]
+fn half_close_still_gets_its_response() {
+    let run = start(event_loop_config());
+    let mut stream = connect(run.addr);
+    stream
+        .write_all(get_request("/healthz", "").as_bytes())
+        .unwrap();
+    // Client shuts down its writing half immediately (EOF at the
+    // server) — the already-sent request must still be answered.
+    stream.shutdown(Shutdown::Write).unwrap();
+    let response = read_response(&mut stream).expect("half-closed client is still answered");
+    assert_eq!(response.status, 200);
+    assert!(read_response(&mut stream).is_none());
+    run.stop();
+}
+
+#[test]
+fn idle_keep_alive_connection_is_closed_after_timeout() {
+    let run = start(ServerConfig {
+        keep_alive_timeout: Duration::from_millis(300),
+        ..event_loop_config()
+    });
+    let mut stream = connect(run.addr);
+    stream
+        .write_all(get_request("/healthz", "").as_bytes())
+        .unwrap();
+    assert_eq!(read_response(&mut stream).unwrap().status, 200);
+    // Sit idle past the keep-alive horizon: the server closes silently.
+    let mut buf = [0u8; 1];
+    match stream.read(&mut buf) {
+        Ok(0) => {} // clean EOF
+        Ok(_) => panic!("unexpected bytes on an idle connection"),
+        Err(e) => assert!(
+            matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut),
+            "{e}"
+        ),
+    }
+    run.stop();
+}
+
+#[test]
+fn event_loop_sustains_a_thousand_concurrent_keep_alive_connections() {
+    let run = start(ServerConfig {
+        accept_model: AcceptModel::EventLoop,
+        threads: 2,
+        max_connections: 2048,
+        ..Default::default()
+    });
+    // Open 1050 keep-alive connections in waves (the listen backlog is
+    // finite), then make two requests on every socket.
+    const CONNS: usize = 1050;
+    let mut sockets = Vec::with_capacity(CONNS);
+    for wave in 0..(CONNS / 50) {
+        for _ in 0..50 {
+            sockets.push(connect(run.addr));
+        }
+        // A breath per wave keeps SYN bursts under the backlog.
+        if wave % 4 == 3 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    for round in 0..2 {
+        for (i, stream) in sockets.iter_mut().enumerate() {
+            stream
+                .write_all(get_request("/healthz", "").as_bytes())
+                .unwrap();
+            let response = read_response(stream)
+                .unwrap_or_else(|| panic!("conn {i} dropped in round {round}"));
+            assert_eq!(response.status, 200, "conn {i} round {round}");
+            assert_eq!(response.header("connection"), Some("keep-alive"));
+        }
+    }
+    drop(sockets);
+    let report = run.stop();
+    assert_eq!(report.connections, CONNS as u64, "{report:?}");
+    assert_eq!(report.requests, 2 * CONNS as u64, "{report:?}");
+    assert_eq!(report.errors, 0, "{report:?}");
+    assert_eq!(report.keepalive_reuse, CONNS as u64, "{report:?}");
+}

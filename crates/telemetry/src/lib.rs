@@ -83,6 +83,16 @@ pub mod names {
     pub const CACHE_EVICTIONS: &str = "xclean_server_cache_evictions_total";
     /// Latency histogram: whole HTTP request (parse → response written).
     pub const SERVER_REQUEST: &str = "xclean_server_request_nanos";
+    /// TCP connections accepted by the suggestion server.
+    pub const CONNECTIONS_OPENED: &str = "xclean_server_connections_opened_total";
+    /// TCP connections the suggestion server finished with.
+    pub const CONNECTIONS_CLOSED: &str = "xclean_server_connections_closed_total";
+    /// Gauge (rendered by the server, not registry-backed): connections
+    /// currently open, i.e. opened minus closed.
+    pub const CONNECTIONS_OPEN: &str = "xclean_server_connections_open";
+    /// Requests served on an already-used keep-alive connection (every
+    /// request on a connection beyond its first).
+    pub const KEEPALIVE_REUSE: &str = "xclean_server_keepalive_reuse_total";
     /// Latency histogram: snapshot open (read/map bytes into a slab).
     pub const SNAPSHOT_OPEN: &str = "xclean_snapshot_open_nanos";
     /// Latency histogram: snapshot validation (structure + checksum).
@@ -133,6 +143,12 @@ pub mod names {
             n if n == CACHE_MISSES => "Response-cache lookups that missed.",
             n if n == CACHE_EVICTIONS => "Response-cache entries evicted by LRU pressure.",
             n if n == SERVER_REQUEST => "Whole HTTP request latency in nanoseconds.",
+            n if n == CONNECTIONS_OPENED => "TCP connections accepted by the server.",
+            n if n == CONNECTIONS_CLOSED => "TCP connections the server finished with.",
+            n if n == CONNECTIONS_OPEN => "Connections currently open.",
+            n if n == KEEPALIVE_REUSE => {
+                "Requests served on an already-used keep-alive connection."
+            }
             n if n == SNAPSHOT_OPEN => "Snapshot open latency in nanoseconds.",
             n if n == SNAPSHOT_VALIDATE => "Snapshot validation latency in nanoseconds.",
             n if n == FIRST_QUERY => "First suggest call after snapshot open, in nanoseconds.",
