@@ -37,7 +37,10 @@ fn main() {
 
 #[cfg(not(target_os = "linux"))]
 fn main() {
-    eprintln!("loadgen drives sockets through epoll(7) and only runs on Linux");
+    xclean_telemetry::log_error!(
+        "xclean_loadgen",
+        "loadgen drives sockets through epoll(7) and only runs on Linux",
+    );
     std::process::exit(2);
 }
 
@@ -92,7 +95,7 @@ mod linux {
         let mut args = std::env::args().skip(1);
         let next = |flag: &str, args: &mut dyn Iterator<Item = String>| {
             args.next().unwrap_or_else(|| {
-                eprintln!("{flag} expects a value");
+                xclean_telemetry::log_error!("xclean_loadgen", "flag expects a value", flag = flag);
                 std::process::exit(2);
             })
         };
@@ -126,7 +129,12 @@ mod linux {
                 "--queries" => {
                     let path = next("--queries", &mut args);
                     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-                        eprintln!("cannot read {path}: {e}");
+                        xclean_telemetry::log_error!(
+                            "xclean_loadgen",
+                            "cannot read queries file",
+                            path = path,
+                            error = e,
+                        );
                         std::process::exit(2);
                     });
                     opts.queries = text
@@ -139,9 +147,11 @@ mod linux {
                 }
                 "--out" => opts.out = next("--out", &mut args),
                 other => {
-                    eprintln!(
-                        "unknown argument {other:?} (expected --addr --connections --duration \
-                         --warmup --queries --healthz-every --out)"
+                    xclean_telemetry::log_error!(
+                        "xclean_loadgen",
+                        "unknown argument (expected --addr --connections --duration \
+                         --warmup --queries --healthz-every --out)",
+                        argument = format!("{other:?}"),
                     );
                     std::process::exit(2);
                 }
@@ -321,7 +331,12 @@ mod linux {
         fn fail(&mut self, token: usize, what: &str) {
             let conn = &mut self.conns[token];
             if conn.alive {
-                eprintln!("conn {token}: {what}");
+                xclean_telemetry::log_warn!(
+                    "xclean_loadgen",
+                    "connection failed",
+                    conn = token,
+                    cause = what,
+                );
                 self.tally.errors += 1;
                 conn.alive = false;
                 let _ = self.epoll.del(conn.stream.as_raw_fd());
@@ -351,13 +366,14 @@ mod linux {
             })
             .collect();
 
-        eprintln!(
-            "loadgen: {} connections against {} for {:.0}s (+{:.0}s warmup), {} queries in the mix",
-            opts.connections,
-            opts.addr,
-            opts.duration.as_secs_f64(),
-            opts.warmup.as_secs_f64(),
-            opts.queries.len(),
+        xclean_telemetry::log_info!(
+            "xclean_loadgen",
+            "loadgen starting",
+            connections = opts.connections,
+            addr = opts.addr,
+            duration_secs = format!("{:.0}", opts.duration.as_secs_f64()),
+            warmup_secs = format!("{:.0}", opts.warmup.as_secs_f64()),
+            query_mix = opts.queries.len(),
         );
 
         // Connect in waves: the listen backlog is finite, so a burst of
@@ -374,11 +390,21 @@ mod linux {
                             attempt += 1;
                             std::thread::sleep(Duration::from_millis(50));
                             if attempt == 40 {
-                                eprintln!("connect {}: {e} (still retrying)", opts.addr);
+                                xclean_telemetry::log_warn!(
+                                    "xclean_loadgen",
+                                    "connect still retrying",
+                                    addr = opts.addr,
+                                    error = e,
+                                );
                             }
                         }
                         Err(e) => {
-                            eprintln!("cannot connect to {}: {e}", opts.addr);
+                            xclean_telemetry::log_error!(
+                                "xclean_loadgen",
+                                "cannot connect",
+                                addr = opts.addr,
+                                error = e,
+                            );
                             std::process::exit(1);
                         }
                     }
@@ -448,7 +474,10 @@ mod linux {
                 }
             }
             if gen.conns.iter().all(|c| !c.alive) {
-                eprintln!("every connection failed; giving up");
+                xclean_telemetry::log_error!(
+                    "xclean_loadgen",
+                    "every connection failed; giving up"
+                );
                 break;
             }
         }
@@ -469,15 +498,18 @@ mod linux {
         let max = latencies.last().copied().unwrap_or(0);
         let alive = gen.conns.iter().filter(|c| c.alive).count();
 
-        eprintln!(
-            "loadgen: {} requests in {measured_secs:.1}s = {qps:.1} q/s, {} errors, \
-             {alive}/{} connections alive; p50={:.2}ms p95={:.2}ms p99={:.2}ms",
-            gen.tally.requests,
-            gen.tally.errors,
-            opts.connections,
-            p50 as f64 / 1e6,
-            p95 as f64 / 1e6,
-            p99 as f64 / 1e6,
+        xclean_telemetry::log_info!(
+            "xclean_loadgen",
+            "measured window complete",
+            requests = gen.tally.requests,
+            measured_secs = format!("{measured_secs:.1}"),
+            queries_per_sec = format!("{qps:.1}"),
+            errors = gen.tally.errors,
+            connections_alive = alive,
+            connections = opts.connections,
+            p50_ms = format!("{:.2}", p50 as f64 / 1e6),
+            p95_ms = format!("{:.2}", p95 as f64 / 1e6),
+            p99_ms = format!("{:.2}", p99 as f64 / 1e6),
         );
 
         let report = serde_json::json!({
@@ -504,10 +536,15 @@ mod linux {
         });
         let text = serde_json::to_string_pretty(&report).expect("serialisable");
         std::fs::write(&opts.out, &text).unwrap_or_else(|e| {
-            eprintln!("cannot write {}: {e}", opts.out);
+            xclean_telemetry::log_error!(
+                "xclean_loadgen",
+                "cannot write report",
+                path = opts.out,
+                error = e,
+            );
             std::process::exit(1);
         });
-        eprintln!("report → {}", opts.out);
+        xclean_telemetry::log_info!("xclean_loadgen", "report written", path = opts.out);
         if gen.tally.errors > 0 || gen.tally.requests == 0 {
             std::process::exit(1);
         }

@@ -118,13 +118,16 @@ fn bench_cold_start(repeats: usize) -> serde_json::Value {
     );
 
     let speedup = v1_nanos as f64 / v2_nanos as f64;
-    eprintln!(
-        "  cold start: v1 load {:.2}ms, v2 open {:.3}ms ({}, {speedup:.1}×), \
-         decode sweep {:.2}ms; ΔRSS open v1 {v1_open_rss_kb} kB vs v2 {v2_open_rss_kb} kB",
-        v1_nanos as f64 / 1e6,
-        v2_nanos as f64 / 1e6,
-        if v2_report.mapped { "mmap" } else { "owned" },
-        v2_sweep_nanos as f64 / 1e6,
+    xclean_telemetry::log_info!(
+        "xclean_bench",
+        "cold start measured",
+        v1_load_ms = format!("{:.2}", v1_nanos as f64 / 1e6),
+        v2_open_ms = format!("{:.3}", v2_nanos as f64 / 1e6),
+        v2_mode = if v2_report.mapped { "mmap" } else { "owned" },
+        speedup = format!("{speedup:.1}"),
+        decode_sweep_ms = format!("{:.2}", v2_sweep_nanos as f64 / 1e6),
+        v1_open_rss_kb = v1_open_rss_kb,
+        v2_open_rss_kb = v2_open_rss_kb,
     );
     serde_json::json!({
         "snapshot_bytes": snapshot_bytes,
@@ -145,9 +148,10 @@ fn bench_cold_start(repeats: usize) -> serde_json::Value {
     })
 }
 
-/// Observability-overhead guard: the request ring + rolling windows are
-/// record-only and sit *outside* the suggestion computation, so serving
-/// with them on adds exactly one ring/window record per request. A/B
+/// Observability-overhead guard: the request ring, rolling windows,
+/// runtime histograms, and flight recorder are record-only and sit
+/// *outside* the suggestion computation, so serving with them on adds
+/// a fixed handful of records per request. A/B
 /// medians of the full suggest call cannot resolve that cost on a noisy
 /// CI box (run-to-run medians swing ±5%, the record is <1µs), so the
 /// guard measures each side where it is stable: the per-record cost in
@@ -159,7 +163,9 @@ fn bench_observability_overhead(
     queries: &[Vec<String>],
     repeats: usize,
 ) -> serde_json::Value {
-    use xclean_telemetry::{RequestRecord, RequestRing, RollingWindows, WindowEvent};
+    use xclean_telemetry::{
+        RequestRecord, RequestRing, RollingWindows, RuntimeEventKind, RuntimeStats, WindowEvent,
+    };
 
     let engine = XCleanEngine::from_shared(corpus.clone(), XCleanConfig::default());
     // Warm the per-call path (allocator, branch predictors, the engine's
@@ -182,17 +188,36 @@ fn bench_observability_overhead(
         suggest_p50 = suggest_p50.min(nanos[nanos.len() / 2]);
     }
 
-    // Per-request record cost: exactly what `observe_reply` adds on the
-    // server — one window record and one ring push (trace-ID String
-    // included). Enough iterations to swamp timer granularity; the ring
-    // is at eviction capacity for most of them, the honest steady state.
+    // Per-request record cost: exactly what one served request adds on
+    // the server — one window record and one ring push (trace-ID String
+    // included), plus the PR-7 runtime plane: a loop-wake histogram
+    // sample, a dispatch and a complete flight-recorder push, a
+    // queue-wait sample, and a worker-busy accumulation. Enough
+    // iterations to swamp timer granularity; the ring and the flight
+    // buffer are at eviction capacity for most of them, the honest
+    // steady state.
     let ring = RequestRing::new(512, 8);
     let windows = RollingWindows::new();
+    let runtime = RuntimeStats::new(1, 4096);
     let iterations: u64 = 4096;
     let epoch = Instant::now();
     let start = Instant::now();
     for i in 0..iterations {
         let now = epoch.elapsed().as_nanos() as u64;
+        runtime.record_loop_wake(1, 500);
+        runtime
+            .flight()
+            .push(now, RuntimeEventKind::Dispatch { conn: i, seq: 0 });
+        runtime.record_queue_wait(1_000);
+        runtime.record_worker_busy(0, suggest_p50);
+        runtime.flight().push(
+            now,
+            RuntimeEventKind::Complete {
+                conn: i,
+                seq: 0,
+                status: 200,
+            },
+        );
         windows.record(
             now,
             &WindowEvent {
@@ -220,15 +245,23 @@ fn bench_observability_overhead(
     }
     let record_nanos = ((start.elapsed().as_nanos() as u64) / iterations).max(1);
     assert_eq!(ring.len(), 512, "ring reached eviction steady state");
+    assert_eq!(
+        runtime.flight().len(),
+        4096,
+        "flight recorder reached eviction steady state"
+    );
 
     let overhead_pct = record_nanos as f64 / suggest_p50 as f64 * 100.0;
-    eprintln!(
-        "  observability overhead: ring+window record {record_nanos} ns per request \
-         vs suggest p50 {suggest_p50} ns ({overhead_pct:.3}%)"
+    xclean_telemetry::log_info!(
+        "xclean_bench",
+        "observability overhead measured",
+        record_nanos = record_nanos,
+        suggest_p50_nanos = suggest_p50,
+        overhead_pct = format!("{overhead_pct:.3}"),
     );
     assert!(
         overhead_pct < 2.0,
-        "request ring + rolling windows cost {overhead_pct:.3}% of suggest p50 (budget: 2%)"
+        "ring + windows + runtime records cost {overhead_pct:.3}% of suggest p50 (budget: 2%)"
     );
     serde_json::json!({
         "suggest_p50_nanos": suggest_p50,
@@ -249,15 +282,23 @@ fn main() {
             "--full" => scale = &FULL,
             "--quick" => scale = &QUICK,
             other => {
-                eprintln!("unknown argument {other:?} (expected --out <path> | --quick | --full)");
+                xclean_telemetry::log_error!(
+                    "xclean_bench",
+                    "unknown argument (expected --out <path> | --quick | --full)",
+                    argument = format!("{other:?}"),
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    eprintln!(
-        "quick-bench: dblp {} publications, {} queries, {} repeat(s)",
-        scale.publications, scale.n_queries, scale.repeats
+    xclean_telemetry::log_info!(
+        "xclean_bench",
+        "quick-bench starting",
+        dataset = "dblp",
+        publications = scale.publications,
+        queries = scale.n_queries,
+        repeats = scale.repeats,
     );
     let tree = generate_dblp(&DblpConfig {
         publications: scale.publications,
@@ -299,9 +340,14 @@ fn main() {
             .metrics()
             .histogram_summary(names::STAGE_RANK)
             .expect("rank histogram present");
-        eprintln!(
-            "  threads={threads}: {best_qps:.1} q/s, rank p50={} p95={} ns ({} samples)",
-            rank.p50, rank.p95, rank.count
+        xclean_telemetry::log_info!(
+            "xclean_bench",
+            "suggest batch timed",
+            threads = threads,
+            queries_per_sec = format!("{best_qps:.1}"),
+            rank_p50_ns = rank.p50,
+            rank_p95_ns = rank.p95,
+            samples = rank.count,
         );
         thread_rows.push(serde_json::json!({
             "threads": threads,
@@ -338,8 +384,8 @@ fn main() {
     });
     let text = serde_json::to_string_pretty(&report).expect("serialisable");
     std::fs::write(&out, &text).unwrap_or_else(|e| {
-        eprintln!("cannot write {out}: {e}");
+        xclean_telemetry::log_error!("xclean_bench", "cannot write report", path = out, error = e);
         std::process::exit(1);
     });
-    eprintln!("report → {out}");
+    xclean_telemetry::log_info!("xclean_bench", "report written", path = out);
 }

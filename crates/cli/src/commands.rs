@@ -78,13 +78,21 @@ USAGE:
             [--semantics node-type|slca|elca] [--phonetic DIST]
             [--trace-out trace.json] [--metrics-json metrics.json]
             [--slow-ms MS] [--slow-log FILE]
+            [--log-level SPEC] [--log-json]
+            [--flight-events N] [--conn-registry N]
             (long-running HTTP server: POST/GET /suggest, GET /healthz,
-             GET /metrics, GET /statusz, GET /debug/requests?n=K;
+             GET /metrics, GET /statusz, GET /debug/requests?n=K,
+             GET /debug/conns?n=K, GET /debug/flight?events=N;
              answers repeated queries from a sharded LRU response cache;
              every response carries an X-Request-Id; requests slower
              than --slow-ms (default 100) are logged as JSON lines to
              --slow-log (default stderr); Ctrl-C drains in-flight
              requests, then flushes --trace-out / --metrics-json)
+            (--log-level takes a spec like `info` or
+             `info,xclean_server=debug`; --log-json switches the leveled
+             stderr logger from logfmt to JSON lines; --flight-events
+             sizes the runtime flight recorder and --conn-registry the
+             live-connection registry — 0 disables either)
             (--event-loop serves HTTP/1.1 keep-alive connections from a
              nonblocking epoll loop — the default on Linux, up to
              --max-connections sockets; --thread-pool falls back to
@@ -563,7 +571,10 @@ fn cmd_suggest_batch(engine: &XCleanEngine, path: &str, json: bool) -> Result<Cm
 /// SIGINT/SIGTERM triggers a graceful drain; the returned lines are the
 /// post-drain summary.
 fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
-    let args = Args::parse(raw, &["mmap", "no-mmap", "event-loop", "thread-pool"])?;
+    let args = Args::parse(
+        raw,
+        &["mmap", "no-mmap", "event-loop", "thread-pool", "log-json"],
+    )?;
     args.reject_unknown(&[
         "host",
         "port",
@@ -587,6 +598,10 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         "metrics-json",
         "slow-ms",
         "slow-log",
+        "log-level",
+        "log-json",
+        "flight-events",
+        "conn-registry",
     ])?;
     let [snapshot] = args.positional() else {
         return Err(ArgError(
@@ -613,6 +628,17 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     } else {
         AcceptModel::EventLoop
     };
+    // The leveled stderr logger goes up before anything can log. A
+    // second `serve` in one process keeps the first logger (set_global
+    // is first-wins) — fine for a CLI that serves once.
+    let log_spec = xclean_telemetry::LevelSpec::parse(args.get("log-level").unwrap_or("info"))
+        .map_err(|e| ArgError(format!("--log-level: {e}")))?;
+    let log_format = if args.has_flag("log-json") {
+        xclean_telemetry::LogFormat::Json
+    } else {
+        xclean_telemetry::LogFormat::Logfmt
+    };
+    xclean_telemetry::set_global(xclean_telemetry::Logger::stderr(log_spec, log_format));
     let server_config = ServerConfig {
         threads: args.get_parsed("threads", defaults.threads)?,
         accept_model,
@@ -622,6 +648,9 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         max_body_bytes: args.get_parsed("max-body-bytes", defaults.max_body_bytes)?,
         slow_threshold: Duration::from_millis(slow_ms),
         slow_log: args.get("slow-log").map(std::path::PathBuf::from),
+        flight_capacity: args.get_parsed("flight-events", defaults.flight_capacity)?,
+        conn_registry_capacity: args
+            .get_parsed("conn-registry", defaults.conn_registry_capacity)?,
         ..defaults
     };
     if server_config.max_connections == 0 {
@@ -630,6 +659,11 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     if server_config.threads == 0 {
         return Err(ArgError("--threads must be at least 1".into()));
     }
+    let (threads_n, flight_n, registry_n) = (
+        server_config.threads,
+        server_config.flight_capacity,
+        server_config.conn_registry_capacity,
+    );
     let host = args.get("host").unwrap_or("127.0.0.1");
     let port: u16 = args.get_parsed("port", 8080u16)?;
     let trace_out = args.get("trace-out").map(str::to_string);
@@ -702,27 +736,45 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         server.fingerprint()
     );
     println!(
-        "endpoints: POST/GET /suggest   GET /healthz /metrics /statusz /debug/requests   (Ctrl-C drains)"
+        "endpoints: POST/GET /suggest   GET /healthz /metrics /statusz /debug/requests /debug/conns /debug/flight   (Ctrl-C drains)"
     );
     println!(
         "slow-query log: threshold {slow_ms}ms → {}",
         args.get("slow-log").unwrap_or("stderr")
     );
     let _ = std::io::stdout().flush();
+    xclean_telemetry::log_info!(
+        "xclean_cli::serve",
+        "listening",
+        addr = bound,
+        accept_model = match accept_model {
+            AcceptModel::EventLoop => "event_loop",
+            AcceptModel::ThreadPool => "thread_pool",
+        },
+        threads = threads_n,
+        flight_events = flight_n,
+        conn_registry = registry_n
+    );
 
     let report = server.run().map_err(|e| ArgError(format!("server: {e}")))?;
 
-    let mut lines = vec![format!(
-        "drained: {} request(s), {} error(s) over {} connection(s) ({} keep-alive reuse); \
-         cache {} hit(s) / {} miss(es) / {} eviction(s)",
-        report.requests,
-        report.errors,
-        report.connections,
-        report.keepalive_reuse,
-        report.cache_hits,
-        report.cache_misses,
-        report.cache_evictions
-    )];
+    let mut lines = vec![
+        format!(
+            "drained: {} request(s), {} error(s) over {} connection(s) ({} keep-alive reuse); \
+             cache {} hit(s) / {} miss(es) / {} eviction(s)",
+            report.requests,
+            report.errors,
+            report.connections,
+            report.keepalive_reuse,
+            report.cache_hits,
+            report.cache_misses,
+            report.cache_evictions
+        ),
+        format!(
+            "runtime: {} loop wake(s), {} queued job(s), {} flight event(s)",
+            report.loop_wakes, report.queue_waits, report.flight_events
+        ),
+    ];
     if let Some(path) = trace_out {
         let spans = engine.tracer().finished_spans().len();
         std::fs::write(&path, engine.tracer().chrome_trace_json())

@@ -29,7 +29,7 @@ fn main() {
         ("INEX", build_inex(scale, default_config())),
     ] {
         for set in query_sets(&engine, dataset) {
-            eprintln!("sweeping β on {}", set.name);
+            xclean_telemetry::log_info!("xclean_eval", "sweeping beta", dataset = set.name);
             let mut mrrs = Vec::new();
             for &beta in BETAS {
                 let cfg = XCleanConfig {

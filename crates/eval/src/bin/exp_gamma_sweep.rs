@@ -32,7 +32,7 @@ fn main() {
         ("INEX", build_inex(scale, default_config())),
     ] {
         for set in query_sets(&engine, dataset) {
-            eprintln!("sweeping γ on {}", set.name);
+            xclean_telemetry::log_info!("xclean_eval", "sweeping gamma", dataset = set.name);
             // XClean: γ = accumulator bound.
             let mut xc = Vec::new();
             for &gamma in GAMMAS {

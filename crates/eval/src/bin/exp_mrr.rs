@@ -30,11 +30,12 @@ fn main() {
         let systems: Vec<&(dyn Suggester + Sync)> = vec![&xclean, &py08, &se1, &se2];
         for set in &sets {
             for sys in &systems {
-                eprintln!(
-                    "running {} on {} ({} queries)",
-                    sys.name(),
-                    set.name,
-                    set.cases.len()
+                xclean_telemetry::log_info!(
+                    "xclean_eval",
+                    "running system",
+                    system = sys.name(),
+                    dataset = set.name,
+                    queries = set.cases.len(),
                 );
                 results.push(run_set_parallel(*sys, set, 10, default_threads()));
             }

@@ -38,7 +38,7 @@ fn main() {
         let xclean = XCleanSuggester::new(&engine);
         let py08 = Py08Suggester::new(&engine, engine.corpus(), 1000);
         for set in &sets {
-            eprintln!("timing {}", set.name);
+            xclean_telemetry::log_info!("xclean_eval", "timing dataset", dataset = set.name);
             let rx = run_set(&xclean, set, 10);
             let rp = run_set(&py08, set, 10);
             // Naïve evaluator, timed directly (no pruning — the point is

@@ -147,6 +147,12 @@ pub struct Connection<T> {
     request_started: Option<u64>,
     /// Nanos of the last completed activity (for the idle timeout).
     idle_since: u64,
+    /// Lifetime bytes pulled off the socket (wire bytes, including any
+    /// discarded after a framing error — the registry reports traffic,
+    /// not parse success).
+    bytes_in: u64,
+    /// Lifetime bytes pushed onto the socket.
+    bytes_out: u64,
     max_body_bytes: usize,
     max_pipeline: usize,
 }
@@ -169,6 +175,8 @@ impl<T> Connection<T> {
             draining: false,
             request_started: None,
             idle_since: now,
+            bytes_in: 0,
+            bytes_out: 0,
             max_body_bytes,
             max_pipeline: max_pipeline.max(1),
         }
@@ -183,6 +191,22 @@ impl<T> Connection<T> {
     /// keep-alive reuse signal: any request with `seq > 0` reused it).
     pub fn requests_started(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Lifetime bytes read off the socket.
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in
+    }
+
+    /// Lifetime bytes written to the socket.
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out
+    }
+
+    /// Requests surfaced but not yet flushed to the wire — the live
+    /// pipeline depth the connection registry reports.
+    pub fn pipeline_depth(&self) -> u64 {
+        self.outstanding()
     }
 
     /// Current epoll interest. `read` goes false under backpressure (the
@@ -221,6 +245,7 @@ impl<T> Connection<T> {
                 Ok(0) => self.peer_eof = true,
                 Ok(n) => {
                     pulled += n;
+                    self.bytes_in += n as u64;
                     if self.reading_stopped {
                         // Poisoned or closing stream: discard the bytes
                         // (still draining the socket keeps level-triggered
@@ -340,7 +365,10 @@ impl<T> Connection<T> {
                 Ok(0) => {
                     self.broken = true;
                 }
-                Ok(n) => self.write_pos += n,
+                Ok(n) => {
+                    self.write_pos += n;
+                    self.bytes_out += n as u64;
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => self.broken = true,

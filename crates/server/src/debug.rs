@@ -19,9 +19,10 @@
 //! off) true by construction rather than by care.
 
 use std::cell::Cell;
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use xclean_telemetry::{
     escape_label_value, names, RequestRecord, RequestRing, RollingWindows, SharedClock,
@@ -33,6 +34,13 @@ const RING_STRIPES: usize = 8;
 
 /// Hard cap on `?n=` for `/debug/requests` (the ring is smaller anyway).
 pub const MAX_DEBUG_REQUESTS: usize = 1000;
+
+/// Hard cap on `?n=` for `/debug/conns`.
+pub const MAX_DEBUG_CONNS: usize = 1000;
+
+/// Hard cap on `?events=` for `/debug/flight` (the recorder is bounded
+/// to 4096 events anyway; this just rejects absurd asks early).
+pub const MAX_FLIGHT_EVENTS: usize = 65_536;
 
 /// Per-server observability state; shared by the accept loop and every
 /// worker through an `Arc`.
@@ -92,6 +100,12 @@ impl Observability {
     /// Whole seconds since the plane was built (server start).
     pub fn uptime_secs(&self) -> u64 {
         (self.clock.now_nanos() - self.start_nanos) / 1_000_000_000
+    }
+
+    /// Nanoseconds since the plane was built — the wall-time base the
+    /// worker-utilization gauge divides busy time by.
+    pub fn uptime_nanos(&self) -> u64 {
+        self.clock.now_nanos().saturating_sub(self.start_nanos)
     }
 
     /// The slow-request threshold in nanoseconds.
@@ -179,6 +193,194 @@ impl TraceIdGen {
         let n = self.counter.get();
         self.counter.set(n + 1);
         format!("{:08x}-{:02x}-{:06x}", self.seed, self.worker, n)
+    }
+}
+
+/// One live connection's introspection state (DESIGN.md §14). The entry
+/// is shared between the serving path (which bumps plain atomics — no
+/// map lock on the hot path) and `/debug/conns` readers.
+#[derive(Debug)]
+pub struct ConnEntry {
+    id: u64,
+    opened_nanos: u64,
+    /// 0 = open, 1 = draining (set once at graceful-drain start).
+    draining: AtomicU64,
+    requests: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    pipeline: AtomicU64,
+    last_active_nanos: AtomicU64,
+}
+
+impl ConnEntry {
+    /// Mirrors the connection's current counters into the entry. Called
+    /// from the owning loop/worker after each burst of activity.
+    pub fn update(&self, requests: u64, bytes_in: u64, bytes_out: u64, pipeline: u64, now: u64) {
+        self.requests.store(requests, Ordering::Relaxed);
+        self.bytes_in.store(bytes_in, Ordering::Relaxed);
+        self.bytes_out.store(bytes_out, Ordering::Relaxed);
+        self.pipeline.store(pipeline, Ordering::Relaxed);
+        self.last_active_nanos.store(now, Ordering::Relaxed);
+    }
+
+    /// Marks the connection as draining (shown as `state: "draining"`).
+    pub fn set_draining(&self) {
+        self.draining.store(1, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of one registry entry, for rendering and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnSnapshot {
+    /// Connection ID (the event-loop token, or a registry-issued ID
+    /// under the thread-pool model).
+    pub id: u64,
+    /// `"open"` or `"draining"`.
+    pub state: &'static str,
+    /// Nanos since the connection was accepted.
+    pub age_nanos: u64,
+    /// Nanos since the last observed activity.
+    pub idle_nanos: u64,
+    /// Requests surfaced on this connection so far.
+    pub requests: u64,
+    /// Bytes read off the socket.
+    pub bytes_in: u64,
+    /// Bytes written to the socket.
+    pub bytes_out: u64,
+    /// Requests in flight (surfaced but not yet flushed).
+    pub pipeline: u64,
+    /// Whether the connection has been reused for more than one request
+    /// (the keep-alive signal).
+    pub reused: bool,
+}
+
+/// Live-connection registry behind `GET /debug/conns?n=K` and the
+/// `/statusz` runtime section. Bounded: at most `capacity` connections
+/// are tracked at once (later ones are served normally, just not
+/// introspectable); capacity 0 disables tracking entirely — the same
+/// on/off convention as `cache_entries: 0` and the flight recorder.
+#[derive(Debug, Default)]
+pub struct ConnRegistry {
+    capacity: usize,
+    next_id: AtomicU64,
+    conns: Mutex<BTreeMap<u64, Arc<ConnEntry>>>,
+}
+
+impl ConnRegistry {
+    /// A registry tracking at most `capacity` live connections.
+    pub fn new(capacity: usize) -> ConnRegistry {
+        ConnRegistry {
+            capacity,
+            next_id: AtomicU64::new(0),
+            conns: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether tracking is on (capacity > 0).
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// A fresh connection ID for callers without a natural one (the
+    /// thread-pool model; the event loop uses its epoll token).
+    pub fn issue_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Starts tracking a connection accepted at `now`. `None` when the
+    /// registry is disabled or full — the caller serves the connection
+    /// either way.
+    pub fn register(&self, id: u64, now: u64) -> Option<Arc<ConnEntry>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut conns = self.conns.lock().expect("conn registry poisoned");
+        if conns.len() >= self.capacity {
+            return None;
+        }
+        let entry = Arc::new(ConnEntry {
+            id,
+            opened_nanos: now,
+            draining: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            pipeline: AtomicU64::new(0),
+            last_active_nanos: AtomicU64::new(now),
+        });
+        conns.insert(id, Arc::clone(&entry));
+        Some(entry)
+    }
+
+    /// Stops tracking `id` (connection closed). Unknown IDs are a no-op
+    /// (the connection may never have been registered under a full
+    /// registry).
+    pub fn unregister(&self, id: u64) {
+        self.conns
+            .lock()
+            .expect("conn registry poisoned")
+            .remove(&id);
+    }
+
+    /// Currently tracked connections.
+    pub fn tracked(&self) -> usize {
+        self.conns.lock().expect("conn registry poisoned").len()
+    }
+
+    /// The up-to-`n` longest-lived tracked connections (oldest first —
+    /// long-lived keep-alive sockets are what an operator hunts for).
+    pub fn snapshot(&self, n: usize, now: u64) -> Vec<ConnSnapshot> {
+        let conns = self.conns.lock().expect("conn registry poisoned");
+        conns
+            .values()
+            .take(n)
+            .map(|e| ConnSnapshot {
+                id: e.id,
+                state: if e.draining.load(Ordering::Relaxed) != 0 {
+                    "draining"
+                } else {
+                    "open"
+                },
+                age_nanos: now.saturating_sub(e.opened_nanos),
+                idle_nanos: now.saturating_sub(e.last_active_nanos.load(Ordering::Relaxed)),
+                requests: e.requests.load(Ordering::Relaxed),
+                bytes_in: e.bytes_in.load(Ordering::Relaxed),
+                bytes_out: e.bytes_out.load(Ordering::Relaxed),
+                pipeline: e.pipeline.load(Ordering::Relaxed),
+                reused: e.requests.load(Ordering::Relaxed) > 1,
+            })
+            .collect()
+    }
+
+    /// Renders the `GET /debug/conns` body: `open` is the lifetime
+    /// opened−closed gauge (counts every live socket), `tracked` how many
+    /// of those the bounded registry holds.
+    pub fn render_debug_conns(&self, n: usize, now: u64, open: u64) -> String {
+        let snaps = self.snapshot(n, now);
+        let mut out = format!(
+            "{{\"open\":{open},\"tracked\":{},\"conns\":[",
+            self.tracked()
+        );
+        for (i, s) in snaps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"state\":\"{}\",\"age_secs\":{:.3},\"idle_secs\":{:.3},\
+                 \"requests\":{},\"bytes_in\":{},\"bytes_out\":{},\"pipeline\":{},\"reused\":{}}}",
+                s.id,
+                s.state,
+                s.age_nanos as f64 / 1e9,
+                s.idle_nanos as f64 / 1e9,
+                s.requests,
+                s.bytes_in,
+                s.bytes_out,
+                s.pipeline,
+                s.reused
+            ));
+        }
+        out.push_str("]}");
+        out
     }
 }
 
@@ -292,6 +494,34 @@ pub struct StatuszInfo {
     pub connections_closed: u64,
     /// Requests served on an already-used keep-alive connection.
     pub keepalive_reuse: u64,
+    /// Accept model in play (`"thread_pool"` / `"event_loop"`).
+    pub accept_model: &'static str,
+    /// Connection cap above which accepts are shed with 503s.
+    pub max_connections: usize,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Event-loop wake-ups observed (0 under the thread-pool model).
+    pub loop_wakes: u64,
+    /// Loop-lag p50 in nanos (busy time between `epoll_wait` calls).
+    pub loop_lag_p50_nanos: u64,
+    /// Loop-lag p99 in nanos.
+    pub loop_lag_p99_nanos: u64,
+    /// Jobs whose enqueue→pickup wait was measured.
+    pub queue_waits: u64,
+    /// Queue-wait p50 in nanos.
+    pub queue_wait_p50_nanos: u64,
+    /// Queue-wait p99 in nanos.
+    pub queue_wait_p99_nanos: u64,
+    /// Per-worker busy share of wall time, one entry per worker.
+    pub worker_utilization: Vec<f64>,
+    /// Flight-recorder events currently buffered.
+    pub flight_len: usize,
+    /// Flight-recorder capacity (0 = disabled).
+    pub flight_capacity: usize,
+    /// Flight-recorder events captured over the lifetime.
+    pub flight_recorded: u64,
+    /// Connections the live registry is tracking right now.
+    pub conns_tracked: usize,
 }
 
 /// Renders the `GET /statusz` text dashboard.
@@ -322,9 +552,40 @@ pub fn render_statusz(obs: &Observability, info: &StatuszInfo) -> String {
         info.keepalive_reuse
     ));
     out.push_str(&format!(
-        "slow_threshold_ms: {}\n\n",
+        "slow_threshold_ms: {}\n",
         obs.slow_threshold_nanos() / 1_000_000
     ));
+    out.push_str(&format!(
+        "runtime: accept_model={} workers={} max_connections={}\n",
+        if info.accept_model.is_empty() {
+            "unknown"
+        } else {
+            info.accept_model
+        },
+        info.workers,
+        info.max_connections
+    ));
+    out.push_str(&format!(
+        "loop: wakes={} lag_p50_ns={} lag_p99_ns={}\n",
+        info.loop_wakes, info.loop_lag_p50_nanos, info.loop_lag_p99_nanos
+    ));
+    out.push_str(&format!(
+        "queue_wait: jobs={} p50_ns={} p99_ns={}\n",
+        info.queue_waits, info.queue_wait_p50_nanos, info.queue_wait_p99_nanos
+    ));
+    out.push_str("worker_utilization:");
+    if info.worker_utilization.is_empty() {
+        out.push_str(" (none)");
+    }
+    for (i, u) in info.worker_utilization.iter().enumerate() {
+        out.push_str(&format!(" w{i}={u:.3}"));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "flight_recorder: buffered={} capacity={} recorded={}\n",
+        info.flight_len, info.flight_capacity, info.flight_recorded
+    ));
+    out.push_str(&format!("conns_tracked: {}\n\n", info.conns_tracked));
     out.push_str(
         "window  requests  errors  qps        err_ratio  hit_ratio  p50_ns      p95_ns      p99_ns\n",
     );
@@ -489,9 +750,34 @@ mod tests {
                 connections_opened: 5,
                 connections_closed: 3,
                 keepalive_reuse: 7,
+                accept_model: "event_loop",
+                max_connections: 4096,
+                workers: 4,
+                loop_wakes: 11,
+                queue_waits: 9,
+                worker_utilization: vec![0.25, 0.5],
+                flight_capacity: 4096,
+                flight_recorded: 42,
+                conns_tracked: 2,
+                ..StatuszInfo::default()
             },
         );
         assert!(text.contains("uptime_secs: 3"), "{text}");
+        assert!(
+            text.contains("runtime: accept_model=event_loop workers=4 max_connections=4096"),
+            "{text}"
+        );
+        assert!(text.contains("loop: wakes=11"), "{text}");
+        assert!(text.contains("queue_wait: jobs=9"), "{text}");
+        assert!(
+            text.contains("worker_utilization: w0=0.250 w1=0.500"),
+            "{text}"
+        );
+        assert!(
+            text.contains("flight_recorder: buffered=0 capacity=4096 recorded=42"),
+            "{text}"
+        );
+        assert!(text.contains("conns_tracked: 2"), "{text}");
         assert!(
             text.contains("connections: open=2 opened=5 closed=3 keepalive_reuse=7"),
             "{text}"
@@ -510,6 +796,55 @@ mod tests {
         assert!(
             no_snapshot.contains("corpus built in memory"),
             "{no_snapshot}"
+        );
+    }
+
+    #[test]
+    fn conn_registry_tracks_updates_and_renders() {
+        let reg = ConnRegistry::new(2);
+        assert!(reg.is_enabled());
+        let a = reg.register(7, 1_000_000_000).expect("tracked");
+        let _b = reg.register(8, 2_000_000_000).expect("tracked");
+        assert!(reg.register(9, 3_000_000_000).is_none(), "bounded");
+        assert_eq!(reg.tracked(), 2);
+        a.update(3, 100, 900, 1, 3_000_000_000);
+        let snaps = reg.snapshot(10, 4_000_000_000);
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].id, 7, "oldest first");
+        assert_eq!(snaps[0].requests, 3);
+        assert_eq!(snaps[0].bytes_in, 100);
+        assert_eq!(snaps[0].bytes_out, 900);
+        assert_eq!(snaps[0].pipeline, 1);
+        assert!(snaps[0].reused);
+        assert_eq!(snaps[0].age_nanos, 3_000_000_000);
+        assert_eq!(snaps[0].idle_nanos, 1_000_000_000);
+        assert!(!snaps[1].reused, "no requests yet");
+        a.set_draining();
+        let body = reg.render_debug_conns(1, 4_000_000_000, 5);
+        assert!(
+            body.starts_with("{\"open\":5,\"tracked\":2,\"conns\":[{"),
+            "{body}"
+        );
+        assert!(body.contains("\"id\":7"), "{body}");
+        assert!(body.contains("\"state\":\"draining\""), "{body}");
+        assert!(body.contains("\"age_secs\":3.000"), "{body}");
+        assert!(body.contains("\"reused\":true"), "{body}");
+        assert!(!body.contains("\"id\":8"), "n=1 cap: {body}");
+        reg.unregister(7);
+        reg.unregister(42); // unknown: no-op
+        assert_eq!(reg.tracked(), 1);
+        assert!(reg.register(9, 5_000_000_000).is_some(), "slot freed");
+    }
+
+    #[test]
+    fn disabled_conn_registry_is_inert() {
+        let reg = ConnRegistry::new(0);
+        assert!(!reg.is_enabled());
+        assert!(reg.register(1, 0).is_none());
+        assert_eq!(reg.tracked(), 0);
+        assert_eq!(
+            reg.render_debug_conns(10, 0, 3),
+            "{\"open\":3,\"tracked\":0,\"conns\":[]}"
         );
     }
 

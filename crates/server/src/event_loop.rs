@@ -31,8 +31,10 @@ use std::os::unix::io::AsRawFd;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 
+use xclean_telemetry::RuntimeEventKind;
+
 use crate::conn::{ConnEvent, Connection, DeadlineAction, Response};
-use crate::debug::TraceIdGen;
+use crate::debug::{ConnEntry, TraceIdGen};
 use crate::epoll::{Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::http::{render_response, HttpError, Request};
 use crate::server::{observe_reply, reply_for, route, Handler, Reply, ServerConfig};
@@ -56,6 +58,8 @@ struct ObsToken {
     reply: Reply,
     trace_id: String,
     arrived: u64,
+    /// Pipeline position, for the flight recorder's `complete` event.
+    seq: u64,
 }
 
 /// One live client socket.
@@ -64,6 +68,9 @@ struct Conn {
     machine: Connection<ObsToken>,
     /// `(read, write)` interest currently registered with epoll.
     registered: (bool, bool),
+    /// Live-registry entry mirroring this connection's counters; `None`
+    /// when the registry is disabled or was full at accept time.
+    entry: Option<Arc<ConnEntry>>,
 }
 
 /// A parsed request on its way to the worker pool.
@@ -73,6 +80,9 @@ struct Job {
     request: Request,
     trace_id: String,
     arrived: u64,
+    /// Nanos at which the job entered the queue — the worker records
+    /// pickup − enqueued as the queue-wait histogram sample.
+    enqueued: u64,
 }
 
 /// A routed reply on its way back to the loop.
@@ -103,12 +113,12 @@ pub(crate) fn run_event_loop(
     let (done_tx, done_rx) = channel::<Done>();
 
     std::thread::scope(|scope| {
-        for _ in 0..config.threads.max(1) {
+        for worker in 0..config.threads.max(1) {
             let rx = Arc::clone(&job_rx);
             let handler = Arc::clone(handler);
             let done = done_tx.clone();
             let wake = Arc::clone(&wake);
-            scope.spawn(move || worker_loop(&rx, &handler, &done, &wake));
+            scope.spawn(move || worker_loop(&rx, &handler, &done, &wake, worker));
         }
         drop(done_tx); // workers hold the only senders
         let mut state = EventLoop {
@@ -137,7 +147,13 @@ pub(crate) fn run_event_loop(
 /// CPU-bound half: dequeue a parsed request, route it (cache → engine),
 /// hand the reply back, and wake the loop. A panicking route costs one
 /// reply, not the pool — the client gets a 500 like any other response.
-fn worker_loop(rx: &Mutex<Receiver<Job>>, handler: &Handler, done: &Sender<Done>, wake: &WakeFd) {
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    handler: &Handler,
+    done: &Sender<Done>,
+    wake: &WakeFd,
+    worker: usize,
+) {
     loop {
         let job = match rx.lock() {
             Ok(guard) => guard.recv(),
@@ -146,10 +162,18 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, handler: &Handler, done: &Sender<Done>
         let Ok(job) = job else {
             return; // channel closed: drain complete
         };
+        let picked = handler.obs.clock().now_nanos();
+        handler
+            .runtime
+            .record_queue_wait(picked.saturating_sub(job.enqueued));
         let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             route(&job.request, handler, &job.trace_id)
         }))
         .unwrap_or_else(|_| Reply::error(500, "internal error").tagged("panic"));
+        handler.runtime.record_worker_busy(
+            worker,
+            handler.obs.clock().now_nanos().saturating_sub(picked),
+        );
         let delivered = done.send(Done {
             conn_token: job.conn_token,
             seq: job.seq,
@@ -188,8 +212,26 @@ impl EventLoop<'_> {
 
     fn run(&mut self, listener: &TcpListener, shutdown: &ShutdownFlag) -> io::Result<()> {
         let mut events = vec![EpollEvent { events: 0, data: 0 }; WAIT_CAPACITY];
+        // Loop lag = busy time between returning from one `epoll_wait`
+        // and calling the next: how long ready sockets sat unserviced
+        // while the loop processed the previous batch.
+        let mut last_return = self.now();
         loop {
+            let lag = self.now().saturating_sub(last_return);
             let n = self.epoll.wait(&mut events, TICK_MS)?;
+            last_return = self.now();
+            self.handler.runtime.record_loop_wake(n as u64, lag);
+            if n > 0 {
+                // Idle ticks are counted above but kept out of the
+                // flight recorder — they would drown real events.
+                self.handler.runtime.flight().push(
+                    last_return,
+                    RuntimeEventKind::LoopWake {
+                        events: n as u64,
+                        lag_nanos: lag,
+                    },
+                );
+            }
             for ev in &events[..n] {
                 match ev.token() {
                     TOKEN_LISTENER => {
@@ -217,9 +259,15 @@ impl EventLoop<'_> {
                 if self.now() >= self.drain_deadline {
                     // Grace expired: peers that never read their final
                     // response forfeit it.
-                    for (_, conn) in self.conns.drain() {
+                    let now = self.now();
+                    for (token, conn) in self.conns.drain() {
                         let _ = self.epoll.del(conn.stream.as_raw_fd());
                         self.handler.conn_stats.closed.inc();
+                        self.handler
+                            .runtime
+                            .flight()
+                            .push(now, RuntimeEventKind::ConnClose { conn: token });
+                        self.handler.conn_registry.unregister(token);
                     }
                     return Ok(());
                 }
@@ -254,17 +302,21 @@ impl EventLoop<'_> {
                         self.handler.conn_stats.closed.inc();
                         continue;
                     }
-                    let machine = Connection::new(
-                        self.now(),
-                        self.config.max_body_bytes,
-                        self.config.max_pipeline,
-                    );
+                    let now = self.now();
+                    let machine =
+                        Connection::new(now, self.config.max_body_bytes, self.config.max_pipeline);
+                    let entry = self.handler.conn_registry.register(token, now);
+                    self.handler
+                        .runtime
+                        .flight()
+                        .push(now, RuntimeEventKind::ConnOpen { conn: token });
                     self.conns.insert(
                         token,
                         Conn {
                             stream,
                             machine,
                             registered: (true, false),
+                            entry,
                         },
                     );
                 }
@@ -324,12 +376,17 @@ impl EventLoop<'_> {
                     if seq > 0 {
                         self.handler.conn_stats.reuse.inc();
                     }
+                    self.handler
+                        .runtime
+                        .flight()
+                        .push(arrived, RuntimeEventKind::Dispatch { conn: token, seq });
                     let job = Job {
                         conn_token: token,
                         seq,
                         request,
                         trace_id,
                         arrived,
+                        enqueued: arrived,
                     };
                     if let Some(tx) = &self.job_tx {
                         let _ = tx.send(job);
@@ -384,9 +441,18 @@ impl EventLoop<'_> {
                 reply,
                 trace_id,
                 arrived,
+                seq,
             };
             let flushed = conn.machine.complete(seq, response, token_payload, now);
             for t in flushed {
+                self.handler.runtime.flight().push(
+                    now,
+                    RuntimeEventKind::Complete {
+                        conn: token,
+                        seq: t.seq,
+                        status: t.reply.status,
+                    },
+                );
                 observe_reply(self.handler, t.reply, t.trace_id, t.arrived);
             }
             conn.machine.on_writable(&mut conn.stream);
@@ -417,15 +483,31 @@ impl EventLoop<'_> {
     }
 
     /// Mirrors the state machine's interest into epoll and reaps
-    /// finished connections.
+    /// finished connections; the registry entry is refreshed here, the
+    /// one choke point every connection event funnels through.
     fn sync_conn(&mut self, token: u64) {
+        let now = self.now();
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
+        if let Some(entry) = &conn.entry {
+            entry.update(
+                conn.machine.requests_started(),
+                conn.machine.bytes_in(),
+                conn.machine.bytes_out(),
+                conn.machine.pipeline_depth(),
+                now,
+            );
+        }
         if conn.machine.finished() {
             let _ = self.epoll.del(conn.stream.as_raw_fd());
             self.conns.remove(&token);
             self.handler.conn_stats.closed.inc();
+            self.handler
+                .runtime
+                .flight()
+                .push(now, RuntimeEventKind::ConnClose { conn: token });
+            self.handler.conn_registry.unregister(token);
             return;
         }
         let want = conn.machine.interest();
@@ -477,6 +559,11 @@ impl EventLoop<'_> {
                     if let Some(conn) = self.conns.remove(&token) {
                         let _ = self.epoll.del(conn.stream.as_raw_fd());
                         self.handler.conn_stats.closed.inc();
+                        self.handler
+                            .runtime
+                            .flight()
+                            .push(now, RuntimeEventKind::ConnClose { conn: token });
+                        self.handler.conn_registry.unregister(token);
                     }
                 }
             }
@@ -497,6 +584,9 @@ impl EventLoop<'_> {
             if let Some(conn) = self.conns.get_mut(&token) {
                 conn.machine.begin_drain();
                 conn.machine.on_writable(&mut conn.stream);
+                if let Some(entry) = &conn.entry {
+                    entry.set_draining();
+                }
             }
             self.sync_conn(token);
         }

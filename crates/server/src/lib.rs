@@ -22,6 +22,10 @@
 //!   1m/5m/15m window table, slowest recent queries.
 //! - `GET /debug/requests?n=K` — the K most recent requests from the
 //!   bounded request ring, as JSON.
+//! - `GET /debug/conns?n=K` — the live connection registry: state, age,
+//!   requests served, bytes in/out, pipeline depth, keep-alive reuse.
+//! - `GET /debug/flight?events=N` — the runtime flight recorder (loop
+//!   wakes, conn open/close, dispatch/complete) as Chrome-trace JSON.
 //!
 //! Every response — errors and load-shed replies included — carries an
 //! `X-Request-Id` header (inbound value echoed, else generated from a
@@ -57,6 +61,6 @@ pub mod server;
 pub mod shutdown;
 
 pub use cache::{CacheKey, ResponseCache};
-pub use debug::{Observability, StatuszInfo, TraceIdGen};
+pub use debug::{ConnEntry, ConnRegistry, ConnSnapshot, Observability, StatuszInfo, TraceIdGen};
 pub use server::{AcceptModel, DrainReport, ServerConfig, SuggestServer, MAX_BATCH_QUERIES};
 pub use shutdown::{install_signal_handler, ShutdownFlag};

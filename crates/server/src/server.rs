@@ -33,10 +33,13 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use xclean::{SuggestResponse, XCleanEngine};
-use xclean_telemetry::{names, Counter, Histogram, MonotonicClock, RequestRecord, SharedClock};
+use xclean_telemetry::{
+    names, Counter, Histogram, MonotonicClock, RequestRecord, RuntimeEventKind, RuntimeStats,
+    SharedClock,
+};
 
 use crate::cache::{CacheKey, ResponseCache};
-use crate::debug::{self, Observability, StatuszInfo, TraceIdGen};
+use crate::debug::{self, ConnRegistry, Observability, StatuszInfo, TraceIdGen};
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::json::{self, Json};
 use crate::shutdown::ShutdownFlag;
@@ -58,6 +61,16 @@ pub enum AcceptModel {
     /// pipelining; scoring stays on the worker pool. Linux only —
     /// `run` errors with `Unsupported` elsewhere.
     EventLoop,
+}
+
+impl AcceptModel {
+    /// Stable lowercase name used in `/healthz` and `/statusz`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AcceptModel::ThreadPool => "thread_pool",
+            AcceptModel::EventLoop => "event_loop",
+        }
+    }
 }
 
 /// Tunables of the serving layer (the engine has its own config).
@@ -100,6 +113,12 @@ pub struct ServerConfig {
     pub ring_capacity: usize,
     /// Slow-request ring capacity.
     pub slow_ring_capacity: usize,
+    /// Runtime flight-recorder capacity in events (`/debug/flight`);
+    /// 0 disables runtime event recording entirely.
+    pub flight_capacity: usize,
+    /// Live-connection registry capacity (`/debug/conns`); 0 disables
+    /// connection tracking entirely.
+    pub conn_registry_capacity: usize,
     /// Seed of the deterministic per-worker trace-ID generator.
     pub trace_seed: u64,
     /// Clock requests are stamped against. The default monotonic clock
@@ -126,6 +145,8 @@ impl Default for ServerConfig {
             slow_log: None,
             ring_capacity: 512,
             slow_ring_capacity: 128,
+            flight_capacity: 4096,
+            conn_registry_capacity: 4096,
             trace_seed: 0x5ca1_ab1e,
             clock: Arc::new(MonotonicClock::new()),
         }
@@ -152,6 +173,14 @@ pub struct DrainReport {
     /// zero under the thread-pool model, which closes after each
     /// response).
     pub keepalive_reuse: u64,
+    /// Event-loop wake-ups observed (always zero under the thread-pool
+    /// model, which has no loop).
+    pub loop_wakes: u64,
+    /// Dispatched jobs whose enqueue→worker-pickup wait was measured.
+    pub queue_waits: u64,
+    /// Runtime flight-recorder events captured over the lifetime (zero
+    /// when the recorder is disabled).
+    pub flight_events: u64,
 }
 
 /// The bound-but-not-yet-running server.
@@ -190,6 +219,13 @@ pub(crate) struct Handler {
     engine: Arc<XCleanEngine>,
     cache: Arc<ResponseCache>,
     pub(crate) obs: Arc<Observability>,
+    /// Runtime observability: loop-lag/queue-wait/utilization histograms
+    /// and the flight recorder. Record-only on the serving path.
+    pub(crate) runtime: Arc<RuntimeStats>,
+    /// Live-connection registry behind `/debug/conns`.
+    pub(crate) conn_registry: Arc<ConnRegistry>,
+    accept_model: AcceptModel,
+    max_connections: usize,
     fingerprint: u64,
     max_body_bytes: usize,
     requests: Arc<Counter>,
@@ -328,10 +364,18 @@ impl SuggestServer {
     pub fn run(self) -> io::Result<DrainReport> {
         let registry = self.engine.metrics().clone();
         let conn_stats = ConnStats::new(&registry);
+        let runtime = Arc::new(RuntimeStats::new(
+            self.config.threads.max(1),
+            self.config.flight_capacity,
+        ));
         let handler = Arc::new(Handler {
             engine: Arc::clone(&self.engine),
             cache: Arc::clone(&self.cache),
             obs: Arc::clone(&self.obs),
+            runtime: Arc::clone(&runtime),
+            conn_registry: Arc::new(ConnRegistry::new(self.config.conn_registry_capacity)),
+            accept_model: self.config.accept_model,
+            max_connections: self.config.max_connections,
             fingerprint: self.fingerprint,
             max_body_bytes: self.config.max_body_bytes,
             requests: registry.counter(names::SERVER_REQUESTS),
@@ -352,6 +396,9 @@ impl SuggestServer {
             cache_evictions,
             connections: conn_stats.opened.get(),
             keepalive_reuse: conn_stats.reuse.get(),
+            loop_wakes: runtime.events_per_wake().count(),
+            queue_waits: runtime.queue_wait().count(),
+            flight_events: runtime.flight().total_recorded(),
         })
     }
 
@@ -375,13 +422,15 @@ impl SuggestServer {
     /// worker at a time.
     fn run_thread_pool(&self, handler: &Arc<Handler>) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
-        let (tx, rx) = sync_channel::<TcpStream>(self.config.queue_depth.max(1));
+        // The queue carries the enqueue timestamp with each socket so the
+        // dequeuing worker can record the queue-wait histogram.
+        let (tx, rx) = sync_channel::<(TcpStream, u64)>(self.config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
         std::thread::scope(|scope| {
-            for _ in 0..self.config.threads.max(1) {
+            for worker in 0..self.config.threads.max(1) {
                 let rx = Arc::clone(&rx);
                 let handler = Arc::clone(handler);
-                scope.spawn(move || worker_loop(&rx, &handler));
+                scope.spawn(move || worker_loop(&rx, &handler, worker));
             }
             // The accept loop sheds load with its own trace-ID lane: a
             // 503 reply never read the request, so there is no inbound
@@ -394,7 +443,10 @@ impl SuggestServer {
                         let _ = stream.set_nonblocking(false);
                         let _ = stream.set_read_timeout(Some(self.config.read_timeout));
                         let _ = stream.set_write_timeout(Some(self.config.read_timeout));
-                        if let Err(TrySendError::Full(stream)) = tx.try_send(stream) {
+                        let enqueued = handler.obs.clock().now_nanos();
+                        if let Err(TrySendError::Full((stream, _))) =
+                            tx.try_send((stream, enqueued))
+                        {
                             let arrived = handler.obs.clock().now_nanos();
                             let trace_id = shed_ids.next_id();
                             let reply =
@@ -429,7 +481,7 @@ impl SuggestServer {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, handler: &Handler) {
+fn worker_loop(rx: &Mutex<Receiver<(TcpStream, u64)>>, handler: &Handler, worker: usize) {
     let ids = handler.obs.trace_gen();
     loop {
         // Hold the receiver lock only for the dequeue itself.
@@ -437,10 +489,19 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, handler: &Handler) {
             Ok(guard) => guard.recv(),
             Err(_) => return,
         };
-        let Ok(stream) = stream else {
+        let Ok((stream, enqueued)) = stream else {
             return; // channel closed: drain complete
         };
         let arrived = handler.obs.clock().now_nanos();
+        handler
+            .runtime
+            .record_queue_wait(arrived.saturating_sub(enqueued));
+        let conn_id = handler.conn_registry.issue_id();
+        let entry = handler.conn_registry.register(conn_id, arrived);
+        handler
+            .runtime
+            .flight()
+            .push(arrived, RuntimeEventKind::ConnOpen { conn: conn_id });
         // A panicking handler (engine bug, poisoned lock) must cost one
         // connection, not the whole pool.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -452,6 +513,19 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, handler: &Handler) {
             write_reply(&stream, &reply, &trace_id);
             observe_reply(handler, reply, trace_id, arrived);
         }
+        let finished = handler.obs.clock().now_nanos();
+        handler
+            .runtime
+            .record_worker_busy(worker, finished.saturating_sub(arrived));
+        if let Some(entry) = &entry {
+            // One request per connection under this model.
+            entry.update(1, 0, 0, 0, finished);
+        }
+        handler
+            .runtime
+            .flight()
+            .push(finished, RuntimeEventKind::ConnClose { conn: conn_id });
+        handler.conn_registry.unregister(conn_id);
         handler.conn_stats.closed.inc();
     }
 }
@@ -597,11 +671,15 @@ pub(crate) fn route(request: &Request, handler: &Handler, trace_id: &str) -> Rep
         ("GET", "/metrics") => metrics(handler).tagged("metrics"),
         ("GET", "/statusz") => statusz(handler).tagged("statusz"),
         ("GET", "/debug/requests") => debug_requests(handler, query).tagged("debug_requests"),
+        ("GET", "/debug/conns") => debug_conns(handler, query).tagged("debug_conns"),
+        ("GET", "/debug/flight") => debug_flight(handler, query).tagged("debug_flight"),
         ("GET", "/suggest") => suggest_get(query, handler, trace_id).tagged("suggest"),
         ("POST", "/suggest") => suggest(request, handler, trace_id).tagged("suggest"),
-        (_, "/suggest" | "/healthz" | "/metrics" | "/statusz" | "/debug/requests") => {
-            Reply::error(405, "method not allowed").tagged("method_not_allowed")
-        }
+        (
+            _,
+            "/suggest" | "/healthz" | "/metrics" | "/statusz" | "/debug/requests" | "/debug/conns"
+            | "/debug/flight",
+        ) => Reply::error(405, "method not allowed").tagged("method_not_allowed"),
         _ => Reply::error(404, "no such endpoint").tagged("not_found"),
     }
 }
@@ -622,14 +700,22 @@ fn healthz(handler: &Handler) -> Reply {
         ),
         None => "null".to_string(),
     };
+    let open = handler
+        .conn_stats
+        .opened
+        .get()
+        .saturating_sub(handler.conn_stats.closed.get());
     Reply::json(
         200,
         format!(
             "{{\"status\":\"ok\",\"fingerprint\":\"{:016x}\",\"uptime_secs\":{},\
              \"snapshot\":{snapshot},\"queries_total\":{queries},\
+             \"accept_model\":\"{}\",\"max_connections\":{},\"open_connections\":{open},\
              \"cache\":{{\"entries\":{},\"capacity\":{},\"shards\":{}}}}}",
             handler.fingerprint,
             handler.obs.uptime_secs(),
+            handler.accept_model.as_str(),
+            handler.max_connections,
             handler.cache.len(),
             handler.cache.capacity(),
             handler.cache.shard_count(),
@@ -654,6 +740,10 @@ fn metrics(handler: &Handler) -> Reply {
         g = names::CONNECTIONS_OPEN,
         h = names::help_for(names::CONNECTIONS_OPEN),
     ));
+    // Runtime series: loop lag, queue wait, events-per-wake, worker
+    // utilization (emitted even before any traffic, so both accept
+    // models always expose the full set).
+    body.push_str(&handler.runtime.render_metrics(handler.obs.uptime_nanos()));
     Reply {
         status: 200,
         content_type: "text/plain; version=0.0.4",
@@ -664,6 +754,8 @@ fn metrics(handler: &Handler) -> Reply {
 }
 
 fn statusz(handler: &Handler) -> Reply {
+    let lag = handler.runtime.loop_lag().summary();
+    let wait = handler.runtime.queue_wait().summary();
     let info = StatuszInfo {
         fingerprint: handler.fingerprint,
         snapshot: handler
@@ -678,6 +770,20 @@ fn statusz(handler: &Handler) -> Reply {
         connections_opened: handler.conn_stats.opened.get(),
         connections_closed: handler.conn_stats.closed.get(),
         keepalive_reuse: handler.conn_stats.reuse.get(),
+        accept_model: handler.accept_model.as_str(),
+        max_connections: handler.max_connections,
+        workers: handler.runtime.workers(),
+        loop_wakes: lag.count,
+        loop_lag_p50_nanos: lag.p50,
+        loop_lag_p99_nanos: lag.p99,
+        queue_waits: wait.count,
+        queue_wait_p50_nanos: wait.p50,
+        queue_wait_p99_nanos: wait.p99,
+        worker_utilization: handler.runtime.utilization(handler.obs.uptime_nanos()),
+        flight_len: handler.runtime.flight().len(),
+        flight_capacity: handler.runtime.flight().capacity(),
+        flight_recorded: handler.runtime.flight().total_recorded(),
+        conns_tracked: handler.conn_registry.tracked(),
     };
     Reply {
         status: 200,
@@ -688,18 +794,54 @@ fn statusz(handler: &Handler) -> Reply {
     }
 }
 
-fn debug_requests(handler: &Handler, query: &str) -> Reply {
-    let n = match query_param(query, "n") {
+/// Parses a bounded count parameter for the debug endpoints. Absent →
+/// `default`; present values must be integers in `0..=max` — negative,
+/// non-numeric, and absurdly large values are a 400, never silently
+/// clamped (a clamped answer looks complete while hiding history).
+fn parse_count(query: &str, name: &str, default: usize, max: usize) -> Result<usize, String> {
+    match query_param(query, name) {
+        None => Ok(default),
         Some(raw) => match raw.parse::<usize>() {
-            Ok(n) => n.min(debug::MAX_DEBUG_REQUESTS),
-            Err(_) => return Reply::error(400, "n must be a non-negative integer"),
+            Ok(n) if n <= max => Ok(n),
+            Ok(n) => Err(format!("{name}={n} exceeds the maximum of {max}")),
+            Err(_) => Err(format!(
+                "{name} must be a non-negative integer (at most {max})"
+            )),
         },
-        None => 20,
+    }
+}
+
+fn debug_requests(handler: &Handler, query: &str) -> Reply {
+    let n = match parse_count(query, "n", 20, debug::MAX_DEBUG_REQUESTS) {
+        Ok(n) => n,
+        Err(m) => return Reply::error(400, &m),
     };
     Reply::json(
         200,
         debug::render_debug_requests(&handler.obs.recent(n), handler.obs.total_observed()),
     )
+}
+
+fn debug_conns(handler: &Handler, query: &str) -> Reply {
+    let n = match parse_count(query, "n", 20, debug::MAX_DEBUG_CONNS) {
+        Ok(n) => n,
+        Err(m) => return Reply::error(400, &m),
+    };
+    let now = handler.obs.clock().now_nanos();
+    let open = handler
+        .conn_stats
+        .opened
+        .get()
+        .saturating_sub(handler.conn_stats.closed.get());
+    Reply::json(200, handler.conn_registry.render_debug_conns(n, now, open))
+}
+
+fn debug_flight(handler: &Handler, query: &str) -> Reply {
+    let n = match parse_count(query, "events", 256, debug::MAX_FLIGHT_EVENTS) {
+        Ok(n) => n,
+        Err(m) => return Reply::error(400, &m),
+    };
+    Reply::json(200, handler.runtime.flight().chrome_trace_json(n))
 }
 
 /// Renders one per-query result object — the unit the cache stores. It
@@ -968,6 +1110,10 @@ mod tests {
             errors: registry.counter(names::SERVER_ERRORS),
             latency: registry.histogram(names::SERVER_REQUEST),
             conn_stats: ConnStats::new(registry),
+            runtime: Arc::new(RuntimeStats::new(2, 64)),
+            conn_registry: Arc::new(ConnRegistry::new(16)),
+            accept_model: AcceptModel::ThreadPool,
+            max_connections: 4096,
             engine,
             cache,
             obs,
@@ -1126,6 +1272,22 @@ mod tests {
             "{}",
             reply.body
         );
+        // Satellite: runtime shape for load balancers.
+        assert!(
+            reply.body.contains("\"accept_model\":\"thread_pool\""),
+            "{}",
+            reply.body
+        );
+        assert!(
+            reply.body.contains("\"max_connections\":4096"),
+            "{}",
+            reply.body
+        );
+        assert!(
+            reply.body.contains("\"open_connections\":0"),
+            "{}",
+            reply.body
+        );
     }
 
     #[test]
@@ -1175,6 +1337,103 @@ mod tests {
             dbg.body
         );
         assert_eq!(route(&get("/debug/requests?n=x"), &h, T).status, 400);
+    }
+
+    /// Satellite: every debug endpoint rejects non-numeric, negative,
+    /// and absurd counts with a structured 400 instead of silently
+    /// clamping.
+    #[test]
+    fn debug_count_params_reject_garbage_with_400() {
+        let h = handler();
+        for (path, ok_path) in [
+            ("/debug/requests", "/debug/requests?n=5"),
+            ("/debug/conns", "/debug/conns?n=5"),
+            ("/debug/flight", "/debug/flight?events=5"),
+        ] {
+            let param = if path == "/debug/flight" {
+                "events"
+            } else {
+                "n"
+            };
+            for bad in ["x", "-1", "3.5", "", "99999999999999999999"] {
+                let reply = route(&get(&format!("{path}?{param}={bad}")), &h, T);
+                assert_eq!(reply.status, 400, "{path} {param}={bad}: {}", reply.body);
+                assert!(reply.body.contains("\"error\""), "{}", reply.body);
+            }
+            // Absurd-but-parseable values are rejected, not clamped.
+            let absurd = route(&get(&format!("{path}?{param}=1000001")), &h, T);
+            assert_eq!(absurd.status, 400, "{}", absurd.body);
+            assert!(
+                absurd.body.contains("exceeds the maximum"),
+                "{}",
+                absurd.body
+            );
+            // Defaults and explicit sane values still work.
+            assert_eq!(route(&get(path), &h, T).status, 200, "{path}");
+            assert_eq!(route(&get(ok_path), &h, T).status, 200, "{ok_path}");
+        }
+    }
+
+    #[test]
+    fn debug_conns_reflects_registry_entries() {
+        let h = handler();
+        let entry = h.conn_registry.register(3, 0).expect("tracked");
+        entry.update(2, 150, 600, 1, 0);
+        let reply = route(&get("/debug/conns"), &h, T);
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains("\"tracked\":1"), "{}", reply.body);
+        assert!(reply.body.contains("\"id\":3"), "{}", reply.body);
+        assert!(reply.body.contains("\"requests\":2"), "{}", reply.body);
+        assert!(reply.body.contains("\"reused\":true"), "{}", reply.body);
+        // Method guard covers the new endpoints too.
+        let mut del = get("/debug/conns");
+        del.method = "DELETE".to_string();
+        assert_eq!(route(&del, &h, T).status, 405);
+        let mut del = get("/debug/flight");
+        del.method = "DELETE".to_string();
+        assert_eq!(route(&del, &h, T).status, 405);
+    }
+
+    #[test]
+    fn debug_flight_dumps_chrome_trace_events() {
+        let h = handler();
+        h.runtime
+            .flight()
+            .push(1_000, RuntimeEventKind::ConnOpen { conn: 9 });
+        let reply = route(&get("/debug/flight?events=10"), &h, T);
+        assert_eq!(reply.status, 200);
+        assert!(
+            reply.body.starts_with("{\"traceEvents\":["),
+            "{}",
+            reply.body
+        );
+        assert!(reply.body.contains("\"conn_open\""), "{}", reply.body);
+        assert!(reply.body.contains("\"conn\":9"), "{}", reply.body);
+    }
+
+    #[test]
+    fn metrics_include_runtime_series() {
+        let h = handler();
+        h.runtime.record_loop_wake(3, 1_500);
+        h.runtime.record_queue_wait(2_000);
+        h.runtime.record_worker_busy(0, 10);
+        let reply = route(&get("/metrics"), &h, T);
+        assert_eq!(reply.status, 200);
+        for series in [
+            names::LOOP_LAG_SECONDS,
+            names::QUEUE_WAIT_SECONDS,
+            names::EVENTS_PER_WAKE,
+            names::WORKER_UTILIZATION,
+        ] {
+            assert!(reply.body.contains(series), "missing {series}");
+        }
+        assert!(
+            reply
+                .body
+                .contains(&format!("{}_count 1", names::QUEUE_WAIT_SECONDS)),
+            "{}",
+            reply.body
+        );
     }
 
     #[test]

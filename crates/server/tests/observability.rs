@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use xclean::{XCleanConfig, XCleanEngine};
-use xclean_server::{DrainReport, ServerConfig, ShutdownFlag, SuggestServer};
+use xclean_server::{AcceptModel, DrainReport, ServerConfig, ShutdownFlag, SuggestServer};
 use xclean_telemetry::Telemetry;
 use xclean_xmltree::parse_document;
 
@@ -301,4 +301,198 @@ fn observability_never_changes_a_suggestion_byte() {
         plain.stop();
         traced.stop();
     }
+}
+
+/// The runtime plane (flight recorder + connection registry) is the
+/// same deal: fully on vs fully off must be byte-identical, under both
+/// accept models, at 1 and at 8 threads.
+#[test]
+fn runtime_observability_never_changes_a_suggestion_byte() {
+    let queries = [
+        "helth insurance",
+        "progrm instance",
+        "databse system",
+        "insurence markets",
+    ];
+    let mut models = vec![AcceptModel::ThreadPool];
+    if cfg!(target_os = "linux") {
+        models.push(AcceptModel::EventLoop);
+    }
+    for model in models {
+        for threads in [1usize, 8] {
+            let off = start(
+                engine_with(threads, Telemetry::disabled()),
+                ServerConfig {
+                    accept_model: model,
+                    threads,
+                    flight_capacity: 0,
+                    conn_registry_capacity: 0,
+                    ..ServerConfig::default()
+                },
+            );
+            let on = start(
+                engine_with(threads, Telemetry::disabled()),
+                ServerConfig {
+                    accept_model: model,
+                    threads,
+                    flight_capacity: 4096,
+                    conn_registry_capacity: 4096,
+                    ..ServerConfig::default()
+                },
+            );
+            for q in queries {
+                let body = format!("{{\"query\": \"{q}\"}}");
+                let close = [("Connection", "close")];
+                let (s1, _, b1) = request(off.addr, "POST", "/suggest", &close, &body);
+                let (s2, _, b2) = request(on.addr, "POST", "/suggest", &close, &body);
+                assert_eq!((s1, s2), (200, 200));
+                assert_eq!(
+                    b1, b2,
+                    "runtime observability changed bytes ({model:?}, {threads} threads): {q}"
+                );
+            }
+            off.stop();
+            on.stop();
+        }
+    }
+}
+
+/// The runtime series are exported under the portable thread-pool model
+/// too: every accepted connection stamps a queue wait, and the worker
+/// utilization gauges always render.
+#[test]
+fn runtime_metrics_present_under_thread_pool() {
+    let run = start(
+        engine_with(1, Telemetry::disabled()),
+        ServerConfig::default(),
+    );
+    let (status, _, _) = request(run.addr, "GET", "/suggest?q=helth+insurance", &[], "");
+    assert_eq!(status, 200);
+    let (status, _, metrics) = request(run.addr, "GET", "/metrics", &[], "");
+    assert_eq!(status, 200);
+    for series in [
+        "xclean_loop_lag_seconds_bucket",
+        "xclean_queue_wait_seconds_bucket",
+        "xclean_events_per_wake_bucket",
+        "xclean_worker_utilization{worker=\"0\"}",
+    ] {
+        assert!(metrics.contains(series), "{series} missing: {metrics}");
+    }
+    // The suggest request and this /metrics request both waited in the
+    // accept queue before a worker picked them up.
+    let waits = metrics
+        .lines()
+        .find(|l| l.starts_with("xclean_queue_wait_seconds_count"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|n| n.parse::<u64>().ok())
+        .expect("queue-wait count series present");
+    assert!(waits >= 2, "{metrics}");
+    run.stop();
+}
+
+/// Reads one keep-alive response (head + exactly `Content-Length`
+/// bytes) off an open stream, leaving the socket usable.
+#[cfg(target_os = "linux")]
+fn read_keep_alive_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte).unwrap();
+        assert!(n > 0, "EOF mid-head: {:?}", String::from_utf8_lossy(&head));
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).unwrap();
+    let status: u16 = head
+        .lines()
+        .next()
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let len: usize = head
+        .lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| v.trim().parse().unwrap())
+        .unwrap_or(0);
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).unwrap();
+    (status, String::from_utf8(body).unwrap())
+}
+
+/// Under the event loop, `/debug/conns` shows the live keep-alive
+/// connection with its per-connection request count, the loop-lag and
+/// queue-wait series fill, and the flight recorder captures the
+/// connection's lifecycle.
+#[cfg(target_os = "linux")]
+#[test]
+fn debug_conns_reflects_a_live_keep_alive_connection() {
+    let run = start(
+        engine_with(1, Telemetry::disabled()),
+        ServerConfig {
+            accept_model: AcceptModel::EventLoop,
+            ..ServerConfig::default()
+        },
+    );
+
+    // Hold one keep-alive socket open and send two requests on it.
+    let mut held = TcpStream::connect(run.addr).unwrap();
+    held.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for _ in 0..2 {
+        write!(
+            held,
+            "GET /suggest?q=helth+insurance HTTP/1.1\r\nHost: t\r\n\r\n"
+        )
+        .unwrap();
+        let (status, body) = read_keep_alive_response(&mut held);
+        assert_eq!(status, 200);
+        assert!(!body.is_empty());
+    }
+
+    // A second connection observes the held one in the registry.
+    let close = [("Connection", "close")];
+    let (status, _, body) = request(run.addr, "GET", "/debug/conns?n=10", &close, "");
+    assert_eq!(status, 200);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert!(v["open"].as_u64().unwrap() >= 1, "{body}");
+    let conns = v["conns"].as_array().unwrap();
+    let held_entry = conns
+        .iter()
+        .find(|c| c["requests"].as_u64() == Some(2))
+        .unwrap_or_else(|| panic!("held connection not visible: {body}"));
+    assert_eq!(held_entry["state"], "open", "{body}");
+    assert_eq!(held_entry["reused"].as_bool(), Some(true), "{body}");
+
+    // Loop wakes and queue waits actually happened under the loop.
+    let (_, _, metrics) = request(run.addr, "GET", "/metrics", &close, "");
+    let wakes = metrics
+        .lines()
+        .find(|l| l.starts_with("xclean_loop_lag_seconds_count"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|n| n.parse::<u64>().ok())
+        .expect("loop-lag count series present");
+    assert!(wakes >= 1, "{metrics}");
+    let waits = metrics
+        .lines()
+        .find(|l| l.starts_with("xclean_queue_wait_seconds_count"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|n| n.parse::<u64>().ok())
+        .expect("queue-wait count series present");
+    assert!(waits >= 2, "{metrics}");
+
+    // The flight recorder saw the connection open and its dispatches.
+    let (status, _, flight) = request(run.addr, "GET", "/debug/flight?events=100", &close, "");
+    assert_eq!(status, 200);
+    assert!(flight.contains("\"conn_open\""), "{flight}");
+    assert!(flight.contains("\"dispatch\""), "{flight}");
+
+    // /statusz names the accept model and tracks the open connections.
+    let (_, _, statusz) = request(run.addr, "GET", "/statusz", &close, "");
+    assert!(statusz.contains("accept_model=event_loop"), "{statusz}");
+
+    drop(held);
+    run.stop();
 }

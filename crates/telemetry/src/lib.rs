@@ -24,14 +24,18 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod log;
 pub mod metrics;
 pub mod ring;
+pub mod runtime;
 pub mod span;
 pub mod window;
 
 pub use clock::{Clock, ManualClock, MonotonicClock, SharedClock};
+pub use log::{set_global, Level, LevelSpec, LogFormat, Logger};
 pub use metrics::{escape_label_value, Counter, Histogram, HistogramSummary, MetricsRegistry};
 pub use ring::{RequestRecord, RequestRing};
+pub use runtime::{FlightRecorder, RuntimeEvent, RuntimeEventKind, RuntimeStats};
 pub use span::{SpanGuard, SpanRecord, Tracer};
 pub use window::{RollingWindows, WindowEvent, WindowSnapshot};
 
@@ -114,6 +118,17 @@ pub mod names {
     /// Rolling-window gauge: request latency quantile (labelled
     /// `window` and `quantile`).
     pub const WINDOW_LATENCY: &str = "xclean_server_window_latency_nanos";
+    /// Runtime histogram: event-loop busy time between `epoll_wait`
+    /// calls, in fractional seconds.
+    pub const LOOP_LAG_SECONDS: &str = "xclean_loop_lag_seconds";
+    /// Runtime histogram: job enqueue → worker-pickup wait, in
+    /// fractional seconds.
+    pub const QUEUE_WAIT_SECONDS: &str = "xclean_queue_wait_seconds";
+    /// Runtime histogram: readiness events returned per `epoll_wait`.
+    pub const EVENTS_PER_WAKE: &str = "xclean_events_per_wake";
+    /// Runtime gauge: per-worker busy share of wall time (labelled
+    /// `worker`).
+    pub const WORKER_UTILIZATION: &str = "xclean_worker_utilization";
 
     /// One-line `# HELP` text for a metric name; a generic fallback for
     /// names registered outside this canonical list (tests, ad hoc).
@@ -158,6 +173,12 @@ pub mod names {
             n if n == WINDOW_ERROR_RATIO => "Error share of requests in the rolling window.",
             n if n == WINDOW_CACHE_HIT_RATIO => "Cache hit share in the rolling window.",
             n if n == WINDOW_LATENCY => "Request latency quantile over the rolling window.",
+            n if n == LOOP_LAG_SECONDS => {
+                "Event-loop busy time between epoll_wait calls, in seconds."
+            }
+            n if n == QUEUE_WAIT_SECONDS => "Job enqueue to worker-pickup wait, in seconds.",
+            n if n == EVENTS_PER_WAKE => "Readiness events returned per epoll_wait.",
+            n if n == WORKER_UTILIZATION => "Per-worker busy share of wall time.",
             _ => "XClean metric.",
         }
     }

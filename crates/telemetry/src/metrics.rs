@@ -162,6 +162,13 @@ impl Histogram {
         Self::bucket_upper(HIST_BUCKETS - 1)
     }
 
+    /// A plain snapshot of the per-bucket counts (for renderers outside
+    /// this module that need the raw log₂ buckets, e.g. the seconds-unit
+    /// runtime histograms in [`crate::runtime`]).
+    pub(crate) fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
     /// Count/sum/p50/p95/p99 snapshot.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
