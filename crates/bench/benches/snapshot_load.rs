@@ -12,10 +12,12 @@ use std::hint::black_box;
 use xclean_datagen::{generate_dblp, DblpConfig};
 use xclean_index::{storage, CorpusIndex, OpenOptions, SlabMode};
 
-/// `XCLEAN_BENCH_QUICK=1` shrinks the corpus and sample count so CI can
-/// run the bench as a regression smoke in seconds.
+/// `XCLEAN_BENCH_TIER=quick` (or legacy `XCLEAN_BENCH_QUICK=1`) shrinks
+/// the corpus and sample count so CI can run the bench as a regression
+/// smoke in seconds. Gating is shared with the runner via
+/// [`xclean_bench::quick_mode`].
 fn quick() -> bool {
-    std::env::var_os("XCLEAN_BENCH_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+    xclean_bench::quick_mode()
 }
 
 fn bench_snapshot_load(c: &mut Criterion) {

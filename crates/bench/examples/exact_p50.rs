@@ -1,0 +1,44 @@
+//! Exact suggest-p50 on the 100k corpus (baseline measurement).
+use std::sync::Arc;
+use std::time::Instant;
+
+use xclean::{XCleanConfig, XCleanEngine};
+use xclean_datagen::{
+    generate_large_dblp, make_workload, LargeDblpConfig, Perturbation, WorkloadSpec,
+};
+use xclean_index::CorpusIndex;
+
+fn main() {
+    let cfg = LargeDblpConfig {
+        publications: 100_000,
+        ..Default::default()
+    };
+    let corpus = Arc::new(CorpusIndex::build(generate_large_dblp(&cfg)));
+    let engine = XCleanEngine::from_shared(corpus, XCleanConfig::default());
+    let set = make_workload(
+        engine.corpus(),
+        &WorkloadSpec {
+            n_queries: 64,
+            ..WorkloadSpec::dblp(Perturbation::Rand)
+        },
+    );
+    let queries: Vec<Vec<String>> = set.cases.into_iter().map(|c| c.dirty).collect();
+    for kw in &queries {
+        let _ = engine.suggest_keywords(kw);
+    }
+    let mut p50 = u64::MAX;
+    let mut best_qps = 0f64;
+    for _ in 0..3 {
+        let mut nanos: Vec<u64> = Vec::with_capacity(queries.len());
+        let t = Instant::now();
+        for kw in &queries {
+            let s = Instant::now();
+            std::hint::black_box(engine.suggest_keywords(kw));
+            nanos.push((s.elapsed().as_nanos() as u64).max(1));
+        }
+        best_qps = best_qps.max(queries.len() as f64 / t.elapsed().as_secs_f64());
+        nanos.sort_unstable();
+        p50 = p50.min(nanos[nanos.len() / 2]);
+    }
+    println!("exact_suggest_p50_ns={p50} qps={best_qps:.1}");
+}

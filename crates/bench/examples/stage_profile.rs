@@ -1,0 +1,137 @@
+//! Ad-hoc stage profiler for the large-tier workload: where does a
+//! suggest call spend its time?
+//!
+//! Prints three views over the 100k-publication corpus:
+//!  1. the engine's own stage histograms (bucketed p50/p95/p99),
+//!  2. the posting-I/O and scoring counters,
+//!  3. a per-query decomposition — slot build alone, the bare anchor
+//!     walk with a no-op scoring callback, and the full algorithm —
+//!     plus exact (non-bucketed) percentile medians bench-style.
+//!
+//! This is a diagnosis tool, not a benchmark: run it when a hot-path
+//! change moves (or fails to move) the quick-bench numbers and you need
+//! to know which stage absorbed the difference.
+//!
+//! ```text
+//! cargo run --release -p xclean-bench --example stage_profile
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use xclean::{telemetry::names, XCleanConfig, XCleanEngine};
+use xclean_datagen::WorkloadSpec;
+use xclean_datagen::{generate_large_dblp, make_workload, LargeDblpConfig, Perturbation};
+use xclean_index::CorpusIndex;
+
+fn main() {
+    let cfg = LargeDblpConfig {
+        publications: 100_000,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let corpus = Arc::new(CorpusIndex::build(generate_large_dblp(&cfg)));
+    eprintln!("built corpus in {:?}", t.elapsed());
+    let engine = XCleanEngine::from_shared(corpus, XCleanConfig::default());
+    let set = make_workload(
+        engine.corpus(),
+        &WorkloadSpec {
+            n_queries: 64,
+            ..WorkloadSpec::dblp(Perturbation::Rand)
+        },
+    );
+    let queries: Vec<Vec<String>> = set.cases.into_iter().map(|c| c.dirty).collect();
+    let t = Instant::now();
+    for _ in 0..4 {
+        let _ = engine.suggest_many_keywords(&queries);
+    }
+    eprintln!("4 passes in {:?}", t.elapsed());
+    for (name, key) in [
+        ("slot", names::STAGE_SLOT),
+        ("walk", names::STAGE_WALK),
+        ("rank", names::STAGE_RANK),
+        ("total", names::STAGE_TOTAL),
+    ] {
+        let h = engine.metrics().histogram_summary(key).unwrap();
+        eprintln!(
+            "{name:6} p50={:>12} p95={:>12} p99={:>12} count={}",
+            h.p50, h.p95, h.p99, h.count
+        );
+    }
+    for key in [
+        names::SUBTREES,
+        names::CANDIDATES,
+        names::RESULT_TYPES,
+        names::ENTITIES,
+        names::POSTINGS_READ,
+        names::POSTINGS_SKIPPED,
+        names::SKIP_CALLS,
+    ] {
+        if let Some(v) = engine.metrics().counter_value(key) {
+            eprintln!("{key} = {v}");
+        }
+    }
+
+    // Decompose the walk stage: slots alone, bare anchor walk (no-op
+    // scoring callback), and the full algorithm.
+    let config = engine.config().clone();
+    let mut slot_time = std::time::Duration::ZERO;
+    let mut bare_walk = std::time::Duration::ZERO;
+    let mut full_run = std::time::Duration::ZERO;
+    let mut n_variants = 0usize;
+    for kw in &queries {
+        let t = Instant::now();
+        let slots = engine.make_slots(kw);
+        slot_time += t.elapsed();
+        n_variants += slots.iter().map(|s| s.variants.len()).sum::<usize>();
+        let t = Instant::now();
+        let mut stats = Default::default();
+        xclean::walk::walk_gated_subtrees(
+            engine.corpus(),
+            &slots,
+            &config,
+            &mut stats,
+            |_, _, _| {},
+        );
+        bare_walk += t.elapsed();
+        let t = Instant::now();
+        let _ = xclean::run_xclean(engine.corpus(), &slots, &config);
+        full_run += t.elapsed();
+    }
+    eprintln!(
+        "decompose over {} queries: slots={slot_time:?} bare_walk={bare_walk:?} full_run={full_run:?} variants/query={}",
+        queries.len(),
+        n_variants / queries.len(),
+    );
+
+    // Exact (non-bucketed) medians, bench-style: min of per-pass medians
+    // over isolated per-query timings.
+    let mut suggest_p50 = u64::MAX;
+    let mut slot_p50 = u64::MAX;
+    let mut run_p50 = u64::MAX;
+    for _ in 0..3 {
+        let mut nanos: Vec<u64> = Vec::with_capacity(queries.len());
+        let mut snanos: Vec<u64> = Vec::with_capacity(queries.len());
+        let mut rnanos: Vec<u64> = Vec::with_capacity(queries.len());
+        for keywords in &queries {
+            let start = Instant::now();
+            std::hint::black_box(engine.suggest_keywords(keywords));
+            nanos.push((start.elapsed().as_nanos() as u64).max(1));
+        }
+        for keywords in &queries {
+            let start = Instant::now();
+            let slots = std::hint::black_box(engine.make_slots(keywords));
+            snanos.push((start.elapsed().as_nanos() as u64).max(1));
+            let start = Instant::now();
+            std::hint::black_box(xclean::run_xclean(engine.corpus(), &slots, &config));
+            rnanos.push((start.elapsed().as_nanos() as u64).max(1));
+        }
+        nanos.sort_unstable();
+        snanos.sort_unstable();
+        rnanos.sort_unstable();
+        suggest_p50 = suggest_p50.min(nanos[nanos.len() / 2]);
+        slot_p50 = slot_p50.min(snanos[snanos.len() / 2]);
+        run_p50 = run_p50.min(rnanos[rnanos.len() / 2]);
+    }
+    eprintln!("exact p50: suggest={suggest_p50}ns make_slots={slot_p50}ns run_xclean={run_p50}ns");
+}

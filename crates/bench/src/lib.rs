@@ -1,0 +1,110 @@
+//! Shared bench plumbing: the tier gate used by both the Criterion
+//! benches and the quick-bench runner binary.
+//!
+//! Historically `cargo bench` read `XCLEAN_BENCH_QUICK` while the runner
+//! only looked at its `--quick`/`--full` flags and silently ignored the
+//! environment — two half-documented switches that could disagree. The
+//! single documented flag is now:
+//!
+//! ```text
+//! XCLEAN_BENCH_TIER=quick|full|large
+//! ```
+//!
+//! * the Criterion benches shrink corpora/sample counts on `quick` (they
+//!   have no large mode — realistic scale lives in the runner);
+//! * the runner uses the env tier as its default and lets
+//!   `--quick`/`--full`/`--large` override it, printing which tier ran;
+//! * the legacy `XCLEAN_BENCH_QUICK=1` spelling is still honored (as
+//!   `quick`) so existing CI invocations keep working.
+
+/// Benchmark tier: how much work a bench invocation should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// CI-sized: hundreds of publications, seconds per bench.
+    Quick,
+    /// Paper-sized: thousands of publications, minutes per run.
+    Full,
+    /// Realistic scale: 100k publications over a synthesized vocabulary.
+    Large,
+}
+
+impl Tier {
+    /// Lowercase tier name, as printed in reports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Quick => "quick",
+            Tier::Full => "full",
+            Tier::Large => "large",
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Reads the tier from the environment: `XCLEAN_BENCH_TIER` first, then
+/// the legacy `XCLEAN_BENCH_QUICK=1` spelling. `None` means the caller's
+/// default applies (Criterion benches default to full-size samples, the
+/// runner defaults to quick).
+pub fn tier_from_env() -> Option<Tier> {
+    if let Ok(v) = std::env::var("XCLEAN_BENCH_TIER") {
+        match v.trim().to_ascii_lowercase().as_str() {
+            "quick" => return Some(Tier::Quick),
+            "full" => return Some(Tier::Full),
+            "large" => return Some(Tier::Large),
+            "" => {}
+            other => panic!("XCLEAN_BENCH_TIER={other:?}: expected quick|full|large"),
+        }
+    }
+    let legacy = std::env::var_os("XCLEAN_BENCH_QUICK").is_some_and(|v| !v.is_empty() && v != "0");
+    legacy.then_some(Tier::Quick)
+}
+
+/// True when the environment asks for the quick tier — the gate the
+/// Criterion benches use to shrink corpora and sample counts.
+pub fn quick_mode() -> bool {
+    tier_from_env() == Some(Tier::Quick)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var tests mutate process state; run them in one test body so
+    // the harness's parallelism can't interleave them.
+    #[test]
+    fn env_tier_parsing() {
+        std::env::remove_var("XCLEAN_BENCH_TIER");
+        std::env::remove_var("XCLEAN_BENCH_QUICK");
+        assert_eq!(tier_from_env(), None);
+        assert!(!quick_mode());
+
+        std::env::set_var("XCLEAN_BENCH_QUICK", "1");
+        assert_eq!(tier_from_env(), Some(Tier::Quick));
+        assert!(quick_mode());
+        std::env::set_var("XCLEAN_BENCH_QUICK", "0");
+        assert_eq!(tier_from_env(), None);
+        std::env::remove_var("XCLEAN_BENCH_QUICK");
+
+        std::env::set_var("XCLEAN_BENCH_TIER", "large");
+        assert_eq!(tier_from_env(), Some(Tier::Large));
+        assert!(!quick_mode());
+        // The unified flag wins over the legacy one.
+        std::env::set_var("XCLEAN_BENCH_QUICK", "1");
+        assert_eq!(tier_from_env(), Some(Tier::Large));
+        std::env::set_var("XCLEAN_BENCH_TIER", "Quick");
+        assert_eq!(tier_from_env(), Some(Tier::Quick));
+        std::env::remove_var("XCLEAN_BENCH_TIER");
+        std::env::remove_var("XCLEAN_BENCH_QUICK");
+    }
+
+    #[test]
+    fn tier_names() {
+        assert_eq!(Tier::Quick.name(), "quick");
+        assert_eq!(Tier::Full.name(), "full");
+        assert_eq!(Tier::Large.to_string(), "large");
+    }
+}

@@ -811,10 +811,10 @@ fn cmd_stats(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
 
 fn cmd_generate(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     let args = Args::parse(raw, &[])?;
-    args.reject_unknown(&["out", "size", "seed"])?;
+    args.reject_unknown(&["out", "size", "seed", "vocab"])?;
     let [kind] = args.positional() else {
         return Err(ArgError(
-            "usage: xclean generate <dblp|inex> --out <corpus.xml>".into(),
+            "usage: xclean generate <dblp|dblp-large|inex> --out <corpus.xml>".into(),
         ));
     };
     let out = args
@@ -826,6 +826,15 @@ fn cmd_generate(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
             seed: args.get_parsed("seed", DblpConfig::default().seed)?,
             ..Default::default()
         }),
+        "dblp-large" => {
+            let defaults = xclean_datagen::LargeDblpConfig::default();
+            xclean_datagen::generate_large_dblp(&xclean_datagen::LargeDblpConfig {
+                publications: args.get_parsed("size", defaults.publications)?,
+                vocab_terms: args.get_parsed("vocab", defaults.vocab_terms)?,
+                seed: args.get_parsed("seed", defaults.seed)?,
+                ..defaults
+            })
+        }
         "inex" => generate_inex(&InexConfig {
             articles: args.get_parsed("size", 3_000usize)?,
             seed: args.get_parsed("seed", InexConfig::default().seed)?,

@@ -9,6 +9,9 @@
 //!   Zipfian CS vocabulary;
 //! * [`generate_inex`] — deep, document-centric encyclopedia articles
 //!   with a several-times-larger vocabulary;
+//! * [`generate_large_dblp`] — 100k–1M publication corpora over a
+//!   morphologically synthesized vocabulary (tens of thousands of terms),
+//!   for realistic-scale benchmarking;
 //! * [`make_workload`] — entity-coherent CLEAN query sets and their RAND
 //!   (random edit) and RULE (common-misspelling) dirty derivatives;
 //! * [`misspellings::COMMON_MISSPELLINGS`] — the embedded Wikipedia/Aspell
@@ -19,6 +22,7 @@
 
 pub mod dblp;
 pub mod inex;
+pub mod large;
 pub mod misspellings;
 pub mod noise;
 pub mod words;
@@ -27,6 +31,7 @@ pub mod zipf;
 
 pub use dblp::{generate_dblp, DblpConfig};
 pub use inex::{generate_inex, InexConfig};
+pub use large::{generate_large_dblp, synth_vocabulary, LargeDblpConfig};
 pub use misspellings::{misspellings_of, rule_misspell, COMMON_MISSPELLINGS};
 pub use workload::{make_workload, Perturbation, QueryCase, QuerySet, WorkloadSpec};
 pub use zipf::Zipf;

@@ -3,21 +3,50 @@
 //! The paper's error model (§IV-B1) and variant generation (§V-A) are both
 //! defined over the standard edit distance with unit-cost insertions,
 //! deletions, and substitutions.
+//!
+//! Dispatch: when the shorter string fits in one machine word (≤64
+//! scalars — every realistic vocabulary term), both entry points use the
+//! Myers bit-parallel scan in [`crate::myers`], which is exact and
+//! allocation-free; longer inputs fall back to the classic rolling-row /
+//! banded DP below. Strings of ≤64 scalars are also collected into stack
+//! buffers, so the candidate-verification hot path
+//! ([`edit_distance_within`] under `VariantIndex::query_within`) performs
+//! zero heap allocations.
+
+use crate::myers;
+
+/// Collects `s` into a stack buffer when it has ≤64 scalars (the common
+/// case for vocabulary terms), falling back to the heap above that.
+fn with_chars<R>(s: &str, f: impl FnOnce(&[char]) -> R) -> R {
+    let mut stack = ['\0'; myers::MAX_PATTERN];
+    let mut n = 0;
+    for c in s.chars() {
+        if n == myers::MAX_PATTERN {
+            let v: Vec<char> = s.chars().collect();
+            return f(&v);
+        }
+        stack[n] = c;
+        n += 1;
+    }
+    f(&stack[..n])
+}
 
 /// Computes the full Levenshtein distance between `a` and `b`.
 ///
-/// Runs in `O(|a|·|b|)` time and `O(min(|a|,|b|))` space. Operates on
-/// Unicode scalar values, so `ed("schütze", "schutze") == 1`.
+/// Runs in `O(|a|·|b|)` time and `O(min(|a|,|b|))` space (bit-parallel:
+/// `O(|long|)` words). Operates on Unicode scalar values, so
+/// `ed("schütze", "schutze") == 1`.
 pub fn edit_distance(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    edit_distance_chars(&a, &b)
+    with_chars(a, |a| with_chars(b, |b| edit_distance_chars(a, b)))
 }
 
 fn edit_distance_chars(a: &[char], b: &[char]) -> usize {
     let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if short.is_empty() {
         return long.len();
+    }
+    if short.len() <= myers::MAX_PATTERN {
+        return myers::distance(short, long);
     }
     let mut prev: Vec<usize> = (0..=short.len()).collect();
     let mut cur = vec![0usize; short.len() + 1];
@@ -36,9 +65,9 @@ fn edit_distance_chars(a: &[char], b: &[char]) -> usize {
 /// runs in `O(max · min(|a|,|b|))` time. Returns the exact distance when it
 /// is within the bound, `None` otherwise.
 pub fn edit_distance_within(a: &str, b: &str, max: usize) -> Option<usize> {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    edit_distance_within_chars(&a, &b, max)
+    with_chars(a, |a| {
+        with_chars(b, |b| edit_distance_within_chars(a, b, max))
+    })
 }
 
 fn edit_distance_within_chars(a: &[char], b: &[char], max: usize) -> Option<usize> {
@@ -48,6 +77,14 @@ fn edit_distance_within_chars(a: &[char], b: &[char], max: usize) -> Option<usiz
     }
     if short.is_empty() {
         return Some(long.len());
+    }
+    if short.len() <= myers::MAX_PATTERN {
+        // The bit-parallel scan computes the exact distance in O(|long|)
+        // word steps with no allocation — faster than maintaining the
+        // band even though it cannot early-exit. (The length filter above
+        // already rejected the cheap cases.)
+        let d = myers::distance(short, long);
+        return (d <= max).then_some(d);
     }
     const BIG: usize = usize::MAX / 2;
     // Band of width 2*max+1 around the diagonal.
@@ -235,6 +272,58 @@ mod prop {
             } else {
                 prop_assert_eq!(banded, None);
             }
+        }
+
+        /// Myers bit-parallel vs the reference DP across the 64-scalar
+        /// block boundary: interleaved 1-, 2-, and 3-byte scalars (so
+        /// char indices and byte offsets diverge) at lengths up to ~90,
+        /// crossing from the single-block fast path (≤64) into the
+        /// classic-DP fallback (>64). `edit_distance_within` must agree
+        /// at every threshold, including thresholds near the length gap.
+        #[test]
+        fn myers_matches_reference_dp_across_block_boundary(
+            a_ascii in proptest::collection::vec(proptest::char::range('a', 'e'), 0..31),
+            a_greek in proptest::collection::vec(proptest::char::range('α', 'ε'), 0..31),
+            a_cjk in proptest::collection::vec(proptest::char::range('一', '五'), 0..31),
+            b_ascii in proptest::collection::vec(proptest::char::range('a', 'e'), 0..31),
+            b_greek in proptest::collection::vec(proptest::char::range('α', 'ε'), 0..31),
+            b_cjk in proptest::collection::vec(proptest::char::range('一', '五'), 0..31),
+            max in 0usize..95,
+        ) {
+            let interleave = |x: &[char], y: &[char], z: &[char]| -> String {
+                let mut s = String::new();
+                let n = x.len().max(y.len()).max(z.len());
+                for i in 0..n {
+                    if let Some(&c) = x.get(i) { s.push(c); }
+                    if let Some(&c) = y.get(i) { s.push(c); }
+                    if let Some(&c) = z.get(i) { s.push(c); }
+                }
+                s
+            };
+            let a = interleave(&a_ascii, &a_greek, &a_cjk);
+            let b = interleave(&b_ascii, &b_greek, &b_cjk);
+            let expect = reference_dp(&a, &b);
+            prop_assert_eq!(edit_distance(&a, &b), expect);
+            prop_assert_eq!(edit_distance(&b, &a), expect);
+            let within = edit_distance_within(&a, &b, max);
+            if expect <= max {
+                prop_assert_eq!(within, Some(expect));
+            } else {
+                prop_assert_eq!(within, None);
+            }
+        }
+
+        /// A pattern at exactly 64 scalars (the widest single Myers
+        /// block, sign-bit arithmetic included) against texts both
+        /// shorter and much longer.
+        #[test]
+        fn myers_full_block_edge(
+            text in proptest::collection::vec(proptest::char::range('a', 'd'), 0..150),
+            pattern in proptest::collection::vec(proptest::char::range('a', 'd'), 64..65),
+        ) {
+            let p: String = pattern.into_iter().collect();
+            let t: String = text.into_iter().collect();
+            prop_assert_eq!(edit_distance(&p, &t), reference_dp(&p, &t));
         }
 
         #[test]

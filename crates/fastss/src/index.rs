@@ -14,7 +14,56 @@
 use std::collections::HashMap;
 
 use crate::edit_distance::edit_distance_within;
-use crate::neighborhood::deletion_neighborhood;
+use crate::neighborhood::{for_each_deletion_signature, signature_hash};
+
+/// Probe maps are keyed by 64-bit FNV signature hashes
+/// ([`signature_hash`]) instead of owned member strings: probing becomes
+/// pure integer work (no per-signature `String`, no byte-wise SipHash).
+/// Hash collisions can only *merge* buckets — every true member's hash is
+/// still indexed and probed — so the candidate set is a superset of the
+/// string-keyed scheme's and the exact verification step yields identical
+/// results. The keys are already well-mixed, so the maps use them
+/// verbatim as bucket hashes.
+#[derive(Debug, Clone, Default)]
+struct SigHashState;
+
+impl std::hash::BuildHasher for SigHashState {
+    type Hasher = SigIdentityHasher;
+    fn build_hasher(&self) -> SigIdentityHasher {
+        SigIdentityHasher(0)
+    }
+}
+
+#[derive(Debug)]
+struct SigIdentityHasher(u64);
+
+impl std::hash::Hasher for SigIdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Defensive fallback (keys are u64, so write_u64 is the hot path).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type SigMap = HashMap<u64, Vec<u32>, SigHashState>;
+
+/// Key of one long-word segment probe: the segment's signature hash mixed
+/// with its ordinal and the word's character length (the same tuple the
+/// string-keyed scheme used, collapsed to 64 bits).
+fn long_key(seg: &[char], ord: u8, wlen: u16) -> u64 {
+    let mut h = signature_hash(seg);
+    for b in std::iter::once(ord).chain(wlen.to_le_bytes()) {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// A vocabulary word matching a query keyword within the edit threshold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,11 +98,13 @@ impl Default for VariantIndexConfig {
 pub struct VariantIndex {
     config: VariantIndexConfig,
     words: Vec<String>,
-    /// Deletion signature → ids of short words having that signature.
-    short_map: HashMap<String, Vec<u32>>,
-    /// (segment text, segment ordinal, word char-length) → ids of long
+    /// Deletion-signature hash → ids of short words having a signature
+    /// with that hash (see [`SigHashState`] on why hashing is lossless
+    /// for query results).
+    short_map: SigMap,
+    /// [`long_key`] of (segment, ordinal, word char-length) → ids of long
     /// words with that exact segment.
-    long_map: HashMap<(String, u8, u16), Vec<u32>>,
+    long_map: SigMap,
     /// Char lengths present among long words (drives query-side probing).
     long_lengths: Vec<u16>,
 }
@@ -63,27 +114,37 @@ impl VariantIndex {
     /// input order.
     pub fn build<S: AsRef<str>>(words: &[S], config: VariantIndexConfig) -> Self {
         let eps = config.epsilon;
-        let mut short_map: HashMap<String, Vec<u32>> = HashMap::new();
-        let mut long_map: HashMap<(String, u8, u16), Vec<u32>> = HashMap::new();
+        let mut short_map = SigMap::default();
+        let mut long_map = SigMap::default();
         let mut long_lengths = Vec::new();
         let owned: Vec<String> = words.iter().map(|w| w.as_ref().to_string()).collect();
         for (id, w) in owned.iter().enumerate() {
             let id = id as u32;
             let len = w.chars().count();
             if len <= config.partition_threshold {
-                for sig in deletion_neighborhood(w, eps) {
-                    short_map.entry(sig).or_default().push(id);
-                }
+                for_each_deletion_signature(w, eps, |h| {
+                    let ids = short_map.entry(h).or_default();
+                    // Deletion sets of one word can repeat a member (and
+                    // so its hash); ids arrive in order, so duplicates
+                    // are always adjacent.
+                    if ids.last() != Some(&id) {
+                        ids.push(id);
+                    }
+                });
             } else {
                 let len16 = len.min(u16::MAX as usize) as u16;
                 if !long_lengths.contains(&len16) {
                     long_lengths.push(len16);
                 }
-                for (ord, seg) in segments(w, eps + 1).into_iter().enumerate() {
-                    long_map
-                        .entry((seg, ord as u8, len16))
-                        .or_default()
-                        .push(id);
+                let chars: Vec<char> = w.chars().collect();
+                for (ord, (start, seg_len)) in
+                    segment_spans(chars.len(), eps + 1).into_iter().enumerate()
+                {
+                    let key = long_key(&chars[start..start + seg_len], ord as u8, len16);
+                    let ids = long_map.entry(key).or_default();
+                    if ids.last() != Some(&id) {
+                        ids.push(id);
+                    }
                 }
             }
         }
@@ -125,12 +186,13 @@ impl VariantIndex {
         let max_ed = max_ed.min(self.config.epsilon);
         let mut candidates: Vec<u32> = Vec::new();
 
-        // Short-word path: probe the query's own deletion neighbourhood.
-        for sig in deletion_neighborhood(query, self.config.epsilon) {
-            if let Some(ids) = self.short_map.get(&sig) {
+        // Short-word path: probe the query's own deletion neighbourhood
+        // (by signature hash — no member strings are materialised).
+        for_each_deletion_signature(query, self.config.epsilon, |h| {
+            if let Some(ids) = self.short_map.get(&h) {
                 candidates.extend_from_slice(ids);
             }
-        }
+        });
 
         // Long-word path: for each plausible long-word length, compute the
         // deterministic segmentation and probe shifted query substrings.
@@ -147,14 +209,12 @@ impl VariantIndex {
             {
                 let lo = start.saturating_sub(max_ed);
                 let hi = (start + max_ed).min(qlen.saturating_sub(seg_len));
-                let mut probe = String::new();
                 for qstart in lo..=hi {
                     if qstart + seg_len > qlen {
                         break;
                     }
-                    probe.clear();
-                    probe.extend(&qchars[qstart..qstart + seg_len]);
-                    if let Some(ids) = self.long_map.get(&(probe.clone(), ord as u8, wlen)) {
+                    let key = long_key(&qchars[qstart..qstart + seg_len], ord as u8, wlen);
+                    if let Some(ids) = self.long_map.get(&key) {
                         candidates.extend_from_slice(ids);
                     }
                 }
@@ -178,16 +238,6 @@ impl VariantIndex {
         out.sort_unstable_by_key(|m| (m.distance, m.word));
         out
     }
-}
-
-/// Splits `word` into `parts` contiguous segments of near-equal character
-/// length (longer segments first). Returns the segment strings.
-fn segments(word: &str, parts: usize) -> Vec<String> {
-    let chars: Vec<char> = word.chars().collect();
-    segment_spans(chars.len(), parts)
-        .into_iter()
-        .map(|(s, l)| chars[s..s + l].iter().collect())
-        .collect()
 }
 
 /// Returns `(start, len)` spans of the deterministic segmentation of a

@@ -3,7 +3,8 @@
 //! Approximate string matching under edit-distance constraints, as used by
 //! XClean's variant generation step (§V-A of the paper): a partitioned
 //! FastSS index built over the vocabulary's ε-deletion neighbourhoods, plus
-//! the banded Levenshtein verifier.
+//! a Myers bit-parallel Levenshtein verifier (≤64-scalar fast path with a
+//! classic banded-DP fallback).
 //!
 //! ```
 //! use xclean_fastss::{VariantIndex, VariantIndexConfig};
@@ -18,6 +19,7 @@
 
 pub mod edit_distance;
 pub mod index;
+pub mod myers;
 pub mod neighborhood;
 pub mod soundex;
 

@@ -1,0 +1,146 @@
+//! Myers bit-parallel Levenshtein distance (single u64 block).
+//!
+//! Computes the exact unit-cost edit distance between a *pattern* of at
+//! most 64 scalars and a text of any length in `O(|text|)` word
+//! operations, using Hyyrö's formulation of Myers' 1999 algorithm: the
+//! DP column is carried as two 64-bit vertical-delta bitvectors (`pv` set
+//! where the column increases downward, `mv` where it decreases), updated
+//! per text character with a dozen word operations and one carry-add.
+//!
+//! Because the recurrence is the standard Levenshtein DP expressed
+//! bit-parallel — not an approximation — the result is *identical* to the
+//! classic dynamic program, which is what lets
+//! [`crate::edit_distance::edit_distance_within`] swap it in under the
+//! engine's bit-identity suites. Patterns longer than 64 scalars fall
+//! back to the banded DP in the caller.
+//!
+//! Candidate verification is the hot caller (`VariantIndex::query_within`
+//! verifies every deletion-neighborhood hit), so the pattern equivalence
+//! masks avoid heap allocation entirely: an ASCII pattern uses a stacked
+//! 128-entry table, and a general Unicode pattern uses a stacked
+//! association list (≤64 distinct scalars by construction).
+
+/// Longest pattern (in Unicode scalars) the single-block fast path takes.
+pub(crate) const MAX_PATTERN: usize = 64;
+
+/// Exact Levenshtein distance with `pattern` as the bit-parallel column.
+///
+/// Requirements (checked in debug builds): `1 <= pattern.len() <= 64`.
+/// The caller puts the *shorter* string in `pattern` — that both
+/// maximizes the fast path's reach and minimizes per-step work.
+pub(crate) fn distance(pattern: &[char], text: &[char]) -> usize {
+    debug_assert!(!pattern.is_empty() && pattern.len() <= MAX_PATTERN);
+    if pattern.iter().all(|&c| (c as u32) < 128) {
+        // ASCII fast table: branch-free equivalence lookups.
+        let mut peq = [0u64; 128];
+        for (i, &c) in pattern.iter().enumerate() {
+            peq[c as usize] |= 1 << i;
+        }
+        scan(pattern.len(), text, |c| {
+            let u = c as u32;
+            if u < 128 {
+                peq[u as usize]
+            } else {
+                0
+            }
+        })
+    } else {
+        // General Unicode: a stacked association list of the pattern's
+        // distinct scalars (≤64 entries, cache-resident).
+        let mut keys = [('\0', 0u64); MAX_PATTERN];
+        let mut n = 0usize;
+        for (i, &c) in pattern.iter().enumerate() {
+            match keys[..n].iter_mut().find(|(k, _)| *k == c) {
+                Some((_, mask)) => *mask |= 1 << i,
+                None => {
+                    keys[n] = (c, 1 << i);
+                    n += 1;
+                }
+            }
+        }
+        scan(pattern.len(), text, |c| {
+            keys[..n]
+                .iter()
+                .find(|(k, _)| *k == c)
+                .map_or(0, |&(_, mask)| mask)
+        })
+    }
+}
+
+/// The core scan: one Hyyrö step per text scalar. `eq(c)` returns the
+/// pattern-equivalence mask for `c` (bit `i` set iff `pattern[i] == c`).
+fn scan(m: usize, text: &[char], eq: impl Fn(char) -> u64) -> usize {
+    let mut pv = !0u64;
+    let mut mv = 0u64;
+    let mut score = m;
+    // Bits at positions ≥ m never influence bits < m (carries in the add
+    // only propagate upward), so the unused high bits of pv are harmless.
+    let hibit = 1u64 << (m - 1);
+    for &c in text {
+        let eqc = eq(c);
+        let xv = eqc | mv;
+        let xh = (((eqc & pv).wrapping_add(pv)) ^ pv) | eqc;
+        let mut ph = mv | !(xh | pv);
+        let mut mh = pv & xh;
+        if ph & hibit != 0 {
+            score += 1;
+        }
+        if mh & hibit != 0 {
+            score -= 1;
+        }
+        ph = (ph << 1) | 1;
+        mh <<= 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chars(s: &str) -> Vec<char> {
+        s.chars().collect()
+    }
+
+    fn d(a: &str, b: &str) -> usize {
+        distance(&chars(a), &chars(b))
+    }
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(d("kitten", "sitting"), 3);
+        assert_eq!(d("sitting", "kitten"), 3);
+        assert_eq!(d("abc", "abc"), 0);
+        assert_eq!(d("a", ""), 1);
+        assert_eq!(d("insurance", "instance"), 2);
+        assert_eq!(d("icdt", "icde"), 1);
+    }
+
+    #[test]
+    fn unicode_patterns_use_the_association_list() {
+        assert_eq!(d("schütze", "schutze"), 1);
+        assert_eq!(d("一二三", "一三"), 1);
+        assert_eq!(d("αβγ", "xyz"), 3);
+    }
+
+    #[test]
+    fn full_64_char_pattern() {
+        let a: String = "a".repeat(64);
+        let mut b = a.clone();
+        b.replace_range(0..1, "b");
+        assert_eq!(d(&a, &a), 0);
+        assert_eq!(d(&a, &b), 1);
+        // Text much longer than the pattern: 64 a's vs 100 a's.
+        let long: String = "a".repeat(100);
+        assert_eq!(d(&a, &long), 36);
+    }
+
+    #[test]
+    fn ascii_text_against_unicode_pattern_and_vice_versa() {
+        // Text scalars outside the pattern's alphabet must map to Eq=0.
+        assert_eq!(d("abc", "äbc"), 1);
+        assert_eq!(d("äbc", "abc"), 1);
+    }
+}

@@ -48,6 +48,87 @@ pub fn for_each_deletion(word: &str, epsilon: usize, mut f: impl FnMut(&str)) {
     }
 }
 
+/// FNV-1a over a character sequence — the 64-bit *signature hash* the
+/// variant index keys its probe tables on (see
+/// [`for_each_deletion_signature`]). Equal strings always hash equal, so
+/// hashing can only *merge* signature buckets, never split them; merged
+/// buckets yield extra candidates that the exact edit-distance
+/// verification discards, keeping query results identical to the
+/// string-keyed scheme.
+pub fn signature_hash(chars: &[char]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &c in chars {
+        for b in (c as u32).to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Calls `f` with the [`signature_hash`] of **every** ≤ε-deletion member
+/// of `word` — one call per *deletion-position set*, so members reachable
+/// through several deletion orders (or with repeated characters) are
+/// emitted more than once. Duplicate emissions probe or fill the same
+/// bucket and are deduplicated downstream; what matters for soundness is
+/// that no member's hash is ever skipped, which is what makes the hashed
+/// index candidate set a superset of the string-keyed one.
+///
+/// Allocation-free apart from one chars scratch: deletion sets are walked
+/// combinationally (strictly increasing positions), hashing the surviving
+/// characters directly — no member string is ever materialised.
+pub fn for_each_deletion_signature(word: &str, epsilon: usize, mut f: impl FnMut(u64)) {
+    // Stack buffer for the common short-word case (the partitioned scheme
+    // keeps indexed words at or under the partition threshold, well below
+    // 32 chars; longer query keywords spill to the heap).
+    let mut stack = ['\0'; 32];
+    let heap;
+    let n = word.chars().count();
+    let chars: &[char] = if n <= 32 {
+        for (slot, c) in stack.iter_mut().zip(word.chars()) {
+            *slot = c;
+        }
+        &stack[..n]
+    } else {
+        heap = word.chars().collect::<Vec<char>>();
+        &heap
+    };
+    let mut deleted = vec![usize::MAX; epsilon.min(n)];
+    rec_sig(chars, 0, epsilon.min(n), &mut deleted, 0, &mut f);
+}
+
+/// Emits the hash for the current deletion set, then extends it with each
+/// later position. `deleted[..depth]` holds strictly increasing indices.
+fn rec_sig(
+    chars: &[char],
+    start: usize,
+    remaining: usize,
+    deleted: &mut [usize],
+    depth: usize,
+    f: &mut impl FnMut(u64),
+) {
+    // Hash the characters surviving the current deletion set (two-pointer
+    // skip over the sorted deletion indices).
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut d = 0;
+    for (i, &c) in chars.iter().enumerate() {
+        if d < depth && deleted[d] == i {
+            d += 1;
+            continue;
+        }
+        for b in (c as u32).to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    f(h);
+    if remaining == 0 {
+        return;
+    }
+    for i in start..chars.len() {
+        deleted[depth] = i;
+        rec_sig(chars, i + 1, remaining - 1, deleted, depth + 1, f);
+    }
+}
+
 /// Upper bound on the neighbourhood size for a word of `len` characters:
 /// `Σ_{i=0..=ε} C(len, i)`.
 pub fn neighborhood_bound(len: usize, epsilon: usize) -> usize {
@@ -108,6 +189,40 @@ mod tests {
             for eps in 0..3 {
                 let n = deletion_neighborhood(word, eps);
                 assert!(n.len() <= neighborhood_bound(word.chars().count(), eps));
+            }
+        }
+    }
+
+    /// Every member of the string neighbourhood has its hash emitted by
+    /// the combinational signature walk (the superset property the hashed
+    /// index relies on).
+    #[test]
+    fn signature_hashes_cover_the_string_neighborhood() {
+        for word in ["cat", "aaa", "abcdef", "schütze", ""] {
+            for eps in 0..4 {
+                let mut sigs = HashSet::new();
+                for_each_deletion_signature(word, eps, |h| {
+                    sigs.insert(h);
+                });
+                for m in deletion_neighborhood(word, eps) {
+                    let chars: Vec<char> = m.chars().collect();
+                    assert!(
+                        sigs.contains(&signature_hash(&chars)),
+                        "missing hash of {m:?} for word {word:?} eps {eps}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// One emission per deletion-position set: exactly `Σ C(n, i)` calls.
+    #[test]
+    fn signature_emission_count_matches_bound() {
+        for word in ["a", "cat", "abcdef", "aaaa"] {
+            for eps in 0..4 {
+                let mut count = 0usize;
+                for_each_deletion_signature(word, eps, |_| count += 1);
+                assert_eq!(count, neighborhood_bound(word.chars().count(), eps));
             }
         }
     }

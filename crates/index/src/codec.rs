@@ -148,7 +148,36 @@ impl<'a> SliceReader<'a> {
         Ok(s)
     }
 
+    /// Word-at-a-time LEB128 decode: loads 8 bytes at once, finds the
+    /// first byte with its continuation bit clear via one mask +
+    /// `trailing_zeros`, and extracts the 7-bit groups branchlessly.
+    /// Falls back to the byte loop near the slab tail (fewer than 8
+    /// bytes left) and for varints longer than 8 bytes, so EOF/overflow
+    /// semantics are byte-for-byte those of the classic loop.
+    #[inline]
     pub(crate) fn get_varint(&mut self) -> Result<u64, CodecError> {
+        if self.buf.len() - self.pos >= 8 {
+            let word = u64::from_le_bytes(
+                self.buf[self.pos..self.pos + 8]
+                    .try_into()
+                    .expect("8-byte window"),
+            );
+            // A clear top bit marks the last byte of the varint.
+            let stops = !word & 0x8080_8080_8080_8080;
+            if stops != 0 {
+                let len = (stops.trailing_zeros() >> 3) as usize + 1; // 1..=8
+                self.pos += len;
+                return Ok(extract_7bit_groups(word, len));
+            }
+            // 8 continuation bytes in a row: a >8-byte varint. Rare and
+            // always an encoder bug or hostile input — let the slow path
+            // reproduce the historical overflow behavior exactly.
+        }
+        self.get_varint_slow()
+    }
+
+    #[cold]
+    fn get_varint_slow(&mut self) -> Result<u64, CodecError> {
         let mut v: u64 = 0;
         let mut shift = 0;
         loop {
@@ -166,6 +195,20 @@ impl<'a> SliceReader<'a> {
     }
 }
 
+/// Compacts the low `len` bytes of `word` (each carrying 7 payload bits,
+/// little-endian group order) into one integer, branch-free: three
+/// mask-and-shift folds merge byte pairs into 14-bit lanes, 14-bit lanes
+/// into 28-bit lanes, and 28-bit lanes into the 56-bit result.
+#[inline]
+fn extract_7bit_groups(word: u64, len: usize) -> u64 {
+    debug_assert!((1..=8).contains(&len));
+    // Keep only the varint's bytes, then drop every continuation bit.
+    let w = word & (u64::MAX >> (64 - 8 * len)) & 0x7F7F_7F7F_7F7F_7F7F;
+    let w = (w & 0x007F_007F_007F_007F) | ((w & 0x7F00_7F00_7F00_7F00) >> 1);
+    let w = (w & 0x0000_3FFF_0000_3FFF) | ((w & 0x3FFF_0000_3FFF_0000) >> 2);
+    (w & 0x0FFF_FFFF) | ((w & 0x0FFF_FFFF_0000_0000) >> 4)
+}
+
 /// Deserialises a posting list from a borrowed byte range. The entire
 /// input must be consumed — trailing garbage is a corruption error, which
 /// keeps per-token slab ranges honest.
@@ -173,6 +216,8 @@ pub fn decode_slice(buf: &[u8]) -> Result<PostingList, CodecError> {
     let mut r = SliceReader::new(buf);
     let n = get_count(&mut r, 5)?; // ≥5 bytes per entry (5 varints)
     let mut list = PostingList::new();
+    list.reserve(n); // `get_count` has already bounded `n` by the input size
+
     let mut prev_node = 0u64;
     let mut prev_dewey: Vec<u32> = Vec::new();
     let mut first = true;
@@ -275,11 +320,144 @@ mod tests {
 }
 
 #[cfg(test)]
+mod varint_tests {
+    use super::*;
+
+    /// The pre-PR byte-at-a-time loop, kept verbatim as the oracle for
+    /// the word-at-a-time fast path (EOF, overflow, and the historical
+    /// truncate-at-shift-63 quirk for 10-byte varints included).
+    fn reference_get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+        let mut v: u64 = 0;
+        let mut shift = 0;
+        loop {
+            let &byte = buf.get(*pos).ok_or(CodecError::UnexpectedEof)?;
+            *pos += 1;
+            if shift >= 64 {
+                return Err(CodecError::VarintOverflow);
+            }
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Drains `buf` through both decoders and asserts identical values,
+    /// errors, and cursor positions at every step.
+    fn assert_decodes_identically(buf: &[u8]) {
+        let mut fast = SliceReader::new(buf);
+        let mut ref_pos = 0usize;
+        loop {
+            let expect = reference_get_varint(buf, &mut ref_pos);
+            let got = fast.get_varint();
+            assert_eq!(got, expect, "value mismatch in {buf:02x?}");
+            if expect.is_ok() {
+                assert_eq!(fast.pos(), ref_pos, "cursor mismatch in {buf:02x?}");
+            }
+            if expect.is_err() || ref_pos >= buf.len() {
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_canonical_encodings() {
+        // Every varint length 1..=10 bytes, with interesting values at
+        // each length boundary.
+        let mut buf = BytesMut::new();
+        for k in 0..64 {
+            put_varint(&mut buf, 1u64 << k);
+            put_varint(&mut buf, (1u64 << k) - 1);
+        }
+        put_varint(&mut buf, u64::MAX);
+        put_varint(&mut buf, 0);
+        assert_decodes_identically(&buf);
+    }
+
+    #[test]
+    fn fast_path_falls_back_at_slab_tail() {
+        // A varint that ends exactly at the buffer end, at every distance
+        // <8 from the end — the window guard must route these through the
+        // byte loop and still agree.
+        for val in [0u64, 127, 128, 16_383, 16_384, u64::from(u32::MAX)] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, val);
+            for pad in 0..8usize {
+                let mut padded = vec![0u8; 0];
+                padded.extend_from_slice(&buf);
+                padded.extend(std::iter::repeat_n(0u8, pad));
+                assert_decodes_identically(&padded);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_and_overlong_inputs_error_identically() {
+        // All-continuation bytes: EOF when short, overflow when ≥11 long.
+        for len in 1..16usize {
+            let buf = vec![0x80u8; len];
+            assert_decodes_identically(&buf);
+        }
+        // 10-byte varint (historical truncation quirk) and an 11-byte one
+        // (overflow) — both start with ≥8 continuation bytes, so the fast
+        // path must defer to the slow loop.
+        let mut ten = vec![0xFFu8; 9];
+        ten.push(0x01);
+        assert_decodes_identically(&ten);
+        let mut eleven = vec![0xFFu8; 10];
+        eleven.push(0x01);
+        assert_decodes_identically(&eleven);
+    }
+}
+
+#[cfg(test)]
 mod prop {
     use super::*;
     use proptest::prelude::*;
 
     proptest! {
+        /// Random byte soup decodes identically through the
+        /// word-at-a-time fast path and the byte-loop reference —
+        /// values, error kinds, and cursor positions.
+        #[test]
+        fn fast_varint_matches_reference_on_random_bytes(
+            bytes in proptest::collection::vec(0u8..=255u8, 0..40),
+        ) {
+            let mut fast = SliceReader::new(&bytes);
+            let mut ref_pos = 0usize;
+            loop {
+                let expect = {
+                    let mut v: u64 = 0;
+                    let mut shift = 0;
+                    loop {
+                        match bytes.get(ref_pos) {
+                            None => break Err(CodecError::UnexpectedEof),
+                            Some(&byte) => {
+                                ref_pos += 1;
+                                if shift >= 64 {
+                                    break Err(CodecError::VarintOverflow);
+                                }
+                                v |= u64::from(byte & 0x7F) << shift;
+                                if byte & 0x80 == 0 {
+                                    break Ok(v);
+                                }
+                                shift += 7;
+                            }
+                        }
+                    }
+                };
+                let got = fast.get_varint();
+                prop_assert_eq!(&got, &expect);
+                if expect.is_ok() {
+                    prop_assert_eq!(fast.pos(), ref_pos);
+                }
+                if expect.is_err() || ref_pos >= bytes.len() {
+                    break;
+                }
+            }
+        }
+
         #[test]
         fn roundtrip_any_list(
             entries in proptest::collection::btree_map(

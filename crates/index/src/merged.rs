@@ -76,7 +76,7 @@ impl<'a> MergedList<'a> {
         let mut heap = BinaryHeap::with_capacity(members.len());
         for (i, c) in members.iter().enumerate() {
             if !c.list.is_empty() {
-                heap.push(Reverse((c.list.get(0).node, i)));
+                heap.push(Reverse((c.list.node_at(0), i)));
             }
         }
         MergedList {
@@ -97,6 +97,15 @@ impl<'a> MergedList<'a> {
         })
     }
 
+    /// Node id of the head alone — a single heap peek. The anchor walk
+    /// polls heads once per visited subtree and almost always only needs
+    /// the id for a range comparison; materialising the full
+    /// [`MergedEntry`] there (token + tf + dewey slice, several column
+    /// reads) is pure overhead, so the hot paths use this instead.
+    pub fn head_node(&self) -> Option<NodeId> {
+        self.heap.peek().map(|&Reverse((n, _))| n)
+    }
+
     /// Returns the head and removes it from the list. Named after the
     /// paper's `next()` operation; `MergedList` is deliberately not an
     /// `Iterator` because `skip_to` interleaves with consumption.
@@ -111,7 +120,7 @@ impl<'a> MergedList<'a> {
         c.pos += 1;
         self.stats.read += 1;
         if c.pos < c.list.len() {
-            self.heap.push(Reverse((c.list.get(c.pos).node, i)));
+            self.heap.push(Reverse((c.list.node_at(c.pos), i)));
         }
         Some(entry)
     }
@@ -119,26 +128,41 @@ impl<'a> MergedList<'a> {
     /// Discards all postings with node `<` `target` and returns the first
     /// posting `>= target`, if any (the paper's `skip_to(dewey)`; node ids
     /// are document-order ranks, so the comparison is equivalent).
+    ///
+    /// Lazy by member: only heap heads *behind* the target are popped,
+    /// galloped forward, and re-pushed — members already at or past the
+    /// target are never touched. A gated anchor walk calls `skip_to` once
+    /// per subtree, so on wide variant sets (hundreds of member lists at
+    /// realistic corpus scale) this turns the dominant walk cost from
+    /// `O(V log V)` per subtree into `O(b log V)` for the `b` members that
+    /// actually moved. Skipped-posting counts and the resulting cursor
+    /// positions are identical to an eager whole-heap rebuild; heap
+    /// entries are unique `(node, member)` pairs, so the pop order — and
+    /// with it every downstream result — is deterministic either way.
     pub fn skip_to(&mut self, target: NodeId) -> Option<MergedEntry<'a>> {
-        self.stats.skip_calls += 1;
-        // Fast path: already at or past the target.
-        if let Some(&Reverse((head, _))) = self.heap.peek() {
-            if head >= target {
-                return self.cur_pos();
-            }
-        }
-        self.heap.clear();
-        for (i, c) in self.members.iter_mut().enumerate() {
-            if c.pos < c.list.len() && c.list.get(c.pos).node < target {
-                let new_pos = c.list.skip_from(c.pos, target);
-                self.stats.skipped += (new_pos - c.pos) as u64;
-                c.pos = new_pos;
-            }
-            if c.pos < c.list.len() {
-                self.heap.push(Reverse((c.list.get(c.pos).node, i)));
-            }
-        }
+        self.skip_to_node(target);
         self.cur_pos()
+    }
+
+    /// [`skip_to`] when only the resulting head *node* is needed: same
+    /// member advancement and I/O accounting, but no entry is
+    /// materialised. This is the walk's presence-gate primitive.
+    pub fn skip_to_node(&mut self, target: NodeId) -> Option<NodeId> {
+        self.stats.skip_calls += 1;
+        while let Some(&Reverse((head, i))) = self.heap.peek() {
+            if head >= target {
+                break;
+            }
+            self.heap.pop();
+            let c = &mut self.members[i];
+            let new_pos = c.list.skip_from(c.pos, target);
+            self.stats.skipped += (new_pos - c.pos) as u64;
+            c.pos = new_pos;
+            if c.pos < c.list.len() {
+                self.heap.push(Reverse((c.list.node_at(c.pos), i)));
+            }
+        }
+        self.head_node()
     }
 
     /// `true` once every member list is exhausted.

@@ -41,6 +41,16 @@ impl PostingList {
         Self::default()
     }
 
+    /// Pre-allocates room for `n` postings (the decoder knows the entry
+    /// count up front from the length prefix). Dewey components are not
+    /// reserved — their total size is only known after decoding.
+    pub fn reserve(&mut self, n: usize) {
+        self.nodes.reserve(n);
+        self.paths.reserve(n);
+        self.tfs.reserve(n);
+        self.dewey_ends.reserve(n);
+    }
+
     /// Appends a posting. Entries must be pushed in strictly increasing
     /// node (document) order.
     pub fn push(&mut self, node: NodeId, path: PathId, tf: u32, dewey: &[u32]) {
@@ -78,6 +88,12 @@ impl PostingList {
             tf: self.tfs[i],
             dewey: &self.dewey_buf[start..self.dewey_ends[i] as usize],
         }
+    }
+
+    /// Node id of the `i`-th posting alone — one column read, for cursor
+    /// code (heap keys, range gates) that does not need the full tuple.
+    pub fn node_at(&self, i: usize) -> NodeId {
+        self.nodes[i]
     }
 
     /// Node ids of all postings (document order).

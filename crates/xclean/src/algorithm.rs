@@ -46,9 +46,10 @@ use xclean_lm::{ErrorModel, LanguageModel};
 use xclean_telemetry::{names, Telemetry};
 use xclean_xmltree::{NodeId, PathId};
 
+use crate::arena::QueryArena;
 use crate::config::{EntityPrior, XCleanConfig};
 use crate::pruning::{Accumulator, AccumulatorTable, CandidateKey, PruningStats};
-use crate::result_type::{find_result_type, ResultType};
+use crate::result_type::find_result_type;
 use crate::variants::Variant;
 
 /// A query keyword with its generated variant set.
@@ -170,6 +171,23 @@ pub fn run_xclean_with(
     config: &XCleanConfig,
     telemetry: &Telemetry,
 ) -> RunOutput {
+    run_xclean_in(corpus, slots, config, telemetry, &mut QueryArena::new())
+}
+
+/// [`run_xclean_with`] over a caller-provided scratch arena. The arena is
+/// reset on entry, so any (possibly dirty) arena behaves like a fresh
+/// one; reusing one across queries skips the per-query scratch
+/// allocations without changing a single output bit (see `crate::arena`).
+/// The engine pools arenas so both `suggest` and `suggest_many` hit this
+/// path with recycled storage.
+pub fn run_xclean_in(
+    corpus: &CorpusIndex,
+    slots: &[KeywordSlot],
+    config: &XCleanConfig,
+    telemetry: &Telemetry,
+    arena: &mut QueryArena,
+) -> RunOutput {
+    arena.reset();
     let walk_start = Instant::now();
     // Some keyword with no variant at all empties the candidate space;
     // flow through the common finalise path so every `*_nanos` field is
@@ -188,13 +206,18 @@ pub fn run_xclean_with(
         let _span = telemetry.tracer().span("walk_accumulate");
         let part_start = Instant::now();
         let mut stats = RunStats::default();
-        let table = accumulate_partition(corpus, slots, config, 0, 1, &mut stats);
+        let table = accumulate_partition(corpus, slots, config, 0, 1, &mut stats, arena);
         stats.pruning = table.stats();
         telemetry
             .metrics()
             .histogram(names::STAGE_PARTITION)
             .record(nanos_since(part_start));
-        (table.into_entries(), stats)
+        // Hand the table's hash storage back to the arena for the next
+        // query on this worker.
+        let (entries, accs, evicted) = table.drain_entries();
+        arena.accs = accs;
+        arena.evicted = evicted;
+        (entries, stats)
     };
     stats.score_partitions = parts as u64;
     stats.walk_nanos = nanos_since(walk_start);
@@ -262,89 +285,104 @@ fn accumulate_partition(
     part: usize,
     parts: usize,
     stats: &mut RunStats,
+    arena: &mut QueryArena,
 ) -> AccumulatorTable {
     let error_model = ErrorModel::new(config.beta);
     let lm = LanguageModel::new(corpus, config.effective_smoothing());
 
-    // Per-slot edit distances for error weights.
-    let distance_of: Vec<HashMap<TokenId, u32>> = slots
-        .iter()
-        .map(|s| s.variants.iter().map(|v| (v.token, v.distance)).collect())
-        .collect();
-
-    // Result-type cache (the hash table `P` of Algorithm 1); owned
-    // candidates only.
-    let mut type_cache: HashMap<CandidateKey, Option<ResultType>> = HashMap::new();
-    let mut table = AccumulatorTable::new(config.gamma);
+    // Per-slot edit distances for error weights (arena-recycled maps).
+    for (m, s) in arena.distance_maps(slots.len()).iter_mut().zip(slots) {
+        m.extend(s.variants.iter().map(|v| (v.token, v.distance)));
+    }
+    // Split the arena into independently-borrowed scratch pieces: the
+    // walk owns the occurrence/token buffers while the subtree closure
+    // works the scoring scratch.
+    let QueryArena {
+        occurrences,
+        slot_tokens,
+        candidate,
+        distances,
+        distance_of,
+        type_cache,
+        entity_maps,
+        seen,
+        accs,
+        evicted,
+    } = arena;
+    let mut table =
+        AccumulatorTable::with_storage(config.gamma, std::mem::take(accs), std::mem::take(evicted));
     let mut candidates_enumerated = 0u64;
     let mut result_type_computations = 0u64;
     let mut entities_scored = 0u64;
 
-    crate::walk::walk_gated_subtrees(
+    crate::walk::walk_gated_subtrees_in(
         corpus,
         slots,
         config,
         stats,
+        occurrences,
+        slot_tokens,
         |_g, occurrences, slot_tokens| {
             // Lines 12–15: enumerate candidates and accumulate entity
             // scores. Entity-count maps are built lazily per result type.
             // The map is keyed in NodeId order so entity accumulation
             // order (and with it f64 rounding) is reproducible.
-            let mut entity_maps: HashMap<PathId, BTreeMap<NodeId, HashMap<TokenId, u64>>> =
-                HashMap::new();
+            entity_maps.clear();
             let mut budget = config.max_candidates_per_subtree;
-            crate::walk::enumerate_candidates(slot_tokens, &mut budget, &mut |cand| {
-                candidates_enumerated += 1;
-                if candidate_partition(cand, parts) != part {
-                    return;
-                }
-                let rt = type_cache.entry(cand.to_vec()).or_insert_with(|| {
-                    result_type_computations += 1;
-                    find_result_type(corpus, cand, config.min_depth, config.depth_decay)
-                });
-                let Some(rt) = *rt else { return };
-                let entities = entity_maps
-                    .entry(rt.path)
-                    .or_insert_with(|| build_entity_map(corpus, occurrences, rt.path));
-                let distances: Vec<u32> = cand
-                    .iter()
-                    .enumerate()
-                    .map(|(i, t)| distance_of[i][t])
-                    .collect();
-                let log_w = error_model.log_query_weight(&distances);
-                for (&r, counts) in entities.iter() {
-                    // The entity must contain every keyword of the candidate.
-                    let mut score = 0.0f64;
-                    let mut ok = true;
-                    let dlen = corpus.doc_len(r);
-                    for &t in cand.iter() {
-                        match counts.get(&t) {
-                            Some(&c) if c > 0 => {
-                                score += lm.log_prob(t, c, dlen);
-                            }
-                            _ => {
-                                ok = false;
-                                break;
+            crate::walk::enumerate_candidates_in(
+                slot_tokens,
+                candidate,
+                &mut budget,
+                &mut |cand| {
+                    candidates_enumerated += 1;
+                    if candidate_partition(cand, parts) != part {
+                        return;
+                    }
+                    let rt = type_cache.entry(cand.to_vec()).or_insert_with(|| {
+                        result_type_computations += 1;
+                        find_result_type(corpus, cand, config.min_depth, config.depth_decay)
+                    });
+                    let Some(rt) = *rt else { return };
+                    let entities = entity_maps
+                        .entry(rt.path)
+                        .or_insert_with(|| build_entity_map(corpus, occurrences, rt.path, seen));
+                    distances.clear();
+                    distances.extend(cand.iter().enumerate().map(|(i, t)| distance_of[i][t]));
+                    let log_w = error_model.log_query_weight(distances);
+                    for (&r, counts) in entities.iter() {
+                        // The entity must contain every keyword of the candidate.
+                        let mut score = 0.0f64;
+                        let mut ok = true;
+                        let dlen = corpus.doc_len(r);
+                        for &t in cand.iter() {
+                            match counts.get(&t) {
+                                Some(&c) if c > 0 => {
+                                    score += lm.log_prob(t, c, dlen);
+                                }
+                                _ => {
+                                    ok = false;
+                                    break;
+                                }
                             }
                         }
+                        if ok {
+                            entities_scored += 1;
+                            let weight = match config.prior {
+                                EntityPrior::Uniform => 1.0,
+                                EntityPrior::DocLength => dlen.max(1) as f64,
+                            };
+                            table.add_weighted(
+                                cand,
+                                score.exp() * weight,
+                                weight,
+                                log_w,
+                                distances,
+                                rt.path,
+                            );
+                        }
                     }
-                    if ok {
-                        entities_scored += 1;
-                        let weight = match config.prior {
-                            EntityPrior::Uniform => 1.0,
-                            EntityPrior::DocLength => dlen.max(1) as f64,
-                        };
-                        table.add_weighted(
-                            cand,
-                            score.exp() * weight,
-                            weight,
-                            log_w,
-                            &distances,
-                            rt.path,
-                        );
-                    }
-                }
-            });
+                },
+            );
         },
     );
     stats.candidates_enumerated = candidates_enumerated;
@@ -382,8 +420,13 @@ fn accumulate_parallel(
                             });
                     let part_start = Instant::now();
                     let mut stats = RunStats::default();
-                    let table =
-                        accumulate_partition(corpus, slots, config, part, parts, &mut stats);
+                    // Partition workers are transient scoped threads, so
+                    // each scores through its own short-lived arena (the
+                    // caller's arena cannot be shared across threads).
+                    let mut arena = QueryArena::new();
+                    let table = accumulate_partition(
+                        corpus, slots, config, part, parts, &mut stats, &mut arena,
+                    );
                     stats.pruning = table.stats();
                     part_hist.record(nanos_since(part_start));
                     (table.into_entries(), stats)
@@ -442,15 +485,17 @@ fn finalize_candidates(
 /// `entity node → (token → occurrence count in entity subtree)` from the
 /// occurrences collected in the current gating subtree. Occurrences are
 /// deduplicated across slots (the same posting can surface in several
-/// keywords' merged lists).
+/// keywords' merged lists) through the arena-recycled `seen` map, which
+/// this function resets before use.
 fn build_entity_map(
     corpus: &CorpusIndex,
     occurrences: &[Vec<(TokenId, NodeId, u32)>],
     path: PathId,
+    seen: &mut HashMap<(TokenId, NodeId), ()>,
 ) -> BTreeMap<NodeId, HashMap<TokenId, u64>> {
     let tree = corpus.tree();
     let depth = tree.paths().depth(path);
-    let mut seen: HashMap<(TokenId, NodeId), ()> = HashMap::new();
+    seen.clear();
     // BTreeMap: entity iteration order must be reproducible (see the
     // module docs on deterministic scoring).
     let mut map: BTreeMap<NodeId, HashMap<TokenId, u64>> = BTreeMap::new();
@@ -573,6 +618,45 @@ mod tests {
         let top = term_strings(&c, &out.candidates[0]);
         assert_eq!(top, vec!["trie".to_string(), "icde".to_string()]);
         assert_eq!(out.candidates[0].distances, vec![0, 0]);
+    }
+
+    #[test]
+    fn reused_arena_is_bit_identical_to_fresh_arenas() {
+        // The same interleaved workload — different keyword counts, a
+        // γ-bound config that exercises eviction/rejection with recycled
+        // table storage, and an empty-slot early-out — through one shared
+        // arena must match per-query fresh arenas bit for bit.
+        let c = corpus();
+        let tight = XCleanConfig {
+            gamma: Some(1),
+            ..XCleanConfig::default()
+        };
+        let workload: Vec<(Vec<KeywordSlot>, XCleanConfig)> = vec![
+            (slots_for(&c, &["tree", "icdt"], 1), XCleanConfig::default()),
+            (slots_for(&c, &["icde"], 1), XCleanConfig::default()),
+            (slots_for(&c, &["trie", "icde"], 1), tight.clone()),
+            (Vec::new(), XCleanConfig::default()),
+            (slots_for(&c, &["tree", "icdt"], 1), tight),
+        ];
+        let mut arena = QueryArena::new();
+        for (slots, config) in &workload {
+            let fresh = run_xclean_with(&c, slots, config, &Telemetry::disabled());
+            let reused = run_xclean_in(&c, slots, config, &Telemetry::disabled(), &mut arena);
+            assert_eq!(fresh.candidates.len(), reused.candidates.len());
+            for (a, b) in fresh.candidates.iter().zip(&reused.candidates) {
+                assert_eq!(a.tokens, b.tokens);
+                assert_eq!(a.log_score.to_bits(), b.log_score.to_bits());
+                assert_eq!(a.distances, b.distances);
+                assert_eq!(a.result_path, b.result_path);
+                assert_eq!(a.entity_count, b.entity_count);
+            }
+            assert_eq!(fresh.stats.pruning, reused.stats.pruning);
+            assert_eq!(
+                fresh.stats.candidates_enumerated,
+                reused.stats.candidates_enumerated
+            );
+            assert_eq!(fresh.stats.entities_scored, reused.stats.entities_scored);
+        }
     }
 
     #[test]

@@ -22,7 +22,8 @@ use xclean_index::{CorpusIndex, LoadReport, TokenId};
 use xclean_telemetry::{names, Counter, Histogram, MetricsRegistry, Telemetry, Tracer};
 use xclean_xmltree::{PathId, Tokenizer, XmlTree};
 
-use crate::algorithm::{nanos_since, run_xclean_with, KeywordSlot, RunStats};
+use crate::algorithm::{nanos_since, run_xclean_in, KeywordSlot, RunStats};
+use crate::arena::QueryArena;
 use crate::config::XCleanConfig;
 use crate::elca::run_elca;
 use crate::slca::run_slca;
@@ -187,6 +188,13 @@ pub struct XCleanEngine {
     semantics: Semantics,
     telemetry: Telemetry,
     metric_handles: EngineMetrics,
+    /// Recycled per-query scratch ([`QueryArena`]): a query checks one
+    /// out, runs, and returns it, so steady-state workers stop paying the
+    /// per-query scratch allocations. Two brief uncontended locks per
+    /// query — negligible against query latency. Capped at
+    /// [`XCleanEngine::ARENA_POOL_CAP`] so an occasional wide burst does
+    /// not pin scratch memory forever.
+    arena_pool: std::sync::Mutex<Vec<QueryArena>>,
 }
 
 impl XCleanEngine {
@@ -222,6 +230,30 @@ impl XCleanEngine {
             semantics: Semantics::NodeType,
             telemetry,
             metric_handles,
+            arena_pool: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Upper bound on pooled [`QueryArena`]s (see the field docs).
+    const ARENA_POOL_CAP: usize = 64;
+
+    /// Checks a scratch arena out of the pool (or makes a fresh one).
+    fn arena_checkout(&self) -> QueryArena {
+        let mut pool = self
+            .arena_pool
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        pool.pop().unwrap_or_default()
+    }
+
+    /// Returns an arena to the pool for the next query to reuse.
+    fn arena_checkin(&self, arena: QueryArena) {
+        let mut pool = self
+            .arena_pool
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if pool.len() < Self::ARENA_POOL_CAP {
+            pool.push(arena);
         }
     }
 
@@ -606,7 +638,12 @@ impl XCleanEngine {
         };
         let slot_nanos = nanos_since(start);
         let mut out = match self.semantics {
-            Semantics::NodeType => run_xclean_with(&self.corpus, &slots, config, &self.telemetry),
+            Semantics::NodeType => {
+                let mut arena = self.arena_checkout();
+                let out = run_xclean_in(&self.corpus, &slots, config, &self.telemetry, &mut arena);
+                self.arena_checkin(arena);
+                out
+            }
             Semantics::Slca => {
                 let _walk_span = tracer.span("walk_accumulate");
                 run_slca(&self.corpus, &slots, config)

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithm;
+pub mod arena;
 pub mod config;
 pub mod elca;
 pub mod engine;
@@ -42,8 +43,9 @@ pub mod variants;
 pub mod walk;
 
 pub use algorithm::{
-    run_xclean, run_xclean_with, KeywordSlot, RunOutput, RunStats, ScoredCandidate,
+    run_xclean, run_xclean_in, run_xclean_with, KeywordSlot, RunOutput, RunStats, ScoredCandidate,
 };
+pub use arena::QueryArena;
 pub use config::{EntityPrior, XCleanConfig};
 pub use elca::{elca_of_lists, run_elca};
 pub use engine::{Semantics, SuggestResponse, Suggestion, XCleanEngine};

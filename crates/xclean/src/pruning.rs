@@ -71,9 +71,26 @@ impl AccumulatorTable {
     /// Creates a table bounded to `gamma` accumulators (`None` =
     /// unbounded).
     pub fn new(gamma: Option<usize>) -> Self {
+        Self::with_storage(gamma, HashMap::new(), HashSet::new())
+    }
+
+    /// Like [`Self::new`] but over donated (empty) hash storage — the
+    /// query arena lends its recycled maps so a steady-state worker
+    /// allocates no table storage per query. The storage flows back to
+    /// the arena through [`Self::drain_entries`]. Hash-map capacity never
+    /// influences scoring (see `crate::arena` on why bit-identity holds).
+    pub fn with_storage(
+        gamma: Option<usize>,
+        accs: HashMap<CandidateKey, Accumulator>,
+        evicted: HashSet<CandidateKey>,
+    ) -> Self {
+        debug_assert!(
+            accs.is_empty() && evicted.is_empty(),
+            "donated storage must be reset"
+        );
         AccumulatorTable {
-            accs: HashMap::new(),
-            evicted: HashSet::new(),
+            accs,
+            evicted,
             gamma,
             stats: PruningStats::default(),
         }
@@ -184,6 +201,24 @@ impl AccumulatorTable {
     /// Drains the table into `(candidate, accumulator)` pairs.
     pub fn into_entries(self) -> Vec<(CandidateKey, Accumulator)> {
         self.accs.into_iter().collect()
+    }
+
+    /// Drains the table into `(candidate, accumulator)` pairs *and*
+    /// returns the emptied hash storage so the caller (the query arena)
+    /// can reuse its capacity. Entry order is hash-map iteration order in
+    /// both drain paths; callers sort with a total-order comparator, so
+    /// the two are interchangeable.
+    #[allow(clippy::type_complexity)]
+    pub fn drain_entries(
+        mut self,
+    ) -> (
+        Vec<(CandidateKey, Accumulator)>,
+        HashMap<CandidateKey, Accumulator>,
+        HashSet<CandidateKey>,
+    ) {
+        let entries = self.accs.drain().collect();
+        self.evicted.clear();
+        (entries, self.accs, self.evicted)
     }
 }
 

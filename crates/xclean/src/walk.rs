@@ -25,6 +25,33 @@ pub fn walk_gated_subtrees(
     slots: &[KeywordSlot],
     config: &XCleanConfig,
     stats: &mut RunStats,
+    on_subtree: impl FnMut(NodeId, &SlotOccurrences, &[Vec<TokenId>]),
+) {
+    let mut occurrences = SlotOccurrences::new();
+    let mut slot_tokens = Vec::new();
+    walk_gated_subtrees_in(
+        corpus,
+        slots,
+        config,
+        stats,
+        &mut occurrences,
+        &mut slot_tokens,
+        on_subtree,
+    )
+}
+
+/// [`walk_gated_subtrees`] over caller-provided (arena) occurrence and
+/// token buffers: both are resized to one entry per slot and content-
+/// cleared before use, so recycled buffers behave exactly like fresh
+/// ones. The buffers are left holding the *last* subtree's data on
+/// return — callers treat them as opaque scratch.
+pub fn walk_gated_subtrees_in(
+    corpus: &CorpusIndex,
+    slots: &[KeywordSlot],
+    config: &XCleanConfig,
+    stats: &mut RunStats,
+    occurrences: &mut SlotOccurrences,
+    slot_tokens: &mut Vec<Vec<TokenId>>,
     mut on_subtree: impl FnMut(NodeId, &SlotOccurrences, &[Vec<TokenId>]),
 ) {
     if slots.is_empty() || slots.iter().any(|s| s.variants.is_empty()) {
@@ -42,8 +69,12 @@ pub fn walk_gated_subtrees(
         })
         .collect();
 
-    let mut occurrences: SlotOccurrences = vec![Vec::new(); slots.len()];
-    let mut slot_tokens: Vec<Vec<TokenId>> = vec![Vec::new(); slots.len()];
+    occurrences.truncate(slots.len());
+    occurrences.iter_mut().for_each(Vec::clear);
+    occurrences.resize_with(slots.len(), Vec::new);
+    slot_tokens.truncate(slots.len());
+    slot_tokens.iter_mut().for_each(Vec::clear);
+    slot_tokens.resize_with(slots.len(), Vec::new);
 
     loop {
         // The anchor is the *largest* head; nil once any list is exhausted
@@ -52,8 +83,8 @@ pub fn walk_gated_subtrees(
             let mut max: Option<NodeId> = None;
             let mut dead = false;
             for vl in &vls {
-                match vl.cur_pos() {
-                    Some(e) => max = Some(max.map_or(e.posting.node, |m| m.max(e.posting.node))),
+                match vl.head_node() {
+                    Some(n) => max = Some(max.map_or(n, |m| m.max(n))),
                     None => {
                         dead = true;
                         break;
@@ -72,10 +103,8 @@ pub fn walk_gated_subtrees(
         // gating subtree — consume and continue.
         let Some(g) = tree.ancestor_at_depth(anchor, config.min_depth) else {
             for vl in &mut vls {
-                if let Some(e) = vl.cur_pos() {
-                    if e.posting.node == anchor {
-                        vl.next();
-                    }
+                if vl.head_node() == Some(anchor) {
+                    vl.next();
                 }
             }
             continue;
@@ -83,23 +112,42 @@ pub fn walk_gated_subtrees(
         let g_end = tree.subtree_end(g);
         stats.subtrees += 1;
 
+        if config.enable_skipping {
+            // Presence first: after aligning every list at `g`, the heads
+            // alone decide the all-slots gate. Subtrees that fail it — the
+            // overwhelming majority on realistic corpora — are then
+            // *skipped over* wholesale instead of being consumed posting
+            // by posting, which is what keeps the walk linear in matching
+            // subtrees rather than in raw posting volume. Results are
+            // identical: occurrences collected in a failing subtree were
+            // discarded anyway (only the I/O counters shift from `read`
+            // to `skipped`).
+            let all_present = vls
+                .iter_mut()
+                .all(|vl| vl.skip_to_node(g).is_some_and(|n| n.0 < g_end));
+            if !all_present {
+                for vl in &mut vls {
+                    if vl.head_node().is_some_and(|n| n.0 < g_end) {
+                        vl.skip_to_node(NodeId(g_end));
+                    }
+                }
+                continue;
+            }
+        }
+
         let mut all_present = true;
         for (i, vl) in vls.iter_mut().enumerate() {
             occurrences[i].clear();
-            if config.enable_skipping {
-                vl.skip_to(g);
-            }
-            while let Some(e) = vl.cur_pos() {
-                if e.posting.node < g {
+            while let Some(n) = vl.head_node() {
+                if n >= g && n.0 < g_end {
+                    let e = vl.next().expect("head_node implies an entry");
+                    occurrences[i].push((e.token, e.posting.node, e.posting.tf));
+                } else if n < g {
                     // Reachable only with skipping disabled.
                     vl.next();
-                    continue;
-                }
-                if e.posting.node.0 >= g_end {
+                } else {
                     break;
                 }
-                occurrences[i].push((e.token, e.posting.node, e.posting.tf));
-                vl.next();
             }
             if occurrences[i].is_empty() {
                 all_present = false;
@@ -116,7 +164,7 @@ pub fn walk_gated_subtrees(
             slot_tokens[i].dedup();
         }
 
-        on_subtree(g, &occurrences, &slot_tokens);
+        on_subtree(g, occurrences, slot_tokens);
     }
 
     for vl in &vls {
@@ -131,8 +179,21 @@ pub fn enumerate_candidates(
     budget: &mut usize,
     f: &mut impl FnMut(&CandidateKey),
 ) {
-    let mut candidate = vec![TokenId(0); slot_tokens.len()];
-    rec(slot_tokens, &mut candidate, 0, budget, f);
+    let mut candidate = Vec::new();
+    enumerate_candidates_in(slot_tokens, &mut candidate, budget, f);
+}
+
+/// [`enumerate_candidates`] over a caller-provided (arena) scratch
+/// vector, reset to one slot-0 placeholder per slot before the recursion.
+pub fn enumerate_candidates_in(
+    slot_tokens: &[Vec<TokenId>],
+    candidate: &mut Vec<TokenId>,
+    budget: &mut usize,
+    f: &mut impl FnMut(&CandidateKey),
+) {
+    candidate.clear();
+    candidate.resize(slot_tokens.len(), TokenId(0));
+    rec(slot_tokens, candidate, 0, budget, f);
 }
 
 fn rec(
