@@ -23,6 +23,13 @@
 //! - `--warmup SECS` — unrecorded lead-in (default 2).
 //! - `--queries PATH` — newline-separated query mix (default: a built-in
 //!   list of typo'd DBLP-flavoured queries).
+//! - `--path P` — endpoint path for every request (default `/suggest`;
+//!   use `/suggest/<corpus>` against a multi-tenant catalog server).
+//! - `--target P[=W]` — repeatable weighted multi-target mix: each
+//!   request picks one path from the declared targets, proportionally to
+//!   the integer weights (default weight 1). Mutually exclusive with
+//!   `--path`; the report then carries a `per_target` breakdown with
+//!   per-path q/s.
 //! - `--healthz-every N` — fold one cheap `GET /healthz` into every Nth
 //!   request per connection (0 = pure suggestion traffic, the default).
 //! - `--out PATH` — JSON report path (default `BENCH_pr6.json`).
@@ -78,6 +85,8 @@ mod linux {
         duration: Duration,
         warmup: Duration,
         queries: Vec<String>,
+        /// Weighted request paths: `(path, weight)`, weights ≥ 1.
+        targets: Vec<(String, u64)>,
         healthz_every: usize,
         out: String,
     }
@@ -89,9 +98,11 @@ mod linux {
             duration: Duration::from_secs(30),
             warmup: Duration::from_secs(2),
             queries: DEFAULT_QUERIES.iter().map(|q| q.to_string()).collect(),
+            targets: Vec::new(),
             healthz_every: 0,
             out: "BENCH_pr6.json".to_string(),
         };
+        let mut path_flag: Option<String> = None;
         let mut args = std::env::args().skip(1);
         let next = |flag: &str, args: &mut dyn Iterator<Item = String>| {
             args.next().unwrap_or_else(|| {
@@ -145,12 +156,39 @@ mod linux {
                         .collect();
                     assert!(!opts.queries.is_empty(), "{path} holds no queries");
                 }
+                "--path" => path_flag = Some(next("--path", &mut args)),
+                "--target" => {
+                    let spec = next("--target", &mut args);
+                    let (path, weight) = match spec.rsplit_once('=') {
+                        Some((p, w)) => {
+                            let weight: u64 = w.parse().unwrap_or_else(|_| {
+                                xclean_telemetry::log_error!(
+                                    "xclean_loadgen",
+                                    "--target weight must be a positive integer",
+                                    target = spec,
+                                );
+                                std::process::exit(2);
+                            });
+                            (p.to_string(), weight)
+                        }
+                        None => (spec.clone(), 1),
+                    };
+                    if weight == 0 || !path.starts_with('/') {
+                        xclean_telemetry::log_error!(
+                            "xclean_loadgen",
+                            "--target expects /path[=positive-weight]",
+                            target = spec,
+                        );
+                        std::process::exit(2);
+                    }
+                    opts.targets.push((path, weight));
+                }
                 "--out" => opts.out = next("--out", &mut args),
                 other => {
                     xclean_telemetry::log_error!(
                         "xclean_loadgen",
                         "unknown argument (expected --addr --connections --duration \
-                         --warmup --queries --healthz-every --out)",
+                         --warmup --queries --path --target --healthz-every --out)",
                         argument = format!("{other:?}"),
                     );
                     std::process::exit(2);
@@ -158,6 +196,21 @@ mod linux {
             }
         }
         assert!(opts.connections > 0, "--connections must be positive");
+        match (path_flag, opts.targets.is_empty()) {
+            (Some(_), false) => {
+                xclean_telemetry::log_error!(
+                    "xclean_loadgen",
+                    "--path and --target are mutually exclusive",
+                );
+                std::process::exit(2);
+            }
+            (Some(p), true) => {
+                assert!(p.starts_with('/'), "--path expects an absolute path");
+                opts.targets.push((p, 1));
+            }
+            (None, true) => opts.targets.push(("/suggest".to_string(), 1)),
+            (None, false) => {}
+        }
         opts
     }
 
@@ -187,9 +240,23 @@ mod linux {
         sent_at: u64,
         /// Index into the per-connection request schedule.
         step: usize,
+        /// Target index of the in-flight request ([`HEALTHZ_TARGET`] for
+        /// a folded-in `/healthz` probe).
+        in_flight_target: usize,
         /// Registered write interest, mirrored into `EPOLL_CTL_MOD`.
         want_write: bool,
         alive: bool,
+    }
+
+    /// `Conn::in_flight_target` sentinel for `/healthz` probes, which
+    /// belong to no declared target.
+    const HEALTHZ_TARGET: usize = usize::MAX;
+
+    /// Per-target slice of the tally, one per declared `--target`.
+    #[derive(Default)]
+    struct TargetTally {
+        requests: u64,
+        errors: u64,
     }
 
     /// Everything the report needs, accumulated as responses complete.
@@ -199,12 +266,16 @@ mod linux {
         requests: u64,
         errors: u64,
         bytes_in: u64,
+        per_target: Vec<TargetTally>,
     }
 
     struct Loadgen {
         epoll: Epoll,
         conns: Vec<Conn>,
-        requests: Vec<Vec<u8>>,
+        /// Pre-rendered request bytes, indexed `[target][query]`.
+        requests: Vec<Vec<Vec<u8>>>,
+        /// Weighted target rotation: one entry per unit of weight.
+        target_schedule: Vec<usize>,
         healthz_every: usize,
         epoch: Instant,
         measuring_from: u64,
@@ -217,27 +288,33 @@ mod linux {
         }
 
         /// The next request on `conn`'s schedule: its own rotation of the
-        /// query mix, with a `/healthz` folded in every Nth step when
-        /// requested.
-        fn next_request(&self, token: usize) -> Vec<u8> {
+        /// weighted target mix crossed with the query mix, with a
+        /// `/healthz` folded in every Nth step when requested. Returns
+        /// the request bytes plus the target index they count against.
+        fn next_request(&self, token: usize) -> (Vec<u8>, usize) {
             let conn = &self.conns[token];
             if self.healthz_every > 0 && conn.step % self.healthz_every == self.healthz_every - 1 {
-                return b"GET /healthz HTTP/1.1\r\nHost: loadgen\r\n\r\n".to_vec();
+                return (
+                    b"GET /healthz HTTP/1.1\r\nHost: loadgen\r\n\r\n".to_vec(),
+                    HEALTHZ_TARGET,
+                );
             }
             // Offset by the token so concurrent connections spread over
             // the mix instead of hammering one cache entry in lockstep.
-            let query = &self.requests[(conn.step + token) % self.requests.len()];
-            query.clone()
+            let target = self.target_schedule[(conn.step + token) % self.target_schedule.len()];
+            let queries = &self.requests[target];
+            (queries[(conn.step + token) % queries.len()].clone(), target)
         }
 
         fn send_next(&mut self, token: usize) {
-            let request = self.next_request(token);
+            let (request, target) = self.next_request(token);
             let now = self.now();
             let conn = &mut self.conns[token];
             conn.step += 1;
             conn.out_buf = request;
             conn.out_pos = 0;
             conn.sent_at = now;
+            conn.in_flight_target = target;
             self.flush(token);
         }
 
@@ -313,10 +390,17 @@ mod linux {
             let now = self.now();
             let conn = &mut self.conns[token];
             conn.in_buf.drain(..head_end + content_length);
+            let target = conn.in_flight_target;
             if status != 200 {
                 self.tally.errors += 1;
+                if target != HEALTHZ_TARGET {
+                    self.tally.per_target[target].errors += 1;
+                }
             } else if now >= self.measuring_from {
                 self.tally.requests += 1;
+                if target != HEALTHZ_TARGET {
+                    self.tally.per_target[target].requests += 1;
+                }
                 self.tally
                     .latencies
                     .push(now.saturating_sub(sent_at).max(1));
@@ -354,16 +438,27 @@ mod linux {
 
     pub fn main() {
         let opts = parse_args();
-        let requests: Vec<Vec<u8>> = opts
-            .queries
+        let requests: Vec<Vec<Vec<u8>>> = opts
+            .targets
             .iter()
-            .map(|q| {
-                format!(
-                    "GET /suggest?q={} HTTP/1.1\r\nHost: loadgen\r\n\r\n",
-                    encode_query(q)
-                )
-                .into_bytes()
+            .map(|(path, _weight)| {
+                opts.queries
+                    .iter()
+                    .map(|q| {
+                        format!(
+                            "GET {path}?q={} HTTP/1.1\r\nHost: loadgen\r\n\r\n",
+                            encode_query(q)
+                        )
+                        .into_bytes()
+                    })
+                    .collect()
             })
+            .collect();
+        let target_schedule: Vec<usize> = opts
+            .targets
+            .iter()
+            .enumerate()
+            .flat_map(|(i, (_path, weight))| std::iter::repeat_n(i, *weight as usize))
             .collect();
 
         xclean_telemetry::log_info!(
@@ -374,6 +469,7 @@ mod linux {
             duration_secs = format!("{:.0}", opts.duration.as_secs_f64()),
             warmup_secs = format!("{:.0}", opts.warmup.as_secs_f64()),
             query_mix = opts.queries.len(),
+            targets = opts.targets.len(),
         );
 
         // Connect in waves: the listen backlog is finite, so a burst of
@@ -422,6 +518,7 @@ mod linux {
                 in_buf: Vec::new(),
                 sent_at: 0,
                 step: token % opts.queries.len().max(1),
+                in_flight_target: HEALTHZ_TARGET,
                 want_write: false,
                 alive: true,
             });
@@ -435,6 +532,7 @@ mod linux {
             epoll,
             conns,
             requests,
+            target_schedule,
             healthz_every: opts.healthz_every,
             epoch,
             measuring_from: opts.warmup.as_nanos() as u64,
@@ -444,6 +542,11 @@ mod linux {
                 requests: 0,
                 errors: 0,
                 bytes_in: 0,
+                per_target: opts
+                    .targets
+                    .iter()
+                    .map(|_| TargetTally::default())
+                    .collect(),
             },
         };
 
@@ -512,6 +615,21 @@ mod linux {
             p99_ms = format!("{:.2}", p99 as f64 / 1e6),
         );
 
+        let per_target: Vec<serde_json::Value> = opts
+            .targets
+            .iter()
+            .zip(&gen.tally.per_target)
+            .map(|((path, weight), t)| {
+                serde_json::json!({
+                    "path": path,
+                    "weight": weight,
+                    "requests": t.requests,
+                    "errors": t.errors,
+                    "queries_per_sec": t.requests as f64 / measured_secs.max(1e-9),
+                })
+            })
+            .collect();
+
         let report = serde_json::json!({
             "bench": "loadgen",
             "target": opts.addr,
@@ -525,6 +643,7 @@ mod linux {
             "requests": gen.tally.requests,
             "errors": gen.tally.errors,
             "queries_per_sec": qps,
+            "per_target": per_target,
             "bytes_in": gen.tally.bytes_in,
             "latency_nanos": serde_json::json!({
                 "p50": p50,

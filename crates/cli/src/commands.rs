@@ -4,8 +4,10 @@
 //! xclean index build <data.xml> --out index.xci    build & persist an index
 //! xclean index upgrade <old.xci> --out new.xci     rewrite a snapshot as v2
 //! xclean index inspect <index.xci>                 snapshot summary
+//! xclean index shard <in> --shards N --out-prefix P   split into a shard set
 //! xclean suggest <data.xml|index.xci> <query…>     clean a keyword query
 //! xclean serve <index.xci> --port 8080             long-running HTTP server
+//! xclean serve --catalog catalog.xcc --port 8080   multi-corpus HTTP server
 //! xclean stats <data.xml|index.xci>                corpus statistics
 //! xclean generate <dblp|inex> --out corpus.xml     synthetic corpus
 //! ```
@@ -14,10 +16,12 @@ use std::io::Write;
 use std::sync::Arc;
 use std::time::Duration;
 
-use xclean::{RunStats, Semantics, Telemetry, XCleanConfig, XCleanEngine};
+use xclean::{
+    Catalog, CorpusSpec, RunStats, Semantics, ShardedEngine, Telemetry, XCleanConfig, XCleanEngine,
+};
 use xclean_datagen::{generate_dblp, generate_inex, DblpConfig, InexConfig};
-use xclean_index::{storage, CorpusIndex, OpenOptions, SlabMode};
-use xclean_server::{AcceptModel, ServerConfig, SuggestServer};
+use xclean_index::{partition_corpus, storage, CorpusIndex, OpenOptions, SlabMode};
+use xclean_server::{AcceptModel, ServerConfig, SuggestServer, TenantEngine};
 use xclean_xmltree::{parse_document, to_xml, TreeStats};
 
 use crate::args::{ArgError, Args};
@@ -55,7 +59,18 @@ USAGE:
             (rewrites any readable snapshot in the v2 format)
     xclean index inspect <index.xci>
             (summarises a snapshot without materialising the index:
-             format version, section sizes, checksum)
+             format version, section sizes, checksum, and — for a shard
+             snapshot — its shard-set membership)
+    xclean index shard <data.xml | index.xci> --shards <N>
+            --out-prefix <P> [--seed S]
+            [--catalog <catalog.xcc> [--name <corpus>]]
+            (splits the corpus into N entity-aligned shard snapshots
+             `P-shard<i>-of-<N>.xci`; scatter-gather serving over the
+             set is bit-identical to the unsharded engine. With
+             --catalog, the shard set is also registered under --name
+             (default `default`) in the catalog file — created if
+             missing, the entry replaced if the name already exists —
+             ready for `xclean serve --catalog`)
     xclean suggest <data.xml | index.xci> <query keywords…>
             [--k N] [--beta B] [--gamma G] [--epsilon E] [--min-depth D]
             [--semantics node-type|slca|elca] [--phonetic DIST]
@@ -70,7 +85,8 @@ USAGE:
              pipeline spans — load it in Perfetto / chrome://tracing;
              --metrics-json appends the engine's aggregated counters and
              p50/p95/p99 stage histograms as one JSON line)
-    xclean serve <index.xci> [--host H] [--port P] [--threads N]
+    xclean serve <index.xci | --catalog catalog.xcc>
+            [--host H] [--port P] [--threads N]
             [--event-loop | --thread-pool] [--max-connections N]
             [--mmap | --no-mmap]
             [--cache-entries N] [--cache-shards N] [--max-body-bytes N]
@@ -83,6 +99,11 @@ USAGE:
             (long-running HTTP server: POST/GET /suggest, GET /healthz,
              GET /metrics, GET /statusz, GET /debug/requests?n=K,
              GET /debug/conns?n=K, GET /debug/flight?events=N;
+             with --catalog, every declared corpus is served under
+             POST/GET /suggest/<name> — sharded entries scatter-gather
+             across their snapshots — while bare /suggest, /healthz
+             and the unlabelled /metrics series keep tracking the
+             first (primary) catalog entry;
              answers repeated queries from a sharded LRU response cache;
              every response carries an X-Request-Id; requests slower
              than --slow-ms (default 100) are logged as JSON lines to
@@ -102,7 +123,11 @@ USAGE:
              by default they are mmap-ed when possible; --mmap requires
              the mapping, --no-mmap forces an in-memory copy)
     xclean stats <data.xml | index.xci>
-    xclean generate <dblp | inex> --out <corpus.xml> [--size N] [--seed S]
+    xclean generate <dblp | dblp-large | inex> --out <corpus.xml>
+            [--size N] [--seed S] [--vocab N] [--vocab-rotation N]
+            (--vocab-rotation shifts the dblp vocabulary tables so a
+             multi-corpus catalog can hold several DBLP-flavoured
+             corpora with different hot terms)
 ";
 
 /// Dispatches a full argument vector (without the program name).
@@ -152,6 +177,7 @@ fn cmd_index(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         Some("build") => cmd_index_build(raw[1..].to_vec()),
         Some("upgrade") => cmd_index_upgrade(raw[1..].to_vec()),
         Some("inspect") => cmd_index_inspect(raw[1..].to_vec()),
+        Some("shard") => cmd_index_shard(raw[1..].to_vec()),
         _ => cmd_index_build(raw),
     }
 }
@@ -211,6 +237,115 @@ fn cmd_index_upgrade(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     )]))
 }
 
+/// `xclean index shard <in> --shards N --out-prefix P [--seed S]
+/// [--catalog F [--name C]]`: splits a corpus into an entity-aligned
+/// shard set and persists each shard as an ordinary v2 snapshot.
+/// Serving the set through the scatter-gather engine is bit-identical
+/// to serving the parent corpus unsharded (DESIGN.md §16). With
+/// `--catalog` the shard set is additionally registered in a corpus
+/// catalog — repeated invocations with different `--name`s assemble a
+/// multi-corpus catalog for `xclean serve --catalog`.
+fn cmd_index_shard(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
+    let args = Args::parse(raw, &[])?;
+    args.reject_unknown(&["shards", "seed", "out-prefix", "catalog", "name"])?;
+    let [input] = args.positional() else {
+        return Err(ArgError(
+            "usage: xclean index shard <data.xml | index.xci> --shards <N> --out-prefix <P> \
+             [--seed S] [--catalog <catalog.xcc> [--name <corpus>]]"
+                .into(),
+        ));
+    };
+    let shards: usize = args.get_parsed("shards", 0usize)?;
+    if shards == 0 {
+        return Err(ArgError("--shards <N> (at least 1) is required".into()));
+    }
+    let seed: u64 = args.get_parsed("seed", 0u64)?;
+    let prefix = args
+        .get("out-prefix")
+        .ok_or_else(|| ArgError("--out-prefix <P> is required".into()))?;
+    if args.get("name").is_some() && args.get("catalog").is_none() {
+        return Err(ArgError("--name only makes sense with --catalog".into()));
+    }
+    let corpus = load_corpus(input)?;
+    let parts =
+        partition_corpus(&corpus, shards, seed).map_err(|e| ArgError(format!("{input}: {e}")))?;
+    let mut lines = Vec::new();
+    let mut snapshot_paths = Vec::new();
+    for part in &parts {
+        let meta = part
+            .shard_meta()
+            .expect("partition_corpus stamps every shard");
+        let path = format!(
+            "{prefix}-shard{}-of-{}.xci",
+            meta.shard_id, meta.shard_count
+        );
+        storage::save_to_file_v2(part, &path).map_err(|e| ArgError(format!("{path}: {e}")))?;
+        let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        lines.push(format!(
+            "shard {}/{}  {} nodes, {} terms, {} tokens → {path} ({:.2} MB)",
+            meta.shard_id,
+            meta.shard_count,
+            part.tree().len(),
+            part.vocab().len(),
+            part.vocab().total_tokens(),
+            size as f64 / 1e6
+        ));
+        snapshot_paths.push(path);
+    }
+    lines.push(format!(
+        "parent fingerprint {:016x}, partitioner seed {seed}",
+        parts[0]
+            .shard_meta()
+            .expect("stamped above")
+            .parent_fingerprint
+    ));
+    if let Some(catalog_path) = args.get("catalog") {
+        let name = args.get("name").unwrap_or("default").to_string();
+        let mut catalog = if std::path::Path::new(catalog_path).exists() {
+            Catalog::load(catalog_path).map_err(|e| ArgError(format!("{catalog_path}: {e}")))?
+        } else {
+            Catalog::default()
+        };
+        // Catalog paths resolve against the catalog file's directory, so
+        // store each shard relative to it when it sits underneath, and
+        // fall back to an absolute path otherwise (the shard files exist
+        // at this point, so canonicalize cannot fail on them).
+        let base = std::path::Path::new(catalog_path)
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty());
+        let abs_base = std::fs::canonicalize(base.unwrap_or_else(|| std::path::Path::new(".")))
+            .map_err(|e| ArgError(format!("{catalog_path}: {e}")))?;
+        let stored: Vec<String> = snapshot_paths
+            .iter()
+            .map(|p| match std::fs::canonicalize(p) {
+                Ok(abs) => match abs.strip_prefix(&abs_base) {
+                    Ok(rel) => rel.display().to_string(),
+                    Err(_) => abs.display().to_string(),
+                },
+                Err(_) => p.clone(),
+            })
+            .collect();
+        let spec = CorpusSpec {
+            name: name.clone(),
+            config: XCleanConfig::default(),
+            snapshots: stored,
+        };
+        match catalog.corpora.iter_mut().find(|c| c.name == name) {
+            Some(existing) => *existing = spec,
+            None => catalog.corpora.push(spec),
+        }
+        catalog
+            .save(catalog_path)
+            .map_err(|e| ArgError(format!("{catalog_path}: {e}")))?;
+        lines.push(format!(
+            "catalog: corpus {name:?} ({} shard(s)) registered → {catalog_path} ({} corpora)",
+            parts.len(),
+            catalog.corpora.len()
+        ));
+    }
+    Ok(CmdOutput::ok(lines))
+}
+
 /// `xclean index inspect <index.xci>`: reads only the snapshot framing
 /// ([`storage::summarize_file`]) — no postings decode, no tree replay —
 /// so it answers in O(terms) even on multi-hundred-MB snapshots.
@@ -246,6 +381,12 @@ fn cmd_index_inspect(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
             s.tokenizer.min_token_len, s.tokenizer.drop_numbers, s.tokenizer.drop_stop_words
         ),
     ];
+    if let Some(sh) = &s.shard {
+        lines.push(format!(
+            "shard       {} of {} (seed {}, parent fingerprint {:016x})",
+            sh.shard_id, sh.shard_count, sh.seed, sh.parent_fingerprint
+        ));
+    }
     lines.push("sections".to_string());
     for sec in &s.sections {
         lines.push(format!(
@@ -576,6 +717,7 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         &["mmap", "no-mmap", "event-loop", "thread-pool", "log-json"],
     )?;
     args.reject_unknown(&[
+        "catalog",
         "host",
         "port",
         "threads",
@@ -603,11 +745,44 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         "flight-events",
         "conn-registry",
     ])?;
-    let [snapshot] = args.positional() else {
-        return Err(ArgError(
-            "usage: xclean serve <index.xci> [--port P] [--threads N] [--cache-entries N]".into(),
-        ));
+    let catalog_path = args.get("catalog").map(str::to_string);
+    let snapshot = match (args.positional(), &catalog_path) {
+        ([], Some(_)) => None,
+        ([s], None) => Some(s.clone()),
+        ([_], Some(_)) => {
+            return Err(ArgError(
+                "give a snapshot positional OR --catalog, not both".into(),
+            ))
+        }
+        _ => {
+            return Err(ArgError(
+                "usage: xclean serve <index.xci | --catalog catalog.xcc> [--port P] \
+                 [--threads N] [--cache-entries N]"
+                    .into(),
+            ))
+        }
     };
+    if catalog_path.is_some() {
+        // Catalog serving is declarative: each corpus entry carries its
+        // own full engine configuration, so per-process tuning flags
+        // would silently disagree with it.
+        for flag in [
+            "k",
+            "beta",
+            "gamma",
+            "epsilon",
+            "min-depth",
+            "semantics",
+            "phonetic",
+        ] {
+            if args.get(flag).is_some() {
+                return Err(ArgError(format!(
+                    "--{flag} does not combine with --catalog: engine tuning is per-corpus \
+                     in the catalog file"
+                )));
+            }
+        }
+    }
     let (config, semantics) = tuning_from_args(&args)?;
     let defaults = ServerConfig::default();
     let slow_ms: u64 = args.get_parsed("slow-ms", 100u64)?;
@@ -687,23 +862,102 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
 
     // The server path deliberately refuses to parse XML on the fly: a
     // long-running process should start from the index built offline
-    // (`xclean index build`), exactly as the paper separates offline
-    // indexing from interactive querying. v2 snapshots open as a view
-    // over the file bytes (mmap-ed by default), so startup cost is the
-    // validation pass, not a full re-encode.
-    let (corpus, load_report) = storage::open_file(snapshot, &open_options).map_err(|e| {
-        ArgError(format!(
-            "{snapshot}: {e} (build a snapshot first: xclean index build <data.xml> --out <index.xci>)"
-        ))
-    })?;
-    let mut engine = XCleanEngine::from_corpus(corpus, config).with_semantics(semantics);
-    if trace_out.is_some() {
-        engine = engine.with_telemetry(Telemetry::with_tracing());
+    // (`xclean index build` / `index shard`), exactly as the paper
+    // separates offline indexing from interactive querying. v2 snapshots
+    // open as a view over the file bytes (mmap-ed by default), so
+    // startup cost is the validation pass, not a full re-encode.
+    let mut corpora: Vec<(String, TenantEngine)> = Vec::new();
+    let mut banner: Vec<String> = Vec::new();
+    if let Some(cat_path) = &catalog_path {
+        let catalog = Catalog::load(cat_path).map_err(|e| ArgError(format!("{cat_path}: {e}")))?;
+        if catalog.corpora.is_empty() {
+            return Err(ArgError(format!("{cat_path}: catalog declares no corpora")));
+        }
+        let base = std::path::Path::new(cat_path)
+            .parent()
+            .unwrap_or_else(|| std::path::Path::new(""))
+            .to_path_buf();
+        for spec in &catalog.corpora {
+            let paths = spec.resolved_snapshots(&base);
+            let mut shards = Vec::new();
+            let mut reports = Vec::new();
+            for p in &paths {
+                let (c, report) = storage::open_file(p, &open_options).map_err(|e| {
+                    ArgError(format!(
+                        "{cat_path}: corpus {:?}: {}: {e}",
+                        spec.name,
+                        p.display()
+                    ))
+                })?;
+                reports.push(report);
+                shards.push(c);
+            }
+            let engine = if shards.len() == 1 && shards[0].shard_meta().is_none() {
+                // A plain single-snapshot corpus serves unsharded.
+                let corpus = shards.pop().expect("exactly one snapshot");
+                let mut e = XCleanEngine::from_corpus(corpus, spec.config.clone());
+                if trace_out.is_some() {
+                    e = e.with_telemetry(Telemetry::with_tracing());
+                }
+                e.record_snapshot_timings(&reports[0]);
+                TenantEngine::Unsharded(Arc::new(e))
+            } else {
+                // One or more shard snapshots: scatter-gather serving.
+                // `from_shards` validates completeness (exact ids
+                // 0..shard_count, one seed, one parent fingerprint).
+                let mut e =
+                    ShardedEngine::from_shards(shards, spec.config.clone()).map_err(|err| {
+                        ArgError(format!("{cat_path}: corpus {:?}: {err}", spec.name))
+                    })?;
+                if trace_out.is_some() {
+                    e = e.with_telemetry(Telemetry::with_tracing());
+                }
+                TenantEngine::Sharded(Arc::new(e))
+            };
+            banner.push(format!(
+                "corpus {}: {} snapshot(s), {} shard(s), fingerprint {:016x} → /suggest/{}",
+                spec.name,
+                paths.len(),
+                engine.shard_count(),
+                engine.fingerprint(),
+                spec.name
+            ));
+            corpora.push((spec.name.clone(), engine));
+        }
+    } else {
+        let snapshot = snapshot.as_deref().expect("checked above");
+        let (corpus, load_report) = storage::open_file(snapshot, &open_options).map_err(|e| {
+            ArgError(format!(
+                "{snapshot}: {e} (build a snapshot first: xclean index build <data.xml> --out <index.xci>)"
+            ))
+        })?;
+        let mut engine = XCleanEngine::from_corpus(corpus, config).with_semantics(semantics);
+        if trace_out.is_some() {
+            engine = engine.with_telemetry(Telemetry::with_tracing());
+        }
+        engine.record_snapshot_timings(&load_report);
+        banner.push(format!(
+            "snapshot: v{} {} ({:.2} MB) — open {:.1}ms, validate {:.1}ms",
+            load_report.format_version,
+            if load_report.mapped {
+                "mmap-backed"
+            } else {
+                "in-memory"
+            },
+            load_report.total_bytes as f64 / 1e6,
+            load_report.open_nanos as f64 / 1e6,
+            load_report.validate_nanos as f64 / 1e6,
+        ));
+        corpora.push((
+            "default".to_string(),
+            TenantEngine::Unsharded(Arc::new(engine)),
+        ));
     }
-    engine.record_snapshot_timings(&load_report);
-    let engine = Arc::new(engine);
+    // The primary (first) tenant's handles feed the post-drain trace and
+    // metrics flushes, exactly like the engine did in single-corpus mode.
+    let primary_engine = corpora[0].1.clone();
     let addr = format!("{host}:{port}");
-    let server = SuggestServer::bind(Arc::clone(&engine), &addr, server_config)
+    let server = SuggestServer::bind_tenants(corpora, &addr, server_config)
         .map_err(|e| ArgError(format!("cannot bind {addr}: {e}")))?;
     let bound = server
         .local_addr()
@@ -712,18 +966,9 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     xclean_server::install_signal_handler();
     // Banner goes out before the blocking accept loop — CmdOutput lines
     // would only print after drain, far too late for "is it up yet?".
-    println!(
-        "snapshot: v{} {} ({:.2} MB) — open {:.1}ms, validate {:.1}ms",
-        load_report.format_version,
-        if load_report.mapped {
-            "mmap-backed"
-        } else {
-            "in-memory"
-        },
-        load_report.total_bytes as f64 / 1e6,
-        load_report.open_nanos as f64 / 1e6,
-        load_report.validate_nanos as f64 / 1e6,
-    );
+    for line in &banner {
+        println!("{line}");
+    }
     println!(
         "xclean-server listening on http://{bound} — {}, {} worker(s), cache {} entries / {} shard(s), fingerprint {:016x}",
         match accept_model {
@@ -736,7 +981,12 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         server.fingerprint()
     );
     println!(
-        "endpoints: POST/GET /suggest   GET /healthz /metrics /statusz /debug/requests /debug/conns /debug/flight   (Ctrl-C drains)"
+        "endpoints: POST/GET /suggest{}   GET /healthz /metrics /statusz /debug/requests /debug/conns /debug/flight   (Ctrl-C drains)",
+        if catalog_path.is_some() {
+            " /suggest/<corpus>"
+        } else {
+            ""
+        }
     );
     println!(
         "slow-query log: threshold {slow_ms}ms → {}",
@@ -776,13 +1026,13 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         ),
     ];
     if let Some(path) = trace_out {
-        let spans = engine.tracer().finished_spans().len();
-        std::fs::write(&path, engine.tracer().chrome_trace_json())
+        let spans = primary_engine.tracer().finished_spans().len();
+        std::fs::write(&path, primary_engine.tracer().chrome_trace_json())
             .map_err(|e| ArgError(format!("{path}: {e}")))?;
         lines.push(format!("trace: {spans} spans → {path} (chrome://tracing)"));
     }
     if let Some(path) = metrics_out {
-        std::fs::write(&path, engine.metrics().metrics_json())
+        std::fs::write(&path, primary_engine.metrics().metrics_json())
             .map_err(|e| ArgError(format!("{path}: {e}")))?;
         lines.push(format!("metrics → {path}"));
     }
@@ -811,7 +1061,7 @@ fn cmd_stats(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
 
 fn cmd_generate(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     let args = Args::parse(raw, &[])?;
-    args.reject_unknown(&["out", "size", "seed", "vocab"])?;
+    args.reject_unknown(&["out", "size", "seed", "vocab", "vocab-rotation"])?;
     let [kind] = args.positional() else {
         return Err(ArgError(
             "usage: xclean generate <dblp|dblp-large|inex> --out <corpus.xml>".into(),
@@ -824,6 +1074,7 @@ fn cmd_generate(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         "dblp" => generate_dblp(&DblpConfig {
             publications: args.get_parsed("size", 20_000usize)?,
             seed: args.get_parsed("seed", DblpConfig::default().seed)?,
+            vocab_rotation: args.get_parsed("vocab-rotation", 0usize)?,
             ..Default::default()
         }),
         "dblp-large" => {
@@ -1260,6 +1511,176 @@ mod tests {
         assert_eq!(out.code, 2);
         assert!(
             out.lines[0].contains("mutually exclusive"),
+            "{:?}",
+            out.lines
+        );
+    }
+
+    #[test]
+    fn index_shard_writes_snapshots_and_inspect_shows_membership() {
+        let xml = write_sample_xml("shardcmd.xml");
+        let prefix = tmp("shardcmd").to_string_lossy().into_owned();
+        let out = run(argv(&[
+            "index",
+            "shard",
+            &xml,
+            "--shards",
+            "2",
+            "--seed",
+            "7",
+            "--out-prefix",
+            &prefix,
+        ]));
+        assert_eq!(out.code, 0, "{:?}", out.lines);
+        assert!(
+            out.lines.iter().any(|l| l.contains("partitioner seed 7")),
+            "{:?}",
+            out.lines
+        );
+        for i in 0..2 {
+            let shard = format!("{prefix}-shard{i}-of-2.xci");
+            assert!(std::path::Path::new(&shard).exists(), "missing {shard}");
+            let out = run(argv(&["index", "inspect", &shard]));
+            assert_eq!(out.code, 0, "{:?}", out.lines);
+            let line = out
+                .lines
+                .iter()
+                .find(|l| l.starts_with("shard"))
+                .unwrap_or_else(|| panic!("no shard line: {:?}", out.lines));
+            assert!(line.contains(&format!("{i} of 2")), "{line}");
+            assert!(line.contains("seed 7"), "{line}");
+            assert!(line.contains("parent fingerprint"), "{line}");
+        }
+        // A plain (unsharded) snapshot prints no shard line.
+        let idx = tmp("shardcmd_plain.xci").to_string_lossy().into_owned();
+        assert_eq!(run(argv(&["index", "build", &xml, "--out", &idx])).code, 0);
+        let out = run(argv(&["index", "inspect", &idx]));
+        assert!(
+            !out.lines.iter().any(|l| l.starts_with("shard")),
+            "{:?}",
+            out.lines
+        );
+        // Usage errors: --shards and --out-prefix are required, and
+        // --name is a catalog option.
+        let out = run(argv(&["index", "shard", &xml, "--out-prefix", &prefix]));
+        assert_eq!(out.code, 2);
+        assert!(out.lines[0].contains("--shards"), "{:?}", out.lines);
+        let out = run(argv(&["index", "shard", &xml, "--shards", "2"]));
+        assert_eq!(out.code, 2);
+        assert!(out.lines[0].contains("--out-prefix"), "{:?}", out.lines);
+        let out = run(argv(&[
+            "index",
+            "shard",
+            &xml,
+            "--shards",
+            "2",
+            "--out-prefix",
+            &prefix,
+            "--name",
+            "x",
+        ]));
+        assert_eq!(out.code, 2);
+        assert!(out.lines[0].contains("--catalog"), "{:?}", out.lines);
+    }
+
+    #[test]
+    fn index_shard_assembles_a_catalog_and_serve_validates_it() {
+        let xml = write_sample_xml("shardcat.xml");
+        let prefix = tmp("shardcat").to_string_lossy().into_owned();
+        let cat = tmp("shardcat.xcc").to_string_lossy().into_owned();
+        let _ = std::fs::remove_file(&cat);
+        let out = run(argv(&[
+            "index",
+            "shard",
+            &xml,
+            "--shards",
+            "2",
+            "--out-prefix",
+            &prefix,
+            "--catalog",
+            &cat,
+            "--name",
+            "dblp",
+        ]));
+        assert_eq!(out.code, 0, "{:?}", out.lines);
+        let loaded = Catalog::load(&cat).expect("catalog loads");
+        assert_eq!(loaded.corpora.len(), 1);
+        assert_eq!(loaded.corpora[0].name, "dblp");
+        assert_eq!(loaded.corpora[0].snapshots.len(), 2);
+        // Shards next to the catalog file are stored relative to it.
+        assert!(
+            loaded.corpora[0].snapshots[0].starts_with("shardcat-shard"),
+            "{:?}",
+            loaded.corpora[0].snapshots
+        );
+        // Same name replaces; a second name appends.
+        let out = run(argv(&[
+            "index",
+            "shard",
+            &xml,
+            "--shards",
+            "2",
+            "--out-prefix",
+            &prefix,
+            "--catalog",
+            &cat,
+            "--name",
+            "dblp",
+        ]));
+        assert_eq!(out.code, 0, "{:?}", out.lines);
+        assert_eq!(Catalog::load(&cat).unwrap().corpora.len(), 1);
+        let prefix2 = tmp("shardcat2").to_string_lossy().into_owned();
+        let out = run(argv(&[
+            "index",
+            "shard",
+            &xml,
+            "--shards",
+            "1",
+            "--out-prefix",
+            &prefix2,
+            "--catalog",
+            &cat,
+            "--name",
+            "inex",
+        ]));
+        assert_eq!(out.code, 0, "{:?}", out.lines);
+        let loaded = Catalog::load(&cat).unwrap();
+        assert_eq!(loaded.corpora.len(), 2);
+        assert_eq!(loaded.corpora[1].name, "inex");
+        // An invalid corpus name is rejected at save time.
+        let out = run(argv(&[
+            "index",
+            "shard",
+            &xml,
+            "--shards",
+            "1",
+            "--out-prefix",
+            &prefix2,
+            "--catalog",
+            &cat,
+            "--name",
+            "Not/Valid",
+        ]));
+        assert_eq!(out.code, 2, "{:?}", out.lines);
+        // serve: catalog and positional snapshot are mutually exclusive,
+        // tuning flags are per-corpus, and a missing shard file is
+        // reported by path before binding.
+        let idx = tmp("shardcat_plain.xci").to_string_lossy().into_owned();
+        assert_eq!(run(argv(&["index", "build", &xml, "--out", &idx])).code, 0);
+        let out = run(argv(&["serve", &idx, "--catalog", &cat]));
+        assert_eq!(out.code, 2);
+        assert!(out.lines[0].contains("not both"), "{:?}", out.lines);
+        let out = run(argv(&["serve", "--catalog", &cat, "--gamma", "5"]));
+        assert_eq!(out.code, 2);
+        assert!(out.lines[0].contains("per-corpus"), "{:?}", out.lines);
+        let out = run(argv(&["serve", "--catalog", "/nonexistent/cat.xcc"]));
+        assert_eq!(out.code, 2);
+        let gone = format!("{prefix}-shard1-of-2.xci");
+        std::fs::remove_file(&gone).unwrap();
+        let out = run(argv(&["serve", "--catalog", &cat]));
+        assert_eq!(out.code, 2);
+        assert!(
+            out.lines[0].contains("shardcat-shard1-of-2.xci"),
             "{:?}",
             out.lines
         );

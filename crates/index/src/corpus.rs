@@ -15,6 +15,7 @@ use xclean_xmltree::{NodeId, PathId, Tokenizer, XmlTree};
 use crate::codec;
 use crate::path_stats::PathStatsIndex;
 use crate::posting::PostingList;
+use crate::shard::ShardMeta;
 use crate::slab::IndexSlab;
 use crate::vocab::{TokenId, Vocabulary};
 
@@ -88,6 +89,9 @@ pub struct CorpusIndex {
     path_doc_len_totals: Vec<u64>,
     tokenizer: Tokenizer,
     provenance: Option<SnapshotProvenance>,
+    /// Present iff this index is one shard of a partitioned corpus
+    /// (set by the partitioner or loaded from a v2 `SHARD` section).
+    pub(crate) shard: Option<ShardMeta>,
 }
 
 /// Derived per-node/per-path tables, all O(n) passes over the tree given
@@ -158,6 +162,7 @@ impl CorpusIndex {
             path_doc_len_totals,
             tokenizer,
             provenance: None,
+            shard: None,
         }
     }
 
@@ -194,6 +199,7 @@ impl CorpusIndex {
             path_doc_len_totals,
             tokenizer,
             provenance: None,
+            shard: None,
         }
     }
 
@@ -246,6 +252,7 @@ impl CorpusIndex {
             path_doc_len_totals,
             tokenizer,
             provenance: Some(provenance),
+            shard: None,
         })
     }
 
@@ -279,6 +286,18 @@ impl CorpusIndex {
     /// format records a payload checksum (v2).
     pub fn provenance(&self) -> Option<SnapshotProvenance> {
         self.provenance
+    }
+
+    /// Shard membership metadata, present only when this index is one
+    /// shard of a partitioned corpus (see [`crate::shard`]).
+    pub fn shard_meta(&self) -> Option<&ShardMeta> {
+        self.shard.as_ref()
+    }
+
+    /// Attaches shard membership metadata (partitioner use).
+    pub fn with_shard_meta(mut self, meta: ShardMeta) -> Self {
+        self.shard = Some(meta);
+        self
     }
 
     /// Path statistics (`f_w^p`).

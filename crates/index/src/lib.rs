@@ -18,6 +18,7 @@ pub mod corpus;
 pub mod merged;
 pub mod path_stats;
 pub mod posting;
+pub mod shard;
 pub mod slab;
 pub mod storage;
 pub mod vocab;
@@ -27,6 +28,9 @@ pub use corpus::{CorpusIndex, SharedPostings, SnapshotProvenance};
 pub use merged::{AccessStats, MergedEntry, MergedList};
 pub use path_stats::PathStatsIndex;
 pub use posting::{Posting, PostingList};
+pub use shard::{partition_corpus, ShardError, ShardMeta};
 pub use slab::{IndexSlab, SlabMode};
-pub use storage::{LoadReport, OpenOptions, SectionInfo, SnapshotSummary, StorageError};
+pub use storage::{
+    LoadReport, OpenOptions, SectionInfo, ShardSummary, SnapshotSummary, StorageError,
+};
 pub use vocab::{TokenId, Vocabulary};

@@ -84,6 +84,20 @@ pub struct SectionInfo {
     pub bytes: u64,
 }
 
+/// Shard-set membership recorded in a v2 `SHARD` section, as reported by
+/// [`summarize`] (full id-translation maps stay in the snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// This shard's position in the set (document order).
+    pub shard_id: u32,
+    /// Total shards the parent corpus was split into.
+    pub shard_count: u32,
+    /// Partitioner seed.
+    pub seed: u64,
+    /// Fingerprint of the parent corpus + partitioning parameters.
+    pub parent_fingerprint: u64,
+}
+
 /// Cheap structural facts about a stored snapshot, extracted without
 /// rebuilding the tree, vocabulary, or posting lists.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,6 +122,8 @@ pub struct SnapshotSummary {
     pub checksum: Option<u64>,
     /// Per-section byte sizes in file order.
     pub sections: Vec<SectionInfo>,
+    /// Shard-set membership (partitioned v2 snapshots only).
+    pub shard: Option<ShardSummary>,
 }
 
 /// How [`open_file`] should back and verify a snapshot.
@@ -412,6 +428,35 @@ mod tests {
         assert!(!report1.mapped);
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&v2_path).ok();
+    }
+
+    #[test]
+    fn v2_shard_section_roundtrips_and_summarizes() {
+        let a = corpus();
+        let shards = crate::shard::partition_corpus(&a, 2, 99).unwrap();
+        for shard in &shards {
+            let bytes = to_bytes_v2(shard);
+            let loaded = from_bytes(bytes.clone()).unwrap();
+            assert_equivalent(shard, &loaded);
+            assert_eq!(loaded.shard_meta(), shard.shard_meta());
+            // Re-encoding the loaded shard is byte-stable.
+            assert_eq!(to_bytes_v2(&loaded), bytes);
+            let s = summarize(&bytes).unwrap();
+            let info = s.shard.expect("shard snapshots summarize membership");
+            let meta = shard.shard_meta().unwrap();
+            assert_eq!(info.shard_id, meta.shard_id);
+            assert_eq!(info.shard_count, 2);
+            assert_eq!(info.seed, 99);
+            assert_eq!(info.parent_fingerprint, meta.parent_fingerprint);
+            assert_eq!(s.sections.len(), 7);
+            assert!(s.sections.iter().any(|x| x.name == "SHARD"));
+            // Truncations error, never panic, with the SHARD section too.
+            for cut in (8..bytes.len()).step_by(13) {
+                assert!(from_bytes(bytes.slice(0..cut)).is_err(), "cut {cut}");
+            }
+        }
+        // Ordinary snapshots stay shard-free.
+        assert!(summarize(to_bytes_v2(&a)).unwrap().shard.is_none());
     }
 
     #[test]

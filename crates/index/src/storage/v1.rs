@@ -290,5 +290,6 @@ pub(crate) fn summarize(bytes: &[u8]) -> Result<SnapshotSummary, StorageError> {
         tokenizer,
         checksum: None,
         sections,
+        shard: None,
     })
 }

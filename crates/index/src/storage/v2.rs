@@ -55,6 +55,9 @@ const SEC_VOCAB: u8 = 3;
 const SEC_POSTINGS: u8 = 4;
 const SEC_PATHSTATS: u8 = 5;
 const SEC_TOKENIZER: u8 = 6;
+/// Optional: shard membership + id-translation maps (partitioned corpora
+/// only; absent on ordinary snapshots, tolerated-unknown by old readers).
+const SEC_SHARD: u8 = 7;
 
 fn section_name(id: u8) -> &'static str {
     match id {
@@ -64,6 +67,7 @@ fn section_name(id: u8) -> &'static str {
         SEC_POSTINGS => "POSTINGS",
         SEC_PATHSTATS => "PATHSTATS",
         SEC_TOKENIZER => "TOKENIZER",
+        SEC_SHARD => "SHARD",
         _ => "UNKNOWN",
     }
 }
@@ -201,6 +205,26 @@ pub fn to_bytes(corpus: &CorpusIndex) -> Bytes {
     payload.put_u8(u8::from(tc.drop_stop_words));
     section(SEC_TOKENIZER, &mut payload, start);
 
+    // SHARD (optional): membership + local→global id maps.
+    if let Some(meta) = corpus.shard_meta() {
+        let start = payload.len();
+        put_varint(&mut payload, u64::from(meta.shard_id));
+        put_varint(&mut payload, u64::from(meta.shard_count));
+        payload.put_slice(&meta.seed.to_le_bytes());
+        payload.put_slice(&meta.parent_fingerprint.to_le_bytes());
+        put_varint(&mut payload, u64::from(meta.global_vocab_len));
+        put_varint(&mut payload, u64::from(meta.global_path_len));
+        put_varint(&mut payload, meta.token_map.len() as u64);
+        for &g in &meta.token_map {
+            put_varint(&mut payload, u64::from(g));
+        }
+        put_varint(&mut payload, meta.path_map.len() as u64);
+        for &g in &meta.path_map {
+            put_varint(&mut payload, u64::from(g));
+        }
+        section(SEC_SHARD, &mut payload, start);
+    }
+
     // Header: magic, payload checksum, section table (absolute offsets).
     let header_len = 8 + 8 + 1 + 17 * table.len();
     let checksum = checksum64(&payload);
@@ -227,11 +251,15 @@ struct Header {
 
 impl Header {
     fn section(&self, id: u8) -> Result<Range<usize>, StorageError> {
+        self.section_opt(id)
+            .ok_or(StorageError::Corrupt("missing snapshot section"))
+    }
+
+    fn section_opt(&self, id: u8) -> Option<Range<usize>> {
         self.sections
             .iter()
             .find(|(sid, _)| *sid == id)
             .map(|(_, r)| r.clone())
-            .ok_or(StorageError::Corrupt("missing snapshot section"))
     }
 }
 
@@ -461,7 +489,7 @@ pub(crate) fn load(
         format_version: 2,
         checksum: header.checksum,
     };
-    let corpus = CorpusIndex::from_slab_parts(
+    let mut corpus = CorpusIndex::from_slab_parts(
         tree,
         vocab,
         Arc::clone(&slab),
@@ -472,7 +500,80 @@ pub(crate) fn load(
         provenance,
     )
     .map_err(StorageError::Corrupt)?;
+
+    // SHARD (optional): local→global id maps, fully validated against the
+    // sections decoded above.
+    if let Some(range) = header.section_opt(SEC_SHARD) {
+        let meta = parse_shard(&bytes[range])?;
+        if meta.token_map.len() != corpus.vocab().len() {
+            return Err(StorageError::Corrupt("shard token map length mismatch"));
+        }
+        if meta.path_map.len() != corpus.tree().paths().len() {
+            return Err(StorageError::Corrupt("shard path map length mismatch"));
+        }
+        corpus.shard = Some(meta);
+    }
     Ok((corpus, header.checksum))
+}
+
+/// Decodes and validates a SHARD section body (everything except the map
+/// lengths, which are checked against the assembled corpus by the caller).
+fn parse_shard(body: &[u8]) -> Result<crate::shard::ShardMeta, StorageError> {
+    let mut r = SliceReader::new(body);
+    let shard_id = u32::try_from(r.get_varint()?)
+        .map_err(|_| StorageError::Corrupt("shard id overflows u32"))?;
+    let shard_count = u32::try_from(r.get_varint()?)
+        .map_err(|_| StorageError::Corrupt("shard count overflows u32"))?;
+    if shard_count == 0 || shard_id >= shard_count {
+        return Err(StorageError::Corrupt("shard id out of range"));
+    }
+    let seed = u64::from_le_bytes(
+        r.take(8)?
+            .try_into()
+            .map_err(|_| StorageError::Corrupt("shard seed truncated"))?,
+    );
+    let parent_fingerprint = u64::from_le_bytes(
+        r.take(8)?
+            .try_into()
+            .map_err(|_| StorageError::Corrupt("shard fingerprint truncated"))?,
+    );
+    let global_vocab_len = u32::try_from(r.get_varint()?)
+        .map_err(|_| StorageError::Corrupt("global vocab len overflows u32"))?;
+    let global_path_len = u32::try_from(r.get_varint()?)
+        .map_err(|_| StorageError::Corrupt("global path len overflows u32"))?;
+    let token_count = get_count(&mut r, 1)?;
+    let mut token_map = Vec::with_capacity(token_count);
+    for _ in 0..token_count {
+        let g = u32::try_from(r.get_varint()?)
+            .map_err(|_| StorageError::Corrupt("token map entry overflows u32"))?;
+        if g >= global_vocab_len {
+            return Err(StorageError::Corrupt("token map entry out of range"));
+        }
+        token_map.push(g);
+    }
+    let path_count = get_count(&mut r, 1)?;
+    let mut path_map = Vec::with_capacity(path_count);
+    for _ in 0..path_count {
+        let g = u32::try_from(r.get_varint()?)
+            .map_err(|_| StorageError::Corrupt("path map entry overflows u32"))?;
+        if g >= global_path_len {
+            return Err(StorageError::Corrupt("path map entry out of range"));
+        }
+        path_map.push(g);
+    }
+    if r.remaining() != 0 {
+        return Err(StorageError::Corrupt("trailing bytes in SHARD section"));
+    }
+    Ok(crate::shard::ShardMeta {
+        shard_id,
+        shard_count,
+        seed,
+        parent_fingerprint,
+        global_vocab_len,
+        global_path_len,
+        token_map,
+        path_map,
+    })
 }
 
 /// Walks a v2 snapshot's section table and framing without assembling the
@@ -535,6 +636,19 @@ pub(crate) fn summarize(bytes: &[u8]) -> Result<SnapshotSummary, StorageError> {
         drop_stop_words: r.get_u8()? == 1,
     };
 
+    let shard = match by_id.get(&SEC_SHARD) {
+        Some(range) => {
+            let meta = parse_shard(&bytes[range.clone()])?;
+            Some(super::ShardSummary {
+                shard_id: meta.shard_id,
+                shard_count: meta.shard_count,
+                seed: meta.seed,
+                parent_fingerprint: meta.parent_fingerprint,
+            })
+        }
+        None => None,
+    };
+
     let sections = header
         .sections
         .iter()
@@ -554,5 +668,6 @@ pub(crate) fn summarize(bytes: &[u8]) -> Result<SnapshotSummary, StorageError> {
         tokenizer,
         checksum: Some(header.checksum),
         sections,
+        shard,
     })
 }

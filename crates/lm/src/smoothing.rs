@@ -9,7 +9,7 @@
 //! Jelinek–Mercer: p(w|D) = (1−λ)·count/|D| + λ·p(w|B)
 //! ```
 
-use xclean_index::{CorpusIndex, TokenId};
+use xclean_index::{CorpusIndex, TokenId, Vocabulary};
 
 /// Smoothing scheme and its parameter.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,11 +45,32 @@ impl Smoothing {
     }
 }
 
+/// Where the background distribution `p(w|B)` comes from: a whole corpus
+/// index, or a bare vocabulary (e.g. the reconstructed *global* vocabulary
+/// of a sharded corpus, where no single `CorpusIndex` holds the collection
+/// statistics). Both compute `cf(w) / total_tokens`, so the same token
+/// statistics give bit-identical probabilities either way.
+#[derive(Debug, Clone, Copy)]
+enum Background<'a> {
+    Corpus(&'a CorpusIndex),
+    Vocab(&'a Vocabulary),
+}
+
+impl Background<'_> {
+    #[inline]
+    fn prob(&self, token: TokenId) -> f64 {
+        match self {
+            Background::Corpus(c) => c.background_prob(token),
+            Background::Vocab(v) => v.background_prob(token),
+        }
+    }
+}
+
 /// Smoothed unigram model over a corpus, generalising
 /// [`crate::DirichletModel`].
 #[derive(Debug, Clone, Copy)]
 pub struct LanguageModel<'a> {
-    corpus: &'a CorpusIndex,
+    background: Background<'a>,
     smoothing: Smoothing,
 }
 
@@ -57,7 +78,21 @@ impl<'a> LanguageModel<'a> {
     /// Creates the model; panics on invalid parameters.
     pub fn new(corpus: &'a CorpusIndex, smoothing: Smoothing) -> Self {
         smoothing.validate();
-        LanguageModel { corpus, smoothing }
+        LanguageModel {
+            background: Background::Corpus(corpus),
+            smoothing,
+        }
+    }
+
+    /// Creates the model over a bare vocabulary's collection statistics;
+    /// panics on invalid parameters. Given the same per-token `cf` and
+    /// total, probabilities are bit-identical to [`LanguageModel::new`].
+    pub fn from_vocab(vocab: &'a Vocabulary, smoothing: Smoothing) -> Self {
+        smoothing.validate();
+        LanguageModel {
+            background: Background::Vocab(vocab),
+            smoothing,
+        }
     }
 
     /// The active smoothing scheme.
@@ -68,7 +103,7 @@ impl<'a> LanguageModel<'a> {
     /// `log p(w|D)` for a token with `count` occurrences in a virtual
     /// document of `doc_len` tokens.
     pub fn log_prob(&self, token: TokenId, count: u64, doc_len: u64) -> f64 {
-        let pb = self.corpus.background_prob(token);
+        let pb = self.background.prob(token);
         let p = match self.smoothing {
             Smoothing::Dirichlet { mu } => (count as f64 + mu * pb) / (doc_len as f64 + mu),
             Smoothing::JelinekMercer { lambda } => {
@@ -146,6 +181,28 @@ mod tests {
         ] {
             let m = LanguageModel::new(&c, s);
             assert!(m.log_prob(apple, 2, 3) > m.log_prob(cherry, 0, 3), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn vocab_background_matches_corpus_background() {
+        let c = corpus();
+        for s in [
+            Smoothing::Dirichlet { mu: 77.0 },
+            Smoothing::JelinekMercer { lambda: 0.3 },
+        ] {
+            let a = LanguageModel::new(&c, s);
+            let b = LanguageModel::from_vocab(c.vocab(), s);
+            for w in ["apple", "banana", "cherry"] {
+                let t = c.vocab().get(w).unwrap();
+                for (count, dlen) in [(0u64, 3u64), (1, 3), (2, 5), (0, 0)] {
+                    assert_eq!(
+                        a.log_prob(t, count, dlen).to_bits(),
+                        b.log_prob(t, count, dlen).to_bits(),
+                        "{s:?} {w} {count}/{dlen}"
+                    );
+                }
+            }
         }
     }
 

@@ -522,6 +522,28 @@ pub struct StatuszInfo {
     pub flight_recorded: u64,
     /// Connections the live registry is tracking right now.
     pub conns_tracked: usize,
+    /// One row per served corpus, catalog order (primary first); empty
+    /// only for callers that predate multi-tenancy.
+    pub corpora: Vec<CorpusRow>,
+}
+
+/// One corpus row of the `/statusz` dashboard.
+#[derive(Debug, Default, Clone)]
+pub struct CorpusRow {
+    /// Catalog name (`/suggest/<name>`).
+    pub name: String,
+    /// Shards answering the corpus (1 = unsharded).
+    pub shards: u32,
+    /// Response-cache occupancy.
+    pub cache_entries: usize,
+    /// Response-cache capacity.
+    pub cache_capacity: usize,
+    /// Requests routed to the corpus.
+    pub requests: u64,
+    /// Error responses while serving the corpus.
+    pub errors: u64,
+    /// Individual queries answered (batch POSTs count each query).
+    pub queries: u64,
 }
 
 /// Renders the `GET /statusz` text dashboard.
@@ -585,7 +607,21 @@ pub fn render_statusz(obs: &Observability, info: &StatuszInfo) -> String {
         "flight_recorder: buffered={} capacity={} recorded={}\n",
         info.flight_len, info.flight_capacity, info.flight_recorded
     ));
-    out.push_str(&format!("conns_tracked: {}\n\n", info.conns_tracked));
+    out.push_str(&format!("conns_tracked: {}\n", info.conns_tracked));
+    out.push_str(&format!("corpora: {}\n", info.corpora.len()));
+    for row in &info.corpora {
+        out.push_str(&format!(
+            "  corpus[{}]: shards={} cache={}/{} requests={} errors={} queries={}\n",
+            row.name,
+            row.shards,
+            row.cache_entries,
+            row.cache_capacity,
+            row.requests,
+            row.errors,
+            row.queries
+        ));
+    }
+    out.push('\n');
     out.push_str(
         "window  requests  errors  qps        err_ratio  hit_ratio  p50_ns      p95_ns      p99_ns\n",
     );

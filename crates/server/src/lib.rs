@@ -8,11 +8,19 @@
 //! `POST /suggest` from a sharded LRU response cache keyed by
 //! `(normalized query, engine fingerprint)`.
 //!
+//! Multi-tenancy (DESIGN.md §16): the server fronts a catalog of
+//! corpora — each a [`tenant::Tenant`] with its own engine (unsharded or
+//! scatter-gather sharded) and private response cache. `/suggest/<name>`
+//! routes by catalog name; bare `/suggest` serves the primary (first)
+//! corpus, so single-corpus deployments keep their exact contract.
+//!
 //! Endpoints:
 //!
 //! - `POST /suggest` — body `{"query": "…"}` or `{"queries": ["…", …]}`;
 //!   responds with rendered suggestion lists and an `X-Cache` header.
 //! - `GET /suggest?q=…` — single percent-encoded query, same body shape.
+//! - `GET|POST /suggest/<corpus>` — the same two forms against a named
+//!   catalog corpus; an unknown name is a structured JSON `404`.
 //! - `GET /healthz` — liveness JSON: engine fingerprint, snapshot
 //!   provenance, uptime, and cache occupancy.
 //! - `GET /metrics` — Prometheus text snapshot of the shared registry
@@ -59,8 +67,12 @@ pub mod http;
 pub mod json;
 pub mod server;
 pub mod shutdown;
+pub mod tenant;
 
 pub use cache::{CacheKey, ResponseCache};
-pub use debug::{ConnEntry, ConnRegistry, ConnSnapshot, Observability, StatuszInfo, TraceIdGen};
+pub use debug::{
+    ConnEntry, ConnRegistry, ConnSnapshot, CorpusRow, Observability, StatuszInfo, TraceIdGen,
+};
 pub use server::{AcceptModel, DrainReport, ServerConfig, SuggestServer, MAX_BATCH_QUERIES};
 pub use shutdown::{install_signal_handler, ShutdownFlag};
+pub use tenant::{Tenant, TenantEngine, TenantSet};

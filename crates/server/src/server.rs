@@ -1,13 +1,19 @@
 //! The long-running suggestion server.
 //!
 //! Architecture (DESIGN.md §10): one accept loop + a bounded pool of
-//! worker threads, all sharing an immutable [`XCleanEngine`] (and
-//! through it the corpus snapshot) behind an [`Arc`]. Accepted sockets
-//! flow through a bounded queue; when it is full the accept loop answers
-//! `503` directly instead of letting latency grow without bound. In
-//! front of the engine sits the sharded LRU [`ResponseCache`]: the cache
-//! value is the rendered per-query JSON result object, so a hot query
-//! costs a hash, one shard lock, and a `memcpy` of the response bytes.
+//! worker threads, all sharing an immutable [`TenantSet`] — one engine
+//! (and through it the corpus snapshot or shard set) per served corpus,
+//! behind an [`Arc`]. Accepted sockets flow through a bounded queue;
+//! when it is full the accept loop answers `503` directly instead of
+//! letting latency grow without bound. In front of each tenant's engine
+//! sits its own sharded LRU [`ResponseCache`]: the cache value is the
+//! rendered per-query JSON result object, so a hot query costs a hash,
+//! one shard lock, and a `memcpy` of the response bytes.
+//!
+//! Multi-tenancy (DESIGN.md §16): `/suggest/<corpus>` routes by catalog
+//! name, bare `/suggest` routes to the primary (first) tenant, and an
+//! unknown corpus is a structured JSON `404` that flows through the same
+//! observability choke point as every other reply.
 //!
 //! Observability (DESIGN.md §12): every request — errors, timeouts,
 //! load-shed, and panic replies included — carries an `X-Request-Id`
@@ -38,11 +44,12 @@ use xclean_telemetry::{
     SharedClock,
 };
 
-use crate::cache::{CacheKey, ResponseCache};
-use crate::debug::{self, ConnRegistry, Observability, StatuszInfo, TraceIdGen};
+use crate::cache::CacheKey;
+use crate::debug::{self, ConnRegistry, CorpusRow, Observability, StatuszInfo, TraceIdGen};
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::json::{self, Json};
 use crate::shutdown::ShutdownFlag;
+use crate::tenant::{Tenant, TenantEngine, TenantSet};
 
 /// Upper bound on queries in one batch request: bounds the work a single
 /// request can demand from the pool.
@@ -186,13 +193,11 @@ pub struct DrainReport {
 /// The bound-but-not-yet-running server.
 #[derive(Debug)]
 pub struct SuggestServer {
-    engine: Arc<XCleanEngine>,
-    cache: Arc<ResponseCache>,
+    tenants: Arc<TenantSet>,
     obs: Arc<Observability>,
     config: ServerConfig,
     listener: TcpListener,
     shutdown: ShutdownFlag,
-    fingerprint: u64,
 }
 
 /// Connection-lifecycle counters shared by both accept models; the
@@ -216,8 +221,7 @@ impl ConnStats {
 
 /// Everything a worker needs to answer one connection.
 pub(crate) struct Handler {
-    engine: Arc<XCleanEngine>,
-    cache: Arc<ResponseCache>,
+    tenants: Arc<TenantSet>,
     pub(crate) obs: Arc<Observability>,
     /// Runtime observability: loop-lag/queue-wait/utilization histograms
     /// and the flight recorder. Record-only on the serving path.
@@ -226,7 +230,6 @@ pub(crate) struct Handler {
     pub(crate) conn_registry: Arc<ConnRegistry>,
     accept_model: AcceptModel,
     max_connections: usize,
-    fingerprint: u64,
     max_body_bytes: usize,
     requests: Arc<Counter>,
     errors: Arc<Counter>,
@@ -290,21 +293,40 @@ impl Reply {
 
 impl SuggestServer {
     /// Binds to `addr` (e.g. `127.0.0.1:0` for an ephemeral port) over a
-    /// shared engine. The cache's counters are registered in the
-    /// engine's metrics registry so `GET /metrics` exposes engine and
-    /// server series side by side; the observability plane (request
-    /// ring, windows, slow log) is built here from the config.
+    /// shared engine — the single-corpus form: the engine serves as the
+    /// sole tenant under the conventional name `default`, so `/suggest`
+    /// and `/suggest/default` answer identically.
     pub fn bind(
         engine: Arc<XCleanEngine>,
         addr: &str,
         config: ServerConfig,
     ) -> io::Result<SuggestServer> {
+        SuggestServer::bind_tenants(
+            vec![("default".to_string(), TenantEngine::Unsharded(engine))],
+            addr,
+            config,
+        )
+    }
+
+    /// Binds over a whole catalog of corpora, in order, with the first
+    /// entry as the primary tenant. Each tenant gets a private response
+    /// cache (of the configured size) whose counters are registered in
+    /// that tenant's engine registry, so `GET /metrics` exposes the
+    /// primary's engine and server series side by side as before, plus
+    /// `corpus`-labelled series for every tenant; the observability
+    /// plane (request ring, windows, slow log) is built here from the
+    /// config and shared by all tenants.
+    pub fn bind_tenants(
+        corpora: Vec<(String, TenantEngine)>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> io::Result<SuggestServer> {
         let listener = TcpListener::bind(addr)?;
-        let cache = Arc::new(ResponseCache::new(
+        let tenants = Arc::new(TenantSet::build(
+            corpora,
             config.cache_entries,
             config.cache_shards,
-            engine.metrics(),
-        ));
+        )?);
         let slow_sink: Box<dyn io::Write + Send> = match &config.slow_log {
             Some(path) => Box::new(std::fs::File::create(path)?),
             None => Box::new(io::stderr()),
@@ -317,15 +339,12 @@ impl SuggestServer {
             config.trace_seed,
             slow_sink,
         ));
-        let fingerprint = engine.fingerprint();
         Ok(SuggestServer {
-            engine,
-            cache,
+            tenants,
             obs,
             config,
             listener,
             shutdown: ShutdownFlag::new(),
-            fingerprint,
         })
     }
 
@@ -339,14 +358,14 @@ impl SuggestServer {
         self.shutdown.clone()
     }
 
-    /// The engine fingerprint used for cache keying.
+    /// The primary tenant's engine fingerprint (its cache-key component).
     pub fn fingerprint(&self) -> u64 {
-        self.fingerprint
+        self.tenants.primary().fingerprint()
     }
 
-    /// The engine this server fronts.
-    pub fn engine(&self) -> &Arc<XCleanEngine> {
-        &self.engine
+    /// The corpora this server fronts, primary first.
+    pub fn tenants(&self) -> &Arc<TenantSet> {
+        &self.tenants
     }
 
     /// The server's observability plane (request ring, windows, slow
@@ -362,21 +381,19 @@ impl SuggestServer {
     /// caching, and observability stack, so suggestion bodies are
     /// byte-identical between them.
     pub fn run(self) -> io::Result<DrainReport> {
-        let registry = self.engine.metrics().clone();
+        let registry = self.tenants.primary().engine().metrics().clone();
         let conn_stats = ConnStats::new(&registry);
         let runtime = Arc::new(RuntimeStats::new(
             self.config.threads.max(1),
             self.config.flight_capacity,
         ));
         let handler = Arc::new(Handler {
-            engine: Arc::clone(&self.engine),
-            cache: Arc::clone(&self.cache),
+            tenants: Arc::clone(&self.tenants),
             obs: Arc::clone(&self.obs),
             runtime: Arc::clone(&runtime),
             conn_registry: Arc::new(ConnRegistry::new(self.config.conn_registry_capacity)),
             accept_model: self.config.accept_model,
             max_connections: self.config.max_connections,
-            fingerprint: self.fingerprint,
             max_body_bytes: self.config.max_body_bytes,
             requests: registry.counter(names::SERVER_REQUESTS),
             errors: registry.counter(names::SERVER_ERRORS),
@@ -387,7 +404,7 @@ impl SuggestServer {
             AcceptModel::ThreadPool => self.run_thread_pool(&handler)?,
             AcceptModel::EventLoop => self.run_event_loop(&handler)?,
         }
-        let (cache_hits, cache_misses, cache_evictions) = self.cache.counters();
+        let (cache_hits, cache_misses, cache_evictions) = self.tenants.cache_totals();
         Ok(DrainReport {
             requests: handler.requests.get(),
             errors: handler.errors.get(),
@@ -666,6 +683,15 @@ fn percent_decode(s: &str) -> Option<String> {
 
 pub(crate) fn route(request: &Request, handler: &Handler, trace_id: &str) -> Reply {
     let (path, query) = split_target(&request.path);
+    if let Some(name) = path.strip_prefix("/suggest/") {
+        // Per-corpus routing: an unknown corpus is a structured 404 that
+        // flows through `observe_reply` like every other answer (its
+        // ring tag distinguishes it from a plain bad path).
+        let Some(tenant) = handler.tenants.get(name) else {
+            return Reply::error(404, &format!("no such corpus: {name}")).tagged("unknown_corpus");
+        };
+        return dispatch_suggest(tenant, request, query, trace_id);
+    }
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => healthz(handler).tagged("healthz"),
         ("GET", "/metrics") => metrics(handler).tagged("metrics"),
@@ -673,31 +699,52 @@ pub(crate) fn route(request: &Request, handler: &Handler, trace_id: &str) -> Rep
         ("GET", "/debug/requests") => debug_requests(handler, query).tagged("debug_requests"),
         ("GET", "/debug/conns") => debug_conns(handler, query).tagged("debug_conns"),
         ("GET", "/debug/flight") => debug_flight(handler, query).tagged("debug_flight"),
-        ("GET", "/suggest") => suggest_get(query, handler, trace_id).tagged("suggest"),
-        ("POST", "/suggest") => suggest(request, handler, trace_id).tagged("suggest"),
+        (_, "/suggest") => dispatch_suggest(handler.tenants.primary(), request, query, trace_id),
         (
             _,
-            "/suggest" | "/healthz" | "/metrics" | "/statusz" | "/debug/requests" | "/debug/conns"
+            "/healthz" | "/metrics" | "/statusz" | "/debug/requests" | "/debug/conns"
             | "/debug/flight",
         ) => Reply::error(405, "method not allowed").tagged("method_not_allowed"),
         _ => Reply::error(404, "no such endpoint").tagged("not_found"),
     }
 }
 
-fn healthz(handler: &Handler) -> Reply {
-    if let Err(m) = handler.cache.check_consistency() {
-        return Reply::error(500, &format!("cache inconsistent: {m}"));
+/// Method dispatch + per-corpus lifetime counters for one resolved
+/// tenant — shared by bare `/suggest` (primary) and `/suggest/<corpus>`.
+fn dispatch_suggest(tenant: &Tenant, request: &Request, query: &str, trace_id: &str) -> Reply {
+    tenant.requests().inc();
+    let reply = match request.method.as_str() {
+        "GET" => suggest_get(query, tenant, trace_id).tagged("suggest"),
+        "POST" => suggest(request, tenant, trace_id).tagged("suggest"),
+        _ => Reply::error(405, "method not allowed").tagged("method_not_allowed"),
+    };
+    if reply.status >= 400 {
+        tenant.errors().inc();
     }
-    let queries = handler
-        .engine
+    reply
+}
+
+fn healthz(handler: &Handler) -> Reply {
+    for tenant in handler.tenants.iter() {
+        if let Err(m) = tenant.cache().check_consistency() {
+            return Reply::error(
+                500,
+                &format!("cache inconsistent (corpus {}): {m}", tenant.name()),
+            );
+        }
+    }
+    // The top-level fields keep the single-corpus shape (they describe
+    // the primary tenant); the `corpora` array covers the whole catalog.
+    let primary = handler.tenants.primary();
+    let queries = primary
+        .engine()
         .metrics()
         .counter_value(names::QUERIES)
         .unwrap_or(0);
-    let snapshot = match handler.engine.corpus().provenance() {
-        Some(p) => format!(
-            "{{\"format\":{},\"checksum\":\"{:016x}\"}}",
-            p.format_version, p.checksum
-        ),
+    let snapshot = match primary.engine().snapshot() {
+        Some((format, checksum)) => {
+            format!("{{\"format\":{format},\"checksum\":\"{checksum:016x}\"}}")
+        }
         None => "null".to_string(),
     };
     let open = handler
@@ -705,26 +752,43 @@ fn healthz(handler: &Handler) -> Reply {
         .opened
         .get()
         .saturating_sub(handler.conn_stats.closed.get());
+    let mut corpora = String::from("[");
+    for (i, tenant) in handler.tenants.iter().enumerate() {
+        if i > 0 {
+            corpora.push(',');
+        }
+        corpora.push_str(&format!(
+            "{{\"name\":\"{}\",\"fingerprint\":\"{:016x}\",\"shards\":{},\
+             \"requests\":{},\"cache_entries\":{}}}",
+            json::escape(tenant.name()),
+            tenant.fingerprint(),
+            tenant.engine().shard_count(),
+            tenant.requests().get(),
+            tenant.cache().len(),
+        ));
+    }
+    corpora.push(']');
     Reply::json(
         200,
         format!(
             "{{\"status\":\"ok\",\"fingerprint\":\"{:016x}\",\"uptime_secs\":{},\
              \"snapshot\":{snapshot},\"queries_total\":{queries},\
              \"accept_model\":\"{}\",\"max_connections\":{},\"open_connections\":{open},\
-             \"cache\":{{\"entries\":{},\"capacity\":{},\"shards\":{}}}}}",
-            handler.fingerprint,
+             \"cache\":{{\"entries\":{},\"capacity\":{},\"shards\":{}}},\
+             \"corpora\":{corpora}}}",
+            primary.fingerprint(),
             handler.obs.uptime_secs(),
             handler.accept_model.as_str(),
             handler.max_connections,
-            handler.cache.len(),
-            handler.cache.capacity(),
-            handler.cache.shard_count(),
+            primary.cache().len(),
+            primary.cache().capacity(),
+            primary.cache().shard_count(),
         ),
     )
 }
 
 fn metrics(handler: &Handler) -> Reply {
-    let mut body = handler.engine.metrics().metrics_text();
+    let mut body = handler.tenants.primary().engine().metrics().metrics_text();
     body.push_str(&debug::render_window_metrics(
         &handler.obs.window_snapshots(),
     ));
@@ -744,6 +808,10 @@ fn metrics(handler: &Handler) -> Reply {
     // utilization (emitted even before any traffic, so both accept
     // models always expose the full set).
     body.push_str(&handler.runtime.render_metrics(handler.obs.uptime_nanos()));
+    // Per-corpus series, `corpus`-labelled, one sample per tenant — the
+    // primary appears both unlabelled (above, its own registry) and
+    // labelled here, so multi-corpus dashboards need only one shape.
+    body.push_str(&handler.tenants.render_corpus_metrics());
     Reply {
         status: 200,
         content_type: "text/plain; version=0.0.4",
@@ -756,15 +824,12 @@ fn metrics(handler: &Handler) -> Reply {
 fn statusz(handler: &Handler) -> Reply {
     let lag = handler.runtime.loop_lag().summary();
     let wait = handler.runtime.queue_wait().summary();
+    let primary = handler.tenants.primary();
     let info = StatuszInfo {
-        fingerprint: handler.fingerprint,
-        snapshot: handler
-            .engine
-            .corpus()
-            .provenance()
-            .map(|p| (u32::from(p.format_version), p.checksum)),
-        cache_entries: handler.cache.len(),
-        cache_capacity: handler.cache.capacity(),
+        fingerprint: primary.fingerprint(),
+        snapshot: primary.engine().snapshot(),
+        cache_entries: primary.cache().len(),
+        cache_capacity: primary.cache().capacity(),
         requests_total: handler.requests.get(),
         errors_total: handler.errors.get(),
         connections_opened: handler.conn_stats.opened.get(),
@@ -784,6 +849,19 @@ fn statusz(handler: &Handler) -> Reply {
         flight_capacity: handler.runtime.flight().capacity(),
         flight_recorded: handler.runtime.flight().total_recorded(),
         conns_tracked: handler.conn_registry.tracked(),
+        corpora: handler
+            .tenants
+            .iter()
+            .map(|t| CorpusRow {
+                name: t.name().to_string(),
+                shards: t.engine().shard_count(),
+                cache_entries: t.cache().len(),
+                cache_capacity: t.cache().capacity(),
+                requests: t.requests().get(),
+                errors: t.errors().get(),
+                queries: t.queries().get(),
+            })
+            .collect(),
     };
     Reply {
         status: 200,
@@ -888,13 +966,14 @@ fn render_result(normalized: &str, response: &SuggestResponse) -> String {
 /// Returns the rendered result object plus what the ring should remember
 /// (cache outcome, per-stage nanos, and counters — all zero on a hit,
 /// which did no engine work).
-fn cached_result(keywords: &[String], handler: &Handler) -> (Arc<str>, RouteObs) {
+fn cached_result(keywords: &[String], tenant: &Tenant) -> (Arc<str>, RouteObs) {
+    tenant.queries().inc();
     let normalized = keywords.join(" ");
     let key = CacheKey {
         query: normalized.clone(),
-        fingerprint: handler.fingerprint,
+        fingerprint: tenant.fingerprint(),
     };
-    if let Some(hit) = handler.cache.get(&key) {
+    if let Some(hit) = tenant.cache().get(&key) {
         let obs = RouteObs {
             route: "suggest",
             query: normalized,
@@ -903,9 +982,9 @@ fn cached_result(keywords: &[String], handler: &Handler) -> (Arc<str>, RouteObs)
         };
         return (hit, obs);
     }
-    let response = handler.engine.suggest_keywords(keywords);
+    let response = tenant.engine().suggest_keywords(keywords);
     let rendered: Arc<str> = Arc::from(render_result(&normalized, &response).as_str());
-    handler.cache.insert(key, Arc::clone(&rendered));
+    tenant.cache().insert(key, Arc::clone(&rendered));
     let obs = RouteObs {
         route: "suggest",
         query: normalized,
@@ -922,8 +1001,8 @@ fn cached_result(keywords: &[String], handler: &Handler) -> (Arc<str>, RouteObs)
 
 /// The single-query reply both `GET /suggest?q=` and the `"query"` body
 /// form share.
-fn single_query_reply(keywords: &[String], handler: &Handler) -> Reply {
-    let (body, obs) = cached_result(keywords, handler);
+fn single_query_reply(keywords: &[String], tenant: &Tenant) -> Reply {
+    let (body, obs) = cached_result(keywords, tenant);
     Reply {
         status: 200,
         content_type: "application/json",
@@ -940,28 +1019,28 @@ fn single_query_reply(keywords: &[String], handler: &Handler) -> Reply {
     }
 }
 
-fn suggest_get(query: &str, handler: &Handler, trace_id: &str) -> Reply {
+fn suggest_get(query: &str, tenant: &Tenant, trace_id: &str) -> Reply {
     let Some(raw) = query_param(query, "q") else {
         return Reply::error(400, "missing q parameter");
     };
     let Some(decoded) = percent_decode(raw) else {
         return Reply::error(400, "bad percent-encoding in q");
     };
-    let keywords = handler.engine.parse_query(&decoded);
+    let keywords = tenant.engine().parse_query(&decoded);
     if keywords.is_empty() {
         return Reply::error(400, "query contains no keywords");
     }
     // Root span for the whole request: engine spans opened below (and
     // partition spans on worker threads) chain under it, so the trace ID
     // names one tree in exported traces.
-    let _request_span = handler
-        .engine
+    let _request_span = tenant
+        .engine()
         .tracer()
         .span_with("request", || trace_id.to_string());
-    single_query_reply(&keywords, handler)
+    single_query_reply(&keywords, tenant)
 }
 
-fn suggest(request: &Request, handler: &Handler, trace_id: &str) -> Reply {
+fn suggest(request: &Request, tenant: &Tenant, trace_id: &str) -> Reply {
     let Ok(text) = std::str::from_utf8(&request.body) else {
         return Reply::error(400, "body is not utf-8");
     };
@@ -969,8 +1048,8 @@ fn suggest(request: &Request, handler: &Handler, trace_id: &str) -> Reply {
         Ok(v) => v,
         Err(e) => return Reply::error(400, &format!("invalid JSON body: {e}")),
     };
-    let _request_span = handler
-        .engine
+    let _request_span = tenant
+        .engine()
         .tracer()
         .span_with("request", || trace_id.to_string());
     match (parsed.get("query"), parsed.get("queries")) {
@@ -979,11 +1058,11 @@ fn suggest(request: &Request, handler: &Handler, trace_id: &str) -> Reply {
             let Some(q) = q.as_str() else {
                 return Reply::error(400, "\"query\" must be a string");
             };
-            let keywords = handler.engine.parse_query(q);
+            let keywords = tenant.engine().parse_query(q);
             if keywords.is_empty() {
                 return Reply::error(400, "query contains no keywords");
             }
-            single_query_reply(&keywords, handler)
+            single_query_reply(&keywords, tenant)
         }
         (None, Some(qs)) => {
             let Some(items) = qs.as_array() else {
@@ -1002,7 +1081,7 @@ fn suggest(request: &Request, handler: &Handler, trace_id: &str) -> Reply {
                     _ => return Reply::error(400, "\"queries\" must be an array of strings"),
                 }
             }
-            let (body, hits, misses, obs) = batch_suggest(&raw, handler);
+            let (body, hits, misses, obs) = batch_suggest(&raw, tenant);
             Reply {
                 status: 200,
                 content_type: "application/json",
@@ -1018,18 +1097,19 @@ fn suggest(request: &Request, handler: &Handler, trace_id: &str) -> Reply {
 /// The batch path: answer every hit from the cache, send the misses
 /// through `suggest_many_keywords` (the engine's worker pool) in one go,
 /// and reassemble in request order.
-fn batch_suggest(raw: &[&str], handler: &Handler) -> (String, u64, u64, RouteObs) {
+fn batch_suggest(raw: &[&str], tenant: &Tenant) -> (String, u64, u64, RouteObs) {
+    tenant.queries().add(raw.len() as u64);
     let keyword_lists: Vec<Vec<String>> =
-        raw.iter().map(|q| handler.engine.parse_query(q)).collect();
+        raw.iter().map(|q| tenant.engine().parse_query(q)).collect();
     let mut slots: Vec<Option<Arc<str>>> = vec![None; raw.len()];
     let mut miss_idx = Vec::new();
     let mut hits = 0u64;
     for (i, keywords) in keyword_lists.iter().enumerate() {
         let key = CacheKey {
             query: keywords.join(" "),
-            fingerprint: handler.fingerprint,
+            fingerprint: tenant.fingerprint(),
         };
-        match handler.cache.get(&key) {
+        match tenant.cache().get(&key) {
             Some(hit) => {
                 slots[i] = Some(hit);
                 hits += 1;
@@ -1046,7 +1126,7 @@ fn batch_suggest(raw: &[&str], handler: &Handler) -> (String, u64, u64, RouteObs
     if !miss_idx.is_empty() {
         let miss_keywords: Vec<Vec<String>> =
             miss_idx.iter().map(|&i| keyword_lists[i].clone()).collect();
-        let responses = handler.engine.suggest_many_keywords(&miss_keywords);
+        let responses = tenant.engine().suggest_many_keywords(&miss_keywords);
         for (&i, response) in miss_idx.iter().zip(responses.iter()) {
             obs.slot_nanos += response.stats.slot_nanos;
             obs.walk_nanos += response.stats.walk_nanos;
@@ -1056,10 +1136,10 @@ fn batch_suggest(raw: &[&str], handler: &Handler) -> (String, u64, u64, RouteObs
             obs.suggestions += response.suggestions.len() as u64;
             let normalized = keyword_lists[i].join(" ");
             let rendered: Arc<str> = Arc::from(render_result(&normalized, response).as_str());
-            handler.cache.insert(
+            tenant.cache().insert(
                 CacheKey {
                     query: normalized,
-                    fingerprint: handler.fingerprint,
+                    fingerprint: tenant.fingerprint(),
                 },
                 Arc::clone(&rendered),
             );
@@ -1088,15 +1168,21 @@ mod tests {
         handler_with_clock(ManualClock::starting_at(0))
     }
 
-    fn handler_with_clock(clock: Arc<ManualClock>) -> Handler {
-        let xml = "<db><rec><t>health insurance</t></rec><rec><t>program instance</t></rec></db>";
-        let engine = Arc::new(XCleanEngine::new(
+    fn mem_engine(xml: &str) -> TenantEngine {
+        TenantEngine::Unsharded(Arc::new(XCleanEngine::new(
             parse_document(xml).unwrap(),
             XCleanConfig::default(),
-        ));
-        let registry: &MetricsRegistry = engine.metrics();
-        let cache = Arc::new(ResponseCache::new(64, 4, registry));
-        let fingerprint = engine.fingerprint();
+        )))
+    }
+
+    fn handler_with_clock(clock: Arc<ManualClock>) -> Handler {
+        let xml = "<db><rec><t>health insurance</t></rec><rec><t>program instance</t></rec></db>";
+        handler_for(clock, vec![("default".to_string(), mem_engine(xml))])
+    }
+
+    fn handler_for(clock: Arc<ManualClock>, corpora: Vec<(String, TenantEngine)>) -> Handler {
+        let tenants = Arc::new(TenantSet::build(corpora, 64, 4).unwrap());
+        let registry: MetricsRegistry = tenants.primary().engine().metrics().clone();
         let obs = Arc::new(Observability::new(
             clock,
             64,
@@ -1109,15 +1195,13 @@ mod tests {
             requests: registry.counter(names::SERVER_REQUESTS),
             errors: registry.counter(names::SERVER_ERRORS),
             latency: registry.histogram(names::SERVER_REQUEST),
-            conn_stats: ConnStats::new(registry),
+            conn_stats: ConnStats::new(&registry),
             runtime: Arc::new(RuntimeStats::new(2, 64)),
             conn_registry: Arc::new(ConnRegistry::new(16)),
             accept_model: AcceptModel::ThreadPool,
             max_connections: 4096,
-            engine,
-            cache,
+            tenants,
             obs,
-            fingerprint,
             max_body_bytes: 1 << 20,
         }
     }
@@ -1159,7 +1243,7 @@ mod tests {
         let second = route(&post(r#"{"query": "  HELTH   insurance "}"#), &h, T);
         assert_eq!(second.cache_header.as_deref(), Some("hit"));
         assert_eq!(first.body, second.body);
-        assert_eq!(h.cache.counters(), (1, 1, 0));
+        assert_eq!(h.tenants.primary().cache().counters(), (1, 1, 0));
         // The miss carried engine work in its observability payload.
         assert_eq!(first.obs.cache_hit, Some(false));
         assert!(first.obs.walk_nanos > 0);
@@ -1261,9 +1345,10 @@ mod tests {
         // An in-memory corpus has no snapshot provenance.
         assert!(reply.body.contains("\"snapshot\":null"), "{}", reply.body);
         assert!(
-            reply
-                .body
-                .contains(&format!("\"fingerprint\":\"{:016x}\"", h.fingerprint)),
+            reply.body.contains(&format!(
+                "\"fingerprint\":\"{:016x}\"",
+                h.tenants.primary().fingerprint()
+            )),
             "{}",
             reply.body
         );
@@ -1520,6 +1605,115 @@ mod tests {
         }
         // The windows saw them too.
         assert_eq!(h.obs.window_snapshots()[0].errors, expected.len() as u64);
+    }
+
+    fn two_corpus_handler() -> Handler {
+        handler_for(
+            ManualClock::starting_at(0),
+            vec![
+                (
+                    "default".to_string(),
+                    mem_engine("<db><rec><t>health insurance</t></rec></db>"),
+                ),
+                (
+                    "dblp".to_string(),
+                    mem_engine("<db><rec><t>program instance</t></rec></db>"),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn corpus_routes_resolve_tenants_and_isolate_caches() {
+        let h = two_corpus_handler();
+        // Bare /suggest and /suggest/default answer from the same tenant
+        // (and the same cache).
+        let bare = route(&get("/suggest?q=helth+insurance"), &h, T);
+        let named = route(&get("/suggest/default?q=helth+insurance"), &h, T);
+        assert_eq!(bare.status, 200, "{}", bare.body);
+        assert_eq!(named.body, bare.body);
+        assert_eq!(named.cache_header.as_deref(), Some("hit"));
+        // The second corpus scores against its own index: same raw
+        // query, different corpus, different answer and a cache miss.
+        let other = route(&get("/suggest/dblp?q=program+instanse"), &h, T);
+        assert_eq!(other.status, 200, "{}", other.body);
+        assert_eq!(other.cache_header.as_deref(), Some("miss"));
+        assert!(other.body.contains("program instance"), "{}", other.body);
+        // POST routes per corpus too.
+        let mut p = post(r#"{"query": "program instanse"}"#);
+        p.path = "/suggest/dblp".to_string();
+        assert_eq!(route(&p, &h, T).cache_header.as_deref(), Some("hit"));
+        // Caches never bled into each other.
+        assert_eq!(h.tenants.primary().cache().counters(), (1, 1, 0));
+        assert_eq!(h.tenants.get("dblp").unwrap().cache().counters(), (1, 1, 0));
+        // Per-corpus counters saw exactly the routed traffic.
+        assert_eq!(h.tenants.primary().requests().get(), 2);
+        assert_eq!(h.tenants.get("dblp").unwrap().requests().get(), 2);
+        assert_eq!(h.tenants.get("dblp").unwrap().queries().get(), 2);
+        assert_eq!(h.tenants.primary().errors().get(), 0);
+    }
+
+    /// Satellite: unknown-corpus requests return a structured JSON 404
+    /// that flows through `observe_reply` like every other answer.
+    #[test]
+    fn unknown_corpus_is_a_structured_404_and_lands_in_the_ring() {
+        let h = two_corpus_handler();
+        let reply = route(&get("/suggest/nope?q=health"), &h, T);
+        assert_eq!(reply.status, 404);
+        assert!(reply.body.contains("\"error\""), "{}", reply.body);
+        assert!(
+            reply.body.contains("no such corpus: nope"),
+            "{}",
+            reply.body
+        );
+        observe_reply(&h, reply, "t-404".to_string(), 0);
+        assert_eq!(h.requests.get(), 1);
+        assert_eq!(h.errors.get(), 1);
+        let records = h.obs.recent(10);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].route, "unknown_corpus");
+        assert_eq!(records[0].trace_id, "t-404");
+        // No tenant was charged for the miss-route.
+        assert!(h.tenants.iter().all(|t| t.requests().get() == 0));
+        // Trailing-slash and method variants stay structured.
+        assert_eq!(route(&get("/suggest/?q=x"), &h, T).status, 404);
+        let mut del = get("/suggest/dblp?q=x");
+        del.method = "DELETE".to_string();
+        assert_eq!(route(&del, &h, T).status, 405);
+    }
+
+    #[test]
+    fn observability_pages_cover_every_corpus() {
+        let h = two_corpus_handler();
+        let _ = route(&get("/suggest/dblp?q=program"), &h, T);
+        let health = route(&get("/healthz"), &h, T);
+        assert!(health.body.contains("\"corpora\":["), "{}", health.body);
+        assert!(health.body.contains("\"name\":\"dblp\""), "{}", health.body);
+        assert!(health.body.contains("\"shards\":1"), "{}", health.body);
+        let status = route(&get("/statusz"), &h, T);
+        assert!(status.body.contains("corpora: 2"), "{}", status.body);
+        assert!(
+            status.body.contains("corpus[dblp]: shards=1"),
+            "{}",
+            status.body
+        );
+        assert!(status.body.contains("corpus[default]:"), "{}", status.body);
+        let metrics = route(&get("/metrics"), &h, T);
+        assert!(
+            metrics
+                .body
+                .contains(&format!("{}{{corpus=\"dblp\"}} 1", names::CORPUS_REQUESTS)),
+            "{}",
+            metrics.body
+        );
+        assert!(
+            metrics.body.contains(&format!(
+                "{}{{corpus=\"default\"}} 0",
+                names::CORPUS_QUERIES
+            )),
+            "{}",
+            metrics.body
+        );
     }
 
     #[test]

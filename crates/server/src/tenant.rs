@@ -1,0 +1,395 @@
+//! Multi-tenant serving: the corpus → engine routing table behind
+//! `/suggest/<corpus>`.
+//!
+//! One server process fronts a *catalog* of corpora (DESIGN.md §16).
+//! Each corpus is a [`Tenant`]: a name, an engine — unsharded or
+//! scatter-gather sharded, the serving layer never cares which — and a
+//! private [`ResponseCache`]. Caches are partitioned per tenant rather
+//! than shared: keys already carry the engine fingerprint, but separate
+//! caches mean one hot corpus can never evict another's working set, and
+//! per-corpus occupancy is observable on `/statusz` and `/metrics`.
+//!
+//! The first catalog entry is the *primary* tenant. It keeps the exact
+//! single-corpus contract of earlier PRs: bare `/suggest` routes to it,
+//! `/metrics` renders its registry as the unlabelled base series, and
+//! `/healthz` reports its fingerprint and snapshot. Every tenant
+//! (primary included) additionally gets `corpus`-labelled series and a
+//! `/statusz` row, so dashboards distinguish corpora without breaking
+//! single-corpus scrapes.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+
+use xclean::{ShardedEngine, SuggestResponse, XCleanEngine};
+use xclean_telemetry::{escape_label_value, names, Counter, MetricsRegistry, Tracer};
+
+use crate::cache::ResponseCache;
+
+/// The engine behind one served corpus. Both variants answer
+/// bit-identical suggestions for the same corpus and config (the sharded
+/// merge is replay-exact — DESIGN.md §16), so routing, caching, and
+/// response rendering treat them uniformly.
+#[derive(Debug, Clone)]
+pub enum TenantEngine {
+    /// One in-memory index over one corpus (possibly snapshot-mapped).
+    Unsharded(Arc<XCleanEngine>),
+    /// A validated shard set answered by scatter-gather merge.
+    Sharded(Arc<ShardedEngine>),
+}
+
+impl TenantEngine {
+    /// Corpus + config fingerprint — the cache-key component.
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            TenantEngine::Unsharded(e) => e.fingerprint(),
+            TenantEngine::Sharded(e) => e.fingerprint(),
+        }
+    }
+
+    /// The engine's metrics registry (response-cache counters for the
+    /// tenant register here; the primary tenant's registry is the
+    /// `/metrics` base text).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        match self {
+            TenantEngine::Unsharded(e) => e.metrics(),
+            TenantEngine::Sharded(e) => e.metrics(),
+        }
+    }
+
+    /// The span tracer request spans open against.
+    pub fn tracer(&self) -> &Tracer {
+        match self {
+            TenantEngine::Unsharded(e) => e.tracer(),
+            TenantEngine::Sharded(e) => e.telemetry().tracer(),
+        }
+    }
+
+    /// Normalizes a raw query string into keywords.
+    pub fn parse_query(&self, query: &str) -> Vec<String> {
+        match self {
+            TenantEngine::Unsharded(e) => e.parse_query(query),
+            TenantEngine::Sharded(e) => e.parse_query(query),
+        }
+    }
+
+    /// Suggests for one tokenised query.
+    pub fn suggest_keywords(&self, keywords: &[String]) -> SuggestResponse {
+        match self {
+            TenantEngine::Unsharded(e) => e.suggest_keywords(keywords),
+            TenantEngine::Sharded(e) => e.suggest_keywords(keywords),
+        }
+    }
+
+    /// Suggests for a batch of tokenised queries, in input order.
+    pub fn suggest_many_keywords(&self, queries: &[Vec<String>]) -> Vec<SuggestResponse> {
+        match self {
+            TenantEngine::Unsharded(e) => e.suggest_many_keywords(queries),
+            TenantEngine::Sharded(e) => e.suggest_many_keywords(queries),
+        }
+    }
+
+    /// `(format_version, checksum)` of the backing snapshot. `None` for
+    /// in-memory corpora and for sharded sets, which span several
+    /// snapshots (their shard membership shows on `/statusz` instead).
+    pub fn snapshot(&self) -> Option<(u32, u64)> {
+        match self {
+            TenantEngine::Unsharded(e) => e
+                .corpus()
+                .provenance()
+                .map(|p| (u32::from(p.format_version), p.checksum)),
+            TenantEngine::Sharded(_) => None,
+        }
+    }
+
+    /// Shards answering this corpus; `1` means unsharded.
+    pub fn shard_count(&self) -> u32 {
+        match self {
+            TenantEngine::Unsharded(_) => 1,
+            TenantEngine::Sharded(e) => e.shard_count(),
+        }
+    }
+}
+
+/// One served corpus: engine, private response cache, and per-corpus
+/// lifetime counters (rendered as `corpus`-labelled `/metrics` series,
+/// so they live outside any registry — registries only render unlabelled
+/// samples).
+#[derive(Debug)]
+pub struct Tenant {
+    name: String,
+    engine: TenantEngine,
+    cache: Arc<ResponseCache>,
+    fingerprint: u64,
+    requests: Counter,
+    errors: Counter,
+    queries: Counter,
+}
+
+impl Tenant {
+    /// The catalog name this tenant serves under (`/suggest/<name>`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The engine answering this corpus.
+    pub fn engine(&self) -> &TenantEngine {
+        &self.engine
+    }
+
+    /// The tenant-private response cache.
+    pub fn cache(&self) -> &Arc<ResponseCache> {
+        &self.cache
+    }
+
+    /// Cached engine fingerprint (cache keying, `/healthz`).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Requests routed to this corpus, cache hits and errors included.
+    pub fn requests(&self) -> &Counter {
+        &self.requests
+    }
+
+    /// Error responses while serving this corpus.
+    pub fn errors(&self) -> &Counter {
+        &self.errors
+    }
+
+    /// Individual queries answered (a batch POST counts each query).
+    pub fn queries(&self) -> &Counter {
+        &self.queries
+    }
+}
+
+/// One per-tenant sample for a labelled `/metrics` series.
+type TenantSample = (&'static str, fn(&Tenant) -> u64);
+
+/// The immutable routing table: every tenant the server fronts, in
+/// catalog order, with the first entry as primary.
+#[derive(Debug)]
+pub struct TenantSet {
+    tenants: Vec<Tenant>,
+    by_name: HashMap<String, usize>,
+}
+
+impl TenantSet {
+    /// Builds the set from `(name, engine)` pairs in catalog order. Each
+    /// tenant gets its own [`ResponseCache`] of `cache_entries` entries
+    /// over `cache_shards` shards, with the cache counters registered in
+    /// that tenant's engine registry. Errors on an empty catalog, a
+    /// duplicate name, or a name that cannot appear in a request path.
+    pub fn build(
+        corpora: Vec<(String, TenantEngine)>,
+        cache_entries: usize,
+        cache_shards: usize,
+    ) -> io::Result<TenantSet> {
+        if corpora.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "catalog has no corpora",
+            ));
+        }
+        let mut tenants = Vec::with_capacity(corpora.len());
+        let mut by_name = HashMap::with_capacity(corpora.len());
+        for (name, engine) in corpora {
+            if name.is_empty() || name.contains(['/', '?', '#', ' ']) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("corpus name {name:?} cannot appear in a request path"),
+                ));
+            }
+            if by_name.insert(name.clone(), tenants.len()).is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("duplicate corpus name {name:?}"),
+                ));
+            }
+            let cache = Arc::new(ResponseCache::new(
+                cache_entries,
+                cache_shards,
+                engine.metrics(),
+            ));
+            let fingerprint = engine.fingerprint();
+            tenants.push(Tenant {
+                name,
+                engine,
+                cache,
+                fingerprint,
+                requests: Counter::default(),
+                errors: Counter::default(),
+                queries: Counter::default(),
+            });
+        }
+        Ok(TenantSet { tenants, by_name })
+    }
+
+    /// The primary tenant (first catalog entry): bare `/suggest` routes
+    /// here and `/metrics` renders its registry unlabelled.
+    pub fn primary(&self) -> &Tenant {
+        &self.tenants[0]
+    }
+
+    /// The tenant serving `name`, if the catalog has one.
+    pub fn get(&self, name: &str) -> Option<&Tenant> {
+        self.by_name.get(name).map(|&i| &self.tenants[i])
+    }
+
+    /// All tenants in catalog order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tenant> {
+        self.tenants.iter()
+    }
+
+    /// Number of corpora served.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Never true: [`TenantSet::build`] rejects empty catalogs.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// `(hits, misses, evictions)` summed across every tenant cache —
+    /// the drain-report totals.
+    pub fn cache_totals(&self) -> (u64, u64, u64) {
+        let mut totals = (0, 0, 0);
+        for t in &self.tenants {
+            let (h, m, e) = t.cache.counters();
+            totals.0 += h;
+            totals.1 += m;
+            totals.2 += e;
+        }
+        totals
+    }
+
+    /// `corpus`-labelled Prometheus series for every tenant, appended to
+    /// the `/metrics` body after the primary registry's unlabelled text.
+    pub fn render_corpus_metrics(&self) -> String {
+        let mut out = String::new();
+        let counters: [TenantSample; 5] = [
+            (names::CORPUS_REQUESTS, |t| t.requests.get()),
+            (names::CORPUS_ERRORS, |t| t.errors.get()),
+            (names::CORPUS_QUERIES, |t| t.queries.get()),
+            (names::CORPUS_CACHE_HITS, |t| t.cache.counters().0),
+            (names::CORPUS_CACHE_MISSES, |t| t.cache.counters().1),
+        ];
+        for (name, value) in counters {
+            self.render_series(&mut out, name, "counter", value);
+        }
+        let gauges: [TenantSample; 2] = [
+            (names::CORPUS_CACHE_ENTRIES, |t| t.cache.len() as u64),
+            (names::CORPUS_SHARDS, |t| u64::from(t.engine.shard_count())),
+        ];
+        for (name, value) in gauges {
+            self.render_series(&mut out, name, "gauge", value);
+        }
+        out
+    }
+
+    fn render_series(&self, out: &mut String, name: &str, kind: &str, value: fn(&Tenant) -> u64) {
+        out.push_str(&format!(
+            "# HELP {name} {}\n# TYPE {name} {kind}\n",
+            names::help_for(name)
+        ));
+        for t in &self.tenants {
+            out.push_str(&format!(
+                "{name}{{corpus=\"{}\"}} {}\n",
+                escape_label_value(&t.name),
+                value(t)
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xclean::XCleanConfig;
+    use xclean_xmltree::parse_document;
+
+    fn engine(xml: &str) -> TenantEngine {
+        TenantEngine::Unsharded(Arc::new(XCleanEngine::new(
+            parse_document(xml).unwrap(),
+            XCleanConfig::default(),
+        )))
+    }
+
+    #[test]
+    fn build_routes_by_name_and_keeps_order() {
+        let set = TenantSet::build(
+            vec![
+                ("default".into(), engine("<r><p>alpha beta</p></r>")),
+                ("dblp".into(), engine("<r><p>gamma delta epsilon</p></r>")),
+            ],
+            16,
+            2,
+        )
+        .unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.primary().name(), "default");
+        assert_eq!(set.get("dblp").unwrap().name(), "dblp");
+        assert!(set.get("nope").is_none());
+        let names: Vec<&str> = set.iter().map(Tenant::name).collect();
+        assert_eq!(names, ["default", "dblp"]);
+        // Distinct corpus shapes → distinct fingerprints → cache keys
+        // could not collide even if the caches were shared.
+        assert_ne!(
+            set.primary().fingerprint(),
+            set.get("dblp").unwrap().fingerprint()
+        );
+    }
+
+    #[test]
+    fn build_rejects_empty_duplicate_and_unroutable_names() {
+        assert!(TenantSet::build(vec![], 16, 2).is_err());
+        let dup = TenantSet::build(
+            vec![
+                ("a".into(), engine("<r><p>x</p></r>")),
+                ("a".into(), engine("<r><p>y</p></r>")),
+            ],
+            16,
+            2,
+        );
+        assert!(dup.unwrap_err().to_string().contains("duplicate"));
+        for bad in ["", "a/b", "a b", "a?b", "a#b"] {
+            let r = TenantSet::build(vec![(bad.into(), engine("<r><p>x</p></r>"))], 16, 2);
+            assert!(r.is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn corpus_metrics_render_labelled_series() {
+        let set = TenantSet::build(
+            vec![
+                ("default".into(), engine("<r><p>alpha beta</p></r>")),
+                ("dblp".into(), engine("<r><p>gamma delta</p></r>")),
+            ],
+            16,
+            2,
+        )
+        .unwrap();
+        set.get("dblp").unwrap().requests().inc();
+        let text = set.render_corpus_metrics();
+        assert!(
+            text.contains(&format!("{}{{corpus=\"dblp\"}} 1", names::CORPUS_REQUESTS)),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "{}{{corpus=\"default\"}} 0",
+                names::CORPUS_REQUESTS
+            )),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("# TYPE {} gauge", names::CORPUS_SHARDS)),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("{}{{corpus=\"default\"}} 1", names::CORPUS_SHARDS)),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! End-to-end multi-tenant serving over real sockets (DESIGN.md §16):
+//! one `SuggestServer` fronting a catalog of two corpora — one plain,
+//! one a scatter-gather shard set — exercised through `/suggest/<name>`
+//! routing, the structured unknown-corpus 404, per-corpus response-cache
+//! isolation, and the per-corpus observability surfaces (`/healthz`,
+//! `/statusz`, `/metrics`).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use xclean::{ShardedEngine, XCleanConfig, XCleanEngine};
+use xclean_index::{partition_corpus, CorpusIndex};
+use xclean_server::{DrainReport, ServerConfig, ShutdownFlag, SuggestServer, TenantEngine};
+use xclean_xmltree::parse_document;
+
+/// The primary corpus. Deliberately a different *shape* (token count)
+/// from the dblp corpus: engine fingerprints hash corpus shape, and the
+/// cache-isolation assertions below rely on the two differing.
+fn default_corpus() -> CorpusIndex {
+    let xml = "<db>\
+        <rec><t>health insurance markets</t></rec>\
+        <rec><t>health policy</t></rec>\
+    </db>";
+    CorpusIndex::build(parse_document(xml).unwrap())
+}
+
+fn dblp_corpus() -> CorpusIndex {
+    let xml = "<dblp>\
+        <article><author>jones</author><title>program instance analysis</title></article>\
+        <article><author>smith</author><title>program semantics</title></article>\
+        <article><author>brown</author><title>instance retrieval</title></article>\
+    </dblp>";
+    CorpusIndex::build(parse_document(xml).unwrap())
+}
+
+struct Running {
+    addr: std::net::SocketAddr,
+    flag: ShutdownFlag,
+    join: std::thread::JoinHandle<DrainReport>,
+}
+
+/// Starts a two-tenant server: `default` unsharded, `dblp` served by a
+/// two-shard scatter-gather engine.
+fn start() -> Running {
+    let default_engine = TenantEngine::Unsharded(Arc::new(XCleanEngine::from_corpus(
+        default_corpus(),
+        XCleanConfig::default(),
+    )));
+    let shards = partition_corpus(&dblp_corpus(), 2, 7).unwrap();
+    let dblp_engine = TenantEngine::Sharded(Arc::new(
+        ShardedEngine::from_shards(shards, XCleanConfig::default()).unwrap(),
+    ));
+    let server = SuggestServer::bind_tenants(
+        vec![
+            ("default".to_string(), default_engine),
+            ("dblp".to_string(), dblp_engine),
+        ],
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let flag = server.shutdown_flag();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    Running { addr, flag, join }
+}
+
+fn request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, payload) = raw.split_once("\r\n\r\n").expect("header terminator");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, payload.to_string())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn stop(r: Running) -> DrainReport {
+    r.flag.trigger();
+    // Nudge the accept loop so it notices the flag.
+    let _ = TcpStream::connect(r.addr);
+    r.join.join().unwrap()
+}
+
+#[test]
+fn routes_by_corpus_and_isolates_caches() {
+    let r = start();
+
+    // Each corpus answers from its own index.
+    let (status, _, body) = request(r.addr, "GET", "/suggest/default?q=helth", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("health"), "{body}");
+    let (status, _, body) = request(r.addr, "GET", "/suggest/dblp?q=progrm", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("program"), "{body}");
+    assert!(
+        !body.contains("health"),
+        "dblp must not see the default corpus: {body}"
+    );
+
+    // Bare /suggest is the primary tenant: same bytes, shared cache —
+    // the named route primed it, so the bare route hits.
+    let (_, h1, b1) = request(r.addr, "GET", "/suggest/default?q=helth", "");
+    assert_eq!(header(&h1, "x-cache"), Some("hit"));
+    let (_, h2, b2) = request(r.addr, "GET", "/suggest?q=helth", "");
+    assert_eq!(header(&h2, "x-cache"), Some("hit"));
+    assert_eq!(
+        b1, b2,
+        "bare and named primary routes must serve identical bytes"
+    );
+
+    // The same query against the other corpus is a miss: caches are
+    // partitioned per tenant.
+    let (_, h, _) = request(r.addr, "GET", "/suggest/dblp?q=helth", "");
+    assert_eq!(header(&h, "x-cache"), Some("miss"));
+
+    // POST batch against a named corpus.
+    let (status, _, body) = request(
+        r.addr,
+        "POST",
+        "/suggest/dblp",
+        r#"{"queries": ["progrm instanc", "semantcs"]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("results"), "{body}");
+
+    let report = stop(r);
+    assert!(report.requests >= 6);
+}
+
+#[test]
+fn unknown_corpus_is_a_structured_json_404_with_request_id() {
+    let r = start();
+    for (method, body) in [("GET", ""), ("POST", r#"{"query": "x"}"#)] {
+        let (status, headers, payload) = request(r.addr, method, "/suggest/nope?q=x", body);
+        assert_eq!(status, 404, "{method}: {payload}");
+        let v: serde_json::Value = serde_json::from_str(&payload)
+            .unwrap_or_else(|e| panic!("{method}: 404 body must be JSON ({e}): {payload}"));
+        assert_eq!(
+            v["error"]["code"].as_u64(),
+            Some(404),
+            "{method}: {payload}"
+        );
+        assert!(
+            v["error"]["message"]
+                .as_str()
+                .unwrap()
+                .contains("no such corpus"),
+            "{method}: {payload}"
+        );
+        assert!(
+            header(&headers, "x-request-id").is_some(),
+            "{method}: 404 must carry X-Request-Id"
+        );
+    }
+    // A trailing-slash empty name is unknown too, not a crash.
+    let (status, _, _) = request(r.addr, "GET", "/suggest/?q=x", "");
+    assert_eq!(status, 404);
+    stop(r);
+}
+
+#[test]
+fn observability_surfaces_cover_every_corpus() {
+    let r = start();
+    let _ = request(r.addr, "GET", "/suggest/dblp?q=progrm", "");
+    let _ = request(r.addr, "GET", "/suggest/default?q=helth", "");
+
+    let (status, _, healthz) = request(r.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(healthz.contains("\"corpora\""), "{healthz}");
+    assert!(healthz.contains("\"default\""), "{healthz}");
+    assert!(healthz.contains("\"dblp\""), "{healthz}");
+
+    let (status, _, statusz) = request(r.addr, "GET", "/statusz", "");
+    assert_eq!(status, 200);
+    assert!(statusz.contains("corpus[default]:"), "{statusz}");
+    assert!(statusz.contains("corpus[dblp]:"), "{statusz}");
+    assert!(statusz.contains("shards=2"), "{statusz}");
+
+    let (status, _, metrics) = request(r.addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for series in [
+        "xclean_server_corpus_requests_total{corpus=\"default\"}",
+        "xclean_server_corpus_requests_total{corpus=\"dblp\"}",
+        "xclean_server_corpus_shards{corpus=\"dblp\"} 2",
+        "xclean_server_corpus_cache_entries{corpus=\"dblp\"}",
+    ] {
+        assert!(metrics.contains(series), "missing {series} in:\n{metrics}");
+    }
+    stop(r);
+}
+
+#[test]
+fn sharded_tenant_matches_unsharded_engine_over_http() {
+    // The serving layer must not perturb the scatter-gather result: a
+    // one-tenant sharded server and a one-tenant unsharded server over
+    // the same corpus return byte-identical response bodies.
+    let unsharded = SuggestServer::bind(
+        Arc::new(XCleanEngine::from_corpus(
+            dblp_corpus(),
+            XCleanConfig::default(),
+        )),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let shards = partition_corpus(&dblp_corpus(), 2, 7).unwrap();
+    let sharded = SuggestServer::bind_tenants(
+        vec![(
+            "default".to_string(),
+            TenantEngine::Sharded(Arc::new(
+                ShardedEngine::from_shards(shards, XCleanConfig::default()).unwrap(),
+            )),
+        )],
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut running = Vec::new();
+    for server in [unsharded, sharded] {
+        let addr = server.local_addr().unwrap();
+        let flag = server.shutdown_flag();
+        let join = std::thread::spawn(move || server.run().unwrap());
+        running.push(Running { addr, flag, join });
+    }
+    for q in ["progrm", "instanc+retrieval", "semantcs"] {
+        let (s1, _, b1) = request(running[0].addr, "GET", &format!("/suggest?q={q}"), "");
+        let (s2, _, b2) = request(running[1].addr, "GET", &format!("/suggest?q={q}"), "");
+        assert_eq!(s1, 200);
+        assert_eq!(s2, 200);
+        assert_eq!(b1, b2, "q={q}: sharded body diverged");
+    }
+    for r in running {
+        stop(r);
+    }
+}

@@ -129,6 +129,24 @@ pub mod names {
     /// Runtime gauge: per-worker busy share of wall time (labelled
     /// `worker`).
     pub const WORKER_UTILIZATION: &str = "xclean_worker_utilization";
+    /// Per-corpus counter (labelled `corpus`): requests routed to the
+    /// corpus, including cache hits.
+    pub const CORPUS_REQUESTS: &str = "xclean_server_corpus_requests_total";
+    /// Per-corpus counter (labelled `corpus`): error responses while
+    /// serving the corpus.
+    pub const CORPUS_ERRORS: &str = "xclean_server_corpus_errors_total";
+    /// Per-corpus counter (labelled `corpus`): individual queries scored
+    /// or answered from cache (a batch POST counts each query).
+    pub const CORPUS_QUERIES: &str = "xclean_server_corpus_queries_total";
+    /// Per-corpus counter (labelled `corpus`): response-cache hits.
+    pub const CORPUS_CACHE_HITS: &str = "xclean_server_corpus_cache_hits_total";
+    /// Per-corpus counter (labelled `corpus`): response-cache misses.
+    pub const CORPUS_CACHE_MISSES: &str = "xclean_server_corpus_cache_misses_total";
+    /// Per-corpus gauge (labelled `corpus`): live response-cache entries.
+    pub const CORPUS_CACHE_ENTRIES: &str = "xclean_server_corpus_cache_entries";
+    /// Per-corpus gauge (labelled `corpus`): shard count of the backing
+    /// engine (1 for an unsharded snapshot).
+    pub const CORPUS_SHARDS: &str = "xclean_server_corpus_shards";
 
     /// One-line `# HELP` text for a metric name; a generic fallback for
     /// names registered outside this canonical list (tests, ad hoc).
@@ -179,6 +197,13 @@ pub mod names {
             n if n == QUEUE_WAIT_SECONDS => "Job enqueue to worker-pickup wait, in seconds.",
             n if n == EVENTS_PER_WAKE => "Readiness events returned per epoll_wait.",
             n if n == WORKER_UTILIZATION => "Per-worker busy share of wall time.",
+            n if n == CORPUS_REQUESTS => "Requests routed to the corpus, cache hits included.",
+            n if n == CORPUS_ERRORS => "Error responses while serving the corpus.",
+            n if n == CORPUS_QUERIES => "Individual queries answered for the corpus.",
+            n if n == CORPUS_CACHE_HITS => "Response-cache hits for the corpus.",
+            n if n == CORPUS_CACHE_MISSES => "Response-cache misses for the corpus.",
+            n if n == CORPUS_CACHE_ENTRIES => "Live response-cache entries for the corpus.",
+            n if n == CORPUS_SHARDS => "Shard count of the corpus engine (1 = unsharded).",
             _ => "XClean metric.",
         }
     }

@@ -42,15 +42,16 @@ use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 
 use xclean_index::{AccessStats, CorpusIndex, TokenId};
-use xclean_lm::{ErrorModel, LanguageModel};
+use xclean_lm::ErrorModel;
 use xclean_telemetry::{names, Telemetry};
 use xclean_xmltree::{NodeId, PathId};
 
 use crate::arena::QueryArena;
 use crate::config::{EntityPrior, XCleanConfig};
-use crate::pruning::{Accumulator, AccumulatorTable, CandidateKey, PruningStats};
-use crate::result_type::find_result_type;
+use crate::pruning::{Accumulator, AccumulatorTable, CandidateKey, PruningStats, ScoreSink};
+use crate::result_type::find_result_type_scoped;
 use crate::variants::Variant;
+use crate::view::Scoring;
 
 /// A query keyword with its generated variant set.
 #[derive(Debug, Clone)]
@@ -225,7 +226,7 @@ pub fn run_xclean_in(
     let rank_start = Instant::now();
     let candidates = {
         let _span = telemetry.tracer().span("rank");
-        finalize_candidates(corpus, config, entries)
+        finalize_candidates(&Scoring::unsharded(corpus), config, entries)
     };
     stats.rank_nanos = nanos_since(rank_start);
     RunOutput { candidates, stats }
@@ -287,8 +288,44 @@ fn accumulate_partition(
     stats: &mut RunStats,
     arena: &mut QueryArena,
 ) -> AccumulatorTable {
+    let mut table = AccumulatorTable::with_storage(
+        config.gamma,
+        std::mem::take(&mut arena.accs),
+        std::mem::take(&mut arena.evicted),
+    );
+    accumulate_scoped(
+        &Scoring::unsharded(corpus),
+        slots,
+        config,
+        part,
+        parts,
+        stats,
+        arena,
+        &mut table,
+    );
+    table
+}
+
+/// The accumulate core over a [`Scoring`] view and a [`ScoreSink`]: walks
+/// the view's tree, enumerates candidates, and emits one `accumulate`
+/// call per (candidate, entity) contribution — in document order, with
+/// per-entity floating-point ops in exactly the sequential order. The
+/// unsharded engine sinks straight into an [`AccumulatorTable`]; the
+/// sharded scatter phase sinks into a replay log (see `crate::sharded`).
+/// The contribution stream never depends on the sink.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn accumulate_scoped<S: ScoreSink>(
+    view: &Scoring<'_>,
+    slots: &[KeywordSlot],
+    config: &XCleanConfig,
+    part: usize,
+    parts: usize,
+    stats: &mut RunStats,
+    arena: &mut QueryArena,
+    sink: &mut S,
+) {
     let error_model = ErrorModel::new(config.beta);
-    let lm = LanguageModel::new(corpus, config.effective_smoothing());
+    let lm = view.language_model(config.effective_smoothing());
 
     // Per-slot edit distances for error weights (arena-recycled maps).
     for (m, s) in arena.distance_maps(slots.len()).iter_mut().zip(slots) {
@@ -296,7 +333,8 @@ fn accumulate_partition(
     }
     // Split the arena into independently-borrowed scratch pieces: the
     // walk owns the occurrence/token buffers while the subtree closure
-    // works the scoring scratch.
+    // works the scoring scratch. The table storage (`accs`/`evicted`)
+    // belongs to the caller's sink, not this phase.
     let QueryArena {
         occurrences,
         slot_tokens,
@@ -306,17 +344,14 @@ fn accumulate_partition(
         type_cache,
         entity_maps,
         seen,
-        accs,
-        evicted,
+        ..
     } = arena;
-    let mut table =
-        AccumulatorTable::with_storage(config.gamma, std::mem::take(accs), std::mem::take(evicted));
     let mut candidates_enumerated = 0u64;
     let mut result_type_computations = 0u64;
     let mut entities_scored = 0u64;
 
-    crate::walk::walk_gated_subtrees_in(
-        corpus,
+    crate::walk::walk_gated_subtrees_scoped(
+        view,
         slots,
         config,
         stats,
@@ -340,12 +375,12 @@ fn accumulate_partition(
                     }
                     let rt = type_cache.entry(cand.to_vec()).or_insert_with(|| {
                         result_type_computations += 1;
-                        find_result_type(corpus, cand, config.min_depth, config.depth_decay)
+                        find_result_type_scoped(view, cand, config.min_depth, config.depth_decay)
                     });
                     let Some(rt) = *rt else { return };
                     let entities = entity_maps
                         .entry(rt.path)
-                        .or_insert_with(|| build_entity_map(corpus, occurrences, rt.path, seen));
+                        .or_insert_with(|| build_entity_map(view, occurrences, rt.path, seen));
                     distances.clear();
                     distances.extend(cand.iter().enumerate().map(|(i, t)| distance_of[i][t]));
                     let log_w = error_model.log_query_weight(distances);
@@ -353,7 +388,7 @@ fn accumulate_partition(
                         // The entity must contain every keyword of the candidate.
                         let mut score = 0.0f64;
                         let mut ok = true;
-                        let dlen = corpus.doc_len(r);
+                        let dlen = view.doc_len(r);
                         for &t in cand.iter() {
                             match counts.get(&t) {
                                 Some(&c) if c > 0 => {
@@ -371,7 +406,7 @@ fn accumulate_partition(
                                 EntityPrior::Uniform => 1.0,
                                 EntityPrior::DocLength => dlen.max(1) as f64,
                             };
-                            table.add_weighted(
+                            sink.accumulate(
                                 cand,
                                 score.exp() * weight,
                                 weight,
@@ -388,7 +423,6 @@ fn accumulate_partition(
     stats.candidates_enumerated = candidates_enumerated;
     stats.result_type_computations = result_type_computations;
     stats.entities_scored = entities_scored;
-    table
 }
 
 /// Fans the candidate partitions out over `parts` scoped threads sharing
@@ -447,8 +481,8 @@ fn accumulate_parallel(
 /// sorted best-first with a deterministic token tie-break. Shared by the
 /// sequential and parallel paths — entry order does not matter because
 /// each candidate's accumulator is already complete.
-fn finalize_candidates(
-    corpus: &CorpusIndex,
+pub(crate) fn finalize_candidates(
+    view: &Scoring<'_>,
     config: &XCleanConfig,
     entries: Vec<(CandidateKey, Accumulator)>,
 ) -> Vec<ScoredCandidate> {
@@ -460,8 +494,8 @@ fn finalize_candidates(
             // of the result type (Eq. 8 sums over every r_j; non-matching
             // entities contribute zero).
             let normalizer = match config.prior {
-                EntityPrior::Uniform => corpus.count_nodes_of_path(acc.result_path).max(1) as f64,
-                EntityPrior::DocLength => corpus.path_doc_len_total(acc.result_path).max(1) as f64,
+                EntityPrior::Uniform => view.count_nodes_of_path(acc.result_path).max(1) as f64,
+                EntityPrior::DocLength => view.path_doc_len_total(acc.result_path).max(1) as f64,
             };
             ScoredCandidate {
                 log_score: acc.log_error_weight + (acc.score_sum / normalizer).ln(),
@@ -488,13 +522,17 @@ fn finalize_candidates(
 /// keywords' merged lists) through the arena-recycled `seen` map, which
 /// this function resets before use.
 fn build_entity_map(
-    corpus: &CorpusIndex,
+    view: &Scoring<'_>,
     occurrences: &[Vec<(TokenId, NodeId, u32)>],
     path: PathId,
     seen: &mut HashMap<(TokenId, NodeId), ()>,
 ) -> BTreeMap<NodeId, HashMap<TokenId, u64>> {
-    let tree = corpus.tree();
-    let depth = tree.paths().depth(path);
+    let tree = view.tree();
+    // `path` is a *global* id; under a shard scope the candidate entity's
+    // local path is compared through `view.node_path`, and the depth comes
+    // from the global table (local depths are preserved by the
+    // partitioner, so the truncation height is the same either way).
+    let depth = view.path_depth(path);
     seen.clear();
     // BTreeMap: entity iteration order must be reproducible (see the
     // module docs on deterministic scoring).
@@ -507,7 +545,7 @@ fn build_entity_map(
             let Some(r) = tree.ancestor_at_depth(node, depth) else {
                 continue;
             };
-            if tree.path(r) != path {
+            if view.node_path(r) != path {
                 continue;
             }
             *map.entry(r).or_default().entry(token).or_insert(0) += u64::from(tf);

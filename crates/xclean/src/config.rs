@@ -21,7 +21,7 @@ pub enum EntityPrior {
 /// Configuration of the XClean suggestion engine. Field defaults follow
 /// the settings the paper reports as best (§VII): β = 5, ε = 2, d = 2,
 /// r = 0.8, γ = 1000, k = 10.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct XCleanConfig {
     /// Maximum edit errors per keyword (ε of `var_ε(q)`).
     pub epsilon: usize,

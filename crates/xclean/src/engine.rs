@@ -97,7 +97,7 @@ impl SuggestResponse {
 /// `suggest_many` worker pool aggregate into one engine-lifetime registry
 /// without serialising on it.
 #[derive(Debug, Clone)]
-struct EngineMetrics {
+pub(crate) struct EngineMetrics {
     queries: Arc<Counter>,
     /// Set until the first query is recorded; that query's total latency
     /// also lands in the `FIRST_QUERY` histogram (cold caches, lazy slab
@@ -121,7 +121,7 @@ struct EngineMetrics {
 }
 
 impl EngineMetrics {
-    fn new(registry: &MetricsRegistry) -> Self {
+    pub(crate) fn new(registry: &MetricsRegistry) -> Self {
         EngineMetrics {
             queries: registry.counter(names::QUERIES),
             first_query_pending: Arc::new(std::sync::atomic::AtomicBool::new(true)),
@@ -143,7 +143,7 @@ impl EngineMetrics {
         }
     }
 
-    fn record_query(&self, stats: &RunStats, total_nanos: u64, suggestions: u64) {
+    pub(crate) fn record_query(&self, stats: &RunStats, total_nanos: u64, suggestions: u64) {
         self.queries.inc();
         if self
             .first_query_pending

@@ -32,25 +32,30 @@
 
 pub mod algorithm;
 pub mod arena;
+pub mod catalog;
 pub mod config;
 pub mod elca;
 pub mod engine;
 pub mod pruning;
 pub mod result_type;
+pub mod sharded;
 pub mod slca;
 pub mod space_edits;
 pub mod variants;
+mod view;
 pub mod walk;
 
 pub use algorithm::{
     run_xclean, run_xclean_in, run_xclean_with, KeywordSlot, RunOutput, RunStats, ScoredCandidate,
 };
 pub use arena::QueryArena;
+pub use catalog::{Catalog, CatalogError, CorpusSpec};
 pub use config::{EntityPrior, XCleanConfig};
 pub use elca::{elca_of_lists, run_elca};
 pub use engine::{Semantics, SuggestResponse, Suggestion, XCleanEngine};
 pub use pruning::{Accumulator, AccumulatorTable, CandidateKey, PruningStats};
 pub use result_type::{find_result_type, ResultType};
+pub use sharded::{ShardedEngine, ShardedEngineError};
 pub use slca::{run_slca, slca_of_lists};
 pub use space_edits::{expand_space_edits, SpaceVariant};
 pub use variants::{Variant, VariantGenerator};

@@ -14,6 +14,8 @@
 use xclean_index::{CorpusIndex, TokenId};
 use xclean_xmltree::PathId;
 
+use crate::view::Scoring;
+
 /// Outcome of result-type inference for a candidate query.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResultType {
@@ -35,24 +37,37 @@ pub fn find_result_type(
     min_depth: u32,
     depth_decay: f64,
 ) -> Option<ResultType> {
+    find_result_type_scoped(&Scoring::unsharded(corpus), tokens, min_depth, depth_decay)
+}
+
+/// [`find_result_type`] over a [`Scoring`] view. Under a shard scope the
+/// `(path, f)` lists and depths are the reconstructed *global* statistics,
+/// so every shard computes the same result type for a candidate as the
+/// unsharded engine — utilities, intersection order and the path-id
+/// tie-break included.
+pub(crate) fn find_result_type_scoped(
+    view: &Scoring<'_>,
+    tokens: &[TokenId],
+    min_depth: u32,
+    depth_decay: f64,
+) -> Option<ResultType> {
     if tokens.is_empty() {
         return None;
     }
-    let stats = corpus.path_stats();
     // Intersect starting from the shortest list to minimise work.
     let mut order: Vec<usize> = (0..tokens.len()).collect();
-    order.sort_unstable_by_key(|&i| stats.paths_of(tokens[i]).len());
-    let base = stats.paths_of(tokens[order[0]]);
+    order.sort_unstable_by_key(|&i| view.paths_of(tokens[i]).len());
+    let base = view.paths_of(tokens[order[0]]);
 
     let mut best: Option<ResultType> = None;
     'paths: for &(path, f0) in base {
-        let depth = corpus.tree().paths().depth(path);
+        let depth = view.path_depth(path);
         if depth < min_depth {
             continue;
         }
         let mut product = f64::from(f0);
         for &i in &order[1..] {
-            let f = stats.f(tokens[i], path);
+            let f = view.f(tokens[i], path);
             if f == 0 {
                 continue 'paths;
             }

@@ -1,0 +1,1041 @@
+//! Scatter-gather suggestion serving over a sharded corpus.
+//!
+//! [`ShardedEngine`] answers the same queries as [`crate::XCleanEngine`],
+//! bit for bit, while holding the corpus as N shard snapshots produced by
+//! [`xclean_index::partition_corpus`]. Each query *scatters* — every shard
+//! runs the Algorithm 1 walk over its own tree and postings — and
+//! *gathers*: the per-shard score contributions are replayed, in shard
+//! order, into one global accumulator table, then ranked exactly as the
+//! unsharded engine ranks.
+//!
+//! # Why the merge is exact (DESIGN.md §16)
+//!
+//! Three facts compose into the bit-identity guarantee:
+//!
+//! 1. **Shards are contiguous document-order spans of entities.** With
+//!    `min_depth ≥ 2` every gating subtree lies wholly inside one root
+//!    child, hence inside exactly one shard, and the unsharded walk's
+//!    sequence of qualifying subtrees is the concatenation of the
+//!    per-shard sequences (the partitioner preserves preorder and depth).
+//! 2. **Every shard scores with global statistics.** The scatter phase
+//!    runs through a [`crate::view::Scoring`] scope that substitutes the
+//!    reconstructed [`GlobalStats`] — global token/path ids, summed
+//!    `cf`/`df`/`f_w^p`, whole-collection normalisers — so each
+//!    per-entity `P(w|D(r))` product is computed from exactly the
+//!    integers the unsharded corpus holds, in exactly the same order.
+//! 3. **Contribution replay reproduces the sequential table.** A shard
+//!    walk does not score into a table; it records the *arguments* of
+//!    each would-be [`AccumulatorTable::add_weighted`] call (a write-only
+//!    stream: the emitted contributions never depend on table state).
+//!    Replaying the logs in shard-id order therefore feeds the single
+//!    global table the same insertion sequence as the sequential
+//!    unsharded run — including every γ-eviction and rejection decision —
+//!    whatever the number of scatter threads.
+//!
+//! Per-shard scatter always runs with one candidate partition
+//! (`part = 0, parts = 1`); parallelism is across shards only. That keeps
+//! fact 3 unconditional: the log *is* the sequential contribution stream.
+//!
+//! Walk-effort counters (`subtrees`, posting I/O) are summed over shard
+//! walks and legitimately differ from the unsharded engine's (each shard
+//! runs its own anchor dynamics); the scoring counters
+//! (`candidates_enumerated`, `entities_scored`) sum exactly.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use xclean_index::{CorpusIndex, PostingList, StorageError, TokenId, Vocabulary};
+use xclean_telemetry::Telemetry;
+use xclean_xmltree::{PathId, Tokenizer};
+
+use crate::algorithm::{
+    accumulate_scoped, finalize_candidates, nanos_since, KeywordSlot, RunStats,
+};
+use crate::arena::QueryArena;
+use crate::config::XCleanConfig;
+use crate::engine::{EngineMetrics, SuggestResponse, Suggestion};
+use crate::pruning::{AccumulatorTable, CandidateKey, ScoreSink};
+use crate::variants::VariantGenerator;
+use crate::view::{GlobalStats, Scoring, ShardScope};
+
+/// Why a shard set could not be assembled into an engine.
+#[derive(Debug)]
+pub enum ShardedEngineError {
+    /// The shard list was empty.
+    NoShards,
+    /// A corpus in the list carries no shard metadata (not a shard).
+    MissingMeta {
+        /// Position in the input list.
+        index: usize,
+    },
+    /// The shards do not form one complete set (duplicate/missing ids,
+    /// mixed seeds or parent fingerprints, inconsistent global sizes).
+    MetaMismatch(String),
+    /// Shards were built with different tokenisation policies.
+    TokenizerMismatch,
+    /// `min_depth` below 2 would let gating subtrees span shards,
+    /// breaking the exact-merge contract.
+    MinDepthTooShallow(u32),
+    /// Global statistics reconstruction found a hole (a global token or
+    /// path covered by no shard) — the set is corrupt or incomplete.
+    Coverage(String),
+    /// A shard snapshot failed to open.
+    Snapshot {
+        /// The offending file.
+        path: String,
+        /// The underlying storage error.
+        source: StorageError,
+    },
+}
+
+impl std::fmt::Display for ShardedEngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardedEngineError::NoShards => write!(f, "no shards provided"),
+            ShardedEngineError::MissingMeta { index } => {
+                write!(f, "corpus at position {index} carries no shard metadata")
+            }
+            ShardedEngineError::MetaMismatch(m) => write!(f, "inconsistent shard set: {m}"),
+            ShardedEngineError::TokenizerMismatch => {
+                write!(f, "shards disagree on the tokenisation policy")
+            }
+            ShardedEngineError::MinDepthTooShallow(d) => write!(
+                f,
+                "sharded serving requires min_depth >= 2 (got {d}): depth-{d} gating \
+                 subtrees could span shard boundaries"
+            ),
+            ShardedEngineError::Coverage(m) => {
+                write!(f, "global statistics reconstruction incomplete: {m}")
+            }
+            ShardedEngineError::Snapshot { path, source } => {
+                write!(f, "cannot open shard snapshot {path}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardedEngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardedEngineError::Snapshot { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// One shard plus its id-translation scaffolding.
+#[derive(Debug)]
+struct ShardHandle {
+    corpus: Arc<CorpusIndex>,
+    /// Global token id → this shard's local token id.
+    to_local_token: HashMap<TokenId, TokenId>,
+    /// This shard's local path id → global path id.
+    local_to_global_path: Vec<PathId>,
+}
+
+impl ShardHandle {
+    fn scope<'a>(&'a self, global: &'a GlobalStats, empty: &'a PostingList) -> ShardScope<'a> {
+        ShardScope {
+            to_local_token: &self.to_local_token,
+            local_to_global_path: &self.local_to_global_path,
+            global,
+            empty,
+        }
+    }
+}
+
+/// The recorded argument stream of one shard's would-be
+/// [`AccumulatorTable::add_weighted`] calls. Per-candidate metadata
+/// (error weight, distances, result path) is identical across a
+/// candidate's contributions, so it is interned once; the entry stream
+/// keeps only `(candidate, weighted score, weight)` per entity.
+#[derive(Debug, Default)]
+struct ContributionLog {
+    metas: Vec<(CandidateKey, f64, Vec<u32>, PathId)>,
+    index: HashMap<CandidateKey, u32>,
+    entries: Vec<(u32, f64, f64)>,
+}
+
+impl ContributionLog {
+    /// Feeds the log into `table` in recorded (document) order —
+    /// arguments byte-for-byte as the walk emitted them.
+    fn replay(&self, table: &mut AccumulatorTable) {
+        for &(meta, weighted, weight) in &self.entries {
+            let (key, log_w, distances, path) = &self.metas[meta as usize];
+            table.add_weighted(key, weighted, weight, *log_w, distances, *path);
+        }
+    }
+}
+
+impl ScoreSink for ContributionLog {
+    fn accumulate(
+        &mut self,
+        key: &CandidateKey,
+        weighted: f64,
+        weight: f64,
+        log_error_weight: f64,
+        distances: &[u32],
+        result_path: PathId,
+    ) {
+        let meta = match self.index.get(key) {
+            Some(&i) => i,
+            None => {
+                let i = self.metas.len() as u32;
+                self.index.insert(key.clone(), i);
+                self.metas.push((
+                    key.clone(),
+                    log_error_weight,
+                    distances.to_vec(),
+                    result_path,
+                ));
+                i
+            }
+        };
+        self.entries.push((meta, weighted, weight));
+    }
+}
+
+/// Scatter-gather XClean engine over a shard set (node-type semantics).
+///
+/// Built from in-memory shard corpora ([`ShardedEngine::from_shards`]) or
+/// straight from snapshot files ([`ShardedEngine::load_snapshots`]).
+/// Responses are bit-identical to an [`crate::XCleanEngine`] over the
+/// unsharded parent corpus, for every shard count and thread count (see
+/// the module docs).
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shards: Vec<ShardHandle>,
+    global: GlobalStats,
+    empty: PostingList,
+    variants: Arc<VariantGenerator>,
+    config: XCleanConfig,
+    telemetry: Telemetry,
+    metric_handles: EngineMetrics,
+    shard_count: u32,
+    seed: u64,
+    parent_fingerprint: u64,
+}
+
+impl ShardedEngine {
+    /// Assembles an engine from one complete shard set. Validates the set
+    /// (complete ids, one parent, one tokenizer), reconstructs the global
+    /// statistics by exact integer summation, and builds the variant
+    /// index over the global vocabulary.
+    pub fn from_shards(
+        shards: Vec<CorpusIndex>,
+        config: XCleanConfig,
+    ) -> Result<Self, ShardedEngineError> {
+        config.validate();
+        if config.min_depth < 2 {
+            return Err(ShardedEngineError::MinDepthTooShallow(config.min_depth));
+        }
+        if shards.is_empty() {
+            return Err(ShardedEngineError::NoShards);
+        }
+        for (i, s) in shards.iter().enumerate() {
+            if s.shard_meta().is_none() {
+                return Err(ShardedEngineError::MissingMeta { index: i });
+            }
+        }
+        let mut shards = shards;
+        shards.sort_by_key(|s| s.shard_meta().expect("checked above").shard_id);
+
+        let first = shards[0].shard_meta().expect("checked above").clone();
+        if first.shard_count as usize != shards.len() {
+            return Err(ShardedEngineError::MetaMismatch(format!(
+                "set declares {} shards but {} were provided",
+                first.shard_count,
+                shards.len()
+            )));
+        }
+        for (i, s) in shards.iter().enumerate() {
+            let m = s.shard_meta().expect("checked above");
+            if m.shard_id as usize != i {
+                return Err(ShardedEngineError::MetaMismatch(format!(
+                    "shard ids are not exactly 0..{} (found duplicate or gap at id {})",
+                    shards.len(),
+                    m.shard_id
+                )));
+            }
+            if m.shard_count != first.shard_count
+                || m.seed != first.seed
+                || m.parent_fingerprint != first.parent_fingerprint
+                || m.global_vocab_len != first.global_vocab_len
+                || m.global_path_len != first.global_path_len
+            {
+                return Err(ShardedEngineError::MetaMismatch(format!(
+                    "shard {} does not belong to the same set as shard 0 \
+                     (seed/fingerprint/global sizes differ)",
+                    m.shard_id
+                )));
+            }
+            if s.tokenizer().config() != shards[0].tokenizer().config() {
+                return Err(ShardedEngineError::TokenizerMismatch);
+            }
+            if m.token_map.len() != s.vocab().len() {
+                return Err(ShardedEngineError::MetaMismatch(format!(
+                    "shard {}: token map covers {} of {} local tokens",
+                    m.shard_id,
+                    m.token_map.len(),
+                    s.vocab().len()
+                )));
+            }
+            if m.path_map.len() != s.tree().paths().len() {
+                return Err(ShardedEngineError::MetaMismatch(format!(
+                    "shard {}: path map covers {} of {} local paths",
+                    m.shard_id,
+                    m.path_map.len(),
+                    s.tree().paths().len()
+                )));
+            }
+        }
+
+        let global = reconstruct_global_stats(&shards, &first)?;
+
+        let handles: Vec<ShardHandle> = shards
+            .into_iter()
+            .map(|s| {
+                let meta = s.shard_meta().expect("checked above");
+                let to_local_token = meta
+                    .token_map
+                    .iter()
+                    .enumerate()
+                    .map(|(local, &g)| (TokenId(g), TokenId(local as u32)))
+                    .collect();
+                let local_to_global_path = meta.path_map.iter().map(|&g| PathId(g)).collect();
+                ShardHandle {
+                    corpus: Arc::new(s),
+                    to_local_token,
+                    local_to_global_path,
+                }
+            })
+            .collect();
+
+        let mut variants = VariantGenerator::build_from_vocab(
+            &global.vocab,
+            config.epsilon,
+            config.partition_threshold,
+        );
+        if config.phonetic_distance.is_some() {
+            variants = variants.with_phonetic_vocab(&global.vocab);
+        }
+        let telemetry = Telemetry::disabled();
+        let metric_handles = EngineMetrics::new(telemetry.metrics());
+        Ok(ShardedEngine {
+            shards: handles,
+            global,
+            empty: PostingList::new(),
+            variants: Arc::new(variants),
+            config,
+            telemetry,
+            metric_handles,
+            shard_count: first.shard_count,
+            seed: first.seed,
+            parent_fingerprint: first.parent_fingerprint,
+        })
+    }
+
+    /// Opens every snapshot path as a v2 slab and assembles the set.
+    /// A shard that fails to open reports its own path.
+    pub fn load_snapshots<P: AsRef<Path>>(
+        paths: &[P],
+        config: XCleanConfig,
+    ) -> Result<Self, ShardedEngineError> {
+        let options = xclean_index::OpenOptions::default();
+        let mut shards = Vec::with_capacity(paths.len());
+        for p in paths {
+            let p = p.as_ref();
+            let (corpus, _report) = xclean_index::storage::open_file(p, &options).map_err(|e| {
+                ShardedEngineError::Snapshot {
+                    path: p.display().to_string(),
+                    source: e,
+                }
+            })?;
+            shards.push(corpus);
+        }
+        Self::from_shards(shards, config)
+    }
+
+    /// Attaches a telemetry bundle (mirrors
+    /// [`crate::XCleanEngine::with_telemetry`]).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.metric_handles = EngineMetrics::new(telemetry.metrics());
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The engine's telemetry bundle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The engine-lifetime metrics registry.
+    pub fn metrics(&self) -> &xclean_telemetry::MetricsRegistry {
+        self.telemetry.metrics()
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &XCleanConfig {
+        &self.config
+    }
+
+    /// Number of shards in the set.
+    pub fn shard_count(&self) -> u32 {
+        self.shard_count
+    }
+
+    /// The partitioner seed the set was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Fingerprint of the parent corpus + partitioning parameters shared
+    /// by every shard.
+    pub fn parent_fingerprint(&self) -> u64 {
+        self.parent_fingerprint
+    }
+
+    /// The reconstructed global vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.global.vocab
+    }
+
+    /// Display form (`/a/b/c`) of a global path id, for serving layers.
+    pub fn path_display(&self, path: PathId) -> Option<&str> {
+        self.global
+            .path_display
+            .get(path.0 as usize)
+            .map(String::as_str)
+    }
+
+    /// A fingerprint of everything that determines this engine's
+    /// responses (the sharded analogue of
+    /// [`crate::XCleanEngine::fingerprint`]): scoring configuration, the
+    /// shard-set identity, and each shard snapshot's provenance. Because
+    /// responses are bit-identical across shard *counts*, two engines
+    /// over different shardings of one corpus still get distinct
+    /// fingerprints — the cache key is deliberately conservative.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = self.config.fingerprint();
+        let mix = |h: &mut u64, v: u64| {
+            for b in v.to_le_bytes() {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(&mut h, u64::from(self.shard_count));
+        mix(&mut h, self.seed);
+        mix(&mut h, self.parent_fingerprint);
+        mix(&mut h, self.global.vocab.len() as u64);
+        mix(&mut h, self.global.vocab.total_tokens());
+        for s in &self.shards {
+            mix(&mut h, s.corpus.tree().len() as u64);
+            if let Some(p) = s.corpus.provenance() {
+                mix(&mut h, u64::from(p.format_version));
+                mix(&mut h, p.checksum);
+            }
+        }
+        h
+    }
+
+    /// Splits a raw query string into keywords (same permissive policy as
+    /// the unsharded engine).
+    pub fn parse_query(&self, query: &str) -> Vec<String> {
+        Tokenizer::permissive().tokenize(query)
+    }
+
+    /// Suggests up to `config.k` alternative queries for `query`.
+    pub fn suggest(&self, query: &str) -> SuggestResponse {
+        let keywords = self.parse_query(query);
+        self.suggest_keywords(&keywords)
+    }
+
+    /// Suggests for an already-tokenised query.
+    pub fn suggest_keywords(&self, keywords: &[String]) -> SuggestResponse {
+        self.suggest_keywords_with(keywords, &self.config)
+    }
+
+    /// Suggests with a per-call configuration override (same contract as
+    /// [`crate::XCleanEngine::suggest_keywords_with`]; `min_depth` must
+    /// stay ≥ 2 on a sharded engine).
+    pub fn suggest_keywords_with(
+        &self,
+        keywords: &[String],
+        config: &XCleanConfig,
+    ) -> SuggestResponse {
+        config.validate();
+        assert!(
+            config.min_depth >= 2,
+            "sharded serving requires min_depth >= 2 (got {})",
+            config.min_depth
+        );
+        let start = Instant::now();
+        let tracer = self.telemetry.tracer();
+        let _query_span = tracer.span_with("suggest_sharded", || keywords.join(" "));
+        let slots: Vec<KeywordSlot> = {
+            let _slot_span = tracer.span("slot_build");
+            keywords
+                .iter()
+                .map(|k| KeywordSlot {
+                    keyword: k.clone(),
+                    variants: match config.phonetic_distance {
+                        Some(d) => self.variants.variants_with_phonetic(k, d),
+                        None => self.variants.variants_within(k, config.epsilon),
+                    },
+                })
+                .collect()
+        };
+        let slot_nanos = nanos_since(start);
+
+        // Scatter: every shard walks its own tree and records its
+        // contribution stream (sequential candidate scoring per shard —
+        // see the module docs on why `parts = 1` is load-bearing).
+        let walk_start = Instant::now();
+        let empty_query = slots.is_empty() || slots.iter().any(|s| s.variants.is_empty());
+        let nshards = self.shards.len();
+        let mut shard_results: Vec<Option<(ContributionLog, RunStats)>> = Vec::new();
+        shard_results.resize_with(nshards, || None);
+        if !empty_query {
+            let scatter_threads = config.num_threads.min(nshards).max(1);
+            let parent_span = tracer.current_span_id();
+            if scatter_threads <= 1 {
+                for (i, out) in shard_results.iter_mut().enumerate() {
+                    *out = Some(self.scatter_one(i, &slots, config));
+                }
+            } else {
+                std::thread::scope(|scope| {
+                    for (t, chunk) in shard_results
+                        .chunks_mut(nshards.div_ceil(scatter_threads))
+                        .enumerate()
+                    {
+                        let slots = &slots;
+                        let base = t * nshards.div_ceil(scatter_threads);
+                        scope.spawn(move || {
+                            let _span =
+                                tracer.span_under_with("scatter_worker", parent_span, || {
+                                    format!("shards {}..{}", base, base + chunk.len())
+                                });
+                            for (off, out) in chunk.iter_mut().enumerate() {
+                                *out = Some(self.scatter_one(base + off, slots, config));
+                            }
+                        });
+                    }
+                });
+            }
+        }
+
+        // Gather: replay every shard's log, in shard-id order, into one
+        // global table — the exact sequential insertion sequence.
+        let mut stats = RunStats::default();
+        let mut table = AccumulatorTable::new(config.gamma);
+        let mut walk_nanos_max = 0u64;
+        for result in shard_results.into_iter().flatten() {
+            let (log, shard_stats) = result;
+            log.replay(&mut table);
+            stats.subtrees += shard_stats.subtrees;
+            stats.candidates_enumerated += shard_stats.candidates_enumerated;
+            stats.result_type_computations += shard_stats.result_type_computations;
+            stats.entities_scored += shard_stats.entities_scored;
+            stats.access += shard_stats.access;
+            walk_nanos_max = walk_nanos_max.max(shard_stats.walk_nanos);
+        }
+        stats.pruning = table.stats();
+        stats.score_partitions = nshards as u64;
+        stats.slot_nanos = slot_nanos;
+        stats.walk_nanos = nanos_since(walk_start);
+
+        let rank_start = Instant::now();
+        let entries = table.into_entries();
+        let candidates = {
+            let _span = tracer.span("rank");
+            // Any shard's corpus works as the view backbone here: the
+            // rank-phase normalisers all come from the global tables.
+            let scope = self.shards[0].scope(&self.global, &self.empty);
+            finalize_candidates(
+                &Scoring::sharded(&self.shards[0].corpus, scope),
+                config,
+                entries,
+            )
+        };
+        stats.rank_nanos = nanos_since(rank_start);
+
+        let suggestions: Vec<Suggestion> = candidates
+            .into_iter()
+            .take(config.k)
+            .map(|c| Suggestion {
+                terms: c
+                    .tokens
+                    .iter()
+                    .map(|&t| self.global.vocab.term(t).to_string())
+                    .collect(),
+                tokens: c.tokens,
+                log_score: c.log_score,
+                distances: c.distances,
+                result_path: (c.result_path != PathId::INVALID).then_some(c.result_path),
+                entity_count: c.entity_count,
+            })
+            .collect();
+        let elapsed = start.elapsed();
+        self.metric_handles.record_query(
+            &stats,
+            (elapsed.as_nanos() as u64).max(1),
+            suggestions.len() as u64,
+        );
+        SuggestResponse {
+            suggestions,
+            elapsed,
+            stats,
+        }
+    }
+
+    /// Runs the scatter phase for one shard: a full Algorithm 1 walk over
+    /// the shard's tree under the global-statistics scope, sinking into a
+    /// fresh [`ContributionLog`].
+    fn scatter_one(
+        &self,
+        shard: usize,
+        slots: &[KeywordSlot],
+        config: &XCleanConfig,
+    ) -> (ContributionLog, RunStats) {
+        let walk_start = Instant::now();
+        let handle = &self.shards[shard];
+        let scope = handle.scope(&self.global, &self.empty);
+        let view = Scoring::sharded(&handle.corpus, scope);
+        let mut log = ContributionLog::default();
+        let mut stats = RunStats::default();
+        let mut arena = QueryArena::new();
+        accumulate_scoped(&view, slots, config, 0, 1, &mut stats, &mut arena, &mut log);
+        stats.walk_nanos = nanos_since(walk_start);
+        (log, stats)
+    }
+
+    /// Answers a whole workload, one [`SuggestResponse`] per query in
+    /// input order. Queries run with full intra-query shard parallelism
+    /// one after another — sharded scatter already saturates the
+    /// configured thread budget, so query-level pooling would
+    /// oversubscribe it.
+    pub fn suggest_many(&self, queries: &[&str]) -> Vec<SuggestResponse> {
+        queries.iter().map(|q| self.suggest(q)).collect()
+    }
+
+    /// [`Self::suggest_many`] over already-tokenised queries — the batch
+    /// entry point the serving layer uses after cache-splitting a POST
+    /// body.
+    pub fn suggest_many_keywords(&self, queries: &[Vec<String>]) -> Vec<SuggestResponse> {
+        queries.iter().map(|q| self.suggest_keywords(q)).collect()
+    }
+}
+
+/// Rebuilds whole-collection statistics by exact integer summation over a
+/// validated shard set (see the module docs: integer sums → every derived
+/// `f64` is computed from the same integers as the unsharded corpus).
+fn reconstruct_global_stats(
+    shards: &[CorpusIndex],
+    first: &xclean_index::ShardMeta,
+) -> Result<GlobalStats, ShardedEngineError> {
+    let vocab_len = first.global_vocab_len as usize;
+    let path_len = first.global_path_len as usize;
+
+    // Vocabulary: terms via the token maps (cross-checked between
+    // shards), cf/df summed. Every global term occurs in ≥ 1 shard
+    // because all indexed text lives at depth ≥ 2.
+    let mut terms: Vec<Option<String>> = vec![None; vocab_len];
+    let mut cf = vec![0u64; vocab_len];
+    let mut df = vec![0u64; vocab_len];
+    // Per-path tables; the root path needs clamping below.
+    let mut path_depths = vec![u32::MAX; path_len];
+    let mut path_display: Vec<Option<String>> = vec![None; path_len];
+    let mut node_counts = vec![0u64; path_len];
+    let mut doc_len_totals = vec![0u64; path_len];
+    // f_w^p accumulation keyed (global token, global path).
+    let mut paths_of: Vec<HashMap<PathId, u64>> = vec![HashMap::new(); vocab_len];
+
+    let mut root_gpath: Option<PathId> = None;
+    for s in shards {
+        let meta = s.shard_meta().expect("validated by from_shards");
+        for local in 0..s.vocab().len() as u32 {
+            let g = meta.token_map[local as usize] as usize;
+            if g >= vocab_len {
+                return Err(ShardedEngineError::Coverage(format!(
+                    "shard {} maps local token {local} to out-of-range global id {g}",
+                    meta.shard_id
+                )));
+            }
+            let term = s.vocab().term(TokenId(local));
+            match &terms[g] {
+                None => terms[g] = Some(term.to_string()),
+                Some(t) if t == term => {}
+                Some(t) => {
+                    return Err(ShardedEngineError::Coverage(format!(
+                        "global token {g} is {t:?} in one shard but {term:?} in shard {}",
+                        meta.shard_id
+                    )))
+                }
+            }
+            cf[g] += s.vocab().cf(TokenId(local));
+            df[g] += s.vocab().df(TokenId(local));
+            for &(local_path, f) in s.path_stats().paths_of(TokenId(local)) {
+                let gp = PathId(meta.path_map[local_path.0 as usize]);
+                *paths_of[g].entry(gp).or_insert(0) += u64::from(f);
+            }
+        }
+        let tree = s.tree();
+        let shard_root_gpath = PathId(meta.path_map[tree.path(tree.root()).0 as usize]);
+        match root_gpath {
+            None => root_gpath = Some(shard_root_gpath),
+            Some(r) if r == shard_root_gpath => {}
+            Some(r) => {
+                return Err(ShardedEngineError::Coverage(format!(
+                    "shards disagree on the root path (global id {} vs {})",
+                    r.0, shard_root_gpath.0
+                )))
+            }
+        }
+        for local in 0..tree.paths().len() as u32 {
+            let g = meta.path_map[local as usize] as usize;
+            if g >= path_len {
+                return Err(ShardedEngineError::Coverage(format!(
+                    "shard {} maps local path {local} to out-of-range global id {g}",
+                    meta.shard_id
+                )));
+            }
+            let lp = PathId(local);
+            let depth = tree.paths().depth(lp);
+            if path_depths[g] == u32::MAX {
+                path_depths[g] = depth;
+                path_display[g] = Some(tree.paths().display(lp, tree.labels()));
+            } else if path_depths[g] != depth {
+                return Err(ShardedEngineError::Coverage(format!(
+                    "global path {g} has depth {} in one shard but {depth} in shard {}",
+                    path_depths[g], meta.shard_id
+                )));
+            }
+            node_counts[g] += s.count_nodes_of_path(lp) as u64;
+            // Doc-length totals sum exactly even for the root path: each
+            // shard root's virtual document is the shard's token total,
+            // and those sum to the parent corpus's total.
+            doc_len_totals[g] += s.path_doc_len_total(lp);
+        }
+    }
+
+    let root_gpath = root_gpath.expect("at least one shard");
+    // The parent corpus has exactly one root node; every shard
+    // contributed its replicated copy.
+    node_counts[root_gpath.0 as usize] = 1;
+
+    let terms: Vec<String> = terms
+        .into_iter()
+        .enumerate()
+        .map(|(g, t)| {
+            t.ok_or_else(|| {
+                ShardedEngineError::Coverage(format!("global token {g} occurs in no shard"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    for (g, &d) in path_depths.iter().enumerate() {
+        if d == u32::MAX {
+            return Err(ShardedEngineError::Coverage(format!(
+                "global path {g} occurs in no shard"
+            )));
+        }
+    }
+
+    let paths_of: Vec<Vec<(PathId, u32)>> = paths_of
+        .into_iter()
+        .map(|m| {
+            let mut list: Vec<(PathId, u32)> = m
+                .into_iter()
+                .map(|(p, f)| {
+                    // f_w^root is the count of root nodes containing w: 1
+                    // in the parent corpus, but each shard root counts
+                    // itself — clamp the sum back. Non-root paths hold
+                    // disjoint node sets across shards, so their sums are
+                    // the exact parent values (which fit u32).
+                    let f = if p == root_gpath { 1 } else { f };
+                    (p, f as u32)
+                })
+                .collect();
+            list.sort_unstable_by_key(|&(p, _)| p);
+            list
+        })
+        .collect();
+
+    Ok(GlobalStats {
+        vocab: Vocabulary::from_parts(terms, cf, df),
+        paths_of,
+        path_depths,
+        path_display: path_display
+            .into_iter()
+            .map(|d| d.expect("coverage checked above"))
+            .collect(),
+        path_node_counts: node_counts
+            .iter()
+            .map(|&c| u32::try_from(c).unwrap_or(u32::MAX))
+            .collect(),
+        path_doc_len_totals: doc_len_totals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::XCleanEngine;
+    use xclean_index::partition_corpus;
+    use xclean_xmltree::parse_document;
+
+    fn corpus() -> CorpusIndex {
+        let xml = "<dblp>\
+            <article><author>hinrich schutze</author><title>geo tagging entities</title></article>\
+            <article><author>jones</author><title>health insurance markets</title></article>\
+            <article><author>smith</author><title>program instance analysis</title></article>\
+            <article><author>smith</author><title>health policy</title></article>\
+            <article><author>brown</author><title>insurance analysis policy</title></article>\
+            <article><author>schutze</author><title>geo entities health</title></article>\
+        </dblp>";
+        CorpusIndex::build(parse_document(xml).unwrap())
+    }
+
+    fn assert_same(a: &SuggestResponse, b: &SuggestResponse) {
+        assert_eq!(a.suggestions.len(), b.suggestions.len());
+        for (x, y) in a.suggestions.iter().zip(b.suggestions.iter()) {
+            assert_eq!(x.terms, y.terms);
+            assert_eq!(x.log_score.to_bits(), y.log_score.to_bits());
+            assert_eq!(x.distances, y.distances);
+            assert_eq!(x.entity_count, y.entity_count);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_bit_for_bit() {
+        let parent = corpus();
+        let queries = [
+            "helth insurance",
+            "health insurrance",
+            "geo taging",
+            "smith",
+            "entities",
+            "qqqq zzzz",
+        ];
+        let config = XCleanConfig {
+            epsilon: 2,
+            ..Default::default()
+        };
+        let baseline = XCleanEngine::from_corpus(corpus(), config.clone());
+        for nshards in [1usize, 2, 3, 6] {
+            for threads in [1usize, 2, 8] {
+                let shards = partition_corpus(&parent, nshards, 7).unwrap();
+                let cfg = XCleanConfig {
+                    num_threads: threads,
+                    ..config.clone()
+                };
+                let engine = ShardedEngine::from_shards(shards, cfg).unwrap();
+                for q in queries {
+                    let a = baseline.suggest(q);
+                    let b = engine.suggest(q);
+                    assert_same(&a, &b);
+                    // Scoring-effort counters sum exactly across shards.
+                    assert_eq!(
+                        a.stats.candidates_enumerated, b.stats.candidates_enumerated,
+                        "q={q} nshards={nshards} threads={threads}"
+                    );
+                    assert_eq!(a.stats.entities_scored, b.stats.entities_scored);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binding_gamma_merges_identically() {
+        // γ=1 forces evictions; the replay merge must reproduce the
+        // sequential table's decisions exactly.
+        let parent = corpus();
+        let config = XCleanConfig {
+            epsilon: 2,
+            gamma: Some(1),
+            ..Default::default()
+        };
+        let baseline = XCleanEngine::from_corpus(corpus(), config.clone());
+        for nshards in [2usize, 3] {
+            let shards = partition_corpus(&parent, nshards, 0).unwrap();
+            let engine = ShardedEngine::from_shards(shards, config.clone()).unwrap();
+            for q in ["helth insurance", "health insurrance"] {
+                let a = baseline.suggest(q);
+                let b = engine.suggest(q);
+                assert_same(&a, &b);
+                assert_eq!(a.stats.pruning, b.stats.pruning, "q={q} nshards={nshards}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_incomplete_and_mixed_sets() {
+        let parent = corpus();
+        let mut shards = partition_corpus(&parent, 3, 7).unwrap();
+        shards.remove(1);
+        assert!(matches!(
+            ShardedEngine::from_shards(shards, XCleanConfig::default()),
+            Err(ShardedEngineError::MetaMismatch(_))
+        ));
+        // Mixed seeds → different parent fingerprints.
+        let mut mixed = partition_corpus(&parent, 2, 7).unwrap();
+        mixed[1] = partition_corpus(&parent, 2, 8).unwrap().remove(1);
+        assert!(matches!(
+            ShardedEngine::from_shards(mixed, XCleanConfig::default()),
+            Err(ShardedEngineError::MetaMismatch(_))
+        ));
+        // A plain corpus is not a shard.
+        assert!(matches!(
+            ShardedEngine::from_shards(vec![corpus()], XCleanConfig::default()),
+            Err(ShardedEngineError::MissingMeta { index: 0 })
+        ));
+        assert!(matches!(
+            ShardedEngine::from_shards(Vec::new(), XCleanConfig::default()),
+            Err(ShardedEngineError::NoShards)
+        ));
+    }
+
+    #[test]
+    fn rejects_shallow_min_depth() {
+        let parent = corpus();
+        let shards = partition_corpus(&parent, 2, 7).unwrap();
+        let config = XCleanConfig {
+            min_depth: 1,
+            ..Default::default()
+        };
+        assert!(matches!(
+            ShardedEngine::from_shards(shards, config),
+            Err(ShardedEngineError::MinDepthTooShallow(1))
+        ));
+    }
+
+    #[test]
+    fn global_stats_match_parent_corpus() {
+        let parent = corpus();
+        let shards = partition_corpus(&parent, 3, 7).unwrap();
+        let engine = ShardedEngine::from_shards(shards, XCleanConfig::default()).unwrap();
+        assert_eq!(engine.vocab().len(), parent.vocab().len());
+        assert_eq!(engine.vocab().total_tokens(), parent.vocab().total_tokens());
+        for t in 0..parent.vocab().len() as u32 {
+            let t = TokenId(t);
+            assert_eq!(engine.vocab().term(t), parent.vocab().term(t));
+            assert_eq!(engine.vocab().cf(t), parent.vocab().cf(t));
+            assert_eq!(engine.vocab().df(t), parent.vocab().df(t));
+            // f_w^p lists match the parent's exactly, root included.
+            assert_eq!(
+                engine.global.paths_of[t.index()],
+                parent.path_stats().paths_of(t),
+                "token {t:?}"
+            );
+        }
+        for p in 0..parent.tree().paths().len() as u32 {
+            let p = PathId(p);
+            assert_eq!(
+                engine.global.path_node_counts[p.0 as usize] as usize,
+                parent.count_nodes_of_path(p)
+            );
+            assert_eq!(
+                engine.global.path_doc_len_totals[p.0 as usize],
+                parent.path_doc_len_total(p)
+            );
+            assert_eq!(
+                engine.global.path_depths[p.0 as usize],
+                parent.tree().paths().depth(p)
+            );
+            assert_eq!(
+                engine.path_display(p).unwrap(),
+                parent.tree().paths().display(p, parent.tree().labels())
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_serves_identically() {
+        let parent = corpus();
+        let shards = partition_corpus(&parent, 2, 7).unwrap();
+        let dir = std::env::temp_dir().join(format!("xclean-sharded-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut paths = Vec::new();
+        for (i, s) in shards.iter().enumerate() {
+            let p = dir.join(format!("shard-{i}.xci"));
+            xclean_index::storage::save_to_file_v2(s, &p).unwrap();
+            paths.push(p);
+        }
+        let config = XCleanConfig {
+            epsilon: 2,
+            ..Default::default()
+        };
+        let from_mem = ShardedEngine::from_shards(shards, config.clone()).unwrap();
+        let from_disk = ShardedEngine::load_snapshots(&paths, config).unwrap();
+        assert_same(
+            &from_mem.suggest("helth insurance"),
+            &from_disk.suggest("helth insurance"),
+        );
+        // Missing file errors name the offending path.
+        let missing = dir.join("shard-9.xci");
+        let err = ShardedEngine::load_snapshots(
+            &[paths[0].clone(), missing.clone()],
+            XCleanConfig::default(),
+        )
+        .unwrap_err();
+        match err {
+            ShardedEngineError::Snapshot { path, .. } => {
+                assert!(path.contains("shard-9.xci"), "{path}");
+            }
+            other => panic!("expected Snapshot error, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_separates_shardings_and_configs() {
+        let parent = corpus();
+        let three = partition_corpus(&parent, 3, 7).unwrap();
+        let e2 = ShardedEngine::from_shards(
+            partition_corpus(&parent, 2, 7).unwrap(),
+            XCleanConfig::default(),
+        )
+        .unwrap();
+        let e3 = ShardedEngine::from_shards(three, XCleanConfig::default()).unwrap();
+        assert_ne!(e2.fingerprint(), e3.fingerprint());
+        let beta = ShardedEngine::from_shards(
+            partition_corpus(&parent, 2, 7).unwrap(),
+            XCleanConfig {
+                beta: 4.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(e2.fingerprint(), beta.fingerprint());
+        assert_eq!(e2.fingerprint(), {
+            let again = ShardedEngine::from_shards(
+                partition_corpus(&parent, 2, 7).unwrap(),
+                XCleanConfig::default(),
+            )
+            .unwrap();
+            again.fingerprint()
+        });
+    }
+
+    #[test]
+    fn suggest_many_matches_loop() {
+        let parent = corpus();
+        let shards = partition_corpus(&parent, 2, 7).unwrap();
+        let engine = ShardedEngine::from_shards(
+            shards,
+            XCleanConfig {
+                epsilon: 2,
+                num_threads: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let queries = ["helth insurance", "smith", "qqqq"];
+        let many = engine.suggest_many(&queries);
+        assert_eq!(many.len(), queries.len());
+        for (q, r) in queries.iter().zip(&many) {
+            assert_same(&engine.suggest(q), r);
+        }
+    }
+}

@@ -12,6 +12,7 @@ use xclean_xmltree::NodeId;
 use crate::algorithm::{KeywordSlot, RunStats};
 use crate::config::XCleanConfig;
 use crate::pruning::CandidateKey;
+use crate::view::Scoring;
 
 /// Occurrences collected for one gating subtree: per keyword slot, the
 /// `(token, node, tf)` triples in document order.
@@ -52,21 +53,41 @@ pub fn walk_gated_subtrees_in(
     stats: &mut RunStats,
     occurrences: &mut SlotOccurrences,
     slot_tokens: &mut Vec<Vec<TokenId>>,
+    on_subtree: impl FnMut(NodeId, &SlotOccurrences, &[Vec<TokenId>]),
+) {
+    walk_gated_subtrees_scoped(
+        &Scoring::unsharded(corpus),
+        slots,
+        config,
+        stats,
+        occurrences,
+        slot_tokens,
+        on_subtree,
+    )
+}
+
+/// The walk core over a [`Scoring`] view: identical to
+/// [`walk_gated_subtrees_in`] on an identity view; under a shard scope the
+/// variant tokens (global ids) resolve to the shard's local posting lists
+/// — or the empty list, which exhausts that merged-list member
+/// immediately — so the walk visits exactly the qualifying subtrees whose
+/// entities live in the shard.
+pub(crate) fn walk_gated_subtrees_scoped(
+    view: &Scoring<'_>,
+    slots: &[KeywordSlot],
+    config: &XCleanConfig,
+    stats: &mut RunStats,
+    occurrences: &mut SlotOccurrences,
+    slot_tokens: &mut Vec<Vec<TokenId>>,
     mut on_subtree: impl FnMut(NodeId, &SlotOccurrences, &[Vec<TokenId>]),
 ) {
     if slots.is_empty() || slots.iter().any(|s| s.variants.is_empty()) {
         return;
     }
-    let tree = corpus.tree();
+    let tree = view.tree();
     let mut vls: Vec<MergedList<'_>> = slots
         .iter()
-        .map(|s| {
-            MergedList::new(
-                s.variants
-                    .iter()
-                    .map(|v| (v.token, corpus.postings(v.token))),
-            )
-        })
+        .map(|s| MergedList::new(s.variants.iter().map(|v| (v.token, view.postings(v.token)))))
         .collect();
 
     occurrences.truncate(slots.len());

@@ -1,0 +1,179 @@
+//! Sharded-vs-unsharded bit-identity at realistic corpus scale.
+//!
+//! The contract (ISSUE PR 9, DESIGN.md §16): for every shard count and
+//! every worker-thread count, the scatter-gather [`ShardedEngine`]
+//! returns *bit-identical* responses — same suggestions, same order,
+//! same `f64` score bits, same pruning decisions — to the plain
+//! [`XCleanEngine`] over the unsharded parent corpus. The unit suite in
+//! `crates/xclean/src/sharded.rs` pins this on a six-article corpus;
+//! this suite re-pins it where the decomposition actually matters:
+//!
+//!  * a 1000-publication DBLP corpus (tier-1, always runs) across
+//!    threads {1, 2, 8} × shards {1, 2, 4, 8};
+//!  * the 5k large-tier corpus (the same scale `scale_100k.rs` uses for
+//!    its non-ignored contracts), gated behind `XCLEAN_BENCH_TIER=large`
+//!    so the bench-regression CI job — not every `cargo test` — pays
+//!    for it.
+//!
+//! Triage notes live in `tests/README.md` ("Sharded bit-identity").
+
+use xclean_suite::datagen::{
+    generate_dblp, generate_large_dblp, make_workload, DblpConfig, LargeDblpConfig, Perturbation,
+    WorkloadSpec,
+};
+use xclean_suite::index::{partition_corpus, CorpusIndex};
+use xclean_suite::xclean::{ShardedEngine, SuggestResponse, XCleanConfig, XCleanEngine};
+
+/// Full bit-level equality, score bits included: `==` on `f64` would
+/// accept `-0.0 == 0.0` and reorderings that round the same way.
+fn assert_bit_identical(q: &[String], a: &SuggestResponse, b: &SuggestResponse, what: &str) {
+    assert_eq!(
+        a.suggestions.len(),
+        b.suggestions.len(),
+        "{what}: q={q:?} suggestion count"
+    );
+    for (i, (x, y)) in a.suggestions.iter().zip(b.suggestions.iter()).enumerate() {
+        assert_eq!(x.terms, y.terms, "{what}: q={q:?} rank {i} terms");
+        assert_eq!(
+            x.log_score.to_bits(),
+            y.log_score.to_bits(),
+            "{what}: q={q:?} rank {i} score bits ({} vs {})",
+            x.log_score,
+            y.log_score
+        );
+        assert_eq!(x.distances, y.distances, "{what}: q={q:?} rank {i}");
+        assert_eq!(x.entity_count, y.entity_count, "{what}: q={q:?} rank {i}");
+    }
+    // Scoring effort must be conserved by the scatter — per-shard
+    // counters sum to exactly the unsharded totals.
+    assert_eq!(
+        a.stats.candidates_enumerated, b.stats.candidates_enumerated,
+        "{what}: q={q:?} candidates"
+    );
+    assert_eq!(
+        a.stats.entities_scored, b.stats.entities_scored,
+        "{what}: q={q:?} entities"
+    );
+    assert_eq!(a.stats.pruning, b.stats.pruning, "{what}: q={q:?} pruning");
+}
+
+fn workload(corpus: &CorpusIndex, n_queries: usize, seed: u64) -> Vec<Vec<String>> {
+    let set = make_workload(
+        corpus,
+        &WorkloadSpec {
+            n_queries,
+            seed,
+            ..WorkloadSpec::dblp(Perturbation::Rand)
+        },
+    );
+    set.cases.into_iter().map(|c| c.dirty).collect()
+}
+
+/// Runs the full thread × shard matrix against one parent corpus.
+/// `baseline_parent` is a second build of the same deterministic corpus
+/// (`CorpusIndex` is intentionally not `Clone` — snapshots own slabs).
+fn check_matrix(
+    parent: CorpusIndex,
+    baseline_parent: CorpusIndex,
+    queries: &[Vec<String>],
+    config: &XCleanConfig,
+    what: &str,
+) {
+    let baseline = XCleanEngine::from_corpus(baseline_parent, config.clone());
+    let expected: Vec<SuggestResponse> = queries
+        .iter()
+        .map(|q| baseline.suggest_keywords(q))
+        .collect();
+    for nshards in [1usize, 2, 4, 8] {
+        for threads in [1usize, 2, 8] {
+            let shards = partition_corpus(&parent, nshards, 42).unwrap();
+            let cfg = XCleanConfig {
+                num_threads: threads,
+                ..config.clone()
+            };
+            let engine = ShardedEngine::from_shards(shards, cfg).unwrap();
+            for (q, want) in queries.iter().zip(&expected) {
+                let got = engine.suggest_keywords(q);
+                assert_bit_identical(
+                    q,
+                    want,
+                    &got,
+                    &format!("{what} nshards={nshards} threads={threads}"),
+                );
+            }
+            // The batch entry point must agree with query-at-a-time.
+            let batch = engine.suggest_many_keywords(queries);
+            for (q, (want, got)) in queries.iter().zip(expected.iter().zip(&batch)) {
+                assert_bit_identical(
+                    q,
+                    want,
+                    got,
+                    &format!("{what} batch nshards={nshards} threads={threads}"),
+                );
+            }
+        }
+    }
+}
+
+fn dblp_1000() -> CorpusIndex {
+    CorpusIndex::build(generate_dblp(&DblpConfig {
+        publications: 1000,
+        ..Default::default()
+    }))
+}
+
+#[test]
+fn dblp_1000_bit_identity_across_threads_and_shards() {
+    let parent = dblp_1000();
+    let queries = workload(&parent, 30, 9001);
+    assert!(queries.len() >= 25, "workload too small: {}", queries.len());
+    check_matrix(
+        parent,
+        dblp_1000(),
+        &queries,
+        &XCleanConfig::default(),
+        "dblp-1000",
+    );
+}
+
+#[test]
+fn dblp_1000_bit_identity_under_binding_gamma() {
+    // A binding γ budget makes the merge order observable: the replay
+    // must reproduce the sequential table's evictions exactly.
+    let parent = dblp_1000();
+    let queries = workload(&parent, 15, 77);
+    let config = XCleanConfig {
+        gamma: Some(3),
+        ..Default::default()
+    };
+    check_matrix(parent, dblp_1000(), &queries, &config, "dblp-1000/gamma=3");
+}
+
+/// The 5k large-tier contract from the acceptance criteria. Costs tens
+/// of seconds in release; only the bench-regression CI job opts in:
+///
+/// ```text
+/// XCLEAN_BENCH_TIER=large cargo test --release --test sharded_identity
+/// ```
+#[test]
+fn large_tier_5k_bit_identity_across_threads_and_shards() {
+    if std::env::var("XCLEAN_BENCH_TIER").as_deref() != Ok("large") {
+        eprintln!("skipped: set XCLEAN_BENCH_TIER=large to run the 5k matrix");
+        return;
+    }
+    let build = || {
+        CorpusIndex::build(generate_large_dblp(&LargeDblpConfig {
+            publications: 5_000,
+            ..Default::default()
+        }))
+    };
+    let parent = build();
+    let queries = workload(&parent, 20, 4242);
+    check_matrix(
+        parent,
+        build(),
+        &queries,
+        &XCleanConfig::default(),
+        "large-5k",
+    );
+}
