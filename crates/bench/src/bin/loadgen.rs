@@ -29,7 +29,7 @@
 //!   request picks one path from the declared targets, proportionally to
 //!   the integer weights (default weight 1). Mutually exclusive with
 //!   `--path`; the report then carries a `per_target` breakdown with
-//!   per-path q/s.
+//!   per-path q/s and p50/p95/p99 latency.
 //! - `--healthz-every N` — fold one cheap `GET /healthz` into every Nth
 //!   request per connection (0 = pure suggestion traffic, the default).
 //! - `--out PATH` — JSON report path (default `BENCH_pr6.json`).
@@ -257,6 +257,9 @@ mod linux {
     struct TargetTally {
         requests: u64,
         errors: u64,
+        /// Measured-window latencies of this target's requests, so the
+        /// report can break p50/p95/p99 down per path.
+        latencies: Vec<u64>,
     }
 
     /// Everything the report needs, accumulated as responses complete.
@@ -398,12 +401,13 @@ mod linux {
                 }
             } else if now >= self.measuring_from {
                 self.tally.requests += 1;
+                let latency = now.saturating_sub(sent_at).max(1);
                 if target != HEALTHZ_TARGET {
-                    self.tally.per_target[target].requests += 1;
+                    let t = &mut self.tally.per_target[target];
+                    t.requests += 1;
+                    t.latencies.push(latency);
                 }
-                self.tally
-                    .latencies
-                    .push(now.saturating_sub(sent_at).max(1));
+                self.tally.latencies.push(latency);
             } else {
                 self.tally.warmup_requests += 1;
             }
@@ -618,14 +622,20 @@ mod linux {
         let per_target: Vec<serde_json::Value> = opts
             .targets
             .iter()
-            .zip(&gen.tally.per_target)
+            .zip(&mut gen.tally.per_target)
             .map(|((path, weight), t)| {
+                t.latencies.sort_unstable();
                 serde_json::json!({
                     "path": path,
                     "weight": weight,
                     "requests": t.requests,
                     "errors": t.errors,
                     "queries_per_sec": t.requests as f64 / measured_secs.max(1e-9),
+                    "latency_nanos": serde_json::json!({
+                        "p50": percentile(&t.latencies, 0.50),
+                        "p95": percentile(&t.latencies, 0.95),
+                        "p99": percentile(&t.latencies, 0.99),
+                    }),
                 })
             })
             .collect();

@@ -255,6 +255,7 @@ fn bench_observability_overhead(
                 total_nanos: suggest_p50,
                 error: false,
                 cache_hit: Some(false),
+                slo_breach: false,
             },
         );
         ring.push(RequestRecord {
@@ -272,6 +273,8 @@ fn bench_observability_overhead(
             entities: 0,
             suggestions: 0,
             arrived_nanos: now,
+            corpus: "default".to_string(),
+            shards: Vec::new(),
         });
     }
     let record_nanos = ((start.elapsed().as_nanos() as u64) / iterations).max(1);

@@ -93,7 +93,7 @@ USAGE:
             [--k N] [--beta B] [--gamma G] [--epsilon E] [--min-depth D]
             [--semantics node-type|slca|elca] [--phonetic DIST]
             [--trace-out trace.json] [--metrics-json metrics.json]
-            [--slow-ms MS] [--slow-log FILE]
+            [--slow-ms MS] [--slow-log FILE] [--slo-ms MS]
             [--log-level SPEC] [--log-json]
             [--flight-events N] [--conn-registry N]
             (long-running HTTP server: POST/GET /suggest, GET /healthz,
@@ -107,7 +107,9 @@ USAGE:
              answers repeated queries from a sharded LRU response cache;
              every response carries an X-Request-Id; requests slower
              than --slow-ms (default 100) are logged as JSON lines to
-             --slow-log (default stderr); Ctrl-C drains in-flight
+             --slow-log (default stderr); requests slower than --slo-ms
+             (default 50) count as SLO breaches in the per-corpus burn
+             rates on /statusz and /metrics; Ctrl-C drains in-flight
              requests, then flushes --trace-out / --metrics-json)
             (--log-level takes a spec like `info` or
              `info,xclean_server=debug`; --log-json switches the leveled
@@ -739,6 +741,7 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         "trace-out",
         "metrics-json",
         "slow-ms",
+        "slo-ms",
         "slow-log",
         "log-level",
         "log-json",
@@ -786,6 +789,7 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
     let (config, semantics) = tuning_from_args(&args)?;
     let defaults = ServerConfig::default();
     let slow_ms: u64 = args.get_parsed("slow-ms", 100u64)?;
+    let slo_ms: u64 = args.get_parsed("slo-ms", 50u64)?;
     if args.has_flag("event-loop") && args.has_flag("thread-pool") {
         return Err(ArgError(
             "--event-loop and --thread-pool are mutually exclusive".into(),
@@ -822,6 +826,7 @@ fn cmd_serve(raw: Vec<String>) -> Result<CmdOutput, ArgError> {
         cache_shards: args.get_parsed("cache-shards", defaults.cache_shards)?,
         max_body_bytes: args.get_parsed("max-body-bytes", defaults.max_body_bytes)?,
         slow_threshold: Duration::from_millis(slow_ms),
+        slo_threshold: Duration::from_millis(slo_ms),
         slow_log: args.get("slow-log").map(std::path::PathBuf::from),
         flight_capacity: args.get_parsed("flight-events", defaults.flight_capacity)?,
         conn_registry_capacity: args

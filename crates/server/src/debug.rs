@@ -50,6 +50,7 @@ pub struct Observability {
     slow_ring: RequestRing,
     windows: RollingWindows,
     slow_threshold_nanos: u64,
+    slo_threshold_nanos: u64,
     slow_sink: Mutex<Box<dyn Write + Send>>,
     start_nanos: u64,
     trace_seed: u64,
@@ -62,6 +63,7 @@ impl std::fmt::Debug for Observability {
             .field("ring_capacity", &self.ring.capacity())
             .field("slow_ring_capacity", &self.slow_ring.capacity())
             .field("slow_threshold_nanos", &self.slow_threshold_nanos)
+            .field("slo_threshold_nanos", &self.slo_threshold_nanos)
             .field("trace_seed", &self.trace_seed)
             .finish_non_exhaustive()
     }
@@ -70,11 +72,14 @@ impl std::fmt::Debug for Observability {
 impl Observability {
     /// Builds the plane. `slow_sink` receives one JSON line per slow
     /// request (pass `Box::new(std::io::stderr())` for the default).
+    /// `slo_threshold_nanos` is the latency objective requests are graded
+    /// against for the SLO windows (breach = strictly slower).
     pub fn new(
         clock: SharedClock,
         ring_capacity: usize,
         slow_ring_capacity: usize,
         slow_threshold_nanos: u64,
+        slo_threshold_nanos: u64,
         trace_seed: u64,
         slow_sink: Box<dyn Write + Send>,
     ) -> Observability {
@@ -84,6 +89,7 @@ impl Observability {
             slow_ring: RequestRing::new(slow_ring_capacity, RING_STRIPES),
             windows: RollingWindows::new(),
             slow_threshold_nanos,
+            slo_threshold_nanos,
             slow_sink: Mutex::new(slow_sink),
             start_nanos,
             trace_seed,
@@ -113,6 +119,19 @@ impl Observability {
         self.slow_threshold_nanos
     }
 
+    /// The latency-SLO objective in nanoseconds: a request strictly
+    /// slower than this breaches (counted by the burn-rate windows).
+    pub fn slo_threshold_nanos(&self) -> u64 {
+        self.slo_threshold_nanos
+    }
+
+    /// Whether a request of `total_nanos` breaches the latency SLO —
+    /// the one comparison the global and per-tenant windows share, so
+    /// their burn rates can never disagree about grading.
+    pub fn slo_breach(&self, total_nanos: u64) -> bool {
+        total_nanos > self.slo_threshold_nanos
+    }
+
     /// A trace-ID generator for one worker thread. Worker indices are
     /// handed out in call order, so a fixed seed plus a fixed pool size
     /// yields a fully deterministic ID space — nothing here reads the
@@ -136,6 +155,7 @@ impl Observability {
                 total_nanos: record.total_nanos,
                 error: record.is_error(),
                 cache_hit: record.cache_hit,
+                slo_breach: self.slo_breach(record.total_nanos),
             },
         );
         let slow_copy = (record.total_nanos >= self.slow_threshold_nanos).then(|| record.clone());
@@ -544,6 +564,9 @@ pub struct CorpusRow {
     pub errors: u64,
     /// Individual queries answered (batch POSTs count each query).
     pub queries: u64,
+    /// The tenant's own 1m/5m/15m window snapshots (qps, quantiles,
+    /// SLO breaches) — empty for callers that predate per-tenant windows.
+    pub windows: Vec<WindowSnapshot>,
 }
 
 /// Renders the `GET /statusz` text dashboard.
@@ -576,6 +599,11 @@ pub fn render_statusz(obs: &Observability, info: &StatuszInfo) -> String {
     out.push_str(&format!(
         "slow_threshold_ms: {}\n",
         obs.slow_threshold_nanos() / 1_000_000
+    ));
+    out.push_str(&format!(
+        "slo_threshold_ms: {} (error budget {:.0}%)\n",
+        obs.slo_threshold_nanos() / 1_000_000,
+        xclean_telemetry::SLO_ERROR_BUDGET * 100.0
     ));
     out.push_str(&format!(
         "runtime: accept_model={} workers={} max_connections={}\n",
@@ -620,6 +648,21 @@ pub fn render_statusz(obs: &Observability, info: &StatuszInfo) -> String {
             row.errors,
             row.queries
         ));
+        for s in &row.windows {
+            out.push_str(&format!(
+                "  corpus[{}] window[{}]: requests={} errors={} qps={:.4} \
+                 slo_breaches={} burn_rate={:.2} p50_ns={} p99_ns={}\n",
+                row.name,
+                s.label,
+                s.count,
+                s.errors,
+                s.qps(),
+                s.slo_breaches,
+                s.slo_burn_rate(),
+                s.p50_nanos,
+                s.p99_nanos
+            ));
+        }
     }
     out.push('\n');
     out.push_str(
@@ -677,9 +720,21 @@ mod tests {
         }
     }
 
+    /// 1 ms latency SLO for every test plane: coarse enough that only
+    /// deliberately slow records breach.
+    const TEST_SLO_NANOS: u64 = 1_000_000;
+
     fn obs_with(clock: Arc<ManualClock>, threshold: u64) -> (Observability, SharedSink) {
         let sink = SharedSink::default();
-        let obs = Observability::new(clock, 64, 16, threshold, 0x5ca1e, Box::new(sink.clone()));
+        let obs = Observability::new(
+            clock,
+            64,
+            16,
+            threshold,
+            TEST_SLO_NANOS,
+            0x5ca1e,
+            Box::new(sink.clone()),
+        );
         (obs, sink)
     }
 
@@ -764,6 +819,62 @@ mod tests {
                 assert!(line[1].starts_with(&format!("# TYPE {name} ")), "line {i}");
             }
         }
+    }
+
+    /// The plane grades every observed request against its SLO with one
+    /// strict comparison; the window breach counters see exactly the
+    /// graded outcomes.
+    #[test]
+    fn observe_grades_requests_against_the_slo() {
+        let clock = ManualClock::starting_at(0);
+        let (obs, _sink) = obs_with(clock, u64::MAX);
+        assert!(!obs.slo_breach(TEST_SLO_NANOS), "at objective = no breach");
+        assert!(obs.slo_breach(TEST_SLO_NANOS + 1));
+        obs.observe(record(TEST_SLO_NANOS, 200));
+        obs.observe(record(TEST_SLO_NANOS + 1, 200));
+        obs.observe(record(10 * TEST_SLO_NANOS, 200));
+        let s = obs.window_snapshots()[0];
+        assert_eq!(s.count, 3);
+        assert_eq!(s.slo_breaches, 2);
+        assert_eq!(s.slo_burn_rate(), (2.0 / 3.0) / 0.01);
+    }
+
+    #[test]
+    fn statusz_renders_per_corpus_window_rows() {
+        let clock = ManualClock::starting_at(0);
+        let (obs, _sink) = obs_with(clock, u64::MAX);
+        let text = render_statusz(
+            &obs,
+            &StatuszInfo {
+                corpora: vec![CorpusRow {
+                    name: "dblp".into(),
+                    shards: 2,
+                    windows: vec![WindowSnapshot {
+                        label: "1m",
+                        window_secs: 60,
+                        count: 200,
+                        errors: 1,
+                        slo_breaches: 4,
+                        p50_nanos: 511,
+                        p99_nanos: 2047,
+                        ..WindowSnapshot::default()
+                    }],
+                    ..CorpusRow::default()
+                }],
+                ..StatuszInfo::default()
+            },
+        );
+        assert!(
+            text.contains("slo_threshold_ms: 1 (error budget 1%)"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "  corpus[dblp] window[1m]: requests=200 errors=1 qps=3.3333 \
+                 slo_breaches=4 burn_rate=2.00 p50_ns=511 p99_ns=2047"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

@@ -38,10 +38,10 @@ use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use xclean::{SuggestResponse, XCleanEngine};
+use xclean::{ExplainTrace, SuggestResponse, Suggestion, XCleanEngine};
 use xclean_telemetry::{
-    names, Counter, Histogram, MonotonicClock, RequestRecord, RuntimeEventKind, RuntimeStats,
-    SharedClock,
+    names, render_exemplar_histogram, Counter, ExemplarStore, Histogram, MonotonicClock,
+    RequestRecord, RuntimeEventKind, RuntimeStats, ShardAttribution, SharedClock, WindowEvent,
 };
 
 use crate::cache::CacheKey;
@@ -114,6 +114,12 @@ pub struct ServerConfig {
     /// Requests at least this slow are retained in the slow ring and
     /// emitted to the slow-query log (`serve --slow-ms`).
     pub slow_threshold: Duration,
+    /// Latency SLO threshold: requests strictly slower than this count
+    /// as SLO breaches in the global and per-corpus windows, and feed
+    /// the multi-window burn rates on `/statusz` and `/metrics`
+    /// (`serve --slo-ms`). The error budget is fixed at
+    /// [`xclean_telemetry::SLO_ERROR_BUDGET`].
+    pub slo_threshold: Duration,
     /// Slow-query log destination; `None` writes JSON lines to stderr.
     pub slow_log: Option<PathBuf>,
     /// Recent-request ring capacity (`/debug/requests` history).
@@ -149,6 +155,7 @@ impl Default for ServerConfig {
             max_pipeline: 32,
             drain_grace: Duration::from_secs(5),
             slow_threshold: Duration::from_millis(100),
+            slo_threshold: Duration::from_millis(50),
             slow_log: None,
             ring_capacity: 512,
             slow_ring_capacity: 128,
@@ -234,6 +241,9 @@ pub(crate) struct Handler {
     requests: Arc<Counter>,
     errors: Arc<Counter>,
     latency: Arc<Histogram>,
+    /// Most recent trace ID per latency bucket — rendered as OpenMetrics
+    /// exemplars on `/metrics` and as JSON on `/debug/exemplars`.
+    exemplars: Arc<ExemplarStore>,
     pub(crate) conn_stats: ConnStats,
 }
 
@@ -243,6 +253,11 @@ pub(crate) struct Handler {
 pub(crate) struct RouteObs {
     route: &'static str,
     query: String,
+    /// Resolved corpus name for requests that routed to a tenant; empty
+    /// for metadata routes and unroutable errors. Tags the ring record
+    /// and slow-log line, and selects the tenant whose rolling windows
+    /// this request lands in.
+    corpus: String,
     cache_hit: Option<bool>,
     slot_nanos: u64,
     walk_nanos: u64,
@@ -250,6 +265,9 @@ pub(crate) struct RouteObs {
     candidates: u64,
     entities: u64,
     suggestions: u64,
+    /// Per-shard scatter attribution (sharded tenants, cache misses
+    /// only — a hit did no scatter).
+    shards: Vec<ShardAttribution>,
 }
 
 /// One rendered response, ready to write.
@@ -336,6 +354,7 @@ impl SuggestServer {
             config.ring_capacity,
             config.slow_ring_capacity,
             config.slow_threshold.as_nanos() as u64,
+            config.slo_threshold.as_nanos() as u64,
             config.trace_seed,
             slow_sink,
         ));
@@ -398,6 +417,7 @@ impl SuggestServer {
             requests: registry.counter(names::SERVER_REQUESTS),
             errors: registry.counter(names::SERVER_ERRORS),
             latency: registry.histogram(names::SERVER_REQUEST),
+            exemplars: Arc::new(ExemplarStore::new()),
             conn_stats: conn_stats.clone(),
         });
         match self.config.accept_model {
@@ -620,7 +640,24 @@ pub(crate) fn observe_reply(handler: &Handler, reply: Reply, trace_id: String, a
         handler.errors.inc();
     }
     handler.latency.record(total_nanos);
+    handler.exemplars.record(total_nanos, &trace_id);
     let o = reply.obs;
+    // Requests that resolved a tenant additionally land in that
+    // tenant's rolling windows, graded against the same SLO threshold
+    // as the global windows.
+    if !o.corpus.is_empty() {
+        if let Some(tenant) = handler.tenants.get(&o.corpus) {
+            tenant.record_window(
+                arrived_nanos,
+                &WindowEvent {
+                    total_nanos,
+                    error: reply.status >= 400,
+                    cache_hit: o.cache_hit,
+                    slo_breach: handler.obs.slo_breach(total_nanos),
+                },
+            );
+        }
+    }
     handler.obs.observe(RequestRecord {
         seq: 0, // assigned by the ring
         trace_id,
@@ -636,6 +673,8 @@ pub(crate) fn observe_reply(handler: &Handler, reply: Reply, trace_id: String, a
         entities: o.entities,
         suggestions: o.suggestions,
         arrived_nanos,
+        corpus: o.corpus,
+        shards: o.shards,
     });
 }
 
@@ -699,11 +738,13 @@ pub(crate) fn route(request: &Request, handler: &Handler, trace_id: &str) -> Rep
         ("GET", "/debug/requests") => debug_requests(handler, query).tagged("debug_requests"),
         ("GET", "/debug/conns") => debug_conns(handler, query).tagged("debug_conns"),
         ("GET", "/debug/flight") => debug_flight(handler, query).tagged("debug_flight"),
+        ("GET", "/debug/explain") => debug_explain(handler, query).tagged("debug_explain"),
+        ("GET", "/debug/exemplars") => debug_exemplars(handler).tagged("debug_exemplars"),
         (_, "/suggest") => dispatch_suggest(handler.tenants.primary(), request, query, trace_id),
         (
             _,
             "/healthz" | "/metrics" | "/statusz" | "/debug/requests" | "/debug/conns"
-            | "/debug/flight",
+            | "/debug/flight" | "/debug/explain" | "/debug/exemplars",
         ) => Reply::error(405, "method not allowed").tagged("method_not_allowed"),
         _ => Reply::error(404, "no such endpoint").tagged("not_found"),
     }
@@ -713,13 +754,18 @@ pub(crate) fn route(request: &Request, handler: &Handler, trace_id: &str) -> Rep
 /// tenant — shared by bare `/suggest` (primary) and `/suggest/<corpus>`.
 fn dispatch_suggest(tenant: &Tenant, request: &Request, query: &str, trace_id: &str) -> Reply {
     tenant.requests().inc();
-    let reply = match request.method.as_str() {
+    let mut reply = match request.method.as_str() {
         "GET" => suggest_get(query, tenant, trace_id).tagged("suggest"),
         "POST" => suggest(request, tenant, trace_id).tagged("suggest"),
         _ => Reply::error(405, "method not allowed").tagged("method_not_allowed"),
     };
     if reply.status >= 400 {
         tenant.errors().inc();
+    }
+    // Every routed request — errors included — carries the resolved
+    // corpus name into the ring, the slow log, and the tenant windows.
+    if reply.obs.corpus.is_empty() {
+        reply.obs.corpus = tenant.name().to_string();
     }
     reply
 }
@@ -812,6 +858,22 @@ fn metrics(handler: &Handler) -> Reply {
     // primary appears both unlabelled (above, its own registry) and
     // labelled here, so multi-corpus dashboards need only one shape.
     body.push_str(&handler.tenants.render_corpus_metrics());
+    // Latency histogram with OpenMetrics exemplars: each bucket carries
+    // the most recent X-Request-Id that landed in it.
+    render_exemplar_histogram(
+        &mut body,
+        names::LATENCY_EXEMPLARS,
+        &handler.latency,
+        &handler.exemplars,
+    );
+    // Per-shard scatter histograms + straggler skew, then per-corpus
+    // SLO burn rates per window.
+    body.push_str(&handler.tenants.render_shard_metrics());
+    body.push_str(
+        &handler
+            .tenants
+            .render_slo_metrics(handler.obs.clock().now_nanos()),
+    );
     Reply {
         status: 200,
         content_type: "text/plain; version=0.0.4",
@@ -849,19 +911,23 @@ fn statusz(handler: &Handler) -> Reply {
         flight_capacity: handler.runtime.flight().capacity(),
         flight_recorded: handler.runtime.flight().total_recorded(),
         conns_tracked: handler.conn_registry.tracked(),
-        corpora: handler
-            .tenants
-            .iter()
-            .map(|t| CorpusRow {
-                name: t.name().to_string(),
-                shards: t.engine().shard_count(),
-                cache_entries: t.cache().len(),
-                cache_capacity: t.cache().capacity(),
-                requests: t.requests().get(),
-                errors: t.errors().get(),
-                queries: t.queries().get(),
-            })
-            .collect(),
+        corpora: {
+            let now = handler.obs.clock().now_nanos();
+            handler
+                .tenants
+                .iter()
+                .map(|t| CorpusRow {
+                    name: t.name().to_string(),
+                    shards: t.engine().shard_count(),
+                    cache_entries: t.cache().len(),
+                    cache_capacity: t.cache().capacity(),
+                    requests: t.requests().get(),
+                    errors: t.errors().get(),
+                    queries: t.queries().get(),
+                    windows: t.window_snapshots(now),
+                })
+                .collect()
+        },
     };
     Reply {
         status: 200,
@@ -894,9 +960,28 @@ fn debug_requests(handler: &Handler, query: &str) -> Reply {
         Ok(n) => n,
         Err(m) => return Reply::error(400, &m),
     };
+    // `corpus=<name>` narrows the history to one tenant's requests. An
+    // unknown name is a structured 400, never an empty-but-200 answer
+    // that looks like "no traffic" (the `parse_count` discipline).
+    let records = match query_param(query, "corpus") {
+        None => handler.obs.recent(n),
+        Some(name) => {
+            if handler.tenants.get(name).is_none() {
+                return Reply::error(400, &format!("no such corpus: {name}"));
+            }
+            let mut filtered: Vec<RequestRecord> = handler
+                .obs
+                .recent(debug::MAX_DEBUG_REQUESTS)
+                .into_iter()
+                .filter(|r| r.corpus == name)
+                .collect();
+            filtered.truncate(n);
+            filtered
+        }
+    };
     Reply::json(
         200,
-        debug::render_debug_requests(&handler.obs.recent(n), handler.obs.total_observed()),
+        debug::render_debug_requests(&records, handler.obs.total_observed()),
     )
 }
 
@@ -922,6 +1007,163 @@ fn debug_flight(handler: &Handler, query: &str) -> Reply {
     Reply::json(200, handler.runtime.flight().chrome_trace_json(n))
 }
 
+/// `GET /debug/explain?corpus=<c>&q=<q>`: runs the full suggestion
+/// pipeline in explain mode and returns the structured trace. Explain
+/// is a separate sequential computation — it never consults or fills
+/// the response cache (bypass by construction, not by flag), and the
+/// suggestions in the trace are bit-identical to what `/suggest` would
+/// serve for the same query.
+fn debug_explain(handler: &Handler, query: &str) -> Reply {
+    let tenant = match query_param(query, "corpus") {
+        None => handler.tenants.primary(),
+        Some(name) => match handler.tenants.get(name) {
+            Some(t) => t,
+            None => return Reply::error(404, &format!("no such corpus: {name}")),
+        },
+    };
+    let Some(raw) = query_param(query, "q") else {
+        return Reply::error(400, "missing q parameter");
+    };
+    let Some(decoded) = percent_decode(raw) else {
+        return Reply::error(400, "bad percent-encoding in q");
+    };
+    let keywords = tenant.engine().parse_query(&decoded);
+    if keywords.is_empty() {
+        return Reply::error(400, "query contains no keywords");
+    }
+    let trace = tenant.engine().explain_keywords(&keywords);
+    let normalized = keywords.join(" ");
+    let mut reply = Reply::json(200, render_explain(tenant.name(), &normalized, &trace));
+    reply.obs.route = "debug_explain";
+    reply.obs.query = normalized;
+    reply.obs.corpus = tenant.name().to_string();
+    reply
+}
+
+/// A finite `f64` as JSON, `null` otherwise (γ-eviction estimates can
+/// legitimately be `-inf`, which is not valid JSON).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders one [`ExplainTrace`] as the `/debug/explain` response body.
+/// Schema documented in DESIGN.md §17.
+fn render_explain(corpus: &str, normalized: &str, trace: &ExplainTrace) -> String {
+    let mut out = format!(
+        "{{\"corpus\":\"{}\",\"query\":\"{}\",\"semantics\":\"{}\",\
+         \"sharded\":{},\"shard_count\":{},\"gamma\":{},\"cache\":\"bypassed\"",
+        json::escape(corpus),
+        json::escape(normalized),
+        trace.semantics,
+        trace.sharded,
+        trace.shard_count,
+        trace.gamma.map_or("null".to_string(), |g| g.to_string()),
+    );
+    out.push_str(",\"keywords\":[");
+    for (i, k) in trace.keywords.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"keyword\":\"{}\",\"variants\":[",
+            json::escape(&k.keyword)
+        ));
+        for (j, v) in k.variants.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"term\":\"{}\",\"distance\":{}}}",
+                json::escape(&v.term),
+                v.distance
+            ));
+        }
+        out.push_str("]}");
+    }
+    let s = &trace.stages;
+    out.push_str(&format!(
+        "],\"stages\":{{\"keywords\":{},\"variants\":{},\"candidate_space\":{},\
+         \"subtrees\":{},\"candidates_enumerated\":{},\"result_type_computations\":{},\
+         \"entities_scored\":{},\"contributions\":{},\"accumulators\":{},\
+         \"evictions\":{},\"rejected\":{},\"ranked\":{},\"suggestions\":{}}}",
+        s.keywords,
+        s.variants,
+        s.candidate_space,
+        s.subtrees,
+        s.candidates_enumerated,
+        s.result_type_computations,
+        s.entities_scored,
+        s.contributions,
+        s.accumulators,
+        s.evictions,
+        s.rejected,
+        s.ranked,
+        s.suggestions,
+    ));
+    let n = &trace.nanos;
+    out.push_str(&format!(
+        ",\"nanos\":{{\"slot\":{},\"walk\":{},\"gather\":{},\"rank\":{},\"total\":{}}}",
+        n.slot, n.walk, n.gather, n.rank, n.total
+    ));
+    out.push_str(",\"evictions\":[");
+    for (i, e) in trace.evictions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"kind\":\"{}\",\"terms\":[", e.kind.as_str()));
+        for (j, t) in e.terms.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&json::escape(t));
+            out.push('"');
+        }
+        out.push_str(&format!(
+            "],\"estimate\":{}}}",
+            e.estimate.map_or("null".to_string(), json_f64)
+        ));
+    }
+    out.push_str(&format!(
+        "],\"eviction_events_total\":{},\"evictions_truncated\":{}",
+        trace.eviction_events_total,
+        trace.eviction_events_total > trace.evictions.len() as u64
+    ));
+    out.push_str(",\"shards\":[");
+    for (i, sh) in trace.shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&sh.to_json());
+    }
+    out.push_str("],\"suggestions\":");
+    out.push_str(&render_suggestions(&trace.suggestions));
+    out.push('}');
+    out
+}
+
+/// `GET /debug/exemplars`: the latency exemplars as JSON — one entry
+/// per occupied histogram bucket, newest request ID wins.
+fn debug_exemplars(handler: &Handler) -> Reply {
+    let mut body = String::from("{\"exemplars\":[");
+    for (i, (upper_nanos, ex)) in handler.exemplars.snapshot().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"le_nanos\":{upper_nanos},\"trace_id\":\"{}\",\"value_nanos\":{}}}",
+            json::escape(&ex.trace_id),
+            ex.value_nanos
+        ));
+    }
+    body.push_str("]}");
+    Reply::json(200, body)
+}
+
 /// Renders one per-query result object — the unit the cache stores. It
 /// contains only the *normalized* query and the (deterministic)
 /// suggestions, never timings, so a cached body is byte-identical to a
@@ -929,8 +1171,18 @@ fn debug_flight(handler: &Handler, query: &str) -> Reply {
 fn render_result(normalized: &str, response: &SuggestResponse) -> String {
     let mut out = String::from("{\"query\":\"");
     out.push_str(&json::escape(normalized));
-    out.push_str("\",\"suggestions\":[");
-    for (i, s) in response.suggestions.iter().enumerate() {
+    out.push_str("\",\"suggestions\":");
+    out.push_str(&render_suggestions(&response.suggestions));
+    out.push('}');
+    out
+}
+
+/// The suggestions array shared by `/suggest` result objects and
+/// `/debug/explain` traces — one renderer, so an explain trace's
+/// suggestions are byte-identical to the served ones by construction.
+fn render_suggestions(suggestions: &[Suggestion]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in suggestions.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -958,7 +1210,7 @@ fn render_result(normalized: &str, response: &SuggestResponse) -> String {
         out.push_str(&s.entity_count.to_string());
         out.push('}');
     }
-    out.push_str("]}");
+    out.push(']');
     out
 }
 
@@ -977,17 +1229,23 @@ fn cached_result(keywords: &[String], tenant: &Tenant) -> (Arc<str>, RouteObs) {
         let obs = RouteObs {
             route: "suggest",
             query: normalized,
+            corpus: tenant.name().to_string(),
             cache_hit: Some(true),
             ..RouteObs::default()
         };
         return (hit, obs);
     }
     let response = tenant.engine().suggest_keywords(keywords);
+    // Misses did real scatter work: fold the per-shard attribution into
+    // the tenant's scatter histograms and skew gauge (record-only on
+    // the serving path, like the lifetime counters).
+    tenant.record_shards(&response.shard_stats);
     let rendered: Arc<str> = Arc::from(render_result(&normalized, &response).as_str());
     tenant.cache().insert(key, Arc::clone(&rendered));
     let obs = RouteObs {
         route: "suggest",
         query: normalized,
+        corpus: tenant.name().to_string(),
         cache_hit: Some(false),
         slot_nanos: response.stats.slot_nanos,
         walk_nanos: response.stats.walk_nanos,
@@ -995,6 +1253,7 @@ fn cached_result(keywords: &[String], tenant: &Tenant) -> (Arc<str>, RouteObs) {
         candidates: response.stats.candidates_enumerated,
         entities: response.stats.entities_scored,
         suggestions: response.suggestions.len() as u64,
+        shards: response.shard_stats,
     };
     (rendered, obs)
 }
@@ -1120,6 +1379,7 @@ fn batch_suggest(raw: &[&str], tenant: &Tenant) -> (String, u64, u64, RouteObs) 
     let misses = miss_idx.len() as u64;
     let mut obs = RouteObs {
         route: "suggest_batch",
+        corpus: tenant.name().to_string(),
         cache_hit: Some(miss_idx.is_empty()),
         ..RouteObs::default()
     };
@@ -1128,6 +1388,7 @@ fn batch_suggest(raw: &[&str], tenant: &Tenant) -> (String, u64, u64, RouteObs) 
             miss_idx.iter().map(|&i| keyword_lists[i].clone()).collect();
         let responses = tenant.engine().suggest_many_keywords(&miss_keywords);
         for (&i, response) in miss_idx.iter().zip(responses.iter()) {
+            tenant.record_shards(&response.shard_stats);
             obs.slot_nanos += response.stats.slot_nanos;
             obs.walk_nanos += response.stats.walk_nanos;
             obs.rank_nanos += response.stats.rank_nanos;
@@ -1188,6 +1449,7 @@ mod tests {
             64,
             16,
             1_000_000_000, // 1 s: nothing is "slow" under a manual clock
+            1_000_000,     // 1 ms SLO: advance the clock past it to breach
             0xfeed,
             Box::new(io::sink()),
         ));
@@ -1195,6 +1457,7 @@ mod tests {
             requests: registry.counter(names::SERVER_REQUESTS),
             errors: registry.counter(names::SERVER_ERRORS),
             latency: registry.histogram(names::SERVER_REQUEST),
+            exemplars: Arc::new(ExemplarStore::new()),
             conn_stats: ConnStats::new(&registry),
             runtime: Arc::new(RuntimeStats::new(2, 64)),
             conn_registry: Arc::new(ConnRegistry::new(16)),
@@ -1711,6 +1974,199 @@ mod tests {
                 "{}{{corpus=\"default\"}} 0",
                 names::CORPUS_QUERIES
             )),
+            "{}",
+            metrics.body
+        );
+    }
+
+    /// Tentpole: `/debug/explain` returns the full pipeline trace, on
+    /// both the primary and a named corpus, without ever touching the
+    /// response cache — and its suggestions are byte-identical to what
+    /// `/suggest` serves.
+    #[test]
+    fn debug_explain_traces_the_pipeline_and_bypasses_the_cache() {
+        let h = two_corpus_handler();
+        let explain = route(&get("/debug/explain?q=helth+insurance"), &h, T);
+        assert_eq!(explain.status, 200, "{}", explain.body);
+        for needle in [
+            "\"corpus\":\"default\"",
+            "\"query\":\"helth insurance\"",
+            "\"cache\":\"bypassed\"",
+            "\"stages\":{\"keywords\":2,",
+            "\"keyword\":\"helth\"",
+            "\"nanos\":{\"slot\":",
+            "\"eviction_events_total\":",
+            "\"suggestions\":[",
+        ] {
+            assert!(explain.body.contains(needle), "{needle}: {}", explain.body);
+        }
+        assert_eq!(explain.obs.route, "debug_explain");
+        assert_eq!(explain.obs.corpus, "default");
+        // Explain never consulted or filled any cache.
+        assert_eq!(h.tenants.primary().cache().counters(), (0, 0, 0));
+        assert_eq!(h.tenants.get("dblp").unwrap().cache().counters(), (0, 0, 0));
+        // The first real /suggest for the same query is still a miss —
+        // and its suggestions array is byte-identical to the trace's.
+        let served = route(&get("/suggest?q=helth+insurance"), &h, T);
+        assert_eq!(served.cache_header.as_deref(), Some("miss"));
+        let tail = &served.body[served.body.find("\"suggestions\":").unwrap()..];
+        let suggestions = &tail[..tail.len() - 1]; // drop the closing '}'
+        assert!(
+            explain.body.contains(suggestions),
+            "served {suggestions} not in {}",
+            explain.body
+        );
+        // Named-corpus routing, and the parameter error paths.
+        let named = route(&get("/debug/explain?corpus=dblp&q=program+instanse"), &h, T);
+        assert_eq!(named.status, 200, "{}", named.body);
+        assert!(named.body.contains("\"corpus\":\"dblp\""), "{}", named.body);
+        assert_eq!(
+            route(&get("/debug/explain?corpus=nope&q=x"), &h, T).status,
+            404
+        );
+        let missing = route(&get("/debug/explain"), &h, T);
+        assert_eq!(missing.status, 400);
+        assert!(
+            missing.body.contains("missing q parameter"),
+            "{}",
+            missing.body
+        );
+        assert_eq!(route(&get("/debug/explain?q=%zz"), &h, T).status, 400);
+        assert_eq!(route(&get("/debug/explain?q=..."), &h, T).status, 400);
+        let mut del = get("/debug/explain?q=x");
+        del.method = "DELETE".to_string();
+        assert_eq!(route(&del, &h, T).status, 405);
+    }
+
+    /// Tentpole: every observed request leaves an exemplar — the latest
+    /// request ID per latency bucket — on `/metrics` and
+    /// `/debug/exemplars`.
+    #[test]
+    fn latency_exemplars_surface_on_metrics_and_debug() {
+        let clock = ManualClock::starting_at(0);
+        let h = handler_with_clock(Arc::clone(&clock));
+        clock.advance(5_000);
+        let reply = route(&get("/suggest?q=helth+insurance"), &h, T);
+        observe_reply(&h, reply, "trace-exemplar".to_string(), 0);
+        let metrics = route(&get("/metrics"), &h, T);
+        assert!(
+            metrics
+                .body
+                .contains(&format!("# TYPE {} histogram", names::LATENCY_EXEMPLARS)),
+            "{}",
+            metrics.body
+        );
+        assert!(
+            metrics.body.contains("# {trace_id=\"trace-exemplar\"}"),
+            "{}",
+            metrics.body
+        );
+        let dbg = route(&get("/debug/exemplars"), &h, T);
+        assert_eq!(dbg.status, 200);
+        assert!(
+            dbg.body.contains("\"trace_id\":\"trace-exemplar\""),
+            "{}",
+            dbg.body
+        );
+        assert!(dbg.body.contains("\"value_nanos\":5000"), "{}", dbg.body);
+        let mut del = get("/debug/exemplars");
+        del.method = "DELETE".to_string();
+        assert_eq!(route(&del, &h, T).status, 405);
+    }
+
+    /// Satellite: ring records carry the resolved corpus name, and
+    /// `/debug/requests?corpus=` filters by it — with a strict 400 on
+    /// unknown names.
+    #[test]
+    fn debug_requests_filters_by_corpus() {
+        let h = two_corpus_handler();
+        let r1 = route(&get("/suggest/dblp?q=program"), &h, T);
+        observe_reply(&h, r1, "t-dblp".to_string(), 0);
+        let r2 = route(&get("/suggest?q=health"), &h, T);
+        observe_reply(&h, r2, "t-default".to_string(), 0);
+        let records = h.obs.recent(10);
+        assert_eq!(records.len(), 2);
+        assert!(records.iter().any(|r| r.corpus == "dblp"));
+        assert!(records.iter().any(|r| r.corpus == "default"));
+        let filtered = route(&get("/debug/requests?corpus=dblp"), &h, T);
+        assert_eq!(filtered.status, 200);
+        assert!(filtered.body.contains("t-dblp"), "{}", filtered.body);
+        assert!(!filtered.body.contains("t-default"), "{}", filtered.body);
+        assert!(
+            filtered.body.contains("\"corpus\":\"dblp\""),
+            "{}",
+            filtered.body
+        );
+        let unknown = route(&get("/debug/requests?corpus=nope"), &h, T);
+        assert_eq!(unknown.status, 400);
+        assert!(
+            unknown.body.contains("no such corpus: nope"),
+            "{}",
+            unknown.body
+        );
+    }
+
+    /// Tentpole: per-tenant rolling windows grade requests against the
+    /// SLO and surface as `/statusz` rows and burn-rate series on
+    /// `/metrics`; shard scatter histograms render for every tenant.
+    #[test]
+    fn per_tenant_windows_and_shard_series_render() {
+        let clock = ManualClock::starting_at(0);
+        let h = handler_for(
+            Arc::clone(&clock),
+            vec![
+                (
+                    "default".to_string(),
+                    mem_engine("<db><rec><t>health insurance</t></rec></db>"),
+                ),
+                (
+                    "dblp".to_string(),
+                    mem_engine("<db><rec><t>program instance</t></rec></db>"),
+                ),
+            ],
+        );
+        // One fast request on default, one SLO-breaching request (2 ms
+        // against the 1 ms test threshold) on dblp.
+        let r = route(&get("/suggest?q=health"), &h, T);
+        observe_reply(&h, r, "t-fast".to_string(), 0);
+        let r = route(&get("/suggest/dblp?q=program"), &h, T);
+        clock.advance(2_000_000);
+        observe_reply(&h, r, "t-slow".to_string(), 0);
+        let now = h.obs.clock().now_nanos();
+        let snaps = h.tenants.get("dblp").unwrap().window_snapshots(now);
+        assert_eq!(snaps[0].count, 1);
+        assert_eq!(snaps[0].slo_breaches, 1);
+        let snaps = h.tenants.primary().window_snapshots(now);
+        assert_eq!(snaps[0].count, 1);
+        assert_eq!(snaps[0].slo_breaches, 0);
+        let status = route(&get("/statusz"), &h, T);
+        assert!(
+            status.body.contains("corpus[dblp] window[1m]:"),
+            "{}",
+            status.body
+        );
+        assert!(status.body.contains("burn_rate="), "{}", status.body);
+        let metrics = route(&get("/metrics"), &h, T);
+        assert!(
+            metrics.body.contains(&format!(
+                "{}{{corpus=\"dblp\",window=\"1m\"}} 100",
+                names::CORPUS_BURN_RATE
+            )),
+            "{}",
+            metrics.body
+        );
+        assert!(
+            metrics.body.contains(&format!(
+                "{}_count{{corpus=\"default\",shard=\"0\"}}",
+                names::SHARD_SCATTER_SECONDS
+            )),
+            "{}",
+            metrics.body
+        );
+        assert!(
+            metrics
+                .body
+                .contains(&format!("{}{{corpus=\"dblp\"}}", names::SHARD_SKEW)),
             "{}",
             metrics.body
         );

@@ -19,10 +19,14 @@
 
 use std::collections::HashMap;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use xclean::{ShardedEngine, SuggestResponse, XCleanEngine};
-use xclean_telemetry::{escape_label_value, names, Counter, MetricsRegistry, Tracer};
+use xclean::{ExplainTrace, ShardedEngine, SuggestResponse, XCleanEngine};
+use xclean_telemetry::{
+    escape_label_value, names, render_labeled_histogram_seconds, Counter, Histogram,
+    MetricsRegistry, RollingWindows, ShardAttribution, Tracer, WindowEvent, WindowSnapshot,
+};
 
 use crate::cache::ResponseCache;
 
@@ -89,6 +93,17 @@ impl TenantEngine {
         }
     }
 
+    /// Runs the suggestion pipeline in explain mode for one tokenised
+    /// query (`/debug/explain`). A separate sequential computation: it
+    /// never touches serving caches or counters, and its suggestions are
+    /// bit-identical to what [`TenantEngine::suggest_keywords`] serves.
+    pub fn explain_keywords(&self, keywords: &[String]) -> ExplainTrace {
+        match self {
+            TenantEngine::Unsharded(e) => e.explain_keywords(keywords),
+            TenantEngine::Sharded(e) => e.explain_keywords(keywords),
+        }
+    }
+
     /// `(format_version, checksum)` of the backing snapshot. `None` for
     /// in-memory corpora and for sharded sets, which span several
     /// snapshots (their shard membership shows on `/statusz` instead).
@@ -124,6 +139,16 @@ pub struct Tenant {
     requests: Counter,
     errors: Counter,
     queries: Counter,
+    /// Per-corpus 1m/5m/15m qps/latency/error/SLO windows, advanced by
+    /// this tenant's own request arrivals.
+    windows: RollingWindows,
+    /// Scatter latency per shard, index = shard ordinal (one entry for
+    /// unsharded tenants). Histograms are atomic inside, so the serving
+    /// path records lock-free.
+    scatter: Vec<Histogram>,
+    /// Straggler skew of the most recent scattered request — max shard
+    /// scatter nanos over the median — stored as `f64` bits.
+    skew: AtomicU64,
 }
 
 impl Tenant {
@@ -160,6 +185,51 @@ impl Tenant {
     /// Individual queries answered (a batch POST counts each query).
     pub fn queries(&self) -> &Counter {
         &self.queries
+    }
+
+    /// Folds one completed request into this tenant's rolling windows.
+    pub fn record_window(&self, now_nanos: u64, event: &WindowEvent) {
+        self.windows.record(now_nanos, event);
+    }
+
+    /// Snapshots the tenant's 1m/5m/15m windows at `now_nanos`.
+    pub fn window_snapshots(&self, now_nanos: u64) -> Vec<WindowSnapshot> {
+        self.windows.snapshot(now_nanos)
+    }
+
+    /// Folds one request's per-shard scatter attribution into the
+    /// scatter histograms and refreshes the straggler-skew gauge
+    /// (max shard nanos / median shard nanos for *this* request —
+    /// last scattered request wins, 0 when nothing scattered yet).
+    pub fn record_shards(&self, shards: &[ShardAttribution]) {
+        if shards.is_empty() {
+            return;
+        }
+        for s in shards {
+            if let Some(h) = self.scatter.get(s.shard as usize) {
+                h.record(s.scatter_nanos);
+            }
+        }
+        let mut nanos: Vec<u64> = shards.iter().map(|s| s.scatter_nanos).collect();
+        nanos.sort_unstable();
+        let median = nanos[nanos.len() / 2];
+        let max = *nanos.last().expect("non-empty");
+        let skew = if median == 0 {
+            0.0
+        } else {
+            max as f64 / median as f64
+        };
+        self.skew.store(skew.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Straggler skew of the most recent scattered request.
+    pub fn shard_skew(&self) -> f64 {
+        f64::from_bits(self.skew.load(Ordering::Relaxed))
+    }
+
+    /// Per-shard scatter latency histograms, index = shard ordinal.
+    pub fn scatter_histograms(&self) -> &[Histogram] {
+        &self.scatter
     }
 }
 
@@ -212,6 +282,7 @@ impl TenantSet {
                 engine.metrics(),
             ));
             let fingerprint = engine.fingerprint();
+            let shard_count = engine.shard_count() as usize;
             tenants.push(Tenant {
                 name,
                 engine,
@@ -220,6 +291,9 @@ impl TenantSet {
                 requests: Counter::default(),
                 errors: Counter::default(),
                 queries: Counter::default(),
+                windows: RollingWindows::new(),
+                scatter: (0..shard_count).map(|_| Histogram::default()).collect(),
+                skew: AtomicU64::new(0),
             });
         }
         Ok(TenantSet { tenants, by_name })
@@ -284,6 +358,92 @@ impl TenantSet {
         ];
         for (name, value) in gauges {
             self.render_series(&mut out, name, "gauge", value);
+        }
+        out
+    }
+
+    /// `corpus`+`shard`-labelled scatter histograms and the per-corpus
+    /// straggler-skew gauge, appended to `/metrics` after the corpus
+    /// counters. One `HELP`/`TYPE` pair per family, then one labelled
+    /// series per tenant × shard.
+    pub fn render_shard_metrics(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# HELP {name} {}\n# TYPE {name} histogram\n",
+            names::help_for(names::SHARD_SCATTER_SECONDS),
+            name = names::SHARD_SCATTER_SECONDS
+        ));
+        for t in &self.tenants {
+            for (shard, h) in t.scatter.iter().enumerate() {
+                let labels = format!(
+                    "corpus=\"{}\",shard=\"{shard}\"",
+                    escape_label_value(&t.name)
+                );
+                render_labeled_histogram_seconds(
+                    &mut out,
+                    names::SHARD_SCATTER_SECONDS,
+                    &labels,
+                    h,
+                );
+            }
+        }
+        out.push_str(&format!(
+            "# HELP {name} {}\n# TYPE {name} gauge\n",
+            names::help_for(names::SHARD_SKEW),
+            name = names::SHARD_SKEW
+        ));
+        for t in &self.tenants {
+            out.push_str(&format!(
+                "{}{{corpus=\"{}\"}} {}\n",
+                names::SHARD_SKEW,
+                escape_label_value(&t.name),
+                t.shard_skew()
+            ));
+        }
+        out
+    }
+
+    /// `corpus`+`window`-labelled SLO burn rates and breach counts,
+    /// snapshotted at `now_nanos`, appended to `/metrics` after the
+    /// shard series.
+    pub fn render_slo_metrics(&self, now_nanos: u64) -> String {
+        let mut out = String::new();
+        let snaps: Vec<(&Tenant, Vec<WindowSnapshot>)> = self
+            .tenants
+            .iter()
+            .map(|t| (t, t.window_snapshots(now_nanos)))
+            .collect();
+        out.push_str(&format!(
+            "# HELP {name} {}\n# TYPE {name} gauge\n",
+            names::help_for(names::CORPUS_BURN_RATE),
+            name = names::CORPUS_BURN_RATE
+        ));
+        for (t, windows) in &snaps {
+            for s in windows {
+                out.push_str(&format!(
+                    "{}{{corpus=\"{}\",window=\"{}\"}} {}\n",
+                    names::CORPUS_BURN_RATE,
+                    escape_label_value(t.name()),
+                    s.label,
+                    s.slo_burn_rate()
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "# HELP {name} {}\n# TYPE {name} gauge\n",
+            names::help_for(names::CORPUS_SLO_BREACHES),
+            name = names::CORPUS_SLO_BREACHES
+        ));
+        for (t, windows) in &snaps {
+            for s in windows {
+                out.push_str(&format!(
+                    "{}{{corpus=\"{}\",window=\"{}\"}} {}\n",
+                    names::CORPUS_SLO_BREACHES,
+                    escape_label_value(t.name()),
+                    s.label,
+                    s.slo_breaches
+                ));
+            }
         }
         out
     }
@@ -356,6 +516,130 @@ mod tests {
         for bad in ["", "a/b", "a b", "a?b", "a#b"] {
             let r = TenantSet::build(vec![(bad.into(), engine("<r><p>x</p></r>"))], 16, 2);
             assert!(r.is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn shard_metrics_render_scatter_histograms_and_skew() {
+        let set = TenantSet::build(
+            vec![
+                ("default".into(), engine("<r><p>alpha beta</p></r>")),
+                ("dblp".into(), engine("<r><p>gamma delta</p></r>")),
+            ],
+            16,
+            2,
+        )
+        .unwrap();
+        let t = set.get("dblp").unwrap();
+        assert_eq!(t.shard_skew(), 0.0, "no scattered request yet");
+        let attr = |shard: u32, scatter_nanos: u64| ShardAttribution {
+            shard,
+            scatter_nanos,
+            subtrees: 1,
+            candidates: 1,
+            entities: 1,
+            contributions: 1,
+        };
+        // Three shards: sorted nanos [1000, 2000, 6000] → upper median
+        // 2000, max 6000 → skew 3. Only shard 0 exists on this
+        // (unsharded) tenant, so only its histogram records.
+        t.record_shards(&[attr(0, 1_000), attr(1, 6_000), attr(2, 2_000)]);
+        assert_eq!(t.shard_skew(), 3.0);
+        assert_eq!(t.scatter_histograms().len(), 1);
+        let text = set.render_shard_metrics();
+        assert!(
+            text.contains(&format!(
+                "# TYPE {} histogram",
+                names::SHARD_SCATTER_SECONDS
+            )),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "{}_count{{corpus=\"dblp\",shard=\"0\"}} 1",
+                names::SHARD_SCATTER_SECONDS
+            )),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "{}_count{{corpus=\"default\",shard=\"0\"}} 0",
+                names::SHARD_SCATTER_SECONDS
+            )),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("{}{{corpus=\"dblp\"}} 3", names::SHARD_SKEW)),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("{}{{corpus=\"default\"}} 0", names::SHARD_SKEW)),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn slo_metrics_render_burn_rate_and_breaches_per_window() {
+        let set = TenantSet::build(
+            vec![
+                ("default".into(), engine("<r><p>alpha beta</p></r>")),
+                ("dblp".into(), engine("<r><p>gamma delta</p></r>")),
+            ],
+            16,
+            2,
+        )
+        .unwrap();
+        let t = set.get("dblp").unwrap();
+        t.record_window(
+            1_000,
+            &WindowEvent {
+                total_nanos: 5_000,
+                error: false,
+                cache_hit: Some(false),
+                slo_breach: true,
+            },
+        );
+        // One request, one breach → ratio 1.0 → burn rate 100× the 1%
+        // budget, in every window.
+        let text = set.render_slo_metrics(2_000);
+        for window in ["1m", "5m", "15m"] {
+            assert!(
+                text.contains(&format!(
+                    "{}{{corpus=\"dblp\",window=\"{window}\"}} 100",
+                    names::CORPUS_BURN_RATE
+                )),
+                "{text}"
+            );
+            assert!(
+                text.contains(&format!(
+                    "{}{{corpus=\"dblp\",window=\"{window}\"}} 1",
+                    names::CORPUS_SLO_BREACHES
+                )),
+                "{text}"
+            );
+            assert!(
+                text.contains(&format!(
+                    "{}{{corpus=\"default\",window=\"{window}\"}} 0",
+                    names::CORPUS_BURN_RATE
+                )),
+                "{text}"
+            );
+        }
+        let snaps = t.window_snapshots(2_000);
+        assert_eq!(snaps.len(), 3);
+        assert_eq!(snaps[0].slo_breaches, 1);
+    }
+
+    #[test]
+    fn explain_dispatch_is_bit_identical_to_serving() {
+        let e = engine("<r><p>health insurance</p><p>health policy</p></r>");
+        let keywords = e.parse_query("helth insurance");
+        let served = e.suggest_keywords(&keywords);
+        let trace = e.explain_keywords(&keywords);
+        assert_eq!(served.suggestions.len(), trace.suggestions.len());
+        for (a, b) in served.suggestions.iter().zip(&trace.suggestions) {
+            assert_eq!(a.terms, b.terms);
+            assert_eq!(a.log_score.to_bits(), b.log_score.to_bits());
         }
     }
 

@@ -33,11 +33,14 @@ pub mod window;
 
 pub use clock::{Clock, ManualClock, MonotonicClock, SharedClock};
 pub use log::{set_global, Level, LevelSpec, LogFormat, Logger};
-pub use metrics::{escape_label_value, Counter, Histogram, HistogramSummary, MetricsRegistry};
-pub use ring::{RequestRecord, RequestRing};
+pub use metrics::{
+    escape_label_value, render_exemplar_histogram, render_labeled_histogram_seconds, Counter,
+    Exemplar, ExemplarStore, Histogram, HistogramSummary, MetricsRegistry,
+};
+pub use ring::{RequestRecord, RequestRing, ShardAttribution};
 pub use runtime::{FlightRecorder, RuntimeEvent, RuntimeEventKind, RuntimeStats};
 pub use span::{SpanGuard, SpanRecord, Tracer};
-pub use window::{RollingWindows, WindowEvent, WindowSnapshot};
+pub use window::{RollingWindows, WindowEvent, WindowSnapshot, SLO_ERROR_BUDGET};
 
 /// Canonical metric names used by the engine, shared between the
 /// recording side (`crates/xclean`) and consumers (CLI, tests) so the two
@@ -147,6 +150,22 @@ pub mod names {
     /// Per-corpus gauge (labelled `corpus`): shard count of the backing
     /// engine (1 for an unsharded snapshot).
     pub const CORPUS_SHARDS: &str = "xclean_server_corpus_shards";
+    /// Per-shard histogram (labelled `corpus` and `shard`): scatter-phase
+    /// latency of one shard's Algorithm-1 run, in fractional seconds.
+    pub const SHARD_SCATTER_SECONDS: &str = "xclean_shard_scatter_seconds";
+    /// Per-corpus gauge (labelled `corpus`): straggler skew of the most
+    /// recent sharded request — max shard scatter nanos over the median.
+    pub const SHARD_SKEW: &str = "xclean_server_shard_skew";
+    /// Per-corpus gauge (labelled `corpus` and `window`): SLO burn rate —
+    /// the window's latency-breach share over the 1% error budget.
+    pub const CORPUS_BURN_RATE: &str = "xclean_server_corpus_slo_burn_rate";
+    /// Per-corpus gauge (labelled `corpus` and `window`): requests that
+    /// breached the latency SLO inside the rolling window.
+    pub const CORPUS_SLO_BREACHES: &str = "xclean_server_corpus_slo_breaches";
+    /// Latency-exemplar histogram: the server request histogram in
+    /// seconds, bucket lines annotated with the most recent X-Request-Id
+    /// that landed in each bucket.
+    pub const LATENCY_EXEMPLARS: &str = "xclean_server_latency_exemplar_seconds";
 
     /// One-line `# HELP` text for a metric name; a generic fallback for
     /// names registered outside this canonical list (tests, ad hoc).
@@ -204,6 +223,21 @@ pub mod names {
             n if n == CORPUS_CACHE_MISSES => "Response-cache misses for the corpus.",
             n if n == CORPUS_CACHE_ENTRIES => "Live response-cache entries for the corpus.",
             n if n == CORPUS_SHARDS => "Shard count of the corpus engine (1 = unsharded).",
+            n if n == SHARD_SCATTER_SECONDS => {
+                "Per-shard scatter-phase latency in seconds, labelled corpus and shard."
+            }
+            n if n == SHARD_SKEW => {
+                "Straggler skew of the latest sharded request: max/median shard scatter nanos."
+            }
+            n if n == CORPUS_BURN_RATE => {
+                "SLO burn rate per corpus and window: breach share over the 1% error budget."
+            }
+            n if n == CORPUS_SLO_BREACHES => {
+                "Latency-SLO breaches per corpus inside the rolling window."
+            }
+            n if n == LATENCY_EXEMPLARS => {
+                "Request latency in seconds with per-bucket trace-ID exemplars."
+            }
             _ => "XClean metric.",
         }
     }

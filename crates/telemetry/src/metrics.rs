@@ -15,7 +15,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::json_escape;
 
@@ -195,6 +195,152 @@ pub fn escape_label_value(s: &str) -> String {
         }
     }
     out
+}
+
+/// One histogram-bucket exemplar: the most recent trace ID whose sample
+/// landed in the bucket, plus the sample itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Trace / request ID of the most recent sample in the bucket.
+    pub trace_id: String,
+    /// That sample's value in nanoseconds.
+    pub value_nanos: u64,
+}
+
+/// Per-bucket exemplar retention for one log₂ histogram (DESIGN.md §17).
+///
+/// Retention rule: each bucket keeps exactly the **most recent** trace
+/// ID that landed in it — last write wins, no sampling, no decay. That
+/// makes every populated latency bucket on `/metrics` a direct link to a
+/// replayable request in `/debug/requests`, and bounds memory at one
+/// small string per bucket. Recording takes one short per-bucket mutex
+/// off the engine's hot paths (once per completed request).
+#[derive(Debug)]
+pub struct ExemplarStore {
+    slots: [Mutex<Option<Exemplar>>; HIST_BUCKETS],
+}
+
+impl Default for ExemplarStore {
+    fn default() -> Self {
+        ExemplarStore {
+            slots: std::array::from_fn(|_| Mutex::new(None)),
+        }
+    }
+}
+
+impl ExemplarStore {
+    /// A store with every bucket empty.
+    pub fn new() -> Self {
+        ExemplarStore::default()
+    }
+
+    /// Remembers `trace_id` as the newest exemplar of the bucket holding
+    /// `value_nanos`.
+    pub fn record(&self, value_nanos: u64, trace_id: &str) {
+        let slot = &self.slots[log2_bucket_of(value_nanos)];
+        *slot.lock().expect("exemplar slot poisoned") = Some(Exemplar {
+            trace_id: trace_id.to_string(),
+            value_nanos,
+        });
+    }
+
+    /// Occupied buckets as `(bucket upper bound in nanos, exemplar)`,
+    /// ascending by bound.
+    pub fn snapshot(&self) -> Vec<(u64, Exemplar)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                slot.lock()
+                    .expect("exemplar slot poisoned")
+                    .clone()
+                    .map(|e| (log2_bucket_upper(i), e))
+            })
+            .collect()
+    }
+}
+
+/// A finite log₂ bucket upper bound rendered as fractional seconds
+/// (plain `f64` display — never scientific notation — so `le` values
+/// stay parseable Prometheus floats).
+fn seconds_of(nanos: u64) -> String {
+    format!("{}", nanos as f64 / 1e9)
+}
+
+/// Renders one labelled histogram's series lines in seconds units:
+/// cumulative `name_bucket{labels,le="…"}` up to the highest occupied
+/// bucket, a final `+Inf` carrying the total, then `_sum`/`_count` with
+/// the same label set. The caller emits the family's `# HELP`/`# TYPE`
+/// pair once (several label sets share one family).
+pub fn render_labeled_histogram_seconds(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    let counts = h.bucket_counts();
+    let max_used = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate().take(max_used + 1) {
+        cum += c;
+        if i == HIST_BUCKETS - 1 {
+            break; // the final bucket is only ever shown as +Inf
+        }
+        out.push_str(&format!(
+            "{name}_bucket{{{labels},le=\"{}\"}} {cum}\n",
+            seconds_of(log2_bucket_upper(i))
+        ));
+    }
+    let total: u64 = counts.iter().sum();
+    out.push_str(&format!(
+        "{name}_bucket{{{labels},le=\"+Inf\"}} {total}\n\
+         {name}_sum{{{labels}}} {}\n{name}_count{{{labels}}} {total}\n",
+        seconds_of(h.sum())
+    ));
+}
+
+/// Renders `h` as a seconds-unit histogram family whose bucket lines
+/// carry OpenMetrics-style exemplars (` # {trace_id="…"} value`) from
+/// `store` where a bucket has one. Emits its own `# HELP`/`# TYPE` pair;
+/// conformant without exemplar-aware parsers (the suffix is a comment to
+/// classic Prometheus text-format readers).
+pub fn render_exemplar_histogram(
+    out: &mut String,
+    name: &str,
+    h: &Histogram,
+    store: &ExemplarStore,
+) {
+    out.push_str(&format!(
+        "# HELP {name} {}\n# TYPE {name} histogram\n",
+        crate::names::help_for(name)
+    ));
+    let counts = h.bucket_counts();
+    let exemplars: BTreeMap<usize, Exemplar> = store
+        .snapshot()
+        .into_iter()
+        .map(|(upper, e)| (log2_bucket_of(e.value_nanos), (upper, e)))
+        .map(|(i, (_upper, e))| (i, e))
+        .collect();
+    let max_used = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate().take(max_used + 1) {
+        cum += c;
+        if i == HIST_BUCKETS - 1 {
+            break;
+        }
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"{}\"}} {cum}",
+            seconds_of(log2_bucket_upper(i))
+        ));
+        if let Some(e) = exemplars.get(&i) {
+            out.push_str(&format!(
+                " # {{trace_id=\"{}\"}} {}",
+                escape_label_value(&e.trace_id),
+                seconds_of(e.value_nanos)
+            ));
+        }
+        out.push('\n');
+    }
+    let total: u64 = counts.iter().sum();
+    out.push_str(&format!(
+        "{name}_bucket{{le=\"+Inf\"}} {total}\n{name}_sum {}\n{name}_count {total}\n",
+        seconds_of(h.sum())
+    ));
 }
 
 #[derive(Debug, Default)]
@@ -536,6 +682,110 @@ mod tests {
         assert_eq!(escape_label_value("a\"b"), "a\\\"b");
         assert_eq!(escape_label_value("a\nb"), "a\\nb");
         assert_eq!(escape_label_value("q=\"x\\y\nz\""), "q=\\\"x\\\\y\\nz\\\"");
+    }
+
+    #[test]
+    fn exemplar_store_keeps_the_most_recent_trace_per_bucket() {
+        let store = ExemplarStore::new();
+        assert!(store.snapshot().is_empty());
+        store.record(700, "t-old");
+        store.record(900, "t-new"); // same [512, 1024) bucket: overwrites
+        store.record(5, "t-small");
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, 7, "bucket upper of 5 is 7");
+        assert_eq!(snap[0].1.trace_id, "t-small");
+        assert_eq!(snap[1].0, 1023);
+        assert_eq!(snap[1].1.trace_id, "t-new");
+        assert_eq!(snap[1].1.value_nanos, 900);
+    }
+
+    #[test]
+    fn exemplar_histogram_renders_openmetrics_suffixes() {
+        let h = Histogram::default();
+        let store = ExemplarStore::new();
+        h.record(700);
+        h.record(3);
+        store.record(700, "trace-700");
+        let mut out = String::new();
+        render_exemplar_histogram(&mut out, "xclean_test_exemplars", &h, &store);
+        assert!(out.starts_with("# HELP xclean_test_exemplars "), "{out}");
+        assert!(
+            out.contains("# TYPE xclean_test_exemplars histogram"),
+            "{out}"
+        );
+        // The 700ns bucket line carries its exemplar; the 3ns one has
+        // none recorded and stays a plain bucket line.
+        assert!(
+            out.contains(
+                "xclean_test_exemplars_bucket{le=\"0.000001023\"} 2 \
+                 # {trace_id=\"trace-700\"} 0.0000007\n"
+            ),
+            "{out}"
+        );
+        assert!(
+            out.contains("xclean_test_exemplars_bucket{le=\"0.000000003\"} 1\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("xclean_test_exemplars_bucket{le=\"+Inf\"} 2\n"),
+            "{out}"
+        );
+        assert!(out.contains("xclean_test_exemplars_count 2\n"), "{out}");
+    }
+
+    #[test]
+    fn labeled_histogram_renders_cumulative_seconds_buckets() {
+        let h = Histogram::default();
+        h.record(700);
+        h.record(800);
+        let mut out = String::new();
+        render_labeled_histogram_seconds(
+            &mut out,
+            "xclean_shard_scatter_seconds",
+            "corpus=\"dblp\",shard=\"1\"",
+            &h,
+        );
+        assert!(
+            out.contains(
+                "xclean_shard_scatter_seconds_bucket{corpus=\"dblp\",shard=\"1\",le=\"0.000001023\"} 2\n"
+            ),
+            "{out}"
+        );
+        assert!(
+            out.contains(
+                "xclean_shard_scatter_seconds_bucket{corpus=\"dblp\",shard=\"1\",le=\"+Inf\"} 2\n"
+            ),
+            "{out}"
+        );
+        assert!(
+            out.contains(
+                "xclean_shard_scatter_seconds_sum{corpus=\"dblp\",shard=\"1\"} 0.0000015\n"
+            ),
+            "{out}"
+        );
+        assert!(
+            out.contains("xclean_shard_scatter_seconds_count{corpus=\"dblp\",shard=\"1\"} 2\n"),
+            "{out}"
+        );
+        // An empty histogram still emits its zero bucket, +Inf, sum, count.
+        let mut empty = String::new();
+        render_labeled_histogram_seconds(
+            &mut empty,
+            "xclean_shard_scatter_seconds",
+            "corpus=\"a\",shard=\"0\"",
+            &Histogram::default(),
+        );
+        assert!(
+            empty.contains(
+                "xclean_shard_scatter_seconds_bucket{corpus=\"a\",shard=\"0\",le=\"0\"} 0\n"
+            ),
+            "{empty}"
+        );
+        assert!(
+            empty.contains("xclean_shard_scatter_seconds_count{corpus=\"a\",shard=\"0\"} 0\n"),
+            "{empty}"
+        );
     }
 
     #[test]

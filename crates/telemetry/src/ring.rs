@@ -22,6 +22,43 @@ use std::sync::Mutex;
 
 use crate::json_escape;
 
+/// Per-shard scatter attribution for one sharded suggestion request.
+///
+/// The sharded engine's scatter phase runs Algorithm 1 once per shard;
+/// each run's cost and yield is captured here so a single slow-log line
+/// (or `/debug/requests` record) names the straggler shard directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardAttribution {
+    /// Shard index (document order, 0-based).
+    pub shard: u32,
+    /// Nanoseconds the shard's scatter (walk + accumulate) took.
+    pub scatter_nanos: u64,
+    /// Gated subtrees the shard's anchor walk visited.
+    pub subtrees: u64,
+    /// Candidate queries the shard enumerated.
+    pub candidates: u64,
+    /// Entity score contributions the shard computed.
+    pub entities: u64,
+    /// Contribution-log entries the shard handed to the gather merge.
+    pub contributions: u64,
+}
+
+impl ShardAttribution {
+    /// The attribution as one compact JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"shard\":{},\"scatter_nanos\":{},\"subtrees\":{},\"candidates\":{},\
+             \"entities\":{},\"contributions\":{}}}",
+            self.shard,
+            self.scatter_nanos,
+            self.subtrees,
+            self.candidates,
+            self.entities,
+            self.contributions
+        )
+    }
+}
+
 /// One completed request, as the observability plane remembers it.
 #[derive(Debug, Clone, Default)]
 pub struct RequestRecord {
@@ -53,6 +90,12 @@ pub struct RequestRecord {
     pub suggestions: u64,
     /// Arrival time in clock nanos (see [`crate::clock::Clock`]).
     pub arrived_nanos: u64,
+    /// Resolved corpus name (empty for non-tenant routes and for
+    /// requests that never matched a catalog entry).
+    pub corpus: String,
+    /// Per-shard scatter attribution (empty for unsharded engines and
+    /// non-suggest routes).
+    pub shards: Vec<ShardAttribution>,
 }
 
 impl RequestRecord {
@@ -83,7 +126,7 @@ impl RequestRecord {
         out.push_str(&format!(
             ",\"stages\":{{\"slot_nanos\":{},\"walk_nanos\":{},\"rank_nanos\":{}}},\
              \"total_nanos\":{},\"candidates\":{},\"entities\":{},\"suggestions\":{},\
-             \"arrived_nanos\":{}}}",
+             \"arrived_nanos\":{}",
             self.slot_nanos,
             self.walk_nanos,
             self.rank_nanos,
@@ -93,6 +136,15 @@ impl RequestRecord {
             self.suggestions,
             self.arrived_nanos
         ));
+        out.push_str(&format!(",\"corpus\":\"{}\"", json_escape(&self.corpus)));
+        out.push_str(",\"shards\":[");
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&s.to_json());
+        }
+        out.push_str("]}");
         out
     }
 }
@@ -261,6 +313,46 @@ mod tests {
         let mut none = record("t", 1);
         none.cache_hit = None;
         assert!(none.to_json().contains("\"cache\":null"));
+    }
+
+    #[test]
+    fn json_carries_corpus_and_shard_attribution() {
+        let mut r = record("t", 1);
+        assert!(
+            r.to_json().ends_with("\"corpus\":\"\",\"shards\":[]}"),
+            "{}",
+            r.to_json()
+        );
+        r.corpus = "dblp".to_string();
+        r.shards = vec![
+            ShardAttribution {
+                shard: 0,
+                scatter_nanos: 500,
+                subtrees: 3,
+                candidates: 7,
+                entities: 11,
+                contributions: 5,
+            },
+            ShardAttribution {
+                shard: 1,
+                scatter_nanos: 900,
+                ..Default::default()
+            },
+        ];
+        let json = r.to_json();
+        assert!(json.contains("\"corpus\":\"dblp\""), "{json}");
+        assert!(
+            json.contains(
+                "\"shards\":[{\"shard\":0,\"scatter_nanos\":500,\"subtrees\":3,\
+                 \"candidates\":7,\"entities\":11,\"contributions\":5},"
+            ),
+            "{json}"
+        );
+        assert!(
+            json.contains("{\"shard\":1,\"scatter_nanos\":900"),
+            "{json}"
+        );
+        assert!(json.ends_with("]}"), "{json}");
     }
 
     #[test]

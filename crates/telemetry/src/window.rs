@@ -34,6 +34,10 @@ pub struct WindowEvent {
     pub error: bool,
     /// Response-cache outcome, when the route consulted the cache.
     pub cache_hit: Option<bool>,
+    /// Whether the request breached its latency SLO threshold (the
+    /// caller compares `total_nanos` against its configured objective;
+    /// the windows just count).
+    pub slo_breach: bool,
 }
 
 /// One wheel bucket: plain integers, guarded by the wheel's mutex.
@@ -43,6 +47,7 @@ struct Bucket {
     errors: u64,
     cache_hits: u64,
     cache_misses: u64,
+    slo_breaches: u64,
     latency: [u64; HIST_BUCKETS],
 }
 
@@ -53,6 +58,7 @@ impl Bucket {
             errors: 0,
             cache_hits: 0,
             cache_misses: 0,
+            slo_breaches: 0,
             latency: [0; HIST_BUCKETS],
         }
     }
@@ -117,6 +123,9 @@ impl Wheel {
             Some(false) => b.cache_misses += 1,
             None => {}
         }
+        if event.slo_breach {
+            b.slo_breaches += 1;
+        }
         b.latency[log2_bucket_of(event.total_nanos)] += 1;
     }
 
@@ -138,6 +147,7 @@ impl Wheel {
             out.errors += b.errors;
             out.cache_hits += b.cache_hits;
             out.cache_misses += b.cache_misses;
+            out.slo_breaches += b.slo_breaches;
             for (acc, c) in latency.iter_mut().zip(b.latency.iter()) {
                 *acc += c;
             }
@@ -164,6 +174,8 @@ pub struct WindowSnapshot {
     pub cache_hits: u64,
     /// Response-cache misses inside the window.
     pub cache_misses: u64,
+    /// Requests that breached their latency SLO inside the window.
+    pub slo_breaches: u64,
     /// Median request latency (bucket upper bound).
     pub p50_nanos: u64,
     /// 95th-percentile request latency.
@@ -196,7 +208,31 @@ impl WindowSnapshot {
             self.cache_hits as f64 / consulted as f64
         }
     }
+
+    /// Share of requests that breached the latency SLO (0 when the
+    /// window is empty).
+    pub fn slo_breach_ratio(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.slo_breaches as f64 / self.count as f64
+        }
+    }
+
+    /// Multi-window SLO burn rate against [`SLO_ERROR_BUDGET`]: how many
+    /// times faster than "exactly on objective" the window consumed its
+    /// error budget. 1.0 = burning at precisely the sustainable rate;
+    /// ≥ 14 on a short window is the classic page-now signal.
+    pub fn slo_burn_rate(&self) -> f64 {
+        self.slo_breach_ratio() / SLO_ERROR_BUDGET
+    }
 }
+
+/// The fixed SLO objective every burn rate is computed against: 99% of
+/// requests inside the latency threshold, i.e. a 1% error budget. The
+/// *threshold* is configurable per server; the objective is not — burn
+/// rates across corpora stay directly comparable.
+pub const SLO_ERROR_BUDGET: f64 = 0.01;
 
 /// The 1m/5m/15m rolling aggregates, advanced by request arrival.
 #[derive(Debug)]
@@ -259,6 +295,7 @@ mod tests {
             total_nanos: nanos,
             error: false,
             cache_hit: Some(false),
+            slo_breach: false,
         }
     }
 
@@ -315,6 +352,7 @@ mod tests {
                 total_nanos: 100,
                 error: true,
                 cache_hit: None,
+                slo_breach: false,
             },
         );
         w.record(
@@ -323,6 +361,7 @@ mod tests {
                 total_nanos: 100,
                 error: false,
                 cache_hit: Some(true),
+                slo_breach: false,
             },
         );
         let s = w.snapshot(0)[0];
@@ -367,5 +406,56 @@ mod tests {
         assert_eq!(s.qps(), 0.0);
         assert_eq!(s.error_ratio(), 0.0);
         assert_eq!(s.cache_hit_ratio(), 0.0);
+        assert_eq!(s.slo_breach_ratio(), 0.0);
+        assert_eq!(s.slo_burn_rate(), 0.0);
+    }
+
+    fn breach(nanos: u64) -> WindowEvent {
+        WindowEvent {
+            slo_breach: true,
+            ..ok(nanos)
+        }
+    }
+
+    /// Satellite: burn-rate math is exact — driven by a manual clock
+    /// across a full window rotation, the ratio is a precise rational at
+    /// every step, never an approximation.
+    #[test]
+    fn burn_rate_is_exact_across_window_rotation() {
+        let w = RollingWindows::new();
+        // 96 good + 4 breaching requests in the first second: breach
+        // ratio exactly 4/100, burn rate exactly 4.0 against the 1%
+        // budget — in every window.
+        for _ in 0..96 {
+            w.record(0, &ok(1_000));
+        }
+        for _ in 0..4 {
+            w.record(0, &breach(2_000_000_000));
+        }
+        for s in w.snapshot(0) {
+            assert_eq!(s.slo_breaches, 4, "{}", s.label);
+            assert_eq!(s.slo_breach_ratio(), 0.04, "{}", s.label);
+            assert_eq!(s.slo_burn_rate(), 4.0, "{}", s.label);
+        }
+        // 30 s later, 100 clean requests land. The 1m window now holds
+        // 200 requests / 4 breaches: ratio exactly 0.02, burn 2.0.
+        for _ in 0..100 {
+            w.record(30 * SEC, &ok(1_000));
+        }
+        let s = w.snapshot(30 * SEC)[0];
+        assert_eq!((s.count, s.slo_breaches), (200, 4));
+        assert_eq!(s.slo_burn_rate(), 2.0);
+        // At t=75 s the 1m wheel has rotated the breaching bucket out:
+        // only the clean t=30s bucket survives, burn drops to exactly 0;
+        // the 5m window still remembers all 4 breaches out of 200.
+        let snaps = w.snapshot(75 * SEC);
+        assert_eq!((snaps[0].count, snaps[0].slo_breaches), (100, 0));
+        assert_eq!(snaps[0].slo_burn_rate(), 0.0);
+        assert_eq!((snaps[1].count, snaps[1].slo_breaches), (200, 4));
+        assert_eq!(snaps[1].slo_burn_rate(), 2.0);
+        // After the 5m window rotates fully, it forgets too.
+        let snaps = w.snapshot(331 * SEC);
+        assert_eq!(snaps[1].slo_breaches, 0);
+        assert_eq!(snaps[1].slo_burn_rate(), 0.0);
     }
 }

@@ -79,6 +79,11 @@ pub struct SuggestResponse {
     pub elapsed: Duration,
     /// Algorithm counters.
     pub stats: RunStats,
+    /// Per-shard scatter attribution: one entry per shard that ran a
+    /// scatter walk, in shard-id order ([`crate::ShardedEngine`] only —
+    /// always empty on the unsharded engine and on empty-variant
+    /// early-outs). Record-only: carrying it changes no response bit.
+    pub shard_stats: Vec<xclean_telemetry::ShardAttribution>,
 }
 
 impl SuggestResponse {
@@ -542,6 +547,7 @@ impl XCleanEngine {
             suggestions: pooled,
             elapsed: start.elapsed(),
             stats,
+            shard_stats: Vec::new(),
         }
     }
 
@@ -686,6 +692,7 @@ impl XCleanEngine {
             suggestions,
             elapsed,
             stats: out.stats,
+            shard_stats: Vec::new(),
         }
     }
 }

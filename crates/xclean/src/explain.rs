@@ -1,0 +1,587 @@
+//! Query-level explain traces (the diagnostics plane).
+//!
+//! [`ExplainTrace`] answers "why did this query return what it did": the
+//! per-keyword variant sets, candidate counts entering and leaving every
+//! pipeline stage (slots → variants → walk → score → rank), the
+//! γ-eviction events taken by the accumulator table, per-shard scatter
+//! attribution on a sharded engine, and per-stage wall times.
+//!
+//! Explain mode is a *separate computation*: it re-runs the sequential
+//! pipeline through an observing sink ([`ExplainSink`]) and never touches
+//! the serving path, its arenas, or its caches. Because every serving
+//! configuration is bit-identical to the sequential run (the engine's
+//! core contract), the suggestions an explain trace reports are
+//! bit-identical to what `suggest` serves — asserted by the
+//! `explain_neutrality` integration tests.
+
+use std::time::Instant;
+
+use xclean_index::TokenId;
+use xclean_telemetry::ShardAttribution;
+
+use crate::algorithm::{
+    accumulate_scoped, finalize_candidates, nanos_since, KeywordSlot, RunStats, ScoredCandidate,
+};
+use crate::arena::QueryArena;
+use crate::elca::run_elca;
+use crate::engine::{Semantics, Suggestion, XCleanEngine};
+use crate::pruning::{AccumulatorTable, CandidateKey, GammaEvent, ScoreSink};
+use crate::slca::run_slca;
+use crate::view::Scoring;
+use xclean_xmltree::PathId;
+
+/// Cap on retained γ-eviction events per explain trace (the total count
+/// keeps counting past the cap; only the detail list is bounded).
+pub const MAX_EXPLAIN_EVICTIONS: usize = 64;
+
+/// What kind of γ-pruning decision an [`EvictionExplain`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GammaEventKind {
+    /// An existing accumulator was evicted for a stronger newcomer.
+    Evicted,
+    /// The newcomer lost the estimate contest and never entered.
+    NewcomerRejected,
+    /// A contribution for an already-evicted candidate was dropped.
+    TombstoneRejected,
+}
+
+impl GammaEventKind {
+    /// Stable wire name (used verbatim in the explain JSON).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            GammaEventKind::Evicted => "evicted",
+            GammaEventKind::NewcomerRejected => "newcomer_rejected",
+            GammaEventKind::TombstoneRejected => "tombstone_rejected",
+        }
+    }
+}
+
+/// An owned γ-event as captured during the walk (terms resolved later,
+/// once, when the trace is assembled).
+pub(crate) type RawEvent = (GammaEventKind, CandidateKey, Option<f64>);
+
+pub(crate) fn owned_event(e: GammaEvent<'_>) -> RawEvent {
+    match e {
+        GammaEvent::Evicted { victim, estimate } => {
+            (GammaEventKind::Evicted, victim.clone(), Some(estimate))
+        }
+        GammaEvent::NewcomerRejected { key, estimate } => (
+            GammaEventKind::NewcomerRejected,
+            key.clone(),
+            Some(estimate),
+        ),
+        GammaEvent::TombstoneRejected { key } => {
+            (GammaEventKind::TombstoneRejected, key.clone(), None)
+        }
+    }
+}
+
+/// One γ-pruning decision, with the candidate resolved to terms.
+#[derive(Debug, Clone)]
+pub struct EvictionExplain {
+    /// What happened.
+    pub kind: GammaEventKind,
+    /// The affected candidate's terms.
+    pub terms: Vec<String>,
+    /// The estimated log score that decided the contest (`None` for
+    /// tombstone rejections, where no estimate is computed; may be
+    /// `-inf` for empty accumulators).
+    pub estimate: Option<f64>,
+}
+
+/// One keyword's generated variant, resolved to its term.
+#[derive(Debug, Clone)]
+pub struct VariantExplain {
+    /// The variant term.
+    pub term: String,
+    /// Edit distance from the observed keyword.
+    pub distance: u32,
+}
+
+/// One query keyword with its full variant set.
+#[derive(Debug, Clone)]
+pub struct KeywordExplain {
+    /// The observed (possibly misspelt) keyword.
+    pub keyword: String,
+    /// `var_ε(keyword)`, resolved to terms.
+    pub variants: Vec<VariantExplain>,
+}
+
+/// Candidate counts entering/leaving each pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageCounts {
+    /// Query keywords (slots).
+    pub keywords: u64,
+    /// Total variants across all slots.
+    pub variants: u64,
+    /// Upper bound on distinct candidates: `Π_i |var_ε(q_i)|`.
+    pub candidate_space: u64,
+    /// Depth-`d` gating subtrees processed by the walk.
+    pub subtrees: u64,
+    /// Candidates enumerated (with multiplicity across subtrees).
+    pub candidates_enumerated: u64,
+    /// Distinct candidates whose result type was computed.
+    pub result_type_computations: u64,
+    /// Entity score contributions accumulated.
+    pub entities_scored: u64,
+    /// `add_weighted` calls the walk emitted into the table.
+    pub contributions: u64,
+    /// Accumulators alive when the walk finished (entering rank).
+    pub accumulators: u64,
+    /// γ-evictions taken.
+    pub evictions: u64,
+    /// Contributions rejected by γ (newcomer + tombstone).
+    pub rejected: u64,
+    /// Candidates surviving finalisation (`score_sum > 0`), pre-top-k.
+    pub ranked: u64,
+    /// Suggestions returned (top-k).
+    pub suggestions: u64,
+}
+
+/// Per-stage wall times of the explain run itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageNanos {
+    /// Variant-slot construction.
+    pub slot: u64,
+    /// Walk + accumulate (scatter, on a sharded engine).
+    pub walk: u64,
+    /// Gather/replay (sharded only; 0 on the unsharded engine).
+    pub gather: u64,
+    /// Finalise + rank.
+    pub rank: u64,
+    /// Whole explain call.
+    pub total: u64,
+}
+
+/// A full explain trace for one query. See the module docs; the serving
+/// layer renders this as the `/debug/explain` JSON body.
+#[derive(Debug, Clone)]
+pub struct ExplainTrace {
+    /// The parsed query keywords with their variant sets.
+    pub keywords: Vec<KeywordExplain>,
+    /// Entity semantics the engine ran under.
+    pub semantics: &'static str,
+    /// Whether the engine is sharded.
+    pub sharded: bool,
+    /// Number of shards (1 for the unsharded engine).
+    pub shard_count: u32,
+    /// The γ bound in effect (`None` = unbounded).
+    pub gamma: Option<usize>,
+    /// Per-stage candidate counts.
+    pub stages: StageCounts,
+    /// Per-stage wall times.
+    pub nanos: StageNanos,
+    /// First [`MAX_EXPLAIN_EVICTIONS`] γ-events, in decision order.
+    pub evictions: Vec<EvictionExplain>,
+    /// Total γ-events taken (can exceed `evictions.len()`).
+    pub eviction_events_total: u64,
+    /// Per-shard scatter attribution (empty on the unsharded engine).
+    pub shards: Vec<ShardAttribution>,
+    /// The served suggestions — bit-identical to what `suggest` returns.
+    pub suggestions: Vec<Suggestion>,
+    /// `false` for SLCA/ELCA semantics, whose walk does not flow through
+    /// the observable accumulator table (stage counts come from
+    /// [`RunStats`]; eviction/contribution detail is unavailable).
+    pub full_detail: bool,
+}
+
+/// The explain-mode [`ScoreSink`]: a γ-bounded [`AccumulatorTable`] that
+/// also counts contributions and captures eviction events (capped).
+pub(crate) struct ExplainSink {
+    pub(crate) table: AccumulatorTable,
+    pub(crate) contributions: u64,
+    pub(crate) events: Vec<RawEvent>,
+    pub(crate) events_total: u64,
+}
+
+impl ExplainSink {
+    pub(crate) fn new(gamma: Option<usize>) -> Self {
+        ExplainSink {
+            table: AccumulatorTable::new(gamma),
+            contributions: 0,
+            events: Vec::new(),
+            events_total: 0,
+        }
+    }
+}
+
+impl ScoreSink for ExplainSink {
+    fn accumulate(
+        &mut self,
+        key: &CandidateKey,
+        weighted: f64,
+        weight: f64,
+        log_error_weight: f64,
+        distances: &[u32],
+        result_path: PathId,
+    ) {
+        self.contributions += 1;
+        let ExplainSink {
+            table,
+            events,
+            events_total,
+            ..
+        } = self;
+        table.add_weighted_observed(
+            key,
+            weighted,
+            weight,
+            log_error_weight,
+            distances,
+            result_path,
+            &mut |e| {
+                *events_total += 1;
+                if events.len() < MAX_EXPLAIN_EVICTIONS {
+                    events.push(owned_event(e));
+                }
+            },
+        );
+    }
+}
+
+/// Resolves captured raw events to term-level [`EvictionExplain`]s.
+pub(crate) fn render_events(
+    events: &[RawEvent],
+    term_of: impl Fn(TokenId) -> String,
+) -> Vec<EvictionExplain> {
+    events
+        .iter()
+        .map(|(kind, key, estimate)| EvictionExplain {
+            kind: *kind,
+            terms: key.iter().map(|&t| term_of(t)).collect(),
+            estimate: *estimate,
+        })
+        .collect()
+}
+
+/// Builds the keyword/variant section of a trace.
+pub(crate) fn explain_keywords_of(
+    slots: &[KeywordSlot],
+    term_of: impl Fn(TokenId) -> String,
+) -> Vec<KeywordExplain> {
+    slots
+        .iter()
+        .map(|s| KeywordExplain {
+            keyword: s.keyword.clone(),
+            variants: s
+                .variants
+                .iter()
+                .map(|v| VariantExplain {
+                    term: term_of(v.token),
+                    distance: v.distance,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Fills the slot/variant/candidate-space and walk/score counters shared
+/// by every explain path.
+pub(crate) fn stage_counts(
+    slots: &[KeywordSlot],
+    stats: &RunStats,
+    contributions: u64,
+    accumulators: u64,
+    ranked: u64,
+    suggestions: u64,
+) -> StageCounts {
+    StageCounts {
+        keywords: slots.len() as u64,
+        variants: slots.iter().map(|s| s.variants.len() as u64).sum(),
+        candidate_space: slots
+            .iter()
+            .fold(1u64, |acc, s| acc.saturating_mul(s.variants.len() as u64)),
+        subtrees: stats.subtrees,
+        candidates_enumerated: stats.candidates_enumerated,
+        result_type_computations: stats.result_type_computations,
+        entities_scored: stats.entities_scored,
+        contributions,
+        accumulators,
+        evictions: stats.pruning.evictions,
+        rejected: stats.pruning.rejected,
+        ranked,
+        suggestions,
+    }
+}
+
+/// Converts ranked candidates into served-form [`Suggestion`]s (same
+/// construction as the serving path).
+pub(crate) fn suggestions_of(
+    candidates: Vec<ScoredCandidate>,
+    k: usize,
+    term_of: impl Fn(TokenId) -> String,
+) -> (u64, Vec<Suggestion>) {
+    let ranked = candidates.len() as u64;
+    let suggestions = candidates
+        .into_iter()
+        .take(k)
+        .map(|c| Suggestion {
+            terms: c.tokens.iter().map(|&t| term_of(t)).collect(),
+            tokens: c.tokens,
+            log_score: c.log_score,
+            distances: c.distances,
+            result_path: (c.result_path != PathId::INVALID).then_some(c.result_path),
+            entity_count: c.entity_count,
+        })
+        .collect();
+    (ranked, suggestions)
+}
+
+pub(crate) fn semantics_str(semantics: Semantics) -> &'static str {
+    match semantics {
+        Semantics::NodeType => "node_type",
+        Semantics::Slca => "slca",
+        Semantics::Elca => "elca",
+    }
+}
+
+impl XCleanEngine {
+    /// Explains a raw query: runs the full pipeline in explain mode and
+    /// returns the structured trace. The reported suggestions are
+    /// bit-identical to [`XCleanEngine::suggest`]'s — explain is a
+    /// separate, purely-observing computation (see the module docs).
+    pub fn explain(&self, query: &str) -> ExplainTrace {
+        let keywords = self.parse_query(query);
+        self.explain_keywords(&keywords)
+    }
+
+    /// [`XCleanEngine::explain`] for an already-tokenised query.
+    pub fn explain_keywords(&self, keywords: &[String]) -> ExplainTrace {
+        let config = self.config();
+        let start = Instant::now();
+        let slots: Vec<KeywordSlot> = keywords
+            .iter()
+            .map(|k| KeywordSlot {
+                keyword: k.clone(),
+                variants: match config.phonetic_distance {
+                    Some(d) => self.variant_generator().variants_with_phonetic(k, d),
+                    None => self.variant_generator().variants_within(k, config.epsilon),
+                },
+            })
+            .collect();
+        let slot_nanos = nanos_since(start);
+        let corpus = self.corpus();
+        let term_of = |t: TokenId| corpus.vocab().term(t).to_string();
+
+        let trace = match self.semantics() {
+            Semantics::NodeType => {
+                // Mirror the sequential serving pipeline through the
+                // observing sink; bit-identity across partition counts
+                // makes this the served computation.
+                let walk_start = Instant::now();
+                let empty = slots.is_empty() || slots.iter().any(|s| s.variants.is_empty());
+                let mut sink = ExplainSink::new(config.gamma);
+                let mut stats = RunStats::default();
+                if !empty {
+                    let mut arena = QueryArena::new();
+                    accumulate_scoped(
+                        &Scoring::unsharded(corpus),
+                        &slots,
+                        config,
+                        0,
+                        1,
+                        &mut stats,
+                        &mut arena,
+                        &mut sink,
+                    );
+                }
+                stats.pruning = sink.table.stats();
+                stats.walk_nanos = nanos_since(walk_start);
+                let accumulators = sink.table.len() as u64;
+                let rank_start = Instant::now();
+                let entries = sink.table.into_entries();
+                let candidates = finalize_candidates(&Scoring::unsharded(corpus), config, entries);
+                let rank_nanos = nanos_since(rank_start);
+                let (ranked, suggestions) = suggestions_of(candidates, config.k, term_of);
+                ExplainTrace {
+                    keywords: explain_keywords_of(&slots, term_of),
+                    semantics: semantics_str(self.semantics()),
+                    sharded: false,
+                    shard_count: 1,
+                    gamma: config.gamma,
+                    stages: stage_counts(
+                        &slots,
+                        &stats,
+                        sink.contributions,
+                        accumulators,
+                        ranked,
+                        suggestions.len() as u64,
+                    ),
+                    nanos: StageNanos {
+                        slot: slot_nanos,
+                        walk: stats.walk_nanos,
+                        gather: 0,
+                        rank: rank_nanos,
+                        total: nanos_since(start),
+                    },
+                    evictions: render_events(&sink.events, term_of),
+                    eviction_events_total: sink.events_total,
+                    shards: Vec::new(),
+                    suggestions,
+                    full_detail: true,
+                }
+            }
+            Semantics::Slca | Semantics::Elca => {
+                // SLCA/ELCA walks score outside the accumulator table:
+                // stage counts come from RunStats, contribution/eviction
+                // detail is structurally unavailable (reduced detail).
+                let out = match self.semantics() {
+                    Semantics::Slca => run_slca(corpus, &slots, config),
+                    _ => run_elca(corpus, &slots, config),
+                };
+                let stats = out.stats;
+                let (ranked, suggestions) = suggestions_of(out.candidates, config.k, term_of);
+                ExplainTrace {
+                    keywords: explain_keywords_of(&slots, term_of),
+                    semantics: semantics_str(self.semantics()),
+                    sharded: false,
+                    shard_count: 1,
+                    gamma: config.gamma,
+                    stages: stage_counts(&slots, &stats, 0, 0, ranked, suggestions.len() as u64),
+                    nanos: StageNanos {
+                        slot: slot_nanos,
+                        walk: stats.walk_nanos,
+                        gather: 0,
+                        rank: stats.rank_nanos,
+                        total: nanos_since(start),
+                    },
+                    evictions: Vec::new(),
+                    eviction_events_total: 0,
+                    shards: Vec::new(),
+                    suggestions,
+                    full_detail: false,
+                }
+            }
+        };
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::XCleanConfig;
+    use xclean_xmltree::parse_document;
+
+    fn engine() -> XCleanEngine {
+        let xml = "<dblp>\
+            <article><author>hinrich schutze</author><title>geo tagging entities</title></article>\
+            <article><author>jones</author><title>health insurance markets</title></article>\
+            <article><author>smith</author><title>program instance analysis</title></article>\
+            <article><author>smith</author><title>health policy</title></article>\
+        </dblp>";
+        XCleanEngine::new(
+            parse_document(xml).unwrap(),
+            XCleanConfig {
+                epsilon: 2,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn explain_reports_stage_counts_and_matching_suggestions() {
+        let e = engine();
+        let served = e.suggest("helth insurance");
+        let trace = e.explain("helth insurance");
+        assert_eq!(trace.semantics, "node_type");
+        assert!(trace.full_detail);
+        assert!(!trace.sharded);
+        assert_eq!(trace.keywords.len(), 2);
+        assert_eq!(trace.keywords[0].keyword, "helth");
+        assert!(trace.keywords[0]
+            .variants
+            .iter()
+            .any(|v| v.term == "health" && v.distance == 1));
+        let s = &trace.stages;
+        assert_eq!(s.keywords, 2);
+        assert!(s.variants >= 2);
+        assert!(s.candidate_space >= s.keywords);
+        assert!(s.subtrees > 0);
+        assert!(s.candidates_enumerated > 0);
+        assert!(s.entities_scored > 0);
+        assert!(s.contributions > 0);
+        assert!(s.accumulators > 0);
+        assert!(s.ranked >= s.suggestions);
+        assert_eq!(s.suggestions as usize, trace.suggestions.len());
+        assert!(trace.nanos.slot > 0 && trace.nanos.walk > 0 && trace.nanos.rank > 0);
+        assert_eq!(served.suggestions.len(), trace.suggestions.len());
+        for (a, b) in served.suggestions.iter().zip(&trace.suggestions) {
+            assert_eq!(a.terms, b.terms);
+            assert_eq!(a.log_score.to_bits(), b.log_score.to_bits());
+            assert_eq!(a.distances, b.distances);
+            assert_eq!(a.entity_count, b.entity_count);
+        }
+    }
+
+    #[test]
+    fn explain_captures_gamma_evictions_under_tight_gamma() {
+        // Figure-2-style corpus: the second <c> subtree holds tree, trie
+        // and icde at once, so several candidates compete inside one
+        // gating subtree — γ=1 must take eviction/rejection decisions.
+        let xml = "<a>\
+            <c><x>tree</x></c>\
+            <c><x>trie</x><x>tree</x><y>icde</y></c>\
+            <d><x>trie</x><y>icdt icde</y></d>\
+            <d><x>trie</x><y>icde</y></d>\
+        </a>";
+        let e = XCleanEngine::new(
+            parse_document(xml).unwrap(),
+            XCleanConfig {
+                gamma: Some(1),
+                ..Default::default()
+            },
+        );
+        let served = e.suggest("tree icdt");
+        let trace = e.explain("tree icdt");
+        assert_eq!(trace.gamma, Some(1));
+        assert_eq!(
+            trace.stages.evictions + trace.stages.rejected,
+            trace.eviction_events_total
+        );
+        assert!(trace.eviction_events_total > 0, "γ=1 must evict here");
+        assert!(!trace.evictions.is_empty());
+        for ev in &trace.evictions {
+            assert_eq!(ev.terms.len(), 2);
+            if ev.kind == GammaEventKind::TombstoneRejected {
+                assert!(ev.estimate.is_none());
+            }
+        }
+        // Even under pruning, explain's suggestions are the served ones.
+        for (a, b) in served.suggestions.iter().zip(&trace.suggestions) {
+            assert_eq!(a.terms, b.terms);
+            assert_eq!(a.log_score.to_bits(), b.log_score.to_bits());
+        }
+    }
+
+    #[test]
+    fn explain_reduced_detail_for_slca() {
+        let e = XCleanEngine::from_shared(
+            engine().corpus_shared(),
+            XCleanConfig {
+                epsilon: 2,
+                ..Default::default()
+            },
+        )
+        .with_semantics(Semantics::Slca);
+        let served = e.suggest("helth insurance");
+        let trace = e.explain("helth insurance");
+        assert_eq!(trace.semantics, "slca");
+        assert!(!trace.full_detail);
+        assert!(trace.stages.candidates_enumerated > 0);
+        assert_eq!(trace.eviction_events_total, 0);
+        for (a, b) in served.suggestions.iter().zip(&trace.suggestions) {
+            assert_eq!(a.terms, b.terms);
+            assert_eq!(a.log_score.to_bits(), b.log_score.to_bits());
+        }
+    }
+
+    #[test]
+    fn explain_of_hopeless_query_is_well_formed() {
+        let e = engine();
+        let trace = e.explain("qqqqqqq zzzzzzz");
+        assert!(trace.suggestions.is_empty());
+        assert_eq!(trace.stages.ranked, 0);
+        assert!(trace.nanos.total > 0);
+    }
+}

@@ -36,6 +36,7 @@ pub mod catalog;
 pub mod config;
 pub mod elca;
 pub mod engine;
+pub mod explain;
 pub mod pruning;
 pub mod result_type;
 pub mod sharded;
@@ -53,7 +54,11 @@ pub use catalog::{Catalog, CatalogError, CorpusSpec};
 pub use config::{EntityPrior, XCleanConfig};
 pub use elca::{elca_of_lists, run_elca};
 pub use engine::{Semantics, SuggestResponse, Suggestion, XCleanEngine};
-pub use pruning::{Accumulator, AccumulatorTable, CandidateKey, PruningStats};
+pub use explain::{
+    EvictionExplain, ExplainTrace, GammaEventKind, KeywordExplain, StageCounts, StageNanos,
+    VariantExplain, MAX_EXPLAIN_EVICTIONS,
+};
+pub use pruning::{Accumulator, AccumulatorTable, CandidateKey, GammaEvent, PruningStats};
 pub use result_type::{find_result_type, ResultType};
 pub use sharded::{ShardedEngine, ShardedEngineError};
 pub use slca::{run_slca, slca_of_lists};

@@ -89,6 +89,38 @@ impl Accumulator {
     }
 }
 
+/// One γ-pruning decision, reported to the observer of
+/// [`AccumulatorTable::add_weighted_observed`]. The observer sees the
+/// decision *after* it has been taken — observation never influences
+/// which candidate wins, so an observed run is bit-identical to a plain
+/// [`AccumulatorTable::add_weighted`] run (the explain plane depends on
+/// this).
+#[derive(Debug, Clone, Copy)]
+pub enum GammaEvent<'a> {
+    /// `victim` held the lowest estimated score in a full table and was
+    /// evicted to admit a newcomer.
+    Evicted {
+        /// The evicted candidate.
+        victim: &'a CandidateKey,
+        /// Its estimated log score at eviction time.
+        estimate: f64,
+    },
+    /// The newcomer itself lost the estimate contest against a full
+    /// table's minimum and was never admitted.
+    NewcomerRejected {
+        /// The rejected candidate.
+        key: &'a CandidateKey,
+        /// Its (losing) first-entity estimate.
+        estimate: f64,
+    },
+    /// A contribution arrived for a candidate that was evicted earlier
+    /// (re-admission is blocked to keep surviving sums exact).
+    TombstoneRejected {
+        /// The previously evicted candidate.
+        key: &'a CandidateKey,
+    },
+}
+
 /// Outcome counters of an accumulator table run.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct PruningStats {
@@ -172,6 +204,33 @@ impl AccumulatorTable {
         distances: &[u32],
         result_path: xclean_xmltree::PathId,
     ) {
+        self.add_weighted_observed(
+            key,
+            score,
+            weight,
+            log_error_weight,
+            distances,
+            result_path,
+            &mut |_| {},
+        )
+    }
+
+    /// [`Self::add_weighted`] with a γ-decision observer: every eviction
+    /// and rejection is reported as a [`GammaEvent`] right after it is
+    /// taken. The observer is passive — `add_weighted` is exactly this
+    /// with a no-op closure, which the optimiser erases, so the hot path
+    /// pays nothing and an observed run stays bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_weighted_observed(
+        &mut self,
+        key: &CandidateKey,
+        score: f64,
+        weight: f64,
+        log_error_weight: f64,
+        distances: &[u32],
+        result_path: xclean_xmltree::PathId,
+        observe: &mut impl FnMut(GammaEvent<'_>),
+    ) {
         if let Some(acc) = self.accs.get_mut(key) {
             acc.score_sum += score;
             acc.entity_count += 1;
@@ -182,6 +241,7 @@ impl AccumulatorTable {
             // Once out, stay out: re-admitting would restart the sum and
             // report a corrupted partial score for this candidate.
             self.stats.rejected += 1;
+            observe(GammaEvent::TombstoneRejected { key });
             return;
         }
         let candidate = Accumulator {
@@ -209,15 +269,24 @@ impl AccumulatorTable {
                     })
                     .map(|(k, e)| (k.clone(), e))
                     .expect("table is full, so non-empty");
-                if candidate.estimated_log_score() <= victim_est {
+                let newcomer_est = candidate.estimated_log_score();
+                if newcomer_est <= victim_est {
                     // The newcomer itself is the victim.
                     self.evicted.insert(key.clone());
                     self.stats.rejected += 1;
+                    observe(GammaEvent::NewcomerRejected {
+                        key,
+                        estimate: newcomer_est,
+                    });
                     return;
                 }
                 self.accs.remove(&victim_key);
-                self.evicted.insert(victim_key);
                 self.stats.evictions += 1;
+                observe(GammaEvent::Evicted {
+                    victim: &victim_key,
+                    estimate: victim_est,
+                });
+                self.evicted.insert(victim_key);
             }
         }
         self.accs.insert(key.clone(), candidate);
@@ -354,6 +423,58 @@ mod tests {
             result_path: xclean_xmltree::PathId(0),
         };
         assert_eq!(zero.estimated_log_score(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn observer_sees_gamma_decisions_without_changing_them() {
+        // Replay the same contribution stream through a plain table and an
+        // observed one: identical outcomes, and the observer sees exactly
+        // one event per eviction/rejection counted in the stats.
+        let stream: Vec<(CandidateKey, f64, f64)> = vec![
+            (key(&[1]), 0.9, 0.0),     // fills slot 1
+            (key(&[2]), 1e-9, -10.0),  // fills slot 2 (weak)
+            (key(&[3]), 0.5, 0.0),     // evicts [2]
+            (key(&[2]), 0.5, 0.0),     // tombstone rejection
+            (key(&[4]), 1e-12, -20.0), // newcomer rejected
+        ];
+        let mut plain = AccumulatorTable::new(Some(2));
+        for (k, s, w) in &stream {
+            plain.add(k, *s, *w, &[0], xclean_xmltree::PathId(0));
+        }
+        let mut observed = AccumulatorTable::new(Some(2));
+        let mut events: Vec<String> = Vec::new();
+        for (k, s, w) in &stream {
+            observed.add_weighted_observed(
+                k,
+                *s,
+                1.0,
+                *w,
+                &[0],
+                xclean_xmltree::PathId(0),
+                &mut |e| {
+                    events.push(match e {
+                        GammaEvent::Evicted { victim, .. } => format!("evict:{}", victim[0].0),
+                        GammaEvent::NewcomerRejected { key, .. } => {
+                            format!("newcomer:{}", key[0].0)
+                        }
+                        GammaEvent::TombstoneRejected { key } => format!("tombstone:{}", key[0].0),
+                    });
+                },
+            );
+        }
+        assert_eq!(plain.stats(), observed.stats());
+        assert_eq!(plain.len(), observed.len());
+        for k in [key(&[1]), key(&[3])] {
+            let a = plain.get(&k).unwrap();
+            let b = observed.get(&k).unwrap();
+            assert_eq!(a.score_sum.to_bits(), b.score_sum.to_bits());
+            assert_eq!(a.entity_count, b.entity_count);
+        }
+        assert_eq!(events, vec!["evict:2", "tombstone:2", "newcomer:4"]);
+        assert_eq!(
+            events.len() as u64,
+            observed.stats().evictions + observed.stats().rejected
+        );
     }
 
     #[test]

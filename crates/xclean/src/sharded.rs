@@ -162,10 +162,26 @@ impl ContributionLog {
     /// Feeds the log into `table` in recorded (document) order —
     /// arguments byte-for-byte as the walk emitted them.
     fn replay(&self, table: &mut AccumulatorTable) {
+        self.replay_observed(table, &mut |_| {});
+    }
+
+    /// [`Self::replay`] with a γ-decision observer (the explain plane
+    /// watches the gather merge through this; observation never changes
+    /// a decision — see [`crate::pruning::GammaEvent`]).
+    fn replay_observed(
+        &self,
+        table: &mut AccumulatorTable,
+        observe: &mut impl FnMut(crate::pruning::GammaEvent<'_>),
+    ) {
         for &(meta, weighted, weight) in &self.entries {
             let (key, log_w, distances, path) = &self.metas[meta as usize];
-            table.add_weighted(key, weighted, weight, *log_w, distances, *path);
+            table.add_weighted_observed(key, weighted, weight, *log_w, distances, *path, observe);
         }
+    }
+
+    /// Number of recorded contributions.
+    fn len(&self) -> usize {
+        self.entries.len()
     }
 }
 
@@ -527,12 +543,25 @@ impl ShardedEngine {
         }
 
         // Gather: replay every shard's log, in shard-id order, into one
-        // global table — the exact sequential insertion sequence.
+        // global table — the exact sequential insertion sequence. Each
+        // shard's walk counters are also kept individually (scatter
+        // attribution) so the serving layer can name the straggler.
         let mut stats = RunStats::default();
         let mut table = AccumulatorTable::new(config.gamma);
         let mut walk_nanos_max = 0u64;
-        for result in shard_results.into_iter().flatten() {
-            let (log, shard_stats) = result;
+        let mut shard_attr: Vec<xclean_telemetry::ShardAttribution> = Vec::with_capacity(nshards);
+        for (shard, result) in shard_results.into_iter().enumerate() {
+            let Some((log, shard_stats)) = result else {
+                continue;
+            };
+            shard_attr.push(xclean_telemetry::ShardAttribution {
+                shard: shard as u32,
+                scatter_nanos: shard_stats.walk_nanos,
+                subtrees: shard_stats.subtrees,
+                candidates: shard_stats.candidates_enumerated,
+                entities: shard_stats.entities_scored,
+                contributions: log.len() as u64,
+            });
             log.replay(&mut table);
             stats.subtrees += shard_stats.subtrees;
             stats.candidates_enumerated += shard_stats.candidates_enumerated;
@@ -587,6 +616,7 @@ impl ShardedEngine {
             suggestions,
             elapsed,
             stats,
+            shard_stats: shard_attr,
         }
     }
 
@@ -609,6 +639,127 @@ impl ShardedEngine {
         accumulate_scoped(&view, slots, config, 0, 1, &mut stats, &mut arena, &mut log);
         stats.walk_nanos = nanos_since(walk_start);
         (log, stats)
+    }
+
+    /// Explains a raw query: runs the scatter-gather pipeline in explain
+    /// mode and returns the structured trace, including per-shard scatter
+    /// attribution and the γ-events of the gather merge. The reported
+    /// suggestions are bit-identical to [`ShardedEngine::suggest`]'s —
+    /// the scatter is sequential here (diagnostics, not serving), and the
+    /// gather replay is the same insertion sequence whatever the scatter
+    /// parallelism (see the module docs).
+    pub fn explain(&self, query: &str) -> crate::explain::ExplainTrace {
+        let keywords = self.parse_query(query);
+        self.explain_keywords(&keywords)
+    }
+
+    /// [`ShardedEngine::explain`] for an already-tokenised query.
+    pub fn explain_keywords(&self, keywords: &[String]) -> crate::explain::ExplainTrace {
+        use crate::explain::{
+            explain_keywords_of, owned_event, render_events, stage_counts, suggestions_of,
+            ExplainTrace, RawEvent, StageNanos, MAX_EXPLAIN_EVICTIONS,
+        };
+        let config = &self.config;
+        let start = Instant::now();
+        let slots: Vec<KeywordSlot> = keywords
+            .iter()
+            .map(|k| KeywordSlot {
+                keyword: k.clone(),
+                variants: match config.phonetic_distance {
+                    Some(d) => self.variants.variants_with_phonetic(k, d),
+                    None => self.variants.variants_within(k, config.epsilon),
+                },
+            })
+            .collect();
+        let slot_nanos = nanos_since(start);
+        let term_of = |t: TokenId| self.global.vocab.term(t).to_string();
+
+        // Sequential scatter, shard by shard, keeping each log alive for
+        // the observed gather below.
+        let walk_start = Instant::now();
+        let empty_query = slots.is_empty() || slots.iter().any(|s| s.variants.is_empty());
+        let mut stats = RunStats::default();
+        let mut shard_attr: Vec<xclean_telemetry::ShardAttribution> = Vec::new();
+        let mut logs: Vec<ContributionLog> = Vec::new();
+        if !empty_query {
+            for shard in 0..self.shards.len() {
+                let (log, shard_stats) = self.scatter_one(shard, &slots, config);
+                shard_attr.push(xclean_telemetry::ShardAttribution {
+                    shard: shard as u32,
+                    scatter_nanos: shard_stats.walk_nanos,
+                    subtrees: shard_stats.subtrees,
+                    candidates: shard_stats.candidates_enumerated,
+                    entities: shard_stats.entities_scored,
+                    contributions: log.len() as u64,
+                });
+                stats.subtrees += shard_stats.subtrees;
+                stats.candidates_enumerated += shard_stats.candidates_enumerated;
+                stats.result_type_computations += shard_stats.result_type_computations;
+                stats.entities_scored += shard_stats.entities_scored;
+                stats.access += shard_stats.access;
+                logs.push(log);
+            }
+        }
+        let walk_nanos = nanos_since(walk_start);
+
+        // Observed gather: the same shard-order replay as serving, with
+        // every γ-decision of the global table captured.
+        let gather_start = Instant::now();
+        let mut table = AccumulatorTable::new(config.gamma);
+        let mut events: Vec<RawEvent> = Vec::new();
+        let mut events_total = 0u64;
+        let contributions: u64 = logs.iter().map(|l| l.len() as u64).sum();
+        for log in &logs {
+            log.replay_observed(&mut table, &mut |e| {
+                events_total += 1;
+                if events.len() < MAX_EXPLAIN_EVICTIONS {
+                    events.push(owned_event(e));
+                }
+            });
+        }
+        stats.pruning = table.stats();
+        let gather_nanos = nanos_since(gather_start);
+        let accumulators = table.len() as u64;
+
+        let rank_start = Instant::now();
+        let entries = table.into_entries();
+        let candidates = {
+            let scope = self.shards[0].scope(&self.global, &self.empty);
+            finalize_candidates(
+                &Scoring::sharded(&self.shards[0].corpus, scope),
+                config,
+                entries,
+            )
+        };
+        let rank_nanos = nanos_since(rank_start);
+        let (ranked, suggestions) = suggestions_of(candidates, config.k, term_of);
+        ExplainTrace {
+            keywords: explain_keywords_of(&slots, term_of),
+            semantics: "node_type",
+            sharded: true,
+            shard_count: self.shard_count,
+            gamma: config.gamma,
+            stages: stage_counts(
+                &slots,
+                &stats,
+                contributions,
+                accumulators,
+                ranked,
+                suggestions.len() as u64,
+            ),
+            nanos: StageNanos {
+                slot: slot_nanos,
+                walk: walk_nanos,
+                gather: gather_nanos,
+                rank: rank_nanos,
+                total: nanos_since(start),
+            },
+            evictions: render_events(&events, term_of),
+            eviction_events_total: events_total,
+            shards: shard_attr,
+            suggestions,
+            full_detail: true,
+        }
     }
 
     /// Answers a whole workload, one [`SuggestResponse`] per query in

@@ -1,0 +1,144 @@
+//! Explain-mode neutrality: running the diagnostics plane must leave
+//! served suggestions byte-identical — same terms, same `f64` score
+//! *bits*, same distances and entity counts — at every thread count, on
+//! both the unsharded and the sharded engine (ISSUE 10 acceptance
+//! criterion).
+
+use xclean::{ShardedEngine, XCleanConfig, XCleanEngine};
+use xclean_index::{partition_corpus, CorpusIndex};
+use xclean_xmltree::parse_document;
+
+fn corpus() -> CorpusIndex {
+    let xml = "<dblp>\
+        <article><author>hinrich schutze</author><title>geo tagging entities</title></article>\
+        <article><author>jones</author><title>health insurance markets</title></article>\
+        <article><author>smith</author><title>program instance analysis</title></article>\
+        <article><author>smith</author><title>health policy</title></article>\
+        <article><author>brown</author><title>insurance analysis policy</title></article>\
+        <article><author>schutze</author><title>geo entities health</title></article>\
+    </dblp>";
+    CorpusIndex::build(parse_document(xml).unwrap())
+}
+
+const QUERIES: &[&str] = &[
+    "helth insurance",
+    "health insurrance",
+    "geo taging",
+    "smith",
+    "qqqq zzzz",
+];
+
+fn assert_bit_identical(
+    served: &[xclean::Suggestion],
+    explained: &[xclean::Suggestion],
+    context: &str,
+) {
+    assert_eq!(served.len(), explained.len(), "{context}");
+    for (a, b) in served.iter().zip(explained) {
+        assert_eq!(a.terms, b.terms, "{context}");
+        assert_eq!(
+            a.log_score.to_bits(),
+            b.log_score.to_bits(),
+            "{context}: score bits must match exactly"
+        );
+        assert_eq!(a.distances, b.distances, "{context}");
+        assert_eq!(a.entity_count, b.entity_count, "{context}");
+    }
+}
+
+#[test]
+fn explain_is_neutral_on_the_unsharded_engine() {
+    for threads in [1usize, 8] {
+        let engine = XCleanEngine::from_corpus(
+            corpus(),
+            XCleanConfig {
+                epsilon: 2,
+                num_threads: threads,
+                ..Default::default()
+            },
+        );
+        for q in QUERIES {
+            let ctx = format!("unsharded threads={threads} q={q}");
+            // Diagnostics fully off.
+            let before = engine.suggest(q);
+            // Diagnostics fully on: run explain, then serve again.
+            let trace = engine.explain(q);
+            let after = engine.suggest(q);
+            assert_bit_identical(&before.suggestions, &trace.suggestions, &ctx);
+            assert_bit_identical(&before.suggestions, &after.suggestions, &ctx);
+            assert!(trace.shards.is_empty(), "{ctx}: unsharded has no shards");
+        }
+    }
+}
+
+#[test]
+fn explain_is_neutral_on_the_sharded_engine() {
+    let parent = corpus();
+    for threads in [1usize, 8] {
+        let shards = partition_corpus(&parent, 4, 7).unwrap();
+        let engine = ShardedEngine::from_shards(
+            shards,
+            XCleanConfig {
+                epsilon: 2,
+                num_threads: threads,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for q in QUERIES {
+            let ctx = format!("4-shard threads={threads} q={q}");
+            let before = engine.suggest(q);
+            let trace = engine.explain(q);
+            let after = engine.suggest(q);
+            assert_bit_identical(&before.suggestions, &trace.suggestions, &ctx);
+            assert_bit_identical(&before.suggestions, &after.suggestions, &ctx);
+            assert!(trace.sharded, "{ctx}");
+            assert_eq!(trace.shard_count, 4, "{ctx}");
+            if !before.suggestions.is_empty() {
+                // A non-empty answer implies at least one shard scattered
+                // contributions; the trace and the serving response agree
+                // on the per-shard attribution.
+                assert!(!trace.shards.is_empty(), "{ctx}");
+                assert_eq!(trace.shards.len(), before.shard_stats.len(), "{ctx}");
+                for (t, s) in trace.shards.iter().zip(&before.shard_stats) {
+                    assert_eq!(t.shard, s.shard, "{ctx}");
+                    assert_eq!(t.subtrees, s.subtrees, "{ctx}");
+                    assert_eq!(t.candidates, s.candidates, "{ctx}");
+                    assert_eq!(t.entities, s.entities, "{ctx}");
+                    assert_eq!(t.contributions, s.contributions, "{ctx}");
+                }
+                let total: u64 = trace.shards.iter().map(|s| s.contributions).sum();
+                assert_eq!(total, trace.stages.contributions, "{ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn explain_matches_under_binding_gamma_on_both_engines() {
+    // γ=1 forces evictions; explain's observed table must reproduce the
+    // serving decisions exactly on both engine shapes.
+    let parent = corpus();
+    let config = XCleanConfig {
+        epsilon: 2,
+        gamma: Some(1),
+        ..Default::default()
+    };
+    let unsharded = XCleanEngine::from_corpus(corpus(), config.clone());
+    let sharded =
+        ShardedEngine::from_shards(partition_corpus(&parent, 4, 7).unwrap(), config).unwrap();
+    for q in ["helth insurance", "health insurrance"] {
+        let served_u = unsharded.suggest(q);
+        let trace_u = unsharded.explain(q);
+        assert_bit_identical(&served_u.suggestions, &trace_u.suggestions, q);
+        assert_eq!(trace_u.stages.evictions, served_u.stats.pruning.evictions);
+        assert_eq!(trace_u.stages.rejected, served_u.stats.pruning.rejected);
+        let served_s = sharded.suggest(q);
+        let trace_s = sharded.explain(q);
+        assert_bit_identical(&served_s.suggestions, &trace_s.suggestions, q);
+        assert_eq!(trace_s.stages.evictions, served_s.stats.pruning.evictions);
+        assert_eq!(trace_s.stages.rejected, served_s.stats.pruning.rejected);
+        // Cross-shape: sharded and unsharded traces agree on suggestions.
+        assert_bit_identical(&trace_u.suggestions, &trace_s.suggestions, q);
+    }
+}
